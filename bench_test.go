@@ -1,0 +1,246 @@
+package flint_test
+
+// The benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation, as indexed in DESIGN.md. Each benchmark executes
+// the corresponding experiment from internal/experiments (the same code
+// behind cmd/flintbench) and reports its headline quantities as custom
+// benchmark metrics, so `go test -bench=. -benchmem` regenerates the
+// entire evaluation. See EXPERIMENTS.md for paper-versus-measured.
+
+import (
+	"io"
+	"testing"
+
+	"flint/internal/experiments"
+)
+
+// BenchmarkFig2Availability regenerates the availability CDFs and MTTFs
+// of EC2 spot and GCE preemptible servers (paper Figure 2).
+func BenchmarkFig2Availability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.EC2[0].MTTFh, "us-west-2c-MTTF-h")
+		b.ReportMetric(res.EC2[1].MTTFh, "eu-west-1c-MTTF-h")
+		b.ReportMetric(res.EC2[2].MTTFh, "sa-east-1a-MTTF-h")
+		b.ReportMetric(res.GCE[0].MTTFh, "gce-f1-micro-MTTF-h")
+	}
+}
+
+// BenchmarkFig3MemoryPressure regenerates the simultaneous-revocation
+// memory-pressure study (paper Figure 3).
+func BenchmarkFig3MemoryPressure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(io.Discard, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Increase[0], "incr-2GB-%")
+		b.ReportMetric(100*res.Increase[1], "incr-4GB-%")
+		b.ReportMetric(100*res.Increase[2], "incr-6GB-%")
+	}
+}
+
+// BenchmarkFig4Correlation regenerates the pairwise spot-price
+// correlation analysis (paper Figure 4).
+func BenchmarkFig4Correlation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(io.Discard, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.UncorrelatedFrac, "uncorrelated-pairs-%")
+	}
+}
+
+// BenchmarkFig6aCheckpointTax regenerates the per-workload checkpointing
+// overhead at MTTF = 50 h (paper Figure 6a).
+func BenchmarkFig6aCheckpointTax(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(io.Discard, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.TaxByWorkload["als"], "als-tax-%")
+		b.ReportMetric(100*res.TaxByWorkload["kmeans"], "kmeans-tax-%")
+		b.ReportMetric(100*res.TaxByWorkload["pagerank"], "pagerank-tax-%")
+	}
+}
+
+// BenchmarkFig6bSystemVsRDD regenerates the application-level versus
+// systems-level checkpointing comparison (paper Figure 6b).
+func BenchmarkFig6bSystemVsRDD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(io.Discard, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.FlintTax, "flint-rdd-tax-%")
+		b.ReportMetric(100*res.SystemTax, "system-level-tax-%")
+	}
+}
+
+// BenchmarkFig6cTaxVsMTTF regenerates the checkpointing tax versus market
+// volatility sweep (paper Figure 6c).
+func BenchmarkFig6cTaxVsMTTF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(io.Discard, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, h := range res.MTTFHours {
+			b.ReportMetric(100*res.TaxByMTTF[j], "tax-"+itoa(int(h))+"h-%")
+		}
+	}
+}
+
+// BenchmarkFig7SingleRevocation regenerates the single-revocation
+// recomputation cost split (paper Figure 7).
+func BenchmarkFig7SingleRevocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(io.Discard, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, name := range res.Workloads {
+			b.ReportMetric(100*res.Increase[j], name+"-incr-%")
+		}
+	}
+}
+
+// BenchmarkFig8FailureSweep regenerates running time under 0/1/5/10
+// concurrent revocations with and without checkpointing (paper Figure 8).
+func BenchmarkFig8FailureSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(io.Discard, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for wi, name := range res.Workloads {
+			b.ReportMetric(res.WithCheckpoint[wi][3], name+"-ckpt-10f-s")
+			b.ReportMetric(res.RecomputeOnly[wi][3], name+"-recomp-10f-s")
+		}
+	}
+}
+
+// BenchmarkFig9Interactive regenerates the TPC-H response-time study
+// (paper Figure 9).
+func BenchmarkFig9Interactive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(io.Discard, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FailShort["recompute"], "recompute-fail-s")
+		b.ReportMetric(res.FailShort["flint-batch"], "batch-fail-s")
+		b.ReportMetric(res.FailShort["flint-interactive"], "interactive-fail-s")
+	}
+}
+
+// BenchmarkFig10aRuntimeVsMTTF regenerates the runtime-overhead-versus-
+// MTTF sweep on the canonical job (paper Figure 10a).
+func BenchmarkFig10aRuntimeVsMTTF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(io.Discard, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Overhead[0], "overhead-1h-%")
+		b.ReportMetric(100*res.Overhead[len(res.Overhead)-1], "overhead-25h-%")
+	}
+}
+
+// BenchmarkFig10bFlintVsSpark regenerates the Flint-versus-unmodified-
+// Spark overhead comparison (paper Figure 10b).
+func BenchmarkFig10bFlintVsSpark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(io.Discard, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.FlintVolatile, "flint-volatile-%")
+		b.ReportMetric(100*res.SparkVolatile, "spark-volatile-%")
+	}
+}
+
+// BenchmarkFig11aUnitCost regenerates the unit-cost comparison across
+// Flint, SpotFleet, Spark-EMR and on-demand (paper Figure 11a).
+func BenchmarkFig11aUnitCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(io.Discard, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.UnitCost["flint-batch"], "flint-batch-unit")
+		b.ReportMetric(res.UnitCost["flint-interactive"], "flint-interactive-unit")
+		b.ReportMetric(res.UnitCost["spot-fleet"], "spot-fleet-unit")
+		b.ReportMetric(res.UnitCost["emr-spot"], "emr-spot-unit")
+	}
+}
+
+// BenchmarkFig11bBidSweep regenerates the expected-cost-versus-bid curve
+// (paper Figure 11b).
+func BenchmarkFig11bBidSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(io.Discard, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := res.CostByBid["m2.2xlarge"]
+		b.ReportMetric(row[0], "m2.2xlarge-bid0.25x-%OD")
+		b.ReportMetric(row[4], "m2.2xlarge-bid1x-%OD")
+		b.ReportMetric(row[len(row)-1], "m2.2xlarge-bid4x-%OD")
+	}
+}
+
+// BenchmarkAblationFrontier quantifies frontier-only versus eager
+// checkpointing (DESIGN.md design decision #1).
+func BenchmarkAblationFrontier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationFrontier(io.Discard, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.FlintTax, "frontier-tax-%")
+		b.ReportMetric(100*res.EagerTax, "eager-tax-%")
+	}
+}
+
+// BenchmarkAblationShuffleInterval quantifies the τ/P shuffle rule
+// (DESIGN.md design decision #2).
+func BenchmarkAblationShuffleInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationShuffle(io.Discard, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WithBoost, "with-boost-s")
+		b.ReportMetric(res.WithoutBoost, "uniform-tau-s")
+	}
+}
+
+// BenchmarkAblationDiversification quantifies variance reduction from
+// market mixing (DESIGN.md design decision #3).
+func BenchmarkAblationDiversification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblationDiversification(io.Discard)
+		b.ReportMetric(res.Variance[0], "var-1-market")
+		b.ReportMetric(res.Variance[len(res.Variance)-1], "var-8-markets")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

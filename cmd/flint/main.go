@@ -1,0 +1,160 @@
+// Command flint runs one of the paper's workloads on a simulated cluster
+// of transient servers under a chosen server-selection and checkpointing
+// policy, and reports running time and cost against an on-demand
+// baseline — a single-shot version of the managed service the paper
+// describes.
+//
+// Usage:
+//
+//	flint -workload pagerank -mode batch -nodes 10
+//	flint -workload tpch -mode interactive -queries 5
+//	flint -workload kmeans -mode on-demand -checkpoint none
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flint/internal/core"
+	"flint/internal/market"
+	"flint/internal/rdd"
+	"flint/internal/simclock"
+	"flint/internal/trace"
+	"flint/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "wordcount", "workload: wordcount | pagerank | kmeans | als | tpch")
+		mode    = flag.String("mode", "batch", "server selection: batch | interactive | on-demand")
+		ckpt    = flag.String("checkpoint", "flint", "checkpointing: flint | none | system")
+		nodes   = flag.Int("nodes", 10, "cluster size")
+		pools   = flag.Int("pools", 10, "number of spot markets to simulate")
+		seed    = flag.Int64("seed", 1, "market seed")
+		queries = flag.Int("queries", 3, "interactive queries to run (tpch only)")
+	)
+	flag.Parse()
+	if err := run(*wl, *mode, *ckpt, *nodes, *pools, *seed, *queries); err != nil {
+		fmt.Fprintf(os.Stderr, "flint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl, mode, ckptMode string, nodes, pools int, seed int64, queries int) error {
+	profiles := trace.PoolSet(pools, seed)
+	exch, err := market.SpotExchange(profiles, seed+1, 24*7, 24*30, market.BillPerSecond)
+	if err != nil {
+		return err
+	}
+	ctx := rdd.NewContext(2 * nodes)
+
+	spec := core.DefaultSpec()
+	spec.Cluster.Size = nodes
+	switch mode {
+	case "batch":
+		spec.Mode = core.ModeBatch
+	case "interactive":
+		spec.Mode = core.ModeInteractive
+	case "on-demand":
+		spec.Mode = core.ModeOnDemand
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	switch ckptMode {
+	case "flint":
+		spec.Checkpoint = core.CkptFlint
+	case "none":
+		spec.Checkpoint = core.CkptNone
+	case "system":
+		spec.Checkpoint = core.CkptSystemLevel
+		spec.FixedInterval = 300
+	default:
+		return fmt.Errorf("unknown checkpoint mode %q", ckptMode)
+	}
+
+	f, err := core.Launch(exch, ctx, spec)
+	if err != nil {
+		return err
+	}
+	defer f.Stop()
+
+	fmt.Printf("cluster up: %d nodes, mode=%s, checkpoint=%s\n", nodes, mode, ckptMode)
+	for _, n := range f.Cluster.LiveNodes() {
+		fmt.Printf("  node %2d from %s\n", n.ID, n.Pool)
+	}
+
+	switch wl {
+	case "wordcount":
+		counts, res, err := workload.RunWordCount(f, ctx, workload.WordCountConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wordcount: %d distinct words in %.1f virtual seconds\n", len(counts), res.Latency())
+	case "pagerank":
+		rep, err := workload.RunPageRank(f, ctx, workload.PageRankConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pagerank: %d jobs, %.1f virtual seconds, %d tasks\n", rep.Jobs, rep.RunningTime, rep.Stats.TasksLaunched)
+	case "kmeans":
+		rep, err := workload.RunKMeans(f, ctx, workload.KMeansConfig{})
+		if err != nil {
+			return err
+		}
+		out := rep.Outcome.(workload.KMeansResult)
+		fmt.Printf("kmeans: cost %.1f after %d jobs, %.1f virtual seconds\n", out.Cost, rep.Jobs, rep.RunningTime)
+	case "als":
+		rep, err := workload.RunALS(f, ctx, workload.ALSConfig{})
+		if err != nil {
+			return err
+		}
+		out := rep.Outcome.(workload.ALSResult)
+		fmt.Printf("als: RMSE %.3f after %d jobs, %.1f virtual seconds\n", out.RMSE, rep.Jobs, rep.RunningTime)
+	case "tpch":
+		tp := workload.BuildTPCH(ctx, workload.TPCHConfig{})
+		loadT, err := tp.Load(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tpch: tables loaded in %.1f virtual seconds\n", loadT)
+		for q := 0; q < queries; q++ {
+			switch q % 3 {
+			case 0:
+				_, res, err := tp.Q3(f, q, "BUILDING", 1200)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("  Q3 → %.1f s\n", res.Latency())
+			case 1:
+				_, res, err := tp.Q1(f, q, 2000)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("  Q1 → %.1f s\n", res.Latency())
+			default:
+				_, res, err := tp.Q6(f, q, 365, 730, 0.02, 0.06, 25)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("  Q6 → %.1f s\n", res.Latency())
+			}
+			f.Clock.Advance(60) // think time
+		}
+	default:
+		return fmt.Errorf("unknown workload %q", wl)
+	}
+
+	cost := f.Cost()
+	hours := f.Clock.Now() / simclock.Hour
+	odRate := exch.Pool("on-demand").OnDemand
+	odCost := float64(nodes) * odRate * hours
+	fmt.Printf("cost: $%.4f compute + $%.4f storage = $%.4f total over %.2f h\n",
+		cost.Compute, cost.Storage, cost.Total, hours)
+	if odCost > 0 {
+		fmt.Printf("equivalent on-demand cost: $%.4f (savings %.0f%%)\n", odCost, 100*(1-cost.Total/odCost))
+	}
+	fmt.Printf("revocations: %d, replacements: %d, checkpoint tasks: %d\n",
+		f.Cluster.RevocationCount, f.Cluster.ReplacementCount, f.Engine.Metrics.CheckpointTasks)
+	return nil
+}

@@ -1,0 +1,111 @@
+// Command flintbench regenerates the tables and figures of the Flint
+// paper's evaluation (EuroSys 2016, §5) on the simulated substrates.
+//
+// Usage:
+//
+//	flintbench [flags] <experiment> [<experiment>...]
+//	flintbench all
+//
+// Experiments: fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 ablations
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-versus-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"flint/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor for the systems experiments")
+	runs := flag.Int("runs", 0, "Monte Carlo runs for the long-horizon studies (0 = default)")
+	markets := flag.Int("markets", 16, "market count for the correlation study")
+	csvDir := flag.String("csv", "", "also write each figure's series as CSV files into this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: flintbench [flags] <experiment>...\nexperiments: %v\n", names())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = names()
+	}
+	s := experiments.Scale(*scale)
+	for _, name := range args {
+		start := time.Now()
+		if err := run(os.Stdout, name, s, *runs, *markets, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "flintbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func names() []string {
+	return []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations"}
+}
+
+// csvWriter is satisfied by every FigNResult.
+type csvWriter interface {
+	WriteCSV(dir string) error
+}
+
+func export(csvDir string, res csvWriter, err error) error {
+	if err != nil || csvDir == "" {
+		return err
+	}
+	return res.WriteCSV(csvDir)
+}
+
+func run(w io.Writer, name string, s experiments.Scale, runs, markets int, csvDir string) error {
+	switch name {
+	case "fig2":
+		res, err := experiments.Fig2(w)
+		return export(csvDir, res, err)
+	case "fig3":
+		res, err := experiments.Fig3(w, s)
+		return export(csvDir, res, err)
+	case "fig4":
+		res, err := experiments.Fig4(w, markets)
+		return export(csvDir, res, err)
+	case "fig6":
+		res, err := experiments.Fig6(w, s)
+		return export(csvDir, res, err)
+	case "fig7":
+		res, err := experiments.Fig7(w, s)
+		return export(csvDir, res, err)
+	case "fig8":
+		res, err := experiments.Fig8(w, s)
+		return export(csvDir, res, err)
+	case "fig9":
+		res, err := experiments.Fig9(w, s)
+		return export(csvDir, res, err)
+	case "fig10":
+		res, err := experiments.Fig10(w, runs)
+		return export(csvDir, res, err)
+	case "fig11":
+		res, err := experiments.Fig11(w, runs)
+		return export(csvDir, res, err)
+	case "ablations":
+		if _, err := experiments.AblationFrontier(w, s); err != nil {
+			return err
+		}
+		if _, err := experiments.AblationShuffle(w, s); err != nil {
+			return err
+		}
+		experiments.AblationDiversification(w)
+		experiments.StorageOverhead(w)
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q (want one of %v)", name, names())
+}

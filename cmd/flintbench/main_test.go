@@ -1,0 +1,42 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestNamesCoverAllExperiments(t *testing.T) {
+	want := []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations"}
+	got := names()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v", got)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := run(io.Discard, "fig99", 1, 0, 8, "")
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunFastExperiments(t *testing.T) {
+	for _, name := range []string{"fig2", "fig4"} {
+		if err := run(io.Discard, name, 1, 2, 6, ""); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunWithCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(io.Discard, "fig2", 1, 2, 6, dir); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+// Command flintsh is an interactive shell over a Flint deployment — the
+// equivalent of the Spark shell / SQL console the paper's BIDI users
+// drive ("users interact with Flint via the command-line to submit,
+// monitor, and interact with their Spark programs", §4).
+//
+// It launches a simulated transient cluster, loads the TPC-H tables, and
+// accepts commands:
+//
+//	q1 [cutoff]          pricing-summary query
+//	q3 [segment] [date]  shipping-priority query
+//	q6                   revenue-forecast query
+//	revoke [n]           revoke n servers (default 1), with replacement
+//	nodes                list live servers and their markets
+//	markets              show the current market snapshot
+//	stats                session latency statistics
+//	cost                 cost report vs on-demand
+//	think <seconds>      advance virtual time
+//	help, exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"flint/internal/core"
+	"flint/internal/market"
+	"flint/internal/policy"
+	"flint/internal/rdd"
+	"flint/internal/simclock"
+	"flint/internal/stats"
+	"flint/internal/trace"
+	"flint/internal/webui"
+	"flint/internal/workload"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 10, "cluster size")
+		mode     = flag.String("mode", "interactive", "selection: batch | interactive | on-demand")
+		seed     = flag.Int64("seed", 1, "market seed")
+		httpAddr = flag.String("http", "", "serve the JSON monitoring UI on this address (e.g. :8080)")
+	)
+	flag.Parse()
+	if err := run(*nodes, *mode, *seed, *httpAddr); err != nil {
+		fmt.Fprintf(os.Stderr, "flintsh: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type shell struct {
+	f    *core.Flint
+	sess *core.Session
+	tp   *workload.TPCH
+	exch *market.Exchange
+	qid  int
+	lats []float64
+}
+
+func run(nodes int, mode string, seed int64, httpAddr string) error {
+	profiles := trace.PoolSet(12, seed)
+	exch, err := market.SpotExchange(profiles, seed+1, 24*7, 24*90, market.BillPerSecond)
+	if err != nil {
+		return err
+	}
+	spec := core.DefaultSpec()
+	spec.Cluster.Size = nodes
+	switch mode {
+	case "batch":
+		spec.Mode = core.ModeBatch
+	case "interactive":
+		spec.Mode = core.ModeInteractive
+	case "on-demand":
+		spec.Mode = core.ModeOnDemand
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	ctx := rdd.NewContext(2 * nodes)
+	f, err := core.Launch(exch, ctx, spec)
+	if err != nil {
+		return err
+	}
+	defer f.Stop()
+	sess, err := core.NewSession(f)
+	if err != nil {
+		return err
+	}
+
+	sh := &shell{f: f, sess: sess, exch: exch, qid: 1000}
+	if httpAddr != "" {
+		// Monitoring UI; queried between commands (the simulation only
+		// advances while a shell command runs).
+		go func() {
+			if err := http.ListenAndServe(httpAddr, webui.New(f, exch)); err != nil {
+				fmt.Fprintf(os.Stderr, "flintsh: http: %v\n", err)
+			}
+		}()
+		fmt.Printf("monitoring UI on http://%s/status\n", httpAddr)
+	}
+	fmt.Printf("flint shell — %d transient servers (%s mode). Loading TPC-H tables...\n", nodes, mode)
+	sh.tp = workload.BuildTPCH(ctx, workload.TPCHConfig{})
+	loadT, err := sh.tp.Load(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tables cached in %.1f virtual seconds. Type 'help' for commands.\n", loadT)
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("flint> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "exit" || line == "quit" {
+			break
+		}
+		if line != "" {
+			if err := sh.dispatch(line); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+		fmt.Print("flint> ")
+	}
+	return sc.Err()
+}
+
+func (sh *shell) dispatch(line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	sh.qid++
+	switch cmd {
+	case "help":
+		fmt.Println("q1 [cutoff] | q3 [segment] [date] | q6 | revoke [n] | nodes | markets | stats | cost | think <s> | exit")
+	case "q1":
+		cutoff := 2000
+		if len(args) > 0 {
+			cutoff = atoiOr(args[0], cutoff)
+		}
+		rows, res, err := sh.tp.Q1(sh.f, sh.qid, cutoff)
+		if err != nil {
+			return err
+		}
+		sh.record(res.Latency())
+		for _, r := range rows {
+			fmt.Printf("  %c%c  qty %10.0f  base %14.2f  count %6d\n", r.Flag, r.Status, r.SumQty, r.SumBase, r.Count)
+		}
+		fmt.Printf("  → %.1f virtual seconds\n", res.Latency())
+	case "q3":
+		segment, date := "BUILDING", 1200
+		if len(args) > 0 {
+			segment = strings.ToUpper(args[0])
+		}
+		if len(args) > 1 {
+			date = atoiOr(args[1], date)
+		}
+		rows, res, err := sh.tp.Q3(sh.f, sh.qid, segment, date)
+		if err != nil {
+			return err
+		}
+		sh.record(res.Latency())
+		for i, r := range rows {
+			if i >= 5 {
+				fmt.Printf("  ... %d more\n", len(rows)-5)
+				break
+			}
+			fmt.Printf("  order %6d  revenue %12.2f\n", r.OrderKey, r.Revenue)
+		}
+		fmt.Printf("  → %.1f virtual seconds\n", res.Latency())
+	case "q6":
+		total, res, err := sh.tp.Q6(sh.f, sh.qid, 365, 730, 0.02, 0.06, 25)
+		if err != nil {
+			return err
+		}
+		sh.record(res.Latency())
+		fmt.Printf("  forecast revenue %.2f  → %.1f virtual seconds\n", total, res.Latency())
+	case "revoke":
+		n := 1
+		if len(args) > 0 {
+			n = atoiOr(args[0], 1)
+		}
+		live := sh.f.Cluster.LiveNodes()
+		for i := 0; i < n && i < len(live); i++ {
+			if err := sh.f.Cluster.RevokeNow(live[i].ID, true); err != nil {
+				return err
+			}
+			fmt.Printf("  revoked node %d (%s)\n", live[i].ID, live[i].Pool)
+		}
+	case "nodes":
+		for _, n := range sh.f.Cluster.LiveNodes() {
+			fmt.Printf("  node %2d  %s\n", n.ID, n.Pool)
+		}
+		if p := sh.f.Cluster.PendingNodes(); len(p) > 0 {
+			fmt.Printf("  (%d replacements on the way)\n", len(p))
+		}
+	case "markets":
+		for _, mi := range policy.Snapshot(sh.exch, sh.f.Clock.Now(), policy.DefaultParams()) {
+			mttf := "  inf"
+			if !math.IsInf(mi.MTTF, 1) {
+				mttf = fmt.Sprintf("%5.0fh", mi.MTTF/simclock.Hour)
+			}
+			fmt.Printf("  %-28s %s  $%.4f/hr  E[T]/T %.3f\n", mi.Pool.Name, mttf, mi.AvgPrice, mi.Factor)
+		}
+	case "stats":
+		st := stats.Summarize(sh.lats)
+		if st.N == 0 {
+			fmt.Println("  no queries yet")
+			break
+		}
+		fmt.Printf("  %d queries: mean %.1fs  p95 %.1fs  max %.1fs  (consistency = max/mean %.1fx)\n",
+			st.N, st.Mean, st.P95, st.Max, st.Max/st.Mean)
+	case "cost":
+		c := sh.f.Cost()
+		hours := sh.f.Clock.Now() / simclock.Hour
+		od := sh.exch.Pool("on-demand").OnDemand * float64(len(sh.f.Cluster.LiveNodes())) * hours
+		fmt.Printf("  $%.4f total (compute $%.4f, storage $%.6f) over %.2f virtual hours\n", c.Total, c.Compute, c.Storage, hours)
+		if od > 0 {
+			fmt.Printf("  on-demand equivalent: $%.4f (savings %.0f%%)\n", od, 100*(1-c.Total/od))
+		}
+	case "think":
+		if len(args) == 0 {
+			return fmt.Errorf("think <seconds>")
+		}
+		s, err := strconv.ParseFloat(args[0], 64)
+		if err != nil || s < 0 {
+			return fmt.Errorf("bad duration %q", args[0])
+		}
+		sh.sess.Think(s)
+		fmt.Printf("  t = %.0f s\n", sh.f.Clock.Now())
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+	return nil
+}
+
+// record notes a query latency for the stats command.
+func (sh *shell) record(lat float64) {
+	sh.lats = append(sh.lats, lat)
+}
+
+func atoiOr(s string, def int) int {
+	if v, err := strconv.Atoi(s); err == nil {
+		return v
+	}
+	return def
+}

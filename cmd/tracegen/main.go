@@ -1,0 +1,131 @@
+// Command tracegen generates synthetic spot-price traces and reports
+// their policy-relevant statistics (MTTF-versus-bid, average price paid,
+// revocation counts), substituting for the EC2 price-history feeds the
+// paper analyzes.
+//
+// Usage:
+//
+//	tracegen -profile us-west-2c -hours 720 -out trace.csv
+//	tracegen -list
+//	tracegen -profile sa-east-1a -analyze
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"flint/internal/simclock"
+	"flint/internal/trace"
+)
+
+func main() {
+	var (
+		profileName = flag.String("profile", "us-west-2c", "market profile (see -list)")
+		hours       = flag.Float64("hours", 24*30, "trace duration in hours")
+		stepSec     = flag.Float64("step", 60, "sample interval in seconds")
+		seed        = flag.Int64("seed", 42, "generator seed")
+		out         = flag.String("out", "", "write CSV to this file (default: stdout if not analyzing)")
+		analyze     = flag.Bool("analyze", false, "print bid-sweep statistics instead of the trace")
+		list        = flag.Bool("list", false, "list available profiles")
+		importJSON  = flag.String("import", "", "analyze real AWS describe-spot-price-history JSON from this file instead of generating")
+	)
+	flag.Parse()
+
+	if *importJSON != "" {
+		if err := analyzeImport(*importJSON, *stepSec); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	profiles := map[string]trace.Profile{
+		"us-west-2c": trace.USWest2c(),
+		"eu-west-1c": trace.EUWest1c(),
+		"sa-east-1a": trace.SAEast1a(),
+	}
+	for _, p := range trace.BidStudyProfiles() {
+		profiles[p.Name] = p
+	}
+	if *list {
+		for name, p := range profiles {
+			fmt.Printf("%-14s on-demand $%.3f/hr, base %.0f%%, spikes 1/%.0f h\n",
+				name, p.OnDemand, 100*p.BaseFrac, 1/p.SpikesPerHour)
+		}
+		return
+	}
+	p, ok := profiles[*profileName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown profile %q (use -list)\n", *profileName)
+		os.Exit(2)
+	}
+	tr := p.Generate(*seed, *hours, *stepSec)
+
+	if *analyze {
+		fmt.Printf("profile %s: %d samples over %.0f h, mean price $%.4f/hr (on-demand $%.3f)\n",
+			p.Name, tr.Len(), *hours, tr.MeanPrice(), p.OnDemand)
+		fmt.Println("bid(xOD)   MTTF(h)   avg $/hr   revocations   uptime")
+		for _, ratio := range []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0} {
+			st := tr.AnalyzeBid(ratio * p.OnDemand)
+			mttf := st.MTTF / simclock.Hour
+			mttfStr := fmt.Sprintf("%9.1f", mttf)
+			if math.IsInf(mttf, 1) {
+				mttfStr = "      inf"
+			}
+			fmt.Printf("%7.2f %s   %8.4f   %11d   %5.1f%%\n",
+				ratio, mttfStr, st.AvgPrice, st.Revocations, 100*st.UpFraction)
+		}
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// analyzeImport loads real AWS spot-price-history JSON and prints each
+// market's statistics at an on-demand-style reference bid (its own
+// maximum observed price band is unknown, so the sweep is absolute).
+func analyzeImport(path string, stepSec float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	markets, err := trace.ImportSpotPriceHistory(f, stepSec)
+	if err != nil {
+		return err
+	}
+	for _, m := range markets {
+		tr := m.Trace
+		fmt.Printf("%s: %d samples over %.1f h from %s, mean $%.4f/hr\n",
+			m.Name(), tr.Len(), tr.Duration()/simclock.Hour, m.Start.Format("2006-01-02"), tr.MeanPrice())
+		fmt.Println("  bid($/hr)  MTTF(h)   avg $/hr   revocations   uptime")
+		base := tr.MeanPrice()
+		for _, mult := range []float64{1.5, 2, 4, 8, 16} {
+			bid := base * mult
+			st := tr.AnalyzeBid(bid)
+			mttf := st.MTTF / simclock.Hour
+			mttfStr := fmt.Sprintf("%8.1f", mttf)
+			if math.IsInf(mttf, 1) {
+				mttfStr = "     inf"
+			}
+			fmt.Printf("  %8.4f %s   %8.4f   %11d   %5.1f%%\n",
+				bid, mttfStr, st.AvgPrice, st.Revocations, 100*st.UpFraction)
+		}
+	}
+	return nil
+}

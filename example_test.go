@@ -1,0 +1,75 @@
+package flint_test
+
+import (
+	"fmt"
+
+	"flint"
+)
+
+// ExampleLaunch runs a tiny aggregation on a simulated transient cluster
+// end to end: build markets, launch, compute, read the bill.
+func ExampleLaunch() {
+	exch, err := flint.NewSpotExchange(flint.StandardEC2Profiles(), 1, 24*7, 24*30)
+	if err != nil {
+		panic(err)
+	}
+	ctx := flint.NewContext(8)
+	spec := flint.DefaultSpec()
+	spec.Cluster.Size = 4
+	cl, err := flint.Launch(exch, ctx, spec)
+	if err != nil {
+		panic(err)
+	}
+	defer cl.Stop()
+
+	nums := ctx.Parallelize("nums", 8, 8, func(part int) []flint.Row {
+		var rows []flint.Row
+		for i := part; i < 1000; i += 8 {
+			rows = append(rows, i)
+		}
+		return rows
+	})
+	evens := nums.Filter("evens", func(r flint.Row) bool { return r.(int)%2 == 0 })
+	n, err := cl.Count(evens)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(n, "even numbers")
+	// Output: 500 even numbers
+}
+
+// ExampleRDD_ReduceByKey shows the shuffle path: keyed aggregation across
+// partitions, collected at the driver.
+func ExampleRDD_ReduceByKey() {
+	exch, err := flint.NewSpotExchange(flint.StandardEC2Profiles(), 1, 24*7, 24*7)
+	if err != nil {
+		panic(err)
+	}
+	ctx := flint.NewContext(4)
+	spec := flint.DefaultSpec()
+	spec.Cluster.Size = 2
+	cl, err := flint.Launch(exch, ctx, spec)
+	if err != nil {
+		panic(err)
+	}
+	defer cl.Stop()
+
+	words := ctx.FromRows("words", 4, 16, []flint.Row{
+		flint.KV{K: "spot", V: 1}, flint.KV{K: "spot", V: 1},
+		flint.KV{K: "on-demand", V: 1}, flint.KV{K: "spot", V: 1},
+	})
+	counts := words.ReduceByKey("count", 2, func(a, b flint.Row) flint.Row {
+		return a.(int) + b.(int)
+	})
+	rows, err := cl.Collect(counts)
+	if err != nil {
+		panic(err)
+	}
+	byWord := map[string]int{}
+	for _, r := range rows {
+		kv := r.(flint.KV)
+		byWord[kv.K.(string)] = kv.V.(int)
+	}
+	fmt.Println("spot:", byWord["spot"], "on-demand:", byWord["on-demand"])
+	// Output: spot: 3 on-demand: 1
+}

@@ -1,0 +1,103 @@
+// Interactive TPC-H session on a diversified transient cluster: tables
+// are cached in memory, queries arrive with think time, the FT manager
+// checkpoints the cached tables in the background, and a revocation
+// mid-session barely dents response latency — the Figure 9 story as a
+// runnable program.
+//
+//	go run ./examples/interactive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flint"
+)
+
+func main() {
+	// Twelve spot markets: the interactive policy will pick several
+	// mutually uncorrelated ones and split the cluster across them.
+	exch, err := flint.NewSpotExchange(flint.PoolSet(12, 5), 23, 24*7, 24*30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := flint.NewContext(20)
+	spec := flint.DefaultSpec()
+	spec.Mode = flint.ModeInteractive
+	cl, err := flint.Launch(exch, ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Stop()
+
+	markets := map[string]int{}
+	for _, n := range cl.Cluster.LiveNodes() {
+		markets[n.Pool]++
+	}
+	fmt.Printf("diversified cluster across %d markets: %v\n", len(markets), markets)
+
+	// Load the database (the paper de-serializes, re-partitions and
+	// caches the tables once).
+	tp := flint.BuildTPCH(ctx, flint.TPCHConfig{
+		Customers: 300, OrdersPerCust: 8, LinesPerOrder: 4, Parts: 20, TargetBytes: 10 << 30,
+	})
+	loadT, err := tp.Load(cl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tables cached in %.1f virtual seconds\n", loadT)
+
+	// An analyst session: queries with think time. Midway, one server is
+	// revoked; with only 1/m of the cluster lost and checkpoints in the
+	// DFS, latency stays consistent.
+	queries := []struct {
+		name string
+		run  func(qid int) (float64, error)
+	}{
+		{"Q3 shipping priority", func(qid int) (float64, error) {
+			_, r, err := tp.Q3(cl, qid, "BUILDING", 1200)
+			return latencyOf(r), err
+		}},
+		{"Q1 pricing summary", func(qid int) (float64, error) {
+			_, r, err := tp.Q1(cl, qid, 2000)
+			return latencyOf(r), err
+		}},
+		{"Q6 revenue forecast", func(qid int) (float64, error) {
+			_, r, err := tp.Q6(cl, qid, 365, 730, 0.02, 0.06, 25)
+			return latencyOf(r), err
+		}},
+		{"Q3 (after revocation)", func(qid int) (float64, error) {
+			_, r, err := tp.Q3(cl, qid, "MACHINERY", 900)
+			return latencyOf(r), err
+		}},
+		{"Q1 (after revocation)", func(qid int) (float64, error) {
+			_, r, err := tp.Q1(cl, qid, 1500)
+			return latencyOf(r), err
+		}},
+	}
+	for i, q := range queries {
+		if i == 3 {
+			victim := cl.Cluster.LiveNodes()[0]
+			if err := cl.Cluster.RevokeNow(victim.ID, true); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("-- spot market revoked node %d (pool %s); session continues --\n", victim.ID, victim.Pool)
+		}
+		lat, err := q.run(100 + i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %6.1f s\n", q.name, lat)
+		cl.Clock.Advance(90) // analyst think time
+	}
+
+	cost := cl.Cost()
+	fmt.Printf("session cost so far: $%.4f (revocations handled: %d)\n", cost.Total, cl.Cluster.RevocationCount)
+}
+
+func latencyOf(r *flint.Result) float64 {
+	if r == nil {
+		return 0
+	}
+	return r.Latency()
+}

@@ -1,0 +1,71 @@
+// Market picker: watch Flint's two server-selection policies reason over
+// a set of simulated spot markets — the batch policy minimizing Eq. 2
+// expected cost in a single market, and the interactive policy greedily
+// diversifying across uncorrelated markets to shrink response-time
+// variance (Eq. 3/4).
+//
+//	go run ./examples/marketpicker
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"flint/internal/market"
+	"flint/internal/policy"
+	"flint/internal/simclock"
+	"flint/internal/trace"
+)
+
+func main() {
+	profiles := trace.PoolSet(14, 9)
+	exch, err := market.SpotExchange(profiles, 31, 24*14, 24, market.BillPerSecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := policy.DefaultParams()
+
+	fmt.Println("market snapshot (sorted by Eq. 2 expected cost):")
+	fmt.Println("  market                        MTTF     avg $/hr  E[T]/T   $/useful-hr")
+	for _, mi := range policy.Snapshot(exch, 0, params) {
+		mttf := "      inf"
+		if !math.IsInf(mi.MTTF, 1) {
+			mttf = fmt.Sprintf("%7.1f h", mi.MTTF/simclock.Hour)
+		}
+		spike := ""
+		if mi.Spiking {
+			spike = "  (price spiking — excluded)"
+		}
+		fmt.Printf("  %-28s %s  %8.4f  %6.3f  %10.4f%s\n",
+			mi.Pool.Name, mttf, mi.AvgPrice, mi.Factor, mi.CostRate, spike)
+	}
+
+	batch := policy.NewBatch(exch, params)
+	breqs := batch.Initial(0, 10)
+	fmt.Printf("\nbatch policy (one market, minimum expected cost):\n")
+	for _, r := range breqs {
+		fmt.Printf("  %d × %s at bid $%.4f (the on-demand price)\n", r.Count, r.Pool, r.Bid)
+	}
+	fmt.Printf("  cluster MTTF: %.1f h\n", batch.MTTF(0)/simclock.Hour)
+
+	inter := policy.NewInteractive(exch, params)
+	ireqs := inter.Initial(0, 10)
+	fmt.Printf("\ninteractive policy (diversified, variance-minimizing):\n")
+	for _, r := range ireqs {
+		fmt.Printf("  %d × %s at bid $%.4f\n", r.Count, r.Pool, r.Bid)
+	}
+	fmt.Printf("  aggregate cluster MTTF (Eq. 3): %.1f h — lower, but each revocation\n", inter.MTTF(0)/simclock.Hour)
+	fmt.Println("  event now takes only a fraction of the cluster")
+
+	// The variance argument, quantified.
+	sel := inter.SelectMarkets(0)
+	var mttfs []float64
+	for _, mi := range sel {
+		mttfs = append(mttfs, mi.MTTF)
+	}
+	one := policy.RuntimeVariance(simclock.Hour, 12, 120, mttfs[:1])
+	all := policy.RuntimeVariance(simclock.Hour, 12, 120, mttfs)
+	fmt.Printf("\nruntime stddev for a 1-hour job: %.0f s on one market → %.0f s across %d markets\n",
+		math.Sqrt(one), math.Sqrt(all), len(mttfs))
+}

@@ -1,0 +1,246 @@
+// Package flint is a batch-interactive data-processing framework for
+// transient cloud servers — a from-scratch Go reproduction of
+// "Flint: Batch-Interactive Data-Intensive Processing on Transient
+// Servers" (Sharma, Guo, He, Irwin, Shenoy; EuroSys 2016).
+//
+// Flint runs Spark-style RDD programs on clusters of revocable servers
+// (EC2 spot instances, GCE preemptible VMs) at near-on-demand performance
+// and near-spot cost, using two automated policies:
+//
+//   - Checkpointing: every τ = √(2·δ·MTTF), the RDDs at the frontier of
+//     the program's lineage graph are checkpointed to durable storage
+//     (shuffle RDDs more often, at τ/P), bounding recomputation after a
+//     revocation.
+//
+//   - Server selection: batch jobs run on the single spot market with
+//     the minimum expected cost (price × expected-runtime factor);
+//     interactive jobs diversify across mutually uncorrelated markets to
+//     trade a little cost for much lower response-time variance.
+//
+// Because real cloud APIs are unavailable offline, the cluster, the spot
+// markets and the distributed file system are simulated substrates: RDD
+// programs execute their user code for real, while time is charged on a
+// virtual clock from a calibrated cost model. See DESIGN.md for the
+// substitution table and internal/* for the subsystems.
+//
+// # Quick start
+//
+//	profiles := flint.StandardEC2Profiles()
+//	exch, _ := flint.NewSpotExchange(profiles, 1, 24*7, 24*30)
+//	ctx := flint.NewContext(16)
+//	cluster, _ := flint.Launch(exch, ctx, flint.DefaultSpec())
+//	defer cluster.Stop()
+//
+//	data := ctx.Parallelize("nums", 16, 8, func(part int) []flint.Row { ... })
+//	counts := data.Map(...).ReduceByKey(...)
+//	res, _ := cluster.RunJob(counts, flint.Collect)
+//
+// Runnable programs live under examples/; the experiment harness that
+// regenerates every figure of the paper lives in cmd/flintbench and
+// bench_test.go.
+package flint
+
+import (
+	"flint/internal/core"
+	"flint/internal/exec"
+	"flint/internal/market"
+	"flint/internal/rdd"
+	"flint/internal/stream"
+	"flint/internal/trace"
+	"flint/internal/workload"
+)
+
+// ---- RDD programming model ----
+
+// Core data-model types, re-exported from the engine packages.
+type (
+	// Context builds RDD lineage graphs.
+	Context = rdd.Context
+	// RDD is an immutable partitioned dataset.
+	RDD = rdd.RDD
+	// Row is one dataset element.
+	Row = rdd.Row
+	// KV is the key-value pair used by shuffle operators.
+	KV = rdd.KV
+	// JoinPair is the value emitted by RDD.Join.
+	JoinPair = rdd.JoinPair
+)
+
+// NewContext returns an RDD builder with the given default parallelism.
+func NewContext(defaultParts int) *Context { return rdd.NewContext(defaultParts) }
+
+// Actions.
+const (
+	// Collect ships all rows to the driver.
+	Collect = exec.ActionCollect
+	// Count ships only row counts.
+	Count = exec.ActionCount
+	// Materialize computes without returning rows.
+	Materialize = exec.ActionMaterialize
+)
+
+// Result is a finished job's outcome.
+type Result = exec.Result
+
+// ---- Markets ----
+
+// Market types, re-exported.
+type (
+	// Profile is the statistical shape of one synthetic spot market.
+	Profile = trace.Profile
+	// Preemptible is a GCE-style fixed-price transient server model.
+	Preemptible = trace.Preemptible
+	// Exchange is a collection of spot/preemptible/on-demand pools.
+	Exchange = market.Exchange
+	// Pool is one market.
+	Pool = market.Pool
+)
+
+// StandardEC2Profiles returns the three EC2 spot markets whose
+// availability the paper measures (Figure 2a).
+func StandardEC2Profiles() []Profile { return trace.StandardEC2Profiles() }
+
+// StandardGCEModels returns the three GCE preemptible machine types of
+// Figure 2b.
+func StandardGCEModels() []Preemptible { return trace.StandardGCEModels() }
+
+// PoolSet generates n synthetic spot markets spanning the calm-to-
+// volatile range the paper observes across EC2.
+func PoolSet(n int, seed int64) []Profile { return trace.PoolSet(n, seed) }
+
+// NewSpotExchange generates traces for the profiles (historyHours of
+// pre-roll before time 0, horizonHours of future) and wraps them in an
+// exchange with per-second billing and an on-demand pool.
+func NewSpotExchange(profiles []Profile, seed int64, historyHours, horizonHours float64) (*Exchange, error) {
+	return market.SpotExchange(profiles, seed, historyHours, horizonHours, market.BillPerSecond)
+}
+
+// NewPreemptibleExchange builds a GCE-style marketplace: fixed-price
+// preemptible pools with per-instance lifetimes capped at 24 hours, plus
+// an on-demand pool. Flint's policies apply unchanged (no bidding
+// required).
+func NewPreemptibleExchange(models []Preemptible, seed int64) (*Exchange, error) {
+	return market.PreemptibleExchange(models, market.BillPerSecond, seed)
+}
+
+// ---- Deployments ----
+
+// Deployment types, re-exported from the driver.
+type (
+	// Spec configures a deployment.
+	Spec = core.Spec
+	// Cluster is a running Flint deployment.
+	Cluster = core.Flint
+	// CostReport breaks down dollars spent.
+	CostReport = core.CostReport
+)
+
+// Selection modes.
+const (
+	// ModeBatch uses the single-market minimum-cost policy.
+	ModeBatch = core.ModeBatch
+	// ModeInteractive diversifies across uncorrelated markets.
+	ModeInteractive = core.ModeInteractive
+	// ModeOnDemand uses non-revocable servers.
+	ModeOnDemand = core.ModeOnDemand
+	// ModeCustom uses Spec.Selector.
+	ModeCustom = core.ModeCustom
+)
+
+// Checkpointing modes.
+const (
+	// CkptFlint is the adaptive frontier policy.
+	CkptFlint = core.CkptFlint
+	// CkptNone disables checkpointing.
+	CkptNone = core.CkptNone
+	// CkptSystemLevel is the full-node-image baseline.
+	CkptSystemLevel = core.CkptSystemLevel
+	// CkptFixed checkpoints at a fixed period.
+	CkptFixed = core.CkptFixed
+)
+
+// DefaultSpec returns the paper's experimental configuration: a 10-node
+// batch cluster with adaptive checkpointing and checkpoint GC.
+func DefaultSpec() Spec { return core.DefaultSpec() }
+
+// Session is an interactive query session over a deployment, recording
+// per-query response latencies (the quantity the interactive policy's
+// variance model optimizes).
+type Session = core.Session
+
+// NewSession starts an interactive session on a running deployment.
+func NewSession(cl *Cluster) (*Session, error) { return core.NewSession(cl) }
+
+// ---- Streaming ----
+
+// Streaming types, re-exported from the micro-batch layer.
+type (
+	// StreamConfig shapes a streaming context.
+	StreamConfig = stream.Config
+	// StreamContext drives discretized streams over a deployment.
+	StreamContext = stream.Context
+	// DStream is a discretized stream (one RDD per batch interval).
+	DStream = stream.DStream
+	// StatefulStream carries per-key state across batches.
+	StatefulStream = stream.StatefulStream
+	// BatchStat records one processed micro-batch.
+	BatchStat = stream.BatchStat
+)
+
+// NewStreamContext builds a streaming context on a deployment, sharing
+// its RDD context so stream state participates in checkpoint marking and
+// garbage collection.
+func NewStreamContext(cl *Cluster, ctx *Context, cfg StreamConfig) (*StreamContext, error) {
+	return stream.NewContext(cl, cl.Clock, ctx, cfg)
+}
+
+// Launch assembles and starts a deployment.
+func Launch(exch *Exchange, ctx *Context, spec Spec) (*Cluster, error) {
+	return core.Launch(exch, ctx, spec)
+}
+
+// ---- Workloads ----
+
+// The paper's evaluation workloads, re-exported for examples and
+// downstream benchmarking.
+type (
+	// PageRankConfig sizes the PageRank workload.
+	PageRankConfig = workload.PageRankConfig
+	// KMeansConfig sizes the KMeans workload.
+	KMeansConfig = workload.KMeansConfig
+	// ALSConfig sizes the ALS workload.
+	ALSConfig = workload.ALSConfig
+	// TPCHConfig sizes the TPC-H-style dataset.
+	TPCHConfig = workload.TPCHConfig
+	// TPCH bundles the cached TPC-H tables and queries.
+	TPCH = workload.TPCH
+	// WordCountConfig sizes the quickstart wordcount.
+	WordCountConfig = workload.WordCountConfig
+	// WorkloadReport is the common workload result.
+	WorkloadReport = workload.Report
+)
+
+// RunPageRank executes PageRank on a cluster.
+func RunPageRank(cl *Cluster, ctx *Context, cfg PageRankConfig) (*WorkloadReport, error) {
+	return workload.RunPageRank(cl, ctx, cfg)
+}
+
+// RunKMeans executes KMeans clustering on a cluster.
+func RunKMeans(cl *Cluster, ctx *Context, cfg KMeansConfig) (*WorkloadReport, error) {
+	return workload.RunKMeans(cl, ctx, cfg)
+}
+
+// RunALS executes alternating least squares on a cluster.
+func RunALS(cl *Cluster, ctx *Context, cfg ALSConfig) (*WorkloadReport, error) {
+	return workload.RunALS(cl, ctx, cfg)
+}
+
+// BuildTPCH constructs the cached TPC-H tables.
+func BuildTPCH(ctx *Context, cfg TPCHConfig) *TPCH {
+	return workload.BuildTPCH(ctx, cfg)
+}
+
+// RunWordCount executes the quickstart wordcount.
+func RunWordCount(cl *Cluster, ctx *Context, cfg WordCountConfig) (map[string]int, *Result, error) {
+	return workload.RunWordCount(cl, ctx, cfg)
+}

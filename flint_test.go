@@ -1,0 +1,88 @@
+package flint_test
+
+import (
+	"testing"
+
+	"flint"
+)
+
+// The facade test doubles as the README quickstart: build markets, launch
+// a cluster, run a program, read the bill.
+func TestPublicAPIQuickstart(t *testing.T) {
+	exch, err := flint.NewSpotExchange(flint.StandardEC2Profiles(), 1, 24*7, 24*30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := flint.NewContext(8)
+	spec := flint.DefaultSpec()
+	spec.Cluster.Size = 5
+	cl, err := flint.Launch(exch, ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	nums := ctx.Parallelize("nums", 8, 8, func(part int) []flint.Row {
+		var out []flint.Row
+		for i := part; i < 1000; i += 8 {
+			out = append(out, i)
+		}
+		return out
+	})
+	sums := nums.
+		Map("kv", func(r flint.Row) flint.Row { return flint.KV{K: r.(int) % 7, V: r.(int)} }).
+		ReduceByKey("sum", 4, func(a, b flint.Row) flint.Row { return a.(int) + b.(int) })
+	res, err := cl.RunJob(sums, flint.Collect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("keys = %d, want 7", len(res.Rows))
+	}
+	total := 0
+	for _, r := range res.Rows {
+		total += r.(flint.KV).V.(int)
+	}
+	if total != 999*1000/2 {
+		t.Fatalf("sum = %d", total)
+	}
+	if cost := cl.Cost(); cost.Total <= 0 {
+		t.Errorf("cost = %+v", cost)
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	exch, err := flint.NewSpotExchange(flint.PoolSet(6, 2), 3, 24*7, 24*7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := flint.NewContext(8)
+	spec := flint.DefaultSpec()
+	spec.Cluster.Size = 4
+	spec.Mode = flint.ModeInteractive
+	cl, err := flint.Launch(exch, ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	counts, _, err := flint.RunWordCount(cl, ctx, flint.WordCountConfig{Docs: 50, WordsPerDoc: 10, Vocab: 20, Parts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) == 0 {
+		t.Fatal("no counts")
+	}
+
+	tp := flint.BuildTPCH(ctx, flint.TPCHConfig{Customers: 50, OrdersPerCust: 4, LinesPerOrder: 2, Parts: 4, TargetBytes: 64 << 20})
+	if _, err := tp.Load(cl); err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := tp.Q1(cl, 1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("Q1 empty")
+	}
+}

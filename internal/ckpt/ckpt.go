@@ -1,0 +1,398 @@
+// Package ckpt implements Flint's fault-tolerance manager: the automated
+// checkpointing policies of §3.1.1 and §3.2.1 of the paper.
+//
+// The manager adapts the classic single-node optimal checkpoint interval
+// (Daly/Young) to a lineage-based data-parallel engine:
+//
+//	τ = √(2 · δ · MTTF)
+//
+// where δ is the (dynamically re-estimated) time to write the current
+// lineage frontier to the checkpoint store and MTTF is the cluster's mean
+// time to revocation, obtained from the server-selection policy. Every τ,
+// the RDDs at the frontier of the lineage graph — in the implementation,
+// the output RDDs of the currently active stages, exactly as in the
+// paper's §4 ("marks the first RDD in the queue from each active stage
+// after the timer expires") — are marked; the engine then checkpoints
+// each of their partitions as it materializes. Shuffle RDDs, whose loss
+// forces wide recomputation, are checkpointed more frequently, at τ/P
+// where P is the number of partitions being shuffled from.
+//
+// The manager also garbage-collects checkpoints that have become
+// unreachable: once a younger RDD is fully checkpointed, its ancestors'
+// checkpoints can never be read again and are deleted (§4 "Checkpoint
+// Garbage Collection").
+package ckpt
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"flint/internal/dfs"
+	"flint/internal/rdd"
+	"flint/internal/simclock"
+)
+
+// OptimalInterval returns the first-order optimal checkpoint interval
+// τ = √(2·δ·mttf) [Daly 2006], in seconds. It returns +Inf when the MTTF
+// is infinite (non-revocable servers need no checkpoints) and 0 when
+// δ ≥ MTTF, the regime the paper flags as unable to make progress.
+func OptimalInterval(delta, mttf float64) float64 {
+	if math.IsInf(mttf, 1) {
+		return math.Inf(1)
+	}
+	if delta <= 0 {
+		delta = 1
+	}
+	if mttf <= delta {
+		return 0
+	}
+	return math.Sqrt(2 * delta * mttf)
+}
+
+// Config parameterizes the manager.
+type Config struct {
+	// MTTF returns the cluster's aggregate mean time to failure (seconds)
+	// at a given virtual time. For a single-market batch cluster this is
+	// the market's MTTF; for an interactive mixed cluster it is the
+	// failure-rate sum of Eq. 3. Required.
+	MTTF func(now float64) float64
+	// Nodes returns the current cluster size (for δ estimation). Required.
+	Nodes func() int
+	// NodeMemBytes is the per-node RDD storage capacity used for the
+	// paper's conservative initial δ estimate ("assuming that all memory
+	// is in use by active RDD partitions that must be checkpointed").
+	NodeMemBytes int64
+	// FixedInterval, when positive, disables the adaptive τ and
+	// checkpoints at this fixed period instead (an ablation baseline).
+	FixedInterval float64
+	// DisableShuffleBoost turns off the τ/P rule for shuffle RDDs
+	// (ablation).
+	DisableShuffleBoost bool
+	// GC enables checkpoint garbage collection. Requires Ctx.
+	GC bool
+	// Ctx is the RDD context whose lineage the GC walks.
+	Ctx *rdd.Context
+}
+
+// Manager implements exec.CheckpointPolicy.
+type Manager struct {
+	clock *simclock.Clock
+	store *dfs.Store
+	cfg   Config
+
+	delta float64 // current checkpoint-time estimate (seconds)
+
+	marked   map[int]bool         // RDD ID -> checkpoint every partition
+	active   map[int]*rdd.RDD     // active stage outputs by RDD ID
+	done     map[int]map[int]bool // RDD ID -> set of checkpointed partitions
+	fullCkpt map[int]*rdd.RDD     // fully checkpointed RDDs
+	rddBytes map[int]int64        // observed checkpoint bytes per RDD
+
+	lastFrontierMark float64
+	lastShuffleMark  float64
+	tickArmed        bool
+	// armed implements the paper's signalling semantics: "Flint signals
+	// that a checkpoint is due every interval τ. After signaling, each
+	// new RDD generated at the frontier of its lineage graph is marked
+	// for checkpointing" — the signal stays up until a marked RDD
+	// finishes checkpointing, so every stage that activates inside the
+	// window is covered, not just the first.
+	armed bool
+
+	// Metrics.
+	MarkEvents    int
+	RDDsCompleted int
+	GCRemoved     int
+	DeltaUpdates  int
+}
+
+// NewManager builds the fault-tolerance manager.
+func NewManager(clock *simclock.Clock, store *dfs.Store, cfg Config) (*Manager, error) {
+	if cfg.MTTF == nil {
+		return nil, errors.New("ckpt: Config.MTTF is required")
+	}
+	if cfg.Nodes == nil {
+		return nil, errors.New("ckpt: Config.Nodes is required")
+	}
+	if cfg.GC && cfg.Ctx == nil {
+		return nil, errors.New("ckpt: GC requires Config.Ctx")
+	}
+	if cfg.NodeMemBytes <= 0 {
+		cfg.NodeMemBytes = 6 << 30
+	}
+	m := &Manager{
+		clock: clock, store: store, cfg: cfg,
+		marked: make(map[int]bool), active: make(map[int]*rdd.RDD),
+		done: make(map[int]map[int]bool), fullCkpt: make(map[int]*rdd.RDD),
+		rddBytes: make(map[int]int64),
+	}
+	// Paper §3.1.2: conservative initial δ assumes a full node memory of
+	// active partitions, written in parallel by every node.
+	m.delta = store.WriteTime(cfg.NodeMemBytes)
+	return m, nil
+}
+
+// Delta returns the current checkpoint-time estimate δ in seconds.
+func (m *Manager) Delta() float64 { return m.delta }
+
+// Tau returns the current checkpoint interval τ in seconds.
+func (m *Manager) Tau() float64 {
+	if m.cfg.FixedInterval > 0 {
+		return m.cfg.FixedInterval
+	}
+	return OptimalInterval(m.delta, m.cfg.MTTF(m.clock.Now()))
+}
+
+// ShouldCheckpoint reports whether partitions of r should be written. It
+// is consulted by the engine whenever a partition materializes.
+func (m *Manager) ShouldCheckpoint(r *rdd.RDD, now float64) bool {
+	return m.marked[r.ID]
+}
+
+// NotifyStageActive records that the engine started computing r and
+// applies the marking rules.
+func (m *Manager) NotifyStageActive(r *rdd.RDD, now float64) {
+	m.active[r.ID] = r
+	m.maybeMark(now)
+	m.armTick(now)
+}
+
+// NotifyStageDone removes r from the active set.
+func (m *Manager) NotifyStageDone(r *rdd.RDD, now float64) {
+	delete(m.active, r.ID)
+}
+
+// maybeMark applies the paper's two marking rules against the active
+// stage set: the frontier rule every τ, and the shuffle rule every
+// τ/P for shuffle RDDs.
+func (m *Manager) maybeMark(now float64) {
+	tau := m.Tau()
+	if math.IsInf(tau, 1) {
+		return // non-revocable cluster: never checkpoint
+	}
+	if tau <= 0 {
+		// MTTF below δ: checkpoint continuously; forward progress is not
+		// guaranteed (paper §3.1.1) but we still try.
+		tau = m.delta
+	}
+	actives := m.sortedActive()
+	if !m.armed && now-m.lastFrontierMark >= tau {
+		m.armed = true
+		m.lastFrontierMark = now
+		m.lastShuffleMark = now
+	}
+	if m.armed {
+		for _, r := range actives {
+			if m.fullCkpt[r.ID] == nil && !m.marked[r.ID] {
+				m.marked[r.ID] = true
+				m.MarkEvents++
+			}
+			// Also mark cached ancestors that are not yet durable: the
+			// long-lived in-memory state (e.g. a PageRank link table or a
+			// SQL server's cached tables) is exactly what recovery needs,
+			// and the engine can write it straight from the cache.
+			for _, a := range rdd.Ancestors(r) {
+				if a.Cached && m.fullCkpt[a.ID] == nil && !m.marked[a.ID] {
+					m.marked[a.ID] = true
+					m.MarkEvents++
+				}
+			}
+		}
+		return
+	}
+	if m.cfg.DisableShuffleBoost {
+		return
+	}
+	for _, r := range actives {
+		for _, t := range pipelineCheckpointTargets(r) {
+			if m.marked[t.r.ID] || m.fullCkpt[t.r.ID] != nil {
+				continue
+			}
+			if now-m.lastShuffleMark >= tau/float64(t.fan) {
+				m.marked[t.r.ID] = true
+				m.lastShuffleMark = now
+				m.MarkEvents++
+			}
+		}
+	}
+}
+
+// ckptTarget is a shuffle-rule candidate: an RDD worth checkpointing at
+// the boosted τ/fan interval.
+type ckptTarget struct {
+	r   *rdd.RDD
+	fan int
+}
+
+// pipelineCheckpointTargets returns the τ/P candidates inside the
+// pipelined stage that computes r. The engine pipelines narrow chains
+// into one stage, so the "shuffle RDDs" the paper's rule targets are
+// usually interior to the active stage rather than its output. The walk
+// stops at the nearest shuffle RDD — or at a cached RDD, which is the
+// materialized form of the shuffle output that recovery would actually
+// read (e.g. PageRank's grouped link table).
+func pipelineCheckpointTargets(r *rdd.RDD) []ckptTarget {
+	var out []ckptTarget
+	seen := map[int]bool{}
+	var walk func(*rdd.RDD)
+	walk = func(x *rdd.RDD) {
+		if seen[x.ID] {
+			return
+		}
+		seen[x.ID] = true
+		if x.IsShuffle() || x.Cached {
+			out = append(out, ckptTarget{r: x, fan: nearestShuffleFan(x)})
+			return // deeper shuffles belong to parent stages
+		}
+		for _, d := range x.Deps {
+			if nd, ok := d.(*rdd.NarrowDep); ok {
+				walk(nd.P)
+			}
+		}
+	}
+	walk(r)
+	return out
+}
+
+// nearestShuffleFan returns the shuffle fan-in governing x's τ/P boost:
+// x's own if it is a shuffle RDD, else that of the nearest shuffle
+// beneath its narrow chain, else 1 (no boost).
+func nearestShuffleFan(x *rdd.RDD) int {
+	if f := x.ShuffleFanIn(); f > 0 {
+		return f
+	}
+	best := 1
+	for _, d := range x.Deps {
+		if nd, ok := d.(*rdd.NarrowDep); ok {
+			if f := nearestShuffleFan(nd.P); f > best {
+				best = f
+			}
+		}
+	}
+	return best
+}
+
+// sortedActive returns the active stage outputs in RDD-ID order so that
+// marking decisions are deterministic.
+func (m *Manager) sortedActive() []*rdd.RDD {
+	ids := make([]int, 0, len(m.active))
+	for id := range m.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*rdd.RDD, len(ids))
+	for i, id := range ids {
+		out[i] = m.active[id]
+	}
+	return out
+}
+
+// armTick schedules the periodic re-evaluation of the marking rules while
+// stages are active, so long-running stages are still checkpointed on
+// schedule.
+func (m *Manager) armTick(now float64) {
+	if m.tickArmed {
+		return
+	}
+	tau := m.Tau()
+	if math.IsInf(tau, 1) {
+		return
+	}
+	period := tau / 8
+	if period < 1 {
+		period = 1
+	}
+	if period > simclock.Hour {
+		period = simclock.Hour
+	}
+	m.tickArmed = true
+	m.clock.After(period, m.tick)
+}
+
+func (m *Manager) tick() {
+	m.tickArmed = false
+	if len(m.active) == 0 {
+		return
+	}
+	m.maybeMark(m.clock.Now())
+	m.armTick(m.clock.Now())
+}
+
+// NotifyCheckpointDone records one partition write. When every partition
+// of an RDD is stored, the manager refreshes δ from the observed volume,
+// unmarks the RDD, and runs garbage collection.
+func (m *Manager) NotifyCheckpointDone(r *rdd.RDD, part int, bytes int64, wrote float64, now float64) {
+	parts := m.done[r.ID]
+	if parts == nil {
+		parts = make(map[int]bool)
+		m.done[r.ID] = parts
+	}
+	if parts[part] {
+		return
+	}
+	parts[part] = true
+	m.rddBytes[r.ID] += bytes
+	if len(parts) < r.NumParts {
+		return
+	}
+	// Fully checkpointed: lower the signal ("once each RDD at the
+	// frontier ... has been checkpointed, Flint will not checkpoint any
+	// subsequent RDDs derived from them until the next interval τ").
+	m.armed = false
+	m.fullCkpt[r.ID] = r
+	delete(m.marked, r.ID)
+	m.RDDsCompleted++
+	m.updateDelta(m.rddBytes[r.ID])
+	if m.cfg.GC {
+		m.gc(now)
+	}
+}
+
+// updateDelta refreshes δ: the time to write an RDD of this size with all
+// nodes writing in parallel (the paper's dynamic δ estimate). An EWMA
+// smooths workload phases with differently sized frontiers.
+func (m *Manager) updateDelta(totalBytes int64) {
+	n := m.cfg.Nodes()
+	if n < 1 {
+		n = 1
+	}
+	obs := m.store.WriteTime(totalBytes / int64(n))
+	if obs <= 0 {
+		return
+	}
+	m.delta = 0.5*m.delta + 0.5*obs
+	m.DeltaUpdates++
+}
+
+// gc deletes checkpoints that can no longer be read: an RDD's checkpoint
+// is garbage once it is not reachable from a GC root when traversal is
+// cut at fully checkpointed descendants. Roots are the current lineage
+// frontier plus every cached RDD — cached datasets are live references
+// the program will derive future work from (a SQL server's tables, an
+// iterative job's link table), so their checkpoints must survive even
+// when a younger derived RDD has been checkpointed.
+func (m *Manager) gc(now float64) {
+	roots := rdd.Frontier(m.cfg.Ctx.All())
+	for _, r := range m.cfg.Ctx.All() {
+		if r.Cached {
+			roots = append(roots, r)
+		}
+	}
+	reachable := rdd.ReachableFrom(roots, func(r *rdd.RDD) bool {
+		return m.fullCkpt[r.ID] != nil
+	})
+	for id := range m.fullCkpt {
+		if !reachable[id] {
+			m.store.DeletePrefix(dfs.RDDPrefix(id), now)
+			delete(m.fullCkpt, id)
+			delete(m.done, id)
+			delete(m.rddBytes, id)
+			m.GCRemoved++
+		}
+	}
+}
+
+// CheckpointedRDDs returns the number of fully checkpointed RDDs
+// currently retained.
+func (m *Manager) CheckpointedRDDs() int { return len(m.fullCkpt) }

@@ -1,0 +1,378 @@
+package ckpt
+
+import (
+	"math"
+	"testing"
+
+	"flint/internal/dfs"
+	"flint/internal/exec"
+	"flint/internal/rdd"
+	"flint/internal/simclock"
+)
+
+func TestOptimalInterval(t *testing.T) {
+	// τ = √(2·δ·MTTF): δ=12 s, MTTF=50 h → √(2·12·180000) ≈ 2078 s.
+	got := OptimalInterval(12, simclock.Hours(50))
+	if math.Abs(got-2078.46) > 1 {
+		t.Errorf("tau = %v, want ≈ 2078", got)
+	}
+	if !math.IsInf(OptimalInterval(12, math.Inf(1)), 1) {
+		t.Error("infinite MTTF must give infinite tau")
+	}
+	if OptimalInterval(100, 50) != 0 {
+		t.Error("MTTF below delta must give tau 0")
+	}
+	// Zero delta falls back to a 1-second write.
+	if OptimalInterval(0, 10000) <= 0 {
+		t.Error("zero delta should still produce a usable tau")
+	}
+}
+
+func TestOptimalIntervalMonotonicity(t *testing.T) {
+	// Higher MTTF → longer interval; higher delta → longer interval.
+	prev := 0.0
+	for _, mttfH := range []float64{1, 5, 20, 50, 700} {
+		tau := OptimalInterval(10, simclock.Hours(mttfH))
+		if tau <= prev {
+			t.Fatalf("tau not increasing in MTTF: %v after %v", tau, prev)
+		}
+		prev = tau
+	}
+}
+
+func mgrConfig(mttf float64, nodes int) Config {
+	return Config{
+		MTTF:         func(now float64) float64 { return mttf },
+		Nodes:        func() int { return nodes },
+		NodeMemBytes: 1 << 30,
+	}
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	clk := simclock.New()
+	store := dfs.New(dfs.DefaultConfig())
+	if _, err := NewManager(clk, store, Config{Nodes: func() int { return 1 }}); err == nil {
+		t.Error("missing MTTF should error")
+	}
+	if _, err := NewManager(clk, store, Config{MTTF: func(float64) float64 { return 1 }}); err == nil {
+		t.Error("missing Nodes should error")
+	}
+	cfg := mgrConfig(simclock.Hours(50), 10)
+	cfg.GC = true
+	if _, err := NewManager(clk, store, cfg); err == nil {
+		t.Error("GC without Ctx should error")
+	}
+}
+
+func TestInitialDeltaFromNodeMemory(t *testing.T) {
+	clk := simclock.New()
+	store := dfs.New(dfs.DefaultConfig())
+	m, err := NewManager(clk, store, mgrConfig(simclock.Hours(50), 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := store.WriteTime(1 << 30)
+	if math.Abs(m.Delta()-want) > 1e-9 {
+		t.Errorf("initial delta = %v, want %v", m.Delta(), want)
+	}
+	if m.Tau() <= 0 || math.IsInf(m.Tau(), 1) {
+		t.Errorf("tau = %v", m.Tau())
+	}
+}
+
+func TestMarkingWaitsForTau(t *testing.T) {
+	clk := simclock.New()
+	store := dfs.New(dfs.DefaultConfig())
+	m, _ := NewManager(clk, store, mgrConfig(simclock.Hours(50), 10))
+	c := rdd.NewContext(2)
+	r := c.Parallelize("r", 2, 8, func(part int) []rdd.Row { return nil })
+
+	// Stage activates at t=0: no marking yet (τ has not elapsed).
+	m.NotifyStageActive(r, 0)
+	if m.ShouldCheckpoint(r, 0) {
+		t.Fatal("marked before tau elapsed")
+	}
+	// Re-activation after τ must mark.
+	tau := m.Tau()
+	clk.RunUntil(tau + 1)
+	m.NotifyStageActive(r, clk.Now())
+	if !m.ShouldCheckpoint(r, clk.Now()) {
+		t.Fatal("not marked after tau elapsed")
+	}
+}
+
+func TestTickMarksLongRunningStage(t *testing.T) {
+	clk := simclock.New()
+	store := dfs.New(dfs.DefaultConfig())
+	m, _ := NewManager(clk, store, mgrConfig(simclock.Hours(50), 10))
+	c := rdd.NewContext(2)
+	r := c.Parallelize("r", 2, 8, func(part int) []rdd.Row { return nil })
+	m.NotifyStageActive(r, 0)
+	// Without further activations, periodic ticks must eventually mark.
+	clk.RunUntil(m.Tau() * 2)
+	if !m.ShouldCheckpoint(r, clk.Now()) {
+		t.Fatal("tick did not mark a long-running stage")
+	}
+	if m.MarkEvents == 0 {
+		t.Error("no mark events recorded")
+	}
+}
+
+func TestShuffleRDDMarkedMoreFrequently(t *testing.T) {
+	clk := simclock.New()
+	store := dfs.New(dfs.DefaultConfig())
+	m, _ := NewManager(clk, store, mgrConfig(simclock.Hours(50), 10))
+	c := rdd.NewContext(16)
+	src := c.Parallelize("src", 16, 8, func(part int) []rdd.Row { return nil })
+	kv := src.Map("kv", func(x rdd.Row) rdd.Row { return rdd.KV{K: 1, V: x} })
+	shuf := kv.ReduceByKey("red", 16, func(a, b rdd.Row) rdd.Row { return a })
+
+	tau := m.Tau()
+	boost := tau / float64(shuf.ShuffleFanIn())
+	// Activate the shuffle stage at a time before τ but after τ/P.
+	at := boost + 1
+	clk.RunUntil(at)
+	m.NotifyStageActive(shuf, at)
+	if !m.ShouldCheckpoint(shuf, at) {
+		t.Fatal("shuffle RDD not marked at tau/P")
+	}
+	// A narrow RDD at the same time would not be marked.
+	m2, _ := NewManager(simclock.New(), store, mgrConfig(simclock.Hours(50), 10))
+	m2.NotifyStageActive(kv, at)
+	if m2.ShouldCheckpoint(kv, at) {
+		t.Fatal("narrow RDD marked before tau")
+	}
+}
+
+func TestDisableShuffleBoost(t *testing.T) {
+	clk := simclock.New()
+	store := dfs.New(dfs.DefaultConfig())
+	cfg := mgrConfig(simclock.Hours(50), 10)
+	cfg.DisableShuffleBoost = true
+	m, _ := NewManager(clk, store, cfg)
+	c := rdd.NewContext(16)
+	kv := c.Parallelize("src", 16, 8, func(part int) []rdd.Row { return nil }).
+		Map("kv", func(x rdd.Row) rdd.Row { return rdd.KV{K: 1, V: x} })
+	shuf := kv.ReduceByKey("red", 16, func(a, b rdd.Row) rdd.Row { return a })
+	at := m.Tau() / float64(shuf.ShuffleFanIn())
+	clk.RunUntil(at + 1)
+	m.NotifyStageActive(shuf, clk.Now())
+	if m.ShouldCheckpoint(shuf, clk.Now()) {
+		t.Fatal("shuffle boost applied despite being disabled")
+	}
+}
+
+func TestInfiniteMTTFNeverCheckpoints(t *testing.T) {
+	clk := simclock.New()
+	store := dfs.New(dfs.DefaultConfig())
+	m, _ := NewManager(clk, store, mgrConfig(math.Inf(1), 10))
+	c := rdd.NewContext(2)
+	r := c.Parallelize("r", 2, 8, func(part int) []rdd.Row { return nil })
+	m.NotifyStageActive(r, 0)
+	clk.RunUntil(simclock.Hours(1000))
+	m.NotifyStageActive(r, clk.Now())
+	if m.ShouldCheckpoint(r, clk.Now()) {
+		t.Fatal("on-demand cluster must never checkpoint")
+	}
+	if !math.IsInf(m.Tau(), 1) {
+		t.Errorf("tau = %v", m.Tau())
+	}
+}
+
+func TestFixedIntervalOverride(t *testing.T) {
+	clk := simclock.New()
+	store := dfs.New(dfs.DefaultConfig())
+	cfg := mgrConfig(simclock.Hours(50), 10)
+	cfg.FixedInterval = 300
+	m, _ := NewManager(clk, store, cfg)
+	if m.Tau() != 300 {
+		t.Fatalf("fixed tau = %v, want 300", m.Tau())
+	}
+}
+
+func TestDeltaUpdatesAfterFullCheckpoint(t *testing.T) {
+	clk := simclock.New()
+	store := dfs.New(dfs.DefaultConfig())
+	m, _ := NewManager(clk, store, mgrConfig(simclock.Hours(50), 10))
+	c := rdd.NewContext(2)
+	r := c.Parallelize("r", 2, 8, func(part int) []rdd.Row { return nil })
+	d0 := m.Delta()
+	m.NotifyCheckpointDone(r, 0, 512<<20, 5, 10)
+	if m.Delta() != d0 {
+		t.Fatal("delta updated before the RDD fully checkpointed")
+	}
+	m.NotifyCheckpointDone(r, 1, 512<<20, 5, 12)
+	if m.Delta() == d0 {
+		t.Fatal("delta not updated after full checkpoint")
+	}
+	// 1 GB over 10 nodes = 102 MB/node → new obs is small, EWMA drops δ.
+	if m.Delta() >= d0 {
+		t.Errorf("delta should shrink: %v -> %v", d0, m.Delta())
+	}
+	if m.RDDsCompleted != 1 || m.DeltaUpdates != 1 {
+		t.Errorf("counters: %d/%d", m.RDDsCompleted, m.DeltaUpdates)
+	}
+	// Duplicate notification is idempotent.
+	m.NotifyCheckpointDone(r, 1, 512<<20, 5, 13)
+	if m.RDDsCompleted != 1 {
+		t.Error("duplicate partition notification double-counted")
+	}
+}
+
+func TestMarkedClearedAfterFullCheckpoint(t *testing.T) {
+	clk := simclock.New()
+	store := dfs.New(dfs.DefaultConfig())
+	m, _ := NewManager(clk, store, mgrConfig(simclock.Hours(50), 10))
+	c := rdd.NewContext(1)
+	r := c.Parallelize("r", 1, 8, func(part int) []rdd.Row { return nil })
+	clk.RunUntil(m.Tau() + 1)
+	m.NotifyStageActive(r, clk.Now())
+	if !m.ShouldCheckpoint(r, clk.Now()) {
+		t.Fatal("setup: not marked")
+	}
+	m.NotifyCheckpointDone(r, 0, 1<<20, 1, clk.Now())
+	if m.ShouldCheckpoint(r, clk.Now()) {
+		t.Fatal("still marked after full checkpoint")
+	}
+	if m.CheckpointedRDDs() != 1 {
+		t.Errorf("CheckpointedRDDs = %d", m.CheckpointedRDDs())
+	}
+}
+
+func TestGarbageCollection(t *testing.T) {
+	clk := simclock.New()
+	store := dfs.New(dfs.DefaultConfig())
+	c := rdd.NewContext(1)
+	cfg := mgrConfig(simclock.Hours(50), 10)
+	cfg.GC = true
+	cfg.Ctx = c
+	m, _ := NewManager(clk, store, cfg)
+
+	// Chain: a -> b -> c. Checkpoint a fully, then b fully: a's
+	// checkpoint becomes unreachable (b cuts the lineage) and is GC'd.
+	a := c.Parallelize("a", 1, 8, func(part int) []rdd.Row { return nil })
+	b := a.Map("b", func(x rdd.Row) rdd.Row { return x })
+	cc := b.Map("c", func(x rdd.Row) rdd.Row { return x })
+	_ = cc
+
+	store.Put(dfs.Key(a.ID, 0), nil, 100, 0)
+	m.NotifyCheckpointDone(a, 0, 100, 1, 1)
+	if !store.Has(dfs.Key(a.ID, 0)) {
+		t.Fatal("a's checkpoint should survive while reachable")
+	}
+	store.Put(dfs.Key(b.ID, 0), nil, 100, 2)
+	m.NotifyCheckpointDone(b, 0, 100, 1, 3)
+	if store.Has(dfs.Key(a.ID, 0)) {
+		t.Fatal("a's checkpoint should be garbage once b is checkpointed")
+	}
+	if store.Has(dfs.Key(b.ID, 0)) == false {
+		t.Fatal("b's checkpoint must be retained")
+	}
+	if m.GCRemoved != 1 {
+		t.Errorf("GCRemoved = %d", m.GCRemoved)
+	}
+}
+
+// buildIterative constructs an iterative shuffle-heavy job: repeated
+// reduceByKey rounds over mostly unique keys, so the working set stays
+// large and each iteration costs real virtual time.
+func buildIterative(c *rdd.Context, iters int) *rdd.RDD {
+	cur := c.Parallelize("src", 8, 4096, func(part int) []rdd.Row {
+		var out []rdd.Row
+		for i := 0; i < 2000; i++ {
+			out = append(out, rdd.KV{K: part*2000 + i, V: 1})
+		}
+		return out
+	}).WithWeight(40)
+	for i := 0; i < iters; i++ {
+		cur = cur.ReduceByKey("iter", 8, func(a, b rdd.Row) rdd.Row {
+			return a.(int) + b.(int)
+		}).Map("expand", func(x rdd.Row) rdd.Row { return x }).WithWeight(40)
+	}
+	return cur
+}
+
+// Integration: a full engine run under the manager. Checkpoints must be
+// written at a 2 h MTTF, and recovery after total cluster loss must read
+// them back instead of recomputing from the source.
+func TestManagerOnEngine(t *testing.T) {
+	c := rdd.NewContext(8)
+	target := buildIterative(c, 8).Persist()
+	tb := exec.MustTestbed(exec.TestbedOpts{Nodes: 4})
+	m, err := NewManager(tb.Clock, tb.Store, Config{
+		MTTF:         func(now float64) float64 { return simclock.Hours(0.1) },
+		Nodes:        func() int { return 4 },
+		NodeMemBytes: 64 << 20,
+		GC:           true,
+		Ctx:          c,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Engine.SetPolicy(m)
+
+	res, err := tb.Engine.RunJob(target, exec.ActionCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 16000 {
+		t.Fatalf("count = %d, want 16000", res.Count)
+	}
+	// Drain in-flight checkpoint writes.
+	tb.Clock.RunUntil(tb.Clock.Now() + simclock.Hour)
+	if m.MarkEvents == 0 {
+		t.Fatalf("manager never marked anything (tau=%.0f, job took %.0f s)", m.Tau(), res.Latency())
+	}
+	if tb.Engine.Metrics.CheckpointTasks == 0 {
+		t.Fatal("no checkpoint tasks ran")
+	}
+	// Wipe the whole cluster; recovery must come from checkpoints.
+	tb.RevokeNodes(tb.Clock.Now()+1, 4, true)
+	tb.Clock.RunUntil(tb.Clock.Now() + 600)
+	res2, err := tb.Engine.RunJob(target, exec.ActionCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Count != 16000 {
+		t.Fatalf("post-revocation count = %d", res2.Count)
+	}
+	if res2.Stats.CheckpointReads == 0 {
+		t.Error("recovery did not read any checkpoints")
+	}
+	if res2.Latency() >= res.Latency() {
+		t.Errorf("checkpoint recovery (%.0f s) not faster than the original run (%.0f s)", res2.Latency(), res.Latency())
+	}
+}
+
+// The headline behaviour of Figure 8: with checkpointing, running time
+// after revocations is significantly lower than recomputation-only.
+func TestCheckpointingBeatsRecomputationUnderFailures(t *testing.T) {
+	run := func(withPolicy bool) float64 {
+		c := rdd.NewContext(8)
+		target := buildIterative(c, 8)
+		tb := exec.MustTestbed(exec.TestbedOpts{Nodes: 10, AcqDelay: 120})
+		if withPolicy {
+			m, err := NewManager(tb.Clock, tb.Store, Config{
+				MTTF:         func(now float64) float64 { return simclock.Hours(0.1) },
+				Nodes:        func() int { return 10 },
+				NodeMemBytes: 16 << 20,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb.Engine.SetPolicy(m)
+		}
+		// Concurrent revocation of half the cluster mid-job.
+		tb.RevokeNodes(30, 5, true)
+		res, err := tb.Engine.RunJob(target, exec.ActionMaterialize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Latency()
+	}
+	withCkpt := run(true)
+	withoutCkpt := run(false)
+	if withCkpt >= withoutCkpt {
+		t.Errorf("checkpointing (%.0f s) did not beat recomputation (%.0f s) under failures", withCkpt, withoutCkpt)
+	}
+}

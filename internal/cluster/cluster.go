@@ -1,0 +1,327 @@
+// Package cluster implements Flint's node manager: it provisions a
+// fixed-size cluster of transient servers from a market exchange, watches
+// for revocations, surfaces the provider's revocation warning (120 s on
+// EC2, 30 s on GCE), and immediately acquires replacement servers so the
+// cluster returns to its target size N (§2.3, §4 of the paper).
+//
+// Which market each replacement comes from is delegated to a Selector —
+// the hook through which Flint's batch and interactive server-selection
+// policies (internal/policy) plug in.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"flint/internal/market"
+	"flint/internal/simclock"
+)
+
+// Node is one cluster member.
+type Node struct {
+	ID    int
+	Pool  string
+	Lease *market.Lease
+	UpAt  float64 // simulation time the node became usable
+	Gone  bool    // true once revoked or released
+
+	// Capacity attributes, copied from Config at provisioning time.
+	Slots     int   // parallel task slots (VCPUs)
+	MemBytes  int64 // RDD cache capacity
+	LocalDisk int64 // local SSD bytes (lost on revocation)
+
+	// replacementOrdered is set when a proactive replacement was already
+	// requested at warning time, so the revocation itself does not order
+	// a second one.
+	replacementOrdered bool
+}
+
+// Request asks the manager to acquire count servers from a pool at a bid.
+type Request struct {
+	Pool  string
+	Bid   float64
+	Count int
+}
+
+// Selector chooses which markets to provision from. Implementations live
+// in internal/policy.
+type Selector interface {
+	// Initial picks the markets for the first N servers.
+	Initial(now float64, n int) []Request
+	// Replace picks markets for n replacement servers after a revocation
+	// in revokedPool. The manager passes the pools that have already
+	// failed during this replacement round in exclude; implementations
+	// must not return them again.
+	Replace(now float64, revokedPool string, exclude []string, n int) []Request
+}
+
+// Events are the notifications the execution engine subscribes to. Any
+// handler may be nil.
+type Events struct {
+	// OnNodeUp fires when a node (initial or replacement) becomes usable.
+	OnNodeUp func(n *Node)
+	// OnWarning fires WarningLead seconds before a revocation, mirroring
+	// EC2's /spot/termination-time notice.
+	OnWarning func(n *Node, revokeAt float64)
+	// OnRevoked fires at the instant a node is revoked. The node's cached
+	// state is already gone when this is called.
+	OnRevoked func(n *Node)
+}
+
+// Config sizes the cluster and its servers. The defaults mirror the
+// paper's testbed: 10× r3.large (2 VCPUs, 15 GB RAM of which Spark uses
+// 40% for RDD storage, 32 GB local SSD), a two-minute revocation warning
+// and a two-minute server-acquisition delay.
+type Config struct {
+	Size             int
+	NodeSlots        int
+	NodeMemBytes     int64
+	NodeDiskBytes    int64
+	WarningLead      float64 // seconds of advance revocation notice
+	AcquisitionDelay float64 // rd: delay until a replacement is usable
+	Replace          bool    // auto-replace revoked servers
+	// ProactiveReplace starts the replacement at the provider's
+	// revocation *warning* instead of at the revocation itself ("If
+	// Flint detects a warning on any worker, it immediately triggers the
+	// market selection on the node manager which selects and requests
+	// replacement instances", §4). With EC2's two-minute warning and a
+	// two-minute acquisition delay, the replacement comes up at the
+	// moment the old server disappears.
+	ProactiveReplace bool
+	MaxRetries       int // pools to try per replacement before giving up
+}
+
+// DefaultConfig returns the paper's experimental configuration.
+func DefaultConfig() Config {
+	return Config{
+		Size:             10,
+		NodeSlots:        2,
+		NodeMemBytes:     6 << 30, // 40% of 15 GB, the RDD storage fraction
+		NodeDiskBytes:    32 << 30,
+		WarningLead:      2 * simclock.Minute,
+		AcquisitionDelay: 2 * simclock.Minute,
+		Replace:          true,
+		MaxRetries:       8,
+	}
+}
+
+// Manager provisions and maintains the cluster.
+type Manager struct {
+	clock *simclock.Clock
+	exch  *market.Exchange
+	cfg   Config
+	sel   Selector
+	ev    Events
+
+	nodes   map[int]*Node
+	nextID  int
+	stopped bool
+
+	// Metrics.
+	RevocationCount  int
+	ReplacementCount int
+	WarningCount     int
+}
+
+// New creates a manager. Start must be called to provision the initial
+// cluster.
+func New(clock *simclock.Clock, exch *market.Exchange, cfg Config, sel Selector, ev Events) (*Manager, error) {
+	if cfg.Size <= 0 {
+		return nil, errors.New("cluster: size must be positive")
+	}
+	if sel == nil {
+		return nil, errors.New("cluster: nil selector")
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 8
+	}
+	return &Manager{
+		clock: clock, exch: exch, cfg: cfg, sel: sel, ev: ev,
+		nodes: make(map[int]*Node),
+	}, nil
+}
+
+// Start provisions the initial cluster synchronously: all Size nodes are
+// usable at the current time (the paper measures jobs from a ready
+// cluster).
+func (m *Manager) Start() error {
+	now := m.clock.Now()
+	reqs := m.sel.Initial(now, m.cfg.Size)
+	total := 0
+	for _, r := range reqs {
+		total += r.Count
+	}
+	if total != m.cfg.Size {
+		return fmt.Errorf("cluster: selector provided %d servers, want %d", total, m.cfg.Size)
+	}
+	for _, r := range reqs {
+		for i := 0; i < r.Count; i++ {
+			if err := m.provision(r.Pool, r.Bid, now, now); err != nil {
+				return fmt.Errorf("cluster: initial provisioning: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// provision acquires one lease and registers the node, scheduling its
+// warning and revocation events. The node becomes usable at upAt.
+func (m *Manager) provision(pool string, bid, now, upAt float64) error {
+	lease, err := m.exch.Acquire(pool, bid, now)
+	if err != nil {
+		return err
+	}
+	m.nextID++
+	n := &Node{
+		ID: m.nextID, Pool: pool, Lease: lease, UpAt: upAt,
+		Slots: m.cfg.NodeSlots, MemBytes: m.cfg.NodeMemBytes, LocalDisk: m.cfg.NodeDiskBytes,
+	}
+	m.nodes[n.ID] = n
+	if upAt > now {
+		m.clock.Schedule(upAt, func() {
+			if m.stopped || n.Gone {
+				return
+			}
+			if m.ev.OnNodeUp != nil {
+				m.ev.OnNodeUp(n)
+			}
+		})
+	} else if m.ev.OnNodeUp != nil {
+		m.ev.OnNodeUp(n)
+	}
+	if at, ok := lease.RevocationTime(); ok {
+		warnAt := at - m.cfg.WarningLead
+		if warnAt < now {
+			warnAt = now
+		}
+		m.clock.Schedule(warnAt, func() {
+			if m.stopped || n.Gone {
+				return
+			}
+			m.WarningCount++
+			if m.ev.OnWarning != nil {
+				m.ev.OnWarning(n, at)
+			}
+			if m.cfg.Replace && m.cfg.ProactiveReplace && !n.replacementOrdered {
+				n.replacementOrdered = true
+				m.replaceOne(n.Pool, m.clock.Now())
+			}
+		})
+		m.clock.Schedule(at, func() { m.revoke(n) })
+	}
+	return nil
+}
+
+// revoke handles a provider-initiated revocation of n.
+func (m *Manager) revoke(n *Node) {
+	if m.stopped || n.Gone {
+		return
+	}
+	now := m.clock.Now()
+	n.Gone = true
+	delete(m.nodes, n.ID)
+	m.RevocationCount++
+	if m.ev.OnRevoked != nil {
+		m.ev.OnRevoked(n)
+	}
+	if m.cfg.Replace && !n.replacementOrdered {
+		m.replaceOne(n.Pool, now)
+	}
+}
+
+// RevokeNow force-revokes a node immediately (failure injection for
+// experiments). If replace is true the normal replacement flow runs.
+func (m *Manager) RevokeNow(id int, replace bool) error {
+	n := m.nodes[id]
+	if n == nil {
+		return fmt.Errorf("cluster: no live node %d", id)
+	}
+	now := m.clock.Now()
+	n.Gone = true
+	delete(m.nodes, n.ID)
+	m.RevocationCount++
+	if m.ev.OnRevoked != nil {
+		m.ev.OnRevoked(n)
+	}
+	if replace {
+		m.replaceOne(n.Pool, now)
+	}
+	return nil
+}
+
+// replaceOne asks the selector for one replacement server, excluding the
+// revoked pool (its price just spiked, per the paper's restoration
+// policy), and falls back to on-demand if every suggested pool fails.
+func (m *Manager) replaceOne(revokedPool string, now float64) {
+	exclude := []string{revokedPool}
+	for try := 0; try < m.cfg.MaxRetries; try++ {
+		reqs := m.sel.Replace(now, revokedPool, exclude, 1)
+		if len(reqs) == 0 {
+			break
+		}
+		r := reqs[0]
+		err := m.provision(r.Pool, r.Bid, now, now+m.cfg.AcquisitionDelay)
+		if err == nil {
+			m.ReplacementCount++
+			return
+		}
+		exclude = append(exclude, r.Pool)
+	}
+	// Last resort: the non-revocable on-demand pool, if present.
+	if od := m.exch.Pool("on-demand"); od != nil {
+		if err := m.provision("on-demand", math.Inf(1), now, now+m.cfg.AcquisitionDelay); err == nil {
+			m.ReplacementCount++
+			return
+		}
+	}
+	// Could not replace; the cluster runs degraded. A real deployment
+	// would retry; experiments treat this as a hard configuration error.
+	panic(fmt.Sprintf("cluster: unable to replace server from pool %s at t=%.0f", revokedPool, now))
+}
+
+// LiveNodes returns the nodes currently usable (UpAt ≤ now, not revoked)
+// in ID order.
+func (m *Manager) LiveNodes() []*Node {
+	now := m.clock.Now()
+	out := make([]*Node, 0, len(m.nodes))
+	for id := 1; id <= m.nextID; id++ {
+		if n, ok := m.nodes[id]; ok && n.UpAt <= now {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// PendingNodes returns nodes acquired but not yet usable.
+func (m *Manager) PendingNodes() []*Node {
+	now := m.clock.Now()
+	out := make([]*Node, 0)
+	for id := 1; id <= m.nextID; id++ {
+		if n, ok := m.nodes[id]; ok && n.UpAt > now {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Size returns the configured target cluster size.
+func (m *Manager) Size() int { return m.cfg.Size }
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Stop releases every lease at the current time and disables further
+// events (job finished).
+func (m *Manager) Stop() {
+	now := m.clock.Now()
+	m.stopped = true
+	for _, n := range m.nodes {
+		m.exch.Release(n.Lease, now)
+		n.Gone = true
+	}
+	m.nodes = make(map[int]*Node)
+}
+
+// Cost returns the total dollars spent across all leases as of now.
+func (m *Manager) Cost() float64 { return m.exch.TotalCost(m.clock.Now()) }

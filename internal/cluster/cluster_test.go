@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"flint/internal/market"
+	"flint/internal/simclock"
+	"flint/internal/trace"
+)
+
+// twoPoolExchange builds an exchange with pool "a" (spikes at spikeMinA)
+// and a calm pool "b", plus on-demand.
+func twoPoolExchange(t *testing.T, spikeMinA int) *market.Exchange {
+	t.Helper()
+	mk := func(name string, spikeAt int) *market.Pool {
+		prices := make([]float64, 24*60)
+		for i := range prices {
+			prices[i] = 0.2
+			if spikeAt >= 0 && i >= spikeAt && i < spikeAt+15 {
+				prices[i] = 5
+			}
+		}
+		return &market.Pool{
+			Name: name, Kind: market.KindSpot, OnDemand: 1.0,
+			Trace: &trace.Trace{Step: 60, Prices: prices},
+		}
+	}
+	pools := []*market.Pool{
+		mk("a", spikeMinA),
+		mk("b", -1),
+		{Name: "on-demand", Kind: market.KindOnDemand, OnDemand: 1.0},
+	}
+	e, err := market.NewExchange(pools, market.BillPerSecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func smallConfig() Config {
+	c := DefaultConfig()
+	c.Size = 4
+	return c
+}
+
+func TestStartProvisionsFullCluster(t *testing.T) {
+	clk := simclock.New()
+	e := twoPoolExchange(t, -1)
+	var ups int
+	m, err := New(clk, e, smallConfig(), &FixedSelector{PoolName: "a", Bid: 1}, Events{
+		OnNodeUp: func(n *Node) { ups++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.LiveNodes()); got != 4 {
+		t.Fatalf("live nodes = %d, want 4", got)
+	}
+	if ups != 4 {
+		t.Fatalf("OnNodeUp fired %d times, want 4", ups)
+	}
+	for _, n := range m.LiveNodes() {
+		if n.Pool != "a" || n.Slots != 2 || n.MemBytes != 6<<30 {
+			t.Errorf("node attrs wrong: %+v", n)
+		}
+	}
+}
+
+func TestRevocationReplacesNodes(t *testing.T) {
+	clk := simclock.New()
+	e := twoPoolExchange(t, 60) // pool a spikes at minute 60
+	var warnings, revocations, ups int
+	sel := &FixedSelector{PoolName: "a", Bid: 1, Fallbacks: []Request{{Pool: "b", Bid: 1}}}
+	m, err := New(clk, e, smallConfig(), sel, Events{
+		OnNodeUp:  func(n *Node) { ups++ },
+		OnWarning: func(n *Node, at float64) { warnings++ },
+		OnRevoked: func(n *Node) { revocations++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntil(2 * simclock.Hour)
+	if revocations != 4 {
+		t.Fatalf("revocations = %d, want 4 (simultaneous pool revocation)", revocations)
+	}
+	if warnings != 4 {
+		t.Fatalf("warnings = %d, want 4", warnings)
+	}
+	live := m.LiveNodes()
+	if len(live) != 4 {
+		t.Fatalf("cluster size after replacement = %d, want 4", len(live))
+	}
+	for _, n := range live {
+		if n.Pool != "b" {
+			t.Errorf("replacement node in pool %q, want b", n.Pool)
+		}
+	}
+	if ups != 8 {
+		t.Errorf("OnNodeUp total = %d, want 8", ups)
+	}
+	if m.RevocationCount != 4 || m.ReplacementCount != 4 || m.WarningCount != 4 {
+		t.Errorf("counters = %d/%d/%d", m.RevocationCount, m.ReplacementCount, m.WarningCount)
+	}
+}
+
+func TestWarningLeadTime(t *testing.T) {
+	clk := simclock.New()
+	e := twoPoolExchange(t, 60)
+	var warnAt, revokeAt float64 = -1, -1
+	sel := &FixedSelector{PoolName: "a", Bid: 1, Fallbacks: []Request{{Pool: "b", Bid: 1}}}
+	cfg := smallConfig()
+	cfg.Size = 1
+	m, _ := New(clk, e, cfg, sel, Events{
+		OnWarning: func(n *Node, at float64) {
+			if warnAt < 0 {
+				warnAt = clk.Now()
+			}
+		},
+		OnRevoked: func(n *Node) {
+			if revokeAt < 0 {
+				revokeAt = clk.Now()
+			}
+		},
+	})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntil(3 * simclock.Hour)
+	if revokeAt != 3600 {
+		t.Fatalf("revoked at %v, want 3600", revokeAt)
+	}
+	if math.Abs((revokeAt-warnAt)-2*simclock.Minute) > 1e-9 {
+		t.Fatalf("warning lead = %v, want 120s", revokeAt-warnAt)
+	}
+}
+
+func TestReplacementAcquisitionDelay(t *testing.T) {
+	clk := simclock.New()
+	e := twoPoolExchange(t, 60)
+	cfg := smallConfig()
+	cfg.Size = 1
+	sel := &FixedSelector{PoolName: "a", Bid: 1, Fallbacks: []Request{{Pool: "b", Bid: 1}}}
+	m, _ := New(clk, e, cfg, sel, Events{})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntil(3600 + 1) // just past revocation
+	if len(m.LiveNodes()) != 0 {
+		t.Fatal("replacement should not be up yet")
+	}
+	if len(m.PendingNodes()) != 1 {
+		t.Fatal("replacement should be pending")
+	}
+	clk.RunUntil(3600 + 2*simclock.Minute)
+	if len(m.LiveNodes()) != 1 {
+		t.Fatal("replacement should be up after the acquisition delay")
+	}
+}
+
+func TestNoReplacementWhenDisabled(t *testing.T) {
+	clk := simclock.New()
+	e := twoPoolExchange(t, 60)
+	cfg := smallConfig()
+	cfg.Replace = false
+	m, _ := New(clk, e, cfg, &FixedSelector{PoolName: "a", Bid: 1}, Events{})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntil(2 * simclock.Hour)
+	if len(m.LiveNodes()) != 0 || len(m.PendingNodes()) != 0 {
+		t.Fatal("revoked nodes must not be replaced when Replace=false")
+	}
+}
+
+func TestRevokeNowInjection(t *testing.T) {
+	clk := simclock.New()
+	e := twoPoolExchange(t, -1)
+	var revoked []int
+	m, _ := New(clk, e, smallConfig(), &FixedSelector{PoolName: "a", Bid: 1}, Events{
+		OnRevoked: func(n *Node) { revoked = append(revoked, n.ID) },
+	})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	first := m.LiveNodes()[0]
+	if err := m.RevokeNow(first.ID, false); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.LiveNodes()) != 3 {
+		t.Fatal("node not removed")
+	}
+	if len(revoked) != 1 || revoked[0] != first.ID {
+		t.Fatalf("revoked = %v", revoked)
+	}
+	if err := m.RevokeNow(first.ID, false); err == nil {
+		t.Fatal("double revoke should error")
+	}
+	// With replacement.
+	second := m.LiveNodes()[0]
+	if err := m.RevokeNow(second.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.PendingNodes()) != 1 {
+		t.Fatal("replacement not pending")
+	}
+}
+
+func TestFallbackToOnDemandWhenAllPoolsSpike(t *testing.T) {
+	// Both spot pools spike at minute 60 → replacement must come from
+	// on-demand.
+	clk := simclock.New()
+	mk := func(name string) *market.Pool {
+		prices := make([]float64, 24*60)
+		for i := range prices {
+			prices[i] = 0.2
+			if i >= 60 && i < 120 {
+				prices[i] = 50
+			}
+		}
+		return &market.Pool{Name: name, Kind: market.KindSpot, OnDemand: 1.0,
+			Trace: &trace.Trace{Step: 60, Prices: prices}}
+	}
+	e, err := market.NewExchange([]*market.Pool{
+		mk("a"), mk("b"),
+		{Name: "on-demand", Kind: market.KindOnDemand, OnDemand: 1.0},
+	}, market.BillPerSecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.Size = 2
+	sel := &FixedSelector{PoolName: "a", Bid: 1, Fallbacks: []Request{{Pool: "b", Bid: 1}}}
+	m, _ := New(clk, e, cfg, sel, Events{})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntil(2 * simclock.Hour)
+	live := m.LiveNodes()
+	if len(live) != 2 {
+		t.Fatalf("live = %d, want 2", len(live))
+	}
+	for _, n := range live {
+		if n.Pool != "on-demand" {
+			t.Errorf("node pool = %q, want on-demand fallback", n.Pool)
+		}
+	}
+}
+
+func TestStopReleasesLeases(t *testing.T) {
+	clk := simclock.New()
+	e := twoPoolExchange(t, -1)
+	m, _ := New(clk, e, smallConfig(), &FixedSelector{PoolName: "a", Bid: 1}, Events{})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntil(simclock.Hour)
+	m.Stop()
+	costAtStop := e.TotalCost(clk.Now())
+	clk.RunUntil(10 * simclock.Hour)
+	if got := e.TotalCost(clk.Now()); math.Abs(got-costAtStop) > 1e-9 {
+		t.Fatalf("billing continued after Stop: %v vs %v", got, costAtStop)
+	}
+	if len(m.LiveNodes()) != 0 {
+		t.Fatal("nodes remain after Stop")
+	}
+	if m.Cost() <= 0 {
+		t.Fatal("cost should be positive")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	clk := simclock.New()
+	e := twoPoolExchange(t, -1)
+	if _, err := New(clk, e, Config{Size: 0}, &FixedSelector{}, Events{}); err == nil {
+		t.Error("zero size should error")
+	}
+	if _, err := New(clk, e, Config{Size: 1}, nil, Events{}); err == nil {
+		t.Error("nil selector should error")
+	}
+}
+
+func TestStartSelectorCountMismatch(t *testing.T) {
+	clk := simclock.New()
+	e := twoPoolExchange(t, -1)
+	bad := badSelector{}
+	m, _ := New(clk, e, smallConfig(), bad, Events{})
+	if err := m.Start(); err == nil {
+		t.Error("selector returning wrong count should error")
+	}
+}
+
+type badSelector struct{}
+
+func (badSelector) Initial(now float64, n int) []Request { return nil }
+func (badSelector) Replace(now float64, revokedPool string, exclude []string, n int) []Request {
+	return nil
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	if c.Size != 10 || c.NodeSlots != 2 {
+		t.Errorf("cluster shape = %d × %d slots, want 10 × 2 (r3.large)", c.Size, c.NodeSlots)
+	}
+	if c.WarningLead != 120 || c.AcquisitionDelay != 120 {
+		t.Errorf("timing = %v/%v, want 120/120 s", c.WarningLead, c.AcquisitionDelay)
+	}
+}

@@ -1,0 +1,40 @@
+package cluster
+
+// FixedSelector always provisions from a single pool at a fixed bid, with
+// an optional fallback list for replacements. It is the trivial baseline
+// (and test) selector; the paper's intelligent policies live in
+// internal/policy.
+type FixedSelector struct {
+	PoolName  string
+	Bid       float64
+	Fallbacks []Request // tried in order for replacements
+}
+
+var _ Selector = (*FixedSelector)(nil)
+
+// Initial provisions all n servers from the fixed pool.
+func (s *FixedSelector) Initial(now float64, n int) []Request {
+	return []Request{{Pool: s.PoolName, Bid: s.Bid, Count: n}}
+}
+
+// Replace suggests the first fallback (or the fixed pool itself) that is
+// not excluded.
+func (s *FixedSelector) Replace(now float64, revokedPool string, exclude []string, n int) []Request {
+	excluded := func(pool string) bool {
+		for _, e := range exclude {
+			if e == pool {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range s.Fallbacks {
+		if !excluded(f.Pool) {
+			return []Request{{Pool: f.Pool, Bid: f.Bid, Count: n}}
+		}
+	}
+	if !excluded(s.PoolName) {
+		return []Request{{Pool: s.PoolName, Bid: s.Bid, Count: n}}
+	}
+	return nil
+}

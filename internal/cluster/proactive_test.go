@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+
+	"flint/internal/simclock"
+)
+
+// With proactive replacement, the node manager orders the replacement at
+// the two-minute warning, so it comes up at the instant of the
+// revocation — the zero-downtime property §4 describes.
+func TestProactiveReplaceEliminatesDowntime(t *testing.T) {
+	clk := simclock.New()
+	e := twoPoolExchange(t, 60) // pool a spikes at minute 60
+	cfg := smallConfig()
+	cfg.Size = 4
+	cfg.ProactiveReplace = true
+	sel := &FixedSelector{PoolName: "a", Bid: 1, Fallbacks: []Request{{Pool: "b", Bid: 1}}}
+	var minLive = 99
+	m, err := New(clk, e, cfg, sel, Events{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Sample cluster size at every event boundary through the revocation
+	// window.
+	for tick := 3000.0; tick <= 5000; tick += 10 {
+		clk.RunUntil(tick)
+		if n := len(m.LiveNodes()); n < minLive {
+			minLive = n
+		}
+	}
+	if minLive < 4 {
+		t.Fatalf("proactive replacement left the cluster at %d nodes; want no downtime", minLive)
+	}
+	if m.ReplacementCount != 4 {
+		t.Errorf("replacements = %d, want 4", m.ReplacementCount)
+	}
+	// No double replacement at the revocation itself.
+	clk.RunUntil(3 * simclock.Hour)
+	if got := len(m.LiveNodes()); got != 4 {
+		t.Fatalf("cluster size = %d, want 4 (double replacement?)", got)
+	}
+}
+
+// Without the proactive option, the same scenario leaves the cluster
+// short-handed for the acquisition delay.
+func TestReactiveReplaceHasDowntime(t *testing.T) {
+	clk := simclock.New()
+	e := twoPoolExchange(t, 60)
+	cfg := smallConfig()
+	cfg.Size = 4
+	sel := &FixedSelector{PoolName: "a", Bid: 1, Fallbacks: []Request{{Pool: "b", Bid: 1}}}
+	m, err := New(clk, e, cfg, sel, Events{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntil(3600 + 1)
+	if got := len(m.LiveNodes()); got != 0 {
+		t.Fatalf("expected downtime window, have %d live nodes", got)
+	}
+	clk.RunUntil(3600 + 2*simclock.Minute)
+	if got := len(m.LiveNodes()); got != 4 {
+		t.Fatalf("replacements not up after delay: %d", got)
+	}
+}
+
+// Warnings must be counted even when no handler is subscribed.
+func TestWarningCountWithoutHandler(t *testing.T) {
+	clk := simclock.New()
+	e := twoPoolExchange(t, 60)
+	cfg := smallConfig()
+	cfg.Size = 2
+	sel := &FixedSelector{PoolName: "a", Bid: 1, Fallbacks: []Request{{Pool: "b", Bid: 1}}}
+	m, _ := New(clk, e, cfg, sel, Events{})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntil(2 * simclock.Hour)
+	if m.WarningCount != 2 {
+		t.Errorf("WarningCount = %d, want 2", m.WarningCount)
+	}
+}

@@ -1,0 +1,280 @@
+// Package core is the Flint driver: it assembles the market, the node
+// manager, the execution engine, the fault-tolerance manager and a
+// server-selection policy into one running deployment (the architecture
+// of the paper's Figure 5), and provides the trace-driven canonical-job
+// simulator used for the long-horizon cost/performance studies of
+// Figures 10 and 11.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"flint/internal/ckpt"
+	"flint/internal/cluster"
+	"flint/internal/dfs"
+	"flint/internal/exec"
+	"flint/internal/market"
+	"flint/internal/policy"
+	"flint/internal/rdd"
+	"flint/internal/simclock"
+)
+
+// Mode selects the server-selection policy family.
+type Mode int
+
+const (
+	// ModeBatch runs the single-market minimum-cost policy (§3.1.2).
+	ModeBatch Mode = iota
+	// ModeInteractive runs the diversified multi-market policy (§3.2.2).
+	ModeInteractive
+	// ModeOnDemand provisions non-revocable servers (the cost ceiling).
+	ModeOnDemand
+	// ModeCustom uses Spec.Selector as given.
+	ModeCustom
+)
+
+// CheckpointMode selects the fault-tolerance policy.
+type CheckpointMode int
+
+const (
+	// CkptFlint is the adaptive τ=√(2δ·MTTF) frontier policy.
+	CkptFlint CheckpointMode = iota
+	// CkptNone disables checkpointing (recomputation-only baseline).
+	CkptNone
+	// CkptSystemLevel enables the full-node-image baseline (Figure 6b).
+	CkptSystemLevel
+	// CkptFixed checkpoints at Spec.FixedInterval seconds.
+	CkptFixed
+)
+
+// Spec configures a Flint deployment.
+type Spec struct {
+	Mode         Mode
+	Checkpoint   CheckpointMode
+	Selector     cluster.Selector // ModeCustom only
+	MTTFOverride float64          // optional fixed cluster MTTF for the FT manager
+
+	FixedInterval float64 // CkptFixed period; also CkptSystemLevel period
+
+	Cluster cluster.Config
+	Engine  exec.Config
+	DFS     dfs.Config
+	Policy  policy.Params
+
+	// EMRSurcharge adds the Spark-EMR 25% of on-demand flat fee to the
+	// cost report (for the EMR baseline).
+	EMRSurcharge bool
+
+	// GC enables checkpoint garbage collection.
+	GC bool
+}
+
+// DefaultSpec mirrors the paper's experimental setup: a 10-node batch
+// cluster with Flint checkpointing and GC.
+func DefaultSpec() Spec {
+	return Spec{
+		Mode:       ModeBatch,
+		Checkpoint: CkptFlint,
+		Cluster:    cluster.DefaultConfig(),
+		Engine:     exec.DefaultConfig(),
+		DFS:        dfs.DefaultConfig(),
+		Policy:     policy.DefaultParams(),
+		GC:         true,
+	}
+}
+
+// MTTFer is implemented by selectors that can report the cluster's
+// aggregate MTTF (policy.Batch and policy.Interactive).
+type MTTFer interface {
+	MTTF(now float64) float64
+}
+
+// Flint is a running deployment.
+type Flint struct {
+	Clock    *simclock.Clock
+	Exchange *market.Exchange
+	Cluster  *cluster.Manager
+	Engine   *exec.Engine
+	Store    *dfs.Store
+	Manager  *ckpt.Manager // nil unless CkptFlint/CkptFixed
+	Selector cluster.Selector
+	Ctx      *rdd.Context
+	spec     Spec
+}
+
+// Launch assembles and starts a deployment over the given exchange. The
+// rdd.Context is shared with the caller's program so the FT manager can
+// walk its lineage.
+func Launch(exch *market.Exchange, ctx *rdd.Context, spec Spec) (*Flint, error) {
+	if exch == nil || ctx == nil {
+		return nil, errors.New("core: nil exchange or context")
+	}
+	if spec.Cluster.Size == 0 {
+		spec.Cluster = cluster.DefaultConfig()
+	}
+	clk := simclock.New()
+	store := dfs.New(spec.DFS)
+
+	var sel cluster.Selector
+	switch spec.Mode {
+	case ModeBatch:
+		sel = policy.NewBatch(exch, spec.Policy)
+	case ModeInteractive:
+		sel = policy.NewInteractive(exch, spec.Policy)
+	case ModeOnDemand:
+		sel = policy.NewOnDemand()
+	case ModeCustom:
+		if spec.Selector == nil {
+			return nil, errors.New("core: ModeCustom requires Spec.Selector")
+		}
+		sel = spec.Selector
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", spec.Mode)
+	}
+
+	engCfg := spec.Engine
+	if spec.Checkpoint == CkptSystemLevel {
+		if spec.FixedInterval <= 0 {
+			return nil, errors.New("core: CkptSystemLevel requires FixedInterval")
+		}
+		engCfg.SystemCheckpointInterval = spec.FixedInterval
+	}
+	eng := exec.New(clk, store, engCfg, nil)
+
+	mgr, err := cluster.New(clk, exch, spec.Cluster, sel, eng.Events())
+	if err != nil {
+		return nil, err
+	}
+
+	f := &Flint{
+		Clock: clk, Exchange: exch, Cluster: mgr, Engine: eng,
+		Store: store, Selector: sel, Ctx: ctx, spec: spec,
+	}
+
+	if spec.Checkpoint == CkptFlint || spec.Checkpoint == CkptFixed {
+		mttf := func(now float64) float64 {
+			if spec.MTTFOverride > 0 {
+				return spec.MTTFOverride
+			}
+			if m, ok := sel.(MTTFer); ok {
+				return m.MTTF(now)
+			}
+			return simclock.Hours(24)
+		}
+		cfg := ckpt.Config{
+			MTTF:         mttf,
+			Nodes:        func() int { return spec.Cluster.Size },
+			NodeMemBytes: spec.Cluster.NodeMemBytes,
+			GC:           spec.GC,
+		}
+		if spec.GC {
+			cfg.Ctx = ctx
+		}
+		if spec.Checkpoint == CkptFixed {
+			if spec.FixedInterval <= 0 {
+				return nil, errors.New("core: CkptFixed requires FixedInterval")
+			}
+			cfg.FixedInterval = spec.FixedInterval
+		}
+		ftm, err := ckpt.NewManager(clk, store, cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetPolicy(ftm)
+		f.Manager = ftm
+	}
+
+	if err := mgr.Start(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// RunJob executes an action on the deployment (satisfies
+// workload.Runner).
+func (f *Flint) RunJob(target *rdd.RDD, action exec.Action) (*exec.Result, error) {
+	return f.Engine.RunJob(target, action)
+}
+
+// Collect runs the job and returns all rows in partition order.
+func (f *Flint) Collect(target *rdd.RDD) ([]rdd.Row, error) {
+	res, err := f.Engine.RunJob(target, exec.ActionCollect)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// Count runs the job and returns the total row count.
+func (f *Flint) Count(target *rdd.RDD) (int64, error) {
+	res, err := f.Engine.RunJob(target, exec.ActionCount)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}
+
+// Reduce folds all of the target's rows with fn at the driver (Spark's
+// reduce action). It returns nil for an empty dataset.
+func (f *Flint) Reduce(target *rdd.RDD, fn func(a, b rdd.Row) rdd.Row) (rdd.Row, error) {
+	if fn == nil {
+		return nil, errors.New("core: Reduce with nil function")
+	}
+	// Pre-reduce per partition on the cluster, then fold the (small)
+	// per-partition results at the driver.
+	partial := target.MapPartitions("reduce:partial", func(part int, rows []rdd.Row) []rdd.Row {
+		if len(rows) == 0 {
+			return nil
+		}
+		acc := rows[0]
+		for _, r := range rows[1:] {
+			acc = fn(acc, r)
+		}
+		return []rdd.Row{acc}
+	})
+	rows, err := f.Collect(partial)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	acc := rows[0]
+	for _, r := range rows[1:] {
+		acc = fn(acc, r)
+	}
+	return acc, nil
+}
+
+// Stop releases the cluster.
+func (f *Flint) Stop() { f.Cluster.Stop() }
+
+// CostReport breaks down the dollars spent as of now.
+type CostReport struct {
+	Compute   float64 // server lease costs
+	Storage   float64 // checkpoint EBS costs
+	Surcharge float64 // EMR flat fee, if enabled
+	Total     float64
+	NodeHours float64
+}
+
+// Cost returns the deployment's cost breakdown at the current virtual
+// time.
+func (f *Flint) Cost() CostReport {
+	now := f.Clock.Now()
+	var rep CostReport
+	rep.Compute = f.Exchange.TotalCost(now)
+	rep.Storage = f.Store.UsageAt(now).StorageCost
+	for _, l := range f.Exchange.Leases() {
+		held := l.HeldUntil(now) - l.Start
+		if held > 0 {
+			rep.NodeHours += held / simclock.Hour
+			if f.spec.EMRSurcharge {
+				rep.Surcharge += policy.EMRSurchargeFraction * l.Pool.OnDemand * held / simclock.Hour
+			}
+		}
+	}
+	rep.Total = rep.Compute + rep.Storage + rep.Surcharge
+	return rep
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"flint/internal/cluster"
+	"flint/internal/exec"
+	"flint/internal/market"
+	"flint/internal/policy"
+	"flint/internal/rdd"
+	"flint/internal/simclock"
+	"flint/internal/trace"
+	"flint/internal/workload"
+)
+
+func newExchange(t *testing.T) *market.Exchange {
+	t.Helper()
+	e, err := market.SpotExchange(trace.StandardEC2Profiles(), 31, 24*7, 24*30, market.BillPerSecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func smallSpec() Spec {
+	s := DefaultSpec()
+	s.Cluster.Size = 5
+	return s
+}
+
+func TestLaunchBatchAndRunWordCount(t *testing.T) {
+	e := newExchange(t)
+	ctx := rdd.NewContext(8)
+	f, err := Launch(e, ctx, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	counts, res, err := workload.RunWordCount(f, ctx, workload.WordCountConfig{Docs: 100, WordsPerDoc: 20, Vocab: 40, Parts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 2000 {
+		t.Fatalf("total = %d", total)
+	}
+	if res.Latency() <= 0 {
+		t.Error("no latency")
+	}
+	cost := f.Cost()
+	if cost.Compute <= 0 || cost.Total < cost.Compute {
+		t.Errorf("cost report = %+v", cost)
+	}
+	// Batch mode provisions one homogeneous spot market.
+	comp := f.Selector.(*policy.Batch).Composition()
+	if len(comp) != 1 {
+		t.Errorf("batch composition = %v", comp)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	e := newExchange(t)
+	ctx := rdd.NewContext(4)
+	if _, err := Launch(nil, ctx, smallSpec()); err == nil {
+		t.Error("nil exchange should error")
+	}
+	if _, err := Launch(e, nil, smallSpec()); err == nil {
+		t.Error("nil context should error")
+	}
+	s := smallSpec()
+	s.Mode = ModeCustom
+	if _, err := Launch(e, ctx, s); err == nil {
+		t.Error("ModeCustom without selector should error")
+	}
+	s = smallSpec()
+	s.Checkpoint = CkptFixed
+	if _, err := Launch(e, ctx, s); err == nil {
+		t.Error("CkptFixed without interval should error")
+	}
+	s = smallSpec()
+	s.Checkpoint = CkptSystemLevel
+	if _, err := Launch(e, ctx, s); err == nil {
+		t.Error("CkptSystemLevel without interval should error")
+	}
+	s = smallSpec()
+	s.Mode = Mode(99)
+	if _, err := Launch(e, ctx, s); err == nil {
+		t.Error("unknown mode should error")
+	}
+}
+
+func TestLaunchModes(t *testing.T) {
+	for _, mode := range []Mode{ModeBatch, ModeInteractive, ModeOnDemand} {
+		e := newExchange(t)
+		ctx := rdd.NewContext(4)
+		s := smallSpec()
+		s.Mode = mode
+		f, err := Launch(e, ctx, s)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if got := len(f.Cluster.LiveNodes()); got != 5 {
+			t.Errorf("mode %d: live nodes = %d", mode, got)
+		}
+		f.Stop()
+	}
+}
+
+func TestLaunchCustomSelector(t *testing.T) {
+	e := newExchange(t)
+	ctx := rdd.NewContext(4)
+	s := smallSpec()
+	s.Mode = ModeCustom
+	s.Selector = &cluster.FixedSelector{PoolName: "on-demand", Bid: 0}
+	s.Checkpoint = CkptNone
+	f, err := Launch(e, ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	if f.Manager != nil {
+		t.Error("CkptNone should not create an FT manager")
+	}
+	for _, n := range f.Cluster.LiveNodes() {
+		if n.Pool != "on-demand" {
+			t.Errorf("node pool = %s", n.Pool)
+		}
+	}
+}
+
+func TestOnDemandCheckpointsNothing(t *testing.T) {
+	e := newExchange(t)
+	ctx := rdd.NewContext(4)
+	s := smallSpec()
+	s.Mode = ModeOnDemand
+	f, err := Launch(e, ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	if _, _, err := workload.RunWordCount(f, ctx, workload.WordCountConfig{Docs: 100, WordsPerDoc: 20, Vocab: 40, Parts: 4}); err != nil {
+		t.Fatal(err)
+	}
+	f.Clock.RunUntil(f.Clock.Now() + simclock.Hour)
+	// Infinite MTTF → τ = ∞ → zero checkpoint tasks.
+	if f.Engine.Metrics.CheckpointTasks != 0 {
+		t.Errorf("on-demand cluster wrote %d checkpoints", f.Engine.Metrics.CheckpointTasks)
+	}
+}
+
+func TestEMRSurchargeInCost(t *testing.T) {
+	e := newExchange(t)
+	ctx := rdd.NewContext(4)
+	s := smallSpec()
+	s.EMRSurcharge = true
+	s.Checkpoint = CkptNone
+	f, err := Launch(e, ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Clock.RunUntil(2 * simclock.Hour)
+	f.Stop()
+	cost := f.Cost()
+	if cost.Surcharge <= 0 {
+		t.Fatalf("EMR surcharge missing: %+v", cost)
+	}
+	// 25% of on-demand for ~10 node-hours.
+	wantAround := policy.EMRSurchargeFraction * cost.NodeHours
+	if cost.Surcharge > wantAround {
+		t.Errorf("surcharge %v exceeds 25%% of OD·node-hours bound %v", cost.Surcharge, wantAround)
+	}
+}
+
+func TestRunPageRankUnderFlint(t *testing.T) {
+	e := newExchange(t)
+	ctx := rdd.NewContext(8)
+	f, err := Launch(e, ctx, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	rep, err := workload.RunPageRank(f, ctx, workload.PageRankConfig{
+		Vertices: 300, AvgDegree: 5, Parts: 8, Iterations: 4, TargetBytes: 256 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RunningTime <= 0 {
+		t.Error("no running time")
+	}
+	ranks := rep.Outcome.(map[int]float64)
+	if len(ranks) == 0 {
+		t.Error("no ranks")
+	}
+}
+
+// --- canonical-job simulator ---
+
+func simExchange(t *testing.T, profiles []trace.Profile, seed int64) *market.Exchange {
+	t.Helper()
+	e, err := market.SpotExchange(profiles, seed, 24*7, 24*90, market.BillPerSecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSimulateCanonicalNoFailures(t *testing.T) {
+	// A calm market: the job should finish in ≈ T·(1+δ/τ) at spot cost.
+	e := simExchange(t, []trace.Profile{trace.USWest2c()}, 3)
+	sel := policy.NewBatch(e, policy.DefaultParams())
+	job := CanonicalJob{T: 4 * simclock.Hour, DeltaBytes: 4 << 30, Nodes: 10}
+	res, err := SimulateCanonical(e, sel, job, 0, SimOpts{Recovery: RecoverFlint, Seed: 1, Params: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overhead < 0 || res.Overhead > 0.05 {
+		t.Errorf("calm-market overhead = %.3f, want < 5%%", res.Overhead)
+	}
+	if res.Cost <= 0 {
+		t.Error("no cost recorded")
+	}
+	// Spot cost should be far below the on-demand cost for the same time.
+	odCost := 10 * res.Runtime / simclock.Hour * e.Pool("on-demand").OnDemand
+	if res.Cost > 0.5*odCost {
+		t.Errorf("spot cost %.2f not well below on-demand %.2f", res.Cost, odCost)
+	}
+}
+
+func TestSimulateCanonicalVolatileMarket(t *testing.T) {
+	e := simExchange(t, []trace.Profile{trace.SAEast1a()}, 5)
+	sel := &cluster.FixedSelector{PoolName: trace.SAEast1a().Name, Bid: trace.SAEast1a().OnDemand}
+	job := CanonicalJob{T: 8 * simclock.Hour, DeltaBytes: 4 << 30, Nodes: 10}
+	flint, err := SimulateCanonical(e, sel, job, 0, SimOpts{
+		Recovery: RecoverFlint, Seed: 1, MTTFOverride: simclock.Hours(18),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := simExchange(t, []trace.Profile{trace.SAEast1a()}, 5)
+	sel2 := &cluster.FixedSelector{PoolName: trace.SAEast1a().Name, Bid: trace.SAEast1a().OnDemand}
+	unmod, err := SimulateCanonical(e2, sel2, job, 0, SimOpts{
+		Recovery: RecoverUnmodified, Seed: 1, MTTFOverride: simclock.Hours(18),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flint.Revocations == 0 {
+		t.Skip("trace produced no revocations in the job window")
+	}
+	if flint.Overhead >= unmod.Overhead {
+		t.Errorf("Flint overhead %.3f not below unmodified %.3f", flint.Overhead, unmod.Overhead)
+	}
+}
+
+func TestSimulateCanonicalOverheadGrowsAsMTTFFalls(t *testing.T) {
+	// Synthetic single-market sweep (the Figure 10a mechanism). Small
+	// samples at high MTTFs are noisy, so assert the two ends of the
+	// sweep rather than strict monotonicity.
+	avgOverhead := func(mttfH float64) float64 {
+		p := trace.Profile{
+			Name: "sweep", OnDemand: 0.2, BaseFrac: 0.15, NoiseFrac: 0.05,
+			SpikesPerHour: 1 / mttfH, SpikeDurMeanMin: 15, SpikeMagMin: 1.5, SpikeMagMax: 5,
+		}
+		var sum float64
+		ran := 0
+		for i := 0; i < 10; i++ {
+			e := simExchange(t, []trace.Profile{p}, 7+int64(i))
+			sel := &cluster.FixedSelector{PoolName: "sweep", Bid: 0.2}
+			job := CanonicalJob{T: 6 * simclock.Hour, DeltaBytes: 4 << 30, Nodes: 10}
+			res, err := SimulateCanonical(e, sel, job, float64(i)*3*simclock.Hour, SimOpts{
+				Recovery: RecoverFlint, Seed: int64(i), MTTFOverride: simclock.Hours(mttfH),
+			})
+			if err != nil {
+				continue // e.g. the staggered start landed inside a spike
+			}
+			sum += res.Overhead
+			ran++
+		}
+		if ran == 0 {
+			t.Fatalf("no runs completed at MTTF %vh", mttfH)
+		}
+		return sum / float64(ran)
+	}
+	calm := avgOverhead(100)
+	volatile := avgOverhead(2)
+	if volatile <= calm {
+		t.Errorf("overhead at 2h MTTF (%.4f) not above 100h MTTF (%.4f)", volatile, calm)
+	}
+	if volatile < 0.02 {
+		t.Errorf("2h-MTTF overhead %.4f suspiciously low", volatile)
+	}
+	if calm > 0.10 {
+		t.Errorf("100h-MTTF overhead %.4f suspiciously high", calm)
+	}
+}
+
+func TestSimulateCanonicalValidation(t *testing.T) {
+	e := simExchange(t, []trace.Profile{trace.USWest2c()}, 3)
+	sel := policy.NewBatch(e, policy.DefaultParams())
+	if _, err := SimulateCanonical(e, sel, CanonicalJob{T: 0}, 0, SimOpts{}); err == nil {
+		t.Error("zero T should error")
+	}
+	bad := badSelector{}
+	if _, err := SimulateCanonical(e, bad, CanonicalJob{T: 100, Nodes: 5}, 0, SimOpts{}); err == nil {
+		t.Error("under-provisioning selector should error")
+	}
+}
+
+type badSelector struct{}
+
+func (badSelector) Initial(now float64, n int) []cluster.Request { return nil }
+func (badSelector) Replace(now float64, revokedPool string, exclude []string, n int) []cluster.Request {
+	return nil
+}
+
+func TestSimulateDeterministicForSeed(t *testing.T) {
+	run := func() SimResult {
+		e := simExchange(t, []trace.Profile{trace.SAEast1a(), trace.EUWest1c()}, 5)
+		sel := policy.NewBatch(e, policy.DefaultParams())
+		res, err := SimulateCanonical(e, sel, CanonicalJob{T: 12 * simclock.Hour, DeltaBytes: 4 << 30, Nodes: 10}, 0, SimOpts{
+			Recovery: RecoverFlint, Seed: 9, Params: sel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if math.Abs(a.Runtime-b.Runtime) > 1e-9 || math.Abs(a.Cost-b.Cost) > 1e-9 {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestFlintSystemLevelSpec(t *testing.T) {
+	e := newExchange(t)
+	ctx := rdd.NewContext(4)
+	s := smallSpec()
+	s.Checkpoint = CkptSystemLevel
+	s.FixedInterval = 10
+	f, err := Launch(e, ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	if f.Manager != nil {
+		t.Error("system-level mode must not use the Flint FT manager")
+	}
+	// Run something long enough for several intervals to elapse while the
+	// engine holds cache/shuffle state, then verify system checkpoints ran.
+	cfg := workload.PageRankConfig{Vertices: 300, AvgDegree: 6, Parts: 8, Iterations: 6, TargetBytes: 4 << 30}
+	if _, err := workload.RunPageRank(f, ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	f.Clock.RunUntil(f.Clock.Now() + simclock.Hour)
+	if f.Engine.Metrics.SystemCkptTasks == 0 {
+		t.Error("no system-level checkpoints ran")
+	}
+}
+
+var _ exec.Action // keep exec imported for the Runner assertion below
+
+var _ workload.Runner = (*Flint)(nil)

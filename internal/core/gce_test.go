@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"flint/internal/dfs"
+	"flint/internal/market"
+	"flint/internal/rdd"
+	"flint/internal/simclock"
+	"flint/internal/trace"
+	"flint/internal/workload"
+)
+
+// Flint on GCE preemptible VMs: no bidding, fixed prices, per-instance
+// lifetimes capped at 24 h. The policies apply unchanged because they
+// consume only price and MTTF (paper §2.1, §6).
+func TestFlintOnGCEPreemptible(t *testing.T) {
+	exch, err := market.PreemptibleExchange(trace.StandardGCEModels(), market.BillPerSecond, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := rdd.NewContext(8)
+	spec := smallSpec()
+	f, err := Launch(exch, ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	// The batch policy must pick a preemptible pool over on-demand.
+	for _, n := range f.Cluster.LiveNodes() {
+		if n.Pool == "on-demand" {
+			t.Fatalf("batch policy chose on-demand over 50%%-cheaper preemptible VMs")
+		}
+	}
+	counts, _, err := workload.RunWordCount(f, ctx, workload.WordCountConfig{Docs: 100, WordsPerDoc: 20, Vocab: 40, Parts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 2000 {
+		t.Fatalf("total = %d", total)
+	}
+	// The FT manager sees a finite MTTF (~20-23 h) and therefore a
+	// finite τ.
+	if f.Manager == nil {
+		t.Fatal("no FT manager")
+	}
+	if tau := f.Manager.Tau(); math.IsInf(tau, 1) || tau <= 0 {
+		t.Fatalf("tau on preemptible cluster = %v", tau)
+	}
+}
+
+// Unlike one-market EC2 clusters, GCE preemptible servers are revoked
+// individually: running the cluster past 24 h must show staggered
+// (non-simultaneous) revocations, all replaced.
+func TestGCEIndividualRevocations(t *testing.T) {
+	exch, err := market.PreemptibleExchange(trace.StandardGCEModels(), market.BillPerSecond, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := rdd.NewContext(8)
+	spec := smallSpec()
+	f, err := Launch(exch, ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	f.Clock.RunUntil(simclock.Hours(25))
+	if f.Cluster.RevocationCount < 5 {
+		t.Fatalf("revocations over 25 h = %d, want all 5 initial servers", f.Cluster.RevocationCount)
+	}
+	if got := len(f.Cluster.LiveNodes()) + len(f.Cluster.PendingNodes()); got != 5 {
+		t.Fatalf("cluster size after churn = %d, want 5", got)
+	}
+}
+
+func TestS3CheckpointStoreTradeoff(t *testing.T) {
+	ebs, s3 := dfs.New(dfs.DefaultConfig()), dfs.New(dfs.S3Config())
+	// S3 is ~20× cheaper per GB-month...
+	ebs.Put("k", nil, 1<<30, 0)
+	s3.Put("k", nil, 1<<30, 0)
+	ce := ebs.UsageAt(30 * simclock.Day).StorageCost
+	cs := s3.UsageAt(30 * simclock.Day).StorageCost
+	if cs >= ce/10 {
+		t.Fatalf("S3 cost %v not ≪ EBS cost %v", cs, ce)
+	}
+	// ...but slower to write and read.
+	if s3.WriteTime(1<<30) <= ebs.WriteTime(1<<30) {
+		t.Error("S3 writes should be slower than EBS")
+	}
+	if s3.ReadTime(1<<30) <= ebs.ReadTime(1<<30) {
+		t.Error("S3 reads should be slower than EBS")
+	}
+}
+
+func TestDriverActions(t *testing.T) {
+	e := newExchange(t)
+	ctx := rdd.NewContext(4)
+	f, err := Launch(e, ctx, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	nums := ctx.Parallelize("nums", 4, 8, func(part int) []rdd.Row {
+		var out []rdd.Row
+		for i := part; i < 100; i += 4 {
+			out = append(out, i)
+		}
+		return out
+	})
+	rows, err := f.Collect(nums)
+	if err != nil || len(rows) != 100 {
+		t.Fatalf("Collect: %d rows, %v", len(rows), err)
+	}
+	n, err := f.Count(nums)
+	if err != nil || n != 100 {
+		t.Fatalf("Count: %d, %v", n, err)
+	}
+	sum, err := f.Reduce(nums, func(a, b rdd.Row) rdd.Row { return a.(int) + b.(int) })
+	if err != nil || sum.(int) != 4950 {
+		t.Fatalf("Reduce: %v, %v", sum, err)
+	}
+	if _, err := f.Reduce(nums, nil); err == nil {
+		t.Error("nil reducer should error")
+	}
+	empty := nums.Filter("none", func(r rdd.Row) bool { return false })
+	v, err := f.Reduce(empty, func(a, b rdd.Row) rdd.Row { return a })
+	if err != nil || v != nil {
+		t.Fatalf("empty Reduce = %v, %v", v, err)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+
+	"flint/internal/exec"
+	"flint/internal/rdd"
+	"flint/internal/stats"
+)
+
+// Session models an interactive BIDI service on a Flint deployment: a
+// long-lived cluster (e.g. a Spark SQL server or an exploratory REPL,
+// §2.2) serving queries with think time between them. It records every
+// query's response latency so the consistency properties the interactive
+// policy optimizes — mean versus variance of response time, §3.2 — can
+// be measured directly.
+type Session struct {
+	f         *Flint
+	latencies []float64
+	failures  int
+}
+
+// NewSession starts a session on a running deployment.
+func NewSession(f *Flint) (*Session, error) {
+	if f == nil {
+		return nil, errors.New("core: nil deployment")
+	}
+	return &Session{f: f}, nil
+}
+
+// Query executes one action and records its latency.
+func (s *Session) Query(target *rdd.RDD, action exec.Action) (*exec.Result, error) {
+	res, err := s.f.RunJob(target, action)
+	if err != nil {
+		s.failures++
+		return nil, err
+	}
+	s.latencies = append(s.latencies, res.Latency())
+	return res, nil
+}
+
+// Think advances virtual time between queries (user think time); market
+// events — including revocations — fire during the pause.
+func (s *Session) Think(seconds float64) {
+	if seconds > 0 {
+		s.f.Clock.Advance(seconds)
+	}
+}
+
+// Latencies returns the recorded per-query response times in seconds.
+func (s *Session) Latencies() []float64 {
+	return append([]float64(nil), s.latencies...)
+}
+
+// Stats summarizes the latency distribution. The interactive policy's
+// goal is exactly "minimizing the variance between the maximum latency
+// and the average latency of actions" (§3.2) — compare Summary.Max to
+// Summary.Mean across policies.
+func (s *Session) Stats() stats.Summary {
+	return stats.Summarize(s.latencies)
+}
+
+// Failures returns how many queries errored.
+func (s *Session) Failures() int { return s.failures }

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"flint/internal/exec"
+	"flint/internal/rdd"
+	"flint/internal/workload"
+)
+
+func TestSessionRecordsLatencies(t *testing.T) {
+	e := newExchange(t)
+	ctx := rdd.NewContext(8)
+	f, err := Launch(e, ctx, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	s, err := NewSession(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := ctx.Parallelize("t", 8, 256, func(part int) []rdd.Row {
+		var out []rdd.Row
+		for i := 0; i < 100; i++ {
+			out = append(out, rdd.KV{K: i % 10, V: 1})
+		}
+		return out
+	}).Persist()
+	if _, err := s.Query(table, exec.ActionMaterialize); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 4; q++ {
+		agg := table.ReduceByKey(fmt.Sprintf("q%d", q), 4, func(a, b rdd.Row) rdd.Row {
+			return a.(int) + b.(int)
+		})
+		if _, err := s.Query(agg, exec.ActionCollect); err != nil {
+			t.Fatal(err)
+		}
+		s.Think(60)
+	}
+	if got := len(s.Latencies()); got != 5 {
+		t.Fatalf("latencies recorded = %d, want 5", got)
+	}
+	st := s.Stats()
+	if st.N != 5 || st.Mean <= 0 || st.Max < st.Mean {
+		t.Errorf("stats = %+v", st)
+	}
+	if s.Failures() != 0 {
+		t.Errorf("failures = %d", s.Failures())
+	}
+}
+
+func TestNewSessionNil(t *testing.T) {
+	if _, err := NewSession(nil); err == nil {
+		t.Error("nil deployment should error")
+	}
+}
+
+// The §3.2 claim on the live engine: for the same total number of
+// revoked servers, losing one server per event (the diversified
+// cluster's failure mode) yields lower worst-case query latency than
+// losing them all at once (the single-market mode).
+func TestSessionVarianceLowerWithSpreadFailures(t *testing.T) {
+	run := func(spread bool) (max, mean float64) {
+		tb := exec.MustTestbed(exec.TestbedOpts{Nodes: 10})
+		ctx := rdd.NewContext(20)
+		tp := workload.BuildTPCH(ctx, workload.TPCHConfig{
+			Customers: 150, OrdersPerCust: 6, LinesPerOrder: 3, Parts: 20,
+			TargetBytes: 4 << 30, Weight: 8,
+		})
+		if _, err := tp.Load(tb.Engine); err != nil {
+			t.Fatal(err)
+		}
+		// Schedule 5 server losses: either one event of 5, or 5 events
+		// of 1 spread across the session. Each spread event takes the
+		// oldest live (state-bearing) server, like an independent market
+		// revoking its slice of a diversified cluster.
+		if spread {
+			for i := 0; i < 5; i++ {
+				tb.Clock.Schedule(150+float64(i)*150, func() {
+					live := tb.Cluster.LiveNodes()
+					if len(live) > 0 {
+						if err := tb.Cluster.RevokeNow(live[0].ID, true); err != nil {
+							t.Error(err)
+						}
+					}
+				})
+			}
+		} else {
+			// Whole-cluster revocation, as when a single market's price
+			// spikes (§3.1).
+			tb.Clock.Schedule(600, func() {
+				for _, n := range tb.Cluster.LiveNodes() {
+					if err := tb.Cluster.RevokeNow(n.ID, true); err != nil {
+						t.Error(err)
+					}
+				}
+			})
+		}
+		// Fast query cadence, so at least one query lands inside the
+		// burst's whole-cluster replacement window — the situation whose
+		// latency the paper's Figure 9 measures.
+		var lats []float64
+		for q := 0; q < 12; q++ {
+			_, res, err := tp.Q1(tb.Engine, q, 2000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lats = append(lats, res.Latency())
+			tb.Clock.Advance(60)
+		}
+		max, mean = 0, 0
+		for _, l := range lats {
+			if l > max {
+				max = l
+			}
+			mean += l
+		}
+		return max, mean / float64(len(lats))
+	}
+	spreadMax, _ := run(true)
+	burstMax, _ := run(false)
+	// Losing the whole cluster at once stalls a query for the
+	// replacement delay; losing one server at a time never does — the
+	// consistency property the interactive policy buys (§3.2).
+	if spreadMax >= burstMax {
+		t.Errorf("spread failures max latency (%.1f s) not below burst max (%.1f s)", spreadMax, burstMax)
+	}
+	if burstMax < 100 {
+		t.Errorf("burst max latency %.1f s did not include a replacement stall", burstMax)
+	}
+}
+
+func TestLaunchCkptFixedMode(t *testing.T) {
+	e := newExchange(t)
+	ctx := rdd.NewContext(8)
+	s := smallSpec()
+	s.Checkpoint = CkptFixed
+	s.FixedInterval = 30
+	f, err := Launch(e, ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	if f.Manager == nil || f.Manager.Tau() != 30 {
+		t.Fatalf("fixed-interval manager tau = %v", f.Manager.Tau())
+	}
+	rep, err := workload.RunPageRank(f, ctx, workload.PageRankConfig{
+		Vertices: 500, AvgDegree: 6, Parts: 8, Iterations: 8, TargetBytes: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RunningTime <= 0 {
+		t.Error("no runtime")
+	}
+	f.Clock.RunUntil(f.Clock.Now() + 600)
+	if f.Engine.Metrics.CheckpointTasks == 0 {
+		t.Error("fixed-interval policy wrote no checkpoints")
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"flint/internal/ckpt"
+	"flint/internal/cluster"
+	"flint/internal/market"
+	"flint/internal/simclock"
+)
+
+// This file implements the trace-driven canonical-job simulator the
+// paper uses for its long-horizon studies (§5.5): "we simulate the
+// performance of a canonical program that checkpoints 4GB RDD partitions
+// every interval". A canonical job has a failure-free running time T and
+// a frontier of DeltaBytes to checkpoint; it runs on N servers whose
+// leases come from a real market.Exchange, so revocations, replacement
+// delays and billing all follow the price traces, while compute progress
+// follows the Eq. 1 overhead model.
+
+// RecoveryModel selects what a revocation costs.
+type RecoveryModel int
+
+const (
+	// RecoverFlint loses only the work since the last checkpoint: a
+	// uniform draw in [0, τ] scaled by the revoked fraction of the
+	// cluster.
+	RecoverFlint RecoveryModel = iota
+	// RecoverUnmodified models unmodified Spark with no checkpoints: the
+	// revoked fraction of all work completed so far must be recomputed
+	// from the source data.
+	RecoverUnmodified
+)
+
+// CanonicalJob is the paper's simulation workload.
+type CanonicalJob struct {
+	T          float64 // failure-free running time in seconds
+	DeltaBytes int64   // frontier size checkpointed each interval (4 GB in the paper)
+	Nodes      int     // cluster size (default 10)
+}
+
+// SimOpts tunes the simulator.
+type SimOpts struct {
+	Recovery     RecoveryModel
+	CheckpointBW float64                                // effective per-cluster checkpoint bandwidth, bytes/s (default: 10 nodes × 100 MB/s ÷ 3x replication)
+	ReplaceDelay float64                                // rd (default 120 s)
+	Seed         int64                                  // drives the uniform lost-work draws
+	MTTFOverride float64                                // fixed MTTF for τ; otherwise from the selector/market stats
+	Params       interface{ MTTF(now float64) float64 } // optional MTTFer (selector)
+}
+
+// SimResult is one simulated job execution.
+type SimResult struct {
+	Runtime     float64 // wall-clock seconds including all overheads
+	Cost        float64 // dollars across all leases
+	Revocations int     // revocation events experienced
+	Overhead    float64 // Runtime/T - 1
+	Markets     int     // distinct pools used
+}
+
+type simServer struct {
+	lease *market.Lease
+	pool  string
+	upAt  float64
+	gone  bool
+}
+
+// SimulateCanonical replays one canonical job starting at simulation time
+// t0 on servers chosen by sel over exch. Work proceeds at a rate
+// proportional to the live fraction of the cluster, discounted by the
+// checkpointing overhead δ/τ (RecoverFlint only); each revocation event
+// adds recomputation per the recovery model and triggers replacement
+// through the selector with the usual delay.
+func SimulateCanonical(exch *market.Exchange, sel cluster.Selector, job CanonicalJob, t0 float64, opts SimOpts) (SimResult, error) {
+	if job.T <= 0 {
+		return SimResult{}, errors.New("core: canonical job needs positive T")
+	}
+	n := job.Nodes
+	if n <= 0 {
+		n = 10
+	}
+	if opts.CheckpointBW <= 0 {
+		opts.CheckpointBW = float64(n) * (100 << 20) / 3
+	}
+	if opts.ReplaceDelay <= 0 {
+		opts.ReplaceDelay = 2 * simclock.Minute
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+
+	delta := float64(job.DeltaBytes) / opts.CheckpointBW
+	mttfAt := func(now float64) float64 {
+		if opts.MTTFOverride > 0 {
+			return opts.MTTFOverride
+		}
+		if opts.Params != nil {
+			return opts.Params.MTTF(now)
+		}
+		return simclock.Hours(24)
+	}
+
+	var servers []*simServer
+	poolsUsed := map[string]bool{}
+	acquire := func(reqs []cluster.Request, now, upAt float64) error {
+		for _, r := range reqs {
+			for i := 0; i < r.Count; i++ {
+				l, err := exch.Acquire(r.Pool, r.Bid, now)
+				if err != nil {
+					return err
+				}
+				servers = append(servers, &simServer{lease: l, pool: r.Pool, upAt: upAt})
+				poolsUsed[r.Pool] = true
+			}
+		}
+		return nil
+	}
+
+	reqs := sel.Initial(t0, n)
+	total := 0
+	for _, r := range reqs {
+		total += r.Count
+	}
+	if total != n {
+		return SimResult{}, errors.New("core: selector did not provision the full cluster")
+	}
+	if err := acquire(reqs, t0, t0); err != nil {
+		return SimResult{}, err
+	}
+
+	res := SimResult{}
+	now := t0
+	remaining := job.T
+	const maxEvents = 1_000_000
+	for events := 0; ; events++ {
+		if events > maxEvents {
+			return SimResult{}, errors.New("core: simulation did not converge (MTTF below checkpoint time?)")
+		}
+		// Work rate: live fraction, discounted by checkpoint overhead.
+		live := 0
+		nextUp := math.Inf(1)
+		nextRevoke := math.Inf(1)
+		for _, s := range servers {
+			if s.gone {
+				continue
+			}
+			if s.upAt > now {
+				if s.upAt < nextUp {
+					nextUp = s.upAt
+				}
+				continue
+			}
+			live++
+			if at, ok := s.lease.RevocationTime(); ok && at > now && at < nextRevoke {
+				nextRevoke = at
+			}
+		}
+		mttf := mttfAt(now)
+		tau := ckpt.OptimalInterval(delta, mttf)
+		overhead := 0.0
+		if opts.Recovery == RecoverFlint && !math.IsInf(tau, 1) && tau > 0 {
+			overhead = delta / tau
+		}
+		rate := float64(live) / float64(n) / (1 + overhead)
+		var tDone float64
+		if rate > 0 {
+			tDone = now + remaining/rate
+		} else {
+			tDone = math.Inf(1)
+		}
+
+		next := math.Min(tDone, math.Min(nextUp, nextRevoke))
+		if math.IsInf(next, 1) {
+			return SimResult{}, errors.New("core: simulation stalled with no live servers and no events")
+		}
+		remaining -= (next - now) * rate
+		now = next
+		if remaining <= 1e-9 {
+			break
+		}
+		if next == nextUp {
+			continue // a replacement came online; recompute rates
+		}
+		// Revocation event: every live server whose lease revokes now.
+		var revoked []*simServer
+		for _, s := range servers {
+			if s.gone || s.upAt > now {
+				continue
+			}
+			if at, ok := s.lease.RevocationTime(); ok && at <= now {
+				s.gone = true
+				revoked = append(revoked, s)
+			}
+		}
+		if len(revoked) == 0 {
+			continue
+		}
+		res.Revocations++
+		k := float64(len(revoked)) / float64(n)
+		done := job.T - remaining
+		switch opts.Recovery {
+		case RecoverFlint:
+			loss := rng.Float64() * tau
+			if math.IsInf(tau, 1) {
+				loss = 0
+			}
+			if loss > done {
+				loss = done
+			}
+			remaining += loss * k
+		case RecoverUnmodified:
+			remaining += done * k
+		}
+		if remaining > job.T {
+			remaining = job.T
+		}
+		// Replace, grouped by pool (mirrors the node manager's flow).
+		byPool := map[string]int{}
+		for _, s := range revoked {
+			byPool[s.pool]++
+		}
+		pools := make([]string, 0, len(byPool))
+		for p := range byPool {
+			pools = append(pools, p)
+		}
+		sort.Strings(pools)
+		for _, p := range pools {
+			count := byPool[p]
+			exclude := []string{p}
+			for try := 0; try < 8; try++ {
+				rep := sel.Replace(now, p, exclude, count)
+				if len(rep) == 0 {
+					break
+				}
+				if err := acquire(rep, now, now+opts.ReplaceDelay); err == nil {
+					count = 0
+					break
+				}
+				exclude = append(exclude, rep[0].Pool)
+			}
+			if count > 0 {
+				// Fall back to on-demand if present.
+				if od := exch.Pool("on-demand"); od != nil {
+					if err := acquire([]cluster.Request{{Pool: "on-demand", Bid: 0, Count: count}}, now, now+opts.ReplaceDelay); err != nil {
+						return SimResult{}, err
+					}
+				} else {
+					return SimResult{}, errors.New("core: no replacement available")
+				}
+			}
+		}
+	}
+
+	for _, s := range servers {
+		exch.Release(s.lease, now)
+		res.Cost += exch.LeaseCost(s.lease, now)
+	}
+	res.Runtime = now - t0
+	res.Overhead = res.Runtime/job.T - 1
+	res.Markets = len(poolsUsed)
+	return res, nil
+}

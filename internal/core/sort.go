@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"flint/internal/exec"
+	"flint/internal/rdd"
+)
+
+// SortByKey implements Spark's sortByKey for KV RDDs with float64-
+// comparable keys (ints and float64s): like Spark, it first runs a small
+// sampling job to choose range boundaries, then shuffles rows into range
+// partitions and sorts each partition locally. The result's partitions
+// are globally ordered: partition i's keys all precede partition i+1's.
+//
+// This is a driver-level operation (it needs a job for the sample), which
+// is why it lives on the deployment rather than in the pure rdd package.
+func (f *Flint) SortByKey(name string, r *rdd.RDD, parts int, ascending bool) (*rdd.RDD, error) {
+	if parts <= 0 {
+		parts = f.Ctx.DefaultParallelism()
+	}
+	// 1. Sampling job to estimate the key distribution (Spark's
+	// RangePartitioner does the same); fall back to a full scan if the
+	// sample came up empty.
+	sampleOf := func(frac float64) ([]rdd.Row, error) {
+		s := r.Sample(name+":sample", frac, 17).Map(name+":keys", func(row rdd.Row) rdd.Row {
+			return keyAsFloat(row.(rdd.KV).K)
+		})
+		res, err := f.Engine.RunJob(s, exec.ActionCollect)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rows, nil
+	}
+	rows, err := sampleOf(0.25)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < 4*parts {
+		if rows, err = sampleOf(1.0); err != nil {
+			return nil, err
+		}
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("core: SortByKey on empty dataset")
+	}
+	res := &exec.Result{Rows: rows}
+	keys := make([]float64, len(res.Rows))
+	for i, row := range res.Rows {
+		keys[i] = row.(float64)
+	}
+	sort.Float64s(keys)
+	// 2. Range boundaries: parts-1 split points at even quantiles.
+	bounds := make([]float64, 0, parts-1)
+	for i := 1; i < parts; i++ {
+		idx := i * len(keys) / parts
+		if idx >= len(keys) {
+			idx = len(keys) - 1
+		}
+		bounds = append(bounds, keys[idx])
+	}
+	// 3. Range shuffle + local sort.
+	dep := &rdd.ShuffleDep{
+		P: r, NumOut: parts,
+		Partitioner: func(row rdd.Row, numOut int) int {
+			k := keyAsFloat(row.(rdd.KV).K)
+			p := sort.SearchFloat64s(bounds, k)
+			if !ascending {
+				p = numOut - 1 - p
+			}
+			if p < 0 {
+				p = 0
+			}
+			if p >= numOut {
+				p = numOut - 1
+			}
+			return p
+		},
+	}
+	sorted := f.Ctx.NewShuffleRDD(name, parts, r.RowBytes, dep, func(part int, inputs [][]rdd.Row) []rdd.Row {
+		out := append([]rdd.Row(nil), inputs[0]...)
+		sort.SliceStable(out, func(i, j int) bool {
+			a := keyAsFloat(out[i].(rdd.KV).K)
+			b := keyAsFloat(out[j].(rdd.KV).K)
+			if ascending {
+				return a < b
+			}
+			return a > b
+		})
+		return out
+	})
+	return sorted, nil
+}
+
+// keyAsFloat coerces supported sort keys to float64.
+func keyAsFloat(k rdd.Row) float64 {
+	switch v := k.(type) {
+	case int:
+		return float64(v)
+	case int32:
+		return float64(v)
+	case int64:
+		return float64(v)
+	case float64:
+		return v
+	case float32:
+		return float64(v)
+	default:
+		panic(fmt.Sprintf("core: SortByKey key type %T not orderable", k))
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"flint/internal/rdd"
+)
+
+func sortFixture(t *testing.T) (*Flint, *rdd.Context, *rdd.RDD) {
+	t.Helper()
+	e := newExchange(t)
+	ctx := rdd.NewContext(8)
+	f, err := Launch(e, ctx, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Stop)
+	// Keys in scrambled order across partitions.
+	r := ctx.Parallelize("kv", 8, 16, func(part int) []rdd.Row {
+		var out []rdd.Row
+		for i := part; i < 500; i += 8 {
+			k := (i*37 + 11) % 500
+			out = append(out, rdd.KV{K: k, V: k * 2})
+		}
+		return out
+	})
+	return f, ctx, r
+}
+
+func TestSortByKeyAscending(t *testing.T) {
+	f, _, r := sortFixture(t)
+	sorted, err := f.SortByKey("sorted", r, 6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := f.Collect(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 500 {
+		t.Fatalf("rows = %d, want 500", len(rows))
+	}
+	// Collect returns partitions in order and each partition is sorted,
+	// so the whole sequence must be globally non-decreasing.
+	prev := -1
+	for i, row := range rows {
+		k := row.(rdd.KV).K.(int)
+		if k < prev {
+			t.Fatalf("row %d: key %d after %d — not globally sorted", i, k, prev)
+		}
+		prev = k
+	}
+	if rows[0].(rdd.KV).K.(int) != 0 || prev != 499 {
+		t.Fatalf("range = [%v, %v]", rows[0].(rdd.KV).K, prev)
+	}
+}
+
+func TestSortByKeyDescending(t *testing.T) {
+	f, _, r := sortFixture(t)
+	sorted, err := f.SortByKey("sorted", r, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := f.Collect(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1 << 30
+	for i, row := range rows {
+		k := row.(rdd.KV).K.(int)
+		if k > prev {
+			t.Fatalf("row %d: key %d after %d — not descending", i, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestSortByKeySurvivesRevocation(t *testing.T) {
+	f, _, r := sortFixture(t)
+	victim := f.Cluster.LiveNodes()[0]
+	if err := f.Cluster.RevokeNow(victim.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := f.SortByKey("sorted", r, 6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := f.Collect(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 500 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestSortByKeyEmpty(t *testing.T) {
+	f, ctx, _ := sortFixture(t)
+	empty := ctx.Parallelize("empty", 4, 8, func(part int) []rdd.Row { return nil })
+	if _, err := f.SortByKey("s", empty, 4, true); err == nil {
+		t.Error("empty dataset should error")
+	}
+}
+
+func TestKeyAsFloatPanicsOnStrings(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("string key should panic")
+		}
+	}()
+	keyAsFloat("nope")
+}
+
+func TestNewShuffleRDDValidation(t *testing.T) {
+	ctx := rdd.NewContext(4)
+	src := ctx.Parallelize("s", 4, 8, func(part int) []rdd.Row { return nil })
+	dep := &rdd.ShuffleDep{P: src, NumOut: 3}
+	for _, fn := range []func(){
+		func() { ctx.NewShuffleRDD("x", 4, 8, dep, func(int, [][]rdd.Row) []rdd.Row { return nil }) }, // count mismatch
+		func() { ctx.NewShuffleRDD("x", 3, 8, nil, func(int, [][]rdd.Row) []rdd.Row { return nil }) },
+		func() { ctx.NewShuffleRDD("x", 3, 8, dep, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid NewShuffleRDD did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,234 @@
+// Package dfs models Flint's checkpoint storage: an HDFS-style replicated
+// file system laid over EBS-like network volumes that survive server
+// revocations (§4 "Checkpoint Storage").
+//
+// Two aspects matter to Flint and are modelled here:
+//
+//   - Timing: a checkpoint write of B bytes from one node takes
+//     B·R/WriteBW seconds, where R is the replication factor (each byte
+//     is written R times) and WriteBW is the per-node write bandwidth.
+//     Reads take B/ReadBW. The execution engine charges these durations
+//     on the virtual clock.
+//
+//   - Cost: EBS SSD volumes cost $0.10 per GB-month. The store integrates
+//     byte-seconds of occupancy so experiments can report the 1–2 %-of-
+//     on-demand storage overhead the paper measures (§5.5).
+//
+// Contents are durable: revoking a node never loses checkpointed data,
+// exactly the property Flint gets from EBS remounting + HDFS re-replication.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flint/internal/simclock"
+)
+
+// Config describes the storage fabric.
+type Config struct {
+	ReplicationFactor int
+	WriteBW           float64 // bytes/s per writing node
+	ReadBW            float64 // bytes/s per reading node
+	PricePerGBMonth   float64 // dollars
+}
+
+// DefaultConfig mirrors the paper's setup: HDFS with 3-way replication on
+// SSD EBS volumes at $0.10/GB-month, with bandwidths typical of 2015-era
+// EBS-backed nodes (~100 MB/s effective write, somewhat faster reads).
+func DefaultConfig() Config {
+	return Config{
+		ReplicationFactor: 3,
+		WriteBW:           100 << 20,
+		ReadBW:            150 << 20,
+		PricePerGBMonth:   0.10,
+	}
+}
+
+// S3Config models the paper's alternative checkpoint store (§4): an S3
+// object store is "about 20 times cheaper than EBS, and is a viable
+// option for reducing storage costs, albeit at worse read/write
+// performance". Replication is internal to the service (factor 1 from
+// the client's view).
+func S3Config() Config {
+	return Config{
+		ReplicationFactor: 1,
+		WriteBW:           25 << 20,
+		ReadBW:            60 << 20,
+		PricePerGBMonth:   0.005,
+	}
+}
+
+type object struct {
+	value any
+	bytes int64
+	putAt float64
+}
+
+// Store is the checkpoint store. It is not safe for concurrent use; the
+// simulator is single-threaded by design.
+type Store struct {
+	cfg  Config
+	objs map[string]*object
+
+	// occupancy accounting
+	curBytes     int64
+	lastAt       float64
+	byteSeconds  float64
+	peakBytes    int64
+	bytesWritten int64
+	bytesRead    int64
+	puts, gets   int
+	deletes      int
+}
+
+// New creates an empty store.
+func New(cfg Config) *Store {
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 3
+	}
+	if cfg.WriteBW <= 0 {
+		cfg.WriteBW = 100 << 20
+	}
+	if cfg.ReadBW <= 0 {
+		cfg.ReadBW = 150 << 20
+	}
+	return &Store{cfg: cfg, objs: make(map[string]*object)}
+}
+
+// Key builds the canonical checkpoint key for a partition: the paper
+// stores "all partition checkpoints that belong to a single RDD inside
+// the same directory", which we mirror as rdd/<id>/part/<index>.
+func Key(rddID, part int) string { return fmt.Sprintf("rdd/%d/part/%d", rddID, part) }
+
+// RDDPrefix is the directory prefix holding all of an RDD's partitions.
+func RDDPrefix(rddID int) string { return fmt.Sprintf("rdd/%d/", rddID) }
+
+// advance brings the occupancy integral up to time now.
+func (s *Store) advance(now float64) {
+	if now > s.lastAt {
+		s.byteSeconds += float64(s.curBytes) * (now - s.lastAt)
+		s.lastAt = now
+	}
+}
+
+// Put stores value under key at time now, replacing any prior object.
+// bytes is the logical (pre-replication) size.
+func (s *Store) Put(key string, value any, bytes int64, now float64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	s.advance(now)
+	if old, ok := s.objs[key]; ok {
+		s.curBytes -= old.bytes * int64(s.cfg.ReplicationFactor)
+	}
+	s.objs[key] = &object{value: value, bytes: bytes, putAt: now}
+	s.curBytes += bytes * int64(s.cfg.ReplicationFactor)
+	if s.curBytes > s.peakBytes {
+		s.peakBytes = s.curBytes
+	}
+	s.bytesWritten += bytes * int64(s.cfg.ReplicationFactor)
+	s.puts++
+}
+
+// Get returns the stored value and its logical size.
+func (s *Store) Get(key string, now float64) (value any, bytes int64, ok bool) {
+	o, ok := s.objs[key]
+	if !ok {
+		return nil, 0, false
+	}
+	s.bytesRead += o.bytes
+	s.gets++
+	return o.value, o.bytes, true
+}
+
+// Has reports whether key exists without charging a read.
+func (s *Store) Has(key string) bool {
+	_, ok := s.objs[key]
+	return ok
+}
+
+// Delete removes key at time now. Deleting a missing key is a no-op.
+func (s *Store) Delete(key string, now float64) {
+	o, ok := s.objs[key]
+	if !ok {
+		return
+	}
+	s.advance(now)
+	s.curBytes -= o.bytes * int64(s.cfg.ReplicationFactor)
+	delete(s.objs, key)
+	s.deletes++
+}
+
+// DeletePrefix removes every key with the given prefix (a "directory").
+// It returns the number of objects removed.
+func (s *Store) DeletePrefix(prefix string, now float64) int {
+	var doomed []string
+	for k := range s.objs {
+		if strings.HasPrefix(k, prefix) {
+			doomed = append(doomed, k)
+		}
+	}
+	for _, k := range doomed {
+		s.Delete(k, now)
+	}
+	return len(doomed)
+}
+
+// Keys returns all keys with the given prefix in sorted order.
+func (s *Store) Keys(prefix string) []string {
+	var out []string
+	for k := range s.objs {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteTime returns the virtual seconds one node needs to checkpoint
+// bytes (logical size; replication inflates the transfer).
+func (s *Store) WriteTime(bytes int64) float64 {
+	return float64(bytes) * float64(s.cfg.ReplicationFactor) / s.cfg.WriteBW
+}
+
+// ReadTime returns the virtual seconds one node needs to read bytes back.
+func (s *Store) ReadTime(bytes int64) float64 {
+	return float64(bytes) / s.cfg.ReadBW
+}
+
+// Usage is a snapshot of storage accounting.
+type Usage struct {
+	CurrentBytes int64
+	PeakBytes    int64
+	BytesWritten int64
+	BytesRead    int64
+	Puts, Gets   int
+	Deletes      int
+	GBMonths     float64
+	StorageCost  float64 // dollars
+}
+
+// UsageAt returns accounting as of time now.
+func (s *Store) UsageAt(now float64) Usage {
+	s.advance(now)
+	const gb = float64(1 << 30)
+	const month = 30 * simclock.Day
+	gbMonths := s.byteSeconds / gb / month
+	return Usage{
+		CurrentBytes: s.curBytes,
+		PeakBytes:    s.peakBytes,
+		BytesWritten: s.bytesWritten,
+		BytesRead:    s.bytesRead,
+		Puts:         s.puts,
+		Gets:         s.gets,
+		Deletes:      s.deletes,
+		GBMonths:     gbMonths,
+		StorageCost:  gbMonths * s.cfg.PricePerGBMonth,
+	}
+}
+
+// Config returns the store's configuration.
+func (s *Store) Config() Config { return s.cfg }

@@ -1,0 +1,149 @@
+package dfs
+
+import (
+	"math"
+	"testing"
+
+	"flint/internal/simclock"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Put("k", []int{1, 2, 3}, 100, 0)
+	v, n, ok := s.Get("k", 1)
+	if !ok || n != 100 {
+		t.Fatalf("Get = %v,%v,%v", v, n, ok)
+	}
+	rows := v.([]int)
+	if len(rows) != 3 || rows[2] != 3 {
+		t.Fatalf("value corrupted: %v", rows)
+	}
+	if !s.Has("k") || s.Has("missing") {
+		t.Error("Has broken")
+	}
+	s.Delete("k", 2)
+	if _, _, ok := s.Get("k", 3); ok {
+		t.Error("deleted key still present")
+	}
+	s.Delete("k", 4) // no-op
+}
+
+func TestReplaceUpdatesOccupancy(t *testing.T) {
+	s := New(Config{ReplicationFactor: 2, WriteBW: 1, ReadBW: 1})
+	s.Put("k", nil, 100, 0)
+	s.Put("k", nil, 50, 0)
+	u := s.UsageAt(0)
+	if u.CurrentBytes != 100 { // 50 × replication 2
+		t.Fatalf("CurrentBytes = %d, want 100", u.CurrentBytes)
+	}
+	if u.PeakBytes != 200 {
+		t.Fatalf("PeakBytes = %d, want 200", u.PeakBytes)
+	}
+	if u.BytesWritten != 300 {
+		t.Fatalf("BytesWritten = %d, want 300", u.BytesWritten)
+	}
+}
+
+func TestKeysAndDeletePrefix(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Put(Key(1, 0), nil, 10, 0)
+	s.Put(Key(1, 1), nil, 10, 0)
+	s.Put(Key(2, 0), nil, 10, 0)
+	ks := s.Keys(RDDPrefix(1))
+	if len(ks) != 2 || ks[0] != "rdd/1/part/0" || ks[1] != "rdd/1/part/1" {
+		t.Fatalf("Keys = %v", ks)
+	}
+	if got := s.DeletePrefix(RDDPrefix(1), 1); got != 2 {
+		t.Fatalf("DeletePrefix removed %d, want 2", got)
+	}
+	if s.Has(Key(1, 0)) || !s.Has(Key(2, 0)) {
+		t.Error("prefix delete removed wrong keys")
+	}
+}
+
+func TestWriteAndReadTime(t *testing.T) {
+	s := New(Config{ReplicationFactor: 3, WriteBW: 100 << 20, ReadBW: 200 << 20})
+	// 100 MB logical → 300 MB transferred at 100 MB/s = 3 s.
+	if got := s.WriteTime(100 << 20); math.Abs(got-3) > 1e-9 {
+		t.Errorf("WriteTime = %v, want 3", got)
+	}
+	if got := s.ReadTime(100 << 20); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("ReadTime = %v, want 0.5", got)
+	}
+}
+
+func TestStorageCostIntegral(t *testing.T) {
+	cfg := DefaultConfig()
+	s := New(cfg)
+	// 1 GB logical (3 GB replicated) held for one month: 3 GB-months.
+	s.Put("k", nil, 1<<30, 0)
+	u := s.UsageAt(30 * simclock.Day)
+	if math.Abs(u.GBMonths-3) > 1e-6 {
+		t.Fatalf("GBMonths = %v, want 3", u.GBMonths)
+	}
+	if math.Abs(u.StorageCost-0.30) > 1e-6 {
+		t.Fatalf("StorageCost = %v, want 0.30", u.StorageCost)
+	}
+}
+
+func TestStorageCostStopsAfterDelete(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Put("k", nil, 1<<30, 0)
+	s.Delete("k", 15*simclock.Day)
+	u := s.UsageAt(30 * simclock.Day)
+	if math.Abs(u.GBMonths-1.5) > 1e-6 {
+		t.Fatalf("GBMonths = %v, want 1.5", u.GBMonths)
+	}
+	if u.Deletes != 1 {
+		t.Errorf("Deletes = %d", u.Deletes)
+	}
+}
+
+func TestUsageCounters(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Put("a", nil, 10, 0)
+	s.Put("b", nil, 20, 0)
+	s.Get("a", 1)
+	s.Get("a", 2)
+	u := s.UsageAt(3)
+	if u.Puts != 2 || u.Gets != 2 {
+		t.Errorf("counters = %+v", u)
+	}
+	if u.BytesRead != 20 {
+		t.Errorf("BytesRead = %d, want 20", u.BytesRead)
+	}
+}
+
+func TestNegativeBytesClamped(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Put("k", nil, -5, 0)
+	_, n, ok := s.Get("k", 0)
+	if !ok || n != 0 {
+		t.Errorf("negative size not clamped: %d", n)
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	s := New(Config{})
+	if s.Config().ReplicationFactor != 3 {
+		t.Error("zero config should default replication to 3")
+	}
+	if s.WriteTime(1<<20) <= 0 || s.ReadTime(1<<20) <= 0 {
+		t.Error("zero-config bandwidths must be positive")
+	}
+}
+
+func TestDurabilityAcrossManyOperations(t *testing.T) {
+	// Checkpoints must never disappear except via Delete — the EBS
+	// durability property Flint relies on.
+	s := New(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		s.Put(Key(i, 0), i, 1000, float64(i))
+	}
+	for i := 0; i < 100; i++ {
+		v, _, ok := s.Get(Key(i, 0), 200)
+		if !ok || v.(int) != i {
+			t.Fatalf("object %d lost or corrupted", i)
+		}
+	}
+}

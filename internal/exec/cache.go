@@ -1,0 +1,160 @@
+package exec
+
+import (
+	"container/list"
+
+	"flint/internal/rdd"
+)
+
+// blockKey identifies one RDD partition in the cache.
+type blockKey struct {
+	rddID int
+	part  int
+}
+
+// tier records where a block currently lives.
+type tier int
+
+const (
+	tierMem tier = iota
+	tierDisk
+)
+
+type block struct {
+	key   blockKey
+	rows  []rdd.Row
+	bytes int64
+	where tier
+	elem  *list.Element // position in the tier's LRU list
+}
+
+// blockCache is the per-node RDD storage: a memory tier of capacity
+// memCap with LRU eviction to a local-disk tier of capacity diskCap
+// (Spark's MEMORY_AND_DISK behaviour); blocks evicted from disk are
+// dropped and must be recomputed from lineage. Everything here is lost
+// when the node is revoked.
+type blockCache struct {
+	memCap, diskCap   int64
+	memUsed, diskUsed int64
+	blocks            map[blockKey]*block
+	memLRU, diskLRU   *list.List // front = most recent
+}
+
+func newBlockCache(memCap, diskCap int64) *blockCache {
+	return &blockCache{
+		memCap: memCap, diskCap: diskCap,
+		blocks: make(map[blockKey]*block),
+		memLRU: list.New(), diskLRU: list.New(),
+	}
+}
+
+// get returns the block and its tier, touching LRU position.
+func (c *blockCache) get(k blockKey) (*block, bool) {
+	b, ok := c.blocks[k]
+	if !ok {
+		return nil, false
+	}
+	if b.where == tierMem {
+		c.memLRU.MoveToFront(b.elem)
+	} else {
+		c.diskLRU.MoveToFront(b.elem)
+	}
+	return b, true
+}
+
+// has reports presence without touching LRU.
+func (c *blockCache) has(k blockKey) bool {
+	_, ok := c.blocks[k]
+	return ok
+}
+
+// put inserts (or refreshes) a block in the memory tier, evicting LRU
+// blocks to disk — and from disk entirely — as needed. A block larger
+// than the memory tier goes straight to disk; larger than both is not
+// stored at all.
+func (c *blockCache) put(k blockKey, rows []rdd.Row, bytes int64) {
+	if old, ok := c.blocks[k]; ok {
+		c.remove(old)
+	}
+	b := &block{key: k, rows: rows, bytes: bytes}
+	if bytes <= c.memCap {
+		c.evictMem(bytes)
+		b.where = tierMem
+		b.elem = c.memLRU.PushFront(b)
+		c.memUsed += bytes
+		c.blocks[k] = b
+		return
+	}
+	if bytes <= c.diskCap {
+		c.evictDisk(bytes)
+		b.where = tierDisk
+		b.elem = c.diskLRU.PushFront(b)
+		c.diskUsed += bytes
+		c.blocks[k] = b
+	}
+	// else: too large to store anywhere; silently skipped.
+}
+
+// evictMem frees space in the memory tier by demoting LRU blocks to disk.
+func (c *blockCache) evictMem(need int64) {
+	for c.memUsed+need > c.memCap {
+		e := c.memLRU.Back()
+		if e == nil {
+			return
+		}
+		b := e.Value.(*block)
+		c.memLRU.Remove(e)
+		c.memUsed -= b.bytes
+		// Demote to disk.
+		if b.bytes <= c.diskCap {
+			c.evictDisk(b.bytes)
+			b.where = tierDisk
+			b.elem = c.diskLRU.PushFront(b)
+			c.diskUsed += b.bytes
+		} else {
+			delete(c.blocks, b.key)
+		}
+	}
+}
+
+// evictDisk frees space in the disk tier by dropping LRU blocks.
+func (c *blockCache) evictDisk(need int64) {
+	for c.diskUsed+need > c.diskCap {
+		e := c.diskLRU.Back()
+		if e == nil {
+			return
+		}
+		b := e.Value.(*block)
+		c.diskLRU.Remove(e)
+		c.diskUsed -= b.bytes
+		delete(c.blocks, b.key)
+	}
+}
+
+// remove deletes a block outright.
+func (c *blockCache) remove(b *block) {
+	if b.where == tierMem {
+		c.memLRU.Remove(b.elem)
+		c.memUsed -= b.bytes
+	} else {
+		c.diskLRU.Remove(b.elem)
+		c.diskUsed -= b.bytes
+	}
+	delete(c.blocks, b.key)
+}
+
+// dropRDD removes every cached partition of an RDD (uncache).
+func (c *blockCache) dropRDD(rddID int) {
+	var doomed []*block
+	for _, b := range c.blocks {
+		if b.key.rddID == rddID {
+			doomed = append(doomed, b)
+		}
+	}
+	for _, b := range doomed {
+		c.remove(b)
+	}
+}
+
+// usage returns current occupancy.
+func (c *blockCache) usage() (mem, disk int64) { return c.memUsed, c.diskUsed }

@@ -1,0 +1,587 @@
+// Package exec is the execution engine: a discrete-event simulator that
+// schedules RDD computations as stages and tasks over a cluster of
+// transient servers.
+//
+// Semantics follow Spark's DAG scheduler: a job is an action on a target
+// RDD; the lineage graph is cut into stages at shuffle dependencies;
+// narrow chains are pipelined inside a single task; lost partitions are
+// recomputed from the youngest available ancestor — a live cache entry, a
+// checkpoint in the DFS, or in the worst case the source data (paper
+// Figure 1). Server revocations destroy the node's cached partitions and
+// shuffle outputs; the scheduler detects the loss (directly or via fetch
+// failures) and transparently recomputes.
+//
+// Tasks execute their user code for real, but their *durations* are
+// virtual, charged by a CostModel from the bytes they process and move
+// (see DESIGN.md: the virtual-time substitution). Checkpoint writes are
+// tasks too — they occupy a slot on the node that computed the partition,
+// which is exactly how Flint's "checkpointing tax" arises.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"flint/internal/cluster"
+	"flint/internal/dfs"
+	"flint/internal/rdd"
+	"flint/internal/simclock"
+)
+
+// CheckpointPolicy is the hook through which Flint's fault-tolerance
+// manager (internal/ckpt) drives automated checkpointing. All methods are
+// called on the simulation thread.
+type CheckpointPolicy interface {
+	// ShouldCheckpoint reports whether a freshly materialized partition of
+	// r should be written to the checkpoint store.
+	ShouldCheckpoint(r *rdd.RDD, now float64) bool
+	// NotifyStageActive fires when the engine starts computing r.
+	NotifyStageActive(r *rdd.RDD, now float64)
+	// NotifyStageDone fires when r's stage has no remaining work.
+	NotifyStageDone(r *rdd.RDD, now float64)
+	// NotifyCheckpointDone fires when one partition checkpoint completes.
+	NotifyCheckpointDone(r *rdd.RDD, part int, bytes int64, wrote float64, now float64)
+}
+
+// Config tunes the engine.
+type Config struct {
+	Cost CostModel
+	// SystemCheckpointInterval, when positive, enables the systems-level
+	// checkpointing baseline of Figure 6b: every interval, each node
+	// writes its entire memory state (cached partitions + shuffle
+	// buffers) to the store.
+	SystemCheckpointInterval float64
+	// MaxEvents bounds RunJob's event count as a runaway guard (e.g. a
+	// cluster whose MTTF is below the checkpoint time never progresses,
+	// which the paper notes as the δ ≪ MTTF requirement).
+	MaxEvents int
+}
+
+// DefaultConfig returns the calibrated engine configuration.
+func DefaultConfig() Config {
+	return Config{Cost: DefaultCostModel(), MaxEvents: 20_000_000}
+}
+
+// Metrics aggregates engine-wide counters across jobs.
+type Metrics struct {
+	Revocations     int
+	NodesJoined     int
+	TasksLaunched   int
+	TasksKilled     int
+	CheckpointTasks int
+	CheckpointBytes int64
+	SystemCkptTasks int
+	ComputeSeconds  float64 // total slot-seconds of compute tasks
+	CkptSeconds     float64 // total slot-seconds of checkpoint tasks
+}
+
+// nodeState is the engine's view of one live server.
+type nodeState struct {
+	node      *cluster.Node
+	freeSlots int
+	cache     *blockCache
+	running   map[*task]bool
+	// sysCkptInFlight guards against overlapping system-level checkpoint
+	// writes when the interval is shorter than the write time.
+	sysCkptInFlight bool
+}
+
+// Engine schedules jobs over the cluster.
+type Engine struct {
+	clock  *simclock.Clock
+	store  *dfs.Store
+	cfg    Config
+	cost   CostModel
+	policy CheckpointPolicy
+
+	nodes    map[int]*nodeState
+	shuffles *shuffleTracker
+
+	queue       []*task
+	nextTaskSeq int
+	nextStageID int
+	nextJobID   int
+	activeJobs  []*job
+	pendingCkpt map[blockKey]bool
+	computeSeen map[blockKey]int // how many times each partition was computed
+	rrCursor    int
+	sysTickOn   bool
+
+	Metrics Metrics
+}
+
+// New creates an engine. Attach it to a cluster manager by passing
+// Events() to cluster.New, then start the manager.
+func New(clock *simclock.Clock, store *dfs.Store, cfg Config, policy CheckpointPolicy) *Engine {
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = 20_000_000
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	return &Engine{
+		clock: clock, store: store, cfg: cfg, cost: cfg.Cost, policy: policy,
+		nodes:       make(map[int]*nodeState),
+		shuffles:    newShuffleTracker(),
+		pendingCkpt: make(map[blockKey]bool),
+		computeSeen: make(map[blockKey]int),
+	}
+}
+
+// Clock returns the engine's virtual clock.
+func (e *Engine) Clock() *simclock.Clock { return e.clock }
+
+// SetPolicy installs (or replaces) the checkpoint policy. It exists
+// because the policy usually needs the same clock and store the engine
+// was built with.
+func (e *Engine) SetPolicy(p CheckpointPolicy) { e.policy = p }
+
+// Store returns the checkpoint store.
+func (e *Engine) Store() *dfs.Store { return e.store }
+
+// Events returns the cluster-event handlers that wire a cluster.Manager
+// to this engine.
+func (e *Engine) Events() cluster.Events {
+	return cluster.Events{
+		OnNodeUp:  e.onNodeUp,
+		OnRevoked: e.onRevoked,
+	}
+}
+
+func (e *Engine) onNodeUp(n *cluster.Node) {
+	if _, dup := e.nodes[n.ID]; dup {
+		return
+	}
+	e.nodes[n.ID] = &nodeState{
+		node:      n,
+		freeSlots: n.Slots,
+		cache:     newBlockCache(n.MemBytes, n.LocalDisk),
+		running:   make(map[*task]bool),
+	}
+	e.Metrics.NodesJoined++
+	e.pump()
+}
+
+func (e *Engine) onRevoked(n *cluster.Node) {
+	ns, ok := e.nodes[n.ID]
+	if !ok {
+		return
+	}
+	e.Metrics.Revocations++
+	// Kill running tasks; their completion events become no-ops and the
+	// work is re-discovered by the scheduler from ground truth.
+	for t := range ns.running {
+		t.killed = true
+		e.Metrics.TasksKilled++
+		if t.kind == taskCompute {
+			t.stage.job.stats.TasksKilled++
+			delete(t.stage.inFlight, t.part)
+		}
+		if t.kind == taskCheckpoint {
+			delete(e.pendingCkpt, blockKey{rddID: t.ckptRDD.ID, part: t.part})
+		}
+	}
+	// All volatile state on the node is gone.
+	e.shuffles.dropNode(n.ID)
+	delete(e.nodes, n.ID)
+	e.pump()
+}
+
+// cachedAnywhere reports whether block k is in any live node's cache.
+func (e *Engine) cachedAnywhere(k blockKey) bool {
+	for _, ns := range e.nodes {
+		if ns.cache.has(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkpointKey is the store key for partition (r, p).
+func checkpointKey(r *rdd.RDD, p int) string { return dfs.Key(r.ID, p) }
+
+// Submit enqueues a job; cb runs at the virtual instant the job
+// completes.
+func (e *Engine) Submit(target *rdd.RDD, action Action, cb func(*Result)) {
+	e.nextJobID++
+	e.nextStageID++
+	j := &job{
+		id: e.nextJobID, target: target, action: action, cb: cb,
+		mapStages: make(map[*rdd.ShuffleDep]*stage),
+		results:   make([][]rdd.Row, target.NumParts),
+		delivered: make([]bool, target.NumParts),
+		start:     e.clock.Now(),
+	}
+	j.resultStage = &stage{
+		id: e.nextStageID, job: j, out: target,
+		numTasks: target.NumParts, inFlight: make(map[int]bool),
+	}
+	e.activeJobs = append(e.activeJobs, j)
+	if e.cfg.SystemCheckpointInterval > 0 && !e.sysTickOn {
+		e.sysTickOn = true
+		e.clock.After(e.cfg.SystemCheckpointInterval, e.systemCkptTick)
+	}
+	e.pump()
+}
+
+// RunJob submits a job and drives the clock until it completes, returning
+// its result. Events unrelated to the job (market revocations, node
+// replacements) are processed as they come due.
+func (e *Engine) RunJob(target *rdd.RDD, action Action) (*Result, error) {
+	var res *Result
+	e.Submit(target, action, func(r *Result) { res = r })
+	steps := 0
+	for res == nil {
+		if !e.clock.Step() {
+			return nil, fmt.Errorf("exec: job on %s deadlocked: no pending events (cluster empty and no replacements?)", target)
+		}
+		steps++
+		if steps > e.cfg.MaxEvents {
+			return nil, fmt.Errorf("exec: job on %s exceeded %d events; the cluster may be revoking faster than it can recompute (MTTF below checkpoint time)", target, e.cfg.MaxEvents)
+		}
+	}
+	return res, nil
+}
+
+// pump is the heart of the scheduler: it re-derives, from ground truth
+// (delivered results, registered shuffle outputs, live caches and
+// checkpoints), which tasks must run, enqueues them, and dispatches onto
+// free slots. It is idempotent and is invoked on every state change.
+func (e *Engine) pump() {
+	visited := make(map[*stage]bool)
+	for _, j := range e.activeJobs {
+		if !j.finished {
+			e.trySubmit(j.resultStage, visited)
+		}
+	}
+	e.dispatch()
+}
+
+// trySubmit enqueues the runnable needed partitions of s and recursively
+// submits the parent map stages for partitions blocked on missing shuffle
+// outputs.
+func (e *Engine) trySubmit(s *stage, visited map[*stage]bool) {
+	if visited[s] {
+		return
+	}
+	visited[s] = true
+	needed := e.stageNeededParts(s)
+	var blockedDeps []*rdd.ShuffleDep
+	seenDep := make(map[*rdd.ShuffleDep]bool)
+	enqueued := false
+	for _, p := range needed {
+		if s.inFlight[p] {
+			continue
+		}
+		miss := make(map[*rdd.ShuffleDep]bool)
+		e.missingShuffles(s.out, p, miss, make(map[blockKey]bool))
+		if len(miss) == 0 {
+			e.enqueueCompute(s, p)
+			enqueued = true
+			continue
+		}
+		for dep := range miss {
+			if !seenDep[dep] {
+				seenDep[dep] = true
+				blockedDeps = append(blockedDeps, dep)
+			}
+		}
+	}
+	if enqueued && !s.active {
+		s.active = true
+		if e.policy != nil {
+			e.policy.NotifyStageActive(s.out, e.clock.Now())
+		}
+	}
+	// Deterministic recursion order.
+	sort.Slice(blockedDeps, func(i, j int) bool {
+		return e.shuffles.register(blockedDeps[i]) < e.shuffles.register(blockedDeps[j])
+	})
+	for _, dep := range blockedDeps {
+		e.trySubmit(s.job.mapStageFor(dep, e), visited)
+	}
+}
+
+func (e *Engine) enqueueCompute(s *stage, part int) {
+	e.nextTaskSeq++
+	t := &task{seq: e.nextTaskSeq, kind: taskCompute, stage: s, part: part}
+	s.inFlight[part] = true
+	e.queue = append(e.queue, t)
+}
+
+// enqueueCheckpoint schedules an asynchronous checkpoint write of one
+// partition, pinned to the node holding the freshly computed rows.
+func (e *Engine) enqueueCheckpoint(ns *nodeState, cp computedPart) {
+	e.nextTaskSeq++
+	t := &task{
+		seq: e.nextTaskSeq, kind: taskCheckpoint, node: ns, pinned: true,
+		ckptRDD: cp.r, part: cp.part, ckptRows: cp.rows, ckptBytes: cp.bytes,
+	}
+	e.pendingCkpt[blockKey{rddID: cp.r.ID, part: cp.part}] = true
+	e.queue = append(e.queue, t)
+}
+
+// dispatch places queued tasks onto free slots, preferring data locality
+// for compute tasks and honoring pinning for checkpoint tasks.
+func (e *Engine) dispatch() {
+	if len(e.queue) == 0 {
+		return
+	}
+	nodes := e.sortedNodes()
+	if len(nodes) == 0 {
+		return
+	}
+	var remaining []*task
+	for qi := 0; qi < len(e.queue); qi++ {
+		t := e.queue[qi]
+		if t.killed {
+			continue
+		}
+		if t.pinned {
+			ns, alive := e.nodes[t.node.node.ID]
+			if !alive || ns != t.node {
+				// Node revoked before the write started: the data is gone.
+				if t.kind == taskCheckpoint {
+					delete(e.pendingCkpt, blockKey{rddID: t.ckptRDD.ID, part: t.part})
+				}
+				continue
+			}
+			if ns.freeSlots > 0 {
+				e.launch(t, ns)
+			} else {
+				remaining = append(remaining, t)
+			}
+			continue
+		}
+		ns := e.pickNode(t, nodes)
+		if ns == nil {
+			remaining = append(remaining, t)
+			continue
+		}
+		e.launch(t, ns)
+	}
+	e.queue = remaining
+}
+
+// pickNode chooses a node with a free slot, preferring the node that
+// caches the task's target partition, then round-robin.
+func (e *Engine) pickNode(t *task, nodes []*nodeState) *nodeState {
+	if t.kind == taskCompute {
+		k := blockKey{rddID: t.stage.out.ID, part: t.part}
+		for _, ns := range nodes {
+			if ns.freeSlots > 0 && ns.cache.has(k) {
+				return ns
+			}
+		}
+	}
+	n := len(nodes)
+	for i := 0; i < n; i++ {
+		ns := nodes[(e.rrCursor+i)%n]
+		if ns.freeSlots > 0 {
+			e.rrCursor = (e.rrCursor + i + 1) % n
+			return ns
+		}
+	}
+	return nil
+}
+
+// launch starts a task on a node: the work runs now (reads against
+// current state), the duration is charged, and effects apply at the
+// completion event.
+func (e *Engine) launch(t *task, ns *nodeState) {
+	t.node = ns
+	ns.freeSlots--
+	ns.running[t] = true
+	e.Metrics.TasksLaunched++
+	var dur float64
+	switch t.kind {
+	case taskCompute:
+		t.stage.job.stats.TasksLaunched++
+		t.eff = e.runCompute(t)
+		dur = t.eff.duration
+		e.Metrics.ComputeSeconds += dur
+	case taskCheckpoint:
+		dur = e.cost.TaskOverhead + e.store.WriteTime(t.ckptBytes)
+		e.Metrics.CkptSeconds += dur
+	case taskSystemCkpt:
+		dur = e.cost.TaskOverhead + e.store.WriteTime(t.sysBytes)
+		e.Metrics.CkptSeconds += dur
+	}
+	e.clock.After(dur, func() { e.onTaskDone(t) })
+}
+
+// onTaskDone applies a finished task's effects.
+func (e *Engine) onTaskDone(t *task) {
+	if t.killed {
+		return
+	}
+	ns := t.node
+	ns.freeSlots++
+	delete(ns.running, t)
+	now := e.clock.Now()
+
+	switch t.kind {
+	case taskCheckpoint:
+		k := blockKey{rddID: t.ckptRDD.ID, part: t.part}
+		delete(e.pendingCkpt, k)
+		e.store.Put(checkpointKey(t.ckptRDD, t.part), t.ckptRows, t.ckptBytes, now)
+		e.Metrics.CheckpointTasks++
+		e.Metrics.CheckpointBytes += t.ckptBytes
+		if e.policy != nil {
+			e.policy.NotifyCheckpointDone(t.ckptRDD, t.part, t.ckptBytes, e.store.WriteTime(t.ckptBytes), now)
+		}
+		e.pump()
+		return
+	case taskSystemCkpt:
+		ns.sysCkptInFlight = false
+		e.store.Put(fmt.Sprintf("sys/node/%d", ns.node.ID), nil, t.sysBytes, now)
+		e.Metrics.SystemCkptTasks++
+		e.pump()
+		return
+	}
+
+	s := t.stage
+	j := s.job
+	delete(s.inFlight, t.part)
+
+	if len(t.eff.fetchFailed) > 0 {
+		j.stats.FetchFailures++
+		e.pump() // resubmission happens from ground truth
+		return
+	}
+
+	// Book compute statistics.
+	j.stats.ShuffleBytesRemote += t.eff.remoteBytes
+	j.stats.ShuffleBytesLocal += t.eff.localBytes
+	j.stats.CacheHits += t.eff.cacheHits
+	j.stats.CacheMisses += t.eff.cacheMisses
+	j.stats.CheckpointReads += t.eff.ckptReads
+	for _, cp := range t.eff.computed {
+		k := blockKey{rddID: cp.r.ID, part: cp.part}
+		e.computeSeen[k]++
+		if e.computeSeen[k] > 1 {
+			j.stats.RecomputedPartitions++
+		}
+	}
+	// Cache insertions.
+	for _, cp := range t.eff.toCache {
+		ns.cache.put(blockKey{rddID: cp.r.ID, part: cp.part}, cp.rows, cp.bytes)
+	}
+	// Checkpoint consultation for everything materialized or touched
+	// here: explicit RDD.Checkpoint() requests always write; otherwise
+	// the automated policy decides.
+	offer := append(append([]computedPart(nil), t.eff.computed...), t.eff.touched...)
+	for _, cp := range offer {
+		k := blockKey{rddID: cp.r.ID, part: cp.part}
+		if e.pendingCkpt[k] || e.store.Has(checkpointKey(cp.r, cp.part)) {
+			continue
+		}
+		if cp.r.CheckpointRequested || (e.policy != nil && e.policy.ShouldCheckpoint(cp.r, now)) {
+			j.stats.CheckpointTasks++
+			j.stats.CheckpointBytes += cp.bytes
+			e.enqueueCheckpoint(ns, cp)
+		}
+	}
+
+	if s.isResult() {
+		if !j.delivered[t.part] {
+			j.delivered[t.part] = true
+			j.results[t.part] = t.eff.resultRows
+			j.nDelivered++
+		}
+		if j.nDelivered == s.numTasks {
+			e.finishJob(j, now)
+		}
+	} else {
+		e.shuffles.putOutput(s.dep, t.part, ns.node.ID, t.eff.mapBuckets)
+		if e.shuffles.state(s.dep).available() && len(s.inFlight) == 0 && s.active {
+			s.active = false
+			if e.policy != nil {
+				e.policy.NotifyStageDone(s.out, now)
+			}
+		}
+	}
+	e.pump()
+}
+
+// finishJob assembles the job result and invokes the callback.
+func (e *Engine) finishJob(j *job, now float64) {
+	j.finished = true
+	if j.resultStage.active {
+		j.resultStage.active = false
+		if e.policy != nil {
+			e.policy.NotifyStageDone(j.target, now)
+		}
+	}
+	res := &Result{Start: j.start, End: now, Stats: j.stats}
+	switch j.action {
+	case ActionCollect:
+		for _, part := range j.results {
+			res.Rows = append(res.Rows, part...)
+		}
+	case ActionCount:
+		for _, part := range j.results {
+			res.Count += int64(len(part))
+		}
+	}
+	// Drop the per-partition buffers for materialize/count.
+	if j.action != ActionCollect {
+		j.results = nil
+	}
+	// Remove from active list.
+	for i, a := range e.activeJobs {
+		if a == j {
+			e.activeJobs = append(e.activeJobs[:i], e.activeJobs[i+1:]...)
+			break
+		}
+	}
+	if j.cb != nil {
+		j.cb(res)
+	}
+}
+
+// systemCkptTick implements the systems-level checkpointing baseline:
+// every interval, each node writes its full memory state.
+func (e *Engine) systemCkptTick() {
+	if len(e.activeJobs) == 0 {
+		e.sysTickOn = false
+		return
+	}
+	for _, ns := range e.sortedNodes() {
+		if ns.sysCkptInFlight {
+			continue
+		}
+		mem, disk := ns.cache.usage()
+		bytes := mem + disk + e.shuffles.nodeBytes(ns.node.ID)
+		if bytes == 0 {
+			continue
+		}
+		ns.sysCkptInFlight = true
+		e.nextTaskSeq++
+		e.queue = append(e.queue, &task{
+			seq: e.nextTaskSeq, kind: taskSystemCkpt, node: ns, pinned: true,
+			sysBytes: bytes,
+		})
+	}
+	e.dispatch()
+	e.clock.After(e.cfg.SystemCheckpointInterval, e.systemCkptTick)
+}
+
+// LiveNodeCount returns the number of nodes currently registered.
+func (e *Engine) LiveNodeCount() int { return len(e.nodes) }
+
+// CachedBytes returns the cluster-wide cached bytes (memory + disk tiers).
+func (e *Engine) CachedBytes() (mem, disk int64) {
+	for _, ns := range e.nodes {
+		m, d := ns.cache.usage()
+		mem += m
+		disk += d
+	}
+	return mem, disk
+}
+
+// ComputeCount returns how many times partition (rddID, part) has been
+// computed (for recomputation assertions in tests).
+func (e *Engine) ComputeCount(rddID, part int) int {
+	return e.computeSeen[blockKey{rddID: rddID, part: part}]
+}

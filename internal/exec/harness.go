@@ -1,0 +1,138 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"flint/internal/cluster"
+	"flint/internal/dfs"
+	"flint/internal/market"
+	"flint/internal/simclock"
+	"flint/internal/trace"
+)
+
+// Testbed assembles a ready-to-run simulated deployment: a virtual clock,
+// a market with calm "primary" and "standby" spot pools plus on-demand, a
+// cluster manager, a checkpoint store and an engine. It is the standard
+// fixture for the systems experiments (Figures 3, 6–9), where revocations
+// are injected at controlled instants rather than drawn from price
+// traces.
+type Testbed struct {
+	Clock    *simclock.Clock
+	Exchange *market.Exchange
+	Cluster  *cluster.Manager
+	Store    *dfs.Store
+	Engine   *Engine
+}
+
+// TestbedOpts configures NewTestbed. Zero values take the defaults noted
+// per field.
+type TestbedOpts struct {
+	Nodes      int   // cluster size (default 10, the paper's testbed)
+	Slots      int   // task slots per node (default 2)
+	MemBytes   int64 // RDD cache per node (default 6 GB)
+	DiskBytes  int64 // local spill disk per node (default 32 GB)
+	Policy     CheckpointPolicy
+	Engine     Config  // engine config; zero uses DefaultConfig
+	AcqDelay   float64 // replacement acquisition delay (default 120 s)
+	DFS        dfs.Config
+	HorizonHrs float64 // flat-trace length (default 10,000 h)
+}
+
+// NewTestbed builds the fixture. The primary and standby pools have flat
+// prices, so no market-driven revocations occur; use RevokeNodes to
+// inject failures.
+func NewTestbed(opts TestbedOpts) (*Testbed, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 10
+	}
+	if opts.Slots <= 0 {
+		opts.Slots = 2
+	}
+	if opts.MemBytes <= 0 {
+		opts.MemBytes = 6 << 30
+	}
+	if opts.DiskBytes <= 0 {
+		opts.DiskBytes = 32 << 30
+	}
+	if opts.AcqDelay == 0 {
+		opts.AcqDelay = 2 * simclock.Minute
+	}
+	if opts.HorizonHrs <= 0 {
+		opts.HorizonHrs = 10_000
+	}
+	engCfg := opts.Engine
+	if engCfg.MaxEvents == 0 && engCfg.Cost == (CostModel{}) && engCfg.SystemCheckpointInterval == 0 {
+		engCfg = DefaultConfig()
+	}
+
+	clk := simclock.New()
+	flat := func(name string) *market.Pool {
+		n := int(opts.HorizonHrs)
+		prices := make([]float64, n)
+		for i := range prices {
+			prices[i] = 0.05
+		}
+		return &market.Pool{
+			Name: name, Kind: market.KindSpot, OnDemand: 0.175,
+			Trace: &trace.Trace{Step: simclock.Hour, Prices: prices},
+		}
+	}
+	exch, err := market.NewExchange([]*market.Pool{
+		flat("primary"), flat("standby"),
+		{Name: "on-demand", Kind: market.KindOnDemand, OnDemand: 0.175},
+	}, market.BillPerSecond, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	store := dfs.New(opts.DFS)
+	eng := New(clk, store, engCfg, opts.Policy)
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.Size = opts.Nodes
+	ccfg.NodeSlots = opts.Slots
+	ccfg.NodeMemBytes = opts.MemBytes
+	ccfg.NodeDiskBytes = opts.DiskBytes
+	ccfg.AcquisitionDelay = opts.AcqDelay
+	sel := &cluster.FixedSelector{
+		PoolName: "primary", Bid: 0.175,
+		Fallbacks: []cluster.Request{{Pool: "standby", Bid: 0.175}, {Pool: "primary", Bid: 0.175}},
+	}
+	mgr, err := cluster.New(clk, exch, ccfg, sel, eng.Events())
+	if err != nil {
+		return nil, err
+	}
+	if err := mgr.Start(); err != nil {
+		return nil, err
+	}
+	return &Testbed{Clock: clk, Exchange: exch, Cluster: mgr, Store: store, Engine: eng}, nil
+}
+
+// MustTestbed is NewTestbed that panics on error (test/bench convenience).
+func MustTestbed(opts TestbedOpts) *Testbed {
+	tb, err := NewTestbed(opts)
+	if err != nil {
+		panic(fmt.Sprintf("exec: testbed: %v", err))
+	}
+	return tb
+}
+
+// RevokeNodes schedules the concurrent revocation of k live nodes at
+// virtual time at (the k highest node IDs, so repeated injections hit the
+// newest servers deterministically). If replace is true the node manager
+// acquires replacements with its usual delay.
+func (tb *Testbed) RevokeNodes(at float64, k int, replace bool) {
+	tb.Clock.Schedule(at, func() {
+		live := tb.Cluster.LiveNodes()
+		sort.Slice(live, func(i, j int) bool { return live[i].ID > live[j].ID })
+		if k > len(live) {
+			k = len(live)
+		}
+		for i := 0; i < k; i++ {
+			if err := tb.Cluster.RevokeNow(live[i].ID, replace); err != nil {
+				panic(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"flint/internal/rdd"
+)
+
+// shuffleID identifies one ShuffleDep within the engine.
+type shuffleID int
+
+// mapOutput is the result of one shuffle map task: the bucketed rows of
+// one parent partition, resident on the node that ran the task.
+type mapOutput struct {
+	nodeID  int
+	buckets [][]rdd.Row
+	sizes   []int64
+}
+
+// shuffleState tracks one ShuffleDep's map outputs.
+type shuffleState struct {
+	dep     *rdd.ShuffleDep
+	outputs []*mapOutput // indexed by map partition; nil if missing
+}
+
+// available reports whether every map output is present.
+func (s *shuffleState) available() bool {
+	for _, o := range s.outputs {
+		if o == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// missingParts returns the map partitions whose outputs are absent.
+func (s *shuffleState) missingParts() []int {
+	var out []int
+	for i, o := range s.outputs {
+		if o == nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// shuffleTracker is the engine-wide map-output registry (Spark's
+// MapOutputTracker) plus the storage of bucketed shuffle data, which in
+// Spark lives on each worker's local disk and is lost with the worker.
+type shuffleTracker struct {
+	ids    map[*rdd.ShuffleDep]shuffleID
+	states []*shuffleState
+}
+
+func newShuffleTracker() *shuffleTracker {
+	return &shuffleTracker{ids: make(map[*rdd.ShuffleDep]shuffleID)}
+}
+
+// register returns the shuffleID for dep, creating state on first use.
+func (t *shuffleTracker) register(dep *rdd.ShuffleDep) shuffleID {
+	if id, ok := t.ids[dep]; ok {
+		return id
+	}
+	id := shuffleID(len(t.states))
+	t.ids[dep] = id
+	t.states = append(t.states, &shuffleState{
+		dep:     dep,
+		outputs: make([]*mapOutput, dep.P.NumParts),
+	})
+	return id
+}
+
+// state returns the tracker state for dep, registering it if needed.
+func (t *shuffleTracker) state(dep *rdd.ShuffleDep) *shuffleState {
+	return t.states[t.register(dep)]
+}
+
+// putOutput registers a completed map task's buckets.
+func (t *shuffleTracker) putOutput(dep *rdd.ShuffleDep, mapPart, nodeID int, buckets [][]rdd.Row) {
+	st := t.state(dep)
+	sizes := make([]int64, len(buckets))
+	for i, b := range buckets {
+		sizes[i] = dep.P.SizeOfRows(len(b))
+	}
+	st.outputs[mapPart] = &mapOutput{nodeID: nodeID, buckets: buckets, sizes: sizes}
+}
+
+// dropNode discards every map output resident on a revoked node.
+func (t *shuffleTracker) dropNode(nodeID int) {
+	for _, st := range t.states {
+		for i, o := range st.outputs {
+			if o != nil && o.nodeID == nodeID {
+				st.outputs[i] = nil
+			}
+		}
+	}
+}
+
+// fetchResult is the outcome of a reduce-side fetch.
+type fetchResult struct {
+	rows        []rdd.Row
+	localBytes  int64
+	remoteBytes int64
+	missing     []int // map partitions that were unavailable
+}
+
+// fetch gathers bucket `reducePart` from every map output of dep, for a
+// reader on readerNode. Rows are concatenated in map-partition order so
+// recomputation is deterministic. If any output is missing the fetch
+// fails and the caller triggers parent-stage resubmission.
+func (t *shuffleTracker) fetch(dep *rdd.ShuffleDep, reducePart, readerNode int) fetchResult {
+	st := t.state(dep)
+	var res fetchResult
+	for i, o := range st.outputs {
+		if o == nil {
+			res.missing = append(res.missing, i)
+			continue
+		}
+		res.rows = append(res.rows, o.buckets[reducePart]...)
+		if o.nodeID == readerNode {
+			res.localBytes += o.sizes[reducePart]
+		} else {
+			res.remoteBytes += o.sizes[reducePart]
+		}
+	}
+	if len(res.missing) > 0 {
+		res.rows = nil
+	}
+	return res
+}
+
+// nodeBytes returns the total shuffle bytes resident on a node (used by
+// the system-level checkpointing baseline, which must persist shuffle
+// buffers too).
+func (t *shuffleTracker) nodeBytes(nodeID int) int64 {
+	var total int64
+	for _, st := range t.states {
+		for _, o := range st.outputs {
+			if o != nil && o.nodeID == nodeID {
+				for _, s := range o.sizes {
+					total += s
+				}
+			}
+		}
+	}
+	return total
+}

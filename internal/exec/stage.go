@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"flint/internal/rdd"
+)
+
+// Action selects what a job does with the target RDD's partitions.
+type Action int
+
+const (
+	// ActionCollect ships every partition's rows to the driver.
+	ActionCollect Action = iota
+	// ActionCount ships only per-partition counts.
+	ActionCount
+	// ActionMaterialize computes (and caches/checkpoints per policy)
+	// without returning rows — Spark's foreach-style actions.
+	ActionMaterialize
+)
+
+// Result is what a finished job delivers.
+type Result struct {
+	Rows  []rdd.Row // ActionCollect: rows in partition order
+	Count int64     // ActionCount: total row count
+	Start float64   // submission time
+	End   float64   // completion time
+	Stats JobStats
+}
+
+// Latency returns the job's response time in virtual seconds.
+func (r *Result) Latency() float64 { return r.End - r.Start }
+
+// JobStats counts scheduler activity for one job.
+type JobStats struct {
+	TasksLaunched        int
+	TasksKilled          int
+	FetchFailures        int
+	CheckpointTasks      int
+	CheckpointBytes      int64
+	CheckpointSlotTime   float64
+	RecomputedPartitions int
+	ShuffleBytesRemote   int64
+	ShuffleBytesLocal    int64
+	CacheHits            int
+	CacheMisses          int
+	CheckpointReads      int
+}
+
+// job is one submitted action over a target RDD.
+type job struct {
+	id          int
+	target      *rdd.RDD
+	action      Action
+	cb          func(*Result)
+	resultStage *stage
+	mapStages   map[*rdd.ShuffleDep]*stage
+	results     [][]rdd.Row
+	delivered   []bool
+	nDelivered  int
+	finished    bool
+	start       float64
+	stats       JobStats
+}
+
+// stage computes the partitions of one RDD: either the map side of a
+// shuffle (dep != nil; it computes dep.P and buckets the rows) or the
+// job's result stage (dep == nil; it computes the job target and applies
+// the action).
+type stage struct {
+	id       int
+	job      *job
+	dep      *rdd.ShuffleDep
+	out      *rdd.RDD
+	numTasks int
+	inFlight map[int]bool // partitions currently pending or running
+	active   bool         // has had tasks enqueued and not yet gone idle
+}
+
+func (s *stage) isResult() bool { return s.dep == nil }
+
+// mapStageFor returns (creating if needed) the job's map stage for dep.
+func (j *job) mapStageFor(dep *rdd.ShuffleDep, e *Engine) *stage {
+	if s, ok := j.mapStages[dep]; ok {
+		return s
+	}
+	e.nextStageID++
+	s := &stage{
+		id: e.nextStageID, job: j, dep: dep, out: dep.P,
+		numTasks: dep.P.NumParts, inFlight: make(map[int]bool),
+	}
+	j.mapStages[dep] = s
+	return s
+}
+
+// missingShuffles walks the pipelined (narrow) lineage of partition
+// (r, p) exactly as the task resolver will, and records in acc every
+// ShuffleDep whose map outputs are required but incomplete. The walk
+// stops wherever data is already materialized — in a live node's cache or
+// in the checkpoint store — which is how checkpointing truncates
+// recomputation (paper Figure 1b).
+func (e *Engine) missingShuffles(r *rdd.RDD, p int, acc map[*rdd.ShuffleDep]bool, seen map[blockKey]bool) {
+	k := blockKey{rddID: r.ID, part: p}
+	if seen[k] {
+		return
+	}
+	seen[k] = true
+	if e.cachedAnywhere(k) {
+		return
+	}
+	if e.store.Has(checkpointKey(r, p)) {
+		return
+	}
+	if r.IsSource() {
+		return
+	}
+	for _, d := range r.Deps {
+		switch dep := d.(type) {
+		case *rdd.NarrowDep:
+			if pp := dep.ParentPart(p); pp >= 0 {
+				e.missingShuffles(dep.P, pp, acc, seen)
+			}
+		case *rdd.ShuffleDep:
+			if !e.shuffles.state(dep).available() {
+				acc[dep] = true
+			}
+		}
+	}
+}
+
+// stageNeededParts returns the partitions a stage must (re)compute right
+// now: for a map stage, the map partitions whose shuffle outputs are
+// missing; for a result stage, the partitions not yet delivered to the
+// driver.
+func (e *Engine) stageNeededParts(s *stage) []int {
+	var parts []int
+	if s.isResult() {
+		for p := 0; p < s.numTasks; p++ {
+			if !s.job.delivered[p] {
+				parts = append(parts, p)
+			}
+		}
+		return parts
+	}
+	return e.shuffles.state(s.dep).missingParts()
+}

@@ -1,0 +1,231 @@
+package exec
+
+import (
+	"sort"
+
+	"flint/internal/rdd"
+)
+
+// taskKind distinguishes the three things that occupy task slots.
+type taskKind int
+
+const (
+	taskCompute    taskKind = iota // map- or result-stage computation
+	taskCheckpoint                 // asynchronous RDD partition checkpoint write
+	taskSystemCkpt                 // system-level full-node checkpoint (baseline)
+)
+
+// task is one unit of slot occupancy.
+type task struct {
+	seq    int
+	kind   taskKind
+	stage  *stage // taskCompute
+	part   int
+	node   *nodeState // pinned node for checkpoint tasks; assigned at dispatch otherwise
+	pinned bool
+	killed bool
+
+	// taskCheckpoint payload.
+	ckptRDD   *rdd.RDD
+	ckptRows  []rdd.Row
+	ckptBytes int64
+
+	// taskSystemCkpt payload.
+	sysBytes int64
+
+	// Filled at dispatch for completion handling.
+	eff *effects
+}
+
+// computedPart is one partition materialized during a task, reported to
+// the checkpoint policy at completion.
+type computedPart struct {
+	r     *rdd.RDD
+	part  int
+	rows  []rdd.Row
+	bytes int64
+}
+
+// effects is everything a compute task wants to apply to engine state at
+// its completion event. Reads happen at dispatch time (task start);
+// writes happen at completion so no state mutates before virtual time has
+// passed.
+type effects struct {
+	duration    float64
+	computed    []computedPart // partitions produced by the pipeline
+	touched     []computedPart // cached partitions read (checkpoint candidates)
+	toCache     []computedPart // subset destined for the node cache
+	mapBuckets  [][]rdd.Row    // map-stage output buckets
+	resultRows  []rdd.Row      // result-stage partition rows
+	fetchFailed []*rdd.ShuffleDep
+	remoteBytes int64
+	localBytes  int64
+	cacheHits   int
+	cacheMisses int
+	ckptReads   int
+}
+
+// taskCtx resolves one compute task's target partition, charging virtual
+// time for every byte processed, fetched, or read. Partitions resolved
+// once within a task are memoized — a pipelined chain touches each
+// (RDD, partition) at most once, like one Spark task walking its
+// iterator chain.
+type taskCtx struct {
+	e    *Engine
+	node *nodeState
+	memo map[blockKey][]rdd.Row
+	eff  *effects
+}
+
+// resolve returns the rows of partition (r, p), or nil if a shuffle fetch
+// failed (eff.fetchFailed is then non-empty).
+func (tc *taskCtx) resolve(r *rdd.RDD, p int) []rdd.Row {
+	k := blockKey{rddID: r.ID, part: p}
+	if rows, ok := tc.memo[k]; ok {
+		return rows
+	}
+	// 1. RDD cache, preferring the local node. Cached partitions are
+	// offered to the checkpoint policy at completion: Flint checkpoints
+	// long-lived cached state (e.g. a database's tables) even when no
+	// task recomputes it.
+	if rows, ok := tc.readCache(k, r); ok {
+		tc.memo[k] = rows
+		tc.eff.touched = append(tc.eff.touched, computedPart{r: r, part: p, rows: rows, bytes: r.SizeOfRows(len(rows))})
+		return rows
+	}
+	// 2. Checkpoint store.
+	key := checkpointKey(r, p)
+	if tc.e.store.Has(key) {
+		v, bytes, _ := tc.e.store.Get(key, tc.e.clock.Now())
+		rows := v.([]rdd.Row)
+		tc.eff.duration += tc.e.store.ReadTime(bytes)
+		tc.eff.ckptReads++
+		tc.memo[k] = rows
+		tc.record(r, p, rows)
+		return rows
+	}
+	tc.eff.cacheMisses++
+	// 3. Source generation.
+	if r.IsSource() {
+		rows := r.Gen(p)
+		tc.eff.duration += tc.e.cost.computeTime(r.SizeOfRows(len(rows)), r.Weight)
+		tc.memo[k] = rows
+		tc.record(r, p, rows)
+		return rows
+	}
+	// 4. Compute from parents.
+	inputs := make([][]rdd.Row, len(r.Deps))
+	var inBytes int64
+	for i, d := range r.Deps {
+		switch dep := d.(type) {
+		case *rdd.NarrowDep:
+			pp := dep.ParentPart(p)
+			if pp < 0 {
+				continue
+			}
+			rows := tc.resolve(dep.P, pp)
+			if len(tc.eff.fetchFailed) > 0 {
+				return nil
+			}
+			inputs[i] = rows
+			inBytes += dep.P.SizeOfRows(len(rows))
+		case *rdd.ShuffleDep:
+			res := tc.e.shuffles.fetch(dep, p, tc.node.node.ID)
+			if len(res.missing) > 0 {
+				tc.eff.fetchFailed = append(tc.eff.fetchFailed, dep)
+				return nil
+			}
+			inputs[i] = res.rows
+			tc.eff.duration += tc.e.cost.netTime(res.remoteBytes)
+			tc.eff.remoteBytes += res.remoteBytes
+			tc.eff.localBytes += res.localBytes
+			inBytes += res.remoteBytes + res.localBytes
+		}
+	}
+	rows := r.Fn(p, inputs)
+	tc.eff.duration += tc.e.cost.computeTime(inBytes, r.Weight)
+	tc.memo[k] = rows
+	tc.record(r, p, rows)
+	return rows
+}
+
+// readCache looks for block k in the local cache first, then remotely on
+// other live nodes (charging a network transfer).
+func (tc *taskCtx) readCache(k blockKey, r *rdd.RDD) ([]rdd.Row, bool) {
+	if b, ok := tc.node.cache.get(k); ok {
+		if b.where == tierDisk {
+			tc.eff.duration += tc.e.cost.diskTime(b.bytes)
+		}
+		tc.eff.cacheHits++
+		return b.rows, true
+	}
+	for _, ns := range tc.e.sortedNodes() {
+		if ns == tc.node {
+			continue
+		}
+		if b, ok := ns.cache.get(k); ok {
+			tc.eff.duration += tc.e.cost.netTime(b.bytes)
+			if b.where == tierDisk {
+				tc.eff.duration += tc.e.cost.diskTime(b.bytes)
+			}
+			tc.eff.cacheHits++
+			return b.rows, true
+		}
+	}
+	return nil, false
+}
+
+// record notes a freshly materialized partition for cache insertion and
+// checkpoint-policy consultation at completion time.
+func (tc *taskCtx) record(r *rdd.RDD, p int, rows []rdd.Row) {
+	cp := computedPart{r: r, part: p, rows: rows, bytes: r.SizeOfRows(len(rows))}
+	tc.eff.computed = append(tc.eff.computed, cp)
+	if r.Cached {
+		tc.eff.toCache = append(tc.eff.toCache, cp)
+	}
+}
+
+// runCompute executes a compute task's work at dispatch time and returns
+// its effects.
+func (e *Engine) runCompute(t *task) *effects {
+	eff := &effects{duration: e.cost.TaskOverhead}
+	tc := &taskCtx{e: e, node: t.node, memo: make(map[blockKey][]rdd.Row), eff: eff}
+	rows := tc.resolve(t.stage.out, t.part)
+	if len(eff.fetchFailed) > 0 {
+		// The failed fetch consumed only the launch overhead.
+		eff.duration = e.cost.TaskOverhead
+		return eff
+	}
+	if t.stage.isResult() {
+		eff.resultRows = rows
+		return eff
+	}
+	// Map side of a shuffle: bucket (and combine) the rows. The bucketing
+	// pass is charged at half the weight of a regular transformation.
+	dep := t.stage.dep
+	buckets := make([][]rdd.Row, dep.NumOut)
+	for _, row := range rows {
+		b := dep.Bucket(row)
+		buckets[b] = append(buckets[b], row)
+	}
+	if dep.Combine != nil {
+		for b := range buckets {
+			if len(buckets[b]) > 0 {
+				buckets[b] = dep.Combine(buckets[b])
+			}
+		}
+	}
+	eff.duration += e.cost.computeTime(dep.P.SizeOfRows(len(rows)), 0.5)
+	eff.mapBuckets = buckets
+	return eff
+}
+
+// sortedNodes returns live node states in node-ID order (deterministic).
+func (e *Engine) sortedNodes() []*nodeState {
+	out := make([]*nodeState, 0, len(e.nodes))
+	for _, ns := range e.nodes {
+		out = append(out, ns)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].node.ID < out[j].node.ID })
+	return out
+}

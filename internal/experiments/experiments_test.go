@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// These tests assert the *shape* claims of each reproduced figure — who
+// wins, in which direction trends move — rather than absolute numbers.
+// They run the same code as cmd/flintbench and bench_test.go.
+
+func TestFig2Shapes(t *testing.T) {
+	var sb strings.Builder
+	res, err := Fig2(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EC2) != 3 || len(res.GCE) != 3 {
+		t.Fatalf("series: %d EC2, %d GCE", len(res.EC2), len(res.GCE))
+	}
+	// Paper Figure 2a: us-west-2c ≈ 701 h ≫ eu-west-1c ≈ 101 h ≫
+	// sa-east-1a ≈ 18.8 h.
+	us, eu, sa := res.EC2[0], res.EC2[1], res.EC2[2]
+	if !(us.MTTFh > eu.MTTFh && eu.MTTFh > sa.MTTFh) {
+		t.Errorf("EC2 MTTF ordering wrong: %v %v %v", us.MTTFh, eu.MTTFh, sa.MTTFh)
+	}
+	if sa.MTTFh < 10 || sa.MTTFh > 40 {
+		t.Errorf("sa-east-1a MTTF = %.1f h, want ≈ 18.8", sa.MTTFh)
+	}
+	if us.MTTFh < 300 {
+		t.Errorf("us-west-2c MTTF = %.1f h, want ≈ 700", us.MTTFh)
+	}
+	// GCE MTTFs all 20–24 h (Figure 2b).
+	for _, g := range res.GCE {
+		if g.MTTFh < 18 || g.MTTFh > 24 {
+			t.Errorf("%s MTTF = %.1f h", g.Name, g.MTTFh)
+		}
+		// CDF reaches 1 by 24 h.
+		if g.Prob[len(g.Prob)-1] < 0.999 {
+			t.Errorf("%s CDF does not reach 1", g.Name)
+		}
+	}
+	if !strings.Contains(sb.String(), "fig2") {
+		t.Error("missing output header")
+	}
+}
+
+func TestFig4MostPairsUncorrelated(t *testing.T) {
+	res, err := Fig4(io.Discard, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UncorrelatedFrac < 0.7 {
+		t.Errorf("only %.0f%% of pairs uncorrelated; paper shows most pairs are", 100*res.UncorrelatedFrac)
+	}
+	if res.UncorrelatedFrac == 1 {
+		t.Error("no correlated pairs at all; the figure shows a correlated minority")
+	}
+	n := len(res.Matrix)
+	for i := 0; i < n; i++ {
+		if res.Matrix[i][i] != 1 {
+			t.Fatal("diagonal must be 1")
+		}
+	}
+}
+
+func TestFig3SubstantialIncrease(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig3(io.Discard, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Increase) != 3 {
+		t.Fatalf("sizes = %v", res.SizesGB)
+	}
+	for i, inc := range res.Increase {
+		if inc < 0.4 {
+			t.Errorf("%v GB increase = %s, want substantial (> 40%%)", res.SizesGB[i], pct(inc))
+		}
+	}
+	// The absolute penalty grows with the data size.
+	if !(res.AbsIncrease[2] > res.AbsIncrease[1] && res.AbsIncrease[1] > res.AbsIncrease[0]) {
+		t.Errorf("absolute increase not growing: %v", res.AbsIncrease)
+	}
+	if res.AbsIncrease[2] < 2*res.AbsIncrease[0] {
+		t.Errorf("6 GB penalty (%.0f s) not well above 2 GB penalty (%.0f s)", res.AbsIncrease[2], res.AbsIncrease[0])
+	}
+}
+
+func TestFig6CheckpointTax(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig6(io.Discard, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6a: tax between 0 and 12% for every workload at MTTF 50 h (paper:
+	// 2–10%), ALS highest.
+	for name, tax := range res.TaxByWorkload {
+		if tax < 0 || tax > 0.12 {
+			t.Errorf("%s tax = %s, want ≤ 12%%", name, pct(tax))
+		}
+	}
+	if res.TaxByWorkload["als"] < res.TaxByWorkload["pagerank"] {
+		t.Error("ALS should have the highest checkpointing tax (largest RDD set)")
+	}
+	// 6b: system-level checkpointing several times worse.
+	if res.SystemTax < 3*res.FlintTax {
+		t.Errorf("system-level tax %s not ≫ Flint tax %s", pct(res.SystemTax), pct(res.FlintTax))
+	}
+	// 6c: tax grows as MTTF falls.
+	for i := 1; i < len(res.TaxByMTTF); i++ {
+		if res.TaxByMTTF[i] < res.TaxByMTTF[i-1]-0.01 {
+			t.Errorf("tax fell as MTTF dropped: %v at %v h", res.TaxByMTTF, res.MTTFHours)
+		}
+	}
+}
+
+func TestFig7SingleRevocation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig7(io.Discard, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range res.Workloads {
+		if res.Increase[i] < 0.10 {
+			t.Errorf("%s increase = %s, want significant", name, pct(res.Increase[i]))
+		}
+		if res.Increase[i] > 1.2 {
+			t.Errorf("%s increase = %s, implausibly high", name, pct(res.Increase[i]))
+		}
+		// Recomputation dominates acquisition for the longer workloads
+		// (paper: acquisition is ≤ 5% of the increase except PageRank).
+		if res.Recompute[i] <= 0 {
+			t.Errorf("%s recompute share = %s", name, pct(res.Recompute[i]))
+		}
+	}
+}
+
+func TestFig8CheckpointingBoundsDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig8(io.Discard, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wi, name := range res.Workloads {
+		ck, re := res.WithCheckpoint[wi], res.RecomputeOnly[wi]
+		// Running time grows with concurrent failures in both policies.
+		if re[3] <= re[0] || ck[3] <= ck[0] {
+			t.Errorf("%s runtimes not increasing with failures: ck=%v re=%v", name, ck, re)
+		}
+		// At 10 concurrent failures, checkpointing beats recomputation
+		// for the shuffle-heavy workloads (paper Figure 8).
+		if name != "kmeans" && ck[3] >= re[3] {
+			t.Errorf("%s at 10 failures: checkpointing %v not below recomputation %v", name, ck[3], re[3])
+		}
+		// Sublinearity: the 5→10 step is smaller than 5× the 0→1 step.
+		if re[3]-re[2] > 5*(re[1]-re[0])+1 {
+			t.Errorf("%s recompute growth not sublinear: %v", name, re)
+		}
+	}
+}
+
+func TestFig9InteractivePolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Fig9(io.Discard, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range fig9Policies {
+		if res.NoFailShort[pol] <= 0 || res.FailShort[pol] <= res.NoFailShort[pol] {
+			t.Errorf("%s: failure did not raise short-query latency (%v → %v)", pol, res.NoFailShort[pol], res.FailShort[pol])
+		}
+	}
+	// Flint-batch recovers faster than recomputation; Flint-interactive
+	// faster still (paper: 4× and ~10× vs recompute).
+	if res.FailShort["flint-batch"] >= res.FailShort["recompute"] {
+		t.Errorf("batch policy (%v) not below recompute (%v) under failure",
+			res.FailShort["flint-batch"], res.FailShort["recompute"])
+	}
+	if res.FailShort["flint-interactive"] >= 0.6*res.FailShort["flint-batch"] {
+		t.Errorf("interactive policy (%v) not well below batch (%v) under failure",
+			res.FailShort["flint-interactive"], res.FailShort["flint-batch"])
+	}
+	if res.FailMedium["flint-interactive"] >= res.FailMedium["recompute"] {
+		t.Error("interactive medium-query latency not improved")
+	}
+	// Order-of-magnitude improvement, as the paper reports (~10×).
+	ratio := res.FailShort["recompute"] / res.FailShort["flint-interactive"]
+	if ratio < 3 {
+		t.Errorf("interactive improvement only %.1f×, want ≥ 3×", ratio)
+	}
+}
+
+func TestFig10OverheadTrends(t *testing.T) {
+	res, err := Fig10(io.Discard, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10a: overhead at the lowest MTTF well above the highest.
+	first, last := res.Overhead[0], res.Overhead[len(res.Overhead)-1]
+	if first <= last {
+		t.Errorf("overhead not falling with MTTF: %v", res.Overhead)
+	}
+	if last > 0.10 {
+		t.Errorf("overhead at 25 h MTTF = %s, paper says < 10%%", pct(last))
+	}
+	// 10b: Flint below unmodified Spark in the volatile regime.
+	if res.FlintVolatile >= res.SparkVolatile {
+		t.Errorf("volatile market: Flint %s not below Spark %s", pct(res.FlintVolatile), pct(res.SparkVolatile))
+	}
+	if res.FlintVolatile > 0.08 {
+		t.Errorf("volatile Flint overhead = %s, paper says < 5%%", pct(res.FlintVolatile))
+	}
+}
+
+func TestFig11CostOrdering(t *testing.T) {
+	res, err := Fig11(io.Discard, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc := res.UnitCost
+	// Paper Figure 11a ordering: Flint ≈ 0.1 of on-demand, below
+	// SpotFleet (≈2×) and EMR (≈3×), with on-demand at 1.
+	if uc["flint-batch"] > 0.2 {
+		t.Errorf("flint-batch unit cost = %.2f, want ≈ 0.1", uc["flint-batch"])
+	}
+	if uc["flint-batch"] >= uc["spot-fleet"] {
+		t.Errorf("flint-batch (%.2f) not below spot-fleet (%.2f)", uc["flint-batch"], uc["spot-fleet"])
+	}
+	if uc["flint-interactive"] >= uc["emr-spot"] {
+		t.Errorf("flint-interactive (%.2f) not below emr-spot (%.2f)", uc["flint-interactive"], uc["emr-spot"])
+	}
+	if uc["emr-spot"] >= uc["on-demand"] {
+		t.Errorf("emr-spot (%.2f) not below on-demand", uc["emr-spot"])
+	}
+	if math.Abs(uc["on-demand"]-1) > 0.05 {
+		t.Errorf("on-demand unit cost = %.2f, want 1", uc["on-demand"])
+	}
+	// 11b: bidding the on-demand price is in the flat minimum band, and
+	// very low bids cost more (for the wobbly markets).
+	for name, row := range res.CostByBid {
+		atQuarter, atOne, atFour := row[0], row[4], row[len(row)-1]
+		if atOne > atQuarter+1e-9 && name != "m1.xlarge" {
+			t.Errorf("%s: on-demand bid (%v%%) above 0.25x bid (%v%%)", name, atOne, atQuarter)
+		}
+		if atFour < atOne-1 {
+			t.Errorf("%s: 4x bid (%v%%) below on-demand bid (%v%%)", name, atFour, atOne)
+		}
+		if atOne > 60 {
+			t.Errorf("%s: cost at on-demand bid = %v%% of on-demand, want deep discount", name, atOne)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	fr, err := AblationFrontier(io.Discard, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.EagerTax <= fr.FlintTax {
+		t.Errorf("eager checkpointing (%s) should cost more than frontier-only (%s)", pct(fr.EagerTax), pct(fr.FlintTax))
+	}
+	sh, err := AblationShuffle(io.Discard, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.WithBoost >= sh.WithoutBoost {
+		t.Errorf("tau/P boost (%v s) should beat uniform tau (%v s) under failures", sh.WithBoost, sh.WithoutBoost)
+	}
+	div := AblationDiversification(io.Discard)
+	for i := 1; i < len(div.Variance); i++ {
+		if div.Variance[i] >= div.Variance[i-1] {
+			t.Errorf("variance not falling with market count: %v", div.Variance)
+		}
+	}
+	if div.Cost[len(div.Cost)-1] < div.Cost[0] {
+		t.Error("cost should not fall as worse markets are added")
+	}
+}
+
+func TestRunWorkloadUnknown(t *testing.T) {
+	b := newBed(bedOpts{nodes: 2})
+	if _, err := runWorkload(b, "nope", 1); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestStorageOverheadMatchesPaper(t *testing.T) {
+	res := StorageOverhead(io.Discard)
+	// Paper §5.5: "This extra cost is ∼2% of the on-demand cost and 20%
+	// of the average spot instance costs."
+	if res.FracOfOnDemand < 0.01 || res.FracOfOnDemand > 0.04 {
+		t.Errorf("EBS overhead = %s of on-demand, paper says ≈ 2%%", pct(res.FracOfOnDemand))
+	}
+	if res.FracOfSpot < 0.08 || res.FracOfSpot > 0.35 {
+		t.Errorf("EBS overhead = %s of spot, paper says ≈ 20%%", pct(res.FracOfSpot))
+	}
+	if res.S3FracOfOnDemand >= res.FracOfOnDemand/10 {
+		t.Errorf("S3 (%s) not ≪ EBS (%s)", pct(res.S3FracOfOnDemand), pct(res.FracOfOnDemand))
+	}
+}

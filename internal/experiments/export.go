@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// CSV export: every FigNResult can write the series behind its figure as
+// CSV files (one per panel/series) into a directory, for plotting with
+// any external tool. cmd/flintbench exposes this via -csv <dir>.
+
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ftoa(x float64) string { return strconv.FormatFloat(x, 'g', 8, 64) }
+
+// WriteCSV exports the availability CDFs (one file per market).
+func (r Fig2Result) WriteCSV(dir string) error {
+	for _, group := range []struct {
+		prefix string
+		series []Fig2Series
+	}{{"fig2_ec2", r.EC2}, {"fig2_gce", r.GCE}} {
+		for _, s := range group.series {
+			var rows [][]string
+			for i := range s.Hours {
+				rows = append(rows, []string{ftoa(s.Hours[i]), ftoa(s.Prob[i])})
+			}
+			name := fmt.Sprintf("%s_%s.csv", group.prefix, sanitize(s.Name))
+			if err := writeCSV(dir, name, []string{"hours", "cdf"}, rows); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV exports the memory-pressure bars.
+func (r Fig3Result) WriteCSV(dir string) error {
+	var rows [][]string
+	for i := range r.SizesGB {
+		rows = append(rows, []string{ftoa(r.SizesGB[i]), ftoa(100 * r.Increase[i]), ftoa(r.AbsIncrease[i])})
+	}
+	return writeCSV(dir, "fig3.csv", []string{"size_gb", "increase_pct", "increase_s"}, rows)
+}
+
+// WriteCSV exports the correlation matrix.
+func (r Fig4Result) WriteCSV(dir string) error {
+	header := append([]string{"market"}, r.Names...)
+	var rows [][]string
+	for i, row := range r.Matrix {
+		out := []string{r.Names[i]}
+		for _, v := range row {
+			out = append(out, ftoa(v))
+		}
+		rows = append(rows, out)
+	}
+	return writeCSV(dir, "fig4.csv", header, rows)
+}
+
+// WriteCSV exports all three checkpoint-overhead panels.
+func (r Fig6Result) WriteCSV(dir string) error {
+	var rows [][]string
+	var names []string
+	for name := range r.TaxByWorkload {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rows = append(rows, []string{name, ftoa(100 * r.TaxByWorkload[name])})
+	}
+	if err := writeCSV(dir, "fig6a.csv", []string{"workload", "tax_pct"}, rows); err != nil {
+		return err
+	}
+	if err := writeCSV(dir, "fig6b.csv", []string{"policy", "tax_pct"}, [][]string{
+		{"flint-rdd", ftoa(100 * r.FlintTax)},
+		{"system-level", ftoa(100 * r.SystemTax)},
+	}); err != nil {
+		return err
+	}
+	rows = nil
+	for i := range r.MTTFHours {
+		rows = append(rows, []string{ftoa(r.MTTFHours[i]), ftoa(100 * r.TaxByMTTF[i])})
+	}
+	return writeCSV(dir, "fig6c.csv", []string{"mttf_h", "tax_pct"}, rows)
+}
+
+// WriteCSV exports the single-revocation decomposition.
+func (r Fig7Result) WriteCSV(dir string) error {
+	var rows [][]string
+	for i, name := range r.Workloads {
+		rows = append(rows, []string{
+			name, ftoa(100 * r.Increase[i]), ftoa(100 * r.Recompute[i]), ftoa(100 * r.Acquisition[i]),
+		})
+	}
+	return writeCSV(dir, "fig7.csv", []string{"workload", "increase_pct", "recompute_pct", "acquisition_pct"}, rows)
+}
+
+// WriteCSV exports the failure sweep (one file per workload).
+func (r Fig8Result) WriteCSV(dir string) error {
+	for wi, name := range r.Workloads {
+		var rows [][]string
+		for fi, k := range r.Failures {
+			rows = append(rows, []string{
+				strconv.Itoa(k), ftoa(r.WithCheckpoint[wi][fi]), ftoa(r.RecomputeOnly[wi][fi]),
+			})
+		}
+		if err := writeCSV(dir, fmt.Sprintf("fig8_%s.csv", name),
+			[]string{"failures", "checkpointing_s", "recomputation_s"}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV exports the TPC-H response times.
+func (r Fig9Result) WriteCSV(dir string) error {
+	var rows [][]string
+	for _, pol := range fig9Policies {
+		rows = append(rows, []string{
+			pol,
+			ftoa(r.NoFailShort[pol]), ftoa(r.FailShort[pol]),
+			ftoa(r.NoFailMedium[pol]), ftoa(r.FailMedium[pol]),
+		})
+	}
+	return writeCSV(dir, "fig9.csv",
+		[]string{"policy", "short_nofail_s", "short_fail_s", "medium_nofail_s", "medium_fail_s"}, rows)
+}
+
+// WriteCSV exports both overhead panels.
+func (r Fig10Result) WriteCSV(dir string) error {
+	var rows [][]string
+	for i := range r.MTTFHours {
+		rows = append(rows, []string{ftoa(r.MTTFHours[i]), ftoa(100 * r.Overhead[i])})
+	}
+	if err := writeCSV(dir, "fig10a.csv", []string{"mttf_h", "overhead_pct"}, rows); err != nil {
+		return err
+	}
+	return writeCSV(dir, "fig10b.csv", []string{"regime", "flint_pct", "spark_pct"}, [][]string{
+		{"current", ftoa(100 * r.FlintCurrent), ftoa(100 * r.SparkCurrent)},
+		{"volatile", ftoa(100 * r.FlintVolatile), ftoa(100 * r.SparkVolatile)},
+	})
+}
+
+// WriteCSV exports both cost panels.
+func (r Fig11Result) WriteCSV(dir string) error {
+	var rows [][]string
+	for _, system := range fig11Systems {
+		rows = append(rows, []string{system, ftoa(r.UnitCost[system])})
+	}
+	if err := writeCSV(dir, "fig11a.csv", []string{"system", "unit_cost"}, rows); err != nil {
+		return err
+	}
+	header := []string{"market"}
+	for _, ratio := range r.BidRatios {
+		header = append(header, "bid_"+ftoa(ratio)+"x")
+	}
+	rows = nil
+	var names []string
+	for name := range r.CostByBid {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out := []string{name}
+		for _, v := range r.CostByBid[name] {
+			out = append(out, ftoa(v))
+		}
+		rows = append(rows, out)
+	}
+	return writeCSV(dir, "fig11b.csv", header, rows)
+}
+
+// sanitize turns a market name into a filename fragment.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readCSVFile(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestExportFig2And4(t *testing.T) {
+	dir := t.TempDir()
+	r2, err := Fig2(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "fig2_*.csv"))
+	if len(files) != 6 {
+		t.Fatalf("fig2 files = %d, want 6", len(files))
+	}
+	rows := readCSVFile(t, files[0])
+	if rows[0][0] != "hours" || len(rows) < 3 {
+		t.Fatalf("fig2 csv malformed: %v", rows[0])
+	}
+
+	r4, err := Fig4(io.Discard, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r4.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	rows = readCSVFile(t, filepath.Join(dir, "fig4.csv"))
+	if len(rows) != len(r4.Names)+1 || len(rows[1]) != len(r4.Names)+1 {
+		t.Fatalf("fig4 shape: %d×%d", len(rows), len(rows[1]))
+	}
+}
+
+func TestExportSyntheticResults(t *testing.T) {
+	// Exercise every writer on hand-built results (cheap, no sims).
+	dir := t.TempDir()
+	f3 := Fig3Result{SizesGB: []float64{2, 4}, Increase: []float64{0.5, 0.9}, AbsIncrease: []float64{100, 300}}
+	if err := f3.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	f6 := Fig6Result{
+		TaxByWorkload: map[string]float64{"als": 0.06, "kmeans": 0.04},
+		FlintTax:      0.06, SystemTax: 0.4,
+		MTTFHours: []float64{50, 1}, TaxByMTTF: []float64{0.06, 0.15},
+	}
+	if err := f6.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	f7 := Fig7Result{Workloads: []string{"pagerank"}, Increase: []float64{0.5}, Recompute: []float64{0.45}, Acquisition: []float64{0.05}}
+	if err := f7.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	f8 := Fig8Result{
+		Workloads: []string{"als"}, Failures: []int{0, 1},
+		WithCheckpoint: [][]float64{{100, 120}}, RecomputeOnly: [][]float64{{90, 150}},
+	}
+	if err := f8.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	f9 := Fig9Result{
+		NoFailShort:  map[string]float64{"recompute": 30, "flint-batch": 31, "flint-interactive": 32},
+		FailShort:    map[string]float64{"recompute": 300, "flint-batch": 150, "flint-interactive": 50},
+		NoFailMedium: map[string]float64{"recompute": 20, "flint-batch": 21, "flint-interactive": 22},
+		FailMedium:   map[string]float64{"recompute": 250, "flint-batch": 140, "flint-interactive": 40},
+	}
+	if err := f9.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	f10 := Fig10Result{MTTFHours: []float64{1, 25}, Overhead: []float64{0.09, 0.01}}
+	if err := f10.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	f11 := Fig11Result{
+		UnitCost:  map[string]float64{"flint-batch": 0.1, "flint-interactive": 0.18, "spot-fleet": 0.2, "emr-spot": 0.6, "on-demand": 1},
+		BidRatios: []float64{0.5, 1},
+		CostByBid: map[string][]float64{"m1.xlarge": {30, 20}},
+	}
+	if err := f11.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig3.csv", "fig6a.csv", "fig6b.csv", "fig6c.csv", "fig7.csv",
+		"fig8_als.csv", "fig9.csv", "fig10a.csv", "fig10b.csv",
+		"fig11a.csv", "fig11b.csv",
+	} {
+		rows := readCSVFile(t, filepath.Join(dir, name))
+		if len(rows) < 2 {
+			t.Errorf("%s has no data rows", name)
+		}
+	}
+	// Spot-check one value round-trips.
+	rows := readCSVFile(t, filepath.Join(dir, "fig3.csv"))
+	if rows[1][1] != "50" {
+		t.Errorf("fig3 increase cell = %q, want 50", rows[1][1])
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("us-west-2c/r3.large"); got != "us-west-2c_r3.large" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

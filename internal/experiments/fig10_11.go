@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"flint/internal/cluster"
+	"flint/internal/core"
+	"flint/internal/market"
+	"flint/internal/policy"
+	"flint/internal/simclock"
+	"flint/internal/stats"
+	"flint/internal/trace"
+)
+
+// The long-horizon experiments replay the paper's canonical simulation
+// program — a job that checkpoints 4 GB RDD frontiers — over months of
+// generated spot-price traces (§5.5).
+
+// canonical is the paper's simulation job: failure-free runtime of four
+// hours on ten servers with a 4 GB checkpoint frontier.
+func canonical() core.CanonicalJob {
+	return core.CanonicalJob{T: 4 * simclock.Hour, DeltaBytes: 4 << 30, Nodes: 10}
+}
+
+// sweepProfile builds a single synthetic market with the given target
+// MTTF in hours.
+func sweepProfile(mttfH float64) trace.Profile {
+	return trace.Profile{
+		Name: "sweep", OnDemand: 0.2, BaseFrac: 0.15, NoiseFrac: 0.05,
+		SpikesPerHour: 1 / mttfH, SpikeDurMeanMin: 15,
+		SpikeMagMin: 1.5, SpikeMagMax: 6,
+	}
+}
+
+// staggeredRuns executes the canonical job at several start offsets over
+// fresh trace seeds and returns mean overhead and mean cost. Two
+// statistically identical pools back each run so that after a revocation
+// the job bounces to the sibling market and the target MTTF regime
+// persists for the whole execution.
+func staggeredRuns(mttfH float64, rec core.RecoveryModel, runs int) (meanOverhead, meanCost float64, err error) {
+	pa := sweepProfile(mttfH)
+	pb := pa
+	pa.Name, pb.Name = "sweep-a", "sweep-b"
+	var ovh, cost []float64
+	for i := 0; i < runs; i++ {
+		exch, err := market.SpotExchange([]trace.Profile{pa, pb}, 100+int64(i), 24*7, 24*30, market.BillPerSecond)
+		if err != nil {
+			return 0, 0, err
+		}
+		sel := &cluster.FixedSelector{
+			PoolName: "sweep-a", Bid: pa.OnDemand,
+			Fallbacks: []cluster.Request{{Pool: "sweep-b", Bid: pb.OnDemand}, {Pool: "sweep-a", Bid: pa.OnDemand}},
+		}
+		res, err := core.SimulateCanonical(exch, sel, canonical(), float64(i)*5*simclock.Hour, core.SimOpts{
+			Recovery: rec, Seed: int64(i), MTTFOverride: simclock.Hours(mttfH),
+		})
+		if err != nil {
+			continue // start landed inside a spike; skip this offset
+		}
+		ovh = append(ovh, res.Overhead)
+		cost = append(cost, res.Cost)
+	}
+	if len(ovh) == 0 {
+		return 0, 0, fmt.Errorf("experiments: no canonical runs completed at MTTF %v h", mttfH)
+	}
+	return stats.Mean(ovh), stats.Mean(cost), nil
+}
+
+// Fig10Result holds the runtime-overhead studies.
+type Fig10Result struct {
+	// Fig10a: runtime increase vs MTTF.
+	MTTFHours []float64
+	Overhead  []float64
+	// Fig10b: Flint vs unmodified Spark, current spot vs high volatility.
+	FlintCurrent, SparkCurrent   float64
+	FlintVolatile, SparkVolatile float64
+}
+
+// Fig10 regenerates the overhead studies (paper Figure 10): (a) Flint's
+// running-time increase over on-demand servers shrinks as the MTTF
+// grows, dropping under 10% past ~20 hours; (b) Flint stays well below
+// unmodified Spark in both today's calm spot market and a GCE-like
+// volatile one.
+func Fig10(w io.Writer, runs int) (Fig10Result, error) {
+	if runs <= 0 {
+		runs = 16
+	}
+	res := Fig10Result{}
+	hdr(w, "fig10a", "runtime increase vs transient-server MTTF")
+	for _, h := range []float64{1, 2, 5, 10, 15, 20, 25} {
+		ovh, _, err := staggeredRuns(h, core.RecoverFlint, runs)
+		if err != nil {
+			return res, err
+		}
+		res.MTTFHours = append(res.MTTFHours, h)
+		res.Overhead = append(res.Overhead, ovh)
+		fmt.Fprintf(w, "MTTF %4.0f h: +%s\n", h, pct(ovh))
+	}
+
+	hdr(w, "fig10b", "Flint vs unmodified Spark, current spot market vs high volatility")
+	// "Current spot market": calm EC2-like regime (tens of hours between
+	// revocations — enough exposure across the staggered runs to show
+	// unmodified Spark's full-recompute penalty, as in the paper's trace
+	// replay).
+	var err error
+	res.FlintCurrent, _, err = staggeredRuns(40, core.RecoverFlint, 4*runs)
+	if err != nil {
+		return res, err
+	}
+	res.SparkCurrent, _, err = staggeredRuns(40, core.RecoverUnmodified, 4*runs)
+	if err != nil {
+		return res, err
+	}
+	// "High volatility": GCE-like regime (revocation roughly every
+	// half-day of compute).
+	res.FlintVolatile, _, err = staggeredRuns(12, core.RecoverFlint, 4*runs)
+	if err != nil {
+		return res, err
+	}
+	res.SparkVolatile, _, err = staggeredRuns(12, core.RecoverUnmodified, 4*runs)
+	if err != nil {
+		return res, err
+	}
+	fmt.Fprintf(w, "current spot:   Flint +%s, unmodified Spark +%s\n", pct(res.FlintCurrent), pct(res.SparkCurrent))
+	fmt.Fprintf(w, "high volatility: Flint +%s, unmodified Spark +%s\n", pct(res.FlintVolatile), pct(res.SparkVolatile))
+	return res, nil
+}
+
+// Fig11Result holds the cost studies.
+type Fig11Result struct {
+	// Fig11a: unit cost (normalized to on-demand) per system.
+	UnitCost map[string]float64
+	// Fig11b: normalized expected cost (% of minimum) per bid ratio per
+	// market profile.
+	BidRatios []float64
+	CostByBid map[string][]float64
+}
+
+// fig11Systems are the five systems of the paper's Figure 11a.
+var fig11Systems = []string{"flint-batch", "flint-interactive", "spot-fleet", "emr-spot", "on-demand"}
+
+// Fig11 regenerates the cost studies (paper Figure 11): (a) the unit
+// cost of running the canonical job under Flint's batch and interactive
+// policies versus SpotFleet, Spark-EMR on spot, and on-demand servers;
+// (b) expected cost as a function of the bid, flat across a wide band
+// around the on-demand price.
+func Fig11(w io.Writer, runs int) (Fig11Result, error) {
+	if runs <= 0 {
+		runs = 10
+	}
+	res := Fig11Result{UnitCost: map[string]float64{}, CostByBid: map[string][]float64{}}
+	hdr(w, "fig11a", "unit cost per system (normalized to on-demand)")
+
+	// Tiered markets (cheap ⇒ volatile): the regime in which
+	// application-agnostic selection pays for its price chasing.
+	profiles := trace.TieredPoolSet(10, 5)
+	job := canonical()
+	job.T = 8 * simclock.Hour // long enough to see revocations in volatile pools
+	odPrice := 0.0
+	for _, p := range profiles {
+		if p.OnDemand > odPrice {
+			odPrice = p.OnDemand
+		}
+	}
+	onDemandCost := float64(job.Nodes) * odPrice * job.T / simclock.Hour
+
+	for _, system := range fig11Systems {
+		var costs []float64
+		for i := 0; i < runs; i++ {
+			exch, err := market.SpotExchange(profiles, 200+int64(i), 24*7, 24*30, market.BillPerSecond)
+			if err != nil {
+				return res, err
+			}
+			cost, err := fig11Run(system, exch, job, float64(i)*5*simclock.Hour, int64(i))
+			if err != nil {
+				continue
+			}
+			costs = append(costs, cost)
+		}
+		if len(costs) == 0 {
+			return res, fmt.Errorf("experiments: no %s runs completed", system)
+		}
+		unit := stats.Mean(costs) / onDemandCost
+		res.UnitCost[system] = unit
+		fmt.Fprintf(w, "%-18s unit cost %.2f\n", system, unit)
+	}
+
+	hdr(w, "fig11b", "expected cost vs bid, as % of the on-demand price")
+	res.BidRatios = []float64{0.25, 0.4, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0}
+	for _, p := range trace.BidStudyProfiles() {
+		tr := p.Generate(7, 24*90, simclock.Minute)
+		var row []float64
+		for _, ratio := range res.BidRatios {
+			st := tr.AnalyzeBid(ratio * p.OnDemand)
+			c := policy.CostRate(st.AvgPrice, 12, st.MTTF, 120)
+			// EC2 bills whole started hours: a lease revoked after L
+			// seconds wastes on average half an hour of paid time, so
+			// short-lived (low-bid) leases pay an hourly-billing premium.
+			if !math.IsInf(st.MTTF, 1) && st.MTTF > 0 {
+				c *= 1 + 0.5*simclock.Hour/math.Max(st.MTTF, 0.5*simclock.Hour)
+			}
+			if st.UpFraction == 0 {
+				c = math.Inf(1)
+			}
+			row = append(row, c/p.OnDemand*100)
+		}
+		res.CostByBid[p.Name] = row
+		fmt.Fprintf(w, "%-24s", p.Name)
+		for i, ratio := range res.BidRatios {
+			if math.IsInf(row[i], 1) {
+				fmt.Fprintf(w, "  %.2gx:   n/a", ratio)
+			} else {
+				fmt.Fprintf(w, "  %.2gx: %5.1f%%", ratio, row[i])
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return res, nil
+}
+
+// fig11Run executes the canonical job under one system's policy stack and
+// returns its total dollar cost.
+func fig11Run(system string, exch *market.Exchange, job core.CanonicalJob, t0 float64, seed int64) (float64, error) {
+	params := policy.DefaultParams()
+	opts := core.SimOpts{Seed: seed}
+	switch system {
+	case "flint-batch":
+		s := policy.NewBatch(exch, params)
+		opts.Recovery = core.RecoverFlint
+		opts.Params = s
+		res, err := core.SimulateCanonical(exch, s, job, t0, opts)
+		return res.Cost, err
+	case "flint-interactive":
+		s := policy.NewInteractive(exch, params)
+		opts.Recovery = core.RecoverFlint
+		opts.Params = s
+		res, err := core.SimulateCanonical(exch, s, job, t0, opts)
+		return res.Cost, err
+	case "spot-fleet":
+		s := policy.NewSpotFleet(exch, params, policy.FleetCheapest, nil)
+		opts.Recovery = core.RecoverUnmodified
+		opts.Params = s
+		res, err := core.SimulateCanonical(exch, s, job, t0, opts)
+		return res.Cost, err
+	case "emr-spot":
+		s := policy.NewSpotFleet(exch, params, policy.FleetCheapest, nil)
+		opts.Recovery = core.RecoverUnmodified
+		opts.Params = s
+		res, err := core.SimulateCanonical(exch, s, job, t0, opts)
+		if err != nil {
+			return 0, err
+		}
+		// EMR adds a flat 25%-of-on-demand fee per node-hour.
+		var odMax float64
+		for _, p := range exch.Pools() {
+			if p.OnDemand > odMax {
+				odMax = p.OnDemand
+			}
+		}
+		surcharge := policy.EMRSurchargeFraction * odMax * float64(job.Nodes) * res.Runtime / simclock.Hour
+		return res.Cost + surcharge, nil
+	case "on-demand":
+		s := policy.NewOnDemand()
+		opts.Recovery = core.RecoverFlint
+		opts.MTTFOverride = math.Inf(1)
+		res, err := core.SimulateCanonical(exch, s, job, t0, opts)
+		return res.Cost, err
+	}
+	return 0, fmt.Errorf("experiments: unknown system %q", system)
+}

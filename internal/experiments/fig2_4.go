@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"flint/internal/market"
+	"flint/internal/simclock"
+	"flint/internal/stats"
+	"flint/internal/trace"
+)
+
+// Fig2Result holds the availability distributions of Figure 2.
+type Fig2Result struct {
+	EC2 []Fig2Series
+	GCE []Fig2Series
+}
+
+// Fig2Series is one market's time-to-failure distribution.
+type Fig2Series struct {
+	Name  string
+	MTTFh float64
+	// CDF points: hours (x) and cumulative probability (y).
+	Hours []float64
+	Prob  []float64
+}
+
+// Fig2 regenerates the availability CDFs and MTTFs of transient servers
+// (paper Figure 2): EC2 spot markets analyzed from six months of price
+// trace at an on-demand bid, and GCE preemptible VMs from sampled
+// lifetimes.
+func Fig2(w io.Writer) (Fig2Result, error) {
+	var out Fig2Result
+	hdr(w, "fig2", "availability CDFs and MTTFs of transient servers")
+	const months6 = 24 * 30 * 6
+	for _, p := range trace.StandardEC2Profiles() {
+		tr := p.Generate(42, months6, 5*simclock.Minute)
+		st := tr.AnalyzeBid(p.OnDemand)
+		lifeH := make([]float64, len(st.Lifetimes))
+		for i, l := range st.Lifetimes {
+			lifeH[i] = l / simclock.Hour
+		}
+		e := stats.NewECDF(lifeH)
+		xs, ps := e.Points(26)
+		s := Fig2Series{Name: p.Name, MTTFh: st.MTTF / simclock.Hour, Hours: xs, Prob: ps}
+		out.EC2 = append(out.EC2, s)
+		fmt.Fprintf(w, "EC2 %-24s MTTF %7.2f h  (%d revocations observed)\n", p.Name, s.MTTFh, st.Revocations)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, m := range trace.StandardGCEModels() {
+		lives := m.SampleLifetimes(rng, 120) // "over 100 GCE preemptible instances"
+		lifeH := make([]float64, len(lives))
+		for i, l := range lives {
+			lifeH[i] = l / simclock.Hour
+		}
+		e := stats.NewECDF(lifeH)
+		xs, ps := e.Points(26)
+		s := Fig2Series{Name: m.Name, MTTFh: stats.Mean(lifeH), Hours: xs, Prob: ps}
+		out.GCE = append(out.GCE, s)
+		fmt.Fprintf(w, "GCE %-24s MTTF %7.2f h\n", m.Name, s.MTTFh)
+	}
+	return out, nil
+}
+
+// Fig4Result holds the pairwise price-correlation matrices of Figure 4.
+type Fig4Result struct {
+	Names  []string
+	Matrix [][]float64
+	// UncorrelatedFrac is the fraction of distinct pairs with |r| < 0.5.
+	UncorrelatedFrac float64
+}
+
+// Fig4 regenerates the pairwise spot-price correlation analysis (paper
+// Figure 4): most market pairs are uncorrelated, a minority (same-AZ
+// capacity events) are correlated — the property Flint's interactive
+// policy exploits for diversification.
+func Fig4(w io.Writer, nMarkets int) (Fig4Result, error) {
+	if nMarkets <= 0 {
+		nMarkets = 16
+	}
+	hdr(w, "fig4", "pairwise spot-price correlation across markets")
+	profiles := trace.PoolSet(nMarkets, 3)
+	// A few correlated groups, like the minority of dark squares in the
+	// paper's heat map.
+	groups := [][]int{{0, 1}, {4, 5, 6}}
+	exch, err := market.SpotExchangeCorrelated(profiles, 99, 24*14, 24, market.BillPerSecond, groups)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	var series [][]float64
+	var names []string
+	for _, pool := range exch.Pools() {
+		if pool.Kind != market.KindSpot {
+			continue
+		}
+		names = append(names, pool.Name)
+		series = append(series, pool.HistoryPrices(0, 24*14*simclock.Hour))
+	}
+	m := stats.CorrelationMatrix(series)
+	pairs, uncorr := 0, 0
+	for i := range m {
+		for j := i + 1; j < len(m); j++ {
+			pairs++
+			if m[i][j] < 0.5 && m[i][j] > -0.5 {
+				uncorr++
+			}
+		}
+	}
+	res := Fig4Result{Names: names, Matrix: m, UncorrelatedFrac: float64(uncorr) / float64(pairs)}
+	fmt.Fprintf(w, "%d markets, %d pairs, %s uncorrelated (|r| < 0.5)\n", len(names), pairs, pct(res.UncorrelatedFrac))
+	for i := range m {
+		for j := range m[i] {
+			fmt.Fprintf(w, "%5.2f ", m[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	return res, nil
+}

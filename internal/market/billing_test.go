@@ -1,0 +1,104 @@
+package market
+
+import (
+	"math"
+	"testing"
+
+	"flint/internal/simclock"
+	"flint/internal/trace"
+)
+
+// Hourly billing must snapshot the price at the start of each started
+// hour, not average it (the EC2 rule the paper describes: "EC2 bills for
+// spot servers for each hour of use based on the current spot price at
+// the start of each hour").
+func TestHourlyBillingSnapshotsStartOfHour(t *testing.T) {
+	// Hour 0 at $0.10, hour 1 at $0.90, hour 2 at $0.10.
+	prices := make([]float64, 180)
+	for i := range prices {
+		switch {
+		case i < 60:
+			prices[i] = 0.10
+		case i < 120:
+			prices[i] = 0.90
+		default:
+			prices[i] = 0.10
+		}
+	}
+	p := &Pool{Name: "m", Kind: KindSpot, OnDemand: 1, Trace: &trace.Trace{Step: 60, Prices: prices}}
+	e, err := NewExchange([]*Pool{p}, BillHourly, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := e.Acquire("m", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2.5 hours of use: snapshots at t=0 ($0.10), t=1h ($0.90), t=2h
+	// ($0.10) → $1.10 total.
+	got := e.LeaseCost(l, 2.5*simclock.Hour)
+	if math.Abs(got-1.10) > 1e-9 {
+		t.Fatalf("hourly cost = %v, want 1.10", got)
+	}
+	// Per-second billing integrates instead: 1h×0.1 + 1h×0.9 + 0.5h×0.1.
+	e2, _ := NewExchange([]*Pool{{Name: "m", Kind: KindSpot, OnDemand: 1, Trace: p.Trace}}, BillPerSecond, 1)
+	l2, _ := e2.Acquire("m", 1, 0)
+	got2 := e2.LeaseCost(l2, 2.5*simclock.Hour)
+	if math.Abs(got2-1.05) > 1e-9 {
+		t.Fatalf("per-second cost = %v, want 1.05", got2)
+	}
+}
+
+// Wobbles (sub-on-demand excursions) must revoke low bidders but not
+// on-demand-price bidders, giving a strictly lower MTTF at low bids.
+func TestWobblesPunishLowBids(t *testing.T) {
+	p := trace.Profile{
+		Name: "w", OnDemand: 0.2, BaseFrac: 0.12, NoiseFrac: 0.04,
+		SpikesPerHour: 1.0 / 500, SpikeDurMeanMin: 20, SpikeMagMin: 2, SpikeMagMax: 6,
+		WobblesPerHour: 0.5, WobbleDurMeanMin: 15, WobbleMagMin: 0.4, WobbleMagMax: 0.9,
+	}
+	tr := p.Generate(3, 24*30, simclock.Minute)
+	low := tr.AnalyzeBid(0.3 * p.OnDemand)
+	od := tr.AnalyzeBid(1.0 * p.OnDemand)
+	if low.Revocations <= od.Revocations*2 {
+		t.Errorf("low bid revocations (%d) not ≫ on-demand bid revocations (%d)", low.Revocations, od.Revocations)
+	}
+	if low.MTTF >= od.MTTF {
+		t.Errorf("low-bid MTTF (%v) not below on-demand-bid MTTF (%v)", low.MTTF, od.MTTF)
+	}
+	// And the wobbles never revoke a 1x bid on their own: MTTF at 1x is
+	// governed by the rare large spikes.
+	if od.MTTF < simclock.Hours(100) {
+		t.Errorf("on-demand-bid MTTF = %v h, wobbles leaked above 1x?", od.MTTF/simclock.Hour)
+	}
+}
+
+func TestPreemptibleExchangeConstruction(t *testing.T) {
+	e, err := PreemptibleExchange(trace.StandardGCEModels(), BillPerSecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Pools()) != 4 {
+		t.Fatalf("pools = %d, want 3 preemptible + on-demand", len(e.Pools()))
+	}
+	od := e.Pool("on-demand")
+	if od == nil {
+		t.Fatal("missing on-demand pool")
+	}
+	for _, pool := range e.Pools() {
+		if pool.Kind != KindPreemptible {
+			continue
+		}
+		// Preemptible price must be well below its on-demand equivalent.
+		if pool.PriceAt(0) > 0.75*pool.OnDemand {
+			t.Errorf("%s price %.4f not discounted vs %.4f", pool.Name, pool.PriceAt(0), pool.OnDemand)
+		}
+		l, err := e.Acquire(pool.Name, 0, 0)
+		if err != nil {
+			t.Fatalf("acquire %s: %v", pool.Name, err)
+		}
+		if _, ok := l.RevocationTime(); !ok {
+			t.Errorf("%s lease must have a lifetime", pool.Name)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Package market models an IaaS transient-server marketplace: a set of
+// spot pools (one per instance type per availability zone, as in EC2),
+// fixed-price preemptible pools (as in GCE), and a non-revocable
+// on-demand pool.
+//
+// A pool is backed by a price trace (internal/trace). Acquiring a server
+// means placing a bid: the lease lasts until the pool price first exceeds
+// the bid, exactly the EC2 spot mechanism described in §2.1 of the Flint
+// paper. GCE-style pools ignore the bid and sample a per-instance
+// lifetime capped at 24 hours. On-demand pools never revoke.
+//
+// Billing supports the two models the paper discusses: per-second price
+// integration ("cost is based on the average spot price over the duration
+// of its use") and EC2's hour-granular billing at the price snapshot taken
+// at the start of each hour.
+package market
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"flint/internal/simclock"
+	"flint/internal/trace"
+)
+
+// Billing selects how lease cost is computed.
+type Billing int
+
+const (
+	// BillPerSecond integrates the spot price over the holding period.
+	BillPerSecond Billing = iota
+	// BillHourly charges every started hour at the price in effect at the
+	// start of that hour (the EC2 rule).
+	BillHourly
+)
+
+// Kind distinguishes pool mechanics.
+type Kind int
+
+const (
+	// KindSpot is an EC2-style bid-driven market.
+	KindSpot Kind = iota
+	// KindPreemptible is a GCE-style fixed-price pool with per-instance
+	// sampled lifetimes (≤ 24 h).
+	KindPreemptible
+	// KindOnDemand is a fixed-price, never-revoked pool. The paper models
+	// it as "a distinct spot pool with a stable price and zero revocation
+	// probability".
+	KindOnDemand
+)
+
+// Pool is one transient-server market.
+type Pool struct {
+	Name     string
+	Kind     Kind
+	OnDemand float64 // $/hr of the equivalent on-demand server
+
+	// Trace backs KindSpot pools. Simulation time t corresponds to trace
+	// time t+Offset, so the first Offset seconds of the trace serve as
+	// the "recent price history" policies inspect at t=0.
+	Trace  *trace.Trace
+	Offset float64
+
+	// Preempt backs KindPreemptible pools.
+	Preempt *trace.Preemptible
+}
+
+// traceTime maps simulation time to trace time.
+func (p *Pool) traceTime(t float64) float64 { return t + p.Offset }
+
+// PriceAt returns the pool price at simulation time t.
+func (p *Pool) PriceAt(t float64) float64 {
+	switch p.Kind {
+	case KindOnDemand:
+		return p.OnDemand
+	case KindPreemptible:
+		return p.Preempt.Price
+	default:
+		return p.Trace.PriceAt(p.traceTime(t))
+	}
+}
+
+// HistoryStats analyzes the pool's recent history — the window seconds
+// ending at simulation time t — at the given bid. This is the estimator
+// Flint's node manager maintains ("the historical average spot price and
+// revocation rate (and MTTF) over a recent time window, e.g., the past
+// week", §4). For on-demand pools it returns an infinite MTTF at the
+// fixed price; for preemptible pools, the model's mean lifetime.
+func (p *Pool) HistoryStats(bid, t, window float64) trace.BidStats {
+	switch p.Kind {
+	case KindOnDemand:
+		return trace.BidStats{Bid: bid, MTTF: math.Inf(1), AvgPrice: p.OnDemand, UpFraction: 1}
+	case KindPreemptible:
+		return trace.BidStats{Bid: bid, MTTF: p.Preempt.MeanLife, AvgPrice: p.Preempt.Price, UpFraction: 1}
+	}
+	tt := p.traceTime(t)
+	lo := tt - window
+	if lo < 0 {
+		lo = 0
+	}
+	st := p.Trace.Slice(lo, tt).AnalyzeBid(bid)
+	if st.Revocations == 0 && st.UpFraction > 0 {
+		// Calm market: the short window saw no revocations, so the MTTF
+		// estimate is censored. Fall back to all available history for
+		// the MTTF (the paper notes Amazon provides three months of
+		// price history for exactly this purpose); if even the full
+		// history is failure-free, use the observed uptime as a
+		// conservative finite estimate.
+		full := p.Trace.Slice(0, tt).AnalyzeBid(bid)
+		if full.Revocations > 0 {
+			st.MTTF = full.MTTF
+		} else if tt > 0 {
+			st.MTTF = tt
+		}
+	}
+	return st
+}
+
+// HistoryPrices returns the price series over the window seconds ending
+// at t, used for pairwise correlation analysis (Figure 4).
+func (p *Pool) HistoryPrices(t, window float64) []float64 {
+	if p.Kind != KindSpot {
+		return nil
+	}
+	tt := p.traceTime(t)
+	lo := tt - window
+	if lo < 0 {
+		lo = 0
+	}
+	return p.Trace.Slice(lo, tt).Prices
+}
+
+// Lease is one held server.
+type Lease struct {
+	ID       int
+	Pool     *Pool
+	Bid      float64
+	Start    float64 // simulation time of acquisition
+	revokeAt float64 // simulation time of revocation; +Inf if never
+	ended    bool
+	endAt    float64 // voluntary release time, if ended
+}
+
+// RevocationTime returns when the provider will revoke this lease; ok is
+// false for leases that are never revoked within the simulated horizon.
+func (l *Lease) RevocationTime() (float64, bool) {
+	if math.IsInf(l.revokeAt, 1) {
+		return 0, false
+	}
+	return l.revokeAt, true
+}
+
+// HeldUntil returns the effective end of the holding period as of time t:
+// the earliest of t, the revocation, and any voluntary release.
+func (l *Lease) HeldUntil(t float64) float64 {
+	end := t
+	if l.revokeAt < end {
+		end = l.revokeAt
+	}
+	if l.ended && l.endAt < end {
+		end = l.endAt
+	}
+	if end < l.Start {
+		end = l.Start
+	}
+	return end
+}
+
+// Exchange is the collection of pools plus acquisition and billing
+// mechanics.
+type Exchange struct {
+	pools   map[string]*Pool
+	order   []string // deterministic iteration order
+	billing Billing
+	rng     *rand.Rand
+	nextID  int
+	leases  []*Lease
+}
+
+// NewExchange builds an exchange over the given pools. The seed drives
+// per-instance preemptible lifetimes only; spot revocations are fully
+// determined by the pool traces.
+func NewExchange(pools []*Pool, billing Billing, seed int64) (*Exchange, error) {
+	e := &Exchange{
+		pools:   make(map[string]*Pool, len(pools)),
+		billing: billing,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	for _, p := range pools {
+		if p.Name == "" {
+			return nil, fmt.Errorf("market: pool with empty name")
+		}
+		if _, dup := e.pools[p.Name]; dup {
+			return nil, fmt.Errorf("market: duplicate pool %q", p.Name)
+		}
+		switch p.Kind {
+		case KindSpot:
+			if p.Trace == nil || p.Trace.Len() == 0 {
+				return nil, fmt.Errorf("market: spot pool %q has no trace", p.Name)
+			}
+		case KindPreemptible:
+			if p.Preempt == nil {
+				return nil, fmt.Errorf("market: preemptible pool %q has no model", p.Name)
+			}
+		}
+		e.pools[p.Name] = p
+		e.order = append(e.order, p.Name)
+	}
+	sort.Strings(e.order)
+	return e, nil
+}
+
+// Pools returns all pools in deterministic (name) order.
+func (e *Exchange) Pools() []*Pool {
+	out := make([]*Pool, 0, len(e.order))
+	for _, n := range e.order {
+		out = append(out, e.pools[n])
+	}
+	return out
+}
+
+// Pool returns the named pool, or nil.
+func (e *Exchange) Pool(name string) *Pool { return e.pools[name] }
+
+// ErrBidTooLow is returned when a bid is below the pool's current price.
+type ErrBidTooLow struct {
+	Pool  string
+	Price float64
+	Bid   float64
+}
+
+func (err *ErrBidTooLow) Error() string {
+	return fmt.Sprintf("market: bid %.4f below current price %.4f in pool %s", err.Bid, err.Price, err.Pool)
+}
+
+// Acquire places a bid in a pool at simulation time t. For spot pools the
+// bid must clear the current price; the returned lease's revocation time
+// is the first instant the pool price exceeds the bid. Per EC2 policy,
+// bids are capped at 10× the on-demand price (§2.1).
+func (e *Exchange) Acquire(poolName string, bid, t float64) (*Lease, error) {
+	p := e.pools[poolName]
+	if p == nil {
+		return nil, fmt.Errorf("market: unknown pool %q", poolName)
+	}
+	if bid > 10*p.OnDemand {
+		bid = 10 * p.OnDemand
+	}
+	l := &Lease{Pool: p, Bid: bid, Start: t, revokeAt: math.Inf(1)}
+	switch p.Kind {
+	case KindOnDemand:
+		// Always available, never revoked.
+	case KindPreemptible:
+		l.revokeAt = t + p.Preempt.SampleLifetime(e.rng)
+	default:
+		price := p.PriceAt(t)
+		if bid < price {
+			return nil, &ErrBidTooLow{Pool: poolName, Price: price, Bid: bid}
+		}
+		if at, ok := p.Trace.NextRevocation(p.traceTime(t), bid); ok {
+			l.revokeAt = at - p.Offset
+		}
+	}
+	e.nextID++
+	l.ID = e.nextID
+	e.leases = append(e.leases, l)
+	return l, nil
+}
+
+// Release voluntarily ends a lease at time t (e.g. the job finished).
+func (e *Exchange) Release(l *Lease, t float64) {
+	if !l.ended || t < l.endAt {
+		l.ended = true
+		l.endAt = t
+	}
+}
+
+// LeaseCost returns the dollar cost of a lease as of simulation time t
+// under the exchange's billing mode.
+func (e *Exchange) LeaseCost(l *Lease, t float64) float64 {
+	end := l.HeldUntil(t)
+	if end <= l.Start {
+		return 0
+	}
+	p := l.Pool
+	switch p.Kind {
+	case KindOnDemand:
+		return e.billFixed(p.OnDemand, l.Start, end)
+	case KindPreemptible:
+		return e.billFixed(p.Preempt.Price, l.Start, end)
+	}
+	if e.billing == BillPerSecond {
+		return p.Trace.Integrate(p.traceTime(l.Start), p.traceTime(end))
+	}
+	// Hourly: each started hour billed at its opening price snapshot.
+	cost := 0.0
+	for h := l.Start; h < end; h += simclock.Hour {
+		cost += p.PriceAt(h)
+	}
+	return cost
+}
+
+func (e *Exchange) billFixed(rate, start, end float64) float64 {
+	if e.billing == BillPerSecond {
+		return rate * (end - start) / simclock.Hour
+	}
+	hours := math.Ceil((end - start) / simclock.Hour)
+	return rate * hours
+}
+
+// TotalCost sums LeaseCost over every lease ever acquired, as of time t.
+func (e *Exchange) TotalCost(t float64) float64 {
+	s := 0.0
+	for _, l := range e.leases {
+		s += e.LeaseCost(l, t)
+	}
+	return s
+}
+
+// Leases returns all leases ever acquired, in acquisition order.
+func (e *Exchange) Leases() []*Lease { return e.leases }
+
+// SpotExchange is a convenience constructor: generate traces for the given
+// profiles with historyHours of pre-roll before simulation time 0 plus
+// horizonHours of future, and wrap them in spot pools. An on-demand pool
+// named "on-demand" is added with a price equal to the maximum profile
+// on-demand price (a conservative stand-in for the equivalent server).
+func SpotExchange(profiles []trace.Profile, seed int64, historyHours, horizonHours float64, billing Billing) (*Exchange, error) {
+	return SpotExchangeCorrelated(profiles, seed, historyHours, horizonHours, billing, nil)
+}
+
+// PreemptibleExchange builds a GCE-style marketplace: one fixed-price
+// preemptible pool per model (per-instance sampled lifetimes, ≤ 24 h)
+// plus an on-demand pool at the highest equivalent price. The paper notes
+// Flint's policies carry over unchanged because they consume only price
+// and MTTF, which preemptible pools expose directly (§2.1, §6).
+func PreemptibleExchange(models []trace.Preemptible, billing Billing, seed int64) (*Exchange, error) {
+	pools := make([]*Pool, 0, len(models)+1)
+	maxOD := 0.0
+	for i := range models {
+		m := models[i]
+		pools = append(pools, &Pool{
+			Name: m.Name, Kind: KindPreemptible, OnDemand: m.OnDemand, Preempt: &m,
+		})
+		if m.OnDemand > maxOD {
+			maxOD = m.OnDemand
+		}
+	}
+	pools = append(pools, &Pool{Name: "on-demand", Kind: KindOnDemand, OnDemand: maxOD})
+	return NewExchange(pools, billing, seed)
+}
+
+// SpotExchangeCorrelated is SpotExchange with correlated spike groups
+// passed through to trace.GenerateFamily.
+func SpotExchangeCorrelated(profiles []trace.Profile, seed int64, historyHours, horizonHours float64, billing Billing, groups [][]int) (*Exchange, error) {
+	const step = 60 // one-minute resolution, like EC2's published feeds
+	traces := trace.GenerateFamily(profiles, seed, historyHours+horizonHours, step, groups)
+	pools := make([]*Pool, 0, len(profiles)+1)
+	maxOD := 0.0
+	for i, p := range profiles {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		pools = append(pools, &Pool{
+			Name: p.Name, Kind: KindSpot, OnDemand: p.OnDemand,
+			Trace: traces[i], Offset: historyHours * simclock.Hour,
+		})
+		if p.OnDemand > maxOD {
+			maxOD = p.OnDemand
+		}
+	}
+	pools = append(pools, &Pool{Name: "on-demand", Kind: KindOnDemand, OnDemand: maxOD})
+	return NewExchange(pools, billing, seed)
+}

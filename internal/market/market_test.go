@@ -1,0 +1,362 @@
+package market
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"flint/internal/simclock"
+	"flint/internal/trace"
+)
+
+func flatPool(name string, price float64, hours float64) *Pool {
+	n := int(hours * 60)
+	prices := make([]float64, n)
+	for i := range prices {
+		prices[i] = price
+	}
+	return &Pool{
+		Name: name, Kind: KindSpot, OnDemand: price * 5,
+		Trace: &trace.Trace{Step: 60, Prices: prices},
+	}
+}
+
+// spikyPool has a price of low except one spike of spikeLen minutes
+// starting at spikeStart (minutes).
+func spikyPool(name string, low, high float64, totalMin, spikeStart, spikeLen int) *Pool {
+	prices := make([]float64, totalMin)
+	for i := range prices {
+		prices[i] = low
+		if i >= spikeStart && i < spikeStart+spikeLen {
+			prices[i] = high
+		}
+	}
+	return &Pool{
+		Name: name, Kind: KindSpot, OnDemand: 1.0,
+		Trace: &trace.Trace{Step: 60, Prices: prices},
+	}
+}
+
+func mustExchange(t *testing.T, pools []*Pool, b Billing) *Exchange {
+	t.Helper()
+	e, err := NewExchange(pools, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewExchangeValidation(t *testing.T) {
+	if _, err := NewExchange([]*Pool{{Name: "", Kind: KindOnDemand}}, BillPerSecond, 1); err == nil {
+		t.Error("empty name should error")
+	}
+	p := flatPool("a", 0.1, 1)
+	if _, err := NewExchange([]*Pool{p, p}, BillPerSecond, 1); err == nil {
+		t.Error("duplicate pool should error")
+	}
+	if _, err := NewExchange([]*Pool{{Name: "x", Kind: KindSpot}}, BillPerSecond, 1); err == nil {
+		t.Error("spot pool without trace should error")
+	}
+	if _, err := NewExchange([]*Pool{{Name: "y", Kind: KindPreemptible}}, BillPerSecond, 1); err == nil {
+		t.Error("preemptible pool without model should error")
+	}
+}
+
+func TestPoolsDeterministicOrder(t *testing.T) {
+	e := mustExchange(t, []*Pool{
+		flatPool("zeta", 0.1, 1), flatPool("alpha", 0.1, 1), flatPool("mid", 0.1, 1),
+	}, BillPerSecond)
+	got := e.Pools()
+	if got[0].Name != "alpha" || got[1].Name != "mid" || got[2].Name != "zeta" {
+		t.Errorf("order = %v %v %v", got[0].Name, got[1].Name, got[2].Name)
+	}
+	if e.Pool("alpha") == nil || e.Pool("nope") != nil {
+		t.Error("Pool lookup broken")
+	}
+}
+
+func TestAcquireSpotAndRevocation(t *testing.T) {
+	p := spikyPool("m", 0.2, 3.0, 240, 60, 10)
+	e := mustExchange(t, []*Pool{p}, BillPerSecond)
+	l, err := e.Acquire("m", 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, ok := l.RevocationTime()
+	if !ok || at != 3600 {
+		t.Fatalf("revocation = %v,%v want 3600,true", at, ok)
+	}
+}
+
+func TestAcquireBidTooLow(t *testing.T) {
+	p := spikyPool("m", 0.2, 3.0, 240, 60, 10)
+	e := mustExchange(t, []*Pool{p}, BillPerSecond)
+	// At t inside the spike, a bid of 1.0 is below the price 3.0.
+	_, err := e.Acquire("m", 1.0, 65*60)
+	var low *ErrBidTooLow
+	if !errors.As(err, &low) {
+		t.Fatalf("err = %v, want ErrBidTooLow", err)
+	}
+	if low.Pool != "m" || low.Price != 3.0 {
+		t.Errorf("error detail = %+v", low)
+	}
+	if low.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestAcquireUnknownPool(t *testing.T) {
+	e := mustExchange(t, []*Pool{flatPool("a", 0.1, 1)}, BillPerSecond)
+	if _, err := e.Acquire("nope", 1, 0); err == nil {
+		t.Error("unknown pool should error")
+	}
+}
+
+func TestBidCappedAtTenTimesOnDemand(t *testing.T) {
+	p := flatPool("a", 0.1, 2) // OnDemand = 0.5
+	e := mustExchange(t, []*Pool{p}, BillPerSecond)
+	l, err := e.Acquire("a", 99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Bid != 5.0 {
+		t.Errorf("bid = %v, want capped at 5.0", l.Bid)
+	}
+}
+
+func TestOnDemandNeverRevoked(t *testing.T) {
+	od := &Pool{Name: "on-demand", Kind: KindOnDemand, OnDemand: 0.5}
+	e := mustExchange(t, []*Pool{od}, BillPerSecond)
+	l, err := e.Acquire("on-demand", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.RevocationTime(); ok {
+		t.Error("on-demand lease must never revoke")
+	}
+	if od.PriceAt(123456) != 0.5 {
+		t.Error("on-demand price must be fixed")
+	}
+	st := od.HistoryStats(1, 0, simclock.Hour)
+	if !math.IsInf(st.MTTF, 1) || st.AvgPrice != 0.5 {
+		t.Errorf("on-demand stats = %+v", st)
+	}
+}
+
+func TestPreemptibleLeaseLifetime(t *testing.T) {
+	m := trace.StandardGCEModels()[0]
+	pool := &Pool{Name: "gce", Kind: KindPreemptible, OnDemand: m.OnDemand, Preempt: &m}
+	e := mustExchange(t, []*Pool{pool}, BillPerSecond)
+	for i := 0; i < 20; i++ {
+		l, err := e.Acquire("gce", 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at, ok := l.RevocationTime()
+		if !ok {
+			t.Fatal("preemptible lease must have a revocation time")
+		}
+		if at <= 0 || at > m.MaxLife {
+			t.Fatalf("lifetime %v out of range", at)
+		}
+	}
+	if pool.PriceAt(99) != m.Price {
+		t.Error("preemptible price must be fixed")
+	}
+	st := pool.HistoryStats(0, 0, 0)
+	if st.MTTF != m.MeanLife {
+		t.Errorf("preemptible MTTF stat = %v", st.MTTF)
+	}
+}
+
+func TestLeaseCostPerSecond(t *testing.T) {
+	p := flatPool("a", 0.4, 10)
+	e := mustExchange(t, []*Pool{p}, BillPerSecond)
+	l, _ := e.Acquire("a", 2, 0)
+	got := e.LeaseCost(l, 2*simclock.Hour)
+	if math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("2h at $0.4/hr = %v, want 0.8", got)
+	}
+	// Cost before start is zero.
+	if e.LeaseCost(l, 0) != 0 {
+		t.Error("zero-duration lease should cost 0")
+	}
+}
+
+func TestLeaseCostHourly(t *testing.T) {
+	p := flatPool("a", 0.4, 10)
+	e := mustExchange(t, []*Pool{p}, BillHourly)
+	l, _ := e.Acquire("a", 2, 0)
+	// 90 minutes → two started hours at the snapshot price.
+	got := e.LeaseCost(l, 1.5*simclock.Hour)
+	if math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("hourly cost = %v, want 0.8", got)
+	}
+}
+
+func TestLeaseCostStopsAtRevocation(t *testing.T) {
+	p := spikyPool("m", 0.2, 3.0, 600, 60, 10) // revokes at 1h
+	e := mustExchange(t, []*Pool{p}, BillPerSecond)
+	l, _ := e.Acquire("m", 1.0, 0)
+	costAtRevoke := e.LeaseCost(l, simclock.Hour)
+	costLater := e.LeaseCost(l, 5*simclock.Hour)
+	if math.Abs(costAtRevoke-costLater) > 1e-9 {
+		t.Errorf("cost grew after revocation: %v vs %v", costAtRevoke, costLater)
+	}
+	if math.Abs(costAtRevoke-0.2) > 1e-9 {
+		t.Errorf("1h at $0.2/hr = %v", costAtRevoke)
+	}
+}
+
+func TestReleaseStopsBilling(t *testing.T) {
+	p := flatPool("a", 1.0, 10)
+	e := mustExchange(t, []*Pool{p}, BillPerSecond)
+	l, _ := e.Acquire("a", 10, 0)
+	e.Release(l, simclock.Hour)
+	if got := e.LeaseCost(l, 3*simclock.Hour); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("released lease cost = %v, want 1.0", got)
+	}
+	// Releasing again later must not extend billing.
+	e.Release(l, 2*simclock.Hour)
+	if got := e.LeaseCost(l, 3*simclock.Hour); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("re-released lease cost = %v, want 1.0", got)
+	}
+}
+
+func TestTotalCost(t *testing.T) {
+	p := flatPool("a", 1.0, 10)
+	e := mustExchange(t, []*Pool{p}, BillPerSecond)
+	for i := 0; i < 3; i++ {
+		if _, err := e.Acquire("a", 10, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.TotalCost(simclock.Hour); math.Abs(got-3.0) > 1e-9 {
+		t.Errorf("TotalCost = %v, want 3.0", got)
+	}
+	if len(e.Leases()) != 3 {
+		t.Errorf("leases = %d", len(e.Leases()))
+	}
+}
+
+func TestHistoryStatsUsesWindowBeforeNow(t *testing.T) {
+	// History: spike in the first hour (trace time), then calm; offset
+	// places simulation t=0 at trace time 2h.
+	prices := make([]float64, 240)
+	for i := range prices {
+		prices[i] = 0.2
+		if i >= 30 && i < 40 {
+			prices[i] = 5
+		}
+	}
+	p := &Pool{
+		Name: "m", Kind: KindSpot, OnDemand: 1,
+		Trace:  &trace.Trace{Step: 60, Prices: prices},
+		Offset: 2 * simclock.Hour,
+	}
+	// Window covering the spike sees one revocation.
+	st := p.HistoryStats(1, 0, 2*simclock.Hour)
+	if st.Revocations != 1 {
+		t.Errorf("2h-window revocations = %d, want 1", st.Revocations)
+	}
+	// A short window after the spike sees none.
+	st = p.HistoryStats(1, 0, simclock.Hour)
+	if st.Revocations != 0 {
+		t.Errorf("1h-window revocations = %d, want 0", st.Revocations)
+	}
+}
+
+func TestHistoryPrices(t *testing.T) {
+	p := flatPool("a", 0.3, 4)
+	p.Offset = 2 * simclock.Hour
+	hp := p.HistoryPrices(0, simclock.Hour)
+	if len(hp) != 60 {
+		t.Errorf("history length = %d, want 60", len(hp))
+	}
+	od := &Pool{Name: "od", Kind: KindOnDemand, OnDemand: 1}
+	if od.HistoryPrices(0, simclock.Hour) != nil {
+		t.Error("on-demand pool has no price history")
+	}
+}
+
+func TestSpotExchange(t *testing.T) {
+	profiles := trace.StandardEC2Profiles()
+	e, err := SpotExchange(profiles, 9, 24*7, 24*7, BillPerSecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Pools()) != len(profiles)+1 {
+		t.Fatalf("pool count = %d", len(e.Pools()))
+	}
+	od := e.Pool("on-demand")
+	if od == nil || od.Kind != KindOnDemand {
+		t.Fatal("missing on-demand pool")
+	}
+	// Acquiring in each spot pool at the on-demand bid should work at t=0
+	// unless the market happens to be spiking; flat profiles at t=0 are
+	// overwhelmingly likely to be calm.
+	for _, p := range e.Pools() {
+		if p.Kind != KindSpot {
+			continue
+		}
+		if _, err := e.Acquire(p.Name, p.OnDemand, 0); err != nil {
+			t.Errorf("acquire %s: %v", p.Name, err)
+		}
+	}
+	// Validation propagates.
+	bad := profiles[0]
+	bad.OnDemand = -1
+	if _, err := SpotExchange([]trace.Profile{bad}, 9, 1, 1, BillPerSecond); err == nil {
+		t.Error("invalid profile should error")
+	}
+}
+
+func TestSimultaneousRevocationWithinPool(t *testing.T) {
+	// The core premise of Flint's batch policy: all servers in one pool at
+	// the same bid are revoked at the same instant (§3.1).
+	p := spikyPool("m", 0.2, 3.0, 600, 120, 10)
+	e := mustExchange(t, []*Pool{p}, BillPerSecond)
+	var times []float64
+	for i := 0; i < 10; i++ {
+		l, err := e.Acquire("m", 1.0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at, ok := l.RevocationTime()
+		if !ok {
+			t.Fatal("expected revocation")
+		}
+		times = append(times, at)
+	}
+	for _, at := range times {
+		if at != times[0] {
+			t.Fatalf("revocations not simultaneous: %v", times)
+		}
+	}
+}
+
+func TestHeldUntilClampsToStart(t *testing.T) {
+	p := flatPool("a", 1, 2)
+	e := mustExchange(t, []*Pool{p}, BillPerSecond)
+	l, _ := e.Acquire("a", 10, simclock.Hour)
+	if got := l.HeldUntil(0); got != simclock.Hour {
+		t.Errorf("HeldUntil before start = %v", got)
+	}
+}
+
+func TestTraceSlice(t *testing.T) {
+	tr := &trace.Trace{Step: 60, Prices: []float64{1, 2, 3, 4, 5}}
+	s := tr.Slice(60, 240)
+	if s.Len() != 3 || s.Prices[0] != 2 || s.Prices[2] != 4 {
+		t.Errorf("Slice = %+v", s.Prices)
+	}
+	if tr.Slice(240, 60).Len() != 0 {
+		t.Error("inverted slice should be empty")
+	}
+	if tr.Slice(-100, 1e9).Len() != 5 {
+		t.Error("clamped slice should cover everything")
+	}
+	if tr.Slice(1e9, 2e9).Len() != 0 {
+		t.Error("out-of-range slice should be empty")
+	}
+}

@@ -1,0 +1,137 @@
+package policy
+
+import (
+	"sort"
+
+	"flint/internal/cluster"
+	"flint/internal/market"
+)
+
+// EMRSurchargeFraction is the flat Spark-EMR fee the paper cites: 25% of
+// the on-demand price per instance-hour, added on top of the spot cost.
+const EMRSurchargeFraction = 0.25
+
+// FleetMode selects SpotFleet's replacement strategy.
+type FleetMode int
+
+const (
+	// FleetCheapest picks the lowest current-price market.
+	FleetCheapest FleetMode = iota
+	// FleetLeastVolatile picks the highest-MTTF market.
+	FleetLeastVolatile
+)
+
+// SpotFleet models EC2's application-agnostic SpotFleet service: it
+// provisions from a small fixed fleet of instance types, bids the
+// on-demand price, and replaces revoked servers from another market in
+// the fleet by current price or volatility — without considering the
+// impact of revocations on application performance (no Eq. 1/Eq. 2
+// reasoning). This is the "SpotFleet" baseline of Figure 11a.
+type SpotFleet struct {
+	Exch   *market.Exchange
+	Params Params
+	Mode   FleetMode
+	// FleetPools restricts the fleet (the paper configures two r3 types);
+	// empty means every spot pool.
+	FleetPools []string
+	comp       *composition
+}
+
+var _ cluster.Selector = (*SpotFleet)(nil)
+
+// NewSpotFleet builds the baseline selector.
+func NewSpotFleet(exch *market.Exchange, p Params, mode FleetMode, fleet []string) *SpotFleet {
+	return &SpotFleet{Exch: exch, Params: p.withDefaults(), Mode: mode, FleetPools: fleet, comp: newComposition()}
+}
+
+// eligible returns fleet pools (spot only), filtered and ordered by the
+// fleet mode: current price or MTTF — not expected cost.
+func (s *SpotFleet) eligible(now float64, exclude []string) []MarketInfo {
+	snap := Snapshot(s.Exch, now, s.Params)
+	inFleet := func(name string) bool {
+		if len(s.FleetPools) == 0 {
+			return true
+		}
+		return contains(s.FleetPools, name)
+	}
+	var out []MarketInfo
+	for _, mi := range snap {
+		if mi.Pool.Kind != market.KindSpot || !inFleet(mi.Pool.Name) || contains(exclude, mi.Pool.Name) {
+			continue
+		}
+		if mi.Pool.PriceAt(now) > mi.Bid {
+			continue // currently unavailable at an on-demand bid
+		}
+		out = append(out, mi)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch s.Mode {
+		case FleetLeastVolatile:
+			if a.MTTF != b.MTTF {
+				return a.MTTF > b.MTTF
+			}
+		default:
+			pa, pb := a.Pool.PriceAt(now), b.Pool.PriceAt(now)
+			if pa != pb {
+				return pa < pb
+			}
+		}
+		return a.Pool.Name < b.Pool.Name
+	})
+	return out
+}
+
+// Initial provisions everything from the fleet's top-ranked market.
+func (s *SpotFleet) Initial(now float64, n int) []cluster.Request {
+	el := s.eligible(now, nil)
+	if len(el) == 0 {
+		return nil
+	}
+	mi := el[0]
+	s.comp.add(mi.Pool.Name, n)
+	return []cluster.Request{{Pool: mi.Pool.Name, Bid: mi.Bid, Count: n}}
+}
+
+// Replace provisions from the fleet's top-ranked non-excluded market.
+func (s *SpotFleet) Replace(now float64, revokedPool string, exclude []string, n int) []cluster.Request {
+	s.comp.remove(revokedPool, n)
+	el := s.eligible(now, exclude)
+	if len(el) == 0 {
+		return nil
+	}
+	mi := el[0]
+	s.comp.add(mi.Pool.Name, n)
+	return []cluster.Request{{Pool: mi.Pool.Name, Bid: mi.Bid, Count: n}}
+}
+
+// MTTF reports the aggregate cluster MTTF (used when running Flint's
+// checkpointing on top of SpotFleet selection for comparison).
+func (s *SpotFleet) MTTF(now float64) float64 {
+	return clusterMTTF(s.Exch, s.comp, now, s.Params)
+}
+
+// OnDemand provisions everything from the non-revocable on-demand pool:
+// the cost ceiling of every comparison in the paper.
+type OnDemand struct {
+	PoolName string
+}
+
+var _ cluster.Selector = (*OnDemand)(nil)
+
+// NewOnDemand builds the baseline; pool defaults to "on-demand".
+func NewOnDemand() *OnDemand { return &OnDemand{PoolName: "on-demand"} }
+
+// Initial provisions all n servers on demand.
+func (s *OnDemand) Initial(now float64, n int) []cluster.Request {
+	return []cluster.Request{{Pool: s.PoolName, Bid: 0, Count: n}}
+}
+
+// Replace is never needed (on-demand servers are not revoked) but
+// answers anyway.
+func (s *OnDemand) Replace(now float64, revokedPool string, exclude []string, n int) []cluster.Request {
+	if contains(exclude, s.PoolName) {
+		return nil
+	}
+	return []cluster.Request{{Pool: s.PoolName, Bid: 0, Count: n}}
+}

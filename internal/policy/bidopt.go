@@ -1,0 +1,61 @@
+package policy
+
+import (
+	"math"
+
+	"flint/internal/market"
+	"flint/internal/simclock"
+)
+
+// BidPoint is one evaluated bid level.
+type BidPoint struct {
+	Ratio    float64 // bid as a multiple of the on-demand price
+	Bid      float64 // dollars/hr
+	MTTF     float64 // seconds
+	AvgPrice float64 // $/hr paid while holding
+	CostRate float64 // expected $/useful-compute-hour (Eq. 2)
+	Usable   bool    // bid clears the market at least sometimes
+}
+
+// OptimalBid sweeps bid levels for one spot pool against its price
+// history and returns the evaluated curve plus the minimum-cost bid. The
+// paper's empirical finding — which this function lets a deployment
+// verify for its own markets — is that "simply bidding the on-demand
+// price is optimal, and that there is actually a wide range of bid
+// prices that result in this optimal cost" (§5.5).
+func OptimalBid(pool *market.Pool, now float64, p Params) (best BidPoint, curve []BidPoint) {
+	p = p.withDefaults()
+	if pool == nil || pool.Kind != market.KindSpot {
+		return BidPoint{}, nil
+	}
+	ratios := []float64{0.25, 0.4, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0, 4.0}
+	delta := p.Delta()
+	// Use all available history for the sweep (bid studies want the
+	// long view, like the three months EC2 publishes).
+	window := now + pool.Offset
+	best = BidPoint{CostRate: math.Inf(1)}
+	for _, ratio := range ratios {
+		bid := ratio * pool.OnDemand
+		st := pool.HistoryStats(bid, now, window)
+		pt := BidPoint{
+			Ratio: ratio, Bid: bid,
+			MTTF: st.MTTF, AvgPrice: st.AvgPrice,
+			Usable: st.UpFraction > 0,
+		}
+		if pt.Usable {
+			pt.CostRate = CostRate(st.AvgPrice, delta, st.MTTF, p.ReplaceDelay)
+			// Hourly-billing waste: short-lived leases pay for unused
+			// fractions of their final hour.
+			if !math.IsInf(st.MTTF, 1) && st.MTTF > 0 {
+				pt.CostRate *= 1 + 0.5*simclock.Hour/math.Max(st.MTTF, 0.5*simclock.Hour)
+			}
+		} else {
+			pt.CostRate = math.Inf(1)
+		}
+		curve = append(curve, pt)
+		if pt.CostRate < best.CostRate {
+			best = pt
+		}
+	}
+	return best, curve
+}

@@ -1,0 +1,60 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"flint/internal/market"
+	"flint/internal/trace"
+)
+
+func TestOptimalBidFindsFlatBand(t *testing.T) {
+	profiles := trace.BidStudyProfiles()
+	e, err := market.SpotExchange(profiles, 7, 24*60, 24, market.BillPerSecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prof := range profiles {
+		pool := e.Pool(prof.Name)
+		best, curve := OptimalBid(pool, 0, DefaultParams())
+		if len(curve) == 0 {
+			t.Fatalf("%s: empty curve", prof.Name)
+		}
+		if !best.Usable || math.IsInf(best.CostRate, 1) {
+			t.Fatalf("%s: no usable bid found", prof.Name)
+		}
+		// The paper's conclusion: the on-demand bid lands within a few
+		// percent of the optimum.
+		var atOD BidPoint
+		for _, pt := range curve {
+			if pt.Ratio == 1.0 {
+				atOD = pt
+			}
+		}
+		if atOD.CostRate > best.CostRate*1.10 {
+			t.Errorf("%s: on-demand bid cost %.4f more than 10%% above optimum %.4f (at %gx)",
+				prof.Name, atOD.CostRate, best.CostRate, best.Ratio)
+		}
+		// Monotone MTTF in bid.
+		prev := -1.0
+		for _, pt := range curve {
+			if !pt.Usable {
+				continue
+			}
+			if pt.MTTF < prev-1e-9 {
+				t.Errorf("%s: MTTF fell as bid rose", prof.Name)
+			}
+			prev = pt.MTTF
+		}
+	}
+}
+
+func TestOptimalBidRejectsNonSpot(t *testing.T) {
+	od := &market.Pool{Name: "on-demand", Kind: market.KindOnDemand, OnDemand: 1}
+	if _, curve := OptimalBid(od, 0, DefaultParams()); curve != nil {
+		t.Error("on-demand pool should produce no curve")
+	}
+	if _, curve := OptimalBid(nil, 0, DefaultParams()); curve != nil {
+		t.Error("nil pool should produce no curve")
+	}
+}

@@ -1,0 +1,101 @@
+// Package policy implements Flint's transient-server selection policies
+// (§3.1.2 and §3.2.2 of the paper) and the baselines it is evaluated
+// against (SpotFleet, Spark-EMR, on-demand).
+//
+// The analytical core is the expected-running-time model of Eq. 1:
+//
+//	E[T_k] = T · (1 + δ/τ + (τ/2 + r_d)/MTTF_k)
+//
+// — checkpointing overhead plus expected recomputation and replacement
+// overhead per revocation — and its m-market generalization of Eq. 4,
+// where the aggregate MTTF is the failure-rate sum of Eq. 3 and each
+// revocation event only loses 1/m of the cluster. Expected cost (Eq. 2)
+// multiplies the runtime factor by the market's average price.
+package policy
+
+import (
+	"math"
+
+	"flint/internal/ckpt"
+	"flint/internal/stats"
+)
+
+// RuntimeFactor returns E[T]/T for a single market per Eq. 1: the
+// fractional running-time increase from checkpointing every
+// τ = √(2·δ·MTTF) plus recomputation (τ/2 expected) and server
+// replacement (rd) per revocation. It is 1 for an infinite MTTF and +Inf
+// for an unusable market (MTTF ≤ 0).
+func RuntimeFactor(delta, mttf, rd float64) float64 {
+	if math.IsInf(mttf, 1) {
+		return 1
+	}
+	if mttf <= 0 {
+		return math.Inf(1)
+	}
+	tau := ckpt.OptimalInterval(delta, mttf)
+	if tau <= 0 {
+		return math.Inf(1)
+	}
+	return 1 + delta/tau + (tau/2+rd)/mttf
+}
+
+// CostRate returns the expected dollars per useful compute hour on a
+// market (Eq. 2): the runtime factor times the average price paid while
+// holding a server.
+func CostRate(avgPrice, delta, mttf, rd float64) float64 {
+	return avgPrice * RuntimeFactor(delta, mttf, rd)
+}
+
+// MultiRuntimeFactor returns E[T(S)]/T for a cluster split equally across
+// m markets with the given MTTFs (Eq. 4): revocation events arrive at the
+// summed failure rate (Eq. 3) but each loses only 1/m of the servers, so
+// the per-event recomputation and replacement penalty shrinks by 1/m.
+func MultiRuntimeFactor(delta, rd float64, mttfs []float64) float64 {
+	m := len(mttfs)
+	if m == 0 {
+		return math.Inf(1)
+	}
+	agg := stats.RateSum(mttfs)
+	if math.IsInf(agg, 1) {
+		return 1
+	}
+	if agg <= 0 {
+		return math.Inf(1)
+	}
+	tau := ckpt.OptimalInterval(delta, agg)
+	if tau <= 0 {
+		return math.Inf(1)
+	}
+	return 1 + delta/tau + (tau/2+rd)/(agg*float64(m))
+}
+
+// RuntimeVariance returns Var[T(S)] for a program with failure-free
+// running time T on a cluster split across the given markets. The model
+// treats revocation events as a compound Poisson process: events arrive
+// at rate 1/MTTF(S); each event costs a uniform recomputation in
+// [0, τ]/m plus the fixed replacement delay rd/m. Diversifying across
+// more (comparable) markets raises the event rate linearly but shrinks
+// the squared per-event loss quadratically, so variance falls — the
+// formal version of the paper's Policy 2 intuition.
+func RuntimeVariance(T, delta, rd float64, mttfs []float64) float64 {
+	m := float64(len(mttfs))
+	if m == 0 {
+		return math.Inf(1)
+	}
+	agg := stats.RateSum(mttfs)
+	if math.IsInf(agg, 1) {
+		return 0
+	}
+	if agg <= 0 {
+		return math.Inf(1)
+	}
+	tau := ckpt.OptimalInterval(delta, agg)
+	if tau <= 0 || math.IsInf(tau, 1) {
+		return math.Inf(1)
+	}
+	events := T / agg
+	meanLoss := (tau/2 + rd) / m
+	varLoss := (tau * tau / 12) / (m * m)
+	// Compound Poisson: Var[Σ X_i] = λT · (Var[X] + E[X]²).
+	return events * (varLoss + meanLoss*meanLoss)
+}

@@ -1,0 +1,388 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"flint/internal/market"
+	"flint/internal/simclock"
+	"flint/internal/stats"
+	"flint/internal/trace"
+)
+
+func TestRuntimeFactor(t *testing.T) {
+	// Infinite MTTF: no overhead.
+	if got := RuntimeFactor(10, math.Inf(1), 120); got != 1 {
+		t.Errorf("on-demand factor = %v, want 1", got)
+	}
+	// Unusable market.
+	if !math.IsInf(RuntimeFactor(10, 0, 120), 1) {
+		t.Error("zero MTTF should be infinite cost")
+	}
+	// δ=12 s, MTTF=50 h: overhead should be small (a few percent).
+	f := RuntimeFactor(12, simclock.Hours(50), 120)
+	if f < 1.005 || f > 1.05 {
+		t.Errorf("50h-MTTF factor = %v, want ≈ 1.01-1.02", f)
+	}
+	// Volatile market (1 h MTTF) has much higher overhead.
+	fv := RuntimeFactor(12, simclock.Hours(1), 120)
+	if fv <= f {
+		t.Error("volatile factor must exceed calm factor")
+	}
+	if fv < 1.10 {
+		t.Errorf("1h-MTTF factor = %v, want substantial overhead", fv)
+	}
+}
+
+func TestRuntimeFactorMonotoneInMTTF(t *testing.T) {
+	prev := math.Inf(1)
+	for _, h := range []float64{1, 5, 20, 50, 200, 700} {
+		f := RuntimeFactor(12, simclock.Hours(h), 120)
+		if f >= prev {
+			t.Fatalf("factor not decreasing in MTTF: %v at %vh (prev %v)", f, h, prev)
+		}
+		prev = f
+	}
+}
+
+func TestCostRate(t *testing.T) {
+	// Eq. 2: cost = factor × price. A cheap volatile market can lose to a
+	// slightly pricier calm one.
+	volatile := CostRate(0.050, 12, simclock.Hours(0.2), 120)
+	calm := CostRate(0.060, 12, simclock.Hours(200), 120)
+	if calm >= volatile {
+		t.Errorf("calm market (%.4f) should beat cheap volatile one (%.4f)", calm, volatile)
+	}
+}
+
+func TestMultiRuntimeFactor(t *testing.T) {
+	// Single market reduces to Eq. 1.
+	single := MultiRuntimeFactor(12, 120, []float64{simclock.Hours(50)})
+	eq1 := RuntimeFactor(12, simclock.Hours(50), 120)
+	if math.Abs(single-eq1) > 1e-9 {
+		t.Errorf("m=1 factor %v != Eq.1 factor %v", single, eq1)
+	}
+	if MultiRuntimeFactor(12, 120, nil) != math.Inf(1) {
+		t.Error("empty market set is unusable")
+	}
+	if MultiRuntimeFactor(12, 120, []float64{math.Inf(1), math.Inf(1)}) != 1 {
+		t.Error("all-on-demand factor should be 1")
+	}
+}
+
+func TestRuntimeVarianceFallsWithDiversification(t *testing.T) {
+	// Equal-MTTF markets: variance must fall monotonically as markets are
+	// added (the formal core of Policy 2).
+	T := 4 * simclock.Hour
+	prev := math.Inf(1)
+	for m := 1; m <= 6; m++ {
+		mttfs := make([]float64, m)
+		for i := range mttfs {
+			mttfs[i] = simclock.Hours(40)
+		}
+		v := RuntimeVariance(T, 12, 120, mttfs)
+		if v >= prev {
+			t.Fatalf("variance did not fall at m=%d: %v (prev %v)", m, v, prev)
+		}
+		prev = v
+	}
+	if RuntimeVariance(T, 12, 120, []float64{math.Inf(1)}) != 0 {
+		t.Error("on-demand variance should be 0")
+	}
+	if !math.IsInf(RuntimeVariance(T, 12, 120, nil), 1) {
+		t.Error("empty set variance should be +Inf")
+	}
+}
+
+func TestRuntimeVarianceGrowsWithBadMarket(t *testing.T) {
+	// Adding a far more volatile market can increase variance — the
+	// greedy selection's stopping condition relies on this.
+	good := []float64{simclock.Hours(100), simclock.Hours(100), simclock.Hours(100)}
+	mixed := append(append([]float64{}, good...), simclock.Hours(0.5))
+	vGood := RuntimeVariance(simclock.Hour, 12, 120, good)
+	vMixed := RuntimeVariance(simclock.Hour, 12, 120, mixed)
+	if vMixed <= vGood {
+		t.Errorf("adding a terrible market should raise variance: %v vs %v", vMixed, vGood)
+	}
+}
+
+// buildExchange creates a testing exchange: three spot pools with known
+// volatility ordering plus on-demand. History covers one simulated week.
+func buildExchange(t *testing.T) *market.Exchange {
+	t.Helper()
+	e, err := market.SpotExchange(trace.StandardEC2Profiles(), 17, 24*7, 24*7, market.BillPerSecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSnapshotShape(t *testing.T) {
+	e := buildExchange(t)
+	snap := Snapshot(e, 0, DefaultParams())
+	if len(snap) != 4 {
+		t.Fatalf("snapshot size = %d, want 4", len(snap))
+	}
+	// Sorted by ascending cost rate.
+	for i := 1; i < len(snap); i++ {
+		if snap[i].CostRate < snap[i-1].CostRate {
+			t.Fatal("snapshot not sorted by cost rate")
+		}
+	}
+	// On-demand appears with factor exactly 1 and infinite MTTF.
+	found := false
+	for _, mi := range snap {
+		if mi.Pool.Kind == market.KindOnDemand {
+			found = true
+			if mi.Factor != 1 || !math.IsInf(mi.MTTF, 1) {
+				t.Errorf("on-demand info = %+v", mi)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("on-demand missing from snapshot")
+	}
+}
+
+func TestSnapshotSpotCheaperThanOnDemand(t *testing.T) {
+	e := buildExchange(t)
+	snap := Snapshot(e, 0, DefaultParams())
+	// The cheapest market must be a spot pool at well under the on-demand
+	// rate (the premise of the whole paper).
+	best := snap[0]
+	if best.Pool.Kind != market.KindSpot {
+		t.Fatalf("cheapest market is %v, want spot", best.Pool.Name)
+	}
+	od := e.Pool("on-demand").OnDemand
+	if best.CostRate > 0.5*od {
+		t.Errorf("best spot cost rate %.4f not well below on-demand %.4f", best.CostRate, od)
+	}
+}
+
+func TestBatchSelectorPicksMinCost(t *testing.T) {
+	e := buildExchange(t)
+	s := NewBatch(e, DefaultParams())
+	reqs := s.Initial(0, 10)
+	if len(reqs) != 1 || reqs[0].Count != 10 {
+		t.Fatalf("batch initial = %+v", reqs)
+	}
+	snap := Snapshot(e, 0, DefaultParams())
+	if reqs[0].Pool != snap[0].Pool.Name {
+		t.Errorf("batch picked %s, want min-cost %s", reqs[0].Pool, snap[0].Pool.Name)
+	}
+	// Bid the on-demand price (the paper's bidding policy).
+	if reqs[0].Bid != e.Pool(reqs[0].Pool).OnDemand {
+		t.Errorf("bid = %v, want on-demand %v", reqs[0].Bid, e.Pool(reqs[0].Pool).OnDemand)
+	}
+	if v := s.MTTF(0); v <= 0 || math.IsInf(v, 1) {
+		t.Errorf("cluster MTTF = %v", v)
+	}
+}
+
+func TestBatchSelectorReplaceExcludesRevoked(t *testing.T) {
+	e := buildExchange(t)
+	s := NewBatch(e, DefaultParams())
+	first := s.Initial(0, 10)[0]
+	reqs := s.Replace(1000, first.Pool, []string{first.Pool}, 10)
+	if len(reqs) != 1 {
+		t.Fatalf("replace = %+v", reqs)
+	}
+	if reqs[0].Pool == first.Pool {
+		t.Error("replacement must avoid the revoked market")
+	}
+	comp := s.Composition()
+	if comp[first.Pool] != 0 || comp[reqs[0].Pool] != 10 {
+		t.Errorf("composition after replace = %v", comp)
+	}
+}
+
+func TestInteractiveSelectorDiversifies(t *testing.T) {
+	// Build many comparable markets so diversification is worthwhile.
+	profiles := trace.PoolSet(12, 5)
+	e, err := market.SpotExchange(profiles, 23, 24*7, 24*7, market.BillPerSecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewInteractive(e, DefaultParams())
+	sel := s.SelectMarkets(0)
+	if len(sel) < 2 {
+		t.Fatalf("interactive policy selected %d markets, want ≥ 2", len(sel))
+	}
+	reqs := s.Initial(0, 10)
+	total := 0
+	for _, r := range reqs {
+		total += r.Count
+	}
+	if total != 10 {
+		t.Fatalf("interactive initial counts = %+v", reqs)
+	}
+	if len(reqs) < 2 {
+		t.Fatal("interactive cluster not spread across markets")
+	}
+	// Roughly equal split: max-min ≤ 1.
+	min, max := 10, 0
+	for _, r := range reqs {
+		if r.Count < min {
+			min = r.Count
+		}
+		if r.Count > max {
+			max = r.Count
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("unequal split: %+v", reqs)
+	}
+}
+
+func TestInteractiveMTTFBelowBatch(t *testing.T) {
+	// The diversified cluster's aggregate MTTF (Eq. 3) must be below any
+	// single member market's MTTF.
+	profiles := trace.PoolSet(12, 5)
+	e, _ := market.SpotExchange(profiles, 23, 24*7, 24*7, market.BillPerSecond)
+	s := NewInteractive(e, DefaultParams())
+	sel := s.SelectMarkets(0)
+	if len(sel) < 2 {
+		t.Skip("needs ≥2 selected markets")
+	}
+	s.Initial(0, 10)
+	agg := s.MTTF(0)
+	for _, mi := range sel {
+		if agg >= mi.MTTF {
+			t.Errorf("aggregate MTTF %v not below member %v (%s)", agg, mi.MTTF, mi.Pool.Name)
+		}
+	}
+}
+
+func TestInteractiveReplacePrefersUnusedMarket(t *testing.T) {
+	profiles := trace.PoolSet(12, 5)
+	e, _ := market.SpotExchange(profiles, 23, 24*7, 24*7, market.BillPerSecond)
+	s := NewInteractive(e, DefaultParams())
+	reqs := s.Initial(0, 10)
+	used := map[string]bool{}
+	for _, r := range reqs {
+		used[r.Pool] = true
+	}
+	rep := s.Replace(1000, reqs[0].Pool, []string{reqs[0].Pool}, reqs[0].Count)
+	if len(rep) != 1 {
+		t.Fatalf("replace = %+v", rep)
+	}
+	if used[rep[0].Pool] {
+		t.Errorf("replacement %s should prefer an unused market", rep[0].Pool)
+	}
+}
+
+func TestUncorrelatedSetFiltersCorrelatedPairs(t *testing.T) {
+	profiles := trace.PoolSet(6, 3)
+	// Pools 0 and 1 share a spike process.
+	e, err := market.SpotExchangeCorrelated(profiles, 99, 24*7, 24, market.BillPerSecond, [][]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	snap := Snapshot(e, 0, p)
+	var spot []MarketInfo
+	for _, mi := range snap {
+		if mi.Pool.Kind == market.KindSpot {
+			spot = append(spot, mi)
+		}
+	}
+	L := uncorrelatedSet(spot, 0, p)
+	// The two correlated pools must not both survive.
+	has := map[string]bool{}
+	for _, mi := range L {
+		has[mi.Pool.Name] = true
+	}
+	if has[profiles[0].Name] && has[profiles[1].Name] {
+		t.Errorf("both correlated markets kept: %v", has)
+	}
+	if len(L) < 3 {
+		t.Errorf("uncorrelated set too small: %d", len(L))
+	}
+}
+
+func TestSpotFleetModes(t *testing.T) {
+	e := buildExchange(t)
+	p := DefaultParams()
+	cheap := NewSpotFleet(e, p, FleetCheapest, nil)
+	reqs := cheap.Initial(0, 10)
+	if len(reqs) != 1 || reqs[0].Count != 10 {
+		t.Fatalf("fleet initial = %+v", reqs)
+	}
+	// Cheapest mode picks the lowest current price among spot pools.
+	best := reqs[0].Pool
+	bestPrice := e.Pool(best).PriceAt(0)
+	for _, pool := range e.Pools() {
+		if pool.Kind != market.KindSpot {
+			continue
+		}
+		if pr := pool.PriceAt(0); pr < bestPrice-1e-12 {
+			t.Errorf("fleet cheapest picked %s (%.4f) but %s costs %.4f", best, bestPrice, pool.Name, pr)
+		}
+	}
+
+	stable := NewSpotFleet(e, p, FleetLeastVolatile, nil)
+	reqs2 := stable.Initial(0, 10)
+	// Least-volatile mode must pick the highest-MTTF market (us-west-2c).
+	if reqs2[0].Pool != trace.USWest2c().Name {
+		t.Errorf("least-volatile picked %s, want %s", reqs2[0].Pool, trace.USWest2c().Name)
+	}
+
+	// Restricted fleet.
+	fleet := NewSpotFleet(e, p, FleetCheapest, []string{trace.SAEast1a().Name})
+	r3 := fleet.Initial(0, 10)
+	if r3[0].Pool != trace.SAEast1a().Name {
+		t.Errorf("restricted fleet escaped: %s", r3[0].Pool)
+	}
+	// Replacement avoids the excluded pool.
+	rep := fleet.Replace(100, trace.SAEast1a().Name, []string{trace.SAEast1a().Name}, 10)
+	if rep != nil {
+		t.Errorf("single-pool fleet should fail replacement, got %+v", rep)
+	}
+}
+
+func TestOnDemandSelector(t *testing.T) {
+	s := NewOnDemand()
+	reqs := s.Initial(0, 10)
+	if len(reqs) != 1 || reqs[0].Pool != "on-demand" || reqs[0].Count != 10 {
+		t.Fatalf("on-demand initial = %+v", reqs)
+	}
+	if s.Replace(0, "x", []string{"on-demand"}, 1) != nil {
+		t.Error("excluded on-demand should return nil")
+	}
+	if s.Replace(0, "x", nil, 2)[0].Count != 2 {
+		t.Error("replace count wrong")
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.Window != 7*simclock.Day || p.BidMultiple != 1.0 {
+		t.Errorf("defaults = %+v", p)
+	}
+	if p.Delta() != 10 {
+		t.Errorf("default delta = %v", p.Delta())
+	}
+	d := DefaultParams()
+	if d.PriceSpikeThreshold != 0.10 || d.CorrThreshold != 0.5 {
+		t.Errorf("DefaultParams = %+v", d)
+	}
+}
+
+func TestEq3AggregationMatchesRateSum(t *testing.T) {
+	// clusterMTTF over two pools equals the paper's Eq. 3 on their
+	// windowed MTTFs.
+	e := buildExchange(t)
+	s := NewBatch(e, DefaultParams())
+	s.comp.add(trace.SAEast1a().Name, 5)
+	s.comp.add(trace.EUWest1c().Name, 5)
+	p := DefaultParams().withDefaults()
+	var want []float64
+	for _, name := range []string{trace.EUWest1c().Name, trace.SAEast1a().Name} {
+		pool := e.Pool(name)
+		want = append(want, pool.HistoryStats(pool.OnDemand, 0, p.Window).MTTF)
+	}
+	got := s.MTTF(0)
+	if math.Abs(got-stats.RateSum(want)) > 1e-6 {
+		t.Errorf("clusterMTTF = %v, want %v", got, stats.RateSum(want))
+	}
+}

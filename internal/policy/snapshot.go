@@ -1,0 +1,148 @@
+package policy
+
+import (
+	"math"
+	"sort"
+
+	"flint/internal/market"
+	"flint/internal/simclock"
+	"flint/internal/stats"
+)
+
+// Params are the shared knobs of the selection policies.
+type Params struct {
+	// Window is the price-history window used for MTTF and average-price
+	// estimation (default: one week, as in the paper's node manager).
+	Window float64
+	// Delta returns the current checkpoint-time estimate δ in seconds
+	// (usually wired to the fault-tolerance manager). Defaults to a
+	// constant 10 s.
+	Delta func() float64
+	// ReplaceDelay is r_d, the server replacement delay (default 120 s).
+	ReplaceDelay float64
+	// BidMultiple scales the bid relative to the on-demand price. The
+	// paper's (and default) bidding policy is 1.0 — "we bid the
+	// on-demand price".
+	BidMultiple float64
+	// PriceSpikeThreshold excludes markets whose instantaneous price
+	// exceeds (1+threshold)× their windowed average — "Flint does not
+	// consider markets with an instantaneous price that is not within a
+	// threshold percentage, e.g., 10%, of the average market price".
+	PriceSpikeThreshold float64
+	// CorrThreshold is the maximum |Pearson r| between two markets'
+	// recent prices for them to count as uncorrelated when the
+	// interactive policy builds its candidate set L.
+	CorrThreshold float64
+}
+
+// DefaultParams mirrors the paper's configuration.
+func DefaultParams() Params {
+	return Params{
+		Window:              7 * simclock.Day,
+		ReplaceDelay:        2 * simclock.Minute,
+		BidMultiple:         1.0,
+		PriceSpikeThreshold: 0.10,
+		CorrThreshold:       0.5,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	if p.Window <= 0 {
+		p.Window = 7 * simclock.Day
+	}
+	if p.Delta == nil {
+		p.Delta = func() float64 { return 10 }
+	}
+	if p.ReplaceDelay <= 0 {
+		p.ReplaceDelay = 2 * simclock.Minute
+	}
+	if p.BidMultiple <= 0 {
+		p.BidMultiple = 1.0
+	}
+	if p.PriceSpikeThreshold <= 0 {
+		p.PriceSpikeThreshold = 0.10
+	}
+	if p.CorrThreshold <= 0 {
+		p.CorrThreshold = 0.5
+	}
+	return p
+}
+
+// MarketInfo is one market's policy-relevant state at a point in time.
+type MarketInfo struct {
+	Pool     *market.Pool
+	Bid      float64
+	MTTF     float64 // seconds
+	AvgPrice float64 // $/hr paid while holding
+	Factor   float64 // E[T]/T per Eq. 1
+	CostRate float64 // $/hr of useful compute per Eq. 2
+	Spiking  bool    // instantaneous price above the spike threshold
+}
+
+// Snapshot evaluates every pool in the exchange at time now: bid at
+// BidMultiple× the on-demand price, estimate MTTF and average price over
+// the history window, and compute the Eq. 1/Eq. 2 figures. Unusable
+// markets (bid never clears) are excluded; spiking markets are flagged
+// but included so callers can choose. The on-demand pool appears with an
+// infinite MTTF and Factor 1, exactly as the paper models it. The result
+// is sorted by ascending CostRate.
+func Snapshot(exch *market.Exchange, now float64, p Params) []MarketInfo {
+	p = p.withDefaults()
+	delta := p.Delta()
+	var out []MarketInfo
+	for _, pool := range exch.Pools() {
+		bid := p.BidMultiple * pool.OnDemand
+		st := pool.HistoryStats(bid, now, p.Window)
+		if st.UpFraction == 0 && pool.Kind == market.KindSpot {
+			continue // bid never clears in this market
+		}
+		mi := MarketInfo{
+			Pool: pool, Bid: bid, MTTF: st.MTTF, AvgPrice: st.AvgPrice,
+			Factor:   RuntimeFactor(delta, st.MTTF, p.ReplaceDelay),
+			CostRate: CostRate(st.AvgPrice, delta, st.MTTF, p.ReplaceDelay),
+		}
+		if pool.Kind == market.KindSpot && st.AvgPrice > 0 {
+			cur := pool.PriceAt(now)
+			mi.Spiking = cur > st.AvgPrice*(1+p.PriceSpikeThreshold)
+		}
+		if math.IsInf(mi.CostRate, 1) || math.IsNaN(mi.CostRate) {
+			continue
+		}
+		out = append(out, mi)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CostRate != out[j].CostRate {
+			return out[i].CostRate < out[j].CostRate
+		}
+		return out[i].Pool.Name < out[j].Pool.Name
+	})
+	return out
+}
+
+// uncorrelatedSet greedily builds the candidate list L of §3.2.2: walk
+// the cost-sorted snapshot and keep a market only if its recent price
+// series is weakly correlated (|r| < threshold) with every market already
+// kept. The on-demand pool (no price series) is always admissible.
+func uncorrelatedSet(infos []MarketInfo, now float64, p Params) []MarketInfo {
+	p = p.withDefaults()
+	var kept []MarketInfo
+	var series [][]float64
+	for _, mi := range infos {
+		prices := mi.Pool.HistoryPrices(now, p.Window)
+		ok := true
+		for i := range kept {
+			if prices == nil || series[i] == nil {
+				continue
+			}
+			if math.Abs(stats.Pearson(prices, series[i])) >= p.CorrThreshold {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, mi)
+			series = append(series, prices)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,116 @@
+package policy
+
+import (
+	"flint/internal/cluster"
+	"flint/internal/market"
+	"flint/internal/stats"
+)
+
+// Stratified bidding is the refinement the paper discusses and rejects
+// (§3.2.2, "Bidding Policy"): instead of bidding the on-demand price for
+// every server, spread the bids across a band so that servers fail at
+// different times as the price climbs. The paper's observation — which
+// StratificationStudy quantifies and TestStratifiedBiddingIneffective
+// verifies — is that current spot-market spikes are large and step far
+// past the whole band at once, so stratification buys almost nothing.
+
+// Stratified wraps an inner selector, replacing its single-bid requests
+// with a ladder of bids spanning [Low, High]×on-demand.
+type Stratified struct {
+	Inner cluster.Selector
+	Exch  *market.Exchange
+	Low   float64 // lowest bid as a multiple of on-demand (default 0.8)
+	High  float64 // highest bid as a multiple of on-demand (default 2.0)
+}
+
+var _ cluster.Selector = (*Stratified)(nil)
+
+// NewStratified wraps inner with a bid ladder.
+func NewStratified(inner cluster.Selector, exch *market.Exchange, low, high float64) *Stratified {
+	if low <= 0 {
+		low = 0.8
+	}
+	if high < low {
+		high = 2.0
+	}
+	return &Stratified{Inner: inner, Exch: exch, Low: low, High: high}
+}
+
+// ladder splits a request for n servers into n single-server requests
+// with evenly spaced bids.
+func (s *Stratified) ladder(reqs []cluster.Request) []cluster.Request {
+	var out []cluster.Request
+	for _, r := range reqs {
+		pool := s.Exch.Pool(r.Pool)
+		if pool == nil || r.Count <= 1 {
+			out = append(out, r)
+			continue
+		}
+		for i := 0; i < r.Count; i++ {
+			frac := float64(i) / float64(r.Count-1)
+			bid := (s.Low + (s.High-s.Low)*frac) * pool.OnDemand
+			out = append(out, cluster.Request{Pool: r.Pool, Bid: bid, Count: 1})
+		}
+	}
+	return out
+}
+
+// Initial ladders the inner selector's initial placement.
+func (s *Stratified) Initial(now float64, n int) []cluster.Request {
+	return s.ladder(s.Inner.Initial(now, n))
+}
+
+// Replace passes through (replacements are single servers; the ladder is
+// degenerate for count 1).
+func (s *Stratified) Replace(now float64, revokedPool string, exclude []string, n int) []cluster.Request {
+	return s.ladder(s.Inner.Replace(now, revokedPool, exclude, n))
+}
+
+// StratificationResult summarizes how much failure-time separation a bid
+// ladder actually buys in a market.
+type StratificationResult struct {
+	// RevocationTimes per server, in bid order (seconds; +Inf omitted).
+	RevocationTimes []float64
+	// DistinctEvents is the number of distinct revocation instants.
+	DistinctEvents int
+	// SpreadSeconds is the max-min separation between the first and last
+	// revocation.
+	SpreadSeconds float64
+}
+
+// StratificationStudy acquires n servers in a pool with bids laddered
+// over [low, high]×on-demand at time t0 and reports when each would be
+// revoked. If the market's spikes are large (as the paper observes),
+// every rung fails at the same instant and DistinctEvents is 1.
+func StratificationStudy(exch *market.Exchange, poolName string, n int, low, high, t0 float64) (StratificationResult, error) {
+	pool := exch.Pool(poolName)
+	res := StratificationResult{}
+	if pool == nil || n < 2 {
+		return res, nil
+	}
+	var times []float64
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(n-1)
+		bid := (low + (high-low)*frac) * pool.OnDemand
+		lease, err := exch.Acquire(poolName, bid, t0)
+		if err != nil {
+			return res, err
+		}
+		if at, ok := lease.RevocationTime(); ok {
+			times = append(times, at)
+		}
+		exch.Release(lease, t0) // study only; don't hold
+	}
+	res.RevocationTimes = times
+	seen := map[float64]bool{}
+	for _, at := range times {
+		seen[at] = true
+	}
+	res.DistinctEvents = len(seen)
+	if len(times) > 1 {
+		lo, _ := stats.Percentile(times, 0)
+		hi, _ := stats.Percentile(times, 100)
+		res.SpreadSeconds = hi - lo
+	}
+	return res, nil
+}

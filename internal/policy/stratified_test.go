@@ -1,0 +1,109 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"flint/internal/cluster"
+	"flint/internal/market"
+	"flint/internal/simclock"
+	"flint/internal/trace"
+)
+
+// spikyExchange builds a single market whose only excursions are large
+// spikes far above the on-demand price — the regime the paper observes
+// in today's EC2.
+func spikyExchange(t *testing.T) *market.Exchange {
+	t.Helper()
+	p := trace.Profile{
+		Name: "spiky", OnDemand: 0.2, BaseFrac: 0.15, NoiseFrac: 0.04,
+		SpikesPerHour: 1.0 / 10, SpikeDurMeanMin: 20,
+		SpikeMagMin: 3, SpikeMagMax: 8, // every spike clears a 2x bid
+	}
+	e, err := market.SpotExchange([]trace.Profile{p}, 5, 24, 24*7, market.BillPerSecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// wobblyExchange builds a market with graded sub-on-demand excursions,
+// where a bid ladder genuinely separates failure times.
+func wobblyExchange(t *testing.T) *market.Exchange {
+	t.Helper()
+	p := trace.Profile{
+		Name: "wobbly", OnDemand: 0.2, BaseFrac: 0.12, NoiseFrac: 0.04,
+		SpikesPerHour: 1.0 / 200, SpikeDurMeanMin: 20,
+		SpikeMagMin: 3, SpikeMagMax: 8,
+		WobblesPerHour: 2, WobbleDurMeanMin: 15,
+		WobbleMagMin: 0.3, WobbleMagMax: 0.95,
+	}
+	e, err := market.SpotExchange([]trace.Profile{p}, 5, 24, 24*7, market.BillPerSecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// The paper's claim: "stratifying bids is not currently effective, as
+// price spikes ... are large and cause servers with a wide range of bids
+// to all fail simultaneously."
+func TestStratifiedBiddingIneffectiveInSpikyMarkets(t *testing.T) {
+	e := spikyExchange(t)
+	res, err := StratificationStudy(e, "spiky", 10, 0.8, 2.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RevocationTimes) != 10 {
+		t.Fatalf("revocation times = %d, want 10", len(res.RevocationTimes))
+	}
+	if res.DistinctEvents != 1 {
+		t.Errorf("spiky market separated the ladder into %d events; the paper says all fail together", res.DistinctEvents)
+	}
+	if res.SpreadSeconds != 0 {
+		t.Errorf("spread = %v s, want 0", res.SpreadSeconds)
+	}
+}
+
+// In a market with graded sub-on-demand wobbles, stratification does
+// separate failures — the condition under which the paper says it would
+// become worthwhile.
+func TestStratifiedBiddingSeparatesInWobblyMarkets(t *testing.T) {
+	e := wobblyExchange(t)
+	res, err := StratificationStudy(e, "wobbly", 10, 0.4, 2.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistinctEvents < 3 {
+		t.Errorf("wobbly market produced only %d distinct events", res.DistinctEvents)
+	}
+	if res.SpreadSeconds < simclock.Hour {
+		t.Errorf("failure spread = %v s, want at least an hour", res.SpreadSeconds)
+	}
+}
+
+func TestStratifiedSelectorLadder(t *testing.T) {
+	e := spikyExchange(t)
+	inner := &cluster.FixedSelector{PoolName: "spiky", Bid: 0.2}
+	s := NewStratified(inner, e, 0.8, 2.0)
+	reqs := s.Initial(0, 10)
+	if len(reqs) != 10 {
+		t.Fatalf("ladder requests = %d, want 10", len(reqs))
+	}
+	if reqs[0].Bid >= reqs[9].Bid {
+		t.Error("ladder bids not increasing")
+	}
+	if math.Abs(reqs[0].Bid-0.8*0.2) > 1e-9 || math.Abs(reqs[9].Bid-2.0*0.2) > 1e-9 {
+		t.Errorf("ladder endpoints = %v, %v", reqs[0].Bid, reqs[9].Bid)
+	}
+	// Single replacements are not laddered.
+	rep := s.Replace(0, "spiky", nil, 1)
+	if len(rep) != 1 {
+		t.Fatalf("replace = %+v", rep)
+	}
+	// Defaults clamp.
+	d := NewStratified(inner, e, 0, 0)
+	if d.Low != 0.8 || d.High != 2.0 {
+		t.Errorf("defaults = %v-%v", d.Low, d.High)
+	}
+}

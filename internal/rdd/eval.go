@@ -1,0 +1,83 @@
+package rdd
+
+// EvalLocal computes every partition of r in-process with no cluster, no
+// caching and no failures. It is the reference semantics of the engine:
+// internal/exec must produce identical partitions (the engine tests
+// assert this), and unit tests use it to validate workload programs.
+func EvalLocal(r *RDD) [][]Row {
+	memo := make(map[int][][]Row)
+	return evalLocal(r, memo)
+}
+
+func evalLocal(r *RDD, memo map[int][][]Row) [][]Row {
+	if got, ok := memo[r.ID]; ok {
+		return got
+	}
+	out := make([][]Row, r.NumParts)
+	if r.IsSource() {
+		for p := 0; p < r.NumParts; p++ {
+			out[p] = r.Gen(p)
+		}
+		memo[r.ID] = out
+		return out
+	}
+	// Compute parents first.
+	parents := make([][][]Row, len(r.Deps))
+	for i, d := range r.Deps {
+		parents[i] = evalLocal(d.Parent(), memo)
+	}
+	// Pre-bucket shuffle inputs: buckets[i][mapPart][bucket] = rows.
+	buckets := make([][][][]Row, len(r.Deps))
+	for i, d := range r.Deps {
+		sd, ok := d.(*ShuffleDep)
+		if !ok {
+			continue
+		}
+		buckets[i] = make([][][]Row, len(parents[i]))
+		for mp, rows := range parents[i] {
+			bs := make([][]Row, sd.NumOut)
+			for _, row := range rows {
+				b := sd.Bucket(row)
+				bs[b] = append(bs[b], row)
+			}
+			if sd.Combine != nil {
+				for b := range bs {
+					if len(bs[b]) > 0 {
+						bs[b] = sd.Combine(bs[b])
+					}
+				}
+			}
+			buckets[i][mp] = bs
+		}
+	}
+	for p := 0; p < r.NumParts; p++ {
+		inputs := make([][]Row, len(r.Deps))
+		for i, d := range r.Deps {
+			switch dep := d.(type) {
+			case *NarrowDep:
+				if pp := dep.ParentPart(p); pp >= 0 {
+					inputs[i] = parents[i][pp]
+				}
+			case *ShuffleDep:
+				var rows []Row
+				for mp := range buckets[i] {
+					rows = append(rows, buckets[i][mp][p]...)
+				}
+				inputs[i] = rows
+			}
+		}
+		out[p] = r.Fn(p, inputs)
+	}
+	memo[r.ID] = out
+	return out
+}
+
+// CollectLocal flattens EvalLocal output into a single row slice in
+// partition order.
+func CollectLocal(r *RDD) []Row {
+	var out []Row
+	for _, part := range EvalLocal(r) {
+		out = append(out, part...)
+	}
+	return out
+}

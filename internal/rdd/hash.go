@@ -1,0 +1,62 @@
+package rdd
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// HashKey hashes a shuffle key to a uint64. Integer, string, float and
+// bool keys are hashed directly; any other comparable type falls back to
+// hashing its fmt representation (slow but correct). The hash must be
+// stable across processes — recomputation after a revocation must route
+// rows to the same buckets — so it uses FNV-1a rather than Go's runtime
+// map hash.
+func HashKey(k Row) uint64 {
+	switch v := k.(type) {
+	case int:
+		return mix(uint64(v))
+	case int32:
+		return mix(uint64(v))
+	case int64:
+		return mix(uint64(v))
+	case uint64:
+		return mix(v)
+	case uint32:
+		return mix(uint64(v))
+	case string:
+		h := fnv.New64a()
+		h.Write([]byte(v))
+		return h.Sum64()
+	case float64:
+		return mix(math.Float64bits(v))
+	case float32:
+		return mix(uint64(math.Float32bits(v)))
+	case bool:
+		if v {
+			return mix(1)
+		}
+		return mix(0)
+	default:
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%v", v)
+		return h.Sum64()
+	}
+}
+
+// mix is a 64-bit finalizer (splitmix64) so that small integer keys
+// spread across partitions instead of landing in key%n order.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// PartitionOf maps key k to one of n shuffle buckets.
+func PartitionOf(k Row, n int) int {
+	if n <= 0 {
+		panic("rdd: PartitionOf with non-positive bucket count")
+	}
+	return int(HashKey(k) % uint64(n))
+}

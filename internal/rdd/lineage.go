@@ -1,0 +1,112 @@
+package rdd
+
+// Lineage traversal helpers used by the scheduler and the fault-tolerance
+// manager.
+
+// Parents returns the RDD's direct lineage parents (deduplicated,
+// dependency order).
+func Parents(r *RDD) []*RDD {
+	var out []*RDD
+	seen := make(map[int]bool)
+	for _, d := range r.Deps {
+		p := d.Parent()
+		if !seen[p.ID] {
+			seen[p.ID] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Ancestors returns every transitive ancestor of r (excluding r itself)
+// in depth-first order.
+func Ancestors(r *RDD) []*RDD {
+	var out []*RDD
+	seen := map[int]bool{r.ID: true}
+	var walk func(*RDD)
+	walk = func(x *RDD) {
+		for _, p := range Parents(x) {
+			if !seen[p.ID] {
+				seen[p.ID] = true
+				out = append(out, p)
+				walk(p)
+			}
+		}
+	}
+	walk(r)
+	return out
+}
+
+// TopoSort returns targets plus all their ancestors in a topological
+// order where every RDD appears after its parents.
+func TopoSort(targets ...*RDD) []*RDD {
+	var out []*RDD
+	state := make(map[int]int) // 0 unseen, 1 visiting, 2 done
+	var visit func(*RDD)
+	visit = func(r *RDD) {
+		switch state[r.ID] {
+		case 2:
+			return
+		case 1:
+			panic("rdd: lineage cycle detected") // impossible for immutable RDDs
+		}
+		state[r.ID] = 1
+		for _, p := range Parents(r) {
+			visit(p)
+		}
+		state[r.ID] = 2
+		out = append(out, r)
+	}
+	for _, t := range targets {
+		visit(t)
+	}
+	return out
+}
+
+// Frontier returns the RDDs in universe that have no children in
+// universe — the current sinks of the lineage graph. This is the set
+// Flint's checkpointing policy targets ("the most recent RDDs ... whose
+// dependencies have not been fully generated", §3.1.1).
+func Frontier(universe []*RDD) []*RDD {
+	hasChild := make(map[int]bool)
+	for _, r := range universe {
+		for _, p := range Parents(r) {
+			hasChild[p.ID] = true
+		}
+	}
+	var out []*RDD
+	for _, r := range universe {
+		if !hasChild[r.ID] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ReachableFrom returns the set of RDD IDs reachable (as ancestors) from
+// any of the roots, including the roots themselves. The checkpoint
+// garbage collector deletes checkpoints of RDDs that are no longer
+// reachable from any live frontier once a descendant has been
+// checkpointed (§4 "Checkpoint Garbage Collection").
+func ReachableFrom(roots []*RDD, cut func(*RDD) bool) map[int]bool {
+	out := make(map[int]bool)
+	var walk func(*RDD)
+	walk = func(r *RDD) {
+		if out[r.ID] {
+			return
+		}
+		out[r.ID] = true
+		if cut != nil && cut(r) {
+			// A checkpointed RDD terminates its lineage: ancestors are
+			// not needed for recovery.
+			return
+		}
+		for _, p := range Parents(r) {
+			walk(p)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package rdd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds: src -> a -> c, src -> b -> c (c joins a and b).
+func diamond(c *Context) (src, a, b, j *RDD) {
+	src = c.Parallelize("src", 2, 8, func(part int) []Row {
+		return []Row{KV{K: part, V: part}}
+	})
+	a = src.Map("a", func(x Row) Row { return x })
+	b = src.Map("b", func(x Row) Row { return x })
+	j = a.Join("j", b, 2)
+	return
+}
+
+func TestParentsDedup(t *testing.T) {
+	c := NewContext(2)
+	src, _, _, _ := diamond(c)
+	u := src.Union("self-union", src)
+	ps := Parents(u)
+	if len(ps) != 1 || ps[0] != src {
+		t.Fatalf("Parents = %v", ps)
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	c := NewContext(2)
+	src, a, b, j := diamond(c)
+	anc := Ancestors(j)
+	ids := map[int]bool{}
+	for _, r := range anc {
+		ids[r.ID] = true
+	}
+	if len(anc) != 3 || !ids[src.ID] || !ids[a.ID] || !ids[b.ID] {
+		t.Fatalf("ancestors = %v", anc)
+	}
+	if len(Ancestors(src)) != 0 {
+		t.Error("source has no ancestors")
+	}
+}
+
+func TestTopoSort(t *testing.T) {
+	c := NewContext(2)
+	src, a, b, j := diamond(c)
+	order := TopoSort(j)
+	pos := map[int]int{}
+	for i, r := range order {
+		pos[r.ID] = i
+	}
+	if len(order) != 4 {
+		t.Fatalf("topo length = %d", len(order))
+	}
+	if pos[src.ID] > pos[a.ID] || pos[src.ID] > pos[b.ID] {
+		t.Error("source must precede children")
+	}
+	if pos[a.ID] > pos[j.ID] || pos[b.ID] > pos[j.ID] {
+		t.Error("join must come last")
+	}
+}
+
+func TestFrontier(t *testing.T) {
+	c := NewContext(2)
+	src, a, b, j := diamond(c)
+	f := Frontier(c.All())
+	if len(f) != 1 || f[0] != j {
+		t.Fatalf("frontier = %v", f)
+	}
+	// A dangling branch joins the frontier.
+	d := a.Map("dangling", func(x Row) Row { return x })
+	f = Frontier(c.All())
+	if len(f) != 2 {
+		t.Fatalf("frontier with branch = %v", f)
+	}
+	ids := map[int]bool{}
+	for _, r := range f {
+		ids[r.ID] = true
+	}
+	if !ids[j.ID] || !ids[d.ID] {
+		t.Fatalf("frontier members wrong: %v", f)
+	}
+	_ = src
+	_ = b
+}
+
+func TestReachableFrom(t *testing.T) {
+	c := NewContext(2)
+	src, a, b, j := diamond(c)
+	// Without a cut, everything is reachable from the join.
+	all := ReachableFrom([]*RDD{j}, nil)
+	if len(all) != 4 {
+		t.Fatalf("reachable = %v", all)
+	}
+	// Cutting at a and b (as if both were checkpointed) makes src
+	// unreachable — its checkpoints are garbage.
+	cut := func(r *RDD) bool { return r == a || r == b }
+	reach := ReachableFrom([]*RDD{j}, cut)
+	if reach[src.ID] {
+		t.Error("src should be unreachable past checkpointed a and b")
+	}
+	if !reach[a.ID] || !reach[b.ID] || !reach[j.ID] {
+		t.Error("cut nodes themselves must stay reachable")
+	}
+	_ = b
+}
+
+// Property: TopoSort always places every RDD after all of its parents,
+// for randomly shaped DAGs.
+func TestPropertyTopoSortOrder(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		c := NewContext(2)
+		rs := []*RDD{c.Parallelize("s", 2, 8, func(part int) []Row { return nil })}
+		ops := int(opsRaw%20) + 1
+		rng := seed
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int(rng % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		for i := 0; i < ops; i++ {
+			p := rs[next(len(rs))]
+			switch next(3) {
+			case 0:
+				rs = append(rs, p.Map("m", func(x Row) Row { return x }))
+			case 1:
+				q := rs[next(len(rs))]
+				rs = append(rs, p.Union("u", q))
+			default:
+				kv := p.Map("kv", func(x Row) Row { return KV{K: 1, V: x} })
+				rs = append(rs, kv.ReduceByKey("r", 2, func(a, b Row) Row { return a }))
+			}
+		}
+		order := TopoSort(rs[len(rs)-1])
+		pos := map[int]int{}
+		for i, r := range order {
+			pos[r.ID] = i
+		}
+		for _, r := range order {
+			for _, p := range Parents(r) {
+				if pos[p.ID] >= pos[r.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashKeyStability(t *testing.T) {
+	// Identical keys hash identically; distinct common keys spread.
+	keys := []Row{1, int32(1), int64(1), uint32(7), uint64(7), "a", "b", 3.14, float32(2.5), true, false, struct{ X int }{5}}
+	for _, k := range keys {
+		if HashKey(k) != HashKey(k) {
+			t.Fatalf("unstable hash for %v", k)
+		}
+	}
+	if HashKey("a") == HashKey("b") {
+		t.Error("suspicious collision a/b")
+	}
+	// Small ints must not land in consecutive buckets (mix finalizer).
+	same := 0
+	for i := 0; i < 100; i++ {
+		if PartitionOf(i, 10) == i%10 {
+			same++
+		}
+	}
+	if same > 30 {
+		t.Errorf("integer keys look unmixed: %d/100 at identity bucket", same)
+	}
+}
+
+func TestPartitionOfBounds(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		p := PartitionOf(i, 7)
+		if p < 0 || p >= 7 {
+			t.Fatalf("PartitionOf out of range: %d", p)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PartitionOf with n=0 should panic")
+		}
+	}()
+	PartitionOf(1, 0)
+}
+
+// Property: shuffle bucketing is a partition of the input — every row
+// goes to exactly one bucket and bucket indices are in range.
+func TestPropertyBucketing(t *testing.T) {
+	f := func(keys []int, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		dep := &ShuffleDep{NumOut: n}
+		counts := 0
+		for _, k := range keys {
+			b := dep.Bucket(KV{K: k, V: nil})
+			if b < 0 || b >= n {
+				return false
+			}
+			counts++
+		}
+		return counts == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleBucketNonKVPanics(t *testing.T) {
+	dep := &ShuffleDep{NumOut: 4}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-KV shuffle row should panic")
+		}
+	}()
+	dep.Bucket(42)
+}
+
+func TestEvalLocalMemoizesSharedAncestors(t *testing.T) {
+	// The diamond's source must be generated once per evaluation, not
+	// once per path.
+	c := NewContext(2)
+	calls := 0
+	src := c.Parallelize("src", 2, 8, func(part int) []Row {
+		calls++
+		return []Row{KV{K: part, V: part}}
+	})
+	a := src.Map("a", func(x Row) Row { return x })
+	b := src.Map("b", func(x Row) Row { return x })
+	j := a.Join("j", b, 2)
+	EvalLocal(j)
+	if calls != 2 { // one per partition
+		t.Fatalf("source generated %d times, want 2", calls)
+	}
+}

@@ -1,0 +1,135 @@
+package rdd
+
+// Additional key-value operators rounding out the Spark-compatible
+// surface: the combineByKey family (of which reduceByKey and groupByKey
+// are special cases), projections, and key-oriented set operations.
+
+// combineRows aggregates KV rows with create/merge functions, preserving
+// first-seen key order (determinism under recomputation).
+func combineRows(rows []Row, create func(v Row) Row, merge func(acc, v Row) Row) []Row {
+	var order []Row
+	idx := make(map[Row]int)
+	acc := make([]Row, 0)
+	for _, r := range rows {
+		kv := r.(KV)
+		if i, ok := idx[kv.K]; ok {
+			acc[i] = merge(acc[i], kv.V)
+		} else {
+			idx[kv.K] = len(order)
+			order = append(order, kv.K)
+			acc = append(acc, create(kv.V))
+		}
+	}
+	out := make([]Row, len(order))
+	for i, k := range order {
+		out[i] = KV{K: k, V: acc[i]}
+	}
+	return out
+}
+
+// CombineByKey is the general keyed aggregation: createCombiner turns the
+// first value for a key into an accumulator, mergeValue folds further
+// values in (map side), and mergeCombiners merges accumulators across
+// partitions (reduce side). ReduceByKey is CombineByKey with identity
+// create and a shared merge.
+func (r *RDD) CombineByKey(name string, parts int,
+	createCombiner func(v Row) Row,
+	mergeValue func(acc, v Row) Row,
+	mergeCombiners func(a, b Row) Row,
+) *RDD {
+	if createCombiner == nil || mergeValue == nil || mergeCombiners == nil {
+		panic("rdd: CombineByKey with nil function")
+	}
+	if parts <= 0 {
+		parts = r.ctx.defaultParts
+	}
+	dep := &ShuffleDep{P: r, NumOut: parts, Combine: func(rows []Row) []Row {
+		return combineRows(rows, createCombiner, mergeValue)
+	}}
+	return r.ctx.register(&RDD{
+		Name: name, NumParts: parts, RowBytes: r.RowBytes,
+		Deps: []Dependency{dep},
+		Fn: func(part int, inputs [][]Row) []Row {
+			// Map-side combine already ran: every incoming value is an
+			// accumulator.
+			return reduceRows(inputs[0], mergeCombiners)
+		},
+	})
+}
+
+// AggregateByKey folds each key's values into a zero accumulator with
+// seqOp, merging accumulators with combOp. zero must be immutable (it is
+// shared across keys); seqOp must not mutate its accumulator in place
+// unless it created it.
+func (r *RDD) AggregateByKey(name string, parts int, zero Row,
+	seqOp func(acc, v Row) Row, combOp func(a, b Row) Row,
+) *RDD {
+	if seqOp == nil || combOp == nil {
+		panic("rdd: AggregateByKey with nil function")
+	}
+	return r.CombineByKey(name, parts,
+		func(v Row) Row { return seqOp(zero, v) },
+		seqOp, combOp)
+}
+
+// Keys projects KV rows to their keys.
+func (r *RDD) Keys(name string) *RDD {
+	return r.Map(name, func(row Row) Row { return row.(KV).K })
+}
+
+// Values projects KV rows to their values.
+func (r *RDD) Values(name string) *RDD {
+	return r.Map(name, func(row Row) Row { return row.(KV).V })
+}
+
+// CountPerKey counts occurrences per key, emitting KV{K, int}.
+func (r *RDD) CountPerKey(name string, parts int) *RDD {
+	ones := r.Map(name+":ones", func(row Row) Row {
+		return KV{K: row.(KV).K, V: 1}
+	})
+	return ones.ReduceByKey(name, parts, func(a, b Row) Row {
+		return a.(int) + b.(int)
+	})
+}
+
+// SubtractByKey keeps the KV rows of r whose key does not appear in
+// other.
+func (r *RDD) SubtractByKey(name string, other *RDD, parts int) *RDD {
+	cg := r.CoGroup(name+":cg", other, parts)
+	return cg.FlatMap(name, func(row Row) []Row {
+		kv := row.(KV)
+		groups := kv.V.([2][]Row)
+		if len(groups[1]) > 0 {
+			return nil
+		}
+		out := make([]Row, len(groups[0]))
+		for i, v := range groups[0] {
+			out[i] = KV{K: kv.K, V: v}
+		}
+		return out
+	})
+}
+
+// Intersection returns the distinct rows present in both RDDs. Rows must
+// be comparable.
+func (r *RDD) Intersection(name string, other *RDD, parts int) *RDD {
+	a := r.Map(name+":l", func(row Row) Row { return KV{K: row, V: nil} })
+	b := other.Map(name+":r", func(row Row) Row { return KV{K: row, V: nil} })
+	cg := a.CoGroup(name+":cg", b, parts)
+	return cg.FlatMap(name, func(row Row) []Row {
+		kv := row.(KV)
+		groups := kv.V.([2][]Row)
+		if len(groups[0]) > 0 && len(groups[1]) > 0 {
+			return []Row{kv.K}
+		}
+		return nil
+	})
+}
+
+// Glom coalesces each partition into a single []Row row, like Spark's
+// glom() — useful for per-partition diagnostics.
+func (r *RDD) Glom(name string) *RDD {
+	return r.MapPartitions(name, func(part int, rows []Row) []Row {
+		return []Row{append([]Row(nil), rows...)}
+	})
+}

@@ -1,0 +1,188 @@
+package rdd
+
+import (
+	"sort"
+	"testing"
+)
+
+func kvInts(c *Context, parts int, pairs ...[2]int) *RDD {
+	rows := make([]Row, len(pairs))
+	for i, p := range pairs {
+		rows[i] = KV{K: p[0], V: p[1]}
+	}
+	return c.FromRows("kv", parts, 16, rows)
+}
+
+func collectKV(t *testing.T, r *RDD) map[int][]int {
+	t.Helper()
+	out := map[int][]int{}
+	for _, row := range CollectLocal(r) {
+		kv := row.(KV)
+		out[kv.K.(int)] = append(out[kv.K.(int)], kv.V.(int))
+	}
+	for k := range out {
+		sort.Ints(out[k])
+	}
+	return out
+}
+
+func TestCombineByKey(t *testing.T) {
+	c := NewContext(3)
+	r := kvInts(c, 3, [2]int{1, 5}, [2]int{1, 7}, [2]int{2, 3}, [2]int{1, 2}, [2]int{2, 1})
+	// Track (sum, count) to compute exact means.
+	type sc struct{ sum, n int }
+	combined := r.CombineByKey("avg", 2,
+		func(v Row) Row { return sc{v.(int), 1} },
+		func(acc, v Row) Row { a := acc.(sc); return sc{a.sum + v.(int), a.n + 1} },
+		func(a, b Row) Row { x, y := a.(sc), b.(sc); return sc{x.sum + y.sum, x.n + y.n} },
+	)
+	got := map[int]sc{}
+	for _, row := range CollectLocal(combined) {
+		kv := row.(KV)
+		got[kv.K.(int)] = kv.V.(sc)
+	}
+	if got[1] != (sc{14, 3}) || got[2] != (sc{4, 2}) {
+		t.Fatalf("combine = %v", got)
+	}
+}
+
+func TestCombineByKeyMatchesReduceByKey(t *testing.T) {
+	c := NewContext(4)
+	mk := func() *RDD {
+		return c.Parallelize("src", 4, 16, func(part int) []Row {
+			var out []Row
+			for i := part; i < 200; i += 4 {
+				out = append(out, KV{K: i % 7, V: i})
+			}
+			return out
+		})
+	}
+	viaReduce := mk().ReduceByKey("r", 3, func(a, b Row) Row { return a.(int) + b.(int) })
+	viaCombine := mk().CombineByKey("c", 3,
+		func(v Row) Row { return v },
+		func(acc, v Row) Row { return acc.(int) + v.(int) },
+		func(a, b Row) Row { return a.(int) + b.(int) },
+	)
+	a := collectKV(t, viaReduce)
+	b := collectKV(t, viaCombine)
+	if len(a) != len(b) {
+		t.Fatalf("key counts differ: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if len(b[k]) != 1 || b[k][0] != v[0] {
+			t.Fatalf("key %d: %v vs %v", k, v, b[k])
+		}
+	}
+}
+
+func TestAggregateByKey(t *testing.T) {
+	c := NewContext(2)
+	r := kvInts(c, 2, [2]int{1, 3}, [2]int{1, 9}, [2]int{2, 4}, [2]int{1, 6})
+	// Max per key starting from zero = 0.
+	maxed := r.AggregateByKey("max", 2, 0,
+		func(acc, v Row) Row {
+			if v.(int) > acc.(int) {
+				return v
+			}
+			return acc
+		},
+		func(a, b Row) Row {
+			if a.(int) > b.(int) {
+				return a
+			}
+			return b
+		},
+	)
+	got := collectKV(t, maxed)
+	if got[1][0] != 9 || got[2][0] != 4 {
+		t.Fatalf("aggregate = %v", got)
+	}
+}
+
+func TestKeysValuesCountPerKey(t *testing.T) {
+	c := NewContext(2)
+	r := kvInts(c, 2, [2]int{1, 10}, [2]int{2, 20}, [2]int{1, 30})
+	var keys, vals []int
+	for _, row := range CollectLocal(r.Keys("k")) {
+		keys = append(keys, row.(int))
+	}
+	for _, row := range CollectLocal(r.Values("v")) {
+		vals = append(vals, row.(int))
+	}
+	sort.Ints(keys)
+	sort.Ints(vals)
+	if len(keys) != 3 || keys[0] != 1 || keys[2] != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if len(vals) != 3 || vals[0] != 10 || vals[2] != 30 {
+		t.Fatalf("values = %v", vals)
+	}
+	counts := collectKV(t, r.CountPerKey("cnt", 2))
+	if counts[1][0] != 2 || counts[2][0] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestSubtractByKey(t *testing.T) {
+	c := NewContext(2)
+	left := kvInts(c, 2, [2]int{1, 10}, [2]int{2, 20}, [2]int{3, 30}, [2]int{3, 31})
+	right := kvInts(c, 2, [2]int{2, 99}, [2]int{4, 99})
+	got := collectKV(t, left.SubtractByKey("sub", right, 2))
+	if len(got) != 2 {
+		t.Fatalf("keys = %v", got)
+	}
+	if got[1][0] != 10 || len(got[3]) != 2 {
+		t.Fatalf("subtract = %v", got)
+	}
+	if _, ok := got[2]; ok {
+		t.Error("key 2 should have been subtracted")
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	c := NewContext(2)
+	a := c.FromRows("a", 2, 8, []Row{1, 2, 3, 3, 4})
+	b := c.FromRows("b", 2, 8, []Row{3, 4, 4, 5})
+	var got []int
+	for _, row := range CollectLocal(a.Intersection("i", b, 2)) {
+		got = append(got, row.(int))
+	}
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("intersection = %v", got)
+	}
+}
+
+func TestGlom(t *testing.T) {
+	c := NewContext(3)
+	r := c.FromRows("r", 3, 8, []Row{1, 2, 3, 4, 5})
+	parts := CollectLocal(r.Glom("g"))
+	if len(parts) != 3 {
+		t.Fatalf("glom rows = %d", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p.([]Row))
+	}
+	if total != 5 {
+		t.Fatalf("glom total = %d", total)
+	}
+}
+
+func TestPairOpsNilPanics(t *testing.T) {
+	c := NewContext(2)
+	r := kvInts(c, 2, [2]int{1, 1})
+	for name, fn := range map[string]func(){
+		"CombineByKey":   func() { r.CombineByKey("x", 2, nil, nil, nil) },
+		"AggregateByKey": func() { r.AggregateByKey("x", 2, 0, nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with nil funcs did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

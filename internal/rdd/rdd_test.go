@@ -1,0 +1,417 @@
+package rdd
+
+import (
+	"sort"
+	"testing"
+)
+
+// intsRDD builds a source RDD over [0, n) split into parts partitions.
+func intsRDD(c *Context, n, parts int) *RDD {
+	return c.Parallelize("ints", parts, 8, func(part int) []Row {
+		var out []Row
+		for i := part; i < n; i += parts {
+			out = append(out, i)
+		}
+		return out
+	})
+}
+
+// collectInts flattens and sorts integer results for order-insensitive
+// comparison.
+func collectInts(t *testing.T, r *RDD) []int {
+	t.Helper()
+	var out []int
+	for _, row := range CollectLocal(r) {
+		out = append(out, row.(int))
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestParallelizeAndCollect(t *testing.T) {
+	c := NewContext(4)
+	r := intsRDD(c, 10, 3)
+	got := collectInts(t, r)
+	if len(got) != 10 {
+		t.Fatalf("collected %d rows, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	c := NewContext(4)
+	r := c.FromRows("fixed", 3, 8, []Row{10, 20, 30, 40, 50})
+	got := collectInts(t, r)
+	want := []int{10, 20, 30, 40, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	if r.NumParts != 3 {
+		t.Errorf("NumParts = %d", r.NumParts)
+	}
+}
+
+func TestMapFilterFlatMap(t *testing.T) {
+	c := NewContext(4)
+	r := intsRDD(c, 10, 4)
+	doubled := r.Map("double", func(x Row) Row { return x.(int) * 2 })
+	got := collectInts(t, doubled)
+	if got[9] != 18 || got[0] != 0 {
+		t.Fatalf("map: %v", got)
+	}
+	even := r.Filter("even", func(x Row) bool { return x.(int)%2 == 0 })
+	if g := collectInts(t, even); len(g) != 5 || g[4] != 8 {
+		t.Fatalf("filter: %v", g)
+	}
+	dup := r.FlatMap("dup", func(x Row) []Row { return []Row{x, x} })
+	if g := collectInts(t, dup); len(g) != 20 {
+		t.Fatalf("flatmap: %v", g)
+	}
+}
+
+func TestMapPartitions(t *testing.T) {
+	c := NewContext(4)
+	r := intsRDD(c, 8, 2)
+	sums := r.MapPartitions("psum", func(part int, rows []Row) []Row {
+		s := 0
+		for _, x := range rows {
+			s += x.(int)
+		}
+		return []Row{s}
+	})
+	got := collectInts(t, sums)
+	if len(got) != 2 || got[0]+got[1] != 28 {
+		t.Fatalf("partition sums: %v", got)
+	}
+}
+
+func TestKeyByAndMapValues(t *testing.T) {
+	c := NewContext(2)
+	r := intsRDD(c, 6, 2)
+	kv := r.KeyBy("mod", func(x Row) Row { return x.(int) % 2 })
+	mapped := kv.MapValues("inc", func(v Row) Row { return v.(int) + 100 })
+	rows := CollectLocal(mapped)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		p := row.(KV)
+		if p.V.(int)-100%2 != p.V.(int)-100%2 {
+			t.Fatal("unreachable")
+		}
+		if (p.V.(int)-100)%2 != p.K.(int) {
+			t.Fatalf("key %v does not match value %v", p.K, p.V)
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	c := NewContext(2)
+	a := c.FromRows("a", 2, 8, []Row{1, 2, 3})
+	b := c.FromRows("b", 3, 8, []Row{4, 5})
+	u := a.Union("u", b)
+	if u.NumParts != 5 {
+		t.Fatalf("union NumParts = %d, want 5", u.NumParts)
+	}
+	got := collectInts(t, u)
+	want := []int{1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("union rows: %v", got)
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	c := NewContext(4)
+	r := intsRDD(c, 1000, 4)
+	s1 := r.Sample("s", 0.3, 7)
+	s2 := r.Sample("s", 0.3, 7)
+	a, b := collectInts(t, s1), collectInts(t, s2)
+	if len(a) != len(b) {
+		t.Fatalf("sample not deterministic: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sample rows differ across evaluations")
+		}
+	}
+	if len(a) < 200 || len(a) > 400 {
+		t.Errorf("sample kept %d of 1000 at frac 0.3", len(a))
+	}
+	if got := collectInts(t, r.Sample("all", 1, 1)); len(got) != 1000 {
+		t.Errorf("frac=1 kept %d", len(got))
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	c := NewContext(8)
+	r := intsRDD(c, 100, 8)
+	co := r.Coalesce("co", 3)
+	if co.NumParts != 3 {
+		t.Fatalf("NumParts = %d", co.NumParts)
+	}
+	got := collectInts(t, co)
+	if len(got) != 100 || got[0] != 0 || got[99] != 99 {
+		t.Fatalf("coalesce lost rows: %d", len(got))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Coalesce beyond partition count should panic")
+		}
+	}()
+	r.Coalesce("bad", 100)
+}
+
+func TestReduceByKey(t *testing.T) {
+	c := NewContext(4)
+	r := intsRDD(c, 100, 4)
+	kv := r.Map("kv", func(x Row) Row { return KV{K: x.(int) % 3, V: 1} })
+	counts := kv.ReduceByKey("count", 3, func(a, b Row) Row { return a.(int) + b.(int) })
+	rows := CollectLocal(counts)
+	if len(rows) != 3 {
+		t.Fatalf("got %d keys, want 3", len(rows))
+	}
+	total := 0
+	byKey := map[int]int{}
+	for _, row := range rows {
+		p := row.(KV)
+		byKey[p.K.(int)] = p.V.(int)
+		total += p.V.(int)
+	}
+	if total != 100 {
+		t.Fatalf("total count = %d", total)
+	}
+	if byKey[0] != 34 || byKey[1] != 33 || byKey[2] != 33 {
+		t.Fatalf("counts = %v", byKey)
+	}
+	if !counts.IsShuffle() {
+		t.Error("ReduceByKey output must be a shuffle RDD")
+	}
+	if counts.ShuffleFanIn() != 4 {
+		t.Errorf("ShuffleFanIn = %d, want 4", counts.ShuffleFanIn())
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	c := NewContext(2)
+	pairs := []Row{
+		KV{K: "a", V: 1}, KV{K: "b", V: 2}, KV{K: "a", V: 3},
+	}
+	r := c.FromRows("pairs", 2, 16, pairs)
+	grouped := r.GroupByKey("group", 2)
+	rows := CollectLocal(grouped)
+	if len(rows) != 2 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	for _, row := range rows {
+		p := row.(KV)
+		vals := p.V.([]Row)
+		switch p.K {
+		case "a":
+			if len(vals) != 2 {
+				t.Errorf("a has %d values", len(vals))
+			}
+		case "b":
+			if len(vals) != 1 || vals[0].(int) != 2 {
+				t.Errorf("b = %v", vals)
+			}
+		default:
+			t.Errorf("unexpected key %v", p.K)
+		}
+	}
+}
+
+func TestPartitionBy(t *testing.T) {
+	c := NewContext(2)
+	r := intsRDD(c, 50, 2).Map("kv", func(x Row) Row { return KV{K: x, V: x} })
+	rp := r.PartitionBy("repart", 5)
+	parts := EvalLocal(rp)
+	if len(parts) != 5 {
+		t.Fatalf("partitions = %d", len(parts))
+	}
+	total := 0
+	for p, rows := range parts {
+		total += len(rows)
+		for _, row := range rows {
+			if PartitionOf(row.(KV).K, 5) != p {
+				t.Fatalf("row %v in wrong partition %d", row, p)
+			}
+		}
+	}
+	if total != 50 {
+		t.Fatalf("total rows = %d", total)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	c := NewContext(2)
+	users := c.FromRows("users", 2, 16, []Row{
+		KV{K: 1, V: "alice"}, KV{K: 2, V: "bob"}, KV{K: 3, V: "carol"},
+	})
+	orders := c.FromRows("orders", 2, 16, []Row{
+		KV{K: 1, V: "x"}, KV{K: 1, V: "y"}, KV{K: 3, V: "z"}, KV{K: 9, V: "none"},
+	})
+	j := users.Join("join", orders, 3)
+	rows := CollectLocal(j)
+	if len(rows) != 3 {
+		t.Fatalf("join produced %d rows, want 3", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, row := range rows {
+		p := row.(KV)
+		pair := p.V.(JoinPair)
+		seen[pair.L.(string)+"/"+pair.R.(string)] = true
+	}
+	for _, want := range []string{"alice/x", "alice/y", "carol/z"} {
+		if !seen[want] {
+			t.Errorf("missing join pair %s (got %v)", want, seen)
+		}
+	}
+}
+
+func TestCoGroup(t *testing.T) {
+	c := NewContext(2)
+	left := c.FromRows("l", 1, 16, []Row{KV{K: "a", V: 1}, KV{K: "b", V: 2}})
+	right := c.FromRows("r", 1, 16, []Row{KV{K: "b", V: 20}, KV{K: "c", V: 30}})
+	cg := left.CoGroup("cg", right, 2)
+	rows := CollectLocal(cg)
+	if len(rows) != 3 {
+		t.Fatalf("cogroup keys = %d, want 3", len(rows))
+	}
+	got := map[string][2]int{}
+	for _, row := range rows {
+		p := row.(KV)
+		g := p.V.([2][]Row)
+		got[p.K.(string)] = [2]int{len(g[0]), len(g[1])}
+	}
+	if got["a"] != [2]int{1, 0} || got["b"] != [2]int{1, 1} || got["c"] != [2]int{0, 1} {
+		t.Fatalf("cogroup shapes = %v", got)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	c := NewContext(3)
+	r := c.FromRows("dups", 3, 8, []Row{1, 2, 2, 3, 3, 3, 1})
+	d := r.Distinct("distinct", 2)
+	got := collectInts(t, d)
+	want := []int{1, 2, 3}
+	if len(got) != 3 {
+		t.Fatalf("distinct = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("distinct = %v", got)
+		}
+	}
+}
+
+func TestChainedPipeline(t *testing.T) {
+	// A miniature analytics pipeline exercising narrow + wide mixing.
+	c := NewContext(4)
+	r := intsRDD(c, 1000, 4)
+	result := r.
+		Filter("odd", func(x Row) bool { return x.(int)%2 == 1 }).
+		Map("kv", func(x Row) Row { return KV{K: x.(int) % 10, V: x.(int)} }).
+		ReduceByKey("sum", 4, func(a, b Row) Row { return a.(int) + b.(int) }).
+		MapValues("scale", func(v Row) Row { return v.(int) / 100 })
+	rows := CollectLocal(result)
+	if len(rows) != 5 { // keys 1,3,5,7,9
+		t.Fatalf("keys = %d, want 5", len(rows))
+	}
+}
+
+func TestWeightAndRowBytesChaining(t *testing.T) {
+	c := NewContext(2)
+	r := intsRDD(c, 10, 2).WithWeight(3).WithRowBytes(64)
+	if r.Weight != 3 || r.RowBytes != 64 {
+		t.Fatalf("overrides lost: %v/%v", r.Weight, r.RowBytes)
+	}
+	child := r.Map("m", func(x Row) Row { return x })
+	if child.RowBytes != 64 {
+		t.Errorf("child RowBytes = %d, want inherited 64", child.RowBytes)
+	}
+	if child.Weight != 1 {
+		t.Errorf("child Weight = %v, want default 1", child.Weight)
+	}
+	if r.WithWeight(-1).Weight != 3 {
+		t.Error("negative weight should be ignored")
+	}
+	if r.SizeOfRows(10) != 640 {
+		t.Errorf("SizeOfRows = %d", r.SizeOfRows(10))
+	}
+}
+
+func TestPersistFlag(t *testing.T) {
+	c := NewContext(2)
+	r := intsRDD(c, 10, 2)
+	if r.Cached {
+		t.Fatal("fresh RDD should not be cached")
+	}
+	if !r.Persist().Cached {
+		t.Fatal("Persist did not set flag")
+	}
+}
+
+func TestContextRegistry(t *testing.T) {
+	c := NewContext(2)
+	a := intsRDD(c, 10, 2)
+	b := a.Map("m", func(x Row) Row { return x })
+	all := c.All()
+	if len(all) != 2 || all[0] != a || all[1] != b {
+		t.Fatalf("registry = %v", all)
+	}
+	if a.ID >= b.ID {
+		t.Error("IDs must increase in creation order")
+	}
+	if a.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestNilFunctionPanics(t *testing.T) {
+	c := NewContext(2)
+	r := intsRDD(c, 4, 2)
+	for name, fn := range map[string]func(){
+		"Map":           func() { r.Map("x", nil) },
+		"Filter":        func() { r.Filter("x", nil) },
+		"FlatMap":       func() { r.FlatMap("x", nil) },
+		"MapPartitions": func() { r.MapPartitions("x", nil) },
+		"KeyBy":         func() { r.KeyBy("x", nil) },
+		"MapValues":     func() { r.MapValues("x", nil) },
+		"ReduceByKey":   func() { r.ReduceByKey("x", 2, nil) },
+		"Parallelize":   func() { c.Parallelize("x", 2, 8, nil) },
+		"SampleRange":   func() { r.Sample("x", 1.5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with invalid args did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDefaultPartitions(t *testing.T) {
+	c := NewContext(0) // falls back to 8
+	if c.DefaultParallelism() != 8 {
+		t.Fatalf("default parallelism = %d", c.DefaultParallelism())
+	}
+	r := c.Parallelize("s", 0, 8, func(part int) []Row { return nil })
+	if r.NumParts != 8 {
+		t.Errorf("NumParts = %d, want default 8", r.NumParts)
+	}
+	kv := r.Map("kv", func(x Row) Row { return KV{K: 1, V: 1} })
+	red := kv.ReduceByKey("r", 0, func(a, b Row) Row { return a })
+	if red.NumParts != 8 {
+		t.Errorf("shuffle NumParts = %d, want default 8", red.NumParts)
+	}
+}

@@ -1,0 +1,210 @@
+package rdd
+
+// This file implements the wide (shuffle) transformations. All of them
+// produce deterministic output given deterministic inputs: aggregation
+// keys are tracked in first-seen order rather than Go map order, and the
+// execution engine concatenates shuffle buckets in parent-partition
+// order. Determinism matters because lost partitions are recomputed after
+// revocations and must rebuild byte-identical state.
+
+// JoinPair is the value type emitted by Join: one left and one right
+// value sharing a key.
+type JoinPair struct {
+	L Row
+	R Row
+}
+
+// keyAgg accumulates values per key preserving first-seen key order.
+type keyAgg struct {
+	order []Row
+	idx   map[Row]int
+	vals  [][]Row
+}
+
+func newKeyAgg() *keyAgg { return &keyAgg{idx: make(map[Row]int)} }
+
+func (a *keyAgg) add(k, v Row) {
+	i, ok := a.idx[k]
+	if !ok {
+		i = len(a.order)
+		a.idx[k] = i
+		a.order = append(a.order, k)
+		a.vals = append(a.vals, nil)
+	}
+	a.vals[i] = append(a.vals[i], v)
+}
+
+// reduceRows aggregates KV rows with a binary reducer, preserving
+// first-seen key order.
+func reduceRows(rows []Row, reduce func(a, b Row) Row) []Row {
+	var order []Row
+	idx := make(map[Row]int)
+	acc := make([]Row, 0)
+	for _, r := range rows {
+		kv := r.(KV)
+		if i, ok := idx[kv.K]; ok {
+			acc[i] = reduce(acc[i], kv.V)
+		} else {
+			idx[kv.K] = len(order)
+			order = append(order, kv.K)
+			acc = append(acc, kv.V)
+		}
+	}
+	out := make([]Row, len(order))
+	for i, k := range order {
+		out[i] = KV{K: k, V: acc[i]}
+	}
+	return out
+}
+
+// ReduceByKey shuffles KV rows by key and reduces values with the
+// commutative, associative function reduce. A map-side combiner runs the
+// same reduction per bucket before the shuffle, like Spark.
+func (r *RDD) ReduceByKey(name string, parts int, reduce func(a, b Row) Row) *RDD {
+	if reduce == nil {
+		panic("rdd: ReduceByKey with nil reducer")
+	}
+	if parts <= 0 {
+		parts = r.ctx.defaultParts
+	}
+	dep := &ShuffleDep{P: r, NumOut: parts, Combine: func(rows []Row) []Row {
+		return reduceRows(rows, reduce)
+	}}
+	return r.ctx.register(&RDD{
+		Name: name, NumParts: parts, RowBytes: r.RowBytes,
+		Deps: []Dependency{dep},
+		Fn: func(part int, inputs [][]Row) []Row {
+			return reduceRows(inputs[0], reduce)
+		},
+	})
+}
+
+// GroupByKey shuffles KV rows by key and groups values into a []Row per
+// key, emitted as KV{K, []Row}.
+func (r *RDD) GroupByKey(name string, parts int) *RDD {
+	if parts <= 0 {
+		parts = r.ctx.defaultParts
+	}
+	dep := &ShuffleDep{P: r, NumOut: parts}
+	return r.ctx.register(&RDD{
+		Name: name, NumParts: parts, RowBytes: r.RowBytes,
+		Deps: []Dependency{dep},
+		Fn: func(part int, inputs [][]Row) []Row {
+			agg := newKeyAgg()
+			for _, row := range inputs[0] {
+				kv := row.(KV)
+				agg.add(kv.K, kv.V)
+			}
+			out := make([]Row, len(agg.order))
+			for i, k := range agg.order {
+				out[i] = KV{K: k, V: agg.vals[i]}
+			}
+			return out
+		},
+	})
+}
+
+// PartitionBy re-partitions KV rows by key hash without aggregation.
+func (r *RDD) PartitionBy(name string, parts int) *RDD {
+	if parts <= 0 {
+		parts = r.ctx.defaultParts
+	}
+	dep := &ShuffleDep{P: r, NumOut: parts}
+	return r.ctx.register(&RDD{
+		Name: name, NumParts: parts, RowBytes: r.RowBytes,
+		Deps: []Dependency{dep},
+		Fn: func(part int, inputs [][]Row) []Row {
+			return inputs[0]
+		},
+	})
+}
+
+// Join inner-joins two KV RDDs on key, emitting KV{K, JoinPair{L, R}} for
+// every matching pair. Both sides are shuffled into the same partitioning.
+func (r *RDD) Join(name string, other *RDD, parts int) *RDD {
+	if parts <= 0 {
+		parts = r.ctx.defaultParts
+	}
+	left := &ShuffleDep{P: r, NumOut: parts}
+	right := &ShuffleDep{P: other, NumOut: parts}
+	return r.ctx.register(&RDD{
+		Name: name, NumParts: parts,
+		RowBytes: r.RowBytes + other.RowBytes,
+		Deps:     []Dependency{left, right},
+		Fn: func(part int, inputs [][]Row) []Row {
+			la := newKeyAgg()
+			for _, row := range inputs[0] {
+				kv := row.(KV)
+				la.add(kv.K, kv.V)
+			}
+			ra := newKeyAgg()
+			for _, row := range inputs[1] {
+				kv := row.(KV)
+				ra.add(kv.K, kv.V)
+			}
+			var out []Row
+			for i, k := range la.order {
+				j, ok := ra.idx[k]
+				if !ok {
+					continue
+				}
+				for _, lv := range la.vals[i] {
+					for _, rv := range ra.vals[j] {
+						out = append(out, KV{K: k, V: JoinPair{L: lv, R: rv}})
+					}
+				}
+			}
+			return out
+		},
+	})
+}
+
+// CoGroup groups two KV RDDs by key, emitting KV{K, [2][]Row} with the
+// left and right value lists (possibly empty on either side).
+func (r *RDD) CoGroup(name string, other *RDD, parts int) *RDD {
+	if parts <= 0 {
+		parts = r.ctx.defaultParts
+	}
+	left := &ShuffleDep{P: r, NumOut: parts}
+	right := &ShuffleDep{P: other, NumOut: parts}
+	return r.ctx.register(&RDD{
+		Name: name, NumParts: parts,
+		RowBytes: r.RowBytes + other.RowBytes,
+		Deps:     []Dependency{left, right},
+		Fn: func(part int, inputs [][]Row) []Row {
+			la := newKeyAgg()
+			for _, row := range inputs[0] {
+				kv := row.(KV)
+				la.add(kv.K, kv.V)
+			}
+			ra := newKeyAgg()
+			seen := make(map[Row]bool)
+			for _, row := range inputs[1] {
+				kv := row.(KV)
+				ra.add(kv.K, kv.V)
+			}
+			var out []Row
+			for i, k := range la.order {
+				groups := [2][]Row{la.vals[i], nil}
+				if j, ok := ra.idx[k]; ok {
+					groups[1] = ra.vals[j]
+				}
+				seen[k] = true
+				out = append(out, KV{K: k, V: groups})
+			}
+			for j, k := range ra.order {
+				if !seen[k] {
+					out = append(out, KV{K: k, V: [2][]Row{nil, ra.vals[j]}})
+				}
+			}
+			return out
+		},
+	})
+}
+
+// Distinct removes duplicate rows via a shuffle. Rows must be comparable.
+func (r *RDD) Distinct(name string, parts int) *RDD {
+	keyed := r.Map(name+":key", func(row Row) Row { return KV{K: row, V: nil} })
+	reduced := keyed.ReduceByKey(name+":dedup", parts, func(a, b Row) Row { return a })
+	return reduced.Map(name, func(row Row) Row { return row.(KV).K })
+}

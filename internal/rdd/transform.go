@@ -1,0 +1,192 @@
+package rdd
+
+import "math/rand"
+
+// Map applies f to every row, preserving partitioning.
+func (r *RDD) Map(name string, f func(Row) Row) *RDD {
+	if f == nil {
+		panic("rdd: Map with nil function")
+	}
+	return r.ctx.register(&RDD{
+		Name: name, NumParts: r.NumParts, RowBytes: r.RowBytes,
+		Deps: []Dependency{&NarrowDep{P: r}},
+		Fn: func(part int, inputs [][]Row) []Row {
+			in := inputs[0]
+			out := make([]Row, len(in))
+			for i, row := range in {
+				out[i] = f(row)
+			}
+			return out
+		},
+	})
+}
+
+// Filter keeps rows satisfying pred, preserving partitioning.
+func (r *RDD) Filter(name string, pred func(Row) bool) *RDD {
+	if pred == nil {
+		panic("rdd: Filter with nil predicate")
+	}
+	return r.ctx.register(&RDD{
+		Name: name, NumParts: r.NumParts, RowBytes: r.RowBytes,
+		Deps: []Dependency{&NarrowDep{P: r}},
+		Fn: func(part int, inputs [][]Row) []Row {
+			var out []Row
+			for _, row := range inputs[0] {
+				if pred(row) {
+					out = append(out, row)
+				}
+			}
+			return out
+		},
+	})
+}
+
+// FlatMap applies f to every row and concatenates the results.
+func (r *RDD) FlatMap(name string, f func(Row) []Row) *RDD {
+	if f == nil {
+		panic("rdd: FlatMap with nil function")
+	}
+	return r.ctx.register(&RDD{
+		Name: name, NumParts: r.NumParts, RowBytes: r.RowBytes,
+		Deps: []Dependency{&NarrowDep{P: r}},
+		Fn: func(part int, inputs [][]Row) []Row {
+			var out []Row
+			for _, row := range inputs[0] {
+				out = append(out, f(row)...)
+			}
+			return out
+		},
+	})
+}
+
+// MapPartitions applies f to each whole partition.
+func (r *RDD) MapPartitions(name string, f func(part int, rows []Row) []Row) *RDD {
+	if f == nil {
+		panic("rdd: MapPartitions with nil function")
+	}
+	return r.ctx.register(&RDD{
+		Name: name, NumParts: r.NumParts, RowBytes: r.RowBytes,
+		Deps: []Dependency{&NarrowDep{P: r}},
+		Fn: func(part int, inputs [][]Row) []Row {
+			return f(part, inputs[0])
+		},
+	})
+}
+
+// KeyBy converts rows to KV pairs keyed by keyFn.
+func (r *RDD) KeyBy(name string, keyFn func(Row) Row) *RDD {
+	if keyFn == nil {
+		panic("rdd: KeyBy with nil key function")
+	}
+	return r.Map(name, func(row Row) Row { return KV{K: keyFn(row), V: row} })
+}
+
+// MapValues transforms the value of each KV pair, keeping keys (and hence
+// partitioning) intact.
+func (r *RDD) MapValues(name string, f func(Row) Row) *RDD {
+	if f == nil {
+		panic("rdd: MapValues with nil function")
+	}
+	return r.Map(name, func(row Row) Row {
+		kv := row.(KV)
+		return KV{K: kv.K, V: f(kv.V)}
+	})
+}
+
+// Union concatenates two RDDs. The result has r.NumParts + other.NumParts
+// partitions; each output partition is a narrow copy of one input
+// partition, exactly like Spark's UnionRDD.
+func (r *RDD) Union(name string, other *RDD) *RDD {
+	left := r.NumParts
+	return r.ctx.register(&RDD{
+		Name: name, NumParts: left + other.NumParts,
+		RowBytes: maxInt(r.RowBytes, other.RowBytes),
+		Deps: []Dependency{
+			&NarrowDep{P: r, PartMap: func(p int) int {
+				if p < left {
+					return p
+				}
+				return -1
+			}},
+			&NarrowDep{P: other, PartMap: func(p int) int {
+				if p >= left {
+					return p - left
+				}
+				return -1
+			}},
+		},
+		Fn: func(part int, inputs [][]Row) []Row {
+			if part < left {
+				return inputs[0]
+			}
+			return inputs[1]
+		},
+	})
+}
+
+// Sample keeps each row with probability frac, deterministically in
+// (seed, partition).
+func (r *RDD) Sample(name string, frac float64, seed int64) *RDD {
+	if frac < 0 || frac > 1 {
+		panic("rdd: Sample fraction out of [0,1]")
+	}
+	return r.ctx.register(&RDD{
+		Name: name, NumParts: r.NumParts, RowBytes: r.RowBytes,
+		Deps: []Dependency{&NarrowDep{P: r}},
+		Fn: func(part int, inputs [][]Row) []Row {
+			rng := rand.New(rand.NewSource(seed + int64(part)*1_000_003))
+			var out []Row
+			for _, row := range inputs[0] {
+				if rng.Float64() < frac {
+					out = append(out, row)
+				}
+			}
+			return out
+		},
+	})
+}
+
+// Coalesce reduces the partition count to parts by concatenating
+// contiguous ranges of parent partitions (narrow, no shuffle). It panics
+// if parts exceeds the current partition count.
+func (r *RDD) Coalesce(name string, parts int) *RDD {
+	if parts <= 0 || parts > r.NumParts {
+		panic("rdd: Coalesce to invalid partition count")
+	}
+	src := r.NumParts
+	// Child partition p takes parent partitions [p*src/parts, (p+1)*src/parts).
+	// Narrow deps are one-to-one, so we add one dep per parent slot offset.
+	maxGroup := (src + parts - 1) / parts
+	deps := make([]Dependency, maxGroup)
+	for g := 0; g < maxGroup; g++ {
+		g := g
+		deps[g] = &NarrowDep{P: r, PartMap: func(p int) int {
+			lo := p * src / parts
+			hi := (p + 1) * src / parts
+			if lo+g < hi {
+				return lo + g
+			}
+			return -1
+		}}
+	}
+	return r.ctx.register(&RDD{
+		Name: name, NumParts: parts, RowBytes: r.RowBytes,
+		Deps: deps,
+		Fn: func(part int, inputs [][]Row) []Row {
+			lo := part * src / parts
+			hi := (part + 1) * src / parts
+			var out []Row
+			for g := 0; g < hi-lo; g++ {
+				out = append(out, inputs[g]...)
+			}
+			return out
+		},
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

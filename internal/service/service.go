@@ -1,0 +1,196 @@
+// Package service implements Flint's managed-service layer: "we
+// structure Flint as a managed service that provisions and manages
+// clusters on behalf of end-users executing BIDI jobs" (§2.3). A Service
+// owns one market exchange and one durable checkpoint store, and runs
+// any number of named per-user clusters against them — the store is
+// shared because "Flint provides Spark as a managed service, these EBS
+// volumes are reused among jobs, and the EBS costs are thus amortized"
+// (§4).
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"flint/internal/ckpt"
+	"flint/internal/cluster"
+	"flint/internal/core"
+	"flint/internal/dfs"
+	"flint/internal/exec"
+	"flint/internal/market"
+	"flint/internal/policy"
+	"flint/internal/rdd"
+	"flint/internal/simclock"
+)
+
+// Tenant is one user's cluster within the service.
+type Tenant struct {
+	Name    string
+	Flint   *core.Flint
+	Ctx     *rdd.Context
+	stopped bool
+}
+
+// Service multiplexes tenants over shared markets and storage.
+type Service struct {
+	exch    *market.Exchange
+	store   *dfs.Store
+	clock   *simclock.Clock
+	tenants map[string]*Tenant
+}
+
+// New creates a service over an exchange with a shared checkpoint store.
+func New(exch *market.Exchange, storeCfg dfs.Config) (*Service, error) {
+	if exch == nil {
+		return nil, errors.New("service: nil exchange")
+	}
+	return &Service{
+		exch:    exch,
+		store:   dfs.New(storeCfg),
+		clock:   simclock.New(),
+		tenants: make(map[string]*Tenant),
+	}, nil
+}
+
+// Clock returns the service-wide virtual clock shared by every tenant.
+func (s *Service) Clock() *simclock.Clock { return s.clock }
+
+// Store returns the shared checkpoint store.
+func (s *Service) Store() *dfs.Store { return s.store }
+
+// CreateCluster provisions a named tenant cluster. Unlike core.Launch,
+// every tenant shares the service clock, exchange and checkpoint store.
+func (s *Service) CreateCluster(name string, spec core.Spec) (*Tenant, error) {
+	if name == "" {
+		return nil, errors.New("service: empty cluster name")
+	}
+	if _, dup := s.tenants[name]; dup {
+		return nil, fmt.Errorf("service: cluster %q already exists", name)
+	}
+	if spec.Cluster.Size == 0 {
+		spec.Cluster = cluster.DefaultConfig()
+	}
+	ctx := rdd.NewContext(2 * spec.Cluster.Size)
+
+	var sel cluster.Selector
+	switch spec.Mode {
+	case core.ModeBatch:
+		sel = policy.NewBatch(s.exch, spec.Policy)
+	case core.ModeInteractive:
+		sel = policy.NewInteractive(s.exch, spec.Policy)
+	case core.ModeOnDemand:
+		sel = policy.NewOnDemand()
+	case core.ModeCustom:
+		if spec.Selector == nil {
+			return nil, errors.New("service: ModeCustom requires Spec.Selector")
+		}
+		sel = spec.Selector
+	default:
+		return nil, fmt.Errorf("service: unknown mode %d", spec.Mode)
+	}
+
+	engCfg := spec.Engine
+	if spec.Checkpoint == core.CkptSystemLevel {
+		if spec.FixedInterval <= 0 {
+			return nil, errors.New("service: CkptSystemLevel requires FixedInterval")
+		}
+		engCfg.SystemCheckpointInterval = spec.FixedInterval
+	}
+	eng := exec.New(s.clock, s.store, engCfg, nil)
+	mgr, err := cluster.New(s.clock, s.exch, spec.Cluster, sel, eng.Events())
+	if err != nil {
+		return nil, err
+	}
+	f := &core.Flint{
+		Clock: s.clock, Exchange: s.exch, Cluster: mgr, Engine: eng,
+		Store: s.store, Selector: sel, Ctx: ctx,
+	}
+	if spec.Checkpoint == core.CkptFlint || spec.Checkpoint == core.CkptFixed {
+		mttf := func(now float64) float64 {
+			if spec.MTTFOverride > 0 {
+				return spec.MTTFOverride
+			}
+			if m, ok := sel.(core.MTTFer); ok {
+				return m.MTTF(now)
+			}
+			return simclock.Hours(24)
+		}
+		cfg := ckpt.Config{
+			MTTF:         mttf,
+			Nodes:        func() int { return spec.Cluster.Size },
+			NodeMemBytes: spec.Cluster.NodeMemBytes,
+			GC:           spec.GC,
+		}
+		if spec.GC {
+			cfg.Ctx = ctx
+		}
+		if spec.Checkpoint == core.CkptFixed {
+			if spec.FixedInterval <= 0 {
+				return nil, errors.New("service: CkptFixed requires FixedInterval")
+			}
+			cfg.FixedInterval = spec.FixedInterval
+		}
+		ftm, err := ckpt.NewManager(s.clock, s.store, cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetPolicy(ftm)
+		f.Manager = ftm
+	}
+	if err := mgr.Start(); err != nil {
+		return nil, err
+	}
+	t := &Tenant{Name: name, Flint: f, Ctx: ctx}
+	s.tenants[name] = t
+	return t, nil
+}
+
+// Cluster returns a tenant by name, or nil.
+func (s *Service) Cluster(name string) *Tenant { return s.tenants[name] }
+
+// Clusters lists tenant names in sorted order.
+func (s *Service) Clusters() []string {
+	out := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeleteCluster stops a tenant's servers and removes it. Its checkpoints
+// remain in the shared store until garbage-collected.
+func (s *Service) DeleteCluster(name string) error {
+	t, ok := s.tenants[name]
+	if !ok {
+		return fmt.Errorf("service: no cluster %q", name)
+	}
+	t.Flint.Cluster.Stop()
+	t.stopped = true
+	delete(s.tenants, name)
+	return nil
+}
+
+// CostReport aggregates service-wide spending: compute across every
+// lease ever acquired by any tenant, plus the shared storage — the
+// amortized EBS cost the paper describes.
+type CostReport struct {
+	Compute  float64
+	Storage  float64
+	Total    float64
+	PerGBMo  float64
+	Clusters int
+}
+
+// Cost returns the aggregate bill at the current virtual time.
+func (s *Service) Cost() CostReport {
+	now := s.clock.Now()
+	rep := CostReport{
+		Compute:  s.exch.TotalCost(now),
+		Storage:  s.store.UsageAt(now).StorageCost,
+		Clusters: len(s.tenants),
+	}
+	rep.Total = rep.Compute + rep.Storage
+	return rep
+}

@@ -1,0 +1,168 @@
+package service
+
+import (
+	"testing"
+
+	"flint/internal/core"
+	"flint/internal/dfs"
+	"flint/internal/exec"
+	"flint/internal/market"
+	"flint/internal/rdd"
+	"flint/internal/trace"
+	"flint/internal/workload"
+)
+
+func newService(t *testing.T) *Service {
+	t.Helper()
+	exch, err := market.SpotExchange(trace.PoolSet(8, 2), 5, 24*7, 24*30, market.BillPerSecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(exch, dfs.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func smallSpec() core.Spec {
+	sp := core.DefaultSpec()
+	sp.Cluster.Size = 4
+	return sp
+}
+
+func TestCreateAndListClusters(t *testing.T) {
+	s := newService(t)
+	if _, err := s.CreateCluster("alice", smallSpec()); err != nil {
+		t.Fatal(err)
+	}
+	sp := smallSpec()
+	sp.Mode = core.ModeInteractive
+	if _, err := s.CreateCluster("bob", sp); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Clusters(); len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
+		t.Fatalf("clusters = %v", got)
+	}
+	if s.Cluster("alice") == nil || s.Cluster("carol") != nil {
+		t.Error("lookup broken")
+	}
+	// Duplicates and empty names rejected.
+	if _, err := s.CreateCluster("alice", smallSpec()); err == nil {
+		t.Error("duplicate should error")
+	}
+	if _, err := s.CreateCluster("", smallSpec()); err == nil {
+		t.Error("empty name should error")
+	}
+}
+
+func TestTenantsShareClockAndRunIndependently(t *testing.T) {
+	s := newService(t)
+	alice, err := s.CreateCluster("alice", smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := s.CreateCluster("bob", smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alice.Flint.Clock != bob.Flint.Clock {
+		t.Fatal("tenants must share the service clock")
+	}
+	ca, _, err := workload.RunWordCount(alice.Flint, alice.Ctx, workload.WordCountConfig{Docs: 50, WordsPerDoc: 10, Vocab: 20, Parts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _, err := workload.RunWordCount(bob.Flint, bob.Ctx, workload.WordCountConfig{Docs: 80, WordsPerDoc: 10, Vocab: 20, Parts: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := 0, 0
+	for _, n := range ca {
+		ta += n
+	}
+	for _, n := range cb {
+		tb += n
+	}
+	if ta != 500 || tb != 800 {
+		t.Fatalf("tenant results = %d/%d", ta, tb)
+	}
+}
+
+func TestSharedStoreAmortizesCheckpoints(t *testing.T) {
+	s := newService(t)
+	sp := smallSpec()
+	sp.MTTFOverride = 360 // checkpoint aggressively
+	alice, err := s.CreateCluster("alice", sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cached, explicitly checkpointed dataset.
+	data := alice.Ctx.Parallelize("shared", 4, 1<<20, func(part int) []rdd.Row {
+		var out []rdd.Row
+		for i := 0; i < 32; i++ {
+			out = append(out, part*100+i)
+		}
+		return out
+	}).Checkpoint()
+	if _, err := alice.Flint.RunJob(data, exec.ActionMaterialize); err != nil {
+		t.Fatal(err)
+	}
+	s.Clock().RunUntil(s.Clock().Now() + 600)
+	if len(s.Store().Keys("rdd/")) == 0 {
+		t.Fatal("no checkpoints in the shared store")
+	}
+	// The store (and its billing) is shared service infrastructure: the
+	// same Store instance serves a second tenant.
+	bob, err := s.CreateCluster("bob", smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bob.Flint.Store != alice.Flint.Store {
+		t.Fatal("tenants must share the checkpoint store")
+	}
+	cost := s.Cost()
+	if cost.Compute <= 0 || cost.Storage <= 0 || cost.Clusters != 2 {
+		t.Errorf("cost = %+v", cost)
+	}
+}
+
+func TestDeleteClusterStopsBilling(t *testing.T) {
+	s := newService(t)
+	if _, err := s.CreateCluster("alice", smallSpec()); err != nil {
+		t.Fatal(err)
+	}
+	s.Clock().RunUntil(3600)
+	before := s.Cost().Compute
+	if err := s.DeleteCluster("alice"); err != nil {
+		t.Fatal(err)
+	}
+	s.Clock().RunUntil(7200)
+	after := s.Cost().Compute
+	if after > before+1e-9 {
+		t.Fatalf("billing continued after delete: %v → %v", before, after)
+	}
+	if err := s.DeleteCluster("alice"); err == nil {
+		t.Error("double delete should error")
+	}
+	if len(s.Clusters()) != 0 {
+		t.Error("cluster not removed")
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
+	if _, err := New(nil, dfs.DefaultConfig()); err == nil {
+		t.Error("nil exchange should error")
+	}
+	s := newService(t)
+	sp := smallSpec()
+	sp.Mode = core.ModeCustom
+	if _, err := s.CreateCluster("x", sp); err == nil {
+		t.Error("ModeCustom without selector should error")
+	}
+	sp = smallSpec()
+	sp.Checkpoint = core.CkptFixed
+	if _, err := s.CreateCluster("y", sp); err == nil {
+		t.Error("CkptFixed without interval should error")
+	}
+}

@@ -1,0 +1,181 @@
+// Package simclock provides a deterministic virtual clock and
+// discrete-event queue used by every simulated subsystem in Flint.
+//
+// All simulated time is expressed in float64 seconds from the start of the
+// simulation. Events are executed in (time, insertion-order) order, so a
+// simulation driven purely through one Clock is fully deterministic: two
+// events scheduled for the same instant fire in the order they were
+// scheduled.
+//
+// The clock never runs backwards. Scheduling an event in the past (before
+// Now) is a programming error and panics, because it would silently break
+// causality in the simulation.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Common duration helpers, in seconds.
+const (
+	Second = 1.0
+	Minute = 60.0
+	Hour   = 3600.0
+	Day    = 24 * Hour
+)
+
+// Hours converts h hours to seconds.
+func Hours(h float64) float64 { return h * Hour }
+
+// Minutes converts m minutes to seconds.
+func Minutes(m float64) float64 { return m * Minute }
+
+// event is a scheduled callback.
+type event struct {
+	at  float64
+	seq uint64 // tiebreaker for deterministic ordering
+	fn  func()
+	id  uint64 // cancellation handle
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is a virtual clock with an attached event queue.
+// The zero value is not usable; call New.
+type Clock struct {
+	now       float64
+	seq       uint64
+	nextID    uint64
+	queue     eventHeap
+	cancelled map[uint64]bool
+	running   bool
+}
+
+// New returns a Clock starting at time 0.
+func New() *Clock {
+	return &Clock{cancelled: make(map[uint64]bool)}
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// EventID identifies a scheduled event for cancellation.
+type EventID uint64
+
+// Schedule registers fn to run at absolute virtual time at.
+// It panics if at is before Now.
+func (c *Clock) Schedule(at float64, fn func()) EventID {
+	if at < c.now {
+		panic(fmt.Sprintf("simclock: schedule at %.6f before now %.6f", at, c.now))
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("simclock: schedule at non-finite time %v", at))
+	}
+	c.seq++
+	c.nextID++
+	ev := &event{at: at, seq: c.seq, fn: fn, id: c.nextID}
+	heap.Push(&c.queue, ev)
+	return EventID(c.nextID)
+}
+
+// After registers fn to run d seconds from now. Negative d panics.
+func (c *Clock) After(d float64, fn func()) EventID {
+	return c.Schedule(c.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a harmless no-op.
+func (c *Clock) Cancel(id EventID) {
+	c.cancelled[uint64(id)] = true
+}
+
+// Pending reports how many events are queued (including cancelled ones
+// that have not yet been discarded).
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// Step runs the single next event, advancing Now to its time.
+// It returns false if the queue is empty.
+func (c *Clock) Step() bool {
+	for len(c.queue) > 0 {
+		ev := heap.Pop(&c.queue).(*event)
+		if c.cancelled[ev.id] {
+			delete(c.cancelled, ev.id)
+			continue
+		}
+		c.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains. The callbacks may schedule
+// further events. Run panics if called re-entrantly from an event.
+func (c *Clock) Run() {
+	if c.running {
+		panic("simclock: re-entrant Run")
+	}
+	c.running = true
+	defer func() { c.running = false }()
+	for c.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, then advances Now to
+// deadline (if the clock has not already passed it). Events scheduled
+// beyond the deadline remain queued.
+func (c *Clock) RunUntil(deadline float64) {
+	if c.running {
+		panic("simclock: re-entrant RunUntil")
+	}
+	c.running = true
+	defer func() { c.running = false }()
+	for len(c.queue) > 0 {
+		// Peek at the earliest non-cancelled event.
+		ev := c.queue[0]
+		if c.cancelled[ev.id] {
+			heap.Pop(&c.queue)
+			delete(c.cancelled, ev.id)
+			continue
+		}
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&c.queue)
+		c.now = ev.at
+		ev.fn()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// Advance moves time forward by d seconds, running any events due in the
+// interval. Equivalent to RunUntil(Now()+d).
+func (c *Clock) Advance(d float64) {
+	if d < 0 {
+		panic("simclock: negative advance")
+	}
+	c.RunUntil(c.now + d)
+}

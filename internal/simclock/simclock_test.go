@@ -1,0 +1,230 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewStartsAtZero(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", c.Now())
+	}
+}
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	c := New()
+	var got []int
+	c.Schedule(3, func() { got = append(got, 3) })
+	c.Schedule(1, func() { got = append(got, 1) })
+	c.Schedule(2, func() { got = append(got, 2) })
+	c.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if c.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", c.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	c := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(5, func() { got = append(got, i) })
+	}
+	c.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	c := New()
+	var fired float64 = -1
+	c.Schedule(10, func() {
+		c.After(5, func() { fired = c.Now() })
+	})
+	c.Run()
+	if fired != 15 {
+		t.Fatalf("After fired at %v, want 15", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	c := New()
+	c.Schedule(10, func() {})
+	c.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	c.Schedule(5, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	c := New()
+	fired := false
+	id := c.Schedule(1, func() { fired = true })
+	c.Cancel(id)
+	c.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	c := New()
+	var got []int
+	c.Schedule(1, func() { got = append(got, 1) })
+	id := c.Schedule(2, func() { got = append(got, 2) })
+	c.Schedule(3, func() { got = append(got, 3) })
+	c.Cancel(id)
+	c.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	c := New()
+	var got []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		c.Schedule(at, func() { got = append(got, at) })
+	}
+	c.RunUntil(3)
+	if len(got) != 3 {
+		t.Fatalf("RunUntil(3) ran %d events, want 3", len(got))
+	}
+	if c.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", c.Now())
+	}
+	c.Run()
+	if len(got) != 5 {
+		t.Fatalf("total events %d, want 5", len(got))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	c := New()
+	c.RunUntil(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", c.Now())
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	fired := false
+	c.Schedule(5, func() { fired = true })
+	c.Advance(4)
+	if fired {
+		t.Fatal("event fired early")
+	}
+	c.Advance(1)
+	if !fired {
+		t.Fatal("event did not fire at its time")
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	c.Advance(-1)
+}
+
+func TestStepEmptyQueue(t *testing.T) {
+	c := New()
+	if c.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	c := New()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 100 {
+			c.After(1, chain)
+		}
+	}
+	c.Schedule(0, chain)
+	c.Run()
+	if count != 100 {
+		t.Fatalf("chain ran %d times, want 100", count)
+	}
+	if c.Now() != 99 {
+		t.Fatalf("Now() = %v, want 99", c.Now())
+	}
+}
+
+func TestNonFiniteTimePanics(t *testing.T) {
+	c := New()
+	for _, bad := range []float64{nan(), inf()} {
+		func() {
+			defer func() { recover() }()
+			c.Schedule(bad, func() {})
+			t.Fatalf("scheduling at %v did not panic", bad)
+		}()
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+func inf() float64 { z := 0.0; return 1 / z }
+
+// Property: for any set of random schedule times, events fire in
+// non-decreasing time order and the clock ends at the max time.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New()
+		k := int(n%50) + 1
+		times := make([]float64, k)
+		var fired []float64
+		for i := 0; i < k; i++ {
+			at := rng.Float64() * 1000
+			times[i] = at
+			c.Schedule(at, func() { fired = append(fired, c.Now()) })
+		}
+		c.Run()
+		if len(fired) != k {
+			return false
+		}
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		sort.Float64s(times)
+		return c.Now() == times[k-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Hours(2) != 7200 {
+		t.Fatalf("Hours(2) = %v", Hours(2))
+	}
+	if Minutes(3) != 180 {
+		t.Fatalf("Minutes(3) = %v", Minutes(3))
+	}
+	if Day != 86400 {
+		t.Fatalf("Day = %v", Day)
+	}
+}

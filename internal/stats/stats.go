@@ -1,0 +1,295 @@
+// Package stats provides the small set of statistics used throughout the
+// Flint simulator and its experiment harness: moments, harmonic means (for
+// the aggregate-MTTF computation of Eq. 3 in the paper), empirical CDFs
+// (Figure 2), Pearson correlation matrices (Figure 4), and percentiles.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (0 for fewer than two
+// samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// HarmonicMean returns the harmonic mean of xs. It is the aggregation the
+// paper uses for the MTTF of a cluster mixed across m markets (Eq. 3):
+//
+//	MTTF = 1 / (1/MTTF_1 + ... + 1/MTTF_m)
+//
+// Note the paper's Eq. 3 omits the conventional 1/m factor: it is a
+// failure-rate sum, not a true harmonic mean. See RateSum for that form.
+func HarmonicMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: harmonic mean requires positive values")
+		}
+		s += 1 / x
+	}
+	return float64(len(xs)) / s, nil
+}
+
+// RateSum returns 1/(Σ 1/x_i): the mean time between failure events for a
+// system composed of independent components with MTTFs xs. This is exactly
+// Eq. 3 of the paper. Values ≤ 0 are treated as "never fails" (infinite
+// MTTF) and contribute no failure rate.
+func RateSum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		if x > 0 && !math.IsInf(x, 1) {
+			s += 1 / x
+		}
+	}
+	if s == 0 {
+		return math.Inf(1)
+	}
+	return 1 / s
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It returns an error for an empty
+// sample.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It returns 0 when either series has zero variance or the lengths differ.
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// CorrelationMatrix returns the len(series) × len(series) matrix of
+// pairwise Pearson correlations.
+func CorrelationMatrix(series [][]float64) [][]float64 {
+	n := len(series)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := Pearson(series[i], series[j])
+			m[i][j] = c
+			m[j][i] = c
+		}
+	}
+	return m
+}
+
+// ECDF is an empirical cumulative distribution function over a fixed
+// sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs. It copies the input.
+func NewECDF(xs []float64) *ECDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// Len returns the number of samples.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// At returns P(X ≤ x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// Index of first element > x.
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the smallest sample value v with At(v) ≥ q, clamping q
+// to (0, 1].
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q > 1 {
+		q = 1
+	}
+	i := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(e.sorted) {
+		i = len(e.sorted) - 1
+	}
+	return e.sorted[i]
+}
+
+// Points returns up to n evenly spaced (x, P(X≤x)) points suitable for
+// plotting the CDF curve, always including the min and max samples.
+func (e *ECDF) Points(n int) (xs, ps []float64) {
+	if len(e.sorted) == 0 || n <= 0 {
+		return nil, nil
+	}
+	if n == 1 {
+		n = 2
+	}
+	lo, hi := e.sorted[0], e.sorted[len(e.sorted)-1]
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		xs = append(xs, x)
+		ps = append(ps, e.At(x))
+	}
+	return xs, ps
+}
+
+// Mean returns the sample mean of the ECDF's underlying data.
+func (e *ECDF) Mean() float64 { return Mean(e.sorted) }
+
+// Summary captures the basic descriptive statistics of a sample.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, P25, P50, P75 float64
+	P95, P99, Max      float64
+}
+
+// Summarize computes a Summary of xs. A zero Summary is returned for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Mean: Mean(xs), Std: StdDev(xs)}
+	s.Min, _ = Percentile(xs, 0)
+	s.P25, _ = Percentile(xs, 25)
+	s.P50, _ = Percentile(xs, 50)
+	s.P75, _ = Percentile(xs, 75)
+	s.P95, _ = Percentile(xs, 95)
+	s.P99, _ = Percentile(xs, 99)
+	s.Max, _ = Percentile(xs, 100)
+	return s
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + step*float64(i)
+	}
+	out[n-1] = hi
+	return out
+}
+
+// Histogram bins xs into nbins equal-width bins over [min, max] and
+// returns the bin edges (nbins+1 values) and counts (nbins values).
+func Histogram(xs []float64, nbins int) (edges []float64, counts []int) {
+	if len(xs) == 0 || nbins <= 0 {
+		return nil, nil
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	edges = Linspace(lo, hi, nbins+1)
+	counts = make([]int, nbins)
+	w := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i >= nbins {
+			i = nbins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		counts[i]++
+	}
+	return edges, counts
+}

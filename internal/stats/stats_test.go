@@ -1,0 +1,305 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	got, err := HarmonicMean([]float64{1, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 2, 1e-12) {
+		t.Errorf("HarmonicMean = %v, want 2", got)
+	}
+	if _, err := HarmonicMean(nil); err == nil {
+		t.Error("HarmonicMean(nil) should error")
+	}
+	if _, err := HarmonicMean([]float64{1, -2}); err == nil {
+		t.Error("HarmonicMean with negative should error")
+	}
+}
+
+func TestRateSumMatchesPaperEq3(t *testing.T) {
+	// Two markets with MTTF 10h and 10h: failure events twice as often,
+	// aggregate MTTF 5h.
+	if got := RateSum([]float64{10, 10}); !almostEq(got, 5, 1e-12) {
+		t.Errorf("RateSum = %v, want 5", got)
+	}
+	// An infinite-MTTF (on-demand) component adds no failure rate.
+	if got := RateSum([]float64{10, math.Inf(1)}); !almostEq(got, 10, 1e-12) {
+		t.Errorf("RateSum with Inf = %v, want 10", got)
+	}
+	if !math.IsInf(RateSum(nil), 1) {
+		t.Error("RateSum(nil) should be +Inf")
+	}
+	// Aggregate MTTF is always smaller than each individual market's
+	// (paper §3.2.1).
+	agg := RateSum([]float64{18, 101, 701})
+	for _, m := range []float64{18, 101, 701} {
+		if agg >= m {
+			t.Errorf("aggregate MTTF %v not below individual %v", agg, m)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4},
+	} {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("Percentile of empty should error")
+	}
+	got, _ := Percentile([]float64{7}, 99)
+	if got != 7 {
+		t.Errorf("single-sample percentile = %v, want 7", got)
+	}
+}
+
+func TestPercentileClamps(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	lo, _ := Percentile(xs, -10)
+	hi, _ := Percentile(xs, 400)
+	if lo != 1 || hi != 3 {
+		t.Errorf("clamped percentiles = %v, %v", lo, hi)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Errorf("perfect positive correlation = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almostEq(got, -1, 1e-12) {
+		t.Errorf("perfect negative correlation = %v, want -1", got)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if got := Pearson(xs, flat); got != 0 {
+		t.Errorf("zero-variance correlation = %v, want 0", got)
+	}
+	if got := Pearson(xs, []float64{1}); got != 0 {
+		t.Errorf("length mismatch correlation = %v, want 0", got)
+	}
+}
+
+func TestCorrelationMatrix(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{4, 3, 2, 1}
+	m := CorrelationMatrix([][]float64{a, b})
+	if m[0][0] != 1 || m[1][1] != 1 {
+		t.Error("diagonal must be 1")
+	}
+	if !almostEq(m[0][1], -1, 1e-12) || m[0][1] != m[1][0] {
+		t.Errorf("off-diagonal = %v/%v, want -1 symmetric", m[0][1], m[1][0])
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d, want 4", e.Len())
+	}
+	if !almostEq(e.Mean(), 2, 1e-12) {
+		t.Errorf("Mean = %v, want 2", e.Mean())
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40})
+	if got := e.Quantile(0.5); got != 20 {
+		t.Errorf("Quantile(0.5) = %v, want 20", got)
+	}
+	if got := e.Quantile(1); got != 40 {
+		t.Errorf("Quantile(1) = %v, want 40", got)
+	}
+	if got := e.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) = %v, want 10", got)
+	}
+	if !math.IsNaN(NewECDF(nil).Quantile(0.5)) {
+		t.Error("empty ECDF quantile should be NaN")
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{0, 10})
+	xs, ps := e.Points(11)
+	if len(xs) != 11 || len(ps) != 11 {
+		t.Fatalf("Points lengths %d/%d", len(xs), len(ps))
+	}
+	if xs[0] != 0 || xs[10] != 10 {
+		t.Errorf("Points range [%v, %v]", xs[0], xs[10])
+	}
+	if ps[10] != 1 {
+		t.Errorf("final CDF point = %v, want 1", ps[10])
+	}
+	if xs, _ := e.Points(0); xs != nil {
+		t.Error("Points(0) should be nil")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || s.Min != 1 || s.Max != 10 {
+		t.Errorf("summary = %+v", s)
+	}
+	if !almostEq(s.Mean, 5.5, 1e-12) || !almostEq(s.P50, 5.5, 1e-12) {
+		t.Errorf("mean/median = %v/%v", s.Mean, s.P50)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almostEq(xs[i], want[i], 1e-12) {
+			t.Fatalf("Linspace = %v", xs)
+		}
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Linspace n=1 = %v", got)
+	}
+	if Linspace(0, 1, 0) != nil {
+		t.Error("Linspace n=0 should be nil")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges, counts := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if len(edges) != 6 || len(counts) != 5 {
+		t.Fatalf("histogram shape %d/%d", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram total = %d, want 10", total)
+	}
+	// Constant data should not panic (degenerate range).
+	_, counts = Histogram([]float64{5, 5, 5}, 3)
+	if counts[0] != 3 {
+		t.Errorf("degenerate histogram = %v", counts)
+	}
+}
+
+// Property: ECDF.At is monotone non-decreasing and bounded in [0,1].
+func TestPropertyECDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		e := NewECDF(xs)
+		prev := -1.0
+		for _, q := range Linspace(-300, 300, 101) {
+			p := e.At(q)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return e.At(math.Inf(1)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pearson correlation is symmetric and within [-1, 1].
+func TestPropertyPearsonBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 2
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+			ys[i] = rng.Float64() * 10
+		}
+		c := Pearson(xs, ys)
+		return c >= -1-1e-9 && c <= 1+1e-9 && almostEq(c, Pearson(ys, xs), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RateSum result is ≤ min of its inputs (adding failure sources
+// can only reduce the aggregate MTTF).
+func TestPropertyRateSumBelowMin(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 1
+		xs := make([]float64, n)
+		minX := math.Inf(1)
+		for i := range xs {
+			xs[i] = rng.Float64()*1000 + 0.001
+			if xs[i] < minX {
+				minX = xs[i]
+			}
+		}
+		return RateSum(xs) <= minX+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package stream implements a discretized-stream (micro-batch) layer on
+// top of the RDD engine, in the style of Spark Streaming — the related
+// system the paper singles out as future work for transient servers
+// ("Spark Streaming incorporates automated periodic checkpointing of
+// RDDs ... but does not take into account recomputation overhead and
+// cluster volatility", §6).
+//
+// A DStream produces one RDD per batch interval. Stateless operators
+// (map/filter/flatMap) transform each batch independently; the stateful
+// operator UpdateStateByKey folds every batch into a running state RDD
+// whose lineage grows with each batch — precisely the structure that
+// *requires* checkpointing: without it, losing a partition late in the
+// stream recomputes through every batch since the beginning. Running a
+// stream under Flint's fault-tolerance manager bounds that recomputation
+// with the same τ = √(2δ·MTTF) policy used for batch jobs, and the
+// checkpoint GC prunes state checkpoints that newer ones supersede.
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"flint/internal/exec"
+	"flint/internal/rdd"
+)
+
+// Runner executes jobs and exposes the virtual clock; *exec.Engine and
+// *core.Flint both satisfy it via small adapters below.
+type Runner interface {
+	RunJob(target *rdd.RDD, action exec.Action) (*exec.Result, error)
+}
+
+// Clock abstracts the virtual clock for batch pacing.
+type Clock interface {
+	Now() float64
+	Advance(d float64)
+}
+
+// Config shapes a streaming context.
+type Config struct {
+	// BatchInterval is the micro-batch period in virtual seconds
+	// (default 10 s).
+	BatchInterval float64
+	// Parts is the partition count of batch and state RDDs (default 8).
+	Parts int
+	// RowBytes estimates the serialized size of a stream record
+	// (default 100).
+	RowBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchInterval <= 0 {
+		c.BatchInterval = 10
+	}
+	if c.Parts <= 0 {
+		c.Parts = 8
+	}
+	if c.RowBytes <= 0 {
+		c.RowBytes = 100
+	}
+	return c
+}
+
+// Context drives a set of streams over one engine.
+type Context struct {
+	run   Runner
+	clock Clock
+	rddc  *rdd.Context
+	cfg   Config
+	batch int
+}
+
+// NewContext builds a streaming context. rddc must be the same RDD
+// context the deployment's FT manager watches, so stream state
+// participates in checkpoint marking and GC.
+func NewContext(run Runner, clock Clock, rddc *rdd.Context, cfg Config) (*Context, error) {
+	if run == nil || clock == nil || rddc == nil {
+		return nil, errors.New("stream: nil runner, clock or RDD context")
+	}
+	return &Context{run: run, clock: clock, rddc: rddc, cfg: cfg.withDefaults()}, nil
+}
+
+// BatchInterval returns the configured micro-batch period.
+func (c *Context) BatchInterval() float64 { return c.cfg.BatchInterval }
+
+// DStream is a discretized stream: a recipe producing one RDD per batch.
+type DStream struct {
+	ctx *Context
+	// gen builds the RDD for batch b.
+	gen func(b int) *rdd.RDD
+}
+
+// Source creates a stream whose batch b partition p holds the rows
+// returned by gen(b, p). gen must be deterministic: lost batch
+// partitions are regenerated during recovery, exactly like any other
+// source RDD (Spark Streaming's "replayable source" requirement).
+func (c *Context) Source(name string, gen func(batch, part int) []rdd.Row) *DStream {
+	if gen == nil {
+		panic("stream: Source with nil generator")
+	}
+	return &DStream{ctx: c, gen: func(b int) *rdd.RDD {
+		return c.rddc.Parallelize(fmt.Sprintf("%s[b%d]", name, b), c.cfg.Parts, c.cfg.RowBytes,
+			func(part int) []rdd.Row { return gen(b, part) })
+	}}
+}
+
+// Map applies f to every record of every batch.
+func (d *DStream) Map(name string, f func(rdd.Row) rdd.Row) *DStream {
+	return &DStream{ctx: d.ctx, gen: func(b int) *rdd.RDD {
+		return d.gen(b).Map(fmt.Sprintf("%s[b%d]", name, b), f)
+	}}
+}
+
+// Filter keeps records satisfying pred.
+func (d *DStream) Filter(name string, pred func(rdd.Row) bool) *DStream {
+	return &DStream{ctx: d.ctx, gen: func(b int) *rdd.RDD {
+		return d.gen(b).Filter(fmt.Sprintf("%s[b%d]", name, b), pred)
+	}}
+}
+
+// FlatMap expands each record.
+func (d *DStream) FlatMap(name string, f func(rdd.Row) []rdd.Row) *DStream {
+	return &DStream{ctx: d.ctx, gen: func(b int) *rdd.RDD {
+		return d.gen(b).FlatMap(fmt.Sprintf("%s[b%d]", name, b), f)
+	}}
+}
+
+// ReduceByKey aggregates each batch independently (a tumbling window of
+// one batch).
+func (d *DStream) ReduceByKey(name string, f func(a, b rdd.Row) rdd.Row) *DStream {
+	return &DStream{ctx: d.ctx, gen: func(b int) *rdd.RDD {
+		return d.gen(b).ReduceByKey(fmt.Sprintf("%s[b%d]", name, b), d.ctx.cfg.Parts, f)
+	}}
+}
+
+// StatefulStream carries a running per-key state RDD across batches.
+type StatefulStream struct {
+	ctx    *Context
+	input  *DStream
+	name   string
+	update func(state rdd.Row, added []rdd.Row) rdd.Row
+	state  *rdd.RDD // nil before the first batch
+}
+
+// UpdateStateByKey folds each batch's KV records into per-key state:
+// update receives the previous state (nil for new keys) and the batch's
+// values for the key, returning the new state. The state RDD is cached
+// — it is exactly the kind of long-lived in-memory dataset Flint's
+// policies exist to protect.
+func (d *DStream) UpdateStateByKey(name string, update func(state rdd.Row, added []rdd.Row) rdd.Row) *StatefulStream {
+	if update == nil {
+		panic("stream: UpdateStateByKey with nil update")
+	}
+	return &StatefulStream{ctx: d.ctx, input: d, name: name, update: update}
+}
+
+// advance builds batch b's new state RDD from the previous state and the
+// batch input (a cogroup, like Spark Streaming's StateDStream).
+func (s *StatefulStream) advance(b int) *rdd.RDD {
+	batch := s.input.gen(b)
+	update := s.update
+	if s.state == nil {
+		grouped := batch.GroupByKey(fmt.Sprintf("%s:init[b%d]", s.name, b), s.ctx.cfg.Parts)
+		s.state = grouped.MapValues(fmt.Sprintf("%s:state[b%d]", s.name, b), func(v rdd.Row) rdd.Row {
+			return update(nil, v.([]rdd.Row))
+		}).Persist()
+		return s.state
+	}
+	cg := s.state.CoGroup(fmt.Sprintf("%s:cg[b%d]", s.name, b), batch, s.ctx.cfg.Parts)
+	s.state = cg.Map(fmt.Sprintf("%s:state[b%d]", s.name, b), func(r rdd.Row) rdd.Row {
+		kv := r.(rdd.KV)
+		groups := kv.V.([2][]rdd.Row)
+		var prev rdd.Row
+		if len(groups[0]) > 0 {
+			prev = groups[0][0]
+		}
+		if len(groups[1]) == 0 {
+			return rdd.KV{K: kv.K, V: prev}
+		}
+		return rdd.KV{K: kv.K, V: update(prev, groups[1])}
+	}).Persist()
+	return s.state
+}
+
+// State returns the current state RDD (nil before any batch ran).
+func (s *StatefulStream) State() *rdd.RDD { return s.state }
+
+// BatchStat records one processed micro-batch.
+type BatchStat struct {
+	Batch      int
+	Start, End float64
+	Records    int64
+	Stable     bool // processing time ≤ batch interval
+}
+
+// Latency returns the batch's processing time.
+func (b BatchStat) Latency() float64 { return b.End - b.Start }
+
+// RunStateful drives n micro-batches of a stateful stream: each interval
+// it advances the virtual clock to the batch boundary, folds the batch
+// into the state, and materializes the new state RDD (Spark Streaming's
+// per-batch job). It returns per-batch statistics and the final state.
+func (s *StatefulStream) RunStateful(n int) ([]BatchStat, error) {
+	if n <= 0 {
+		return nil, errors.New("stream: need at least one batch")
+	}
+	var stats []BatchStat
+	interval := s.ctx.cfg.BatchInterval
+	nextBoundary := s.ctx.clock.Now() + interval
+	for i := 0; i < n; i++ {
+		// Wait out the rest of the interval (events — including
+		// revocations — fire meanwhile).
+		if wait := nextBoundary - s.ctx.clock.Now(); wait > 0 {
+			s.ctx.clock.Advance(wait)
+		}
+		state := s.advance(s.ctx.batch)
+		s.ctx.batch++
+		res, err := s.ctx.run.RunJob(state, exec.ActionCount)
+		if err != nil {
+			return stats, fmt.Errorf("stream: batch %d: %w", i, err)
+		}
+		stats = append(stats, BatchStat{
+			Batch: s.ctx.batch - 1, Start: res.Start, End: res.End,
+			Records: res.Count, Stable: res.Latency() <= interval,
+		})
+		nextBoundary += interval
+		if s.ctx.clock.Now() > nextBoundary {
+			// Falling behind: realign (Spark drops into backlog
+			// processing; we re-anchor so Stable keeps meaning).
+			nextBoundary = s.ctx.clock.Now() + interval
+		}
+	}
+	return stats, nil
+}
+
+// CollectState runs a collect job over the current state and returns it
+// as a map from key to state value.
+func (s *StatefulStream) CollectState() (map[rdd.Row]rdd.Row, error) {
+	if s.state == nil {
+		return nil, errors.New("stream: no state yet")
+	}
+	res, err := s.ctx.run.RunJob(s.state, exec.ActionCollect)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[rdd.Row]rdd.Row, len(res.Rows))
+	for _, r := range res.Rows {
+		kv := r.(rdd.KV)
+		out[kv.K] = kv.V
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Import of real EC2 spot price history. The paper's node manager
+// consumes exactly this feed ("Amazon provides three months of price
+// history for each spot market", §3.1.1); when the repository's synthetic
+// generator is not wanted, a trace can be built from the JSON emitted by
+//
+//	aws ec2 describe-spot-price-history --output json
+//
+// i.e. a document of the form
+//
+//	{"SpotPriceHistory": [
+//	  {"Timestamp": "2015-06-01T00:05:12.000Z",
+//	   "SpotPrice": "0.0163",
+//	   "InstanceType": "r3.large",
+//	   "AvailabilityZone": "us-west-2c",
+//	   "ProductDescription": "Linux/UNIX"}, ...]}
+//
+// Records may arrive in any order and cover several (type, zone) pairs.
+
+// SpotPriceRecord is one price-change event in the AWS feed.
+type SpotPriceRecord struct {
+	Timestamp          string `json:"Timestamp"`
+	SpotPrice          string `json:"SpotPrice"`
+	InstanceType       string `json:"InstanceType"`
+	AvailabilityZone   string `json:"AvailabilityZone"`
+	ProductDescription string `json:"ProductDescription"`
+}
+
+// spotPriceHistory is the AWS response envelope.
+type spotPriceHistory struct {
+	SpotPriceHistory []SpotPriceRecord `json:"SpotPriceHistory"`
+}
+
+// ImportedMarket is one (instance type, availability zone) price series
+// converted to a Trace.
+type ImportedMarket struct {
+	InstanceType     string
+	AvailabilityZone string
+	Start            time.Time // wall-clock time of the trace's t=0
+	Trace            *Trace
+}
+
+// Name returns the pool-style name "zone/type".
+func (m ImportedMarket) Name() string {
+	return m.AvailabilityZone + "/" + m.InstanceType
+}
+
+// ImportSpotPriceHistory parses an AWS describe-spot-price-history JSON
+// document and returns one trace per (instance type, zone) market, each
+// sampled at stepSec resolution from its first to its last record (the
+// AWS feed is event-based; the trace is its step-function rendering).
+// Markets are returned sorted by name.
+func ImportSpotPriceHistory(r io.Reader, stepSec float64) ([]ImportedMarket, error) {
+	if stepSec <= 0 {
+		stepSec = 60
+	}
+	var doc spotPriceHistory
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trace: parse spot price history: %w", err)
+	}
+	if len(doc.SpotPriceHistory) == 0 {
+		return nil, fmt.Errorf("trace: spot price history has no records")
+	}
+
+	type event struct {
+		at    time.Time
+		price float64
+	}
+	markets := map[string][]event{}
+	meta := map[string][2]string{}
+	for i, rec := range doc.SpotPriceHistory {
+		at, err := time.Parse(time.RFC3339, rec.Timestamp)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d timestamp %q: %w", i, rec.Timestamp, err)
+		}
+		price, err := strconv.ParseFloat(rec.SpotPrice, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d price %q: %w", i, rec.SpotPrice, err)
+		}
+		if price < 0 {
+			return nil, fmt.Errorf("trace: record %d has negative price", i)
+		}
+		key := rec.AvailabilityZone + "/" + rec.InstanceType
+		markets[key] = append(markets[key], event{at: at, price: price})
+		meta[key] = [2]string{rec.InstanceType, rec.AvailabilityZone}
+	}
+
+	var names []string
+	for name := range markets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	out := make([]ImportedMarket, 0, len(names))
+	for _, name := range names {
+		evs := markets[name]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].at.Before(evs[j].at) })
+		start := evs[0].at
+		end := evs[len(evs)-1].at
+		n := int(end.Sub(start).Seconds()/stepSec) + 1
+		prices := make([]float64, n)
+		ei := 0
+		cur := evs[0].price
+		for i := 0; i < n; i++ {
+			t := start.Add(time.Duration(float64(i) * stepSec * float64(time.Second)))
+			for ei < len(evs) && !evs[ei].at.After(t) {
+				cur = evs[ei].price
+				ei++
+			}
+			prices[i] = cur
+		}
+		out = append(out, ImportedMarket{
+			InstanceType:     meta[name][0],
+			AvailabilityZone: meta[name][1],
+			Start:            start,
+			Trace:            &Trace{Step: stepSec, Prices: prices},
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const awsSample = `{
+  "SpotPriceHistory": [
+    {"Timestamp": "2015-06-01T02:00:00Z", "SpotPrice": "0.9000",
+     "InstanceType": "r3.large", "AvailabilityZone": "us-west-2c",
+     "ProductDescription": "Linux/UNIX"},
+    {"Timestamp": "2015-06-01T00:00:00Z", "SpotPrice": "0.0163",
+     "InstanceType": "r3.large", "AvailabilityZone": "us-west-2c",
+     "ProductDescription": "Linux/UNIX"},
+    {"Timestamp": "2015-06-01T03:00:00Z", "SpotPrice": "0.0170",
+     "InstanceType": "r3.large", "AvailabilityZone": "us-west-2c",
+     "ProductDescription": "Linux/UNIX"},
+    {"Timestamp": "2015-06-01T00:30:00Z", "SpotPrice": "0.0300",
+     "InstanceType": "m3.xlarge", "AvailabilityZone": "us-east-1a",
+     "ProductDescription": "Linux/UNIX"},
+    {"Timestamp": "2015-06-01T01:30:00Z", "SpotPrice": "0.0350",
+     "InstanceType": "m3.xlarge", "AvailabilityZone": "us-east-1a",
+     "ProductDescription": "Linux/UNIX"}
+  ]
+}`
+
+func TestImportSpotPriceHistory(t *testing.T) {
+	markets, err := ImportSpotPriceHistory(strings.NewReader(awsSample), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(markets) != 2 {
+		t.Fatalf("markets = %d, want 2", len(markets))
+	}
+	// Sorted by zone/type name: us-east before us-west.
+	if markets[0].Name() != "us-east-1a/m3.xlarge" || markets[1].Name() != "us-west-2c/r3.large" {
+		t.Fatalf("names = %v, %v", markets[0].Name(), markets[1].Name())
+	}
+	usw := markets[1]
+	// Three hours at one-minute resolution: 181 samples.
+	if usw.Trace.Len() != 181 {
+		t.Fatalf("samples = %d, want 181", usw.Trace.Len())
+	}
+	// Out-of-order records resolved: price starts at 0.0163, spikes to
+	// 0.90 at hour 2, drops to 0.0170 at hour 3.
+	if got := usw.Trace.PriceAt(0); math.Abs(got-0.0163) > 1e-9 {
+		t.Errorf("price at t=0: %v", got)
+	}
+	if got := usw.Trace.PriceAt(2*3600 + 30); math.Abs(got-0.90) > 1e-9 {
+		t.Errorf("price in spike: %v", got)
+	}
+	if got := usw.Trace.PriceAt(3 * 3600); math.Abs(got-0.0170) > 1e-9 {
+		t.Errorf("price after spike: %v", got)
+	}
+	// The imported trace works with the standard bid analysis: an
+	// on-demand-level bid of 0.175 is revoked by the 0.90 spike.
+	st := usw.Trace.AnalyzeBid(0.175)
+	if st.Revocations != 1 {
+		t.Errorf("revocations = %d, want 1", st.Revocations)
+	}
+	if usw.Start.Hour() != 0 {
+		t.Errorf("start = %v", usw.Start)
+	}
+}
+
+func TestImportSpotPriceHistoryErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":     `{"SpotPriceHistory": []}`,
+		"not json":  `nope`,
+		"bad time":  `{"SpotPriceHistory":[{"Timestamp":"junk","SpotPrice":"0.1","InstanceType":"a","AvailabilityZone":"b"}]}`,
+		"bad price": `{"SpotPriceHistory":[{"Timestamp":"2015-06-01T00:00:00Z","SpotPrice":"x","InstanceType":"a","AvailabilityZone":"b"}]}`,
+		"negative":  `{"SpotPriceHistory":[{"Timestamp":"2015-06-01T00:00:00Z","SpotPrice":"-1","InstanceType":"a","AvailabilityZone":"b"}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ImportSpotPriceHistory(strings.NewReader(doc), 60); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestImportDefaultStep(t *testing.T) {
+	markets, err := ImportSpotPriceHistory(strings.NewReader(awsSample), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if markets[0].Trace.Step != 60 {
+		t.Errorf("default step = %v", markets[0].Trace.Step)
+	}
+}

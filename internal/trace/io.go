@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV encodes the trace as two-column CSV (seconds, price) with a
+// header row, compatible with common plotting tools.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "price_per_hr"}); err != nil {
+		return err
+	}
+	for i, p := range tr.Prices {
+		rec := []string{
+			strconv.FormatFloat(float64(i)*tr.Step, 'f', -1, 64),
+			strconv.FormatFloat(p, 'f', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a trace written by WriteCSV. The step is inferred from
+// the first two rows; a single-row trace gets a step of 1 second.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(recs) < 2 {
+		return nil, fmt.Errorf("trace: csv has no data rows")
+	}
+	rows := recs[1:] // skip header
+	tr := &Trace{Step: 1}
+	times := make([]float64, 0, len(rows))
+	for i, rec := range rows {
+		if len(rec) != 2 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want 2", i+1, len(rec))
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d time: %w", i+1, err)
+		}
+		p, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d price: %w", i+1, err)
+		}
+		times = append(times, t)
+		tr.Prices = append(tr.Prices, p)
+	}
+	if len(times) >= 2 {
+		tr.Step = times[1] - times[0]
+		if tr.Step <= 0 {
+			return nil, fmt.Errorf("trace: non-increasing time column")
+		}
+	}
+	return tr, nil
+}

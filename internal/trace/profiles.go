@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"flint/internal/simclock"
+)
+
+// Standard profiles approximating the three EC2 markets whose availability
+// CDFs appear in the paper's Figure 2a. The spike rates are set so that an
+// on-demand bid sees an MTTF near the paper's measured values:
+// us-west-2c ≈ 701 h, eu-west-1c ≈ 101 h, sa-east-1a ≈ 18.8 h.
+//
+// The on-demand prices loosely follow 2015-era EC2 r3.large / m-family
+// pricing; the absolute dollar values only matter relative to each other.
+
+// USWest2c models a calm, rarely revoked market (paper MTTF 701.14 h).
+func USWest2c() Profile {
+	return Profile{
+		Name: "us-west-2c/r3.large", OnDemand: 0.175,
+		BaseFrac: 0.13, NoiseFrac: 0.06,
+		SpikesPerHour: 1.0 / 700, SpikeDurMeanMin: 30,
+		SpikeMagMin: 1.5, SpikeMagMax: 10,
+		WobblesPerHour: 1.0 / 120, WobbleDurMeanMin: 25,
+		WobbleMagMin: 0.3, WobbleMagMax: 0.85,
+	}
+}
+
+// EUWest1c models a moderately volatile market (paper MTTF 101.10 h).
+func EUWest1c() Profile {
+	return Profile{
+		Name: "eu-west-1c/r3.large", OnDemand: 0.185,
+		BaseFrac: 0.15, NoiseFrac: 0.08,
+		SpikesPerHour: 1.0 / 100, SpikeDurMeanMin: 25,
+		SpikeMagMin: 1.3, SpikeMagMax: 10,
+		WobblesPerHour: 1.0 / 25, WobbleDurMeanMin: 25,
+		WobbleMagMin: 0.3, WobbleMagMax: 0.85,
+	}
+}
+
+// SAEast1a models a highly volatile market (paper MTTF 18.77 h).
+func SAEast1a() Profile {
+	return Profile{
+		Name: "sa-east-1a/r3.large", OnDemand: 0.280,
+		BaseFrac: 0.20, NoiseFrac: 0.12,
+		SpikesPerHour: 1.0 / 18.5, SpikeDurMeanMin: 20,
+		SpikeMagMin: 1.2, SpikeMagMax: 8,
+		WobblesPerHour: 1.0 / 5, WobbleDurMeanMin: 20,
+		WobbleMagMin: 0.3, WobbleMagMax: 0.9,
+	}
+}
+
+// StandardEC2Profiles returns the Figure 2a trio.
+func StandardEC2Profiles() []Profile {
+	return []Profile{USWest2c(), EUWest1c(), SAEast1a()}
+}
+
+// PoolSet generates n synthetic market profiles spanning the calm-to-
+// volatile range the paper observes across EC2's >4000 spot pools
+// (MTTF roughly 18–700 h at an on-demand bid). The rng controls the
+// dispersion of per-market parameters; the same seed yields the same set.
+func PoolSet(n int, seed int64) []Profile {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Profile, 0, n)
+	for i := 0; i < n; i++ {
+		// Log-uniform MTTF target between 18 h and 700 h.
+		mttfH := math.Exp(rng.Float64()*(math.Log(700)-math.Log(18)) + math.Log(18))
+		od := 0.12 + rng.Float64()*0.5
+		out = append(out, Profile{
+			Name:     poolName(i),
+			OnDemand: od,
+			BaseFrac: 0.10 + rng.Float64()*0.20,
+			NoiseFrac: 0.04 +
+				rng.Float64()*0.08,
+			SpikesPerHour:    1 / mttfH,
+			SpikeDurMeanMin:  10 + rng.Float64()*40,
+			SpikeMagMin:      1.2,
+			SpikeMagMax:      4 + rng.Float64()*6,
+			WobblesPerHour:   4 / mttfH,
+			WobbleDurMeanMin: 15 + rng.Float64()*20,
+			WobbleMagMin:     0.3,
+			WobbleMagMax:     0.85,
+		})
+	}
+	return out
+}
+
+// BidStudyProfiles returns the three instance types of the paper's
+// Figure 11b bid sweep (m1.xlarge, m3.2xlarge, m2.2xlarge). These
+// markets wobble frequently below the on-demand price, so low bids are
+// revoked every fraction of an hour while an on-demand-price bid rides
+// the wobbles out — producing the elevated left side and wide flat
+// middle of the cost-versus-bid curve.
+func BidStudyProfiles() []Profile {
+	mk := func(name string, od, base float64, wobPerHour float64) Profile {
+		return Profile{
+			Name: name, OnDemand: od,
+			BaseFrac: base, NoiseFrac: 0.05,
+			SpikesPerHour: 1.0 / 30, SpikeDurMeanMin: 20,
+			SpikeMagMin: 1.5, SpikeMagMax: 8,
+			WobblesPerHour: wobPerHour, WobbleDurMeanMin: 10,
+			WobbleMagMin: 0.25, WobbleMagMax: 0.8,
+		}
+	}
+	return []Profile{
+		mk("m1.xlarge", 0.35, 0.10, 1.5),
+		mk("m3.2xlarge", 0.56, 0.12, 2.0),
+		mk("m2.2xlarge", 0.49, 0.14, 2.5),
+	}
+}
+
+// TieredPoolSet generates n markets in which the steady spot price and
+// the volatility are inversely related: the cheapest markets are the most
+// frequently revoked. This is the regime in which application-agnostic
+// price chasing (EC2 SpotFleet's cheapest-market policy) repeatedly lands
+// on volatile markets and pays recomputation penalties, while Flint's
+// Eq. 2 cost model deliberately pays a slightly higher price for a far
+// higher MTTF.
+func TieredPoolSet(n int, seed int64) []Profile {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Profile, 0, n)
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(maxIntProfiles(n-1, 1))
+		// Cheapest (frac=0): base 8% of OD, MTTF ~8 h.
+		// Priciest (frac=1): base 30% of OD, MTTF ~700 h.
+		mttfH := 8 * math.Pow(700.0/8.0, frac)
+		out = append(out, Profile{
+			Name:             fmt.Sprintf("tier-%02d", i),
+			OnDemand:         0.20,
+			BaseFrac:         0.08 + 0.22*frac,
+			NoiseFrac:        0.05 + rng.Float64()*0.03,
+			SpikesPerHour:    1 / mttfH,
+			SpikeDurMeanMin:  10 + rng.Float64()*30,
+			SpikeMagMin:      1.2,
+			SpikeMagMax:      4 + rng.Float64()*6,
+			WobblesPerHour:   2 / mttfH,
+			WobbleDurMeanMin: 15,
+			WobbleMagMin:     0.3,
+			WobbleMagMax:     0.8,
+		})
+	}
+	return out
+}
+
+func maxIntProfiles(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func poolName(i int) string {
+	zones := []string{"us-east-1a", "us-east-1b", "us-east-1c", "us-east-1d",
+		"us-west-2a", "us-west-2b", "us-west-2c", "eu-west-1a", "eu-west-1b", "eu-west-1c"}
+	types := []string{"r3.large", "m3.xlarge", "m2.2xlarge", "m1.xlarge", "c3.2xlarge", "m3.2xlarge"}
+	return zones[i%len(zones)] + "/" + types[(i/len(zones))%len(types)]
+}
+
+// Preemptible models a GCE preemptible VM type: a fixed discounted price
+// and a hard 24-hour lifetime cap. Observed lifetimes concentrate near the
+// cap with an exponential tail of earlier preemptions, matching the CDFs
+// in the paper's Figure 2b (MTTFs of 20.3–22.9 h).
+type Preemptible struct {
+	Name     string
+	Price    float64 // fixed $/hr while running
+	OnDemand float64 // equivalent non-preemptible price
+	MeanLife float64 // target mean lifetime in seconds
+	MaxLife  float64 // hard revocation deadline (24 h on GCE)
+}
+
+// StandardGCEModels returns the three machine types from Figure 2b.
+func StandardGCEModels() []Preemptible {
+	return []Preemptible{
+		{Name: "f1-micro", Price: 0.0035, OnDemand: 0.0076,
+			MeanLife: simclock.Hours(21.68), MaxLife: simclock.Hours(24)},
+		{Name: "n1-standard-1", Price: 0.015, OnDemand: 0.050,
+			MeanLife: simclock.Hours(20.26), MaxLife: simclock.Hours(24)},
+		{Name: "n1-highmem-2", Price: 0.035, OnDemand: 0.126,
+			MeanLife: simclock.Hours(22.92), MaxLife: simclock.Hours(24)},
+	}
+}
+
+// SampleLifetime draws one preemptible-VM lifetime: the 24 h cap minus an
+// exponential shortfall whose mean reproduces the model's MeanLife, with
+// early preemptions truncated at zero.
+func (p Preemptible) SampleLifetime(rng *rand.Rand) float64 {
+	shortfallMean := p.MaxLife - p.MeanLife
+	if shortfallMean <= 0 {
+		return p.MaxLife
+	}
+	life := p.MaxLife - rng.ExpFloat64()*shortfallMean
+	if life < simclock.Minute {
+		life = simclock.Minute
+	}
+	return life
+}
+
+// SampleLifetimes draws n lifetimes for building the Figure 2b ECDF.
+func (p Preemptible) SampleLifetimes(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.SampleLifetime(rng)
+	}
+	return out
+}
+
+// MTTF returns the model's empirical mean lifetime estimated from nSamples
+// draws (analogous to the paper's measurement of >100 GCE instances).
+func (p Preemptible) MTTF(rng *rand.Rand, nSamples int) float64 {
+	if nSamples <= 0 {
+		nSamples = 100
+	}
+	s := 0.0
+	for i := 0; i < nSamples; i++ {
+		s += p.SampleLifetime(rng)
+	}
+	return s / float64(nSamples)
+}
+
+// AsTrace converts a preemptible model into a price trace with one
+// revocation per sampled lifetime: the price sits at the fixed discount
+// and momentarily exceeds any bid at each revocation instant. This lets
+// the rest of the system treat GCE pools uniformly with EC2 pools even
+// though GCE has no bidding (the paper makes the same observation: Flint's
+// policies apply because selection and checkpointing only need price and
+// MTTF, §2.1, §3.2.2).
+func (p Preemptible) AsTrace(seed int64, hours, stepSec float64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	horizon := hours * simclock.Hour
+	n := int(math.Ceil(horizon / stepSec))
+	prices := make([]float64, n)
+	for i := range prices {
+		prices[i] = p.Price
+	}
+	// Revocation instants: consecutive sampled lifetimes.
+	t := p.SampleLifetime(rng)
+	for t < horizon {
+		i := int(t / stepSec)
+		if i >= 0 && i < n {
+			prices[i] = p.OnDemand * 1e6 // exceeds any permissible bid
+		}
+		t += stepSec + p.SampleLifetime(rng)
+	}
+	return &Trace{Step: stepSec, Prices: prices}
+}

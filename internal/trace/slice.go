@@ -1,0 +1,25 @@
+package trace
+
+// Slice returns the sub-trace covering [t0, t1), re-based so its first
+// sample is at time 0. Bounds are clamped to the trace; an inverted or
+// fully out-of-range interval yields an empty trace with the same step.
+// Slicing shares the underlying price storage.
+func (tr *Trace) Slice(t0, t1 float64) *Trace {
+	out := &Trace{Step: tr.Step}
+	if len(tr.Prices) == 0 || t1 <= t0 {
+		return out
+	}
+	lo := int(t0 / tr.Step)
+	hi := int(t1 / tr.Step)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(tr.Prices) {
+		hi = len(tr.Prices)
+	}
+	if lo >= hi {
+		return out
+	}
+	out.Prices = tr.Prices[lo:hi]
+	return out
+}

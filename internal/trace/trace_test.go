@@ -1,0 +1,424 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"flint/internal/simclock"
+	"flint/internal/stats"
+)
+
+func flatTrace(price float64, steps int, step float64) *Trace {
+	p := make([]float64, steps)
+	for i := range p {
+		p[i] = price
+	}
+	return &Trace{Step: step, Prices: p}
+}
+
+func TestPriceAtClamps(t *testing.T) {
+	tr := &Trace{Step: 60, Prices: []float64{1, 2, 3}}
+	if tr.PriceAt(-5) != 1 {
+		t.Errorf("PriceAt(-5) = %v", tr.PriceAt(-5))
+	}
+	if tr.PriceAt(0) != 1 || tr.PriceAt(59) != 1 {
+		t.Error("first step wrong")
+	}
+	if tr.PriceAt(60) != 2 {
+		t.Error("second step wrong")
+	}
+	if tr.PriceAt(1e9) != 3 {
+		t.Error("clamp past end wrong")
+	}
+	if (&Trace{}).PriceAt(5) != 0 {
+		t.Error("empty trace should return 0")
+	}
+}
+
+func TestDurationAndMeanPrice(t *testing.T) {
+	tr := &Trace{Step: 30, Prices: []float64{1, 3}}
+	if tr.Duration() != 60 {
+		t.Errorf("Duration = %v", tr.Duration())
+	}
+	if tr.MeanPrice() != 2 {
+		t.Errorf("MeanPrice = %v", tr.MeanPrice())
+	}
+	if (&Trace{}).MeanPrice() != 0 {
+		t.Error("empty MeanPrice should be 0")
+	}
+}
+
+func TestIntegrateFlat(t *testing.T) {
+	// $1/hr for exactly 2 hours = $2.
+	tr := flatTrace(1, 200, 60)
+	got := tr.Integrate(0, 2*simclock.Hour)
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("Integrate = %v, want 2", got)
+	}
+	// Partial interval.
+	got = tr.Integrate(0, 30*simclock.Minute)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("half-hour Integrate = %v, want 0.5", got)
+	}
+	if tr.Integrate(5, 5) != 0 || tr.Integrate(10, 5) != 0 {
+		t.Error("degenerate interval should cost 0")
+	}
+}
+
+func TestIntegrateStepBoundary(t *testing.T) {
+	// First hour at $1, second hour at $3.
+	tr := &Trace{Step: simclock.Hour, Prices: []float64{1, 3}}
+	got := tr.Integrate(0, 2*simclock.Hour)
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("Integrate = %v, want 4", got)
+	}
+	got = tr.Integrate(30*simclock.Minute, 90*simclock.Minute)
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("straddling Integrate = %v, want 2", got)
+	}
+}
+
+func TestIntegrateExtrapolatesPastEnd(t *testing.T) {
+	tr := flatTrace(2, 10, 60) // 10 minutes of $2/hr
+	got := tr.Integrate(0, 2*simclock.Hour)
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("extrapolated Integrate = %v, want 4", got)
+	}
+}
+
+func TestMeanPriceOver(t *testing.T) {
+	tr := &Trace{Step: simclock.Hour, Prices: []float64{1, 3}}
+	got := tr.MeanPriceOver(0, 2*simclock.Hour)
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("MeanPriceOver = %v, want 2", got)
+	}
+}
+
+func TestNextRevocationAndAcquisition(t *testing.T) {
+	// bid=1: price pattern low low HIGH low.
+	tr := &Trace{Step: 60, Prices: []float64{0.5, 0.5, 2.0, 0.5}}
+	at, ok := tr.NextRevocation(0, 1)
+	if !ok || at != 120 {
+		t.Errorf("NextRevocation = %v,%v want 120,true", at, ok)
+	}
+	// From inside the spike, acquisition waits for the price to drop.
+	at, ok = tr.NextAcquisition(125, 1)
+	if !ok || at != 180 {
+		t.Errorf("NextAcquisition = %v,%v want 180,true", at, ok)
+	}
+	// Acquisition at a time already below bid is immediate.
+	at, ok = tr.NextAcquisition(30, 1)
+	if !ok || at != 30 {
+		t.Errorf("immediate NextAcquisition = %v,%v want 30,true", at, ok)
+	}
+	// No revocation when bidding above the max price.
+	if _, ok := tr.NextRevocation(0, 10); ok {
+		t.Error("should never revoke at bid 10")
+	}
+	// No acquisition when bidding below the min price.
+	if _, ok := tr.NextAcquisition(0, 0.1); ok {
+		t.Error("should never acquire at bid 0.1")
+	}
+}
+
+func TestAnalyzeBidFlatMarket(t *testing.T) {
+	tr := flatTrace(0.5, 1000, 60)
+	st := tr.AnalyzeBid(1)
+	if st.Revocations != 0 {
+		t.Errorf("revocations = %d, want 0", st.Revocations)
+	}
+	if !math.IsInf(st.MTTF, 1) {
+		t.Errorf("MTTF = %v, want +Inf", st.MTTF)
+	}
+	if math.Abs(st.AvgPrice-0.5) > 1e-9 {
+		t.Errorf("AvgPrice = %v, want 0.5", st.AvgPrice)
+	}
+	if math.Abs(st.UpFraction-1) > 1e-9 {
+		t.Errorf("UpFraction = %v, want 1", st.UpFraction)
+	}
+}
+
+func TestAnalyzeBidUnusableMarket(t *testing.T) {
+	tr := flatTrace(5, 100, 60)
+	st := tr.AnalyzeBid(1)
+	if st.MTTF != 0 || st.UpFraction != 0 {
+		t.Errorf("unusable market: MTTF=%v UpFraction=%v", st.MTTF, st.UpFraction)
+	}
+}
+
+func TestAnalyzeBidPeriodicSpikes(t *testing.T) {
+	// 1-hour cycle: 50 low steps then 10 high steps (step = 1 min).
+	var prices []float64
+	for c := 0; c < 24; c++ {
+		for i := 0; i < 50; i++ {
+			prices = append(prices, 0.2)
+		}
+		for i := 0; i < 10; i++ {
+			prices = append(prices, 3.0)
+		}
+	}
+	tr := &Trace{Step: 60, Prices: prices}
+	st := tr.AnalyzeBid(1)
+	if st.Revocations != 24 {
+		t.Errorf("revocations = %d, want 24", st.Revocations)
+	}
+	if math.Abs(st.MTTF-50*60) > 1 {
+		t.Errorf("MTTF = %v, want 3000", st.MTTF)
+	}
+	if math.Abs(st.AvgPrice-0.2) > 1e-9 {
+		t.Errorf("AvgPrice = %v, want 0.2 (only pay while holding)", st.AvgPrice)
+	}
+	if len(st.Lifetimes) != 24 {
+		t.Errorf("lifetime samples = %d", len(st.Lifetimes))
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := USWest2c()
+	if err := good.Validate(); err != nil {
+		t.Errorf("standard profile invalid: %v", err)
+	}
+	bad := good
+	bad.OnDemand = 0
+	if bad.Validate() == nil {
+		t.Error("zero OnDemand should be invalid")
+	}
+	bad = good
+	bad.BaseFrac = 1.5
+	if bad.Validate() == nil {
+		t.Error("BaseFrac > 1 should be invalid")
+	}
+	bad = good
+	bad.SpikeMagMin, bad.SpikeMagMax = 5, 2
+	if bad.Validate() == nil {
+		t.Error("inverted magnitudes should be invalid")
+	}
+	bad = good
+	bad.SpikesPerHour = -1
+	if bad.Validate() == nil {
+		t.Error("negative spike rate should be invalid")
+	}
+}
+
+// The generated profiles must reproduce the paper's Figure 2a ordering:
+// sa-east-1a (≈19 h) << eu-west-1c (≈100 h) << us-west-2c (≈700 h) at an
+// on-demand bid.
+func TestStandardProfilesMTTFOrdering(t *testing.T) {
+	const hours = 24 * 30 * 6 // six months, like the paper's trace window
+	var mttfs []float64
+	for _, p := range StandardEC2Profiles() {
+		tr := p.Generate(42, hours, 5*simclock.Minute)
+		st := tr.AnalyzeBid(p.OnDemand)
+		mttfs = append(mttfs, st.MTTF/simclock.Hour)
+	}
+	us, eu, sa := mttfs[0], mttfs[1], mttfs[2]
+	if !(sa < eu && eu < us) {
+		t.Fatalf("MTTF ordering wrong: us=%.0f eu=%.0f sa=%.0f", us, eu, sa)
+	}
+	if sa < 8 || sa > 40 {
+		t.Errorf("sa-east-1a MTTF = %.1f h, want ≈ 18.8 h", sa)
+	}
+	if eu < 50 || eu > 220 {
+		t.Errorf("eu-west-1c MTTF = %.1f h, want ≈ 101 h", eu)
+	}
+	if us < 250 {
+		t.Errorf("us-west-2c MTTF = %.1f h, want ≈ 700 h", us)
+	}
+}
+
+func TestGeneratedSpotPriceIsDiscounted(t *testing.T) {
+	p := EUWest1c()
+	tr := p.Generate(7, 24*30, simclock.Minute)
+	st := tr.AnalyzeBid(p.OnDemand)
+	// Paper: transient servers are ~70-90% cheaper than on-demand.
+	if st.AvgPrice > 0.4*p.OnDemand {
+		t.Errorf("avg spot price %.3f not well below on-demand %.3f", st.AvgPrice, p.OnDemand)
+	}
+	if st.AvgPrice <= 0 {
+		t.Error("avg price must be positive")
+	}
+}
+
+func TestPoolSet(t *testing.T) {
+	pools := PoolSet(20, 1)
+	if len(pools) != 20 {
+		t.Fatalf("PoolSet returned %d pools", len(pools))
+	}
+	names := map[string]bool{}
+	for _, p := range pools {
+		if err := p.Validate(); err != nil {
+			t.Errorf("pool %q invalid: %v", p.Name, err)
+		}
+		names[p.Name] = true
+	}
+	if len(names) != 20 {
+		t.Errorf("pool names not unique: %d distinct", len(names))
+	}
+	// Determinism.
+	again := PoolSet(20, 1)
+	for i := range pools {
+		if pools[i] != again[i] {
+			t.Fatal("PoolSet not deterministic for same seed")
+		}
+	}
+}
+
+func TestGenerateFamilyCorrelation(t *testing.T) {
+	pools := PoolSet(6, 3)
+	// Markets 0 and 1 share a spike process; the rest are independent.
+	traces := GenerateFamily(pools, 99, 24*60, simclock.Minute, [][]int{{0, 1}})
+	series := make([][]float64, len(traces))
+	for i, tr := range traces {
+		series[i] = tr.Prices
+	}
+	m := stats.CorrelationMatrix(series)
+	if m[0][1] < 0.4 {
+		t.Errorf("correlated group pair r = %.2f, want ≥ 0.4", m[0][1])
+	}
+	// Independent pairs should be weakly correlated.
+	if math.Abs(m[2][3]) > 0.35 {
+		t.Errorf("independent pair r = %.2f, want near 0", m[2][3])
+	}
+}
+
+func TestPreemptibleLifetimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, m := range StandardGCEModels() {
+		lives := m.SampleLifetimes(rng, 500)
+		for _, l := range lives {
+			if l <= 0 || l > m.MaxLife {
+				t.Fatalf("%s lifetime %v out of (0, 24h]", m.Name, l/simclock.Hour)
+			}
+		}
+		mean := stats.Mean(lives) / simclock.Hour
+		want := m.MeanLife / simclock.Hour
+		if math.Abs(mean-want) > 2.5 {
+			t.Errorf("%s mean lifetime %.1f h, want ≈ %.1f h", m.Name, mean, want)
+		}
+	}
+}
+
+func TestPreemptibleMTTF(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := StandardGCEModels()[0]
+	got := m.MTTF(rng, 1000) / simclock.Hour
+	if got < 18 || got > 24 {
+		t.Errorf("MTTF = %.1f h, want ≈ 21.7 h", got)
+	}
+	if m.MTTF(rng, 0) <= 0 {
+		t.Error("MTTF with default samples should be positive")
+	}
+}
+
+func TestPreemptibleAsTrace(t *testing.T) {
+	m := StandardGCEModels()[1]
+	tr := m.AsTrace(13, 24*14, simclock.Minute)
+	st := tr.AnalyzeBid(m.OnDemand)
+	if st.Revocations < 5 {
+		t.Errorf("two weeks of preemptible should revoke ≥ 5 times, got %d", st.Revocations)
+	}
+	mttfH := st.MTTF / simclock.Hour
+	if mttfH < 12 || mttfH > 24 {
+		t.Errorf("preemptible trace MTTF = %.1f h", mttfH)
+	}
+	if math.Abs(st.AvgPrice-m.Price) > 1e-6 {
+		t.Errorf("preemptible AvgPrice = %v, want fixed %v", st.AvgPrice, m.Price)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	p := SAEast1a()
+	tr := p.Generate(21, 48, simclock.Minute)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Step != tr.Step || back.Len() != tr.Len() {
+		t.Fatalf("round trip shape: step %v/%v len %d/%d", back.Step, tr.Step, back.Len(), tr.Len())
+	}
+	for i := range tr.Prices {
+		if math.Abs(back.Prices[i]-tr.Prices[i]) > 1e-12 {
+			t.Fatalf("price %d mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("time_s,price_per_hr\n")); err == nil {
+		t.Error("empty data should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("h\nbad")); err == nil {
+		t.Error("wrong field count should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("t,p\nx,1\n")); err == nil {
+		t.Error("bad time should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("t,p\n1,y\n")); err == nil {
+		t.Error("bad price should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("t,p\n5,1\n5,2\n")); err == nil {
+		t.Error("non-increasing time should error")
+	}
+}
+
+// Property: AnalyzeBid invariants across random profiles and bids —
+// prices paid are ≤ bid on average, MTTF positive or infinite, and
+// UpFraction ∈ [0,1]; higher bids never decrease MTTF.
+func TestPropertyAnalyzeBid(t *testing.T) {
+	pools := PoolSet(8, 77)
+	traces := make([]*Trace, len(pools))
+	for i, p := range pools {
+		traces[i] = p.Generate(int64(i)+100, 24*21, 2*simclock.Minute)
+	}
+	f := func(poolIdx uint8, bidFrac uint8) bool {
+		tr := traces[int(poolIdx)%len(traces)]
+		p := pools[int(poolIdx)%len(pools)]
+		bid := p.OnDemand * (0.3 + 2*float64(bidFrac)/255)
+		st := tr.AnalyzeBid(bid)
+		if st.UpFraction < 0 || st.UpFraction > 1+1e-9 {
+			return false
+		}
+		if st.Revocations > 0 && (st.MTTF <= 0 || math.IsInf(st.MTTF, 1)) {
+			return false
+		}
+		if st.UpFraction > 0 && st.AvgPrice > bid+1e-9 {
+			return false
+		}
+		// Monotonicity: doubling the bid cannot reduce MTTF.
+		st2 := tr.AnalyzeBid(bid * 2)
+		return st2.MTTF >= st.MTTF-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	p := EUWest1c()
+	a := p.Generate(5, 24, simclock.Minute)
+	b := p.Generate(5, 24, simclock.Minute)
+	for i := range a.Prices {
+		if a.Prices[i] != b.Prices[i] {
+			t.Fatal("Generate not deterministic")
+		}
+	}
+	c := p.Generate(6, 24, simclock.Minute)
+	same := true
+	for i := range a.Prices {
+		if a.Prices[i] != c.Prices[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}

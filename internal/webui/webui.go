@@ -1,0 +1,154 @@
+// Package webui serves a JSON monitoring interface over a Flint
+// deployment — the counterpart of the web interface the paper's managed
+// service gives users "to monitor job progress" (§4).
+//
+// Endpoints:
+//
+//	GET /status   cluster composition, revocation counters, cost report
+//	GET /markets  the current market snapshot the policies see
+//	GET /metrics  engine and checkpoint-store counters
+//
+// The simulator is single-threaded by design: serve and query this
+// handler between jobs (or after a run), not concurrently with a
+// RunJob in another goroutine.
+package webui
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+
+	"flint/internal/core"
+	"flint/internal/market"
+	"flint/internal/policy"
+	"flint/internal/simclock"
+)
+
+// NodeInfo describes one live or pending server.
+type NodeInfo struct {
+	ID   int    `json:"id"`
+	Pool string `json:"pool"`
+}
+
+// Status is the /status payload.
+type Status struct {
+	VirtualTime  float64         `json:"virtual_time_s"`
+	LiveNodes    []NodeInfo      `json:"live_nodes"`
+	PendingNodes []NodeInfo      `json:"pending_nodes"`
+	Revocations  int             `json:"revocations"`
+	Replacements int             `json:"replacements"`
+	Warnings     int             `json:"warnings"`
+	Cost         core.CostReport `json:"cost"`
+}
+
+// MarketInfo is one /markets entry.
+type MarketInfo struct {
+	Name     string  `json:"name"`
+	MTTFh    float64 `json:"mttf_h"` // -1 encodes "infinite"
+	AvgPrice float64 `json:"avg_price_per_hr"`
+	Factor   float64 `json:"expected_runtime_factor"`
+	CostRate float64 `json:"cost_per_useful_hr"`
+	Spiking  bool    `json:"spiking"`
+}
+
+// Metrics is the /metrics payload.
+type Metrics struct {
+	TasksLaunched   int     `json:"tasks_launched"`
+	TasksKilled     int     `json:"tasks_killed"`
+	CheckpointTasks int     `json:"checkpoint_tasks"`
+	CheckpointBytes int64   `json:"checkpoint_bytes"`
+	ComputeSeconds  float64 `json:"compute_slot_seconds"`
+	CkptSeconds     float64 `json:"checkpoint_slot_seconds"`
+	StoreBytes      int64   `json:"store_bytes"`
+	StorePuts       int     `json:"store_puts"`
+	StorageCost     float64 `json:"storage_cost_dollars"`
+	Tau             float64 `json:"checkpoint_interval_s"` // -1 encodes "infinite"
+	Delta           float64 `json:"checkpoint_time_s"`
+}
+
+// Server wires a deployment to HTTP handlers.
+type Server struct {
+	f    *core.Flint
+	exch *market.Exchange
+	mux  *http.ServeMux
+}
+
+// New builds the monitoring handler for a deployment.
+func New(f *core.Flint, exch *market.Exchange) *Server {
+	s := &Server{f: f, exch: exch, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /status", s.status)
+	s.mux.HandleFunc("GET /markets", s.markets)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	st := Status{
+		VirtualTime:  s.f.Clock.Now(),
+		Revocations:  s.f.Cluster.RevocationCount,
+		Replacements: s.f.Cluster.ReplacementCount,
+		Warnings:     s.f.Cluster.WarningCount,
+		Cost:         s.f.Cost(),
+		LiveNodes:    []NodeInfo{},
+		PendingNodes: []NodeInfo{},
+	}
+	for _, n := range s.f.Cluster.LiveNodes() {
+		st.LiveNodes = append(st.LiveNodes, NodeInfo{ID: n.ID, Pool: n.Pool})
+	}
+	for _, n := range s.f.Cluster.PendingNodes() {
+		st.PendingNodes = append(st.PendingNodes, NodeInfo{ID: n.ID, Pool: n.Pool})
+	}
+	writeJSON(w, st)
+}
+
+func (s *Server) markets(w http.ResponseWriter, r *http.Request) {
+	out := []MarketInfo{}
+	for _, mi := range policy.Snapshot(s.exch, s.f.Clock.Now(), policy.DefaultParams()) {
+		m := MarketInfo{
+			Name: mi.Pool.Name, AvgPrice: mi.AvgPrice,
+			Factor: mi.Factor, CostRate: mi.CostRate, Spiking: mi.Spiking,
+			MTTFh: -1,
+		}
+		if !math.IsInf(mi.MTTF, 1) {
+			m.MTTFh = mi.MTTF / simclock.Hour
+		}
+		out = append(out, m)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	em := s.f.Engine.Metrics
+	usage := s.f.Store.UsageAt(s.f.Clock.Now())
+	m := Metrics{
+		TasksLaunched:   em.TasksLaunched,
+		TasksKilled:     em.TasksKilled,
+		CheckpointTasks: em.CheckpointTasks,
+		CheckpointBytes: em.CheckpointBytes,
+		ComputeSeconds:  em.ComputeSeconds,
+		CkptSeconds:     em.CkptSeconds,
+		StoreBytes:      usage.CurrentBytes,
+		StorePuts:       usage.Puts,
+		StorageCost:     usage.StorageCost,
+		Tau:             -1,
+	}
+	if s.f.Manager != nil {
+		if tau := s.f.Manager.Tau(); !math.IsInf(tau, 1) {
+			m.Tau = tau
+		}
+		m.Delta = s.f.Manager.Delta()
+	}
+	writeJSON(w, m)
+}

@@ -1,0 +1,125 @@
+package webui
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"flint/internal/core"
+	"flint/internal/market"
+	"flint/internal/rdd"
+	"flint/internal/trace"
+	"flint/internal/workload"
+)
+
+func deployment(t *testing.T) (*core.Flint, *market.Exchange, *rdd.Context) {
+	t.Helper()
+	exch, err := market.SpotExchange(trace.StandardEC2Profiles(), 3, 24*7, 24*7, market.BillPerSecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := rdd.NewContext(8)
+	spec := core.DefaultSpec()
+	spec.Cluster.Size = 4
+	f, err := core.Launch(exch, ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Stop)
+	return f, exch, ctx
+}
+
+func get(t *testing.T, srv *Server, path string, into any) int {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), into); err != nil {
+			t.Fatalf("%s: bad JSON: %v\n%s", path, err, rec.Body.String())
+		}
+	}
+	return rec.Code
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	f, exch, ctx := deployment(t)
+	srv := New(f, exch)
+	// Do some work, lose a node.
+	if _, _, err := workload.RunWordCount(f, ctx, workload.WordCountConfig{Docs: 50, WordsPerDoc: 10, Vocab: 20, Parts: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Cluster.RevokeNow(f.Cluster.LiveNodes()[0].ID, true); err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if code := get(t, srv, "/status", &st); code != http.StatusOK {
+		t.Fatalf("status code = %d", code)
+	}
+	if len(st.LiveNodes) != 3 || len(st.PendingNodes) != 1 {
+		t.Errorf("nodes = %d live / %d pending", len(st.LiveNodes), len(st.PendingNodes))
+	}
+	if st.Revocations != 1 {
+		t.Errorf("revocations = %d", st.Revocations)
+	}
+	if st.Cost.Total <= 0 {
+		t.Errorf("cost = %+v", st.Cost)
+	}
+	if st.VirtualTime <= 0 {
+		t.Error("virtual time missing")
+	}
+}
+
+func TestMarketsEndpoint(t *testing.T) {
+	f, exch, _ := deployment(t)
+	srv := New(f, exch)
+	var ms []MarketInfo
+	if code := get(t, srv, "/markets", &ms); code != http.StatusOK {
+		t.Fatalf("status code = %d", code)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("markets = %d, want 4", len(ms))
+	}
+	foundOD := false
+	for _, m := range ms {
+		if m.Name == "on-demand" {
+			foundOD = true
+			if m.MTTFh != -1 || m.Factor != 1 {
+				t.Errorf("on-demand entry = %+v", m)
+			}
+		} else if m.MTTFh <= 0 {
+			t.Errorf("%s MTTF = %v", m.Name, m.MTTFh)
+		}
+	}
+	if !foundOD {
+		t.Error("on-demand missing")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	f, exch, ctx := deployment(t)
+	srv := New(f, exch)
+	if _, _, err := workload.RunWordCount(f, ctx, workload.WordCountConfig{Docs: 50, WordsPerDoc: 10, Vocab: 20, Parts: 4}); err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	if code := get(t, srv, "/metrics", &m); code != http.StatusOK {
+		t.Fatalf("status code = %d", code)
+	}
+	if m.TasksLaunched == 0 || m.ComputeSeconds <= 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.Delta <= 0 {
+		t.Errorf("delta = %v (FT manager not wired?)", m.Delta)
+	}
+}
+
+func TestUnknownPath(t *testing.T) {
+	f, exch, _ := deployment(t)
+	srv := New(f, exch)
+	var v any
+	if code := get(t, srv, "/nope", &v); code != http.StatusNotFound {
+		t.Fatalf("unknown path code = %d", code)
+	}
+}

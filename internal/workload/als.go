@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"flint/internal/exec"
+	"flint/internal/rdd"
+)
+
+// ALSConfig sizes the Alternating Least Squares workload: the paper's
+// shuffle-intensive recommender (mllib MovieLensALS on a 10 GB dataset),
+// where each transformation is heavier than KMeans and every half-
+// iteration shuffles factor vectors between users and items.
+type ALSConfig struct {
+	Users          int     // default 2000
+	Items          int     // default 500
+	RatingsPerUser int     // default 20
+	Rank           int     // latent factor dimension (default 8)
+	Lambda         float64 // regularization (default 0.1)
+	Parts          int     // default 20
+	Iterations     int     // full alternations (default 5)
+	TargetBytes    int64   // virtual dataset size (default 10 GB)
+	Weight         float64 // compute-cost multiplier (default 6)
+	Seed           int64
+}
+
+func (c ALSConfig) withDefaults() ALSConfig {
+	if c.Users <= 0 {
+		c.Users = 2000
+	}
+	if c.Items <= 0 {
+		c.Items = 500
+	}
+	if c.RatingsPerUser <= 0 {
+		c.RatingsPerUser = 20
+	}
+	if c.Rank <= 0 {
+		c.Rank = 8
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 0.1
+	}
+	if c.Parts <= 0 {
+		c.Parts = 20
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 5
+	}
+	if c.TargetBytes <= 0 {
+		c.TargetBytes = 10 << 30
+	}
+	if c.Weight <= 0 {
+		c.Weight = 6
+	}
+	if c.Seed == 0 {
+		c.Seed = 11
+	}
+	return c
+}
+
+// rating is one observation.
+type rating struct {
+	User, Item int
+	Score      float64
+}
+
+// factorPair carries a counterpart factor vector with an observed score
+// through the join.
+type factorPair struct {
+	Vec   []float64
+	Score float64
+}
+
+// genTrueFactor returns the ground-truth latent vector for an entity,
+// deterministic in (seed, id).
+func genTrueFactor(seed int64, id, rank int) []float64 {
+	rng := partRNG(seed, id)
+	v := make([]float64, rank)
+	for i := range v {
+		v[i] = 0.2 + rng.Float64()
+	}
+	return v
+}
+
+// BuildALSRatings generates the synthetic low-rank ratings RDD: each
+// user rates RatingsPerUser random items with score = uᵀv + noise.
+func BuildALSRatings(c *rdd.Context, cfg ALSConfig) *rdd.RDD {
+	cfg = cfg.withDefaults()
+	total := cfg.Users * cfg.RatingsPerUser
+	rowBytes := rowBytesFor(cfg.TargetBytes, total)
+	return c.Parallelize("ratings", cfg.Parts, rowBytes, func(part int) []rdd.Row {
+		rng := partRNG(cfg.Seed, part)
+		var out []rdd.Row
+		for u := part; u < cfg.Users; u += cfg.Parts {
+			uv := genTrueFactor(cfg.Seed+1, u, cfg.Rank)
+			for r := 0; r < cfg.RatingsPerUser; r++ {
+				item := rng.Intn(cfg.Items)
+				iv := genTrueFactor(cfg.Seed+2, item, cfg.Rank)
+				score := vecDot(uv, iv) + 0.05*rng.NormFloat64()
+				out = append(out, rating{User: u, Item: item, Score: score})
+			}
+		}
+		return out
+	}).WithWeight(cfg.Weight).Persist()
+}
+
+// solveSide computes one ALS half-step as RDDs: join the ratings (keyed
+// by the counterpart entity) with the counterpart factors, regroup by the
+// entity being solved, and solve the regularized normal equations per
+// entity. Returns KV{entity, []float64}. solveUsers selects which end of
+// each rating becomes the regroup key.
+func solveSide(name string, solveUsers bool, keyed, counterpartFactors *rdd.RDD, cfg ALSConfig) *rdd.RDD {
+	joined := keyed.Join(name+":join", counterpartFactors, cfg.Parts).WithWeight(cfg.Weight)
+	regrouped := joined.Map(name+":flip", func(r rdd.Row) rdd.Row {
+		kv := r.(rdd.KV)
+		pair := kv.V.(rdd.JoinPair)
+		rt := pair.L.(rating)
+		vec := pair.R.([]float64)
+		entity := rt.Item
+		if solveUsers {
+			entity = rt.User
+		}
+		return rdd.KV{K: entity, V: factorPair{Vec: vec, Score: rt.Score}}
+	}).GroupByKey(name+":group", cfg.Parts)
+	return regrouped.MapValues(name+":solve", func(v rdd.Row) rdd.Row {
+		rows := v.([]rdd.Row)
+		k := cfg.Rank
+		a := make([]float64, k*k)
+		b := make([]float64, k)
+		for _, r := range rows {
+			fp := r.(factorPair)
+			for i := 0; i < k; i++ {
+				for j := 0; j < k; j++ {
+					a[i*k+j] += fp.Vec[i] * fp.Vec[j]
+				}
+				b[i] += fp.Score * fp.Vec[i]
+			}
+		}
+		for i := 0; i < k; i++ {
+			a[i*k+i] += cfg.Lambda * float64(len(rows))
+		}
+		return solveSPD(a, b, k)
+	}).WithWeight(cfg.Weight).Persist()
+}
+
+// ALSResult is the workload outcome.
+type ALSResult struct {
+	RMSE      float64
+	UserCount int
+	ItemCount int
+}
+
+// RunALS runs the alternating optimization. Each half-iteration is one
+// materialize job over a join + groupBy + solve pipeline; the final job
+// computes the training RMSE.
+func RunALS(run Runner, c *rdd.Context, cfg ALSConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	ratings := BuildALSRatings(c, cfg)
+	// Ratings keyed by each side, cached: the join inputs of every
+	// half-iteration.
+	itemKeyed := ratings.Map("byItem", func(r rdd.Row) rdd.Row {
+		rt := r.(rating)
+		return rdd.KV{K: rt.Item, V: rt}
+	}).Persist()
+	userKeyed := ratings.Map("byUser", func(r rdd.Row) rdd.Row {
+		rt := r.(rating)
+		return rdd.KV{K: rt.User, V: rt}
+	}).Persist()
+
+	// Initial item factors: small deterministic vectors.
+	itemFactors := c.Parallelize("itemFactors0", cfg.Parts, 8*cfg.Rank+16, func(part int) []rdd.Row {
+		var out []rdd.Row
+		for i := part; i < cfg.Items; i += cfg.Parts {
+			v := make([]float64, cfg.Rank)
+			for j := range v {
+				v[j] = 0.5
+			}
+			out = append(out, rdd.KV{K: i, V: v})
+		}
+		return out
+	}).Persist()
+
+	rep := &Report{Name: "als"}
+	start := math.Inf(1)
+	var lastEnd float64
+	var userFactors *rdd.RDD
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		userFactors = solveSide(fmt.Sprintf("users%d", iter), true, itemKeyed, itemFactors, cfg)
+		res, err := run.RunJob(userFactors, exec.ActionMaterialize)
+		if err != nil {
+			return nil, err
+		}
+		if res.Start < start {
+			start = res.Start
+		}
+		lastEnd = res.End
+		rep.Jobs++
+		accumulate(&rep.Stats, res.Stats)
+
+		itemFactors = solveSide(fmt.Sprintf("items%d", iter), false, userKeyed, userFactors, cfg)
+		res, err = run.RunJob(itemFactors, exec.ActionMaterialize)
+		if err != nil {
+			return nil, err
+		}
+		lastEnd = res.End
+		rep.Jobs++
+		accumulate(&rep.Stats, res.Stats)
+	}
+
+	// RMSE: join ratings with both factor tables and accumulate error.
+	predInputs := itemKeyed.Join("rmse:item", itemFactors, cfg.Parts).
+		Map("rmse:byUser", func(r rdd.Row) rdd.Row {
+			kv := r.(rdd.KV)
+			pair := kv.V.(rdd.JoinPair)
+			rt := pair.L.(rating)
+			return rdd.KV{K: rt.User, V: factorPair{Vec: pair.R.([]float64), Score: rt.Score}}
+		}).
+		Join("rmse:user", userFactors, cfg.Parts).
+		Map("rmse:sqerr", func(r rdd.Row) rdd.Row {
+			kv := r.(rdd.KV)
+			pair := kv.V.(rdd.JoinPair)
+			fp := pair.L.(factorPair)
+			uv := pair.R.([]float64)
+			err := fp.Score - vecDot(uv, fp.Vec)
+			return rdd.KV{K: 0, V: [2]float64{err * err, 1}}
+		}).
+		ReduceByKey("rmse:sum", 1, func(a, b rdd.Row) rdd.Row {
+			x, y := a.([2]float64), b.([2]float64)
+			return [2]float64{x[0] + y[0], x[1] + y[1]}
+		})
+	res, err := run.RunJob(predInputs, exec.ActionCollect)
+	if err != nil {
+		return nil, err
+	}
+	rep.Jobs++
+	accumulate(&rep.Stats, res.Stats)
+	lastEnd = res.End
+
+	out := ALSResult{UserCount: cfg.Users, ItemCount: cfg.Items}
+	if len(res.Rows) == 1 {
+		se := res.Rows[0].(rdd.KV).V.([2]float64)
+		if se[1] > 0 {
+			out.RMSE = math.Sqrt(se[0] / se[1])
+		}
+	}
+	rep.Outcome = out
+	rep.RunningTime = lastEnd - start
+	return rep, nil
+}

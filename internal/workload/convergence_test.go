@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"testing"
+
+	"flint/internal/exec"
+	"flint/internal/rdd"
+)
+
+// ALS must actually optimize: more alternations, lower training RMSE.
+func TestALSRMSEImprovesWithIterations(t *testing.T) {
+	run := func(iters int) float64 {
+		tb := exec.MustTestbed(exec.TestbedOpts{Nodes: 5})
+		c := rdd.NewContext(8)
+		rep, err := RunALS(tb.Engine, c, ALSConfig{
+			Users: 300, Items: 80, RatingsPerUser: 12, Rank: 4,
+			Parts: 8, Iterations: iters, TargetBytes: 128 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Outcome.(ALSResult).RMSE
+	}
+	one := run(1)
+	four := run(4)
+	if four >= one {
+		t.Errorf("RMSE did not improve with iterations: 1 iter %.4f vs 4 iters %.4f", one, four)
+	}
+}
+
+// KMeans cost must fall monotonically across Lloyd iterations (a
+// classical invariant of the algorithm).
+func TestKMeansCostImprovesWithIterations(t *testing.T) {
+	run := func(iters int) float64 {
+		tb := exec.MustTestbed(exec.TestbedOpts{Nodes: 5})
+		c := rdd.NewContext(8)
+		rep, err := RunKMeans(tb.Engine, c, KMeansConfig{
+			Points: 800, Dims: 4, K: 5, Parts: 8, Iterations: iters, TargetBytes: 64 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Outcome.(KMeansResult).Cost
+	}
+	one := run(1)
+	six := run(6)
+	if six > one {
+		t.Errorf("KMeans cost rose with iterations: %v → %v", one, six)
+	}
+}
+
+// PageRank ranks must change monotonically less between successive
+// iteration counts (power iteration converges).
+func TestPageRankConvergenceRate(t *testing.T) {
+	ranksAt := func(iters int) map[int]float64 {
+		tb := exec.MustTestbed(exec.TestbedOpts{Nodes: 5})
+		c := rdd.NewContext(8)
+		rep, err := RunPageRank(tb.Engine, c, PageRankConfig{
+			Vertices: 300, AvgDegree: 5, Parts: 8, Iterations: iters, TargetBytes: 32 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Outcome.(map[int]float64)
+	}
+	l1 := func(a, b map[int]float64) float64 {
+		d := 0.0
+		for k, v := range a {
+			x := v - b[k]
+			if x < 0 {
+				x = -x
+			}
+			d += x
+		}
+		return d
+	}
+	r4, r5 := ranksAt(4), ranksAt(5)
+	r9, r10 := ranksAt(9), ranksAt(10)
+	early := l1(r4, r5)
+	late := l1(r9, r10)
+	if late >= early {
+		t.Errorf("PageRank not converging: step-4→5 delta %.4f vs step-9→10 delta %.4f", early, late)
+	}
+}
+
+// The workloads must be revocation-transparent: interleaving failures
+// anywhere in a KMeans run cannot change the final centroids.
+func TestKMeansDeterministicUnderFailures(t *testing.T) {
+	run := func(fail bool) KMeansResult {
+		tb := exec.MustTestbed(exec.TestbedOpts{Nodes: 5})
+		if fail {
+			tb.RevokeNodes(20, 2, true)
+			tb.RevokeNodes(200, 1, true)
+		}
+		c := rdd.NewContext(8)
+		rep, err := RunKMeans(tb.Engine, c, KMeansConfig{
+			Points: 600, Dims: 4, K: 4, Parts: 8, Iterations: 5, TargetBytes: 512 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Outcome.(KMeansResult)
+	}
+	clean := run(false)
+	faulty := run(true)
+	if clean.Cost != faulty.Cost {
+		t.Fatalf("failures changed KMeans cost: %v vs %v", clean.Cost, faulty.Cost)
+	}
+	for i := range clean.Centroids {
+		for j := range clean.Centroids[i] {
+			if clean.Centroids[i][j] != faulty.Centroids[i][j] {
+				t.Fatalf("centroid %d differs under failures", i)
+			}
+		}
+	}
+}
+
+// TPC-H queries must be revocation-transparent too.
+func TestTPCHDeterministicUnderFailures(t *testing.T) {
+	run := func(fail bool) []Q1Row {
+		tb := exec.MustTestbed(exec.TestbedOpts{Nodes: 5})
+		c := rdd.NewContext(8)
+		tp := BuildTPCH(c, TPCHConfig{Customers: 80, OrdersPerCust: 5, LinesPerOrder: 3, Parts: 8, TargetBytes: 512 << 20})
+		if _, err := tp.Load(tb.Engine); err != nil {
+			t.Fatal(err)
+		}
+		if fail {
+			tb.RevokeNodes(tb.Clock.Now()+1, 3, true)
+			tb.Clock.RunUntil(tb.Clock.Now() + 2)
+		}
+		rows, _, err := tp.Q1(tb.Engine, 1, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs under failures: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

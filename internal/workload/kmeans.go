@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"flint/internal/exec"
+	"flint/internal/rdd"
+)
+
+// KMeansConfig sizes the KMeans workload: the paper's compute-intensive
+// application (mllib DenseKMeans over a random 16 GB dataset) — a chain
+// of narrow transformations plus one shuffle per iteration.
+type KMeansConfig struct {
+	Points      int     // total points (default 20000)
+	Dims        int     // dimensions (default 8)
+	K           int     // clusters (default 10)
+	Parts       int     // partitions (default 20)
+	Iterations  int     // Lloyd iterations (default 10)
+	TargetBytes int64   // virtual dataset size (default 16 GB, as in the paper)
+	Weight      float64 // compute-cost multiplier (default 4: compute-bound)
+	Seed        int64
+}
+
+func (c KMeansConfig) withDefaults() KMeansConfig {
+	if c.Points <= 0 {
+		c.Points = 20000
+	}
+	if c.Dims <= 0 {
+		c.Dims = 8
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.Parts <= 0 {
+		c.Parts = 20
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 10
+	}
+	if c.TargetBytes <= 0 {
+		c.TargetBytes = 16 << 30
+	}
+	if c.Weight <= 0 {
+		c.Weight = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	return c
+}
+
+// kmState carries a partial centroid update: a coordinate sum and count.
+type kmState struct {
+	Sum   []float64
+	Count int
+}
+
+// BuildKMeansPoints generates the cached point set: a Gaussian mixture of
+// K well-separated clusters, so Lloyd's algorithm demonstrably converges.
+func BuildKMeansPoints(c *rdd.Context, cfg KMeansConfig) *rdd.RDD {
+	cfg = cfg.withDefaults()
+	rowBytes := rowBytesFor(cfg.TargetBytes, cfg.Points)
+	return c.Parallelize("points", cfg.Parts, rowBytes, func(part int) []rdd.Row {
+		rng := partRNG(cfg.Seed, part)
+		var out []rdd.Row
+		for i := part; i < cfg.Points; i += cfg.Parts {
+			cluster := i % cfg.K
+			p := make([]float64, cfg.Dims)
+			for d := range p {
+				center := float64(cluster*10 + d)
+				p[d] = center + rng.NormFloat64()
+			}
+			out = append(out, p)
+		}
+		return out
+	}).WithWeight(cfg.Weight).Persist()
+}
+
+// KMeansResult is the workload outcome.
+type KMeansResult struct {
+	Centroids [][]float64
+	Cost      float64 // final within-cluster sum of squared distances
+	Moved     float64 // total centroid movement in the last iteration
+}
+
+// RunKMeans runs Lloyd's algorithm: each iteration is one job that
+// assigns points to the nearest centroid (heavy narrow map), partially
+// aggregates per partition, shuffles the K partial sums, and collects the
+// new centroids at the driver — the classic Spark mllib structure.
+func RunKMeans(run Runner, c *rdd.Context, cfg KMeansConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	points := BuildKMeansPoints(c, cfg)
+
+	// Initial centroids: first K generated points, fetched via a tiny job.
+	initRes, err := run.RunJob(points.MapPartitions("init-sample", func(part int, rows []rdd.Row) []rdd.Row {
+		if part != 0 {
+			return nil
+		}
+		n := cfg.K
+		if n > len(rows) {
+			n = len(rows)
+		}
+		return rows[:n]
+	}), exec.ActionCollect)
+	if err != nil {
+		return nil, err
+	}
+	centroids := make([][]float64, 0, cfg.K)
+	for _, r := range initRes.Rows {
+		centroids = append(centroids, append([]float64(nil), r.([]float64)...))
+	}
+	for len(centroids) < cfg.K {
+		centroids = append(centroids, make([]float64, cfg.Dims))
+	}
+
+	rep := &Report{Name: "kmeans", Jobs: 1}
+	accumulate(&rep.Stats, initRes.Stats)
+	start := initRes.Start
+	var lastEnd float64
+	result := KMeansResult{}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		cents := centroids // captured snapshot for this iteration's closure
+		assigned := points.Map(fmt.Sprintf("assign%d", iter), func(r rdd.Row) rdd.Row {
+			p := r.([]float64)
+			best, bestD := 0, math.Inf(1)
+			for ci, cent := range cents {
+				d := 0.0
+				for j := range p {
+					diff := p[j] - cent[j]
+					d += diff * diff
+				}
+				if d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			sum := append([]float64(nil), p...)
+			return rdd.KV{K: best, V: kmState{Sum: sum, Count: 1}}
+		}).WithWeight(cfg.Weight)
+		reduced := assigned.ReduceByKey(fmt.Sprintf("update%d", iter), cfg.Parts, func(a, b rdd.Row) rdd.Row {
+			x, y := a.(kmState), b.(kmState)
+			sum := append([]float64(nil), x.Sum...)
+			vecAddScaled(sum, 1, y.Sum)
+			return kmState{Sum: sum, Count: x.Count + y.Count}
+		})
+		res, err := run.RunJob(reduced, exec.ActionCollect)
+		if err != nil {
+			return nil, err
+		}
+		rep.Jobs++
+		accumulate(&rep.Stats, res.Stats)
+		lastEnd = res.End
+
+		moved := 0.0
+		for _, r := range res.Rows {
+			kv := r.(rdd.KV)
+			ci := kv.K.(int)
+			st := kv.V.(kmState)
+			if st.Count == 0 {
+				continue
+			}
+			next := make([]float64, cfg.Dims)
+			for j := range next {
+				next[j] = st.Sum[j] / float64(st.Count)
+				d := next[j] - centroids[ci][j]
+				moved += d * d
+			}
+			centroids[ci] = next
+		}
+		result.Moved = math.Sqrt(moved)
+	}
+
+	// Final cost job.
+	cents := centroids
+	costRDD := points.Map("cost", func(r rdd.Row) rdd.Row {
+		p := r.([]float64)
+		bestD := math.Inf(1)
+		for _, cent := range cents {
+			d := 0.0
+			for j := range p {
+				diff := p[j] - cent[j]
+				d += diff * diff
+			}
+			if d < bestD {
+				bestD = d
+			}
+		}
+		return rdd.KV{K: 0, V: bestD}
+	}).WithWeight(cfg.Weight).ReduceByKey("cost:sum", 1, func(a, b rdd.Row) rdd.Row {
+		return a.(float64) + b.(float64)
+	})
+	costRes, err := run.RunJob(costRDD, exec.ActionCollect)
+	if err != nil {
+		return nil, err
+	}
+	rep.Jobs++
+	accumulate(&rep.Stats, costRes.Stats)
+	lastEnd = costRes.End
+	if len(costRes.Rows) == 1 {
+		result.Cost = costRes.Rows[0].(rdd.KV).V.(float64)
+	}
+	result.Centroids = centroids
+	rep.Outcome = result
+	rep.RunningTime = lastEnd - start
+	return rep, nil
+}

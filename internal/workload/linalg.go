@@ -1,0 +1,74 @@
+package workload
+
+// Small dense linear algebra for ALS: k is tiny (≤ ~16), so a direct
+// Gaussian-elimination solve of the normal equations is the right tool.
+
+// vecDot returns a·b.
+func vecDot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// vecAddScaled adds s·b into a in place.
+func vecAddScaled(a []float64, s float64, b []float64) {
+	for i := range a {
+		a[i] += s * b[i]
+	}
+}
+
+// solveSPD solves A·x = b for a symmetric positive-definite k×k matrix A
+// (stored row-major) by Gaussian elimination with partial pivoting. A and
+// b are clobbered. It returns the solution, or a zero vector if A is
+// singular (which regularization prevents in ALS).
+func solveSPD(a []float64, b []float64, k int) []float64 {
+	// Forward elimination.
+	for col := 0; col < k; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < k; r++ {
+			if abs(a[r*k+col]) > abs(a[piv*k+col]) {
+				piv = r
+			}
+		}
+		if abs(a[piv*k+col]) < 1e-12 {
+			return make([]float64, k)
+		}
+		if piv != col {
+			for j := 0; j < k; j++ {
+				a[piv*k+j], a[col*k+j] = a[col*k+j], a[piv*k+j]
+			}
+			b[piv], b[col] = b[col], b[piv]
+		}
+		inv := 1 / a[col*k+col]
+		for r := col + 1; r < k; r++ {
+			f := a[r*k+col] * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < k; j++ {
+				a[r*k+j] -= f * a[col*k+j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, k)
+	for r := k - 1; r >= 0; r-- {
+		s := b[r]
+		for j := r + 1; j < k; j++ {
+			s -= a[r*k+j] * x[j]
+		}
+		x[r] = s / a[r*k+r]
+	}
+	return x
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

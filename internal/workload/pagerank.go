@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"flint/internal/exec"
+	"flint/internal/rdd"
+)
+
+// PageRankConfig sizes the PageRank workload. The paper runs the graphx
+// PageRank on the 2 GB LiveJournal graph; here a synthetic power-law
+// graph of configurable virtual size stands in. PageRank is the paper's
+// shuffle-heavy workload: each iteration joins the link table with the
+// rank vector and reduces contributions, creating many RDDs.
+type PageRankConfig struct {
+	Vertices    int     // number of vertices (default 8000)
+	AvgDegree   int     // mean out-degree (default 10)
+	Parts       int     // partitions (default 20)
+	Iterations  int     // rank iterations (default 10)
+	TargetBytes int64   // virtual dataset size (default 2 GB, as in the paper)
+	Weight      float64 // compute-cost multiplier (default 1)
+	Seed        int64
+}
+
+func (c PageRankConfig) withDefaults() PageRankConfig {
+	if c.Vertices <= 0 {
+		c.Vertices = 8000
+	}
+	if c.AvgDegree <= 0 {
+		c.AvgDegree = 10
+	}
+	if c.Parts <= 0 {
+		c.Parts = 20
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 10
+	}
+	if c.TargetBytes <= 0 {
+		c.TargetBytes = 2 << 30
+	}
+	if c.Weight <= 0 {
+		c.Weight = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// edge is one directed link.
+type edge struct {
+	Src, Dst int
+}
+
+// adjacency holds a vertex's out-links.
+type adjacency struct {
+	Src  int
+	Dsts []int
+}
+
+// BuildPageRank constructs the PageRank lineage: a cached link table and
+// Iterations rounds of join + flatMap + reduceByKey, returning the final
+// ranks RDD (KV{vertex, rank}).
+func BuildPageRank(c *rdd.Context, cfg PageRankConfig) *rdd.RDD {
+	cfg = cfg.withDefaults()
+	edgeCount := cfg.Vertices * cfg.AvgDegree
+	edgeBytes := rowBytesFor(cfg.TargetBytes, edgeCount)
+
+	// Power-law-ish out-degrees: vertex v's out-degree ~ AvgDegree scaled
+	// by a heavy-tailed factor, targets uniform. Deterministic per
+	// partition.
+	edges := c.Parallelize("edges", cfg.Parts, edgeBytes, func(part int) []rdd.Row {
+		rng := partRNG(cfg.Seed, part)
+		var out []rdd.Row
+		for v := part; v < cfg.Vertices; v += cfg.Parts {
+			// Pareto-like degree with mean ≈ AvgDegree.
+			u := rng.Float64()
+			deg := int(float64(cfg.AvgDegree) * 0.5 / math.Sqrt(1-u))
+			if deg < 1 {
+				deg = 1
+			}
+			if deg > cfg.Vertices/2 {
+				deg = cfg.Vertices / 2
+			}
+			for i := 0; i < deg; i++ {
+				out = append(out, edge{Src: v, Dst: rng.Intn(cfg.Vertices)})
+			}
+		}
+		return out
+	}).WithWeight(cfg.Weight)
+
+	// links: KV{src, adjacency}, grouped and cached — the big in-memory
+	// dataset whose loss forces recomputation.
+	links := edges.
+		Map("links:kv", func(r rdd.Row) rdd.Row {
+			e := r.(edge)
+			return rdd.KV{K: e.Src, V: e.Dst}
+		}).
+		GroupByKey("links:group", cfg.Parts).
+		MapValues("links:adj", func(v rdd.Row) rdd.Row {
+			rows := v.([]rdd.Row)
+			dsts := make([]int, len(rows))
+			for i, d := range rows {
+				dsts[i] = d.(int)
+			}
+			return dsts
+		}).
+		WithRowBytes(edgeBytes * cfg.AvgDegree).
+		WithWeight(cfg.Weight).
+		Persist()
+
+	// Initial ranks.
+	ranks := links.MapValues("ranks:init", func(v rdd.Row) rdd.Row { return 1.0 }).
+		WithRowBytes(edgeBytes)
+
+	for i := 0; i < cfg.Iterations; i++ {
+		contribs := links.
+			Join(fmt.Sprintf("iter%d:join", i), ranks, cfg.Parts).
+			FlatMap(fmt.Sprintf("iter%d:contrib", i), func(r rdd.Row) []rdd.Row {
+				kv := r.(rdd.KV)
+				pair := kv.V.(rdd.JoinPair)
+				dsts := pair.L.([]int)
+				rank := pair.R.(float64)
+				if len(dsts) == 0 {
+					return nil
+				}
+				share := rank / float64(len(dsts))
+				out := make([]rdd.Row, len(dsts))
+				for j, d := range dsts {
+					out[j] = rdd.KV{K: d, V: share}
+				}
+				return out
+			}).
+			WithRowBytes(edgeBytes).
+			WithWeight(cfg.Weight)
+		// Each iteration's ranks are persisted, as Spark PageRank
+		// implementations do: the next join reads them from cache and a
+		// failure only cascades back to the youngest surviving (or
+		// checkpointed) ranks rather than to the source.
+		ranks = contribs.
+			ReduceByKey(fmt.Sprintf("iter%d:sum", i), cfg.Parts, func(a, b rdd.Row) rdd.Row {
+				return a.(float64) + b.(float64)
+			}).
+			MapValues(fmt.Sprintf("iter%d:damp", i), func(v rdd.Row) rdd.Row {
+				return 0.15 + 0.85*v.(float64)
+			}).
+			WithRowBytes(edgeBytes).
+			WithWeight(cfg.Weight).
+			Persist()
+	}
+	return ranks
+}
+
+// RunPageRank builds and executes PageRank, returning the final ranks in
+// the report outcome (as map[int]float64).
+func RunPageRank(run Runner, c *rdd.Context, cfg PageRankConfig) (*Report, error) {
+	ranks := BuildPageRank(c, cfg)
+	res, err := run.RunJob(ranks, exec.ActionCollect)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64, len(res.Rows))
+	for _, r := range res.Rows {
+		kv := r.(rdd.KV)
+		out[kv.K.(int)] = kv.V.(float64)
+	}
+	rep := &Report{Name: "pagerank", RunningTime: res.Latency(), Jobs: 1, Outcome: out}
+	accumulate(&rep.Stats, res.Stats)
+	return rep, nil
+}

@@ -1,0 +1,350 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"flint/internal/exec"
+	"flint/internal/rdd"
+)
+
+// The paper uses Spark as an in-memory database serving TPC-H queries
+// over a 10 GB dataset (§5.1): the tables are de-serialized,
+// re-partitioned and persisted in memory once, and each query then runs
+// against the cached RDDs. This file implements a TPC-H-style schema
+// (lineitem, orders, customer), a deterministic generator standing in for
+// dbgen, and three representative queries: Q1 (scan + aggregate,
+// "medium"), Q3 (three-way join, "short" in the paper's Figure 9), and
+// Q6 (selective scan).
+
+// LineItem mirrors the TPC-H lineitem columns the queries touch.
+type LineItem struct {
+	OrderKey      int
+	Quantity      float64
+	ExtendedPrice float64
+	Discount      float64
+	Tax           float64
+	ReturnFlag    byte
+	LineStatus    byte
+	ShipDate      int // days since the epoch of the dataset
+}
+
+// Order mirrors the TPC-H orders columns the queries touch.
+type Order struct {
+	OrderKey     int
+	CustKey      int
+	OrderDate    int
+	ShipPriority int
+}
+
+// Customer mirrors the TPC-H customer columns the queries touch.
+type Customer struct {
+	CustKey    int
+	MktSegment string
+}
+
+// TPCHConfig sizes the dataset.
+type TPCHConfig struct {
+	Customers     int   // default 300
+	OrdersPerCust int   // default 10
+	LinesPerOrder int   // default 4
+	Parts         int   // default 20
+	TargetBytes   int64 // virtual dataset size (default 10 GB, as in the paper)
+	Seed          int64
+	Weight        float64 // compute multiplier (default 2)
+}
+
+func (c TPCHConfig) withDefaults() TPCHConfig {
+	if c.Customers <= 0 {
+		c.Customers = 300
+	}
+	if c.OrdersPerCust <= 0 {
+		c.OrdersPerCust = 10
+	}
+	if c.LinesPerOrder <= 0 {
+		c.LinesPerOrder = 4
+	}
+	if c.Parts <= 0 {
+		c.Parts = 20
+	}
+	if c.TargetBytes <= 0 {
+		c.TargetBytes = 10 << 30
+	}
+	if c.Seed == 0 {
+		c.Seed = 4242
+	}
+	if c.Weight <= 0 {
+		c.Weight = 2
+	}
+	return c
+}
+
+const (
+	tpchDateMax  = 2557 // seven years of days
+	tpchSegments = 5
+)
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+// TPCH bundles the cached tables.
+type TPCH struct {
+	Cfg      TPCHConfig
+	LineItem *rdd.RDD
+	Orders   *rdd.RDD
+	Customer *rdd.RDD
+}
+
+// BuildTPCH constructs the three cached table RDDs.
+func BuildTPCH(c *rdd.Context, cfg TPCHConfig) *TPCH {
+	cfg = cfg.withDefaults()
+	nOrders := cfg.Customers * cfg.OrdersPerCust
+	nLines := nOrders * cfg.LinesPerOrder
+	// lineitem dominates the dataset; give it ~80% of the virtual bytes.
+	liBytes := rowBytesFor(cfg.TargetBytes*8/10, nLines)
+	ordBytes := rowBytesFor(cfg.TargetBytes*15/100, nOrders)
+	custBytes := rowBytesFor(cfg.TargetBytes*5/100, cfg.Customers)
+
+	customer := c.Parallelize("customer", cfg.Parts, custBytes, func(part int) []rdd.Row {
+		var out []rdd.Row
+		for k := part; k < cfg.Customers; k += cfg.Parts {
+			out = append(out, Customer{CustKey: k, MktSegment: segments[k%tpchSegments]})
+		}
+		return out
+	}).WithWeight(cfg.Weight).Persist()
+
+	orders := c.Parallelize("orders", cfg.Parts, ordBytes, func(part int) []rdd.Row {
+		rng := partRNG(cfg.Seed, part)
+		var out []rdd.Row
+		for k := part; k < nOrders; k += cfg.Parts {
+			out = append(out, Order{
+				OrderKey:     k,
+				CustKey:      k % cfg.Customers,
+				OrderDate:    rng.Intn(tpchDateMax),
+				ShipPriority: rng.Intn(2),
+			})
+		}
+		return out
+	}).WithWeight(cfg.Weight).Persist()
+
+	lineitem := c.Parallelize("lineitem", cfg.Parts, liBytes, func(part int) []rdd.Row {
+		rng := partRNG(cfg.Seed+1, part)
+		var out []rdd.Row
+		flags := []byte{'A', 'N', 'R'}
+		status := []byte{'F', 'O'}
+		for k := part; k < nLines; k += cfg.Parts {
+			orderKey := k / cfg.LinesPerOrder
+			out = append(out, LineItem{
+				OrderKey:      orderKey,
+				Quantity:      1 + float64(rng.Intn(50)),
+				ExtendedPrice: 100 + 900*rng.Float64(),
+				Discount:      0.1 * rng.Float64(),
+				Tax:           0.08 * rng.Float64(),
+				ReturnFlag:    flags[rng.Intn(len(flags))],
+				LineStatus:    status[rng.Intn(len(status))],
+				ShipDate:      rng.Intn(tpchDateMax),
+			})
+		}
+		return out
+	}).WithWeight(cfg.Weight).Persist()
+
+	return &TPCH{Cfg: cfg, LineItem: lineitem, Orders: orders, Customer: customer}
+}
+
+// Load materializes (and caches) all three tables, as the paper does at
+// service start, returning the loading latency.
+func (t *TPCH) Load(run Runner) (float64, error) {
+	var total float64
+	for _, table := range []*rdd.RDD{t.Customer, t.Orders, t.LineItem} {
+		res, err := run.RunJob(table, exec.ActionMaterialize)
+		if err != nil {
+			return 0, err
+		}
+		total += res.Latency()
+	}
+	return total, nil
+}
+
+// q1Key groups Q1 by (return flag, line status); it must be comparable.
+type q1Key struct {
+	Flag, Status byte
+}
+
+// Q1Row is one output row of the pricing-summary query.
+type Q1Row struct {
+	Flag, Status  byte
+	SumQty        float64
+	SumBase       float64
+	SumDiscounted float64
+	SumCharge     float64
+	AvgQty        float64
+	Count         int
+}
+
+type q1Agg struct {
+	Qty, Base, Disc, Charge float64
+	N                       int
+}
+
+// Q1 is the TPC-H pricing-summary query (the paper's "medium-length"
+// query): a full scan of lineitem with grouping and aggregation.
+func (t *TPCH) Q1(run Runner, qid int, shipCutoff int) ([]Q1Row, *exec.Result, error) {
+	agg := t.LineItem.
+		Filter(fmt.Sprintf("q1-%d:filter", qid), func(r rdd.Row) bool {
+			return r.(LineItem).ShipDate <= shipCutoff
+		}).
+		Map(fmt.Sprintf("q1-%d:kv", qid), func(r rdd.Row) rdd.Row {
+			li := r.(LineItem)
+			return rdd.KV{
+				K: q1Key{Flag: li.ReturnFlag, Status: li.LineStatus},
+				V: q1Agg{
+					Qty:    li.Quantity,
+					Base:   li.ExtendedPrice,
+					Disc:   li.ExtendedPrice * (1 - li.Discount),
+					Charge: li.ExtendedPrice * (1 - li.Discount) * (1 + li.Tax),
+					N:      1,
+				},
+			}
+		}).
+		ReduceByKey(fmt.Sprintf("q1-%d:agg", qid), t.Cfg.Parts, func(a, b rdd.Row) rdd.Row {
+			x, y := a.(q1Agg), b.(q1Agg)
+			return q1Agg{
+				Qty: x.Qty + y.Qty, Base: x.Base + y.Base,
+				Disc: x.Disc + y.Disc, Charge: x.Charge + y.Charge,
+				N: x.N + y.N,
+			}
+		})
+	res, err := run.RunJob(agg, exec.ActionCollect)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []Q1Row
+	for _, r := range res.Rows {
+		kv := r.(rdd.KV)
+		k := kv.K.(q1Key)
+		v := kv.V.(q1Agg)
+		row := Q1Row{
+			Flag: k.Flag, Status: k.Status,
+			SumQty: v.Qty, SumBase: v.Base, SumDiscounted: v.Disc,
+			SumCharge: v.Charge, Count: v.N,
+		}
+		if v.N > 0 {
+			row.AvgQty = v.Qty / float64(v.N)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Flag != rows[j].Flag {
+			return rows[i].Flag < rows[j].Flag
+		}
+		return rows[i].Status < rows[j].Status
+	})
+	return rows, res, nil
+}
+
+// Q3Row is one output row of the shipping-priority query.
+type Q3Row struct {
+	OrderKey     int
+	Revenue      float64
+	OrderDate    int
+	ShipPriority int
+}
+
+// Q3 is the TPC-H shipping-priority query (the paper's "short" query):
+// customer ⋈ orders ⋈ lineitem with selective filters, grouped by order,
+// top-10 by revenue.
+func (t *TPCH) Q3(run Runner, qid int, segment string, date int) ([]Q3Row, *exec.Result, error) {
+	custKeyed := t.Customer.
+		Filter(fmt.Sprintf("q3-%d:seg", qid), func(r rdd.Row) bool {
+			return r.(Customer).MktSegment == segment
+		}).
+		Map(fmt.Sprintf("q3-%d:custkv", qid), func(r rdd.Row) rdd.Row {
+			return rdd.KV{K: r.(Customer).CustKey, V: nil}
+		})
+	orderKeyed := t.Orders.
+		Filter(fmt.Sprintf("q3-%d:odate", qid), func(r rdd.Row) bool {
+			return r.(Order).OrderDate < date
+		}).
+		Map(fmt.Sprintf("q3-%d:okv", qid), func(r rdd.Row) rdd.Row {
+			o := r.(Order)
+			return rdd.KV{K: o.CustKey, V: o}
+		})
+	// customer ⋈ orders on custkey → keyed by order.
+	custOrders := custKeyed.
+		Join(fmt.Sprintf("q3-%d:co", qid), orderKeyed, t.Cfg.Parts).
+		Map(fmt.Sprintf("q3-%d:byorder", qid), func(r rdd.Row) rdd.Row {
+			kv := r.(rdd.KV)
+			o := kv.V.(rdd.JoinPair).R.(Order)
+			return rdd.KV{K: o.OrderKey, V: o}
+		})
+	lineKeyed := t.LineItem.
+		Filter(fmt.Sprintf("q3-%d:sdate", qid), func(r rdd.Row) bool {
+			return r.(LineItem).ShipDate > date
+		}).
+		Map(fmt.Sprintf("q3-%d:lkv", qid), func(r rdd.Row) rdd.Row {
+			li := r.(LineItem)
+			return rdd.KV{K: li.OrderKey, V: li.ExtendedPrice * (1 - li.Discount)}
+		})
+	revenue := custOrders.
+		Join(fmt.Sprintf("q3-%d:col", qid), lineKeyed, t.Cfg.Parts).
+		Map(fmt.Sprintf("q3-%d:rev", qid), func(r rdd.Row) rdd.Row {
+			kv := r.(rdd.KV)
+			pair := kv.V.(rdd.JoinPair)
+			o := pair.L.(Order)
+			return rdd.KV{K: o.OrderKey, V: [3]float64{pair.R.(float64), float64(o.OrderDate), float64(o.ShipPriority)}}
+		}).
+		ReduceByKey(fmt.Sprintf("q3-%d:sum", qid), t.Cfg.Parts, func(a, b rdd.Row) rdd.Row {
+			x, y := a.([3]float64), b.([3]float64)
+			return [3]float64{x[0] + y[0], x[1], x[2]}
+		})
+	res, err := run.RunJob(revenue, exec.ActionCollect)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []Q3Row
+	for _, r := range res.Rows {
+		kv := r.(rdd.KV)
+		v := kv.V.([3]float64)
+		rows = append(rows, Q3Row{
+			OrderKey: kv.K.(int), Revenue: v[0],
+			OrderDate: int(v[1]), ShipPriority: int(v[2]),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Revenue != rows[j].Revenue {
+			return rows[i].Revenue > rows[j].Revenue
+		}
+		return rows[i].OrderKey < rows[j].OrderKey
+	})
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	return rows, res, nil
+}
+
+// Q6 is the TPC-H forecasting-revenue query: a selective scan of
+// lineitem summing discounted revenue.
+func (t *TPCH) Q6(run Runner, qid int, dateLo, dateHi int, discLo, discHi, maxQty float64) (float64, *exec.Result, error) {
+	rev := t.LineItem.
+		Filter(fmt.Sprintf("q6-%d:filter", qid), func(r rdd.Row) bool {
+			li := r.(LineItem)
+			return li.ShipDate >= dateLo && li.ShipDate < dateHi &&
+				li.Discount >= discLo && li.Discount <= discHi &&
+				li.Quantity < maxQty
+		}).
+		Map(fmt.Sprintf("q6-%d:rev", qid), func(r rdd.Row) rdd.Row {
+			li := r.(LineItem)
+			return rdd.KV{K: 0, V: li.ExtendedPrice * li.Discount}
+		}).
+		ReduceByKey(fmt.Sprintf("q6-%d:sum", qid), 1, func(a, b rdd.Row) rdd.Row {
+			return a.(float64) + b.(float64)
+		})
+	res, err := run.RunJob(rev, exec.ActionCollect)
+	if err != nil {
+		return 0, nil, err
+	}
+	total := 0.0
+	if len(res.Rows) == 1 {
+		total = res.Rows[0].(rdd.KV).V.(float64)
+	}
+	return total, res, nil
+}

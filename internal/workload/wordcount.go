@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"fmt"
+
+	"flint/internal/exec"
+	"flint/internal/rdd"
+)
+
+// WordCountConfig sizes the quickstart wordcount.
+type WordCountConfig struct {
+	Docs        int // default 2000
+	WordsPerDoc int // default 50
+	Vocab       int // default 500
+	Parts       int // default 8
+	TargetBytes int64
+	Seed        int64
+}
+
+func (c WordCountConfig) withDefaults() WordCountConfig {
+	if c.Docs <= 0 {
+		c.Docs = 2000
+	}
+	if c.WordsPerDoc <= 0 {
+		c.WordsPerDoc = 50
+	}
+	if c.Vocab <= 0 {
+		c.Vocab = 500
+	}
+	if c.Parts <= 0 {
+		c.Parts = 8
+	}
+	if c.TargetBytes <= 0 {
+		c.TargetBytes = 256 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 3
+	}
+	return c
+}
+
+// BuildWordCount constructs documents → flatMap(words) → reduceByKey.
+func BuildWordCount(c *rdd.Context, cfg WordCountConfig) *rdd.RDD {
+	cfg = cfg.withDefaults()
+	docBytes := rowBytesFor(cfg.TargetBytes, cfg.Docs)
+	docs := c.Parallelize("docs", cfg.Parts, docBytes, func(part int) []rdd.Row {
+		rng := partRNG(cfg.Seed, part)
+		var out []rdd.Row
+		for d := part; d < cfg.Docs; d += cfg.Parts {
+			words := make([]string, cfg.WordsPerDoc)
+			for i := range words {
+				// Zipf-ish: low word IDs are much more common.
+				id := int(float64(cfg.Vocab) * rng.Float64() * rng.Float64())
+				words[i] = fmt.Sprintf("w%04d", id)
+			}
+			out = append(out, words)
+		}
+		return out
+	})
+	return docs.
+		FlatMap("words", func(r rdd.Row) []rdd.Row {
+			ws := r.([]string)
+			out := make([]rdd.Row, len(ws))
+			for i, w := range ws {
+				out[i] = rdd.KV{K: w, V: 1}
+			}
+			return out
+		}).
+		ReduceByKey("counts", cfg.Parts, func(a, b rdd.Row) rdd.Row {
+			return a.(int) + b.(int)
+		})
+}
+
+// RunWordCount executes the wordcount and returns word→count.
+func RunWordCount(run Runner, c *rdd.Context, cfg WordCountConfig) (map[string]int, *exec.Result, error) {
+	counts := BuildWordCount(c, cfg)
+	res, err := run.RunJob(counts, exec.ActionCollect)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string]int, len(res.Rows))
+	for _, r := range res.Rows {
+		kv := r.(rdd.KV)
+		out[kv.K.(string)] = kv.V.(int)
+	}
+	return out, res, nil
+}

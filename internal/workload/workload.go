@@ -1,0 +1,67 @@
+// Package workload implements the four applications of the paper's
+// evaluation (§5.1) — PageRank, KMeans clustering, Alternating Least
+// Squares, and a TPC-H-style SQL workload — plus a wordcount used by the
+// quickstart example. Each workload generates its own synthetic input
+// (substituting for LiveJournal / MovieLens / dbgen, which are
+// unavailable offline), builds the same RDD lineage shape as the paper's
+// Spark programs, and runs on any Runner (normally the exec engine).
+//
+// Every generator is deterministic in its seed, a requirement of the
+// engine: lost partitions are recomputed by replaying the generator.
+package workload
+
+import (
+	"math/rand"
+
+	"flint/internal/exec"
+	"flint/internal/rdd"
+)
+
+// Runner executes jobs; *exec.Engine satisfies it.
+type Runner interface {
+	RunJob(target *rdd.RDD, action exec.Action) (*exec.Result, error)
+}
+
+// partRNG returns a deterministic RNG for (seed, partition): generators
+// must replay identically during recomputation.
+func partRNG(seed int64, part int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(part)*1_000_003 + 17))
+}
+
+// rowBytesFor sizes rows so that total virtual bytes ≈ targetBytes given
+// the expected row count. The engine charges time by virtual bytes, so
+// this is how a laptop-scale row count stands in for the paper's
+// multi-GB datasets.
+func rowBytesFor(targetBytes int64, rows int) int {
+	if rows <= 0 {
+		return 100
+	}
+	b := int(targetBytes / int64(rows))
+	if b < 16 {
+		b = 16
+	}
+	return b
+}
+
+// Report is the common result of running a workload.
+type Report struct {
+	Name        string
+	RunningTime float64 // virtual seconds from first to last job
+	Jobs        int
+	Stats       exec.JobStats // aggregate across jobs
+	Outcome     any           // workload-specific result for verification
+}
+
+func accumulate(total *exec.JobStats, s exec.JobStats) {
+	total.TasksLaunched += s.TasksLaunched
+	total.TasksKilled += s.TasksKilled
+	total.FetchFailures += s.FetchFailures
+	total.CheckpointTasks += s.CheckpointTasks
+	total.CheckpointBytes += s.CheckpointBytes
+	total.RecomputedPartitions += s.RecomputedPartitions
+	total.ShuffleBytesRemote += s.ShuffleBytesRemote
+	total.ShuffleBytesLocal += s.ShuffleBytesLocal
+	total.CacheHits += s.CacheHits
+	total.CacheMisses += s.CacheMisses
+	total.CheckpointReads += s.CheckpointReads
+}

@@ -1,0 +1,446 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"flint/internal/exec"
+	"flint/internal/rdd"
+)
+
+// smallBed returns a modest testbed for workload tests.
+func smallBed(t *testing.T) *exec.Testbed {
+	t.Helper()
+	return exec.MustTestbed(exec.TestbedOpts{Nodes: 5})
+}
+
+func TestSolveSPD(t *testing.T) {
+	// A = [[4,1],[1,3]], b = [1,2] → x = [1/11, 7/11].
+	a := []float64{4, 1, 1, 3}
+	b := []float64{1, 2}
+	x := solveSPD(a, b, 2)
+	if math.Abs(x[0]-1.0/11) > 1e-9 || math.Abs(x[1]-7.0/11) > 1e-9 {
+		t.Fatalf("solveSPD = %v", x)
+	}
+	// Singular matrix returns zeros rather than NaNs.
+	x = solveSPD([]float64{1, 1, 1, 1}, []float64{1, 2}, 2)
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("singular solve = %v", x)
+		}
+	}
+}
+
+func TestSolveSPDRandomSystems(t *testing.T) {
+	// x recovered from A·x for SPD A = MᵀM + I.
+	for trial := 0; trial < 20; trial++ {
+		rng := partRNG(99, trial)
+		k := 2 + trial%6
+		m := make([]float64, k*k)
+		for i := range m {
+			m[i] = rng.NormFloat64()
+		}
+		a := make([]float64, k*k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				s := 0.0
+				for l := 0; l < k; l++ {
+					s += m[l*k+i] * m[l*k+j]
+				}
+				a[i*k+j] = s
+			}
+			a[i*k+i] += 1
+		}
+		want := make([]float64, k)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := make([]float64, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				b[i] += a[i*k+j] * want[j]
+			}
+		}
+		got := solveSPD(append([]float64(nil), a...), b, k)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6 {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	if vecDot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("vecDot wrong")
+	}
+	a := []float64{1, 1}
+	vecAddScaled(a, 2, []float64{3, 4})
+	if a[0] != 7 || a[1] != 9 {
+		t.Errorf("vecAddScaled = %v", a)
+	}
+}
+
+func TestPageRankConvergesAndConserves(t *testing.T) {
+	cfg := PageRankConfig{Vertices: 500, AvgDegree: 6, Parts: 8, Iterations: 8, TargetBytes: 64 << 20}
+	tb := smallBed(t)
+	c := rdd.NewContext(8)
+	rep, err := RunPageRank(tb.Engine, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := rep.Outcome.(map[int]float64)
+	if len(ranks) == 0 {
+		t.Fatal("no ranks produced")
+	}
+	sum, min, max := 0.0, math.Inf(1), 0.0
+	for _, r := range ranks {
+		sum += r
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	// Every rank must be at least the damping floor and the distribution
+	// must be skewed (power-law graph).
+	if min < 0.15-1e-9 {
+		t.Errorf("min rank %v below damping floor", min)
+	}
+	if max < 2*min {
+		t.Errorf("rank distribution suspiciously flat: [%v, %v]", min, max)
+	}
+	// Mean rank ≈ 1 for rank-conserving PageRank over reachable nodes.
+	mean := sum / float64(len(ranks))
+	if mean < 0.3 || mean > 3 {
+		t.Errorf("mean rank = %v, want ≈ 1", mean)
+	}
+	if rep.RunningTime <= 0 {
+		t.Error("running time not recorded")
+	}
+}
+
+func TestPageRankDeterministic(t *testing.T) {
+	cfg := PageRankConfig{Vertices: 200, AvgDegree: 4, Parts: 4, Iterations: 3, TargetBytes: 16 << 20}
+	run := func() map[int]float64 {
+		tb := smallBed(t)
+		c := rdd.NewContext(4)
+		rep, err := RunPageRank(tb.Engine, c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Outcome.(map[int]float64)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("rank counts differ: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if math.Abs(b[k]-v) > 1e-12 {
+			t.Fatalf("rank %d differs: %v vs %v", k, v, b[k])
+		}
+	}
+}
+
+func TestPageRankSurvivesRevocations(t *testing.T) {
+	cfg := PageRankConfig{Vertices: 300, AvgDegree: 5, Parts: 8, Iterations: 5, TargetBytes: 512 << 20}
+	baseline := func() map[int]float64 {
+		tb := smallBed(t)
+		c := rdd.NewContext(8)
+		rep, err := RunPageRank(tb.Engine, c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Outcome.(map[int]float64)
+	}()
+	tb := smallBed(t)
+	tb.RevokeNodes(10, 2, true)
+	c := rdd.NewContext(8)
+	rep, err := RunPageRank(tb.Engine, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Outcome.(map[int]float64)
+	for k, v := range baseline {
+		if math.Abs(got[k]-v) > 1e-9 {
+			t.Fatalf("rank %d differs after revocation: %v vs %v", k, v, got[k])
+		}
+	}
+}
+
+func TestKMeansConverges(t *testing.T) {
+	cfg := KMeansConfig{Points: 1000, Dims: 4, K: 5, Parts: 8, Iterations: 6, TargetBytes: 128 << 20}
+	tb := smallBed(t)
+	c := rdd.NewContext(8)
+	rep, err := RunKMeans(tb.Engine, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Outcome.(KMeansResult)
+	if len(out.Centroids) != 5 {
+		t.Fatalf("centroids = %d", len(out.Centroids))
+	}
+	// Clusters are separated by 10 per dimension with unit noise: the
+	// per-point cost should be close to Dims (E[χ²_d] = d) and far below
+	// the inter-cluster scale.
+	perPoint := out.Cost / 1000
+	if perPoint > 25 {
+		t.Errorf("per-point cost %v too high: k-means failed to converge", perPoint)
+	}
+	// Final iterations should have near-zero centroid movement.
+	if out.Moved > 1.0 {
+		t.Errorf("centroids still moving at the end: %v", out.Moved)
+	}
+	if rep.Jobs < cfg.Iterations {
+		t.Errorf("jobs = %d", rep.Jobs)
+	}
+}
+
+func TestALSReducesRMSE(t *testing.T) {
+	cfg := ALSConfig{
+		Users: 300, Items: 80, RatingsPerUser: 12, Rank: 4,
+		Parts: 8, Iterations: 4, TargetBytes: 256 << 20,
+	}
+	tb := smallBed(t)
+	c := rdd.NewContext(8)
+	rep, err := RunALS(tb.Engine, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Outcome.(ALSResult)
+	// Ground truth ratings are low-rank with 0.05 noise: a correct ALS
+	// should fit well below the raw rating scale (~rank·0.5 ≈ 2).
+	if out.RMSE <= 0 {
+		t.Fatalf("RMSE = %v (not computed?)", out.RMSE)
+	}
+	if out.RMSE > 0.5 {
+		t.Errorf("RMSE = %v, want < 0.5 (ALS failing to fit)", out.RMSE)
+	}
+	if rep.Jobs != 2*cfg.Iterations+1 {
+		t.Errorf("jobs = %d, want %d", rep.Jobs, 2*cfg.Iterations+1)
+	}
+}
+
+// tpchOracle computes Q1/Q6 answers directly from generated rows.
+func tpchRows(t *testing.T, table *rdd.RDD) []rdd.Row {
+	t.Helper()
+	return rdd.CollectLocal(table)
+}
+
+func TestTPCHQ1MatchesOracle(t *testing.T) {
+	cfg := TPCHConfig{Customers: 100, OrdersPerCust: 5, LinesPerOrder: 3, Parts: 8, TargetBytes: 256 << 20}
+	tb := smallBed(t)
+	c := rdd.NewContext(8)
+	tp := BuildTPCH(c, cfg)
+	if _, err := tp.Load(tb.Engine); err != nil {
+		t.Fatal(err)
+	}
+	const cutoff = 2000
+	rows, res, err := tp.Q1(tb.Engine, 1, cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency() <= 0 {
+		t.Error("no latency recorded")
+	}
+	// Oracle.
+	type agg struct {
+		qty, base float64
+		n         int
+	}
+	oracle := map[q1Key]*agg{}
+	for _, r := range tpchRows(t, tp.LineItem) {
+		li := r.(LineItem)
+		if li.ShipDate > cutoff {
+			continue
+		}
+		k := q1Key{Flag: li.ReturnFlag, Status: li.LineStatus}
+		a := oracle[k]
+		if a == nil {
+			a = &agg{}
+			oracle[k] = a
+		}
+		a.qty += li.Quantity
+		a.base += li.ExtendedPrice
+		a.n++
+	}
+	if len(rows) != len(oracle) {
+		t.Fatalf("groups = %d, oracle %d", len(rows), len(oracle))
+	}
+	for _, row := range rows {
+		want := oracle[q1Key{Flag: row.Flag, Status: row.Status}]
+		if want == nil {
+			t.Fatalf("unexpected group %c%c", row.Flag, row.Status)
+		}
+		if row.Count != want.n || math.Abs(row.SumQty-want.qty) > 1e-6 || math.Abs(row.SumBase-want.base) > 1e-3 {
+			t.Fatalf("group %c%c mismatch: %+v vs %+v", row.Flag, row.Status, row, want)
+		}
+	}
+}
+
+func TestTPCHQ3MatchesOracle(t *testing.T) {
+	cfg := TPCHConfig{Customers: 100, OrdersPerCust: 5, LinesPerOrder: 3, Parts: 8, TargetBytes: 256 << 20}
+	tb := smallBed(t)
+	c := rdd.NewContext(8)
+	tp := BuildTPCH(c, cfg)
+	if _, err := tp.Load(tb.Engine); err != nil {
+		t.Fatal(err)
+	}
+	const segment = "BUILDING"
+	const date = 1200
+	rows, _, err := tp.Q3(tb.Engine, 1, segment, date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle.
+	custOK := map[int]bool{}
+	for _, r := range tpchRows(t, tp.Customer) {
+		cu := r.(Customer)
+		if cu.MktSegment == segment {
+			custOK[cu.CustKey] = true
+		}
+	}
+	orderOK := map[int]Order{}
+	for _, r := range tpchRows(t, tp.Orders) {
+		o := r.(Order)
+		if o.OrderDate < date && custOK[o.CustKey] {
+			orderOK[o.OrderKey] = o
+		}
+	}
+	revenue := map[int]float64{}
+	for _, r := range tpchRows(t, tp.LineItem) {
+		li := r.(LineItem)
+		if li.ShipDate <= date {
+			continue
+		}
+		if _, ok := orderOK[li.OrderKey]; ok {
+			revenue[li.OrderKey] += li.ExtendedPrice * (1 - li.Discount)
+		}
+	}
+	if len(rows) == 0 {
+		t.Fatal("Q3 returned nothing; generator parameters too selective")
+	}
+	for _, row := range rows {
+		want, ok := revenue[row.OrderKey]
+		if !ok {
+			t.Fatalf("order %d should not qualify", row.OrderKey)
+		}
+		if math.Abs(row.Revenue-want) > 1e-6 {
+			t.Fatalf("order %d revenue %v, oracle %v", row.OrderKey, row.Revenue, want)
+		}
+	}
+	// Top-10 ordering by revenue.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Revenue > rows[i-1].Revenue {
+			t.Fatal("Q3 rows not sorted by revenue")
+		}
+	}
+}
+
+func TestTPCHQ6MatchesOracle(t *testing.T) {
+	cfg := TPCHConfig{Customers: 100, OrdersPerCust: 5, LinesPerOrder: 3, Parts: 8, TargetBytes: 256 << 20}
+	tb := smallBed(t)
+	c := rdd.NewContext(8)
+	tp := BuildTPCH(c, cfg)
+	if _, err := tp.Load(tb.Engine); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := tp.Q6(tb.Engine, 1, 365, 730, 0.02, 0.06, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, r := range tpchRows(t, tp.LineItem) {
+		li := r.(LineItem)
+		if li.ShipDate >= 365 && li.ShipDate < 730 && li.Discount >= 0.02 && li.Discount <= 0.06 && li.Quantity < 25 {
+			want += li.ExtendedPrice * li.Discount
+		}
+	}
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Q6 = %v, oracle %v", got, want)
+	}
+}
+
+func TestTPCHCachedQueriesAreFast(t *testing.T) {
+	cfg := TPCHConfig{Customers: 100, OrdersPerCust: 5, LinesPerOrder: 3, Parts: 8, TargetBytes: 2 << 30}
+	tb := smallBed(t)
+	c := rdd.NewContext(8)
+	tp := BuildTPCH(c, cfg)
+	loadTime, err := tp.Load(tb.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadTime <= 0 {
+		t.Fatal("load time not recorded")
+	}
+	_, res1, err := tp.Q6(tb.Engine, 1, 0, 2557, 0, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Stats.CacheHits == 0 {
+		t.Error("warm query did not hit the cache")
+	}
+	// Losing the whole cluster (and thus all cached tables) must make the
+	// same query substantially slower — the effect driving Figure 9.
+	tb.RevokeNodes(tb.Clock.Now()+1, 5, true)
+	tb.Clock.RunUntil(tb.Clock.Now() + 300)
+	_, res2, err := tp.Q6(tb.Engine, 2, 0, 2557, 0, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Latency() <= res1.Latency() {
+		t.Errorf("cold query (%v s) not slower than warm query (%v s)", res2.Latency(), res1.Latency())
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	cfg := WordCountConfig{Docs: 200, WordsPerDoc: 30, Vocab: 50, Parts: 4}
+	tb := smallBed(t)
+	c := rdd.NewContext(4)
+	counts, res, err := RunWordCount(tb.Engine, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 200*30 {
+		t.Fatalf("total words = %d, want 6000", total)
+	}
+	if res.Latency() <= 0 {
+		t.Error("no latency")
+	}
+	// Zipf skew: the most common word should dominate the rarest.
+	min, max := math.MaxInt32, 0
+	for _, n := range counts {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max < 3*min {
+		t.Errorf("word distribution too flat: [%d, %d]", min, max)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	if c := (PageRankConfig{}).withDefaults(); c.Vertices == 0 || c.TargetBytes != 2<<30 {
+		t.Errorf("pagerank defaults: %+v", c)
+	}
+	if c := (KMeansConfig{}).withDefaults(); c.TargetBytes != 16<<30 {
+		t.Errorf("kmeans defaults: %+v", c)
+	}
+	if c := (ALSConfig{}).withDefaults(); c.TargetBytes != 10<<30 {
+		t.Errorf("als defaults: %+v", c)
+	}
+	if c := (TPCHConfig{}).withDefaults(); c.TargetBytes != 10<<30 {
+		t.Errorf("tpch defaults: %+v", c)
+	}
+	if rowBytesFor(1000, 0) != 100 || rowBytesFor(1, 1000) != 16 {
+		t.Error("rowBytesFor clamps wrong")
+	}
+}
