@@ -18,6 +18,7 @@ import (
 
 	"flint/internal/core"
 	"flint/internal/market"
+	"flint/internal/obs"
 	"flint/internal/rdd"
 	"flint/internal/simclock"
 	"flint/internal/trace"
@@ -26,22 +27,44 @@ import (
 
 func main() {
 	var (
-		wl      = flag.String("workload", "wordcount", "workload: wordcount | pagerank | kmeans | als | tpch")
-		mode    = flag.String("mode", "batch", "server selection: batch | interactive | on-demand")
-		ckpt    = flag.String("checkpoint", "flint", "checkpointing: flint | none | system")
-		nodes   = flag.Int("nodes", 10, "cluster size")
-		pools   = flag.Int("pools", 10, "number of spot markets to simulate")
-		seed    = flag.Int64("seed", 1, "market seed")
-		queries = flag.Int("queries", 3, "interactive queries to run (tpch only)")
+		wl       = flag.String("workload", "wordcount", "workload: wordcount | pagerank | kmeans | als | tpch")
+		mode     = flag.String("mode", "batch", "server selection: batch | interactive | on-demand")
+		ckpt     = flag.String("checkpoint", "flint", "checkpointing: flint | none | system")
+		nodes    = flag.Int("nodes", 10, "cluster size")
+		pools    = flag.Int("pools", 10, "number of spot markets to simulate")
+		seed     = flag.Int64("seed", 1, "market seed")
+		queries  = flag.Int("queries", 3, "interactive queries to run (tpch only)")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run to this path")
 	)
 	flag.Parse()
-	if err := run(*wl, *mode, *ckpt, *nodes, *pools, *seed, *queries); err != nil {
+	if err := run(*wl, *mode, *ckpt, *nodes, *pools, *seed, *queries, *traceOut); err != nil {
 		fmt.Fprintf(os.Stderr, "flint: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl, mode, ckptMode string, nodes, pools int, seed int64, queries int) error {
+// writeTrace dumps an observability bundle's event buffer as Chrome
+// trace_event JSON, loadable in Perfetto (ui.perfetto.dev).
+func writeTrace(path string, o *obs.Obs) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, o.Tracer.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if d := o.Tracer.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "flint: trace ring buffer overflowed; oldest %d events dropped\n", d)
+	}
+	fmt.Printf("trace: %d events written to %s\n", o.Tracer.Len(), path)
+	return nil
+}
+
+func run(wl, mode, ckptMode string, nodes, pools int, seed int64, queries int, traceOut string) error {
 	profiles := trace.PoolSet(pools, seed)
 	exch, err := market.SpotExchange(profiles, seed+1, 24*7, 24*30, market.BillPerSecond)
 	if err != nil {
@@ -71,6 +94,12 @@ func run(wl, mode, ckptMode string, nodes, pools int, seed int64, queries int) e
 		spec.FixedInterval = 300
 	default:
 		return fmt.Errorf("unknown checkpoint mode %q", ckptMode)
+	}
+
+	var bundle *obs.Obs
+	if traceOut != "" {
+		bundle = obs.New(obs.Options{RingCapacity: 1 << 18})
+		spec.Obs = bundle
 	}
 
 	f, err := core.Launch(exch, ctx, spec)
@@ -155,6 +184,9 @@ func run(wl, mode, ckptMode string, nodes, pools int, seed int64, queries int) e
 		fmt.Printf("equivalent on-demand cost: $%.4f (savings %.0f%%)\n", odCost, 100*(1-cost.Total/odCost))
 	}
 	fmt.Printf("revocations: %d, replacements: %d, checkpoint tasks: %d\n",
-		f.Cluster.RevocationCount, f.Cluster.ReplacementCount, f.Engine.Metrics.CheckpointTasks)
+		f.Cluster.RevocationCount, f.Cluster.ReplacementCount, f.Engine.Snapshot().CheckpointTasks)
+	if traceOut != "" {
+		return writeTrace(traceOut, bundle)
+	}
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"flint/internal/experiments"
+	"flint/internal/obs"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	runs := flag.Int("runs", 0, "Monte Carlo runs for the long-horizon studies (0 = default)")
 	markets := flag.Int("markets", 16, "market count for the correlation study")
 	csvDir := flag.String("csv", "", "also write each figure's series as CSV files into this directory")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file covering the selected experiments to this path")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: flintbench [flags] <experiment>...\nexperiments: %v\n", names())
 		flag.PrintDefaults()
@@ -40,6 +42,14 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		args = names()
 	}
+	var bundle *obs.Obs
+	if *traceOut != "" {
+		// Experiments assemble their own deployments internally, so the
+		// bundle is installed as the process default, which every engine,
+		// cluster manager and exchange picks up at construction.
+		bundle = obs.New(obs.Options{RingCapacity: 1 << 18})
+		obs.SetDefault(bundle)
+	}
 	s := experiments.Scale(*scale)
 	for _, name := range args {
 		start := time.Now()
@@ -49,6 +59,33 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	if bundle != nil {
+		if err := writeTrace(*traceOut, bundle); err != nil {
+			fmt.Fprintf(os.Stderr, "flintbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace dumps the bundle's event buffer as Chrome trace_event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func writeTrace(path string, o *obs.Obs) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, o.Tracer.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if d := o.Tracer.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "flintbench: trace ring buffer overflowed; oldest %d events dropped\n", d)
+	}
+	fmt.Printf("trace: %d events written to %s\n", o.Tracer.Len(), path)
+	return nil
 }
 
 func names() []string {

@@ -92,5 +92,5 @@ func main() {
 	fmt.Printf("running totals over %d pages, %d clicks counted — exactly 400 × 10 batches: %v\n",
 		len(state), total, total == 4000)
 	fmt.Printf("checkpoints written: %d; cost so far: $%.4f\n",
-		cl.Engine.Metrics.CheckpointTasks, cl.Cost().Total)
+		cl.Engine.Snapshot().CheckpointTasks, cl.Cost().Total)
 }

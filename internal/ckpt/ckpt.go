@@ -21,6 +21,11 @@
 // unreachable: once a younger RDD is fully checkpointed, its ancestors'
 // checkpoints can never be read again and are deleted (§4 "Checkpoint
 // Garbage Collection").
+//
+// Marking and GC decisions are counted on an internal/obs bundle, and
+// internal/core additionally exports the live τ and δ as gauge functions,
+// so the policy's behaviour is visible on the /metrics endpoint (see
+// docs/OBSERVABILITY.md).
 package ckpt
 
 import (
@@ -29,6 +34,7 @@ import (
 	"sort"
 
 	"flint/internal/dfs"
+	"flint/internal/obs"
 	"flint/internal/rdd"
 	"flint/internal/simclock"
 )
@@ -80,6 +86,7 @@ type Manager struct {
 	clock *simclock.Clock
 	store *dfs.Store
 	cfg   Config
+	obs   *obs.Obs
 
 	delta float64 // current checkpoint-time estimate (seconds)
 
@@ -122,7 +129,7 @@ func NewManager(clock *simclock.Clock, store *dfs.Store, cfg Config) (*Manager, 
 		cfg.NodeMemBytes = 6 << 30
 	}
 	m := &Manager{
-		clock: clock, store: store, cfg: cfg,
+		clock: clock, store: store, cfg: cfg, obs: obs.Active(),
 		marked: make(map[int]bool), active: make(map[int]*rdd.RDD),
 		done: make(map[int]map[int]bool), fullCkpt: make(map[int]*rdd.RDD),
 		rddBytes: make(map[int]int64),
@@ -131,6 +138,15 @@ func NewManager(clock *simclock.Clock, store *dfs.Store, cfg Config) (*Manager, 
 	// active partitions, written in parallel by every node.
 	m.delta = store.WriteTime(cfg.NodeMemBytes)
 	return m, nil
+}
+
+// SetObs installs the observability bundle marking and GC decisions are
+// reported to. A nil argument installs the shared no-op bundle.
+func (m *Manager) SetObs(o *obs.Obs) {
+	if o == nil {
+		o = obs.Nop()
+	}
+	m.obs = o
 }
 
 // Delta returns the current checkpoint-time estimate δ in seconds.
@@ -187,6 +203,7 @@ func (m *Manager) maybeMark(now float64) {
 			if m.fullCkpt[r.ID] == nil && !m.marked[r.ID] {
 				m.marked[r.ID] = true
 				m.MarkEvents++
+				m.obs.CkptMarks.Inc()
 			}
 			// Also mark cached ancestors that are not yet durable: the
 			// long-lived in-memory state (e.g. a PageRank link table or a
@@ -196,6 +213,7 @@ func (m *Manager) maybeMark(now float64) {
 				if a.Cached && m.fullCkpt[a.ID] == nil && !m.marked[a.ID] {
 					m.marked[a.ID] = true
 					m.MarkEvents++
+					m.obs.CkptMarks.Inc()
 				}
 			}
 		}
@@ -389,6 +407,7 @@ func (m *Manager) gc(now float64) {
 			delete(m.done, id)
 			delete(m.rddBytes, id)
 			m.GCRemoved++
+			m.obs.CkptGCRemoved.Inc()
 		}
 	}
 }

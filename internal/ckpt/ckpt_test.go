@@ -323,7 +323,7 @@ func TestManagerOnEngine(t *testing.T) {
 	if m.MarkEvents == 0 {
 		t.Fatalf("manager never marked anything (tau=%.0f, job took %.0f s)", m.Tau(), res.Latency())
 	}
-	if tb.Engine.Metrics.CheckpointTasks == 0 {
+	if tb.Engine.Snapshot().CheckpointTasks == 0 {
 		t.Fatal("no checkpoint tasks ran")
 	}
 	// Wipe the whole cluster; recovery must come from checkpoints.

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"flint/internal/market"
+	"flint/internal/obs"
 	"flint/internal/simclock"
 )
 
@@ -117,6 +118,7 @@ type Manager struct {
 	nodes   map[int]*Node
 	nextID  int
 	stopped bool
+	obs     *obs.Obs
 
 	// Metrics.
 	RevocationCount  int
@@ -139,7 +141,17 @@ func New(clock *simclock.Clock, exch *market.Exchange, cfg Config, sel Selector,
 	return &Manager{
 		clock: clock, exch: exch, cfg: cfg, sel: sel, ev: ev,
 		nodes: make(map[int]*Node),
+		obs:   obs.Active(),
 	}, nil
+}
+
+// SetObs installs the observability bundle warning and replacement events
+// are reported to. A nil argument installs the shared no-op bundle.
+func (m *Manager) SetObs(o *obs.Obs) {
+	if o == nil {
+		o = obs.Nop()
+	}
+	m.obs = o
 }
 
 // Start provisions the initial cluster synchronously: all Size nodes are
@@ -200,6 +212,11 @@ func (m *Manager) provision(pool string, bid, now, upAt float64) error {
 				return
 			}
 			m.WarningCount++
+			m.obs.NodeWarnings.Inc()
+			m.obs.Emit(obs.Event{
+				Type: obs.EvNodeWarning, Time: m.clock.Now(),
+				Dur: at - m.clock.Now(), Node: n.ID, Pool: n.Pool,
+			})
 			if m.ev.OnWarning != nil {
 				m.ev.OnWarning(n, at)
 			}
@@ -222,6 +239,9 @@ func (m *Manager) revoke(n *Node) {
 	n.Gone = true
 	delete(m.nodes, n.ID)
 	m.RevocationCount++
+	if p := m.exch.Pool(n.Pool); p != nil {
+		m.obs.Emit(obs.Event{Type: obs.EvPriceChange, Time: now, Pool: n.Pool, Price: p.PriceAt(now)})
+	}
 	if m.ev.OnRevoked != nil {
 		m.ev.OnRevoked(n)
 	}
@@ -264,6 +284,7 @@ func (m *Manager) replaceOne(revokedPool string, now float64) {
 		err := m.provision(r.Pool, r.Bid, now, now+m.cfg.AcquisitionDelay)
 		if err == nil {
 			m.ReplacementCount++
+			m.obs.Replacements.Inc()
 			return
 		}
 		exclude = append(exclude, r.Pool)
@@ -272,6 +293,7 @@ func (m *Manager) replaceOne(revokedPool string, now float64) {
 	if od := m.exch.Pool("on-demand"); od != nil {
 		if err := m.provision("on-demand", math.Inf(1), now, now+m.cfg.AcquisitionDelay); err == nil {
 			m.ReplacementCount++
+			m.obs.Replacements.Inc()
 			return
 		}
 	}

@@ -9,12 +9,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"flint/internal/ckpt"
 	"flint/internal/cluster"
 	"flint/internal/dfs"
 	"flint/internal/exec"
 	"flint/internal/market"
+	"flint/internal/obs"
 	"flint/internal/policy"
 	"flint/internal/rdd"
 	"flint/internal/simclock"
@@ -68,6 +70,12 @@ type Spec struct {
 
 	// GC enables checkpoint garbage collection.
 	GC bool
+
+	// Obs, when non-nil, is the observability bundle the deployment
+	// reports to. When nil, Launch uses the process default installed via
+	// obs.SetDefault, or builds a fresh enabled bundle for this
+	// deployment.
+	Obs *obs.Obs
 }
 
 // DefaultSpec mirrors the paper's experimental setup: a 10-node batch
@@ -100,6 +108,7 @@ type Flint struct {
 	Manager  *ckpt.Manager // nil unless CkptFlint/CkptFixed
 	Selector cluster.Selector
 	Ctx      *rdd.Context
+	Obs      *obs.Obs // never nil; see Spec.Obs
 	spec     Spec
 }
 
@@ -115,6 +124,16 @@ func Launch(exch *market.Exchange, ctx *rdd.Context, spec Spec) (*Flint, error) 
 	}
 	clk := simclock.New()
 	store := dfs.New(spec.DFS)
+
+	o := spec.Obs
+	if o == nil {
+		if d := obs.Default(); d != nil {
+			o = d
+		} else {
+			o = obs.New(obs.Options{})
+		}
+	}
+	exch.SetObs(o)
 
 	var sel cluster.Selector
 	switch spec.Mode {
@@ -141,15 +160,26 @@ func Launch(exch *market.Exchange, ctx *rdd.Context, spec Spec) (*Flint, error) 
 		engCfg.SystemCheckpointInterval = spec.FixedInterval
 	}
 	eng := exec.New(clk, store, engCfg, nil)
+	eng.SetObs(o)
 
 	mgr, err := cluster.New(clk, exch, spec.Cluster, sel, eng.Events())
 	if err != nil {
 		return nil, err
 	}
+	mgr.SetObs(o)
 
 	f := &Flint{
 		Clock: clk, Exchange: exch, Cluster: mgr, Engine: eng,
-		Store: store, Selector: sel, Ctx: ctx, spec: spec,
+		Store: store, Selector: sel, Ctx: ctx, Obs: o, spec: spec,
+	}
+
+	// Export the market's current prices as labelled gauges. When
+	// several deployments share one bundle (flintbench --trace-out), the
+	// first deployment's closures win; per-deployment bundles are exact.
+	for _, p := range exch.Pools() {
+		pool := p
+		o.Reg.GaugeFunc("flint_market_price_per_hour", "Current pool price, $/hr.",
+			obs.Labels{"pool": pool.Name}, func() float64 { return pool.PriceAt(clk.Now()) })
 	}
 
 	if spec.Checkpoint == CkptFlint || spec.Checkpoint == CkptFixed {
@@ -181,8 +211,20 @@ func Launch(exch *market.Exchange, ctx *rdd.Context, spec Spec) (*Flint, error) 
 		if err != nil {
 			return nil, err
 		}
+		ftm.SetObs(o)
 		eng.SetPolicy(ftm)
 		f.Manager = ftm
+		// τ and δ drive the paper's central claim; export them live.
+		o.Reg.GaugeFunc("flint_checkpoint_interval_seconds",
+			"Current adaptive checkpoint interval τ=√(2δ·MTTF); -1 when infinite.",
+			nil, func() float64 {
+				if tau := ftm.Tau(); !math.IsInf(tau, 1) {
+					return tau
+				}
+				return -1
+			})
+		o.Reg.GaugeFunc("flint_checkpoint_write_estimate_seconds",
+			"Current checkpoint-time estimate δ.", nil, ftm.Delta)
 	}
 
 	if err := mgr.Start(); err != nil {

@@ -147,8 +147,8 @@ func TestOnDemandCheckpointsNothing(t *testing.T) {
 	}
 	f.Clock.RunUntil(f.Clock.Now() + simclock.Hour)
 	// Infinite MTTF → τ = ∞ → zero checkpoint tasks.
-	if f.Engine.Metrics.CheckpointTasks != 0 {
-		t.Errorf("on-demand cluster wrote %d checkpoints", f.Engine.Metrics.CheckpointTasks)
+	if f.Engine.Snapshot().CheckpointTasks != 0 {
+		t.Errorf("on-demand cluster wrote %d checkpoints", f.Engine.Snapshot().CheckpointTasks)
 	}
 }
 
@@ -357,7 +357,7 @@ func TestFlintSystemLevelSpec(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Clock.RunUntil(f.Clock.Now() + simclock.Hour)
-	if f.Engine.Metrics.SystemCkptTasks == 0 {
+	if f.Engine.Snapshot().SystemCkptTasks == 0 {
 		t.Error("no system-level checkpoints ran")
 	}
 }

@@ -157,7 +157,7 @@ func TestLaunchCkptFixedMode(t *testing.T) {
 		t.Error("no runtime")
 	}
 	f.Clock.RunUntil(f.Clock.Now() + 600)
-	if f.Engine.Metrics.CheckpointTasks == 0 {
+	if f.Engine.Snapshot().CheckpointTasks == 0 {
 		t.Error("fixed-interval policy wrote no checkpoints")
 	}
 }

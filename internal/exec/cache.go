@@ -38,6 +38,11 @@ type blockCache struct {
 	memUsed, diskUsed int64
 	blocks            map[blockKey]*block
 	memLRU, diskLRU   *list.List // front = most recent
+	// onEvict, when set, observes capacity evictions: demoted is true for
+	// a memory→disk demotion, false when the block left the cache
+	// entirely. Overwrites (put of an existing key) and explicit
+	// dropRDD/revocation cleanup do not count as evictions.
+	onEvict func(k blockKey, bytes int64, demoted bool)
 }
 
 func newBlockCache(memCap, diskCap int64) *blockCache {
@@ -111,8 +116,14 @@ func (c *blockCache) evictMem(need int64) {
 			b.where = tierDisk
 			b.elem = c.diskLRU.PushFront(b)
 			c.diskUsed += b.bytes
+			if c.onEvict != nil {
+				c.onEvict(b.key, b.bytes, true)
+			}
 		} else {
 			delete(c.blocks, b.key)
+			if c.onEvict != nil {
+				c.onEvict(b.key, b.bytes, false)
+			}
 		}
 	}
 }
@@ -128,6 +139,9 @@ func (c *blockCache) evictDisk(need int64) {
 		c.diskLRU.Remove(e)
 		c.diskUsed -= b.bytes
 		delete(c.blocks, b.key)
+		if c.onEvict != nil {
+			c.onEvict(b.key, b.bytes, false)
+		}
 	}
 }
 

@@ -16,6 +16,11 @@
 // (see DESIGN.md: the virtual-time substitution). Checkpoint writes are
 // tasks too — they occupy a slot on the node that computed the partition,
 // which is exactly how Flint's "checkpointing tax" arises.
+//
+// Every scheduler transition (job/stage/task lifecycle, checkpoint
+// begin/end, cache evictions, node arrivals and revocations) is reported
+// to an internal/obs bundle — see docs/OBSERVABILITY.md — and aggregate
+// counters are available race-free through Snapshot.
 package exec
 
 import (
@@ -24,6 +29,7 @@ import (
 
 	"flint/internal/cluster"
 	"flint/internal/dfs"
+	"flint/internal/obs"
 	"flint/internal/rdd"
 	"flint/internal/simclock"
 )
@@ -107,7 +113,12 @@ type Engine struct {
 	rrCursor    int
 	sysTickOn   bool
 
-	Metrics Metrics
+	obs *obs.Obs
+	// revokedAt holds the revocation instants still awaiting a
+	// replacement node, oldest first, for the recovery-time histogram.
+	revokedAt []float64
+
+	metrics Metrics
 }
 
 // New creates an engine. Attach it to a cluster manager by passing
@@ -125,11 +136,26 @@ func New(clock *simclock.Clock, store *dfs.Store, cfg Config, policy CheckpointP
 		shuffles:    newShuffleTracker(),
 		pendingCkpt: make(map[blockKey]bool),
 		computeSeen: make(map[blockKey]int),
+		obs:         obs.Active(),
 	}
 }
 
 // Clock returns the engine's virtual clock.
 func (e *Engine) Clock() *simclock.Clock { return e.clock }
+
+// SetObs installs the observability bundle the engine reports to. A nil
+// argument installs the shared no-op bundle.
+func (e *Engine) SetObs(o *obs.Obs) {
+	if o == nil {
+		o = obs.Nop()
+	}
+	e.obs = o
+}
+
+// Snapshot returns a copy of the engine-wide counters. Readers (webui,
+// CLIs, experiments) must use this instead of reaching into engine state,
+// so they never observe a half-updated struct.
+func (e *Engine) Snapshot() Metrics { return e.metrics }
 
 // SetPolicy installs (or replaces) the checkpoint policy. It exists
 // because the policy usually needs the same clock and store the engine
@@ -152,13 +178,37 @@ func (e *Engine) onNodeUp(n *cluster.Node) {
 	if _, dup := e.nodes[n.ID]; dup {
 		return
 	}
+	now := e.clock.Now()
+	cache := newBlockCache(n.MemBytes, n.LocalDisk)
+	cache.onEvict = func(k blockKey, bytes int64, demoted bool) {
+		bits := 0
+		if demoted {
+			bits = 1
+			e.obs.EvictToDisk.Inc()
+		} else {
+			e.obs.EvictDropped.Inc()
+		}
+		e.obs.Emit(obs.Event{
+			Type: obs.EvBlockEvict, Time: e.clock.Now(),
+			Node: n.ID, RDD: k.rddID, Part: k.part, Bytes: bytes, Bits: bits,
+		})
+	}
 	e.nodes[n.ID] = &nodeState{
 		node:      n,
 		freeSlots: n.Slots,
-		cache:     newBlockCache(n.MemBytes, n.LocalDisk),
+		cache:     cache,
 		running:   make(map[*task]bool),
 	}
-	e.Metrics.NodesJoined++
+	e.metrics.NodesJoined++
+	e.obs.NodesJoined.Inc()
+	e.obs.LiveNodes.Set(float64(len(e.nodes)))
+	e.obs.Emit(obs.Event{Type: obs.EvNodeUp, Time: now, Node: n.ID, Pool: n.Pool})
+	// A node joining while revocations are outstanding is a replacement:
+	// close the oldest recovery interval.
+	if len(e.revokedAt) > 0 {
+		e.obs.RecoveryTime.Observe(now - e.revokedAt[0])
+		e.revokedAt = e.revokedAt[1:]
+	}
 	e.pump()
 }
 
@@ -167,12 +217,16 @@ func (e *Engine) onRevoked(n *cluster.Node) {
 	if !ok {
 		return
 	}
-	e.Metrics.Revocations++
+	e.metrics.Revocations++
+	e.obs.Revocations.Inc()
+	e.obs.Emit(obs.Event{Type: obs.EvNodeRevoked, Time: e.clock.Now(), Node: n.ID, Pool: n.Pool})
+	e.revokedAt = append(e.revokedAt, e.clock.Now())
 	// Kill running tasks; their completion events become no-ops and the
 	// work is re-discovered by the scheduler from ground truth.
 	for t := range ns.running {
 		t.killed = true
-		e.Metrics.TasksKilled++
+		e.metrics.TasksKilled++
+		e.obs.TasksKilled.Inc()
 		if t.kind == taskCompute {
 			t.stage.job.stats.TasksKilled++
 			delete(t.stage.inFlight, t.part)
@@ -184,6 +238,7 @@ func (e *Engine) onRevoked(n *cluster.Node) {
 	// All volatile state on the node is gone.
 	e.shuffles.dropNode(n.ID)
 	delete(e.nodes, n.ID)
+	e.obs.LiveNodes.Set(float64(len(e.nodes)))
 	e.pump()
 }
 
@@ -217,6 +272,7 @@ func (e *Engine) Submit(target *rdd.RDD, action Action, cb func(*Result)) {
 		numTasks: target.NumParts, inFlight: make(map[int]bool),
 	}
 	e.activeJobs = append(e.activeJobs, j)
+	e.obs.Emit(obs.Event{Type: obs.EvJobSubmit, Time: j.start, Job: j.id})
 	if e.cfg.SystemCheckpointInterval > 0 && !e.sysTickOn {
 		e.sysTickOn = true
 		e.clock.After(e.cfg.SystemCheckpointInterval, e.systemCkptTick)
@@ -289,6 +345,11 @@ func (e *Engine) trySubmit(s *stage, visited map[*stage]bool) {
 	}
 	if enqueued && !s.active {
 		s.active = true
+		s.activeSince = e.clock.Now()
+		e.obs.Emit(obs.Event{
+			Type: obs.EvStageSubmit, Time: s.activeSince,
+			Job: s.job.id, Stage: s.id, RDD: s.out.ID,
+		})
 		if e.policy != nil {
 			e.policy.NotifyStageActive(s.out, e.clock.Now())
 		}
@@ -392,21 +453,36 @@ func (e *Engine) launch(t *task, ns *nodeState) {
 	t.node = ns
 	ns.freeSlots--
 	ns.running[t] = true
-	e.Metrics.TasksLaunched++
+	e.metrics.TasksLaunched++
+	e.obs.TasksLaunched.Inc()
+	now := e.clock.Now()
 	var dur float64
 	switch t.kind {
 	case taskCompute:
 		t.stage.job.stats.TasksLaunched++
+		e.obs.Emit(obs.Event{
+			Type: obs.EvTaskLaunch, Time: now, Job: t.stage.job.id,
+			Stage: t.stage.id, Task: t.seq, Node: ns.node.ID, Part: t.part,
+		})
 		t.eff = e.runCompute(t)
 		dur = t.eff.duration
-		e.Metrics.ComputeSeconds += dur
+		e.metrics.ComputeSeconds += dur
 	case taskCheckpoint:
 		dur = e.cost.TaskOverhead + e.store.WriteTime(t.ckptBytes)
-		e.Metrics.CkptSeconds += dur
+		e.metrics.CkptSeconds += dur
+		e.obs.Emit(obs.Event{
+			Type: obs.EvCheckpointBegin, Time: now, Task: t.seq,
+			Node: ns.node.ID, RDD: t.ckptRDD.ID, Part: t.part, Bytes: t.ckptBytes,
+		})
 	case taskSystemCkpt:
 		dur = e.cost.TaskOverhead + e.store.WriteTime(t.sysBytes)
-		e.Metrics.CkptSeconds += dur
+		e.metrics.CkptSeconds += dur
+		e.obs.Emit(obs.Event{
+			Type: obs.EvCheckpointBegin, Time: now, Task: t.seq,
+			Node: ns.node.ID, Bytes: t.sysBytes,
+		})
 	}
+	t.dur = dur
 	e.clock.After(dur, func() { e.onTaskDone(t) })
 }
 
@@ -425,8 +501,16 @@ func (e *Engine) onTaskDone(t *task) {
 		k := blockKey{rddID: t.ckptRDD.ID, part: t.part}
 		delete(e.pendingCkpt, k)
 		e.store.Put(checkpointKey(t.ckptRDD, t.part), t.ckptRows, t.ckptBytes, now)
-		e.Metrics.CheckpointTasks++
-		e.Metrics.CheckpointBytes += t.ckptBytes
+		e.metrics.CheckpointTasks++
+		e.metrics.CheckpointBytes += t.ckptBytes
+		e.obs.CheckpointTasks.Inc()
+		e.obs.CheckpointBytes.Add(t.ckptBytes)
+		e.obs.CkptDur.Observe(t.dur)
+		e.obs.CkptWriteBytes.Observe(float64(t.ckptBytes))
+		e.obs.Emit(obs.Event{
+			Type: obs.EvCheckpointEnd, Time: now, Dur: t.dur, Task: t.seq,
+			Node: ns.node.ID, RDD: t.ckptRDD.ID, Part: t.part, Bytes: t.ckptBytes,
+		})
 		if e.policy != nil {
 			e.policy.NotifyCheckpointDone(t.ckptRDD, t.part, t.ckptBytes, e.store.WriteTime(t.ckptBytes), now)
 		}
@@ -435,7 +519,12 @@ func (e *Engine) onTaskDone(t *task) {
 	case taskSystemCkpt:
 		ns.sysCkptInFlight = false
 		e.store.Put(fmt.Sprintf("sys/node/%d", ns.node.ID), nil, t.sysBytes, now)
-		e.Metrics.SystemCkptTasks++
+		e.metrics.SystemCkptTasks++
+		e.obs.SystemCkptTasks.Inc()
+		e.obs.Emit(obs.Event{
+			Type: obs.EvCheckpointEnd, Time: now, Dur: t.dur, Task: t.seq,
+			Node: ns.node.ID, Bytes: t.sysBytes,
+		})
 		e.pump()
 		return
 	}
@@ -443,6 +532,11 @@ func (e *Engine) onTaskDone(t *task) {
 	s := t.stage
 	j := s.job
 	delete(s.inFlight, t.part)
+	e.obs.TaskDur.Observe(t.dur)
+	e.obs.Emit(obs.Event{
+		Type: obs.EvTaskDone, Time: now, Dur: t.dur, Job: j.id,
+		Stage: s.id, Task: t.seq, Node: ns.node.ID, Part: t.part,
+	})
 
 	if len(t.eff.fetchFailed) > 0 {
 		j.stats.FetchFailures++
@@ -456,11 +550,16 @@ func (e *Engine) onTaskDone(t *task) {
 	j.stats.CacheHits += t.eff.cacheHits
 	j.stats.CacheMisses += t.eff.cacheMisses
 	j.stats.CheckpointReads += t.eff.ckptReads
+	e.obs.ShuffleRemote.Add(t.eff.remoteBytes)
+	e.obs.ShuffleLocal.Add(t.eff.localBytes)
+	e.obs.CacheHits.Add(int64(t.eff.cacheHits))
+	e.obs.CacheMisses.Add(int64(t.eff.cacheMisses))
 	for _, cp := range t.eff.computed {
 		k := blockKey{rddID: cp.r.ID, part: cp.part}
 		e.computeSeen[k]++
 		if e.computeSeen[k] > 1 {
 			j.stats.RecomputedPartitions++
+			e.obs.Recomputed.Inc()
 		}
 	}
 	// Cache insertions.
@@ -496,6 +595,7 @@ func (e *Engine) onTaskDone(t *task) {
 		e.shuffles.putOutput(s.dep, t.part, ns.node.ID, t.eff.mapBuckets)
 		if e.shuffles.state(s.dep).available() && len(s.inFlight) == 0 && s.active {
 			s.active = false
+			e.emitStageDone(s, now)
 			if e.policy != nil {
 				e.policy.NotifyStageDone(s.out, now)
 			}
@@ -504,15 +604,26 @@ func (e *Engine) onTaskDone(t *task) {
 	e.pump()
 }
 
+// emitStageDone records a stage's active interval as a span.
+func (e *Engine) emitStageDone(s *stage, now float64) {
+	e.obs.Emit(obs.Event{
+		Type: obs.EvStageDone, Time: now, Dur: now - s.activeSince,
+		Job: s.job.id, Stage: s.id, RDD: s.out.ID,
+	})
+}
+
 // finishJob assembles the job result and invokes the callback.
 func (e *Engine) finishJob(j *job, now float64) {
 	j.finished = true
 	if j.resultStage.active {
 		j.resultStage.active = false
+		e.emitStageDone(j.resultStage, now)
 		if e.policy != nil {
 			e.policy.NotifyStageDone(j.target, now)
 		}
 	}
+	e.obs.JobDur.Observe(now - j.start)
+	e.obs.Emit(obs.Event{Type: obs.EvJobFinish, Time: now, Dur: now - j.start, Job: j.id})
 	res := &Result{Start: j.start, End: now, Stats: j.stats}
 	switch j.action {
 	case ActionCollect:

@@ -148,8 +148,8 @@ func TestRevocationTriggersRecomputation(t *testing.T) {
 	if res.Stats.CacheMisses == 0 {
 		t.Error("lost partitions should cause cache misses and recomputation")
 	}
-	if tb.Engine.Metrics.Revocations != 1 {
-		t.Errorf("revocations = %d", tb.Engine.Metrics.Revocations)
+	if tb.Engine.Snapshot().Revocations != 1 {
+		t.Errorf("revocations = %d", tb.Engine.Snapshot().Revocations)
 	}
 }
 
@@ -298,10 +298,10 @@ func TestCheckpointTasksAreCounted(t *testing.T) {
 	if res.Stats.CheckpointTasks != 2 {
 		t.Errorf("job checkpoint tasks = %d, want 2", res.Stats.CheckpointTasks)
 	}
-	if tb.Engine.Metrics.CheckpointTasks != 2 {
-		t.Errorf("engine checkpoint tasks = %d, want 2", tb.Engine.Metrics.CheckpointTasks)
+	if tb.Engine.Snapshot().CheckpointTasks != 2 {
+		t.Errorf("engine checkpoint tasks = %d, want 2", tb.Engine.Snapshot().CheckpointTasks)
 	}
-	if tb.Engine.Metrics.CheckpointBytes == 0 || tb.Engine.Metrics.CkptSeconds == 0 {
+	if tb.Engine.Snapshot().CheckpointBytes == 0 || tb.Engine.Snapshot().CkptSeconds == 0 {
 		t.Error("checkpoint volume/time not recorded")
 	}
 }
@@ -330,7 +330,7 @@ func TestSystemLevelCheckpointBaseline(t *testing.T) {
 	}
 	// Drain the in-flight system checkpoint writes.
 	tb.Clock.RunUntil(tb.Clock.Now() + simclock.Hour)
-	if tb.Engine.Metrics.SystemCkptTasks == 0 {
+	if tb.Engine.Snapshot().SystemCkptTasks == 0 {
 		t.Fatal("system-level checkpoint tasks never ran")
 	}
 }
@@ -497,8 +497,8 @@ func TestReplacementNodeJoinsAndWorks(t *testing.T) {
 	if res.Count != 1600 {
 		t.Fatalf("count = %d", res.Count)
 	}
-	if tb.Engine.Metrics.NodesJoined != 3 { // 2 initial + 1 replacement
-		t.Errorf("NodesJoined = %d, want 3", tb.Engine.Metrics.NodesJoined)
+	if tb.Engine.Snapshot().NodesJoined != 3 { // 2 initial + 1 replacement
+		t.Errorf("NodesJoined = %d, want 3", tb.Engine.Snapshot().NodesJoined)
 	}
 	if tb.Engine.LiveNodeCount() != 2 {
 		t.Errorf("live nodes = %d, want 2", tb.Engine.LiveNodeCount())

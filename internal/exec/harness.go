@@ -7,6 +7,7 @@ import (
 	"flint/internal/cluster"
 	"flint/internal/dfs"
 	"flint/internal/market"
+	"flint/internal/obs"
 	"flint/internal/simclock"
 	"flint/internal/trace"
 )
@@ -36,7 +37,8 @@ type TestbedOpts struct {
 	Engine     Config  // engine config; zero uses DefaultConfig
 	AcqDelay   float64 // replacement acquisition delay (default 120 s)
 	DFS        dfs.Config
-	HorizonHrs float64 // flat-trace length (default 10,000 h)
+	HorizonHrs float64  // flat-trace length (default 10,000 h)
+	Obs        *obs.Obs // observability bundle (default obs.Active())
 }
 
 // NewTestbed builds the fixture. The primary and standby pools have flat
@@ -88,6 +90,11 @@ func NewTestbed(opts TestbedOpts) (*Testbed, error) {
 
 	store := dfs.New(opts.DFS)
 	eng := New(clk, store, engCfg, opts.Policy)
+	if opts.Obs != nil {
+		// Install before Start so initial node-up events are captured.
+		exch.SetObs(opts.Obs)
+		eng.SetObs(opts.Obs)
+	}
 
 	ccfg := cluster.DefaultConfig()
 	ccfg.Size = opts.Nodes
@@ -102,6 +109,9 @@ func NewTestbed(opts TestbedOpts) (*Testbed, error) {
 	mgr, err := cluster.New(clk, exch, ccfg, sel, eng.Events())
 	if err != nil {
 		return nil, err
+	}
+	if opts.Obs != nil {
+		mgr.SetObs(opts.Obs)
 	}
 	if err := mgr.Start(); err != nil {
 		return nil, err

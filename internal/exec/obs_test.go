@@ -1,0 +1,86 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"flint/internal/obs"
+	"flint/internal/rdd"
+)
+
+// TestEngineEmitsObsEvents runs a checkpointed job through a testbed with
+// an injected observability bundle and checks that the full event
+// vocabulary — job, stage, task, checkpoint and cluster lifecycle — lands
+// in the tracer and that the core histograms and counters are populated.
+func TestEngineEmitsObsEvents(t *testing.T) {
+	o := obs.New(obs.Options{})
+	c := rdd.NewContext(4)
+	src := c.Parallelize("ints", 8, 1024, func(part int) []rdd.Row {
+		var out []rdd.Row
+		for i := 0; i < 50; i++ {
+			out = append(out, part*100+i)
+		}
+		return out
+	})
+	cached := src.Map("work", func(x rdd.Row) rdd.Row { return x.(int) + 1 }).Persist()
+
+	pol := &alwaysCheckpoint{}
+	tb := MustTestbed(TestbedOpts{Nodes: 4, Policy: pol, Obs: o})
+	if _, err := tb.Engine.RunJob(cached, ActionMaterialize); err != nil {
+		t.Fatal(err)
+	}
+	tb.RevokeNodes(tb.Clock.Now()+10, 1, true)
+	tb.Clock.RunUntil(tb.Clock.Now() + 500)
+	if _, err := tb.Engine.RunJob(cached, ActionCollect); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[obs.EventType]int{}
+	for _, ev := range o.Tracer.Events() {
+		seen[ev.Type]++
+	}
+	for _, want := range []obs.EventType{
+		obs.EvJobSubmit, obs.EvJobFinish,
+		obs.EvStageSubmit, obs.EvStageDone,
+		obs.EvTaskLaunch, obs.EvTaskDone,
+		obs.EvCheckpointBegin, obs.EvCheckpointEnd,
+		obs.EvNodeUp, obs.EvNodeRevoked,
+	} {
+		if seen[want] == 0 {
+			t.Errorf("no %s event recorded (saw %v)", want, seen)
+		}
+	}
+
+	if o.TaskDur.Count() == 0 {
+		t.Error("task-duration histogram is empty")
+	}
+	if o.JobDur.Count() != 2 {
+		t.Errorf("job-duration count = %d, want 2", o.JobDur.Count())
+	}
+	if o.CkptWriteBytes.Count() == 0 {
+		t.Error("checkpoint-bytes histogram is empty")
+	}
+	if got, want := o.Revocations.Value(), int64(1); got != want {
+		t.Errorf("revocations counter = %d, want %d", got, want)
+	}
+	// The replacement node joined after the revocation, so recovery time
+	// was recorded.
+	if o.RecoveryTime.Count() != 1 {
+		t.Errorf("recovery-time count = %d, want 1", o.RecoveryTime.Count())
+	}
+
+	var sb strings.Builder
+	o.Reg.WritePrometheus(&sb)
+	text := sb.String()
+	for _, series := range []string{
+		"flint_task_duration_seconds_count",
+		"flint_checkpoint_write_bytes_count",
+		"flint_tasks_launched_total",
+		"flint_revocations_total",
+		"flint_live_nodes",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("prometheus output missing %q", series)
+		}
+	}
+}

@@ -66,13 +66,14 @@ type job struct {
 // job's result stage (dep == nil; it computes the job target and applies
 // the action).
 type stage struct {
-	id       int
-	job      *job
-	dep      *rdd.ShuffleDep
-	out      *rdd.RDD
-	numTasks int
-	inFlight map[int]bool // partitions currently pending or running
-	active   bool         // has had tasks enqueued and not yet gone idle
+	id          int
+	job         *job
+	dep         *rdd.ShuffleDep
+	out         *rdd.RDD
+	numTasks    int
+	inFlight    map[int]bool // partitions currently pending or running
+	active      bool         // has had tasks enqueued and not yet gone idle
+	activeSince float64      // when the current active interval began
 }
 
 func (s *stage) isResult() bool { return s.dep == nil }

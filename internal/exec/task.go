@@ -35,6 +35,7 @@ type task struct {
 
 	// Filled at dispatch for completion handling.
 	eff *effects
+	dur float64 // charged slot time, recorded at launch
 }
 
 // computedPart is one partition materialized during a task, reported to

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"flint/internal/obs"
 	"flint/internal/simclock"
 	"flint/internal/trace"
 )
@@ -177,6 +178,17 @@ type Exchange struct {
 	rng     *rand.Rand
 	nextID  int
 	leases  []*Lease
+	obs     *obs.Obs
+}
+
+// SetObs installs the observability bundle acquisitions and price
+// observations are reported to. A nil argument installs the shared no-op
+// bundle.
+func (e *Exchange) SetObs(o *obs.Obs) {
+	if o == nil {
+		o = obs.Nop()
+	}
+	e.obs = o
 }
 
 // NewExchange builds an exchange over the given pools. The seed drives
@@ -187,6 +199,7 @@ func NewExchange(pools []*Pool, billing Billing, seed int64) (*Exchange, error) 
 		pools:   make(map[string]*Pool, len(pools)),
 		billing: billing,
 		rng:     rand.New(rand.NewSource(seed)),
+		obs:     obs.Active(),
 	}
 	for _, p := range pools {
 		if p.Name == "" {
@@ -265,6 +278,9 @@ func (e *Exchange) Acquire(poolName string, bid, t float64) (*Lease, error) {
 	e.nextID++
 	l.ID = e.nextID
 	e.leases = append(e.leases, l)
+	e.obs.Acquisitions.Inc()
+	// The acquisition price is the moment the system observes the market.
+	e.obs.Emit(obs.Event{Type: obs.EvPriceChange, Time: t, Pool: p.Name, Price: p.PriceAt(t)})
 	return l, nil
 }
 

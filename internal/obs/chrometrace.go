@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event export: the JSON Array/Object format understood by
+// chrome://tracing and Perfetto (ui.perfetto.dev). Virtual seconds map to
+// trace microseconds. The layout uses one process (pid 1, "flint") with
+// one thread per simulated node plus thread 0 for the scheduler; span
+// events (task/checkpoint/stage/job completions, which carry a Dur) become
+// complete ("X") slices and everything else becomes instant ("i") marks.
+
+const chromePid = 1
+
+// schedulerTid is the synthetic thread for events not bound to a node
+// (job and stage lifecycle).
+const schedulerTid = 0
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const usPerSec = 1e6
+
+// WriteChromeTrace renders events (oldest-first, as returned by
+// Tracer.Events) as a Chrome trace_event JSON document.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+
+	// Metadata: name the process and every thread that appears.
+	tids := map[int]bool{}
+	for _, ev := range events {
+		tids[chromeTid(ev)] = true
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: schedulerTid,
+		Args: map[string]any{"name": "flint"},
+	})
+	sorted := make([]int, 0, len(tids))
+	for tid := range tids {
+		sorted = append(sorted, tid)
+	}
+	sort.Ints(sorted)
+	for _, tid := range sorted {
+		name := fmt.Sprintf("node %d", tid)
+		if tid == schedulerTid {
+			name = "scheduler"
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	for _, ev := range events {
+		out.TraceEvents = append(out.TraceEvents, toChrome(ev))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// chromeTid places an event on its node's thread, or the scheduler's.
+func chromeTid(ev Event) int {
+	switch ev.Type {
+	case EvTaskLaunch, EvTaskDone, EvCheckpointBegin, EvCheckpointEnd,
+		EvBlockEvict, EvNodeUp, EvNodeWarning, EvNodeRevoked:
+		return ev.Node
+	}
+	return schedulerTid
+}
+
+func toChrome(ev Event) chromeEvent {
+	ce := chromeEvent{
+		Name: ev.Type.String(),
+		Cat:  chromeCat(ev.Type),
+		Pid:  chromePid,
+		Tid:  chromeTid(ev),
+		Ts:   ev.Time * usPerSec,
+		Args: chromeArgs(ev),
+	}
+	if ev.Dur > 0 && isSpan(ev.Type) {
+		// Spans are emitted at their end instant; Chrome wants the start.
+		ce.Ph = "X"
+		ce.Ts = (ev.Time - ev.Dur) * usPerSec
+		d := ev.Dur * usPerSec
+		ce.Dur = &d
+		ce.Name = spanName(ev)
+		return ce
+	}
+	ce.Ph = "i"
+	ce.S = "t"
+	switch ev.Type {
+	case EvNodeUp, EvNodeWarning, EvNodeRevoked, EvPriceChange:
+		ce.S = "g" // cluster/market-wide marks render full-height
+	}
+	return ce
+}
+
+func isSpan(t EventType) bool {
+	switch t {
+	case EvJobFinish, EvStageDone, EvTaskDone, EvCheckpointEnd:
+		return true
+	}
+	return false
+}
+
+// spanName gives slices a stable, human-scannable label so Perfetto
+// groups repeated executions of the same stage/partition.
+func spanName(ev Event) string {
+	switch ev.Type {
+	case EvJobFinish:
+		return fmt.Sprintf("job %d", ev.Job)
+	case EvStageDone:
+		return fmt.Sprintf("stage %d (rdd %d)", ev.Stage, ev.RDD)
+	case EvTaskDone:
+		return fmt.Sprintf("task s%d p%d", ev.Stage, ev.Part)
+	case EvCheckpointEnd:
+		return fmt.Sprintf("checkpoint rdd%d p%d", ev.RDD, ev.Part)
+	}
+	return ev.Type.String()
+}
+
+func chromeCat(t EventType) string {
+	switch t {
+	case EvJobSubmit, EvJobFinish:
+		return "job"
+	case EvStageSubmit, EvStageDone:
+		return "stage"
+	case EvTaskLaunch, EvTaskDone:
+		return "task"
+	case EvCheckpointBegin, EvCheckpointEnd:
+		return "checkpoint"
+	case EvBlockEvict:
+		return "cache"
+	case EvNodeUp, EvNodeWarning, EvNodeRevoked:
+		return "cluster"
+	case EvPriceChange:
+		return "market"
+	}
+	return "misc"
+}
+
+// chromeArgs carries the event's identifying fields; zero-valued ids are
+// included so the schema is uniform per category.
+func chromeArgs(ev Event) map[string]any {
+	args := map[string]any{"type": ev.Type.String()}
+	switch chromeCat(ev.Type) {
+	case "job":
+		args["job"] = ev.Job
+	case "stage":
+		args["job"] = ev.Job
+		args["stage"] = ev.Stage
+		args["rdd"] = ev.RDD
+	case "task":
+		args["job"] = ev.Job
+		args["stage"] = ev.Stage
+		args["task"] = ev.Task
+		args["part"] = ev.Part
+	case "checkpoint":
+		args["rdd"] = ev.RDD
+		args["part"] = ev.Part
+		args["bytes"] = ev.Bytes
+	case "cache":
+		args["rdd"] = ev.RDD
+		args["part"] = ev.Part
+		args["bytes"] = ev.Bytes
+		args["spilled_to_disk"] = ev.Bits == 1
+	case "cluster":
+		args["node"] = ev.Node
+		args["pool"] = ev.Pool
+	case "market":
+		args["pool"] = ev.Pool
+		args["price_per_hr"] = ev.Price
+	}
+	return args
+}

@@ -1,0 +1,105 @@
+package obs
+
+// EventType enumerates the typed records the Tracer can hold. Every type
+// maps to one lifecycle moment of the simulation; see docs/OBSERVABILITY.md
+// for the field conventions of each.
+type EventType uint8
+
+const (
+	// EvNone is the zero value; it is never emitted.
+	EvNone EventType = iota
+	// EvJobSubmit fires when an action is submitted to the engine.
+	// Fields: Job.
+	EvJobSubmit
+	// EvJobFinish fires when a job's result is delivered. Fields: Job,
+	// Dur (response time).
+	EvJobFinish
+	// EvStageSubmit fires the first time a stage enqueues tasks.
+	// Fields: Job, Stage, RDD.
+	EvStageSubmit
+	// EvStageDone fires when a stage has no remaining work. Fields:
+	// Job, Stage, RDD, Dur (active time).
+	EvStageDone
+	// EvTaskLaunch fires when a task occupies a slot. Fields: Job,
+	// Stage, Task, Node, Part (zeroed Job/Stage for checkpoint tasks).
+	EvTaskLaunch
+	// EvTaskDone fires at a task's completion event. Fields as
+	// EvTaskLaunch plus Dur (slot time).
+	EvTaskDone
+	// EvCheckpointBegin fires when a partition checkpoint write starts.
+	// Fields: RDD, Part, Node, Bytes.
+	EvCheckpointBegin
+	// EvCheckpointEnd fires when the write lands in the store. Fields:
+	// RDD, Part, Node, Bytes, Dur (write time).
+	EvCheckpointEnd
+	// EvBlockEvict fires when the block cache demotes a partition to
+	// local disk or drops it. Fields: RDD, Part, Node, Bytes; Bits is 1
+	// when the block survived on disk, 0 when it was dropped.
+	EvBlockEvict
+	// EvNodeUp fires when a server (initial or replacement) becomes
+	// usable. Fields: Node, Pool.
+	EvNodeUp
+	// EvNodeWarning fires at the provider's advance revocation notice.
+	// Fields: Node, Pool, Dur (lead time until revocation).
+	EvNodeWarning
+	// EvNodeRevoked fires at the instant a server is revoked. Fields:
+	// Node, Pool.
+	EvNodeRevoked
+	// EvPriceChange records a market price observation: an acquisition
+	// price, or the revocation-time price that crossed the bid. Fields:
+	// Pool, Price.
+	EvPriceChange
+)
+
+// String returns the event type's wire name (used in exports and docs).
+func (t EventType) String() string {
+	switch t {
+	case EvJobSubmit:
+		return "job_submit"
+	case EvJobFinish:
+		return "job_finish"
+	case EvStageSubmit:
+		return "stage_submit"
+	case EvStageDone:
+		return "stage_done"
+	case EvTaskLaunch:
+		return "task_launch"
+	case EvTaskDone:
+		return "task_done"
+	case EvCheckpointBegin:
+		return "checkpoint_begin"
+	case EvCheckpointEnd:
+		return "checkpoint_end"
+	case EvBlockEvict:
+		return "block_evict"
+	case EvNodeUp:
+		return "node_up"
+	case EvNodeWarning:
+		return "node_warning"
+	case EvNodeRevoked:
+		return "node_revoked"
+	case EvPriceChange:
+		return "price_change"
+	}
+	return "unknown"
+}
+
+// Event is one trace record. Time and Dur are virtual seconds on the
+// simulation clock; unused fields are zero. Events are plain values —
+// emitting one performs no heap allocation.
+type Event struct {
+	Type EventType
+	Time float64 // emission instant (for spans: the *end* instant)
+	Dur  float64 // span length; 0 for instant events
+
+	Job   int
+	Stage int
+	Task  int
+	Node  int
+	RDD   int
+	Part  int
+	Bytes int64
+	Bits  int     // small per-type discriminator (see EvBlockEvict)
+	Price float64 // EvPriceChange: $/hr
+	Pool  string  // market pool name, where applicable
+}

@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64. All methods are nil-safe
+// and lock-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down. All methods are nil-safe
+// and lock-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates float64 observations into fixed buckets with
+// cumulative-bucket export semantics (Prometheus style) and supports
+// approximate quantiles by linear interpolation inside a bucket, refined
+// by the exact observed min and max. All methods are nil-safe.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; implicit +Inf bucket after
+	counts []uint64  // len(bounds)+1
+	sum    float64
+	count  uint64
+	min    float64
+	max    float64
+}
+
+// DurationBuckets are the default bucket bounds for virtual-time spans,
+// in seconds (tasks run for seconds to minutes; jobs for hours).
+func DurationBuckets() []float64 {
+	return []float64{0.01, 0.05, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600, 1800, 3600, 14400}
+}
+
+// ByteBuckets are the default bucket bounds for data volumes.
+func ByteBuckets() []float64 {
+	return []float64{1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 24, 1 << 26, 1 << 28, 1 << 30, 1 << 32, 1 << 34}
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DurationBuckets()
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile returns an estimate of the p-quantile (0 ≤ p ≤ 1) by linear
+// interpolation within the containing bucket, clamped to the observed
+// [min, max]. It returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 1 {
+		return h.max
+	}
+	rank := p * float64(h.count)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lo := h.min
+			if i > 0 {
+				lo = math.Max(h.bounds[i-1], h.min)
+			}
+			hi := h.max
+			if i < len(h.bounds) {
+				hi = math.Min(h.bounds[i], h.max)
+			}
+			if hi < lo {
+				hi = lo
+			}
+			return lo + (hi-lo)*(rank-cum)/float64(c)
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// snapshot returns bounds and cumulative counts for export.
+func (h *Histogram) snapshot() (bounds []float64, cumulative []uint64, sum float64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = h.bounds
+	cumulative = make([]uint64, len(h.counts))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		cumulative[i] = cum
+	}
+	return bounds, cumulative, h.sum, h.count
+}
+
+// Labels attach Prometheus-style dimensions to a metric.
+type Labels map[string]string
+
+func labelKey(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	return b.String()
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// metric is one registered instrument.
+type metric struct {
+	name   string
+	help   string
+	labels string // rendered label set, "" when unlabelled
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// Registry holds named instruments and renders them in Prometheus text
+// exposition format. Registration is idempotent: asking for an existing
+// (name, labels) pair of the same kind returns the existing instrument.
+type Registry struct {
+	mu      sync.Mutex
+	ordered []*metric
+	byKey   map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+func (r *Registry) lookup(name, help, labels string, kind metricKind) (*metric, bool) {
+	key := name + "{" + labels + "}"
+	if m, ok := r.byKey[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", key))
+		}
+		return m, true
+	}
+	m := &metric{name: name, help: help, labels: labels, kind: kind}
+	r.byKey[key] = m
+	r.ordered = append(r.ordered, m)
+	return m, false
+}
+
+// Counter registers (or returns) the named counter. Nil-safe.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.lookup(name, help, "", kindCounter)
+	if !ok {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// Gauge registers (or returns) the named gauge. Nil-safe.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.lookup(name, help, "", kindGauge)
+	if !ok {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at export
+// time (e.g. the current τ, or a market's spot price). The first
+// registration for a (name, labels) pair wins; later ones are ignored.
+// Nil-safe.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.lookup(name, help, labelKey(labels), kindGaugeFunc)
+	if !ok {
+		m.fn = fn
+	}
+}
+
+// Histogram registers (or returns) the named histogram with the given
+// bucket upper bounds (nil means DurationBuckets). Nil-safe.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.lookup(name, help, "", kindHistogram)
+	if !ok {
+		m.hist = newHistogram(bounds)
+	}
+	return m.hist
+}

@@ -1,0 +1,162 @@
+// Package obs is Flint's observability substrate: structured event
+// tracing and a metrics registry, threaded through the execution engine,
+// the fault-tolerance manager, the node manager and the market.
+//
+// The paper's claims are temporal — the checkpoint interval τ=√(2δ·MTTF),
+// the recomputation-versus-checkpoint tradeoff, revocation recovery time —
+// so the subsystem records *when* things happen against the simulation
+// clock, not wall time. It has three parts:
+//
+//   - Tracer: typed Event records (job/stage/task lifecycle, checkpoint
+//     begin/end, block evictions, node up/warning/revocation, market price
+//     observations) in a bounded ring buffer. Disabled or nil tracers
+//     cost zero allocations per emit, so instrumentation never comes out.
+//   - Registry: named Counters, Gauges, GaugeFuncs and Histograms
+//     (task/checkpoint/job durations, checkpoint bytes, revocation
+//     recovery time, ...), exported in Prometheus text format.
+//   - Exporters: WriteChromeTrace renders the event ring as Chrome
+//     trace_event JSON loadable in chrome://tracing or Perfetto;
+//     Registry.WritePrometheus renders the text exposition format.
+//
+// An Obs value bundles one tracer, one registry and the standard Flint
+// instruments. Deployments built by internal/core get a fresh enabled Obs
+// unless one is injected via the Spec or installed process-wide with
+// SetDefault (which cmd/flintbench uses so one --trace-out file spans
+// every deployment an experiment creates). See docs/OBSERVABILITY.md for
+// the full surface.
+package obs
+
+import "sync/atomic"
+
+// DefaultRingCapacity is the event-ring size used when Options leaves it
+// zero: large enough for a full systems experiment, ~3 MB resident.
+const DefaultRingCapacity = 32768
+
+// Options configures New.
+type Options struct {
+	// Disabled starts the tracer off; metrics still register and count.
+	Disabled bool
+	// RingCapacity bounds the event ring (0 = DefaultRingCapacity).
+	RingCapacity int
+}
+
+// Obs bundles a tracer, a registry, and the standard Flint instruments,
+// pre-registered so instrumented packages share one set of names (the
+// names are documented in docs/OBSERVABILITY.md).
+type Obs struct {
+	Tracer *Tracer
+	Reg    *Registry
+
+	// Engine counters.
+	TasksLaunched   *Counter
+	TasksKilled     *Counter
+	CheckpointTasks *Counter
+	CheckpointBytes *Counter
+	SystemCkptTasks *Counter
+	Revocations     *Counter
+	NodesJoined     *Counter
+	Recomputed      *Counter
+	CacheHits       *Counter
+	CacheMisses     *Counter
+	EvictToDisk     *Counter
+	EvictDropped    *Counter
+	ShuffleRemote   *Counter
+	ShuffleLocal    *Counter
+
+	// Fault-tolerance manager counters.
+	CkptMarks     *Counter
+	CkptGCRemoved *Counter
+
+	// Cluster and market counters.
+	NodeWarnings *Counter
+	Replacements *Counter
+	Acquisitions *Counter
+
+	// Gauges.
+	LiveNodes *Gauge
+
+	// Histograms.
+	TaskDur        *Histogram
+	CkptDur        *Histogram
+	JobDur         *Histogram
+	RecoveryTime   *Histogram
+	CkptWriteBytes *Histogram
+}
+
+// New builds an Obs with the standard instrument set registered.
+func New(o Options) *Obs {
+	t := NewTracer(o.RingCapacity)
+	if o.Disabled {
+		t.SetEnabled(false)
+	}
+	r := NewRegistry()
+	return &Obs{
+		Tracer: t,
+		Reg:    r,
+
+		TasksLaunched:   r.Counter("flint_tasks_launched_total", "Tasks launched onto slots (compute + checkpoint + system)."),
+		TasksKilled:     r.Counter("flint_tasks_killed_total", "Tasks killed by server revocations."),
+		CheckpointTasks: r.Counter("flint_checkpoint_tasks_total", "Partition checkpoint writes completed."),
+		CheckpointBytes: r.Counter("flint_checkpoint_bytes_total", "Bytes written to the checkpoint store."),
+		SystemCkptTasks: r.Counter("flint_system_checkpoint_tasks_total", "Full-node system-level checkpoint writes (baseline)."),
+		Revocations:     r.Counter("flint_revocations_total", "Server revocations observed by the engine."),
+		NodesJoined:     r.Counter("flint_nodes_joined_total", "Servers that became usable (initial + replacements)."),
+		Recomputed:      r.Counter("flint_recomputed_partitions_total", "Partition computations beyond the first (lineage recovery work)."),
+		CacheHits:       r.Counter("flint_cache_hits_total", "Partition reads served from a node's block cache."),
+		CacheMisses:     r.Counter("flint_cache_misses_total", "Partition reads that had to recompute or fetch."),
+		EvictToDisk:     r.Counter("flint_cache_evictions_to_disk_total", "Blocks demoted from the memory tier to local disk."),
+		EvictDropped:    r.Counter("flint_cache_evictions_dropped_total", "Blocks dropped entirely from the cache."),
+		ShuffleRemote:   r.Counter("flint_shuffle_remote_bytes_total", "Shuffle bytes fetched across nodes."),
+		ShuffleLocal:    r.Counter("flint_shuffle_local_bytes_total", "Shuffle bytes read node-locally."),
+
+		CkptMarks:     r.Counter("flint_checkpoint_marks_total", "RDDs marked for checkpointing by the τ policy."),
+		CkptGCRemoved: r.Counter("flint_checkpoint_gc_removed_total", "Checkpointed RDDs deleted by garbage collection."),
+
+		NodeWarnings: r.Counter("flint_node_warnings_total", "Advance revocation warnings delivered."),
+		Replacements: r.Counter("flint_replacements_total", "Replacement servers ordered after revocations."),
+		Acquisitions: r.Counter("flint_market_acquisitions_total", "Leases acquired from the market exchange."),
+
+		LiveNodes: r.Gauge("flint_live_nodes", "Servers currently registered with the engine."),
+
+		TaskDur:        r.Histogram("flint_task_duration_seconds", "Compute task slot time, virtual seconds.", DurationBuckets()),
+		CkptDur:        r.Histogram("flint_checkpoint_duration_seconds", "Partition checkpoint write time, virtual seconds.", DurationBuckets()),
+		JobDur:         r.Histogram("flint_job_duration_seconds", "Job response time, virtual seconds.", DurationBuckets()),
+		RecoveryTime:   r.Histogram("flint_revocation_recovery_seconds", "Time from a revocation to the next replacement joining.", DurationBuckets()),
+		CkptWriteBytes: r.Histogram("flint_checkpoint_write_bytes", "Per-partition checkpoint write sizes.", ByteBuckets()),
+	}
+}
+
+// Emit records ev on the bundle's tracer. Nil-safe.
+func (o *Obs) Emit(ev Event) {
+	if o == nil {
+		return
+	}
+	o.Tracer.Emit(ev)
+}
+
+// nop is the shared no-op bundle: instruments exist (so field access on
+// the bundle never panics) but the tracer is disabled and nothing reads
+// the registry.
+var nop = New(Options{Disabled: true, RingCapacity: 1})
+
+// Nop returns a shared disabled Obs. Instrument updates on it are cheap
+// atomic writes that nobody observes.
+func Nop() *Obs { return nop }
+
+var defaultObs atomic.Pointer[Obs]
+
+// SetDefault installs a process-wide Obs picked up by engines and
+// deployments that were not given one explicitly. Passing nil clears it.
+func SetDefault(o *Obs) { defaultObs.Store(o) }
+
+// Default returns the process-wide Obs installed by SetDefault, or nil.
+func Default() *Obs { return defaultObs.Load() }
+
+// Active returns the process-wide default if installed, else the shared
+// no-op bundle — never nil.
+func Active() *Obs {
+	if o := Default(); o != nil {
+		return o
+	}
+	return nop
+}

@@ -153,8 +153,8 @@ func TestStreamSurvivesRevocations(t *testing.T) {
 			t.Fatalf("key %v = %v, want %d (state corrupted by revocation)", k, v, want)
 		}
 	}
-	if tb.Engine.Metrics.Revocations != 3 {
-		t.Errorf("revocations = %d", tb.Engine.Metrics.Revocations)
+	if tb.Engine.Snapshot().Revocations != 3 {
+		t.Errorf("revocations = %d", tb.Engine.Snapshot().Revocations)
 	}
 }
 

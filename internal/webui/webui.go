@@ -1,16 +1,19 @@
-// Package webui serves a JSON monitoring interface over a Flint
-// deployment — the counterpart of the web interface the paper's managed
-// service gives users "to monitor job progress" (§4).
+// Package webui serves a monitoring interface over a Flint deployment —
+// the counterpart of the web interface the paper's managed service gives
+// users "to monitor job progress" (§4).
 //
 // Endpoints:
 //
-//	GET /status   cluster composition, revocation counters, cost report
-//	GET /markets  the current market snapshot the policies see
-//	GET /metrics  engine and checkpoint-store counters
+//	GET /status        cluster composition, revocation counters, cost report (JSON)
+//	GET /markets       the current market snapshot the policies see (JSON)
+//	GET /metrics       observability registry in Prometheus text format
+//	GET /metrics.json  engine and checkpoint-store counters (JSON)
+//	GET /trace         event ring buffer as Chrome trace_event JSON
 //
 // The simulator is single-threaded by design: serve and query this
 // handler between jobs (or after a run), not concurrently with a
-// RunJob in another goroutine.
+// RunJob in another goroutine. See docs/OBSERVABILITY.md for the full
+// metric and event reference.
 package webui
 
 import (
@@ -20,6 +23,7 @@ import (
 
 	"flint/internal/core"
 	"flint/internal/market"
+	"flint/internal/obs"
 	"flint/internal/policy"
 	"flint/internal/simclock"
 )
@@ -51,7 +55,7 @@ type MarketInfo struct {
 	Spiking  bool    `json:"spiking"`
 }
 
-// Metrics is the /metrics payload.
+// Metrics is the /metrics.json payload.
 type Metrics struct {
 	TasksLaunched   int     `json:"tasks_launched"`
 	TasksKilled     int     `json:"tasks_killed"`
@@ -78,7 +82,9 @@ func New(f *core.Flint, exch *market.Exchange) *Server {
 	s := &Server{f: f, exch: exch, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /status", s.status)
 	s.mux.HandleFunc("GET /markets", s.markets)
-	s.mux.HandleFunc("GET /metrics", s.metrics)
+	s.mux.HandleFunc("GET /metrics", s.prometheus)
+	s.mux.HandleFunc("GET /metrics.json", s.metricsJSON)
+	s.mux.HandleFunc("GET /trace", s.trace)
 	return s
 }
 
@@ -129,8 +135,25 @@ func (s *Server) markets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
-	em := s.f.Engine.Metrics
+// prometheus serves the deployment's metric registry in the Prometheus
+// text exposition format (version 0.0.4).
+func (s *Server) prometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	s.f.Obs.Reg.WritePrometheus(w)
+}
+
+// trace serves the event ring buffer as Chrome trace_event JSON, loadable
+// in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="flint-trace.json"`)
+	if err := obs.WriteChromeTrace(w, s.f.Obs.Tracer.Events()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) metricsJSON(w http.ResponseWriter, r *http.Request) {
+	em := s.f.Engine.Snapshot()
 	usage := s.f.Store.UsageAt(s.f.Clock.Now())
 	m := Metrics{
 		TasksLaunched:   em.TasksLaunched,

@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"flint/internal/core"
 	"flint/internal/market"
+	"flint/internal/obs"
 	"flint/internal/rdd"
 	"flint/internal/trace"
 	"flint/internal/workload"
@@ -104,7 +106,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	var m Metrics
-	if code := get(t, srv, "/metrics", &m); code != http.StatusOK {
+	if code := get(t, srv, "/metrics.json", &m); code != http.StatusOK {
 		t.Fatalf("status code = %d", code)
 	}
 	if m.TasksLaunched == 0 || m.ComputeSeconds <= 0 {
@@ -112,6 +114,66 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if m.Delta <= 0 {
 		t.Errorf("delta = %v (FT manager not wired?)", m.Delta)
+	}
+}
+
+func TestPrometheusEndpoint(t *testing.T) {
+	f, exch, ctx := deployment(t)
+	srv := New(f, exch)
+	if _, _, err := workload.RunWordCount(f, ctx, workload.WordCountConfig{Docs: 50, WordsPerDoc: 10, Vocab: 20, Parts: 4}); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status code = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, series := range []string{
+		"# TYPE flint_task_duration_seconds histogram",
+		"flint_task_duration_seconds_count",
+		"flint_checkpoint_write_bytes_count",
+		"flint_tasks_launched_total",
+		"flint_live_nodes",
+		`flint_market_price_per_hour{pool=`,
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("prometheus output missing %q", series)
+		}
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	f, exch, ctx := deployment(t)
+	srv := New(f, exch)
+	if _, _, err := workload.RunWordCount(f, ctx, workload.WordCountConfig{Docs: 50, WordsPerDoc: 10, Vocab: 20, Parts: 4}); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/trace", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status code = %d", rec.Code)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad trace JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)]++
+	}
+	if phases["X"] == 0 {
+		t.Errorf("no span events in trace (phases %v)", phases)
+	}
+	if phases["M"] == 0 {
+		t.Errorf("no metadata events in trace (phases %v)", phases)
 	}
 }
 
