@@ -11,6 +11,7 @@ import (
 	"io"
 	"testing"
 
+	"flint/internal/exec"
 	"flint/internal/experiments"
 )
 
@@ -228,6 +229,28 @@ func BenchmarkAblationDiversification(b *testing.B) {
 		res := experiments.AblationDiversification(io.Discard)
 		b.ReportMetric(res.Variance[0], "var-1-market")
 		b.ReportMetric(res.Variance[len(res.Variance)-1], "var-8-markets")
+	}
+}
+
+// BenchmarkDetbenchWorkers runs the fixed-seed determinism scenarios at
+// serial and parallel pool widths. The virtual makespans must match
+// exactly (the determinism contract); the wall-clock difference is the
+// worker pool's actual speedup on this machine.
+func BenchmarkDetbenchWorkers(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			exec.SetDefaultWorkers(w)
+			defer exec.SetDefaultWorkers(0)
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Detbench(io.Discard, 0.5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, sc := range res.Scenarios {
+					b.ReportMetric(sc.VirtualS, sc.Name+"-virtual-s")
+				}
+			}
+		})
 	}
 }
 

@@ -35,9 +35,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "market seed")
 		queries  = flag.Int("queries", 3, "interactive queries to run (tpch only)")
 		traceOut = flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run to this path")
+		workers  = flag.Int("workers", 0, "engine worker-pool width for task execution (0 = GOMAXPROCS; 1 = serial); any value produces identical results")
 	)
 	flag.Parse()
-	if err := run(*wl, *mode, *ckpt, *nodes, *pools, *seed, *queries, *traceOut); err != nil {
+	if err := run(*wl, *mode, *ckpt, *nodes, *pools, *seed, *queries, *workers, *traceOut); err != nil {
 		fmt.Fprintf(os.Stderr, "flint: %v\n", err)
 		os.Exit(1)
 	}
@@ -64,7 +65,7 @@ func writeTrace(path string, o *obs.Obs) error {
 	return nil
 }
 
-func run(wl, mode, ckptMode string, nodes, pools int, seed int64, queries int, traceOut string) error {
+func run(wl, mode, ckptMode string, nodes, pools int, seed int64, queries, workers int, traceOut string) error {
 	profiles := trace.PoolSet(pools, seed)
 	exch, err := market.SpotExchange(profiles, seed+1, 24*7, 24*30, market.BillPerSecond)
 	if err != nil {
@@ -74,6 +75,7 @@ func run(wl, mode, ckptMode string, nodes, pools int, seed int64, queries int, t
 
 	spec := core.DefaultSpec()
 	spec.Cluster.Size = nodes
+	spec.Engine.Workers = workers
 	switch mode {
 	case "batch":
 		spec.Mode = core.ModeBatch

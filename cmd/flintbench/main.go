@@ -7,21 +7,45 @@
 //	flintbench all
 //
 // Experiments: fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 ablations
+// detbench
 //
 // Each experiment prints the same rows/series the paper reports; see
-// EXPERIMENTS.md for the paper-versus-measured record.
+// EXPERIMENTS.md for the paper-versus-measured record. detbench runs the
+// fixed-seed determinism scenarios whose -csv exports must be identical
+// for any -workers value (CI diffs them).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
+	"flint/internal/exec"
 	"flint/internal/experiments"
 	"flint/internal/obs"
 )
+
+// benchEntry is one line of the machine-readable benchmark record
+// (-bench-out): a scenario's virtual makespan and real runtime.
+type benchEntry struct {
+	Name     string  `json:"name"`
+	VirtualS float64 `json:"virtual_s,omitempty"`
+	WallS    float64 `json:"wall_s"`
+}
+
+// benchRecord is the BENCH_<rev>.json payload CI uploads as an artifact,
+// seeding the perf trajectory across revisions.
+type benchRecord struct {
+	Rev       string       `json:"rev,omitempty"`
+	Workers   int          `json:"workers"`
+	GoMaxProc int          `json:"gomaxprocs"`
+	Scale     float64      `json:"scale"`
+	Scenarios []benchEntry `json:"scenarios"`
+}
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor for the systems experiments")
@@ -29,6 +53,9 @@ func main() {
 	markets := flag.Int("markets", 16, "market count for the correlation study")
 	csvDir := flag.String("csv", "", "also write each figure's series as CSV files into this directory")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file covering the selected experiments to this path")
+	workers := flag.Int("workers", 0, "engine worker-pool width for task execution (0 = GOMAXPROCS; 1 = serial); any value produces identical results")
+	benchOut := flag.String("bench-out", "", "write a machine-readable benchmark record (scenario -> virtual makespan + wall seconds) to this JSON file")
+	rev := flag.String("rev", "", "revision identifier recorded in the -bench-out file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: flintbench [flags] <experiment>...\nexperiments: %v\n", names())
 		flag.PrintDefaults()
@@ -42,6 +69,7 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		args = names()
 	}
+	exec.SetDefaultWorkers(*workers)
 	var bundle *obs.Obs
 	if *traceOut != "" {
 		// Experiments assemble their own deployments internally, so the
@@ -51,13 +79,24 @@ func main() {
 		obs.SetDefault(bundle)
 	}
 	s := experiments.Scale(*scale)
+	record := benchRecord{
+		Rev: *rev, Workers: *workers, GoMaxProc: runtime.GOMAXPROCS(0), Scale: *scale,
+	}
 	for _, name := range args {
 		start := time.Now()
-		if err := run(os.Stdout, name, s, *runs, *markets, *csvDir); err != nil {
+		entries, err := run(os.Stdout, name, s, *runs, *markets, *csvDir)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "flintbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		// Experiments that don't report per-scenario entries get one
+		// entry covering the whole run.
+		if len(entries) == 0 {
+			entries = []benchEntry{{Name: name, WallS: wall.Seconds()}}
+		}
+		record.Scenarios = append(record.Scenarios, entries...)
+		fmt.Printf("[%s completed in %v]\n\n", name, wall.Round(time.Millisecond))
 	}
 	if bundle != nil {
 		if err := writeTrace(*traceOut, bundle); err != nil {
@@ -65,6 +104,25 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, record); err != nil {
+			fmt.Fprintf(os.Stderr, "flintbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeBench dumps the benchmark record as indented JSON.
+func writeBench(path string, rec benchRecord) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: %d scenarios written to %s\n", len(rec.Scenarios), path)
+	return nil
 }
 
 // writeTrace dumps the bundle's event buffer as Chrome trace_event JSON,
@@ -89,7 +147,7 @@ func writeTrace(path string, o *obs.Obs) error {
 }
 
 func names() []string {
-	return []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations"}
+	return []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations", "detbench"}
 }
 
 // csvWriter is satisfied by every FigNResult.
@@ -104,45 +162,60 @@ func export(csvDir string, res csvWriter, err error) error {
 	return res.WriteCSV(csvDir)
 }
 
-func run(w io.Writer, name string, s experiments.Scale, runs, markets int, csvDir string) error {
+// run executes one experiment. A non-nil entries slice carries
+// per-scenario benchmark lines for -bench-out; experiments without
+// internal scenarios return nil and the caller records their wall time.
+func run(w io.Writer, name string, s experiments.Scale, runs, markets int, csvDir string) ([]benchEntry, error) {
 	switch name {
 	case "fig2":
 		res, err := experiments.Fig2(w)
-		return export(csvDir, res, err)
+		return nil, export(csvDir, res, err)
 	case "fig3":
 		res, err := experiments.Fig3(w, s)
-		return export(csvDir, res, err)
+		return nil, export(csvDir, res, err)
 	case "fig4":
 		res, err := experiments.Fig4(w, markets)
-		return export(csvDir, res, err)
+		return nil, export(csvDir, res, err)
 	case "fig6":
 		res, err := experiments.Fig6(w, s)
-		return export(csvDir, res, err)
+		return nil, export(csvDir, res, err)
 	case "fig7":
 		res, err := experiments.Fig7(w, s)
-		return export(csvDir, res, err)
+		return nil, export(csvDir, res, err)
 	case "fig8":
 		res, err := experiments.Fig8(w, s)
-		return export(csvDir, res, err)
+		return nil, export(csvDir, res, err)
 	case "fig9":
 		res, err := experiments.Fig9(w, s)
-		return export(csvDir, res, err)
+		return nil, export(csvDir, res, err)
 	case "fig10":
 		res, err := experiments.Fig10(w, runs)
-		return export(csvDir, res, err)
+		return nil, export(csvDir, res, err)
 	case "fig11":
 		res, err := experiments.Fig11(w, runs)
-		return export(csvDir, res, err)
+		return nil, export(csvDir, res, err)
 	case "ablations":
 		if _, err := experiments.AblationFrontier(w, s); err != nil {
-			return err
+			return nil, err
 		}
 		if _, err := experiments.AblationShuffle(w, s); err != nil {
-			return err
+			return nil, err
 		}
 		experiments.AblationDiversification(w)
 		experiments.StorageOverhead(w)
-		return nil
+		return nil, nil
+	case "detbench":
+		res, err := experiments.Detbench(w, s)
+		if err != nil {
+			return nil, err
+		}
+		entries := make([]benchEntry, 0, len(res.Scenarios))
+		for _, sc := range res.Scenarios {
+			entries = append(entries, benchEntry{
+				Name: "detbench/" + sc.Name, VirtualS: sc.VirtualS, WallS: sc.WallS,
+			})
+		}
+		return entries, export(csvDir, res, nil)
 	}
-	return fmt.Errorf("unknown experiment %q (want one of %v)", name, names())
+	return nil, fmt.Errorf("unknown experiment %q (want one of %v)", name, names())
 }

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestNamesCoverAllExperiments(t *testing.T) {
-	want := []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations"}
+	want := []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations", "detbench"}
 	got := names()
 	if len(got) != len(want) {
 		t.Fatalf("names = %v", got)
@@ -20,7 +23,7 @@ func TestNamesCoverAllExperiments(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	err := run(io.Discard, "fig99", 1, 0, 8, "")
+	_, err := run(io.Discard, "fig99", 1, 0, 8, "")
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Fatalf("err = %v", err)
 	}
@@ -28,7 +31,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestRunFastExperiments(t *testing.T) {
 	for _, name := range []string{"fig2", "fig4"} {
-		if err := run(io.Discard, name, 1, 2, 6, ""); err != nil {
+		if _, err := run(io.Discard, name, 1, 2, 6, ""); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}
@@ -36,7 +39,69 @@ func TestRunFastExperiments(t *testing.T) {
 
 func TestRunWithCSVExport(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(io.Discard, "fig2", 1, 2, 6, dir); err != nil {
+	if _, err := run(io.Discard, "fig2", 1, 2, 6, dir); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunDetbench exercises the determinism scenarios end to end at a
+// small scale: per-scenario bench entries, the diffable CSV, and the
+// filtered Prometheus dumps.
+func TestRunDetbench(t *testing.T) {
+	dir := t.TempDir()
+	entries, err := run(io.Discard, "detbench", 0.2, 0, 8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("detbench returned no bench entries")
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name, "detbench/") || e.VirtualS <= 0 {
+			t.Fatalf("bench entry = %+v", e)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "detbench.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "wall") {
+		t.Fatalf("detbench.csv must not carry wall-clock columns:\n%s", data)
+	}
+	proms, err := filepath.Glob(filepath.Join(dir, "detbench_*_metrics.prom"))
+	if err != nil || len(proms) != len(entries) {
+		t.Fatalf("prom dumps = %v (err %v), want %d", proms, err, len(entries))
+	}
+	for _, p := range proms {
+		text, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(text), "flint_exec_") {
+			t.Fatalf("%s leaks nondeterministic flint_exec_ metrics", p)
+		}
+	}
+}
+
+// TestWriteBench checks the BENCH_<rev>.json shape.
+func TestWriteBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	rec := benchRecord{
+		Rev: "abc123", Workers: 4, GoMaxProc: 8, Scale: 1,
+		Scenarios: []benchEntry{{Name: "detbench/wordcount", VirtualS: 12.5, WallS: 0.03}},
+	}
+	if err := writeBench(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got benchRecord
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rev != rec.Rev || len(got.Scenarios) != 1 || got.Scenarios[0].Name != rec.Scenarios[0].Name {
+		t.Fatalf("round-trip = %+v", got)
 	}
 }

@@ -292,6 +292,10 @@ func (f *Flint) Reduce(target *rdd.RDD, fn func(a, b rdd.Row) rdd.Row) (rdd.Row,
 // Stop releases the cluster.
 func (f *Flint) Stop() { f.Cluster.Stop() }
 
+// Workers returns the engine's resolved parallel execution width (see
+// exec.Config.Workers).
+func (f *Flint) Workers() int { return f.Engine.Workers() }
+
 // CostReport breaks down the dollars spent as of now.
 type CostReport struct {
 	Compute   float64 // server lease costs

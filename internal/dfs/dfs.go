@@ -143,6 +143,24 @@ func (s *Store) Get(key string, now float64) (value any, bytes int64, ok bool) {
 	return o.value, o.bytes, true
 }
 
+// Peek returns the stored value and its logical size without touching
+// read accounting. Concurrent readers may call it while no writer is
+// active; pair with NoteReads to book the reads afterwards.
+func (s *Store) Peek(key string) (value any, bytes int64, ok bool) {
+	o, ok := s.objs[key]
+	if !ok {
+		return nil, 0, false
+	}
+	return o.value, o.bytes, true
+}
+
+// NoteReads books n reads totalling bytes, as if Get had been called —
+// the replay half of Peek, applied on the simulation thread.
+func (s *Store) NoteReads(n int, bytes int64) {
+	s.gets += n
+	s.bytesRead += bytes
+}
+
 // Has reports whether key exists without charging a read.
 func (s *Store) Has(key string) bool {
 	_, ok := s.objs[key]

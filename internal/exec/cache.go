@@ -67,6 +67,28 @@ func (c *blockCache) get(k blockKey) (*block, bool) {
 	return b, true
 }
 
+// peek returns the block without touching LRU position. Worker
+// goroutines use this so concurrent reads never mutate the lists; the
+// access is replayed later with touch.
+func (c *blockCache) peek(k blockKey) (*block, bool) {
+	b, ok := c.blocks[k]
+	return b, ok
+}
+
+// touch moves block k to the front of its tier's LRU list, replaying a
+// read that happened on a worker. A missing key is a no-op.
+func (c *blockCache) touch(k blockKey) {
+	b, ok := c.blocks[k]
+	if !ok {
+		return
+	}
+	if b.where == tierMem {
+		c.memLRU.MoveToFront(b.elem)
+	} else {
+		c.diskLRU.MoveToFront(b.elem)
+	}
+}
+
 // has reports presence without touching LRU.
 func (c *blockCache) has(k blockKey) bool {
 	_, ok := c.blocks[k]

@@ -61,6 +61,14 @@ type Config struct {
 	// cluster whose MTTF is below the checkpoint time never progresses,
 	// which the paper notes as the δ ≪ MTTF requirement).
 	MaxEvents int
+	// Workers bounds the goroutines that execute task user code during a
+	// dispatch round (see workers.go for the determinism contract).
+	// 0 uses the process default (SetDefaultWorkers, falling back to
+	// runtime.GOMAXPROCS(0)); 1 runs fully serially, reproducing the
+	// original single-threaded engine exactly. Any value produces
+	// bit-identical results, stats, metrics and trace order in virtual
+	// time; only wall-clock speed changes.
+	Workers int
 }
 
 // DefaultConfig returns the calibrated engine configuration.
@@ -113,6 +121,9 @@ type Engine struct {
 	rrCursor    int
 	sysTickOn   bool
 
+	// workers is the resolved parallel execution width (see workers.go).
+	workers int
+
 	obs *obs.Obs
 	// revokedAt holds the revocation instants still awaiting a
 	// replacement node, oldest first, for the recovery-time histogram.
@@ -130,14 +141,17 @@ func New(clock *simclock.Clock, store *dfs.Store, cfg Config, policy CheckpointP
 	if cfg.Cost == (CostModel{}) {
 		cfg.Cost = DefaultCostModel()
 	}
-	return &Engine{
+	e := &Engine{
 		clock: clock, store: store, cfg: cfg, cost: cfg.Cost, policy: policy,
 		nodes:       make(map[int]*nodeState),
 		shuffles:    newShuffleTracker(),
 		pendingCkpt: make(map[blockKey]bool),
 		computeSeen: make(map[blockKey]int),
+		workers:     resolveWorkers(cfg.Workers),
 		obs:         obs.Active(),
 	}
+	e.obs.ExecWorkers.Set(float64(e.workers))
+	return e
 }
 
 // Clock returns the engine's virtual clock.
@@ -150,6 +164,7 @@ func (e *Engine) SetObs(o *obs.Obs) {
 		o = obs.Nop()
 	}
 	e.obs = o
+	e.obs.ExecWorkers.Set(float64(e.workers))
 }
 
 // Snapshot returns a copy of the engine-wide counters. Readers (webui,
@@ -383,7 +398,11 @@ func (e *Engine) enqueueCheckpoint(ns *nodeState, cp computedPart) {
 }
 
 // dispatch places queued tasks onto free slots, preferring data locality
-// for compute tasks and honoring pinning for checkpoint tasks.
+// for compute tasks and honoring pinning for checkpoint tasks. It runs in
+// three phases: slot assignment on the simulation thread (in queue
+// order), effects computation fanned out across the worker pool, and
+// effects commitment back on the simulation thread in assignment order —
+// so the observable schedule is independent of Config.Workers.
 func (e *Engine) dispatch() {
 	if len(e.queue) == 0 {
 		return
@@ -392,7 +411,7 @@ func (e *Engine) dispatch() {
 	if len(nodes) == 0 {
 		return
 	}
-	var remaining []*task
+	var remaining, launched []*task
 	for qi := 0; qi < len(e.queue); qi++ {
 		t := e.queue[qi]
 		if t.killed {
@@ -408,7 +427,8 @@ func (e *Engine) dispatch() {
 				continue
 			}
 			if ns.freeSlots > 0 {
-				e.launch(t, ns)
+				e.assign(t, ns)
+				launched = append(launched, t)
 			} else {
 				remaining = append(remaining, t)
 			}
@@ -419,9 +439,17 @@ func (e *Engine) dispatch() {
 			remaining = append(remaining, t)
 			continue
 		}
-		e.launch(t, ns)
+		e.assign(t, ns)
+		launched = append(launched, t)
 	}
 	e.queue = remaining
+	if len(launched) == 0 {
+		return
+	}
+	e.runTaskBatch(launched, nodes)
+	for _, t := range launched {
+		e.commit(t)
+	}
 }
 
 // pickNode chooses a node with a free slot, preferring the node that
@@ -446,17 +474,16 @@ func (e *Engine) pickNode(t *task, nodes []*nodeState) *nodeState {
 	return nil
 }
 
-// launch starts a task on a node: the work runs now (reads against
-// current state), the duration is charged, and effects apply at the
-// completion event.
-func (e *Engine) launch(t *task, ns *nodeState) {
+// assign binds a task to a slot on a node and emits its launch event.
+// The task's work has not run yet — that happens in the round's batch —
+// so assign must not read anything the batch will compute.
+func (e *Engine) assign(t *task, ns *nodeState) {
 	t.node = ns
 	ns.freeSlots--
 	ns.running[t] = true
 	e.metrics.TasksLaunched++
 	e.obs.TasksLaunched.Inc()
 	now := e.clock.Now()
-	var dur float64
 	switch t.kind {
 	case taskCompute:
 		t.stage.job.stats.TasksLaunched++
@@ -464,26 +491,39 @@ func (e *Engine) launch(t *task, ns *nodeState) {
 			Type: obs.EvTaskLaunch, Time: now, Job: t.stage.job.id,
 			Stage: t.stage.id, Task: t.seq, Node: ns.node.ID, Part: t.part,
 		})
-		t.eff = e.runCompute(t)
-		dur = t.eff.duration
-		e.metrics.ComputeSeconds += dur
 	case taskCheckpoint:
-		dur = e.cost.TaskOverhead + e.store.WriteTime(t.ckptBytes)
-		e.metrics.CkptSeconds += dur
 		e.obs.Emit(obs.Event{
 			Type: obs.EvCheckpointBegin, Time: now, Task: t.seq,
 			Node: ns.node.ID, RDD: t.ckptRDD.ID, Part: t.part, Bytes: t.ckptBytes,
 		})
 	case taskSystemCkpt:
-		dur = e.cost.TaskOverhead + e.store.WriteTime(t.sysBytes)
-		e.metrics.CkptSeconds += dur
 		e.obs.Emit(obs.Event{
 			Type: obs.EvCheckpointBegin, Time: now, Task: t.seq,
 			Node: ns.node.ID, Bytes: t.sysBytes,
 		})
 	}
-	t.dur = dur
-	e.clock.After(dur, func() { e.onTaskDone(t) })
+}
+
+// commit applies a task's dispatch-time effects on the simulation thread
+// — the reads its computation performed (LRU touches, checkpoint-store
+// read accounting), the charged slot time — and schedules its completion
+// event. Called in assignment order, it reproduces the serial engine's
+// state transitions exactly.
+func (e *Engine) commit(t *task) {
+	t.dur = t.eff.duration
+	switch t.kind {
+	case taskCompute:
+		e.metrics.ComputeSeconds += t.dur
+		for _, tc := range t.eff.lruTouches {
+			tc.cache.touch(tc.key)
+		}
+		if t.eff.ckptReads > 0 {
+			e.store.NoteReads(t.eff.ckptReads, t.eff.storeReadBytes)
+		}
+	case taskCheckpoint, taskSystemCkpt:
+		e.metrics.CkptSeconds += t.dur
+	}
+	e.clock.After(t.dur, func() { e.onTaskDone(t) })
 }
 
 // onTaskDone applies a finished task's effects.

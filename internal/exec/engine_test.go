@@ -2,9 +2,12 @@ package exec
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
+	"strings"
 	"testing"
 
+	"flint/internal/obs"
 	"flint/internal/rdd"
 	"flint/internal/simclock"
 )
@@ -419,6 +422,180 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatal("row contents differ across identical runs")
 		}
+	}
+}
+
+// workersScenarioResult is everything observable about one fixed-seed
+// run: delivered rows (in delivery order), job stats, engine counters,
+// the full trace event sequence, and the deterministic metric snapshot.
+type workersScenarioResult struct {
+	rows   []rdd.Row
+	stats  JobStats
+	snap   Metrics
+	events []obs.Event
+	prom   string
+}
+
+// heavyPipeline is the two-shuffle program with task weights large
+// enough (~10 s of virtual compute per source partition) that a
+// revocation a few seconds in always catches a dispatch round's tasks
+// mid-flight.
+func heavyPipeline(c *rdd.Context, n, parts int) *rdd.RDD {
+	src := c.Parallelize("ints", parts, 1<<20, func(part int) []rdd.Row {
+		var out []rdd.Row
+		for i := part; i < n; i += parts {
+			out = append(out, i)
+		}
+		return out
+	}).WithWeight(8)
+	return src.
+		Filter("odd", func(x rdd.Row) bool { return x.(int)%2 == 1 }).
+		Map("kv", func(x rdd.Row) rdd.Row { return rdd.KV{K: x.(int) % 20, V: x.(int)} }).
+		ReduceByKey("sum", parts, func(a, b rdd.Row) rdd.Row { return a.(int) + b.(int) }).
+		Map("rekey", func(x rdd.Row) rdd.Row { kv := x.(rdd.KV); return rdd.KV{K: kv.K.(int) % 5, V: kv.V} }).
+		ReduceByKey("sum2", parts, func(a, b rdd.Row) rdd.Row { return a.(int) + b.(int) })
+}
+
+// runWorkersScenario executes the canonical determinism scenario —
+// a two-shuffle pipeline racing two replacement revocations with an
+// always-checkpoint policy — at the given worker-pool width.
+func runWorkersScenario(t *testing.T, workers int) workersScenarioResult {
+	t.Helper()
+	c := rdd.NewContext(4)
+	target := heavyPipeline(c, 3000, 8)
+	bundle := obs.New(obs.Options{RingCapacity: 1 << 16})
+	tb := MustTestbed(TestbedOpts{
+		Nodes: 5, Workers: workers, Policy: &alwaysCheckpoint{}, Obs: bundle,
+	})
+	if got := tb.Engine.Workers(); workers > 0 && got != workers {
+		t.Fatalf("engine workers = %d, want %d", got, workers)
+	}
+	tb.RevokeNodes(5, 2, true)
+	res, err := tb.Engine.RunJob(target, ActionCollect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the asynchronous checkpoint writes.
+	tb.Clock.RunUntil(tb.Clock.Now() + simclock.Hour)
+	var raw strings.Builder
+	if err := bundle.Reg.WritePrometheus(&raw); err != nil {
+		t.Fatal(err)
+	}
+	// Wall-clock metrics (flint_exec_ prefix) legitimately differ across
+	// widths and are outside the determinism contract.
+	var prom strings.Builder
+	for _, line := range strings.Split(raw.String(), "\n") {
+		if !strings.Contains(line, "flint_exec_") {
+			prom.WriteString(line)
+			prom.WriteByte('\n')
+		}
+	}
+	return workersScenarioResult{
+		rows:   res.Rows,
+		stats:  res.Stats,
+		snap:   tb.Engine.Snapshot(),
+		events: bundle.Tracer.Events(),
+		prom:   prom.String(),
+	}
+}
+
+// TestWorkersDeterminism is the tentpole acceptance bar: any worker-pool
+// width must produce byte-identical rows, stats, engine counters, metric
+// snapshots and trace event order to the fully serial engine.
+func TestWorkersDeterminism(t *testing.T) {
+	base := runWorkersScenario(t, 1)
+	if base.snap.TasksKilled == 0 {
+		t.Fatal("scenario must kill tasks for the comparison to mean anything")
+	}
+	for _, w := range []int{2, 4, 8} {
+		got := runWorkersScenario(t, w)
+		if !reflect.DeepEqual(got.rows, base.rows) {
+			t.Errorf("workers=%d: delivered rows differ from workers=1", w)
+		}
+		if got.stats != base.stats {
+			t.Errorf("workers=%d: job stats differ:\n  %+v\n  %+v", w, got.stats, base.stats)
+		}
+		if got.snap != base.snap {
+			t.Errorf("workers=%d: engine counters differ:\n  %+v\n  %+v", w, got.snap, base.snap)
+		}
+		if len(got.events) != len(base.events) {
+			t.Fatalf("workers=%d: %d trace events, workers=1 emitted %d", w, len(got.events), len(base.events))
+		}
+		for i := range base.events {
+			if got.events[i] != base.events[i] {
+				t.Fatalf("workers=%d: trace event %d differs:\n  %+v\n  %+v", w, i, got.events[i], base.events[i])
+			}
+		}
+		if got.prom != base.prom {
+			t.Errorf("workers=%d: metric snapshots differ", w)
+		}
+	}
+}
+
+// TestRevocationRacesParallelRound revokes nodes while their tasks are
+// mid-flight in virtual time — after a dispatch round computed their
+// effects on workers, before their completion events fire. The killed
+// tasks' effects must be discarded (onTaskDone early-returns), the work
+// relaunched, and the answer untouched, at every pool width.
+func TestRevocationRacesParallelRound(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			c := rdd.NewContext(4)
+			src := c.Parallelize("heavy", 16, 1<<20, func(part int) []rdd.Row {
+				var out []rdd.Row
+				for i := 0; i < 100; i++ {
+					out = append(out, rdd.KV{K: part % 5, V: 1})
+				}
+				return out
+			}).WithWeight(20) // ~30 s per task: all in flight at t=5
+			target := src.ReduceByKey("sum", 4, func(a, b rdd.Row) rdd.Row {
+				return a.(int) + b.(int)
+			})
+			want := asKVMap(t, rdd.CollectLocal(target))
+
+			tb := MustTestbed(TestbedOpts{Nodes: 4, Workers: w})
+			tb.RevokeNodes(5, 2, true)
+			res, err := tb.Engine.RunJob(target, ActionCollect)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := tb.Engine.Snapshot()
+			if snap.TasksKilled == 0 {
+				t.Fatal("revocation at t=5 should catch launched tasks mid-flight")
+			}
+			if res.Stats.TasksLaunched <= 16+4 {
+				t.Errorf("killed partitions were not relaunched (launched=%d)", res.Stats.TasksLaunched)
+			}
+			got := asKVMap(t, res.Rows)
+			if len(got) != len(want) {
+				t.Fatalf("key counts differ: %d vs %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("key %d: engine %d, oracle %d (killed task effects leaked)", k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersConfigResolution pins the Config.Workers contract: explicit
+// values win, 1 is serial, 0 falls back to the process default installed
+// with SetDefaultWorkers.
+func TestWorkersConfigResolution(t *testing.T) {
+	tb := MustTestbed(TestbedOpts{Nodes: 1, Workers: 3})
+	if got := tb.Engine.Workers(); got != 3 {
+		t.Errorf("explicit workers = %d, want 3", got)
+	}
+	SetDefaultWorkers(5)
+	defer SetDefaultWorkers(0)
+	tb2 := MustTestbed(TestbedOpts{Nodes: 1})
+	if got := tb2.Engine.Workers(); got != 5 {
+		t.Errorf("process-default workers = %d, want 5", got)
+	}
+	tb3 := MustTestbed(TestbedOpts{Nodes: 1, Workers: 1})
+	if got := tb3.Engine.Workers(); got != 1 {
+		t.Errorf("serial workers = %d, want 1", got)
 	}
 }
 

@@ -144,6 +144,68 @@ func TestFuzzEngineMatchesOracle(t *testing.T) {
 	}
 }
 
+// TestFuzzWorkerWidthInvariance is the property form of the parallel
+// execution contract: for random DAGs under random revocation schedules,
+// a Workers=1 engine and a Workers=8 engine must agree on everything —
+// delivered rows in delivery order, the full JobStats, the engine's
+// counters, and the virtual makespan.
+func TestFuzzWorkerWidthInvariance(t *testing.T) {
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	type runOut struct {
+		rows  []string
+		stats JobStats
+		snap  Metrics
+		lat   float64
+	}
+	runOne := func(trial int, workers int) runOut {
+		seed := int64(trial)*15485863 + 11
+		// Rebuild the DAG and the revocation schedule from the seed so the
+		// two runs share exactly one variable: the pool width.
+		target := randomDAG(seed)
+		rng := rand.New(rand.NewSource(seed + 1))
+		tb := MustTestbed(TestbedOpts{Nodes: 3 + rng.Intn(4), Workers: workers})
+		for e := 0; e < rng.Intn(4); e++ {
+			at := 1 + rng.Float64()*120
+			k := 1 + rng.Intn(2)
+			tb.RevokeNodes(at, k, true)
+		}
+		res, err := tb.Engine.RunJob(target, ActionCollect)
+		if err != nil {
+			t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+		}
+		rows := make([]string, len(res.Rows))
+		for i, r := range res.Rows {
+			rows[i] = fmt.Sprintf("%#v", r) // delivery order, NOT canonicalized
+		}
+		return runOut{rows: rows, stats: res.Stats, snap: tb.Engine.Snapshot(), lat: res.Latency()}
+	}
+	for trial := 0; trial < trials; trial++ {
+		serial := runOne(trial, 1)
+		wide := runOne(trial, 8)
+		if len(serial.rows) != len(wide.rows) {
+			t.Fatalf("trial %d: row counts %d vs %d", trial, len(serial.rows), len(wide.rows))
+		}
+		for i := range serial.rows {
+			if serial.rows[i] != wide.rows[i] {
+				t.Fatalf("trial %d: delivery-order row %d differs:\n  w1 %s\n  w8 %s",
+					trial, i, serial.rows[i], wide.rows[i])
+			}
+		}
+		if serial.stats != wide.stats {
+			t.Fatalf("trial %d: JobStats differ:\n  w1 %+v\n  w8 %+v", trial, serial.stats, wide.stats)
+		}
+		if serial.snap != wide.snap {
+			t.Fatalf("trial %d: engine counters differ:\n  w1 %+v\n  w8 %+v", trial, serial.snap, wide.snap)
+		}
+		if serial.lat != wide.lat {
+			t.Fatalf("trial %d: virtual makespan %v vs %v", trial, serial.lat, wide.lat)
+		}
+	}
+}
+
 // TestFuzzRerunsAreIdenticalAfterChaos re-runs the same job twice on one
 // testbed with a revocation between the runs; caching plus recomputation
 // must never change the answer.

@@ -35,6 +35,7 @@ type TestbedOpts struct {
 	DiskBytes  int64 // local spill disk per node (default 32 GB)
 	Policy     CheckpointPolicy
 	Engine     Config  // engine config; zero uses DefaultConfig
+	Workers    int     // engine worker-pool width (0 = Engine.Workers/process default)
 	AcqDelay   float64 // replacement acquisition delay (default 120 s)
 	DFS        dfs.Config
 	HorizonHrs float64  // flat-trace length (default 10,000 h)
@@ -65,7 +66,12 @@ func NewTestbed(opts TestbedOpts) (*Testbed, error) {
 	}
 	engCfg := opts.Engine
 	if engCfg.MaxEvents == 0 && engCfg.Cost == (CostModel{}) && engCfg.SystemCheckpointInterval == 0 {
+		w := engCfg.Workers
 		engCfg = DefaultConfig()
+		engCfg.Workers = w
+	}
+	if opts.Workers != 0 {
+		engCfg.Workers = opts.Workers
 	}
 
 	clk := simclock.New()

@@ -73,6 +73,17 @@ func (t *shuffleTracker) state(dep *rdd.ShuffleDep) *shuffleState {
 	return t.states[t.register(dep)]
 }
 
+// lookup returns the tracker state for dep without registering it, or
+// nil if dep has never been seen. Safe for concurrent readers: it never
+// mutates the tracker (registration happens only on the simulation
+// thread, never during a dispatch round's worker fan-out).
+func (t *shuffleTracker) lookup(dep *rdd.ShuffleDep) *shuffleState {
+	if id, ok := t.ids[dep]; ok {
+		return t.states[id]
+	}
+	return nil
+}
+
 // putOutput registers a completed map task's buckets.
 func (t *shuffleTracker) putOutput(dep *rdd.ShuffleDep, mapPart, nodeID int, buckets [][]rdd.Row) {
 	st := t.state(dep)
@@ -107,8 +118,16 @@ type fetchResult struct {
 // recomputation is deterministic. If any output is missing the fetch
 // fails and the caller triggers parent-stage resubmission.
 func (t *shuffleTracker) fetch(dep *rdd.ShuffleDep, reducePart, readerNode int) fetchResult {
-	st := t.state(dep)
+	st := t.lookup(dep)
 	var res fetchResult
+	if st == nil {
+		// A reduce task only dispatches after its dep was registered by
+		// trySubmit; defensively treat an unknown dep as all-missing.
+		for i := 0; i < dep.P.NumParts; i++ {
+			res.missing = append(res.missing, i)
+		}
+		return res
+	}
 	for i, o := range st.outputs {
 		if o == nil {
 			res.missing = append(res.missing, i)

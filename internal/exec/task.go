@@ -36,6 +36,10 @@ type task struct {
 	// Filled at dispatch for completion handling.
 	eff *effects
 	dur float64 // charged slot time, recorded at launch
+
+	// busyWall is the real seconds the task's computation took on its
+	// worker goroutine (observability only; not part of virtual time).
+	busyWall float64
 }
 
 // computedPart is one partition materialized during a task, reported to
@@ -47,10 +51,19 @@ type computedPart struct {
 	bytes int64
 }
 
+// cacheTouch records one LRU access a task performed against a node
+// cache, to be replayed on the simulation thread in task seq order.
+type cacheTouch struct {
+	cache *blockCache
+	key   blockKey
+}
+
 // effects is everything a compute task wants to apply to engine state at
-// its completion event. Reads happen at dispatch time (task start);
-// writes happen at completion so no state mutates before virtual time has
-// passed.
+// its completion event. Reads happen at dispatch time (task start) on a
+// worker goroutine, so even the bookkeeping a read implies — LRU
+// position, store read counters — is recorded here and replayed on the
+// simulation thread; writes happen at completion so no state mutates
+// before virtual time has passed.
 type effects struct {
 	duration    float64
 	computed    []computedPart // partitions produced by the pipeline
@@ -64,6 +77,10 @@ type effects struct {
 	cacheHits   int
 	cacheMisses int
 	ckptReads   int
+
+	// Deferred read bookkeeping, applied by Engine.commit in seq order.
+	lruTouches     []cacheTouch
+	storeReadBytes int64
 }
 
 // taskCtx resolves one compute task's target partition, charging virtual
@@ -71,11 +88,17 @@ type effects struct {
 // once within a task are memoized — a pipelined chain touches each
 // (RDD, partition) at most once, like one Spark task walking its
 // iterator chain.
+//
+// A taskCtx may run on a worker goroutine, so it only *reads* shared
+// engine state (caches via peek, the store via Peek, the shuffle tracker
+// via lookup) against the node snapshot taken at round start; every
+// mutation it implies is recorded in eff and replayed by Engine.commit.
 type taskCtx struct {
-	e    *Engine
-	node *nodeState
-	memo map[blockKey][]rdd.Row
-	eff  *effects
+	e     *Engine
+	node  *nodeState
+	nodes []*nodeState // round-start snapshot, node-ID order
+	memo  map[blockKey][]rdd.Row
+	eff   *effects
 }
 
 // resolve returns the rows of partition (r, p), or nil if a shuffle fetch
@@ -94,13 +117,14 @@ func (tc *taskCtx) resolve(r *rdd.RDD, p int) []rdd.Row {
 		tc.eff.touched = append(tc.eff.touched, computedPart{r: r, part: p, rows: rows, bytes: r.SizeOfRows(len(rows))})
 		return rows
 	}
-	// 2. Checkpoint store.
+	// 2. Checkpoint store. Peek avoids mutating read counters on the
+	// worker; commit books the reads via NoteReads.
 	key := checkpointKey(r, p)
-	if tc.e.store.Has(key) {
-		v, bytes, _ := tc.e.store.Get(key, tc.e.clock.Now())
+	if v, bytes, ok := tc.e.store.Peek(key); ok {
 		rows := v.([]rdd.Row)
 		tc.eff.duration += tc.e.store.ReadTime(bytes)
 		tc.eff.ckptReads++
+		tc.eff.storeReadBytes += bytes
 		tc.memo[k] = rows
 		tc.record(r, p, rows)
 		return rows
@@ -151,20 +175,24 @@ func (tc *taskCtx) resolve(r *rdd.RDD, p int) []rdd.Row {
 }
 
 // readCache looks for block k in the local cache first, then remotely on
-// other live nodes (charging a network transfer).
+// other live nodes (charging a network transfer). Lookups use peek — no
+// LRU movement on the worker — and record the touch for commit to
+// replay, so the final LRU order matches the serial engine's.
 func (tc *taskCtx) readCache(k blockKey, r *rdd.RDD) ([]rdd.Row, bool) {
-	if b, ok := tc.node.cache.get(k); ok {
+	if b, ok := tc.node.cache.peek(k); ok {
+		tc.eff.lruTouches = append(tc.eff.lruTouches, cacheTouch{cache: tc.node.cache, key: k})
 		if b.where == tierDisk {
 			tc.eff.duration += tc.e.cost.diskTime(b.bytes)
 		}
 		tc.eff.cacheHits++
 		return b.rows, true
 	}
-	for _, ns := range tc.e.sortedNodes() {
+	for _, ns := range tc.nodes {
 		if ns == tc.node {
 			continue
 		}
-		if b, ok := ns.cache.get(k); ok {
+		if b, ok := ns.cache.peek(k); ok {
+			tc.eff.lruTouches = append(tc.eff.lruTouches, cacheTouch{cache: ns.cache, key: k})
 			tc.eff.duration += tc.e.cost.netTime(b.bytes)
 			if b.where == tierDisk {
 				tc.eff.duration += tc.e.cost.diskTime(b.bytes)
@@ -187,10 +215,11 @@ func (tc *taskCtx) record(r *rdd.RDD, p int, rows []rdd.Row) {
 }
 
 // runCompute executes a compute task's work at dispatch time and returns
-// its effects.
-func (e *Engine) runCompute(t *task) *effects {
+// its effects. Safe to call from a worker goroutine: it reads only the
+// frozen round state (see workers.go).
+func (e *Engine) runCompute(t *task, nodes []*nodeState) *effects {
 	eff := &effects{duration: e.cost.TaskOverhead}
-	tc := &taskCtx{e: e, node: t.node, memo: make(map[blockKey][]rdd.Row), eff: eff}
+	tc := &taskCtx{e: e, node: t.node, nodes: nodes, memo: make(map[blockKey][]rdd.Row), eff: eff}
 	rows := tc.resolve(t.stage.out, t.part)
 	if len(eff.fetchFailed) > 0 {
 		// The failed fetch consumed only the launch overhead.

@@ -1,0 +1,132 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Parallel task execution.
+//
+// Tasks launched in one dispatch round execute their user code (partition
+// computation, shuffle bucketing, checkpoint payload sizing) on a bounded
+// pool of Config.Workers goroutines, while the discrete-event scheduler
+// keeps sole ownership of virtual time, slot accounting and event
+// ordering. The contract that makes this bit-for-bit deterministic in
+// virtual time:
+//
+//   - Workers only *read* shared engine state (caches, the shuffle
+//     tracker, the checkpoint store, the node snapshot taken at round
+//     start). Nothing mutates that state between fan-out and join: the
+//     simulation thread is blocked on the join, and no clock event can
+//     fire in between.
+//   - Every mutation a task wants to make — LRU touches, store read
+//     accounting, cache inserts, shuffle outputs, metrics — is recorded
+//     in its private effects struct and applied on the simulation thread
+//     in task seq order, which is exactly the order the serial engine
+//     applied them.
+//   - Tracer emissions never happen on workers; they are issued on the
+//     simulation thread at assignment and completion, so the event ring
+//     order is identical for Workers=1 and Workers=N.
+//
+// Within a round, the shared state a task reads cannot be affected by a
+// concurrently running task (content mutations only happen at completion
+// events), so parallel reads observe the same values the serial engine
+// would, and the computed effects are identical.
+
+// defaultWorkers is the process-wide worker count used when
+// Config.Workers is zero, settable by CLI flags (cmd/flint and
+// cmd/flintbench expose -workers). Zero means runtime.GOMAXPROCS(0).
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the process-wide worker count used by engines
+// whose Config.Workers is zero. n <= 0 restores the GOMAXPROCS default.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// resolveWorkers turns a Config.Workers value into a concrete pool size:
+// the value itself when positive, else the process default installed with
+// SetDefaultWorkers, else runtime.GOMAXPROCS(0). 1 reproduces the fully
+// serial engine.
+func resolveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if d := int(defaultWorkers.Load()); d > 0 {
+		return d
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers returns the engine's resolved parallel execution width.
+func (e *Engine) Workers() int { return e.workers }
+
+// runTaskBatch computes the effects of every task assigned in one
+// dispatch round, fanning the work out across the engine's worker pool.
+// On return, every task in batch has t.eff populated and t.busyWall set
+// to the wall-clock seconds its computation took. The batch order is the
+// assignment (seq) order; effects are applied later in that same order by
+// the caller.
+func (e *Engine) runTaskBatch(batch []*task, nodes []*nodeState) {
+	if len(batch) == 0 {
+		return
+	}
+	roundStart := time.Now()
+	w := e.workers
+	if w > len(batch) {
+		w = len(batch)
+	}
+	if w <= 1 {
+		for _, t := range batch {
+			start := time.Now()
+			t.eff = e.computeEffects(t, nodes)
+			t.busyWall = time.Since(start).Seconds()
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for i := 0; i < w; i++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(batch) {
+						return
+					}
+					t := batch[i]
+					start := time.Now()
+					t.eff = e.computeEffects(t, nodes)
+					t.busyWall = time.Since(start).Seconds()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Wall metrics are real time, not virtual time: they measure how fast
+	// the engine itself runs and are deliberately excluded from the
+	// determinism contract (and from detbench's diffable snapshots).
+	e.obs.ExecRoundWall.Observe(time.Since(roundStart).Seconds())
+	for _, t := range batch {
+		e.obs.WorkerBusy.Observe(t.busyWall)
+	}
+}
+
+// computeEffects runs one task's work against the current (frozen for the
+// round) engine state and returns its effects. It must only read shared
+// state; see the package contract above. Safe to call from worker
+// goroutines.
+func (e *Engine) computeEffects(t *task, nodes []*nodeState) *effects {
+	switch t.kind {
+	case taskCheckpoint:
+		return &effects{duration: e.cost.TaskOverhead + e.store.WriteTime(t.ckptBytes)}
+	case taskSystemCkpt:
+		return &effects{duration: e.cost.TaskOverhead + e.store.WriteTime(t.sysBytes)}
+	}
+	return e.runCompute(t, nodes)
+}

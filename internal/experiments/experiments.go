@@ -16,6 +16,7 @@ import (
 
 	"flint/internal/ckpt"
 	"flint/internal/exec"
+	"flint/internal/obs"
 	"flint/internal/rdd"
 	"flint/internal/simclock"
 	"flint/internal/workload"
@@ -36,7 +37,8 @@ type bedOpts struct {
 	fixedInt float64 // >0 with mttf>0: fixed-interval manager
 	sysCkpt  float64 // >0: system-level checkpointing baseline
 	acqDelay float64
-	noBoost  bool // disable the shuffle τ/P rule (ablation)
+	noBoost  bool     // disable the shuffle τ/P rule (ablation)
+	obs      *obs.Obs // per-bed observability bundle (detbench)
 }
 
 // bed is one assembled testbed plus its (optional) FT manager.
@@ -59,7 +61,7 @@ func newBed(o bedOpts) *bed {
 	}
 	tb := exec.MustTestbed(exec.TestbedOpts{
 		Nodes: o.nodes, Slots: o.slots, MemBytes: o.mem, DiskBytes: o.disk,
-		AcqDelay: o.acqDelay, Engine: engCfg,
+		AcqDelay: o.acqDelay, Engine: engCfg, Obs: o.obs,
 	})
 	ctx := rdd.NewContext(2 * o.nodes)
 	b := &bed{tb: tb, ctx: ctx}

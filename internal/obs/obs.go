@@ -73,7 +73,8 @@ type Obs struct {
 	Acquisitions *Counter
 
 	// Gauges.
-	LiveNodes *Gauge
+	LiveNodes   *Gauge
+	ExecWorkers *Gauge
 
 	// Histograms.
 	TaskDur        *Histogram
@@ -81,6 +82,13 @@ type Obs struct {
 	JobDur         *Histogram
 	RecoveryTime   *Histogram
 	CkptWriteBytes *Histogram
+
+	// Wall-clock (real time, not virtual) execution histograms. These
+	// measure how fast the engine itself runs, vary run to run, and are
+	// deliberately excluded from the determinism contract — diffable
+	// snapshots filter the flint_exec_ prefix.
+	ExecRoundWall *Histogram
+	WorkerBusy    *Histogram
 }
 
 // New builds an Obs with the standard instrument set registered.
@@ -116,13 +124,17 @@ func New(o Options) *Obs {
 		Replacements: r.Counter("flint_replacements_total", "Replacement servers ordered after revocations."),
 		Acquisitions: r.Counter("flint_market_acquisitions_total", "Leases acquired from the market exchange."),
 
-		LiveNodes: r.Gauge("flint_live_nodes", "Servers currently registered with the engine."),
+		LiveNodes:   r.Gauge("flint_live_nodes", "Servers currently registered with the engine."),
+		ExecWorkers: r.Gauge("flint_exec_workers", "Resolved worker-pool width of the execution engine."),
 
 		TaskDur:        r.Histogram("flint_task_duration_seconds", "Compute task slot time, virtual seconds.", DurationBuckets()),
 		CkptDur:        r.Histogram("flint_checkpoint_duration_seconds", "Partition checkpoint write time, virtual seconds.", DurationBuckets()),
 		JobDur:         r.Histogram("flint_job_duration_seconds", "Job response time, virtual seconds.", DurationBuckets()),
 		RecoveryTime:   r.Histogram("flint_revocation_recovery_seconds", "Time from a revocation to the next replacement joining.", DurationBuckets()),
 		CkptWriteBytes: r.Histogram("flint_checkpoint_write_bytes", "Per-partition checkpoint write sizes.", ByteBuckets()),
+
+		ExecRoundWall: r.Histogram("flint_exec_wall_seconds", "Real seconds per dispatch round's task batch (wall clock, nondeterministic).", DurationBuckets()),
+		WorkerBusy:    r.Histogram("flint_exec_worker_busy_seconds", "Real seconds one task's computation occupied a worker (wall clock, nondeterministic).", DurationBuckets()),
 	}
 }
 

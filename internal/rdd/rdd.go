@@ -13,6 +13,15 @@
 // Rows are dynamically typed (Row = any); keyed operations use the KV
 // pair type and require comparable, hashable keys (ints, strings, floats,
 // bools, or small comparable structs of those).
+//
+// User code attached to the graph — Gen, Fn, ShuffleDep.Partitioner and
+// ShuffleDep.Combine — must be pure per partition: deterministic in its
+// arguments, free of shared mutable state, and side-effect free. The
+// engine relies on this twice over: recomputation after a revocation
+// replays the same function and must reproduce the same rows, and tasks
+// of one dispatch round execute concurrently on a worker pool (see
+// internal/exec/workers.go), so two partitions' functions may run at the
+// same time.
 package rdd
 
 import (
@@ -67,10 +76,12 @@ type ShuffleDep struct {
 	P      *RDD
 	NumOut int
 	// Partitioner assigns a row to an output bucket. nil means hash the
-	// row's KV key.
+	// row's KV key. Must be a pure function of the row: map tasks of one
+	// dispatch round bucket their partitions concurrently.
 	Partitioner func(r Row, numOut int) int
 	// Combine optionally pre-aggregates one bucket's rows map-side
-	// (Spark's map-side combine for reduceByKey).
+	// (Spark's map-side combine for reduceByKey). Same purity contract
+	// as Partitioner; it must not mutate the input slice.
 	Combine func(rows []Row) []Row
 }
 
@@ -97,13 +108,18 @@ type RDD struct {
 	Deps     []Dependency
 
 	// Gen generates a source partition (only for RDDs with no Deps).
-	// It must be deterministic in part.
+	// It must be deterministic in part and safe to call concurrently for
+	// different partitions: lineage recovery replays it, and the engine's
+	// worker pool may generate several partitions at once.
 	Gen func(part int) []Row
 
 	// Fn computes a partition from its inputs: inputs[i] holds the rows
 	// delivered by Deps[i] for this partition (the mapped parent
 	// partition for narrow deps; the concatenated shuffle bucket for
-	// shuffle deps).
+	// shuffle deps). Like Gen it must be pure: deterministic in its
+	// arguments, no shared mutable state, safe under concurrent calls
+	// for different partitions. It must not retain or mutate the input
+	// slices, which may be shared with other concurrently running tasks.
 	Fn func(part int, inputs [][]Row) []Row
 
 	// Weight scales the virtual compute cost of producing this RDD
