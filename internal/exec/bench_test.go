@@ -1,0 +1,95 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"flint/internal/rdd"
+)
+
+// Data-plane benchmarks for the shuffle hot paths: the reduce-side fetch
+// (run once per reduce task, and again for every post-revocation
+// recomputation) and the map-side bucketing pass.
+
+func benchTracker(mapParts, numOut, rowsPerBucket int) (*shuffleTracker, *rdd.ShuffleDep) {
+	c := rdd.NewContext(2)
+	src := c.Parallelize("src", mapParts, 10, func(part int) []rdd.Row { return nil })
+	dep := &rdd.ShuffleDep{P: src, NumOut: numOut}
+	tr := newShuffleTracker()
+	for mp := 0; mp < mapParts; mp++ {
+		buckets := make([][]rdd.Row, numOut)
+		for b := range buckets {
+			rows := make([]rdd.Row, rowsPerBucket)
+			for i := range rows {
+				rows[i] = rdd.KV{K: mp*rowsPerBucket + i, V: b}
+			}
+			buckets[b] = rows
+		}
+		tr.putOutput(dep, mp, mp%4, buckets)
+	}
+	return tr, dep
+}
+
+// BenchmarkShuffleFetch measures gathering one reduce partition's bucket
+// from every map output and materializing the concatenated row slice.
+func BenchmarkShuffleFetch(b *testing.B) {
+	cases := []struct {
+		name                         string
+		mapParts, numOut, rowsPerBkt int
+	}{
+		{"64maps-16buckets", 64, 16, 64},
+		{"256maps-32buckets", 256, 32, 16},
+	}
+	for _, c := range cases {
+		tr, dep := benchTracker(c.mapParts, c.numOut, c.rowsPerBkt)
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows := tr.fetch(dep, i%c.numOut, 0).materialize()
+				if len(rows) != c.mapParts*c.rowsPerBkt {
+					b.Fatalf("fetched %d rows", len(rows))
+				}
+			}
+		})
+	}
+}
+
+func benchBucketRows(n int, str bool) []rdd.Row {
+	rows := make([]rdd.Row, n)
+	for i := range rows {
+		if str {
+			rows[i] = rdd.KV{K: fmt.Sprintf("key-%06d", (i*2654435761)%4096), V: i}
+		} else {
+			rows[i] = rdd.KV{K: (i * 2654435761) % 4096, V: i}
+		}
+	}
+	return rows
+}
+
+// BenchmarkBucketing measures the map-side split of one partition's rows
+// into NumOut shuffle buckets.
+func BenchmarkBucketing(b *testing.B) {
+	c := rdd.NewContext(2)
+	src := c.Parallelize("src", 1, 10, func(part int) []rdd.Row { return nil })
+	for _, tc := range []struct {
+		name   string
+		numOut int
+		str    bool
+	}{
+		{"int-16buckets", 16, false},
+		{"int-64buckets", 64, false},
+		{"string-16buckets", 16, true},
+	} {
+		dep := &rdd.ShuffleDep{P: src, NumOut: tc.numOut}
+		rows := benchBucketRows(1<<16, tc.str)
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buckets := dep.BucketRows(rows)
+				if len(buckets[0]) == 0 {
+					b.Fatal("empty bucket")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,214 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Tier-transition coverage for blockCache: demotion order out of the
+// memory tier, eviction order out of the disk tier, and the exact
+// sequencing of onEvict callbacks when a single put cascades through
+// both tiers.
+
+// evictEvent records one onEvict callback.
+type evictEvent struct {
+	key     blockKey
+	bytes   int64
+	demoted bool
+}
+
+func recordEvictions(c *blockCache) *[]evictEvent {
+	events := &[]evictEvent{}
+	c.onEvict = func(k blockKey, bytes int64, demoted bool) {
+		*events = append(*events, evictEvent{k, bytes, demoted})
+	}
+	return events
+}
+
+// TestBlockCacheMemDemotionOrder checks that memory blocks demote to
+// disk strictly in LRU order, with get() refreshing recency.
+func TestBlockCacheMemDemotionOrder(t *testing.T) {
+	c := newBlockCache(300, 1000)
+	ev := recordEvictions(c)
+	c.put(blockKey{1, 0}, nil, 100)
+	c.put(blockKey{1, 1}, nil, 100)
+	c.put(blockKey{1, 2}, nil, 100)
+	// Recency now 2 > 1 > 0; reading 0 makes it 0 > 2 > 1.
+	c.get(blockKey{1, 0})
+	// Two more puts must demote 1 first, then 2 — never 0.
+	c.put(blockKey{1, 3}, nil, 100)
+	c.put(blockKey{1, 4}, nil, 100)
+	want := []evictEvent{
+		{blockKey{1, 1}, 100, true},
+		{blockKey{1, 2}, 100, true},
+	}
+	if len(*ev) != len(want) {
+		t.Fatalf("evictions = %+v, want %+v", *ev, want)
+	}
+	for i, e := range *ev {
+		if e != want[i] {
+			t.Errorf("eviction[%d] = %+v, want %+v", i, e, want[i])
+		}
+	}
+	for _, tc := range []struct {
+		part int
+		tier tier
+	}{{0, tierMem}, {1, tierDisk}, {2, tierDisk}, {3, tierMem}, {4, tierMem}} {
+		b, ok := c.peek(blockKey{1, tc.part})
+		if !ok || b.where != tc.tier {
+			t.Errorf("block %d: ok=%v tier=%v, want tier %v", tc.part, ok, b.where, tc.tier)
+		}
+	}
+}
+
+// TestBlockCacheDiskEvictionOrder checks that the disk tier drops
+// blocks in its own LRU order, and that touching a disk-resident block
+// via get() protects it from the next eviction.
+func TestBlockCacheDiskEvictionOrder(t *testing.T) {
+	c := newBlockCache(100, 300)
+	ev := recordEvictions(c)
+	// Each put displaces the previous block to disk: after the loop the
+	// disk holds 0,1,2 (2 most recent) and memory holds 3.
+	for p := 0; p < 4; p++ {
+		c.put(blockKey{1, p}, nil, 100)
+	}
+	if got := len(*ev); got != 3 {
+		t.Fatalf("expected 3 demotions, saw %+v", *ev)
+	}
+	*ev = (*ev)[:0]
+	// Refresh block 0 on disk; the next disk eviction must take 1.
+	c.get(blockKey{1, 0})
+	c.put(blockKey{2, 0}, nil, 100) // demotes 3 → disk is full → drops 1
+	want := []evictEvent{
+		{blockKey{1, 1}, 100, false},
+		{blockKey{1, 3}, 100, true},
+	}
+	if len(*ev) != len(want) {
+		t.Fatalf("evictions = %+v, want %+v", *ev, want)
+	}
+	for i, e := range *ev {
+		if e != want[i] {
+			t.Errorf("eviction[%d] = %+v, want %+v", i, e, want[i])
+		}
+	}
+	if c.has(blockKey{1, 1}) {
+		t.Error("dropped block still present")
+	}
+	if b, ok := c.peek(blockKey{1, 0}); !ok || b.where != tierDisk {
+		t.Error("refreshed disk block should have survived")
+	}
+}
+
+// TestBlockCacheEvictCallbackSequencing drives a put that cascades
+// through both tiers and asserts the callback order: the disk drop
+// (making room) fires before the demotion that needed the room.
+func TestBlockCacheEvictCallbackSequencing(t *testing.T) {
+	c := newBlockCache(100, 100)
+	ev := recordEvictions(c)
+	c.put(blockKey{1, 0}, nil, 100) // fills memory
+	c.put(blockKey{1, 1}, nil, 100) // demotes 0 to disk
+	c.put(blockKey{1, 2}, nil, 100) // drops 0 from disk, then demotes 1
+	want := []evictEvent{
+		{blockKey{1, 0}, 100, true},
+		{blockKey{1, 0}, 100, false},
+		{blockKey{1, 1}, 100, true},
+	}
+	if len(*ev) != len(want) {
+		t.Fatalf("evictions = %+v, want %+v", *ev, want)
+	}
+	for i, e := range *ev {
+		if e != want[i] {
+			t.Errorf("eviction[%d] = %+v, want %+v", i, e, want[i])
+		}
+	}
+	// A block too large for memory but not disk skips the memory tier
+	// and evicts from disk only.
+	*ev = (*ev)[:0]
+	c2 := newBlockCache(50, 200)
+	ev2 := recordEvictions(c2)
+	c2.put(blockKey{1, 0}, nil, 150) // straight to disk
+	c2.put(blockKey{1, 1}, nil, 150) // disk full: drop 0, store 1
+	want2 := []evictEvent{{blockKey{1, 0}, 150, false}}
+	if len(*ev2) != 1 || (*ev2)[0] != want2[0] {
+		t.Fatalf("oversize evictions = %+v, want %+v", *ev2, want2)
+	}
+	if len(*ev) != 0 {
+		t.Error("first cache's callback fired for second cache")
+	}
+}
+
+// TestBlockCacheTiersUnderChurn runs repeated put/get cycles and checks
+// that accounting, tier membership, and the eviction stream stay
+// consistent: every block is in exactly one LRU list, usage matches the
+// sum of resident bytes, and overwrites never produce evict callbacks
+// for the overwritten key itself.
+func TestBlockCacheTiersUnderChurn(t *testing.T) {
+	c := newBlockCache(300, 250)
+	var events []evictEvent
+	c.onEvict = func(k blockKey, bytes int64, demoted bool) {
+		events = append(events, evictEvent{k, bytes, demoted})
+	}
+	puts := 0
+	for cycle := 0; cycle < 50; cycle++ {
+		k := blockKey{1, cycle % 13}
+		overwrite := c.has(k)
+		before := len(events)
+		c.put(k, nil, int64(50+10*(cycle%5)))
+		puts++
+		for _, e := range events[before:] {
+			if overwrite && e.key == k {
+				t.Fatalf("cycle %d: overwrite of %v produced evict callback %+v", cycle, k, e)
+			}
+		}
+		// Interleave reads to shuffle recency.
+		c.get(blockKey{1, (cycle * 7) % 13})
+
+		var memSum, diskSum int64
+		inList := make(map[blockKey]bool)
+		for e := c.memLRU.Front(); e != nil; e = e.Next() {
+			b := e.Value.(*block)
+			if b.where != tierMem {
+				t.Fatalf("cycle %d: block %v in memLRU but tier %v", cycle, b.key, b.where)
+			}
+			memSum += b.bytes
+			inList[b.key] = true
+		}
+		for e := c.diskLRU.Front(); e != nil; e = e.Next() {
+			b := e.Value.(*block)
+			if b.where != tierDisk {
+				t.Fatalf("cycle %d: block %v in diskLRU but tier %v", cycle, b.key, b.where)
+			}
+			diskSum += b.bytes
+			inList[b.key] = true
+		}
+		mem, disk := c.usage()
+		if memSum != mem || diskSum != disk {
+			t.Fatalf("cycle %d: usage %d/%d but list sums %d/%d", cycle, mem, disk, memSum, diskSum)
+		}
+		if mem > c.memCap || disk > c.diskCap {
+			t.Fatalf("cycle %d: over capacity %d/%d", cycle, mem, disk)
+		}
+		if len(inList) != len(c.blocks) {
+			t.Fatalf("cycle %d: %d blocks in lists, %d in map", cycle, len(inList), len(c.blocks))
+		}
+		for k := range c.blocks {
+			if !inList[k] {
+				t.Fatalf("cycle %d: block %v in map but in no LRU list", cycle, k)
+			}
+		}
+	}
+	// Sanity: churn at these sizes must actually have exercised both
+	// transition kinds, or the test is vacuous.
+	var sawDemote, sawDrop bool
+	for _, e := range events {
+		if e.demoted {
+			sawDemote = true
+		} else {
+			sawDrop = true
+		}
+	}
+	if !sawDemote || !sawDrop {
+		t.Fatalf("churn exercised demote=%v drop=%v; want both (events: %s)",
+			sawDemote, sawDrop, fmt.Sprint(len(events)))
+	}
+}

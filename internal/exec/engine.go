@@ -285,6 +285,7 @@ func (e *Engine) Submit(target *rdd.RDD, action Action, cb func(*Result)) {
 	j.resultStage = &stage{
 		id: e.nextStageID, job: j, out: target,
 		numTasks: target.NumParts, inFlight: make(map[int]bool),
+		hint: narrowClosureSize(target),
 	}
 	e.activeJobs = append(e.activeJobs, j)
 	e.obs.Emit(obs.Event{Type: obs.EvJobSubmit, Time: j.start, Job: j.id})

@@ -13,6 +13,7 @@ type mapOutput struct {
 	nodeID  int
 	buckets [][]rdd.Row
 	sizes   []int64
+	total   int64 // sum of sizes, precomputed for node accounting
 }
 
 // shuffleState tracks one ShuffleDep's map outputs.
@@ -48,10 +49,17 @@ func (s *shuffleState) missingParts() []int {
 type shuffleTracker struct {
 	ids    map[*rdd.ShuffleDep]shuffleID
 	states []*shuffleState
+	// nodeTotals caches the shuffle bytes resident per node, maintained
+	// incrementally by putOutput/dropNode so nodeBytes — called for every
+	// node on every system-checkpoint tick — never rescans every output.
+	nodeTotals map[int]int64
 }
 
 func newShuffleTracker() *shuffleTracker {
-	return &shuffleTracker{ids: make(map[*rdd.ShuffleDep]shuffleID)}
+	return &shuffleTracker{
+		ids:        make(map[*rdd.ShuffleDep]shuffleID),
+		nodeTotals: make(map[int]int64),
+	}
 }
 
 // register returns the shuffleID for dep, creating state on first use.
@@ -84,14 +92,22 @@ func (t *shuffleTracker) lookup(dep *rdd.ShuffleDep) *shuffleState {
 	return nil
 }
 
-// putOutput registers a completed map task's buckets.
+// putOutput registers a completed map task's buckets, replacing any
+// previous output for the same map partition (recomputation after a
+// revocation) and keeping the per-node byte totals current.
 func (t *shuffleTracker) putOutput(dep *rdd.ShuffleDep, mapPart, nodeID int, buckets [][]rdd.Row) {
 	st := t.state(dep)
+	if old := st.outputs[mapPart]; old != nil {
+		t.nodeTotals[old.nodeID] -= old.total
+	}
 	sizes := make([]int64, len(buckets))
+	var total int64
 	for i, b := range buckets {
 		sizes[i] = dep.P.SizeOfRows(len(b))
+		total += sizes[i]
 	}
-	st.outputs[mapPart] = &mapOutput{nodeID: nodeID, buckets: buckets, sizes: sizes}
+	st.outputs[mapPart] = &mapOutput{nodeID: nodeID, buckets: buckets, sizes: sizes, total: total}
+	t.nodeTotals[nodeID] += total
 }
 
 // dropNode discards every map output resident on a revoked node.
@@ -103,18 +119,44 @@ func (t *shuffleTracker) dropNode(nodeID int) {
 			}
 		}
 	}
+	delete(t.nodeTotals, nodeID)
 }
 
-// fetchResult is the outcome of a reduce-side fetch.
+// fetchResult is the outcome of a reduce-side fetch: a view of the
+// reduce partition's bucket slices in map-partition order, with the
+// total row count precomputed. The segments alias the tracker's stored
+// buckets — shuffle data is immutable once registered — so a fetch
+// itself copies nothing; callers that need one contiguous slice call
+// materialize exactly once.
 type fetchResult struct {
-	rows        []rdd.Row
+	segs        [][]rdd.Row // non-empty bucket slices, map-partition order
+	total       int         // rows across segs
 	localBytes  int64
 	remoteBytes int64
 	missing     []int // map partitions that were unavailable
 }
 
+// materialize concatenates the segments into one row slice, allocated at
+// exact size. A single-segment fetch returns the stored bucket directly
+// (copy-free; its capacity is pinned so appends cannot clobber tracker
+// state). Returns nil if the fetch had missing outputs.
+func (r fetchResult) materialize() []rdd.Row {
+	if len(r.missing) > 0 || r.total == 0 {
+		return nil
+	}
+	if len(r.segs) == 1 {
+		return r.segs[0]
+	}
+	out := make([]rdd.Row, r.total)
+	off := 0
+	for _, s := range r.segs {
+		off += copy(out[off:], s)
+	}
+	return out
+}
+
 // fetch gathers bucket `reducePart` from every map output of dep, for a
-// reader on readerNode. Rows are concatenated in map-partition order so
+// reader on readerNode. Segments are kept in map-partition order so
 // recomputation is deterministic. If any output is missing the fetch
 // fails and the caller triggers parent-stage resubmission.
 func (t *shuffleTracker) fetch(dep *rdd.ShuffleDep, reducePart, readerNode int) fetchResult {
@@ -133,7 +175,10 @@ func (t *shuffleTracker) fetch(dep *rdd.ShuffleDep, reducePart, readerNode int) 
 			res.missing = append(res.missing, i)
 			continue
 		}
-		res.rows = append(res.rows, o.buckets[reducePart]...)
+		if b := o.buckets[reducePart]; len(b) > 0 {
+			res.segs = append(res.segs, b)
+			res.total += len(b)
+		}
 		if o.nodeID == readerNode {
 			res.localBytes += o.sizes[reducePart]
 		} else {
@@ -141,24 +186,15 @@ func (t *shuffleTracker) fetch(dep *rdd.ShuffleDep, reducePart, readerNode int) 
 		}
 	}
 	if len(res.missing) > 0 {
-		res.rows = nil
+		res.segs = nil
+		res.total = 0
 	}
 	return res
 }
 
 // nodeBytes returns the total shuffle bytes resident on a node (used by
 // the system-level checkpointing baseline, which must persist shuffle
-// buffers too).
+// buffers too). O(1): the totals are maintained by putOutput/dropNode.
 func (t *shuffleTracker) nodeBytes(nodeID int) int64 {
-	var total int64
-	for _, st := range t.states {
-		for _, o := range st.outputs {
-			if o != nil && o.nodeID == nodeID {
-				for _, s := range o.sizes {
-					total += s
-				}
-			}
-		}
-	}
-	return total
+	return t.nodeTotals[nodeID]
 }

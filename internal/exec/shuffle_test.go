@@ -58,11 +58,15 @@ func TestShuffleFetchOrderAndLocality(t *testing.T) {
 	if len(res.missing) != 0 {
 		t.Fatalf("unexpected missing: %v", res.missing)
 	}
+	rows := res.materialize()
+	if len(rows) != res.total {
+		t.Fatalf("materialized %d rows, total says %d", len(rows), res.total)
+	}
 	// Concatenation in map-partition order is the determinism contract.
 	want := []string{"a0", "a1", "a2"}
-	for i, r := range res.rows {
+	for i, r := range rows {
 		if r.(string) != want[i] {
-			t.Fatalf("rows = %v, want %v", res.rows, want)
+			t.Fatalf("rows = %v, want %v", rows, want)
 		}
 	}
 	if res.localBytes != 20 || res.remoteBytes != 10 {
@@ -77,9 +81,87 @@ func TestShuffleFetchMissingFails(t *testing.T) {
 	if len(res.missing) != 2 {
 		t.Fatalf("missing = %v, want [1 2]", res.missing)
 	}
-	if res.rows != nil {
+	if res.segs != nil || res.total != 0 || res.materialize() != nil {
 		t.Error("failed fetch must not return partial rows")
 	}
+}
+
+// A single-segment fetch must be copy-free: the materialized slice is
+// the stored bucket itself, with capacity pinned so an appending
+// consumer cannot clobber tracker state.
+func TestShuffleFetchSingleSegmentCopyFree(t *testing.T) {
+	c := rdd.NewContext(2)
+	src := c.Parallelize("src", 1, 10, func(part int) []rdd.Row { return nil })
+	dep := &rdd.ShuffleDep{P: src, NumOut: 2}
+	tr := newShuffleTracker()
+	bucket0 := dep.BucketRows([]rdd.Row{rdd.KV{K: 0, V: "a"}, rdd.KV{K: 0, V: "b"}})
+	tr.putOutput(dep, 0, 1, bucket0)
+	res := tr.fetch(dep, rdd.PartitionOf(0, 2), 1)
+	rows := res.materialize()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if len(rows) != cap(rows) {
+		t.Errorf("single-segment view has spare capacity (%d/%d): appends would alias tracker state", len(rows), cap(rows))
+	}
+	grown := append(rows, rdd.KV{K: 0, V: "c"})
+	_ = grown
+	again := tr.fetch(dep, rdd.PartitionOf(0, 2), 1).materialize()
+	if len(again) != 2 {
+		t.Fatalf("append through fetched view corrupted the tracker: %v", again)
+	}
+}
+
+// The cached per-node byte totals must match a brute-force recount over
+// every stored output, across puts, overwrites and node drops.
+func TestShuffleNodeBytesMatchesRecount(t *testing.T) {
+	c := rdd.NewContext(2)
+	srcA := c.Parallelize("a", 4, 10, func(part int) []rdd.Row { return nil })
+	srcB := c.Parallelize("b", 3, 7, func(part int) []rdd.Row { return nil })
+	depA := &rdd.ShuffleDep{P: srcA, NumOut: 2}
+	depB := &rdd.ShuffleDep{P: srcB, NumOut: 3}
+	tr := newShuffleTracker()
+
+	recount := func(nodeID int) int64 {
+		var total int64
+		for _, st := range tr.states {
+			for _, o := range st.outputs {
+				if o != nil && o.nodeID == nodeID {
+					for _, s := range o.sizes {
+						total += s
+					}
+				}
+			}
+		}
+		return total
+	}
+	check := func(step string) {
+		t.Helper()
+		for node := 0; node <= 3; node++ {
+			if got, want := tr.nodeBytes(node), recount(node); got != want {
+				t.Fatalf("%s: nodeBytes(%d) = %d, brute force = %d", step, node, got, want)
+			}
+		}
+	}
+
+	tr.putOutput(depA, 0, 1, [][]rdd.Row{{1, 2}, {3}})
+	tr.putOutput(depA, 1, 2, [][]rdd.Row{{4}, nil})
+	tr.putOutput(depB, 0, 1, [][]rdd.Row{{5}, {6}, {7}})
+	tr.putOutput(depB, 2, 3, [][]rdd.Row{nil, {8, 9}, nil})
+	check("after puts")
+
+	// Recomputation overwrites map part 0 of depA on a different node.
+	tr.putOutput(depA, 0, 3, [][]rdd.Row{{1}, {2, 3, 4}})
+	check("after overwrite")
+
+	// Revocation drops node 1; its outputs vanish from both shuffles.
+	tr.dropNode(1)
+	check("after dropNode")
+
+	// Recovery re-registers the lost outputs elsewhere.
+	tr.putOutput(depB, 0, 2, [][]rdd.Row{{5}, {6}, {7}})
+	tr.putOutput(depA, 2, 2, [][]rdd.Row{{10, 11, 12}, {13}})
+	check("after recovery")
 }
 
 func TestShuffleDropNode(t *testing.T) {

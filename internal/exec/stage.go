@@ -74,9 +74,38 @@ type stage struct {
 	inFlight    map[int]bool // partitions currently pending or running
 	active      bool         // has had tasks enqueued and not yet gone idle
 	activeSince float64      // when the current active interval began
+	// hint bounds how many (RDD, partition) blocks one task of this
+	// stage can memoize: the narrow-dependency closure of the stage
+	// output (task resolution never crosses a shuffle boundary — those
+	// inputs arrive via fetch). Set at construction on the simulation
+	// thread so worker goroutines only ever read it; it sizes the
+	// per-task memo and effect slices.
+	hint int
 }
 
 func (s *stage) isResult() bool { return s.dep == nil }
+
+func (s *stage) pipeHint() int { return s.hint }
+
+// narrowClosureSize counts the RDDs reachable from r through narrow
+// dependencies only, r included.
+func narrowClosureSize(r *rdd.RDD) int {
+	seen := make(map[*rdd.RDD]bool)
+	var walk func(*rdd.RDD)
+	walk = func(r *rdd.RDD) {
+		if seen[r] {
+			return
+		}
+		seen[r] = true
+		for _, d := range r.Deps {
+			if nd, ok := d.(*rdd.NarrowDep); ok {
+				walk(nd.P)
+			}
+		}
+	}
+	walk(r)
+	return len(seen)
+}
 
 // mapStageFor returns (creating if needed) the job's map stage for dep.
 func (j *job) mapStageFor(dep *rdd.ShuffleDep, e *Engine) *stage {
@@ -87,6 +116,7 @@ func (j *job) mapStageFor(dep *rdd.ShuffleDep, e *Engine) *stage {
 	s := &stage{
 		id: e.nextStageID, job: j, dep: dep, out: dep.P,
 		numTasks: dep.P.NumParts, inFlight: make(map[int]bool),
+		hint: narrowClosureSize(dep.P),
 	}
 	j.mapStages[dep] = s
 	return s

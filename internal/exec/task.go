@@ -160,7 +160,9 @@ func (tc *taskCtx) resolve(r *rdd.RDD, p int) []rdd.Row {
 				tc.eff.fetchFailed = append(tc.eff.fetchFailed, dep)
 				return nil
 			}
-			inputs[i] = res.rows
+			// The fetch itself is a copy-free multi-segment view; the one
+			// materialization per task happens here, at exact size.
+			inputs[i] = res.materialize()
 			tc.eff.duration += tc.e.cost.netTime(res.remoteBytes)
 			tc.eff.remoteBytes += res.remoteBytes
 			tc.eff.localBytes += res.localBytes
@@ -218,8 +220,14 @@ func (tc *taskCtx) record(r *rdd.RDD, p int, rows []rdd.Row) {
 // its effects. Safe to call from a worker goroutine: it reads only the
 // frozen round state (see workers.go).
 func (e *Engine) runCompute(t *task, nodes []*nodeState) *effects {
-	eff := &effects{duration: e.cost.TaskOverhead}
-	tc := &taskCtx{e: e, node: t.node, nodes: nodes, memo: make(map[blockKey][]rdd.Row), eff: eff}
+	// Size the memo and effect slices for the narrow pipeline this stage
+	// resolves: one entry per (RDD, partition) the task can touch.
+	hint := t.stage.pipeHint()
+	eff := &effects{
+		duration: e.cost.TaskOverhead,
+		computed: make([]computedPart, 0, hint),
+	}
+	tc := &taskCtx{e: e, node: t.node, nodes: nodes, memo: make(map[blockKey][]rdd.Row, hint), eff: eff}
 	rows := tc.resolve(t.stage.out, t.part)
 	if len(eff.fetchFailed) > 0 {
 		// The failed fetch consumed only the launch overhead.
@@ -230,14 +238,11 @@ func (e *Engine) runCompute(t *task, nodes []*nodeState) *effects {
 		eff.resultRows = rows
 		return eff
 	}
-	// Map side of a shuffle: bucket (and combine) the rows. The bucketing
-	// pass is charged at half the weight of a regular transformation.
+	// Map side of a shuffle: bucket (and combine) the rows. The two-pass
+	// counting bucketer allocates each bucket at exact size. The pass is
+	// charged at half the weight of a regular transformation.
 	dep := t.stage.dep
-	buckets := make([][]rdd.Row, dep.NumOut)
-	for _, row := range rows {
-		b := dep.Bucket(row)
-		buckets[b] = append(buckets[b], row)
-	}
+	buckets := dep.BucketRows(rows)
 	if dep.Combine != nil {
 		for b := range buckets {
 			if len(buckets[b]) > 0 {

@@ -1,0 +1,210 @@
+package rdd
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// Unit coverage for the typed aggregation fast paths (agg.go). The
+// contract under test: every path — monomorphic int/int64/string,
+// generic fallback, and mid-batch migration — emits identical rows in
+// first-seen key order.
+
+// aggReference is the straightforward map[Row]int implementation the
+// fast paths must match exactly.
+func aggReference(rows []Row, create func(v Row) Row, merge func(acc, v Row) Row) []Row {
+	slots := make(map[Row]int)
+	var order, acc []Row
+	for _, r := range rows {
+		kv := r.(KV)
+		if s, ok := slots[kv.K]; ok {
+			acc[s] = merge(acc[s], kv.V)
+		} else {
+			slots[kv.K] = len(order)
+			order = append(order, kv.K)
+			v := kv.V
+			if create != nil {
+				v = create(v)
+			}
+			acc = append(acc, v)
+		}
+	}
+	out := make([]Row, len(order))
+	for i, k := range order {
+		out[i] = KV{K: k, V: acc[i]}
+	}
+	return out
+}
+
+func sumMerge(a, b Row) Row { return a.(int) + b.(int) }
+
+func TestAggregateRowsTypedPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		key  func(i int) Row
+	}{
+		{"int", func(i int) Row { return i % 7 }},
+		{"int64", func(i int) Row { return int64(i % 7) }},
+		{"string", func(i int) Row { return fmt.Sprintf("k%d", i%7) }},
+		{"float64-generic", func(i int) Row { return float64(i%7) / 2 }},
+		{"struct-generic", func(i int) Row { return KV{K: i % 7, V: "x"} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rows := make([]Row, 40)
+			for i := range rows {
+				rows[i] = KV{K: tc.key(i), V: 1}
+			}
+			got := aggregateRows(rows, nil, sumMerge)
+			want := aggReference(rows, nil, sumMerge)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("aggregateRows = %v, want %v", got, want)
+			}
+			// With a create function (combineByKey shape).
+			create := func(v Row) Row { return v.(int) * 10 }
+			got = aggregateRows(rows, create, sumMerge)
+			want = aggReference(rows, create, sumMerge)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("with create = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestAggregateRowsMixedBatchMigration interleaves key types so the
+// monomorphic path must migrate mid-batch; slots assigned before the
+// migration (and therefore the output order) must survive it.
+func TestAggregateRowsMixedBatchMigration(t *testing.T) {
+	rows := []Row{
+		KV{K: 1, V: 1},
+		KV{K: 2, V: 1},
+		KV{K: "a", V: 1}, // migration point: int index → generic
+		KV{K: 1, V: 1},   // existing pre-migration key must be found
+		KV{K: int64(3), V: 1},
+		KV{K: "a", V: 1},
+		KV{K: 2, V: 1},
+	}
+	got := aggregateRows(rows, nil, sumMerge)
+	want := []Row{
+		KV{K: 1, V: 2},
+		KV{K: 2, V: 2},
+		KV{K: "a", V: 2},
+		KV{K: int64(3), V: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("mixed batch = %v, want %v", got, want)
+	}
+}
+
+// TestAggregateRowsEmptyAndSingle pins the edge shapes.
+func TestAggregateRowsEmptyAndSingle(t *testing.T) {
+	if got := aggregateRows(nil, nil, sumMerge); len(got) != 0 {
+		t.Errorf("empty input = %v", got)
+	}
+	got := aggregateRows([]Row{KV{K: 5, V: 9}}, nil, sumMerge)
+	if !reflect.DeepEqual(got, []Row{KV{K: 5, V: 9}}) {
+		t.Errorf("single row = %v", got)
+	}
+}
+
+// TestKeyIndexDegradePreservesSlots fills a typed index past several
+// keys, forces degradation with a foreign key, and checks every slot
+// (old and new) still resolves identically.
+func TestKeyIndexDegradePreservesSlots(t *testing.T) {
+	var ix keyIndex
+	for i := 0; i < 10; i++ {
+		s, added := ix.slot(i * 2)
+		if s != i || !added {
+			t.Fatalf("slot(%d) = %d, %v", i*2, s, added)
+		}
+	}
+	// Foreign type triggers degrade.
+	s, added := ix.slot("x")
+	if s != 10 || !added {
+		t.Fatalf("slot(x) = %d, %v", s, added)
+	}
+	if ix.generic == nil || ix.ints != nil {
+		t.Fatal("index did not degrade to generic map")
+	}
+	for i := 0; i < 10; i++ {
+		if s, added := ix.slot(i * 2); s != i || added {
+			t.Errorf("post-degrade slot(%d) = %d, added=%v", i*2, s, added)
+		}
+		if s, ok := ix.lookup(i * 2); s != i || !ok {
+			t.Errorf("post-degrade lookup(%d) = %d, %v", i*2, s, ok)
+		}
+	}
+	if s, ok := ix.lookup("missing"); ok {
+		t.Errorf("lookup(missing) = %d, true", s)
+	}
+}
+
+// TestGroupKVMatchesAdd checks the two-pass grouped fill against the
+// incremental add() path on every key type, including a mixed batch.
+func TestGroupKVMatchesAdd(t *testing.T) {
+	keysets := map[string]func(i int) Row{
+		"int":    func(i int) Row { return i % 5 },
+		"string": func(i int) Row { return fmt.Sprintf("k%d", i%5) },
+		"mixed": func(i int) Row {
+			if i%2 == 0 {
+				return i % 5
+			}
+			return fmt.Sprintf("k%d", i%5)
+		},
+	}
+	for name, key := range keysets {
+		t.Run(name, func(t *testing.T) {
+			rows := make([]Row, 30)
+			for i := range rows {
+				rows[i] = KV{K: key(i), V: i}
+			}
+			want := newKeyAgg(aggHint(len(rows)))
+			for _, r := range rows {
+				kv := r.(KV)
+				want.add(kv.K, kv.V)
+			}
+			got := groupKV(rows)
+			if !reflect.DeepEqual(got.order, want.order) {
+				t.Errorf("order = %v, want %v", got.order, want.order)
+			}
+			if !reflect.DeepEqual(got.vals, want.vals) {
+				t.Errorf("vals = %v, want %v", got.vals, want.vals)
+			}
+		})
+	}
+	g := groupKV(nil)
+	if len(g.order) != 0 || len(g.vals) != 0 {
+		t.Errorf("groupKV(nil) = %v/%v", g.order, g.vals)
+	}
+}
+
+// TestGroupKVPinnedCaps verifies the shared-backing-array contract:
+// appending to one emitted group must copy, never clobber the next
+// group's rows.
+func TestGroupKVPinnedCaps(t *testing.T) {
+	rows := []Row{
+		KV{K: "a", V: 1}, KV{K: "a", V: 2},
+		KV{K: "b", V: 3}, KV{K: "b", V: 4},
+	}
+	a := groupKV(rows)
+	if len(a.vals) != 2 {
+		t.Fatalf("groups = %d", len(a.vals))
+	}
+	for i, v := range a.vals {
+		if len(v) != cap(v) {
+			t.Errorf("group %d: len %d != cap %d (append would clobber)", i, len(v), cap(v))
+		}
+	}
+	_ = append(a.vals[0], 99)
+	if !reflect.DeepEqual(a.vals[1], []Row{3, 4}) {
+		t.Errorf("append to group 0 clobbered group 1: %v", a.vals[1])
+	}
+}
+
+// TestAggHintClamp pins the preallocation clamp.
+func TestAggHintClamp(t *testing.T) {
+	if aggHint(10) != 10 || aggHint(aggHintCap) != aggHintCap || aggHint(aggHintCap+1) != aggHintCap {
+		t.Error("aggHint clamp broken")
+	}
+}

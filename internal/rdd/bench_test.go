@@ -1,0 +1,107 @@
+package rdd
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Deterministic KV generators for the data-plane benchmarks. Skewed
+// variants send 80% of rows to a small hot key set, mimicking the power
+// law key distributions of the paper's workloads (PageRank in-degrees).
+
+func benchIntKV(n, keys int) []Row {
+	rows := make([]Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = KV{K: (i * 2654435761) % keys, V: 1}
+	}
+	return rows
+}
+
+func benchIntKVSkewed(n, keys int) []Row {
+	hot := keys / 16
+	if hot == 0 {
+		hot = 1
+	}
+	rows := make([]Row, n)
+	for i := 0; i < n; i++ {
+		if i%5 != 0 {
+			rows[i] = KV{K: (i * 2654435761) % hot, V: 1}
+		} else {
+			rows[i] = KV{K: hot + (i*40503)%(keys-hot), V: 1}
+		}
+	}
+	return rows
+}
+
+func benchStrKV(n, keys int) []Row {
+	dict := make([]string, keys)
+	for k := range dict {
+		dict[k] = fmt.Sprintf("key-%06d", k)
+	}
+	rows := make([]Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = KV{K: dict[(i*2654435761)%keys], V: 1}
+	}
+	return rows
+}
+
+func sumReduce(a, b Row) Row { return a.(int) + b.(int) }
+
+// BenchmarkReduceByKey exercises the reduce-side aggregation body
+// (reduceRows) that every ReduceByKey/CombineByKey task runs, and that
+// lineage recomputation replays after each revocation.
+func BenchmarkReduceByKey(b *testing.B) {
+	const n = 1 << 16
+	cases := []struct {
+		name string
+		rows []Row
+	}{
+		{"int-uniform", benchIntKV(n, 4096)},
+		{"int-skewed", benchIntKVSkewed(n, 4096)},
+		{"string-uniform", benchStrKV(n, 4096)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := reduceRows(c.rows, sumReduce)
+				if len(out) == 0 {
+					b.Fatal("empty reduction")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJoin exercises the reduce-side join body: aggregate both
+// inputs by key, emit the cross product per key.
+func BenchmarkJoin(b *testing.B) {
+	const n = 1 << 14
+	build := func(left, right []Row) func(int, [][]Row) []Row {
+		ctx := NewContext(4)
+		l := ctx.Parallelize("l", 1, 8, func(int) []Row { return left })
+		r := ctx.Parallelize("r", 1, 8, func(int) []Row { return right })
+		return l.Join("j", r, 1).Fn
+	}
+	cases := []struct {
+		name        string
+		left, right []Row
+	}{
+		{"int-uniform", benchIntKV(n, 2048), benchIntKV(n/2, 2048)},
+		{"int-skewed", benchIntKVSkewed(n, 2048), benchIntKV(n/2, 2048)},
+		{"string-uniform", benchStrKV(n, 2048), benchStrKV(n/2, 2048)},
+	}
+	for _, c := range cases {
+		fn := build(c.left, c.right)
+		inputs := [][]Row{c.left, c.right}
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := fn(0, inputs)
+				if len(out) == 0 {
+					b.Fatal("empty join")
+				}
+			}
+		})
+	}
+}

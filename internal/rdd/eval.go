@@ -35,11 +35,7 @@ func evalLocal(r *RDD, memo map[int][][]Row) [][]Row {
 		}
 		buckets[i] = make([][][]Row, len(parents[i]))
 		for mp, rows := range parents[i] {
-			bs := make([][]Row, sd.NumOut)
-			for _, row := range rows {
-				b := sd.Bucket(row)
-				bs[b] = append(bs[b], row)
-			}
+			bs := sd.BucketRows(rows)
 			if sd.Combine != nil {
 				for b := range bs {
 					if len(bs[b]) > 0 {

@@ -5,26 +5,11 @@ package rdd
 // are special cases), projections, and key-oriented set operations.
 
 // combineRows aggregates KV rows with create/merge functions, preserving
-// first-seen key order (determinism under recomputation).
+// first-seen key order (determinism under recomputation). It runs on the
+// typed fast paths of agg.go with capacity hints from the input row
+// count.
 func combineRows(rows []Row, create func(v Row) Row, merge func(acc, v Row) Row) []Row {
-	var order []Row
-	idx := make(map[Row]int)
-	acc := make([]Row, 0)
-	for _, r := range rows {
-		kv := r.(KV)
-		if i, ok := idx[kv.K]; ok {
-			acc[i] = merge(acc[i], kv.V)
-		} else {
-			idx[kv.K] = len(order)
-			order = append(order, kv.K)
-			acc = append(acc, create(kv.V))
-		}
-	}
-	out := make([]Row, len(order))
-	for i, k := range order {
-		out[i] = KV{K: k, V: acc[i]}
-	}
-	return out
+	return aggregateRows(rows, create, merge)
 }
 
 // CombineByKey is the general keyed aggregation: createCombiner turns the

@@ -2,10 +2,11 @@ package rdd
 
 // This file implements the wide (shuffle) transformations. All of them
 // produce deterministic output given deterministic inputs: aggregation
-// keys are tracked in first-seen order rather than Go map order, and the
-// execution engine concatenates shuffle buckets in parent-partition
-// order. Determinism matters because lost partitions are recomputed after
-// revocations and must rebuild byte-identical state.
+// keys are tracked in first-seen order rather than Go map order (see
+// agg.go for the typed fast paths), and the execution engine concatenates
+// shuffle buckets in parent-partition order. Determinism matters because
+// lost partitions are recomputed after revocations and must rebuild
+// byte-identical state.
 
 // JoinPair is the value type emitted by Join: one left and one right
 // value sharing a key.
@@ -14,47 +15,42 @@ type JoinPair struct {
 	R Row
 }
 
-// keyAgg accumulates values per key preserving first-seen key order.
-type keyAgg struct {
-	order []Row
-	idx   map[Row]int
-	vals  [][]Row
-}
-
-func newKeyAgg() *keyAgg { return &keyAgg{idx: make(map[Row]int)} }
-
-func (a *keyAgg) add(k, v Row) {
-	i, ok := a.idx[k]
-	if !ok {
-		i = len(a.order)
-		a.idx[k] = i
-		a.order = append(a.order, k)
-		a.vals = append(a.vals, nil)
-	}
-	a.vals[i] = append(a.vals[i], v)
-}
-
 // reduceRows aggregates KV rows with a binary reducer, preserving
-// first-seen key order.
+// first-seen key order, on the typed fast paths of agg.go.
 func reduceRows(rows []Row, reduce func(a, b Row) Row) []Row {
-	var order []Row
-	idx := make(map[Row]int)
-	acc := make([]Row, 0)
-	for _, r := range rows {
-		kv := r.(KV)
-		if i, ok := idx[kv.K]; ok {
-			acc[i] = reduce(acc[i], kv.V)
-		} else {
-			idx[kv.K] = len(order)
-			order = append(order, kv.K)
-			acc = append(acc, kv.V)
-		}
+	return aggregateRows(rows, nil, reduce)
+}
+
+// BucketRows splits rows into the dependency's NumOut shuffle buckets.
+// It counts first, then fills exact-size buckets carved from one backing
+// allocation, so no bucket ever reallocates during the fill. The buckets
+// share that backing array; callers must treat them as immutable, which
+// the engine already requires of all shuffle data (appending to one
+// cannot clobber its neighbour: each bucket's capacity is pinned to its
+// own segment).
+func (d *ShuffleDep) BucketRows(rows []Row) [][]Row {
+	buckets := make([][]Row, d.NumOut)
+	if len(rows) == 0 {
+		return buckets
 	}
-	out := make([]Row, len(order))
-	for i, k := range order {
-		out[i] = KV{K: k, V: acc[i]}
+	idx := make([]int32, len(rows))
+	counts := make([]int, d.NumOut)
+	for i, row := range rows {
+		b := d.Bucket(row)
+		idx[i] = int32(b)
+		counts[b]++
 	}
-	return out
+	flat := make([]Row, len(rows))
+	off := 0
+	for b, c := range counts {
+		buckets[b] = flat[off : off : off+c]
+		off += c
+	}
+	for i, row := range rows {
+		b := idx[i]
+		buckets[b] = append(buckets[b], row)
+	}
+	return buckets
 }
 
 // ReduceByKey shuffles KV rows by key and reduces values with the
@@ -90,11 +86,7 @@ func (r *RDD) GroupByKey(name string, parts int) *RDD {
 		Name: name, NumParts: parts, RowBytes: r.RowBytes,
 		Deps: []Dependency{dep},
 		Fn: func(part int, inputs [][]Row) []Row {
-			agg := newKeyAgg()
-			for _, row := range inputs[0] {
-				kv := row.(KV)
-				agg.add(kv.K, kv.V)
-			}
+			agg := groupKV(inputs[0])
 			out := make([]Row, len(agg.order))
 			for i, k := range agg.order {
 				out[i] = KV{K: k, V: agg.vals[i]}
@@ -132,20 +124,26 @@ func (r *RDD) Join(name string, other *RDD, parts int) *RDD {
 		RowBytes: r.RowBytes + other.RowBytes,
 		Deps:     []Dependency{left, right},
 		Fn: func(part int, inputs [][]Row) []Row {
-			la := newKeyAgg()
-			for _, row := range inputs[0] {
-				kv := row.(KV)
-				la.add(kv.K, kv.V)
-			}
-			ra := newKeyAgg()
-			for _, row := range inputs[1] {
-				kv := row.(KV)
-				ra.add(kv.K, kv.V)
-			}
-			var out []Row
+			la := groupKV(inputs[0])
+			ra := groupKV(inputs[1])
+			// Size the output exactly before emitting the cross products.
+			match := make([]int, len(la.order))
+			total := 0
 			for i, k := range la.order {
-				j, ok := ra.idx[k]
-				if !ok {
+				if j, ok := ra.ix.lookup(k); ok {
+					match[i] = j
+					total += len(la.vals[i]) * len(ra.vals[j])
+				} else {
+					match[i] = -1
+				}
+			}
+			if total == 0 {
+				return nil
+			}
+			out := make([]Row, 0, total)
+			for i, k := range la.order {
+				j := match[i]
+				if j < 0 {
 					continue
 				}
 				for _, lv := range la.vals[i] {
@@ -172,28 +170,22 @@ func (r *RDD) CoGroup(name string, other *RDD, parts int) *RDD {
 		RowBytes: r.RowBytes + other.RowBytes,
 		Deps:     []Dependency{left, right},
 		Fn: func(part int, inputs [][]Row) []Row {
-			la := newKeyAgg()
-			for _, row := range inputs[0] {
-				kv := row.(KV)
-				la.add(kv.K, kv.V)
+			la := groupKV(inputs[0])
+			ra := groupKV(inputs[1])
+			if len(la.order)+len(ra.order) == 0 {
+				return nil
 			}
-			ra := newKeyAgg()
-			seen := make(map[Row]bool)
-			for _, row := range inputs[1] {
-				kv := row.(KV)
-				ra.add(kv.K, kv.V)
-			}
-			var out []Row
+			out := make([]Row, 0, len(la.order)+len(ra.order))
 			for i, k := range la.order {
 				groups := [2][]Row{la.vals[i], nil}
-				if j, ok := ra.idx[k]; ok {
+				if j, ok := ra.ix.lookup(k); ok {
 					groups[1] = ra.vals[j]
 				}
-				seen[k] = true
 				out = append(out, KV{K: k, V: groups})
 			}
+			// Right-only keys: those the left index never saw.
 			for j, k := range ra.order {
-				if !seen[k] {
+				if _, ok := la.ix.lookup(k); !ok {
 					out = append(out, KV{K: k, V: [2][]Row{nil, ra.vals[j]}})
 				}
 			}
