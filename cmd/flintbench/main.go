@@ -7,12 +7,15 @@
 //	flintbench all
 //
 // Experiments: fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 ablations
-// detbench
+// detbench chaosbench
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-versus-measured record. detbench runs the
 // fixed-seed determinism scenarios whose -csv exports must be identical
-// for any -workers value (CI diffs them).
+// for any -workers value (CI diffs them). chaosbench replays seeded
+// fault schedules (see docs/CHAOS.md) and exits non-zero if any
+// cross-layer invariant is violated, dumping replayable schedules via
+// -chaos-out.
 package main
 
 import (
@@ -54,6 +57,10 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each figure's series as CSV files into this directory")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file covering the selected experiments to this path")
 	workers := flag.Int("workers", 0, "engine worker-pool width for task execution (0 = GOMAXPROCS; 1 = serial); any value produces identical results")
+	chaosSeeds := flag.Int("chaos-seeds", 25, "chaosbench: seeds per profile (1..n)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "chaosbench: run only this single seed (overrides -chaos-seeds; use to replay an artifact)")
+	chaosProfile := flag.String("chaos-profile", "", "chaosbench: run only this fault profile (default: all)")
+	chaosOut := flag.String("chaos-out", "", "chaosbench: dump violating schedules as replayable JSON artifacts into this directory")
 	benchOut := flag.String("bench-out", "", "write a machine-readable benchmark record (scenario -> virtual makespan + wall seconds) to this JSON file")
 	rev := flag.String("rev", "", "revision identifier recorded in the -bench-out file")
 	flag.Usage = func() {
@@ -79,12 +86,22 @@ func main() {
 		obs.SetDefault(bundle)
 	}
 	s := experiments.Scale(*scale)
+	chaosOpts := experiments.ChaosbenchOpts{
+		Seeds:       experiments.DefaultChaosSeeds(*chaosSeeds),
+		ArtifactDir: *chaosOut,
+	}
+	if *chaosSeed != 0 {
+		chaosOpts.Seeds = []int64{*chaosSeed}
+	}
+	if *chaosProfile != "" {
+		chaosOpts.Profiles = []string{*chaosProfile}
+	}
 	record := benchRecord{
 		Rev: *rev, Workers: *workers, GoMaxProc: runtime.GOMAXPROCS(0), Scale: *scale,
 	}
 	for _, name := range args {
 		start := time.Now()
-		entries, err := run(os.Stdout, name, s, *runs, *markets, *csvDir)
+		entries, err := run(os.Stdout, name, s, *runs, *markets, *csvDir, chaosOpts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flintbench: %s: %v\n", name, err)
 			os.Exit(1)
@@ -147,7 +164,7 @@ func writeTrace(path string, o *obs.Obs) error {
 }
 
 func names() []string {
-	return []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations", "detbench"}
+	return []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations", "detbench", "chaosbench"}
 }
 
 // csvWriter is satisfied by every FigNResult.
@@ -165,7 +182,7 @@ func export(csvDir string, res csvWriter, err error) error {
 // run executes one experiment. A non-nil entries slice carries
 // per-scenario benchmark lines for -bench-out; experiments without
 // internal scenarios return nil and the caller records their wall time.
-func run(w io.Writer, name string, s experiments.Scale, runs, markets int, csvDir string) ([]benchEntry, error) {
+func run(w io.Writer, name string, s experiments.Scale, runs, markets int, csvDir string, chaosOpts experiments.ChaosbenchOpts) ([]benchEntry, error) {
 	switch name {
 	case "fig2":
 		res, err := experiments.Fig2(w)
@@ -216,6 +233,21 @@ func run(w io.Writer, name string, s experiments.Scale, runs, markets int, csvDi
 			})
 		}
 		return entries, export(csvDir, res, nil)
+	case "chaosbench":
+		res, err := experiments.Chaosbench(w, s, chaosOpts)
+		if err != nil {
+			return nil, err
+		}
+		if err := export(csvDir, res, nil); err != nil {
+			return nil, err
+		}
+		// A violated invariant is a failed run: CI gates on the exit code
+		// and uploads the dumped schedules as repro artifacts.
+		if n := res.Violations(); n > 0 {
+			return nil, fmt.Errorf("%d of %d runs violated invariants (replayable schedules in %q)",
+				n, len(res.Runs), chaosOpts.ArtifactDir)
+		}
+		return nil, nil
 	}
 	return nil, fmt.Errorf("unknown experiment %q (want one of %v)", name, names())
 }

@@ -1,0 +1,52 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Artifact is the replayable record of a failed chaotic run: the exact
+// schedule that was injected and the invariants it broke. Re-running the
+// same workload with the artifact's schedule reproduces the failure
+// deterministically (docs/CHAOS.md walks through the replay).
+type Artifact struct {
+	Schedule   Schedule    `json:"schedule"`
+	Violations []Violation `json:"violations"`
+}
+
+// ArtifactName returns the canonical file name for a schedule's artifact.
+func ArtifactName(s Schedule) string {
+	return fmt.Sprintf("chaos_%s_seed%d.json", s.Profile, s.Seed)
+}
+
+// WriteArtifact dumps the artifact for sched into dir (created if
+// needed) and returns the file path.
+func WriteArtifact(dir string, sched Schedule, viols []Violation) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(Artifact{Schedule: sched, Violations: viols}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, ArtifactName(sched))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadArtifact reads an artifact written by WriteArtifact.
+func LoadArtifact(path string) (Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Artifact{}, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return Artifact{}, fmt.Errorf("chaos: parse artifact %s: %w", path, err)
+	}
+	return a, nil
+}

@@ -1,0 +1,184 @@
+package chaos_test
+
+// End-to-end determinism under chaos, with a parallel engine worker
+// pool: a chaotic run must produce byte-identical outcomes to the
+// fault-free baseline, pass every cross-layer invariant, and do so at
+// any worker width. CI runs this package with -race, so the test doubles
+// as the data-race check on the injector's worker-side decision paths
+// (FetchFails/Slowdown consultations and the store read-fault probe).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"flint/internal/chaos"
+	"flint/internal/ckpt"
+	"flint/internal/exec"
+	"flint/internal/obs"
+	"flint/internal/rdd"
+	"flint/internal/workload"
+)
+
+type e2eBed struct {
+	tb  *exec.Testbed
+	ctx *rdd.Context
+	ftm *ckpt.Manager
+}
+
+// newE2EBed mirrors the chaosbench bed: small RDD memory and a short
+// MTTF keep τ=√(2δ·MTTF) under the workload makespan.
+func newE2EBed(t *testing.T, workers int, bundle *obs.Obs) *e2eBed {
+	t.Helper()
+	tb := exec.MustTestbed(exec.TestbedOpts{
+		Nodes: 6, MemBytes: 32 << 20, Workers: workers, Obs: bundle,
+	})
+	ctx := rdd.NewContext(12)
+	m, err := ckpt.NewManager(tb.Clock, tb.Store, ckpt.Config{
+		MTTF:         func(now float64) float64 { return 1800 },
+		Nodes:        func() int { return 6 },
+		NodeMemBytes: 32 << 20,
+		GC:           true,
+		Ctx:          ctx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Engine.SetPolicy(m)
+	return &e2eBed{tb: tb, ctx: ctx, ftm: m}
+}
+
+// runE2EWorkloads runs the canonical pair and returns outcome hashes.
+func runE2EWorkloads(t *testing.T, b *e2eBed) map[string]uint64 {
+	t.Helper()
+	counts, _, err := workload.RunWordCount(b.tb.Engine, b.ctx, workload.WordCountConfig{
+		Docs: 80, Parts: 12, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wc strings.Builder
+	words := make([]string, 0, len(counts))
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	for _, w := range words {
+		fmt.Fprintf(&wc, "%s=%d;", w, counts[w])
+	}
+	rep, err := workload.RunPageRank(b.tb.Engine, b.ctx, workload.PageRankConfig{
+		Vertices: 300, AvgDegree: 8, Parts: 12, Iterations: 6,
+		TargetBytes: 256 << 20, Weight: 2.2, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := rep.Outcome.(map[int]float64)
+	ids := make([]int, 0, len(ranks))
+	for id := range ranks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var pr strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&pr, "%d=%.17g;", id, ranks[id])
+	}
+	return map[string]uint64{
+		"wordcount": fnv64(wc.String()),
+		"pagerank":  fnv64(pr.String()),
+	}
+}
+
+// fnv64 is FNV-1a over s.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func TestChaoticRunsMatchBaselineAcrossWorkerWidths(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	// Fault-free baseline at width 1 anchors the expected outcomes and
+	// the horizon faults are placed in.
+	base := newE2EBed(t, 1, obs.Nop())
+	want := runE2EWorkloads(t, base)
+	horizon := base.tb.Clock.Now()
+	if horizon <= 0 {
+		t.Fatal("baseline has zero makespan")
+	}
+
+	for _, profile := range chaos.Profiles() {
+		for _, seed := range seeds {
+			for _, workers := range []int{1, 4} {
+				name := fmt.Sprintf("%s/seed%d/w%d", profile, seed, workers)
+				t.Run(name, func(t *testing.T) {
+					bundle := obs.New(obs.Options{Disabled: true, RingCapacity: 1})
+					b := newE2EBed(t, workers, bundle)
+					sched := chaos.MustSchedule(seed, profile, horizon, 6)
+					inj := chaos.NewInjector(b.tb.Clock, sched, bundle)
+					b.tb.Engine.SetFaultInjector(inj)
+					inj.BindStore(b.tb.Store)
+					inj.Arm(b.tb.Cluster)
+					b.tb.Cluster.SetOnReplaceFailed(func(pool string, err error) {
+						t.Logf("replacement failed for %s: %v", pool, err)
+					})
+
+					var samples []float64
+					for i := 1; i <= 8; i++ {
+						b.tb.Clock.Schedule(horizon*2*float64(i)/8, func() {
+							samples = append(samples, b.tb.Cluster.Cost())
+						})
+					}
+
+					got := runE2EWorkloads(t, b)
+					inj.Disable()
+					viols := chaos.Check(chaos.CheckInput{
+						BaselineFNV: want,
+						ChaosFNV:    got,
+						Store:       b.tb.Store,
+						Ckpt:        b.ftm,
+						Engine:      b.tb.Engine,
+						CostSamples: samples,
+					})
+					if len(viols) != 0 {
+						t.Fatalf("invariant violations:\n%v\nschedule: %+v", viols, sched)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaoticRunIsReproducible: the same (seed, profile) yields the
+// identical virtual makespan and fault counts run to run — the property
+// that makes a dumped schedule a faithful repro.
+func TestChaoticRunIsReproducible(t *testing.T) {
+	run := func() (float64, [4]int64) {
+		bundle := obs.New(obs.Options{Disabled: true, RingCapacity: 1})
+		b := newE2EBed(t, 2, bundle)
+		sched := chaos.MustSchedule(11, chaos.ProfileMixed, 400, 6)
+		inj := chaos.NewInjector(b.tb.Clock, sched, bundle)
+		b.tb.Engine.SetFaultInjector(inj)
+		inj.BindStore(b.tb.Store)
+		inj.Arm(b.tb.Cluster)
+		runE2EWorkloads(t, b)
+		return b.tb.Clock.Now(), [4]int64{
+			bundle.ChaosCkptWriteFailures.Value(),
+			bundle.ChaosFetchFailures.Value(),
+			bundle.ChaosSlowdowns.Value(),
+			bundle.ChaosRevocations.Value(),
+		}
+	}
+	m1, c1 := run()
+	m2, c2 := run()
+	if m1 != m2 || c1 != c2 {
+		t.Fatalf("chaotic run not reproducible: makespan %.6f vs %.6f, counters %v vs %v", m1, m2, c1, c2)
+	}
+}

@@ -1,0 +1,176 @@
+package chaos
+
+import (
+	"sync/atomic"
+
+	"flint/internal/cluster"
+	"flint/internal/dfs"
+	"flint/internal/obs"
+	"flint/internal/simclock"
+)
+
+// Injector replays a Schedule against a running testbed. It implements
+// exec.FaultInjector; install it with Engine.SetFaultInjector, bind the
+// checkpoint store with BindStore, and arm the clock-driven kills with
+// Arm — all before the workload starts.
+//
+// Decision methods are pure functions of their arguments plus the
+// (frozen-during-dispatch) virtual clock, so they are safe to consult
+// from engine worker goroutines and cannot break the determinism
+// contract: the same schedule produces the same faults at any worker
+// width. Disable is the one mutation — it atomically closes every fault
+// window so the post-run invariant audit sees a quiescent system.
+type Injector struct {
+	clock    *simclock.Clock
+	sched    Schedule
+	obs      *obs.Obs
+	disabled atomic.Bool
+}
+
+// NewInjector builds an injector for sched. A nil o uses the shared
+// no-op observability bundle.
+func NewInjector(clock *simclock.Clock, sched Schedule, o *obs.Obs) *Injector {
+	if o == nil {
+		o = obs.Nop()
+	}
+	return &Injector{clock: clock, sched: sched, obs: o}
+}
+
+// Schedule returns the schedule being replayed (for artifacts).
+func (in *Injector) Schedule() Schedule { return in.sched }
+
+// Disable atomically closes every fault window and disarms future
+// kills. Call it after the workload completes and before running the
+// invariant checkers, so windows still open at the horizon do not make
+// the audit see injected absence as real inconsistency.
+func (in *Injector) Disable() { in.disabled.Store(true) }
+
+// CkptWriteFails implements exec.FaultInjector.
+func (in *Injector) CkptWriteFails(rddID, part, attempt int, now float64) bool {
+	if in.disabled.Load() {
+		return false
+	}
+	for i := range in.sched.Events {
+		e := &in.sched.Events[i]
+		if e.Kind == KindCkptWriteFail && e.open(now) && attempt <= e.Fails {
+			return true
+		}
+	}
+	return false
+}
+
+// FetchFails implements exec.FaultInjector.
+func (in *Injector) FetchFails(srcNode, attempt int, now float64) bool {
+	if in.disabled.Load() {
+		return false
+	}
+	for i := range in.sched.Events {
+		e := &in.sched.Events[i]
+		if e.Kind == KindFetchFail && e.open(now) &&
+			(e.Node < 0 || e.Node == srcNode) && attempt <= e.Fails {
+			return true
+		}
+	}
+	return false
+}
+
+// Slowdown implements exec.FaultInjector: the product of every straggler
+// window covering (node, now), or 1 when none is open.
+func (in *Injector) Slowdown(node int, now float64) float64 {
+	if in.disabled.Load() {
+		return 1
+	}
+	f := 1.0
+	for i := range in.sched.Events {
+		e := &in.sched.Events[i]
+		if e.Kind == KindStraggler && e.open(now) && (e.Node < 0 || e.Node == node) {
+			f *= e.Factor
+		}
+	}
+	return f
+}
+
+// readCorrupt reports whether a checkpoint-store read at now is inside a
+// corruption window.
+func (in *Injector) readCorrupt(now float64) bool {
+	if in.disabled.Load() {
+		return false
+	}
+	for i := range in.sched.Events {
+		e := &in.sched.Events[i]
+		if e.Kind == KindDFSReadCorrupt && e.open(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// BindStore installs the schedule's read-corruption windows on the
+// checkpoint store: while a window is open every read misses, and the
+// engine falls back to lineage recomputation. The probe counter is an
+// atomic obs counter because Peek-path probes run on worker goroutines;
+// its final value is still worker-width-deterministic, since each task
+// resolves identically regardless of which worker runs it.
+func (in *Injector) BindStore(st *dfs.Store) {
+	st.SetReadFault(func(key string) bool {
+		if !in.readCorrupt(in.clock.Now()) {
+			return false
+		}
+		in.obs.ChaosDFSReadFaults.Inc()
+		return true
+	})
+}
+
+// Arm schedules the schedule's point faults — revocations and market
+// crashes — on the virtual clock against mgr. Call once, before running
+// the workload.
+func (in *Injector) Arm(mgr *cluster.Manager) {
+	for i := range in.sched.Events {
+		e := &in.sched.Events[i] // pin: the closure outlives the loop
+		switch e.Kind {
+		case KindRevoke:
+			in.clock.Schedule(e.At, func() {
+				if in.disabled.Load() {
+					return
+				}
+				n := mgr.RevokeNewest(e.Count, e.Replace)
+				in.obs.ChaosRevocations.Add(int64(n))
+				in.obs.Emit(obs.Event{
+					Type: obs.EvFaultInjected, Time: e.At,
+					Node: -1, Bits: FaultBitRevoke,
+				})
+			})
+		case KindMarketCrash:
+			in.clock.Schedule(e.At, func() {
+				if in.disabled.Load() {
+					return
+				}
+				killed := 0
+				for _, n := range mgr.LiveNodes() {
+					if n.Pool != e.Pool {
+						continue
+					}
+					if err := mgr.RevokeNow(n.ID, e.Replace); err == nil {
+						killed++
+					}
+				}
+				in.obs.ChaosRevocations.Add(int64(killed))
+				in.obs.Emit(obs.Event{
+					Type: obs.EvFaultInjected, Time: e.At,
+					Node: -1, Bits: FaultBitMarketCrash, Pool: e.Pool,
+				})
+			})
+		}
+	}
+}
+
+// Fault-kind discriminators carried in obs.Event.Bits for
+// obs.EvFaultInjected records. The exec package emits 1 and 2 for the
+// faults it observes directly; the injector emits the cluster-level
+// kinds. Documented in docs/CHAOS.md.
+const (
+	FaultBitCkptWrite   = 1 // checkpoint-partition write failed
+	FaultBitFetch       = 2 // shuffle source dropped after retry exhaustion
+	FaultBitRevoke      = 3 // injected revocation burst
+	FaultBitMarketCrash = 4 // injected whole-pool crash
+)

@@ -1,0 +1,86 @@
+package chaos
+
+import (
+	"testing"
+
+	"flint/internal/simclock"
+)
+
+// handSchedule builds a fixed schedule exercising every decision path.
+func handSchedule() Schedule {
+	return Schedule{
+		Seed: 0, Profile: "hand", Horizon: 1000, Nodes: 4,
+		Events: []Event{
+			{Kind: KindCkptWriteFail, At: 100, Until: 200, Node: -1, Fails: 2},
+			{Kind: KindFetchFail, At: 300, Until: 400, Node: 2, Fails: 3},
+			{Kind: KindStraggler, At: 500, Until: 600, Node: -1, Factor: 2},
+			{Kind: KindStraggler, At: 550, Until: 650, Node: 3, Factor: 3},
+			{Kind: KindDFSReadCorrupt, At: 700, Until: 800, Node: -1},
+		},
+	}
+}
+
+func TestInjectorDecisions(t *testing.T) {
+	in := NewInjector(simclock.New(), handSchedule(), nil)
+
+	// Checkpoint-write windows: open for attempts ≤ Fails, half-open in
+	// time ([At, Until)).
+	for _, tc := range []struct {
+		attempt int
+		now     float64
+		want    bool
+	}{
+		{1, 150, true}, {2, 150, true}, {3, 150, false}, // attempts beyond Fails succeed
+		{1, 99, false}, {1, 100, true}, {1, 200, false}, // window bounds
+	} {
+		if got := in.CkptWriteFails(7, 0, tc.attempt, tc.now); got != tc.want {
+			t.Errorf("CkptWriteFails(attempt=%d, now=%g) = %v, want %v", tc.attempt, tc.now, got, tc.want)
+		}
+	}
+
+	// Fetch windows filter by source node.
+	if !in.FetchFails(2, 1, 350) {
+		t.Error("fetch from targeted node 2 should fail inside the window")
+	}
+	if in.FetchFails(1, 1, 350) {
+		t.Error("fetch from untargeted node 1 must not fail")
+	}
+	if in.FetchFails(2, 4, 350) {
+		t.Error("attempt 4 > Fails=3 must succeed")
+	}
+	if in.FetchFails(2, 1, 450) {
+		t.Error("fetch outside the window must succeed")
+	}
+
+	// Straggler factors multiply when windows overlap.
+	if got := in.Slowdown(1, 520); got != 2 {
+		t.Errorf("Slowdown(node 1, t=520) = %g, want 2", got)
+	}
+	if got := in.Slowdown(3, 560); got != 6 {
+		t.Errorf("Slowdown(node 3, t=560) = %g, want 6 (overlapping 2x and 3x)", got)
+	}
+	if got := in.Slowdown(1, 700); got != 1 {
+		t.Errorf("Slowdown outside windows = %g, want 1", got)
+	}
+
+	if !in.readCorrupt(750) || in.readCorrupt(650) {
+		t.Error("dfs-read-corrupt window misplaced")
+	}
+}
+
+func TestInjectorDisableClosesAllWindows(t *testing.T) {
+	in := NewInjector(simclock.New(), handSchedule(), nil)
+	in.Disable()
+	if in.CkptWriteFails(7, 0, 1, 150) {
+		t.Error("disabled injector failed a checkpoint write")
+	}
+	if in.FetchFails(2, 1, 350) {
+		t.Error("disabled injector failed a fetch")
+	}
+	if got := in.Slowdown(3, 560); got != 1 {
+		t.Errorf("disabled injector slowdown = %g, want 1", got)
+	}
+	if in.readCorrupt(750) {
+		t.Error("disabled injector corrupted a read")
+	}
+}

@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"flint/internal/ckpt"
+	"flint/internal/dfs"
+	"flint/internal/exec"
+)
+
+// Violation is one failed invariant. Invariant is a stable machine-
+// checkable name; Detail is the human-readable evidence.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Invariant names.
+const (
+	// InvOutcome: every output of the chaotic run hashes byte-identical
+	// to the fault-free baseline — faults may change timing and cost,
+	// never results.
+	InvOutcome = "outcome-equality"
+	// InvCkptStore: the checkpoint manager's bookkeeping matches the
+	// store — no orphan objects, and GC never deleted the only durable
+	// copy of a live RDD.
+	InvCkptStore = "checkpoint-store-consistency"
+	// InvAccounting: incremental byte accounting in the block caches,
+	// the shuffle tracker and the checkpoint store matches a full
+	// recount of resident data.
+	InvAccounting = "byte-accounting-conservation"
+	// InvCost: accumulated cost is nonnegative and nondecreasing in
+	// time — faults can make a run dearer, never refund money.
+	InvCost = "cost-monotonicity"
+)
+
+// CheckInput carries everything the post-run audit inspects. Optional
+// fields may be nil/empty; their checks are skipped.
+type CheckInput struct {
+	// BaselineFNV and ChaosFNV map outcome names to FNV-1a hashes of the
+	// canonicalized results, from the fault-free and chaotic runs.
+	BaselineFNV map[string]uint64
+	ChaosFNV    map[string]uint64
+	// Store is the chaotic run's checkpoint store.
+	Store *dfs.Store
+	// Ckpt is the chaotic run's fault-tolerance manager.
+	Ckpt *ckpt.Manager
+	// Engine is the chaotic run's execution engine.
+	Engine *exec.Engine
+	// CostSamples are cumulative dollars sampled at increasing virtual
+	// times over the chaotic run.
+	CostSamples []float64
+}
+
+// Check runs every applicable invariant and returns the violations,
+// sorted by invariant name (empty = clean run). Call Injector.Disable
+// first: an audit inside an open fault window would see the injected
+// absence of data as real inconsistency.
+func Check(in CheckInput) []Violation {
+	var out []Violation
+
+	if in.BaselineFNV != nil || in.ChaosFNV != nil {
+		names := make([]string, 0, len(in.BaselineFNV))
+		for name := range in.BaselineFNV {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			chaosFNV, ok := in.ChaosFNV[name]
+			if !ok {
+				out = append(out, Violation{InvOutcome, fmt.Sprintf("output %q missing from chaotic run", name)})
+				continue
+			}
+			if want := in.BaselineFNV[name]; chaosFNV != want {
+				out = append(out, Violation{InvOutcome, fmt.Sprintf("output %q: baseline fnv %016x, chaotic fnv %016x", name, want, chaosFNV)})
+			}
+		}
+		for name := range in.ChaosFNV {
+			if _, ok := in.BaselineFNV[name]; !ok {
+				out = append(out, Violation{InvOutcome, fmt.Sprintf("output %q missing from baseline run", name)})
+			}
+		}
+	}
+
+	if in.Ckpt != nil {
+		for _, detail := range in.Ckpt.AuditStore() {
+			out = append(out, Violation{InvCkptStore, detail})
+		}
+	}
+
+	if in.Store != nil {
+		if err := in.Store.Audit(); err != nil {
+			out = append(out, Violation{InvAccounting, err.Error()})
+		}
+	}
+	if in.Engine != nil {
+		if err := in.Engine.Audit(); err != nil {
+			out = append(out, Violation{InvAccounting, err.Error()})
+		}
+	}
+
+	for i, c := range in.CostSamples {
+		if c < 0 {
+			out = append(out, Violation{InvCost, fmt.Sprintf("sample %d: negative cost $%.6f", i, c)})
+			break
+		}
+		if i > 0 && c < in.CostSamples[i-1] {
+			out = append(out, Violation{InvCost, fmt.Sprintf("sample %d: cost fell $%.6f -> $%.6f", i, in.CostSamples[i-1], c)})
+			break
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Invariant < out[j].Invariant })
+	return out
+}

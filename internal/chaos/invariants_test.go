@@ -1,0 +1,98 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCheckCleanInput(t *testing.T) {
+	viols := Check(CheckInput{
+		BaselineFNV: map[string]uint64{"a": 1, "b": 2},
+		ChaosFNV:    map[string]uint64{"a": 1, "b": 2},
+		CostSamples: []float64{0, 0.5, 0.5, 1.2},
+	})
+	if len(viols) != 0 {
+		t.Fatalf("clean input produced violations: %v", viols)
+	}
+}
+
+func TestCheckFlagsOutcomeDivergence(t *testing.T) {
+	viols := Check(CheckInput{
+		BaselineFNV: map[string]uint64{"a": 1, "b": 2},
+		ChaosFNV:    map[string]uint64{"a": 99, "c": 3},
+	})
+	if len(viols) != 3 {
+		t.Fatalf("violations = %v, want hash mismatch + missing b + extra c", viols)
+	}
+	for _, v := range viols {
+		if v.Invariant != InvOutcome {
+			t.Errorf("wrong invariant name %q", v.Invariant)
+		}
+	}
+}
+
+func TestCheckFlagsCostRegression(t *testing.T) {
+	viols := Check(CheckInput{CostSamples: []float64{0, 1.0, 0.8}})
+	if len(viols) != 1 || viols[0].Invariant != InvCost {
+		t.Fatalf("violations = %v, want one %s", viols, InvCost)
+	}
+	if viols := Check(CheckInput{CostSamples: []float64{-0.1}}); len(viols) != 1 {
+		t.Fatalf("negative cost not flagged: %v", viols)
+	}
+}
+
+// TestBrokenInvariantProducesReplayableArtifact is the acceptance path
+// for a deliberately broken invariant: the violation is dumped as an
+// artifact whose schedule regenerates bit-identically.
+func TestBrokenInvariantProducesReplayableArtifact(t *testing.T) {
+	sched := MustSchedule(1234, ProfileMixed, 600, 10)
+	viols := Check(CheckInput{
+		BaselineFNV: map[string]uint64{"wordcount": 0xdeadbeef},
+		ChaosFNV:    map[string]uint64{"wordcount": 0xbadc0ffee},
+	})
+	if len(viols) == 0 {
+		t.Fatal("deliberately broken outcome produced no violation")
+	}
+	dir := t.TempDir()
+	path, err := WriteArtifact(dir, sched, viols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "chaos_mixed_seed1234.json" {
+		t.Errorf("artifact name %q not canonical", filepath.Base(path))
+	}
+	art, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(art.Schedule, sched) {
+		t.Fatal("artifact schedule does not round trip")
+	}
+	if !reflect.DeepEqual(art.Violations, viols) {
+		t.Fatal("artifact violations do not round trip")
+	}
+	replayed := MustSchedule(art.Schedule.Seed, art.Schedule.Profile, art.Schedule.Horizon, art.Schedule.Nodes)
+	if !reflect.DeepEqual(replayed, sched) {
+		t.Fatal("replaying the artifact's parameters regenerated a different schedule")
+	}
+	if !strings.Contains(viols[0].String(), InvOutcome) {
+		t.Errorf("violation string %q should name its invariant", viols[0])
+	}
+}
+
+func TestLoadArtifactRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(p, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArtifact(p); err == nil {
+		t.Error("garbage artifact accepted")
+	}
+	if _, err := LoadArtifact(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing artifact accepted")
+	}
+}

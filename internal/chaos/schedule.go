@@ -1,0 +1,205 @@
+// Package chaos is Flint's deterministic fault-injection and invariant-
+// checking subsystem. A Schedule — generated from a seed and a named
+// profile — describes every fault a run will suffer: revocation bursts,
+// correlated market crashes, straggler slowdowns, transient checkpoint-
+// write failures, checkpoint-store read corruption, and shuffle-fetch
+// failures. An Injector replays the schedule against a testbed through
+// the narrow hooks the execution layers expose (exec.FaultInjector,
+// dfs.Store.SetReadFault, cluster.Manager.RevokeNewest), and the
+// invariant checkers in invariants.go audit the run afterwards.
+//
+// Everything is a pure function of (seed, profile): the same schedule
+// injects the same faults at the same virtual instants at any engine
+// worker width, so a chaotic run's outputs must be byte-identical to the
+// fault-free baseline — recomputation from lineage is deterministic.
+// A failing run dumps its schedule as a replayable JSON artifact
+// (artifact.go); see docs/CHAOS.md for the operational guide.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Kind names one fault type in a schedule.
+type Kind string
+
+const (
+	// KindRevoke revokes Count live servers (highest IDs first) at At.
+	KindRevoke Kind = "revoke"
+	// KindMarketCrash revokes every live server in Pool at At — the
+	// correlated price-spike failure mode of §2.2 of the paper, where a
+	// whole spot market is lost at once.
+	KindMarketCrash Kind = "market-crash"
+	// KindStraggler multiplies task durations on Node (-1 = every node)
+	// by Factor while the [At, Until) window is open.
+	KindStraggler Kind = "straggler"
+	// KindCkptWriteFail fails the first Fails attempts of every
+	// checkpoint-partition write started inside [At, Until).
+	KindCkptWriteFail Kind = "ckpt-write-fail"
+	// KindDFSReadCorrupt makes every checkpoint-store read inside
+	// [At, Until) behave as corrupt, forcing lineage recomputation.
+	KindDFSReadCorrupt Kind = "dfs-read-corrupt"
+	// KindFetchFail fails the first Fails attempts of shuffle fetches
+	// from Node (-1 = any source) inside [At, Until).
+	KindFetchFail Kind = "shuffle-fetch-fail"
+)
+
+// Event is one fault in a schedule. Point faults (revoke, market-crash)
+// use At only; window faults (everything else) are open for [At, Until).
+type Event struct {
+	Kind    Kind    `json:"kind"`
+	At      float64 `json:"at"`
+	Until   float64 `json:"until,omitempty"`
+	Node    int     `json:"node"`              // target node ID; -1 = any
+	Count   int     `json:"count,omitempty"`   // revoke: servers to kill
+	Fails   int     `json:"fails,omitempty"`   // attempts that fail before success
+	Factor  float64 `json:"factor,omitempty"`  // straggler multiplier (>1)
+	Replace bool    `json:"replace,omitempty"` // order replacements for kills
+	Pool    string  `json:"pool,omitempty"`    // market-crash target pool
+}
+
+// open reports whether a window event covers virtual time now.
+func (e *Event) open(now float64) bool {
+	return now >= e.At && now < e.Until
+}
+
+// Schedule is the full fault plan for one chaotic run. It is what the
+// replayable artifact serializes: NewSchedule(Seed, Profile, Horizon,
+// Nodes) reconstructs it exactly.
+type Schedule struct {
+	Seed    int64   `json:"seed"`
+	Profile string  `json:"profile"`
+	Horizon float64 `json:"horizon"` // virtual seconds of fault activity
+	Nodes   int     `json:"nodes"`   // cluster size the node picks draw from
+	Events  []Event `json:"events"`
+}
+
+// Profile names.
+const (
+	ProfileRevocationBurst = "revocation-burst"
+	ProfileStraggler       = "straggler"
+	ProfileCkptFailure     = "ckpt-failure"
+	ProfileMixed           = "mixed"
+)
+
+// Profiles returns the known profile names in sorted order.
+func Profiles() []string {
+	return []string{ProfileCkptFailure, ProfileMixed, ProfileRevocationBurst, ProfileStraggler}
+}
+
+// NewSchedule generates the deterministic fault plan for (seed, profile).
+// horizon is the virtual-time span faults are placed in — pick roughly
+// the fault-free makespan of the workload, so faults land while work is
+// in flight. nodes is the cluster size, used to draw target node IDs.
+func NewSchedule(seed int64, profile string, horizon float64, nodes int) (Schedule, error) {
+	if !(horizon > 0) || math.IsInf(horizon, 1) {
+		return Schedule{}, fmt.Errorf("chaos: horizon must be positive and finite, got %g", horizon)
+	}
+	if nodes <= 0 {
+		return Schedule{}, fmt.Errorf("chaos: nodes must be positive, got %d", nodes)
+	}
+	s := Schedule{Seed: seed, Profile: profile, Horizon: horizon, Nodes: nodes}
+	r := rand.New(rand.NewSource(seed))
+	// Faults land in the middle (0.05–0.90)·horizon of the run so the job
+	// has started and has time to recover before the audit.
+	at := func() float64 { return (0.05 + 0.85*r.Float64()) * horizon }
+	window := func(start float64) (float64, float64) {
+		end := start + (0.05+0.20*r.Float64())*horizon
+		if end > 0.95*horizon {
+			end = 0.95 * horizon
+		}
+		return start, end
+	}
+	// anyNode draws a specific target or -1 (any), specific twice as
+	// often. Node IDs count from 1 (cluster.Manager numbering).
+	anyNode := func() int {
+		if r.Intn(3) == 0 {
+			return -1
+		}
+		return 1 + r.Intn(nodes)
+	}
+
+	revocations := func() {
+		for i, n := 0, 1+r.Intn(3); i < n; i++ {
+			s.Events = append(s.Events, Event{
+				Kind: KindRevoke, At: at(), Node: -1,
+				Count: 1 + r.Intn(2), Replace: true,
+			})
+		}
+		if r.Intn(2) == 0 {
+			s.Events = append(s.Events, Event{
+				Kind: KindMarketCrash, At: at(), Node: -1,
+				Pool: "standby", Replace: true,
+			})
+		}
+	}
+	stragglers := func() {
+		for i, n := 0, 2+r.Intn(3); i < n; i++ {
+			start, end := window(at())
+			s.Events = append(s.Events, Event{
+				Kind: KindStraggler, At: start, Until: end,
+				Node: anyNode(), Factor: 1.5 + 2.5*r.Float64(),
+			})
+		}
+	}
+	ckptFailures := func() {
+		for i, n := 0, 2+r.Intn(3); i < n; i++ {
+			start, end := window(at())
+			s.Events = append(s.Events, Event{
+				Kind: KindCkptWriteFail, At: start, Until: end,
+				Node: -1, Fails: 1 + r.Intn(5),
+			})
+		}
+		if r.Intn(2) == 0 {
+			start, end := window(at())
+			s.Events = append(s.Events, Event{
+				Kind: KindDFSReadCorrupt, At: start, Until: end, Node: -1,
+			})
+		}
+	}
+	fetchFailures := func() {
+		for i, n := 0, 1+r.Intn(2); i < n; i++ {
+			start, end := window(at())
+			s.Events = append(s.Events, Event{
+				Kind: KindFetchFail, At: start, Until: end,
+				Node: anyNode(), Fails: 1 + r.Intn(5),
+			})
+		}
+	}
+
+	switch profile {
+	case ProfileRevocationBurst:
+		revocations()
+	case ProfileStraggler:
+		stragglers()
+	case ProfileCkptFailure:
+		ckptFailures()
+	case ProfileMixed:
+		revocations()
+		stragglers()
+		ckptFailures()
+		fetchFailures()
+	default:
+		return Schedule{}, fmt.Errorf("chaos: unknown profile %q (want one of %v)", profile, Profiles())
+	}
+
+	sort.SliceStable(s.Events, func(i, j int) bool {
+		if s.Events[i].At != s.Events[j].At {
+			return s.Events[i].At < s.Events[j].At
+		}
+		return s.Events[i].Kind < s.Events[j].Kind
+	})
+	return s, nil
+}
+
+// MustSchedule is NewSchedule that panics on error (test convenience).
+func MustSchedule(seed int64, profile string, horizon float64, nodes int) Schedule {
+	s, err := NewSchedule(seed, profile, horizon, nodes)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

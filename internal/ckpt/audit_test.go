@@ -1,0 +1,59 @@
+package ckpt
+
+import (
+	"strings"
+	"testing"
+
+	"flint/internal/dfs"
+	"flint/internal/rdd"
+	"flint/internal/simclock"
+)
+
+// TestAuditStoreCrossChecks: AuditStore must verify both directions of
+// the manager↔store relationship — completeness (every fully
+// checkpointed RDD still resident) and ownership (no orphan rdd/ keys).
+func TestAuditStoreCrossChecks(t *testing.T) {
+	clk := simclock.New()
+	store := dfs.New(dfs.DefaultConfig())
+	m, err := NewManager(clk, store, mgrConfig(simclock.Hours(50), 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rdd.NewContext(2)
+	r := c.Parallelize("r", 2, 8, func(part int) []rdd.Row { return nil })
+	for p := 0; p < r.NumParts; p++ {
+		store.Put(dfs.Key(r.ID, p), nil, 8, 0)
+		m.NotifyCheckpointDone(r, p, 8, 1, 0)
+	}
+	if bad := m.AuditStore(); len(bad) != 0 {
+		t.Fatalf("clean state failed audit: %v", bad)
+	}
+
+	// Losing a partition of a fully checkpointed RDD is a violation:
+	// the manager would restore from a hole.
+	store.Delete(dfs.Key(r.ID, 0), 1)
+	bad := m.AuditStore()
+	if len(bad) != 1 || !strings.Contains(bad[0], "partition 0 missing") {
+		t.Fatalf("missing partition not flagged: %v", bad)
+	}
+	store.Put(dfs.Key(r.ID, 0), nil, 8, 2)
+
+	// A checkpoint object no RDD owns is a GC leak.
+	store.Put(dfs.Key(999, 0), nil, 8, 2)
+	bad = m.AuditStore()
+	if len(bad) != 1 || !strings.Contains(bad[0], "orphan") {
+		t.Fatalf("orphan key not flagged: %v", bad)
+	}
+	store.Delete(dfs.Key(999, 0), 3)
+
+	if bad := m.AuditStore(); len(bad) != 0 {
+		t.Fatalf("repaired state failed audit: %v", bad)
+	}
+	if m.WriteFailures != 0 {
+		t.Fatalf("WriteFailures = %d before any failure", m.WriteFailures)
+	}
+	m.NotifyCheckpointFailed(r, 1, 4, 5)
+	if m.WriteFailures != 1 {
+		t.Fatalf("WriteFailures = %d after one failure", m.WriteFailures)
+	}
+}

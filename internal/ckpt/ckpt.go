@@ -30,6 +30,7 @@ package ckpt
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 
@@ -112,6 +113,7 @@ type Manager struct {
 	RDDsCompleted int
 	GCRemoved     int
 	DeltaUpdates  int
+	WriteFailures int // checkpoint writes abandoned after retry exhaustion
 }
 
 // NewManager builds the fault-tolerance manager.
@@ -365,6 +367,43 @@ func (m *Manager) NotifyCheckpointDone(r *rdd.RDD, part int, bytes int64, wrote 
 	if m.cfg.GC {
 		m.gc(now)
 	}
+}
+
+// NotifyCheckpointFailed records that the engine abandoned a partition's
+// checkpoint write after exhausting its retries (exec.FailureAwarePolicy).
+// The RDD stays marked: the policy re-attempts on the partition's next
+// materialization rather than giving up on durability for the whole RDD.
+func (m *Manager) NotifyCheckpointFailed(r *rdd.RDD, part, attempts int, now float64) {
+	m.WriteFailures++
+}
+
+// AuditStore cross-checks the manager's bookkeeping against the store,
+// returning a description of every inconsistency found (empty = clean).
+// Two invariants: every fully checkpointed RDD still has all its
+// partitions resident (GC must never delete the only durable copy of a
+// live RDD), and every checkpoint object in the store is owned by an RDD
+// the manager knows about (no orphans leaked past GC).
+func (m *Manager) AuditStore() []string {
+	var bad []string
+	for id, r := range m.fullCkpt {
+		for p := 0; p < r.NumParts; p++ {
+			if !m.store.Has(dfs.Key(id, p)) {
+				bad = append(bad, fmt.Sprintf("rdd %d: fully checkpointed but partition %d missing from store", id, p))
+			}
+		}
+	}
+	for _, key := range m.store.Keys("rdd/") {
+		var id, part int
+		if _, err := fmt.Sscanf(key, "rdd/%d/part/%d", &id, &part); err != nil {
+			bad = append(bad, fmt.Sprintf("unparseable checkpoint key %q", key))
+			continue
+		}
+		if m.fullCkpt[id] == nil && m.done[id] == nil && !m.marked[id] {
+			bad = append(bad, fmt.Sprintf("orphan checkpoint %q: RDD %d unknown to the manager", key, id))
+		}
+	}
+	sort.Strings(bad)
+	return bad
 }
 
 // updateDelta refreshes δ: the time to write an RDD of this size with all

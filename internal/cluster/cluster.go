@@ -13,11 +13,20 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"flint/internal/market"
 	"flint/internal/obs"
 	"flint/internal/simclock"
 )
+
+// ErrNoViableMarket reports that a replacement server could not be
+// acquired from any market the selector suggested, nor from on-demand.
+// Callers installing Events.OnReplaceFailed receive it wrapped with the
+// revoked pool and instant; without a handler the manager panics with the
+// same error (a replacement-less cluster is a hard configuration error
+// for the paper's experiments).
+var ErrNoViableMarket = errors.New("cluster: no viable market for replacement")
 
 // Node is one cluster member.
 type Node struct {
@@ -68,6 +77,11 @@ type Events struct {
 	// OnRevoked fires at the instant a node is revoked. The node's cached
 	// state is already gone when this is called.
 	OnRevoked func(n *Node)
+	// OnReplaceFailed fires when no market could supply a replacement
+	// (err wraps ErrNoViableMarket). When nil, the manager panics
+	// instead; chaos runs install a handler so exhausted markets degrade
+	// the cluster cleanly rather than crashing the experiment.
+	OnReplaceFailed func(pool string, err error)
 }
 
 // Config sizes the cluster and its servers. The defaults mirror the
@@ -152,6 +166,14 @@ func (m *Manager) SetObs(o *obs.Obs) {
 		o = obs.Nop()
 	}
 	m.obs = o
+}
+
+// SetOnReplaceFailed installs the replacement-failure handler after
+// construction (the engine builds the base Events value, so callers that
+// want graceful degradation — chaos runs, resilience tests — bolt the
+// handler on here). A nil handler restores the panic behaviour.
+func (m *Manager) SetOnReplaceFailed(fn func(pool string, err error)) {
+	m.ev.OnReplaceFailed = fn
 }
 
 // Start provisions the initial cluster synchronously: all Size nodes are
@@ -297,9 +319,32 @@ func (m *Manager) replaceOne(revokedPool string, now float64) {
 			return
 		}
 	}
-	// Could not replace; the cluster runs degraded. A real deployment
-	// would retry; experiments treat this as a hard configuration error.
-	panic(fmt.Sprintf("cluster: unable to replace server from pool %s at t=%.0f", revokedPool, now))
+	// Could not replace; the cluster runs degraded. With a handler the
+	// caller decides (chaos runs log and continue); otherwise this stays
+	// the hard configuration error the experiments treat it as.
+	err := fmt.Errorf("%w (replacing pool %s at t=%.0f)", ErrNoViableMarket, revokedPool, now)
+	if m.ev.OnReplaceFailed != nil {
+		m.ev.OnReplaceFailed(revokedPool, err)
+		return
+	}
+	panic(err)
+}
+
+// RevokeNewest force-revokes the k highest-ID live nodes (the newest
+// servers, so repeated injections are deterministic) and returns how many
+// were revoked. Chaos schedules use it for revocation bursts.
+func (m *Manager) RevokeNewest(k int, replace bool) int {
+	live := m.LiveNodes()
+	sort.Slice(live, func(i, j int) bool { return live[i].ID > live[j].ID })
+	if k > len(live) {
+		k = len(live)
+	}
+	for i := 0; i < k; i++ {
+		if err := m.RevokeNow(live[i].ID, replace); err != nil {
+			return i
+		}
+	}
+	return k
 }
 
 // LiveNodes returns the nodes currently usable (UpAt ≤ now, not revoked)

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"flint/internal/market"
+	"flint/internal/simclock"
+	"flint/internal/trace"
+)
+
+// noOnDemandExchange builds an exchange with only spot pools "a" and "b",
+// both spiking to 5 at spikeMin for 15 minutes, and crucially *no*
+// on-demand pool — so a replacement during the spike has nowhere to go.
+func noOnDemandExchange(t *testing.T, spikeMin int) *market.Exchange {
+	t.Helper()
+	mk := func(name string) *market.Pool {
+		prices := make([]float64, 24*60)
+		for i := range prices {
+			prices[i] = 0.2
+			if i >= spikeMin && i < spikeMin+15 {
+				prices[i] = 5
+			}
+		}
+		return &market.Pool{
+			Name: name, Kind: market.KindSpot, OnDemand: 1.0,
+			Trace: &trace.Trace{Step: 60, Prices: prices},
+		}
+	}
+	e, err := market.NewExchange([]*market.Pool{mk("a"), mk("b")}, market.BillPerSecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestReplaceFailureInvokesHandler: when every market is unaffordable and
+// there is no on-demand fallback, an installed OnReplaceFailed handler
+// receives ErrNoViableMarket and the cluster degrades instead of
+// panicking.
+func TestReplaceFailureInvokesHandler(t *testing.T) {
+	clk := simclock.New()
+	e := noOnDemandExchange(t, 60)
+	sel := &FixedSelector{PoolName: "a", Bid: 1, Fallbacks: []Request{{Pool: "b", Bid: 1}}}
+	m, err := New(clk, e, smallConfig(), sel, Events{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failures int
+	m.SetOnReplaceFailed(func(pool string, err error) {
+		failures++
+		if pool != "a" {
+			t.Errorf("handler pool = %q, want a", pool)
+		}
+		if !errors.Is(err, ErrNoViableMarket) {
+			t.Errorf("handler error %v does not wrap ErrNoViableMarket", err)
+		}
+	})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clk.RunUntil(2 * simclock.Hour)
+	// All four nodes revoke at the spike; replacements fail in both pools
+	// and there is no on-demand, so the handler fires once per node.
+	if failures != 4 {
+		t.Fatalf("OnReplaceFailed fired %d times, want 4", failures)
+	}
+	if got := len(m.LiveNodes()); got != 0 {
+		t.Errorf("degraded cluster has %d live nodes, want 0", got)
+	}
+	if m.RevocationCount != 4 || m.ReplacementCount != 0 {
+		t.Errorf("counters revocations=%d replacements=%d, want 4/0",
+			m.RevocationCount, m.ReplacementCount)
+	}
+}
+
+// TestReplaceFailurePanicsWithoutHandler: the pre-existing hard-error
+// behaviour is preserved when no handler is installed, and the panic
+// value is a typed error satisfying errors.Is(ErrNoViableMarket).
+func TestReplaceFailurePanicsWithoutHandler(t *testing.T) {
+	clk := simclock.New()
+	e := noOnDemandExchange(t, 60)
+	sel := &FixedSelector{PoolName: "a", Bid: 1, Fallbacks: []Request{{Pool: "b", Bid: 1}}}
+	m, err := New(clk, e, smallConfig(), sel, Events{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("replacement failure without a handler did not panic")
+		}
+		perr, ok := r.(error)
+		if !ok {
+			t.Fatalf("panic value %v (%T) is not an error", r, r)
+		}
+		if !errors.Is(perr, ErrNoViableMarket) {
+			t.Fatalf("panic error %v does not wrap ErrNoViableMarket", perr)
+		}
+	}()
+	clk.RunUntil(2 * simclock.Hour)
+}
+
+// TestRevokeNewestOrdering: forced revocation kills the highest-ID
+// (newest) nodes first and clamps at the live count, keeping repeated
+// chaos injections deterministic.
+func TestRevokeNewestOrdering(t *testing.T) {
+	clk := simclock.New()
+	e := noOnDemandExchange(t, -20) // never spikes
+	m, err := New(clk, e, smallConfig(), &FixedSelector{PoolName: "a", Bid: 1}, Events{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.RevokeNewest(2, false); got != 2 {
+		t.Fatalf("RevokeNewest(2) = %d, want 2", got)
+	}
+	live := m.LiveNodes()
+	if len(live) != 2 || live[0].ID != 1 || live[1].ID != 2 {
+		t.Fatalf("survivors = %+v, want nodes 1 and 2", live)
+	}
+	if got := m.RevokeNewest(10, false); got != 2 {
+		t.Fatalf("RevokeNewest(10) with 2 live = %d, want 2", got)
+	}
+	if got := len(m.LiveNodes()); got != 0 {
+		t.Fatalf("live after full revocation = %d, want 0", got)
+	}
+}

@@ -19,6 +19,7 @@
 package dfs
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -71,6 +72,12 @@ type object struct {
 type Store struct {
 	cfg  Config
 	objs map[string]*object
+
+	// readFault, when set, makes reads of matching keys behave as
+	// corrupt: Get/Peek/Has report the object as absent, forcing the
+	// engine's lineage fallback. Pure function of its argument (plus the
+	// injector's frozen clock) — it is consulted from worker goroutines.
+	readFault func(key string) bool
 
 	// occupancy accounting
 	curBytes     int64
@@ -132,10 +139,21 @@ func (s *Store) Put(key string, value any, bytes int64, now float64) {
 	s.puts++
 }
 
+// SetReadFault installs (or, with nil, removes) the chaos read-fault
+// hook. While f(key) returns true the object behaves as unreadable for
+// Get, Peek and Has — the data still exists and its occupancy still
+// bills, exactly like a temporarily corrupt or unreachable replica.
+func (s *Store) SetReadFault(f func(key string) bool) { s.readFault = f }
+
+// faulted reports whether key is inside an injected read-fault window.
+func (s *Store) faulted(key string) bool {
+	return s.readFault != nil && s.readFault(key)
+}
+
 // Get returns the stored value and its logical size.
 func (s *Store) Get(key string, now float64) (value any, bytes int64, ok bool) {
 	o, ok := s.objs[key]
-	if !ok {
+	if !ok || s.faulted(key) {
 		return nil, 0, false
 	}
 	s.bytesRead += o.bytes
@@ -148,7 +166,7 @@ func (s *Store) Get(key string, now float64) (value any, bytes int64, ok bool) {
 // active; pair with NoteReads to book the reads afterwards.
 func (s *Store) Peek(key string) (value any, bytes int64, ok bool) {
 	o, ok := s.objs[key]
-	if !ok {
+	if !ok || s.faulted(key) {
 		return nil, 0, false
 	}
 	return o.value, o.bytes, true
@@ -161,10 +179,13 @@ func (s *Store) NoteReads(n int, bytes int64) {
 	s.bytesRead += bytes
 }
 
-// Has reports whether key exists without charging a read.
+// Has reports whether key exists without charging a read. Keys inside an
+// injected read-fault window report absent, so the scheduler's planning
+// view (missingShuffles) agrees with what the task resolver will see at
+// the same virtual instant.
 func (s *Store) Has(key string) bool {
 	_, ok := s.objs[key]
-	return ok
+	return ok && !s.faulted(key)
 }
 
 // Delete removes key at time now. Deleting a missing key is a no-op.
@@ -250,3 +271,30 @@ func (s *Store) UsageAt(now float64) Usage {
 
 // Config returns the store's configuration.
 func (s *Store) Config() Config { return s.cfg }
+
+// Audit recomputes occupancy from the resident objects and checks it
+// against the incrementally maintained accounting, returning the first
+// inconsistency. Ground truth for the chaos invariant checkers: drift
+// means a Put/Delete path lost or double-counted bytes.
+func (s *Store) Audit() error {
+	var sum int64
+	for _, o := range s.objs {
+		if o.bytes < 0 {
+			return errors.New("dfs: negative object size")
+		}
+		sum += o.bytes * int64(s.cfg.ReplicationFactor)
+	}
+	if sum != s.curBytes {
+		return fmt.Errorf("dfs: current bytes %d, objects hold %d", s.curBytes, sum)
+	}
+	if s.peakBytes < s.curBytes {
+		return fmt.Errorf("dfs: peak %d below current %d", s.peakBytes, s.curBytes)
+	}
+	if s.byteSeconds < 0 {
+		return fmt.Errorf("dfs: negative byte-seconds %g", s.byteSeconds)
+	}
+	if s.bytesWritten < s.curBytes {
+		return fmt.Errorf("dfs: bytes written %d below current %d", s.bytesWritten, s.curBytes)
+	}
+	return nil
+}

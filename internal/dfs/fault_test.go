@@ -1,0 +1,68 @@
+package dfs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadFaultConsistentAcrossGetPeekHas: an injected read fault must
+// make Get, Peek and Has agree that the key is absent — the scheduler's
+// missing-partition planner (Has) and the task-time resolver (Peek/Get)
+// consult the store at the same virtual instant and must see the same
+// world, or the engine plans against data it then cannot read.
+func TestReadFaultConsistentAcrossGetPeekHas(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Put("k", 42, 10, 0)
+
+	faulting := false
+	s.SetReadFault(func(key string) bool { return faulting && key == "k" })
+
+	if _, _, ok := s.Get("k", 1); !ok {
+		t.Fatal("Get missed with the fault window closed")
+	}
+	faulting = true
+	if _, _, ok := s.Get("k", 2); ok {
+		t.Error("Get served a faulted key")
+	}
+	if _, _, ok := s.Peek("k"); ok {
+		t.Error("Peek served a faulted key")
+	}
+	if s.Has("k") {
+		t.Error("Has reported a faulted key present")
+	}
+	faulting = false
+	if _, _, ok := s.Get("k", 3); !ok {
+		t.Error("fault did not clear")
+	}
+	// The object itself was never lost: faults are read-side only.
+	s.SetReadFault(nil)
+	if !s.Has("k") {
+		t.Error("removing the fault hook lost the key")
+	}
+}
+
+// TestAuditDetectsLedgerDrift: a clean store audits clean; cooked
+// internal ledgers are caught.
+func TestAuditDetectsLedgerDrift(t *testing.T) {
+	s := New(Config{ReplicationFactor: 2, WriteBW: 1 << 20, ReadBW: 1 << 20})
+	s.Put("a", nil, 100, 0)
+	s.Put("b", nil, 50, 10)
+	s.Delete("a", 20)
+	if err := s.Audit(); err != nil {
+		t.Fatalf("clean store failed audit: %v", err)
+	}
+	// Drift the occupancy ledger away from the live objects.
+	s.curBytes += 7
+	err := s.Audit()
+	if err == nil {
+		t.Fatal("cooked curBytes passed audit")
+	}
+	if !strings.Contains(err.Error(), "current bytes") {
+		t.Errorf("audit error %q does not name the drifted ledger", err)
+	}
+	s.curBytes -= 7
+	s.peakBytes = 1 // below current occupancy
+	if err := s.Audit(); err == nil {
+		t.Error("peak < current passed audit")
+	}
+}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"container/list"
+	"fmt"
 
 	"flint/internal/rdd"
 )
@@ -194,3 +195,35 @@ func (c *blockCache) dropRDD(rddID int) {
 
 // usage returns current occupancy.
 func (c *blockCache) usage() (mem, disk int64) { return c.memUsed, c.diskUsed }
+
+// audit recomputes tier occupancy from the resident blocks and checks it
+// against the incrementally maintained counters, the LRU list lengths and
+// the configured capacities. Ground truth for the chaos invariant
+// checkers: any drift means an eviction or insertion path lost bytes.
+func (c *blockCache) audit() error {
+	var mem, disk int64
+	nMem, nDisk := 0, 0
+	for _, b := range c.blocks {
+		switch b.where {
+		case tierMem:
+			mem += b.bytes
+			nMem++
+		case tierDisk:
+			disk += b.bytes
+			nDisk++
+		}
+	}
+	if mem != c.memUsed || disk != c.diskUsed {
+		return fmt.Errorf("usage counters mem=%d disk=%d, blocks hold mem=%d disk=%d",
+			c.memUsed, c.diskUsed, mem, disk)
+	}
+	if c.memLRU.Len() != nMem || c.diskLRU.Len() != nDisk {
+		return fmt.Errorf("LRU lengths mem=%d disk=%d, blocks hold mem=%d disk=%d",
+			c.memLRU.Len(), c.diskLRU.Len(), nMem, nDisk)
+	}
+	if c.memUsed > c.memCap || c.diskUsed > c.diskCap {
+		return fmt.Errorf("over capacity: mem %d/%d disk %d/%d",
+			c.memUsed, c.memCap, c.diskUsed, c.diskCap)
+	}
+	return nil
+}

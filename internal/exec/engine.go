@@ -52,6 +52,10 @@ type CheckpointPolicy interface {
 // Config tunes the engine.
 type Config struct {
 	Cost CostModel
+	// Retry bounds the retry-with-backoff recovery for transient
+	// checkpoint-write and shuffle-fetch failures (chaos injection).
+	// Zero fields take DefaultRetryPolicy.
+	Retry RetryPolicy
 	// SystemCheckpointInterval, when positive, enables the systems-level
 	// checkpointing baseline of Figure 6b: every interval, each node
 	// writes its entire memory state (cached partitions + shuffle
@@ -124,6 +128,11 @@ type Engine struct {
 	// workers is the resolved parallel execution width (see workers.go).
 	workers int
 
+	// faults is the chaos injection hook (nil = no injection, zero
+	// overhead); retry bounds the recovery behaviour it forces.
+	faults FaultInjector
+	retry  RetryPolicy
+
 	obs *obs.Obs
 	// revokedAt holds the revocation instants still awaiting a
 	// replacement node, oldest first, for the recovery-time histogram.
@@ -148,6 +157,7 @@ func New(clock *simclock.Clock, store *dfs.Store, cfg Config, policy CheckpointP
 		pendingCkpt: make(map[blockKey]bool),
 		computeSeen: make(map[blockKey]int),
 		workers:     resolveWorkers(cfg.Workers),
+		retry:       cfg.Retry.withDefaults(),
 		obs:         obs.Active(),
 	}
 	e.obs.ExecWorkers.Set(float64(e.workers))
@@ -393,6 +403,7 @@ func (e *Engine) enqueueCheckpoint(ns *nodeState, cp computedPart) {
 	t := &task{
 		seq: e.nextTaskSeq, kind: taskCheckpoint, node: ns, pinned: true,
 		ckptRDD: cp.r, part: cp.part, ckptRows: cp.rows, ckptBytes: cp.bytes,
+		attempt: 1,
 	}
 	e.pendingCkpt[blockKey{rddID: cp.r.ID, part: cp.part}] = true
 	e.queue = append(e.queue, t)
@@ -512,6 +523,9 @@ func (e *Engine) assign(t *task, ns *nodeState) {
 // state transitions exactly.
 func (e *Engine) commit(t *task) {
 	t.dur = t.eff.duration
+	if t.eff.slowed {
+		e.obs.ChaosSlowdowns.Inc()
+	}
 	switch t.kind {
 	case taskCompute:
 		e.metrics.ComputeSeconds += t.dur
@@ -540,6 +554,10 @@ func (e *Engine) onTaskDone(t *task) {
 	switch t.kind {
 	case taskCheckpoint:
 		k := blockKey{rddID: t.ckptRDD.ID, part: t.part}
+		if e.faults != nil && e.faults.CkptWriteFails(t.ckptRDD.ID, t.part, t.attempt, now) {
+			e.onCheckpointWriteFailed(t, now)
+			return
+		}
 		delete(e.pendingCkpt, k)
 		e.store.Put(checkpointKey(t.ckptRDD, t.part), t.ckptRows, t.ckptBytes, now)
 		e.metrics.CheckpointTasks++
@@ -579,8 +597,30 @@ func (e *Engine) onTaskDone(t *task) {
 		Stage: s.id, Task: t.seq, Node: ns.node.ID, Part: t.part,
 	})
 
+	if t.eff.fetchRetries > 0 {
+		// Injected fetch failures the task retried through (whether or
+		// not it ultimately succeeded), booked on the simulation thread.
+		e.obs.ChaosFetchFailures.Add(int64(t.eff.fetchRetries))
+		e.obs.RetryAttempts.Add(int64(t.eff.fetchRetries))
+		e.obs.RetryBackoff.Observe(t.eff.retryBackoff)
+		e.obs.Emit(obs.Event{
+			Type: obs.EvRetry, Time: now, Dur: t.eff.retryBackoff,
+			Task: t.seq, Node: ns.node.ID, Part: t.part, Bits: t.eff.fetchRetries,
+		})
+	}
 	if len(t.eff.fetchFailed) > 0 {
 		j.stats.FetchFailures++
+		// Retry-exhausted sources: their map outputs for the dep are
+		// treated as lost, so the parent stage genuinely recomputes
+		// instead of refetching the same poisoned outputs forever.
+		for _, inj := range t.eff.injectedFetch {
+			e.shuffles.dropDepNode(inj.dep, inj.node)
+			e.obs.RetryExhausted.Inc()
+			e.obs.Emit(obs.Event{
+				Type: obs.EvFaultInjected, Time: now, Task: t.seq,
+				Node: inj.node, Part: t.part, Bits: faultBitFetch,
+			})
+		}
 		e.pump() // resubmission happens from ground truth
 		return
 	}
@@ -642,6 +682,67 @@ func (e *Engine) onTaskDone(t *task) {
 			}
 		}
 	}
+	e.pump()
+}
+
+// Fault-kind discriminators carried in EvFaultInjected's Bits field.
+// internal/chaos uses further values for the faults it injects itself
+// (revocations, market crashes, store read corruption).
+const (
+	faultBitCkptWrite = 1
+	faultBitFetch     = 2
+)
+
+// onCheckpointWriteFailed handles an injected transient checkpoint-write
+// failure: bounded retry with virtual-clock backoff on the same pinned
+// node, then abandonment (the partition stays un-checkpointed; the next
+// materialization re-offers it to the policy).
+func (e *Engine) onCheckpointWriteFailed(t *task, now float64) {
+	k := blockKey{rddID: t.ckptRDD.ID, part: t.part}
+	e.obs.ChaosCkptWriteFailures.Inc()
+	e.obs.Emit(obs.Event{
+		Type: obs.EvFaultInjected, Time: now, Task: t.seq,
+		Node: t.node.node.ID, RDD: t.ckptRDD.ID, Part: t.part, Bits: faultBitCkptWrite,
+	})
+	if t.attempt < e.retry.MaxAttempts {
+		d := e.retry.backoff(t.attempt)
+		e.obs.RetryAttempts.Inc()
+		e.obs.RetryBackoff.Observe(d)
+		e.obs.Emit(obs.Event{
+			Type: obs.EvRetry, Time: now, Dur: d, Task: t.seq,
+			RDD: t.ckptRDD.ID, Part: t.part, Bits: t.attempt,
+		})
+		// pendingCkpt stays set through the wait so completions of other
+		// tasks don't enqueue a duplicate write of the same partition.
+		e.clock.After(d, func() { e.requeueCheckpoint(t) })
+		e.pump()
+		return
+	}
+	delete(e.pendingCkpt, k)
+	e.obs.RetryExhausted.Inc()
+	if fp, ok := e.policy.(FailureAwarePolicy); ok {
+		fp.NotifyCheckpointFailed(t.ckptRDD, t.part, t.attempt, now)
+	}
+	e.pump()
+}
+
+// requeueCheckpoint re-enqueues a failed checkpoint write after its
+// backoff wait, pinned to the original node. If that node died during the
+// wait the payload rows are gone with it and the write is abandoned.
+func (e *Engine) requeueCheckpoint(t *task) {
+	k := blockKey{rddID: t.ckptRDD.ID, part: t.part}
+	ns, alive := e.nodes[t.node.node.ID]
+	if !alive || ns != t.node {
+		delete(e.pendingCkpt, k)
+		e.pump()
+		return
+	}
+	e.nextTaskSeq++
+	e.queue = append(e.queue, &task{
+		seq: e.nextTaskSeq, kind: taskCheckpoint, node: t.node, pinned: true,
+		ckptRDD: t.ckptRDD, part: t.part, ckptRows: t.ckptRows, ckptBytes: t.ckptBytes,
+		attempt: t.attempt + 1,
+	})
 	e.pump()
 }
 
@@ -736,4 +837,21 @@ func (e *Engine) CachedBytes() (mem, disk int64) {
 // computed (for recomputation assertions in tests).
 func (e *Engine) ComputeCount(rddID, part int) int {
 	return e.computeSeen[blockKey{rddID: rddID, part: part}]
+}
+
+// Audit cross-checks the engine's incremental byte accounting against a
+// full recomputation from ground truth: every live node's cache counters
+// versus its resident blocks, and the shuffle tracker's per-node totals
+// versus the registered map outputs. It returns the first inconsistency
+// found, or nil. Used by the chaos invariant checkers after a fault run.
+func (e *Engine) Audit() error {
+	for _, ns := range e.sortedNodes() {
+		if err := ns.cache.audit(); err != nil {
+			return fmt.Errorf("exec: node %d cache: %w", ns.node.ID, err)
+		}
+	}
+	if err := e.shuffles.audit(); err != nil {
+		return fmt.Errorf("exec: shuffle tracker: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,86 @@
+package exec
+
+import "flint/internal/rdd"
+
+// FaultInjector is the narrow hook through which a chaos schedule
+// (internal/chaos) injects failures into the engine. All methods must be
+// pure functions of their arguments — they are consulted on worker
+// goroutines during a dispatch round, when the virtual clock is frozen,
+// so any hidden state would break the determinism contract (workers.go).
+// A nil injector costs one pointer comparison per potential fault site.
+type FaultInjector interface {
+	// CkptWriteFails reports whether the attempt-th write of checkpoint
+	// (rddID, part) fails at virtual time now. Attempts count from 1.
+	CkptWriteFails(rddID, part, attempt int, now float64) bool
+	// FetchFails reports whether a shuffle fetch from srcNode fails on
+	// the attempt-th try at virtual time now.
+	FetchFails(srcNode, attempt int, now float64) bool
+	// Slowdown returns the straggler multiplier (>1 slows, 1 = none)
+	// for tasks running on node at virtual time now.
+	Slowdown(node int, now float64) float64
+}
+
+// RetryPolicy bounds the engine's retry-with-backoff behaviour for
+// transient checkpoint-write and shuffle-fetch failures. Backoff waits
+// are charged on the virtual clock: exponential from BackoffBase,
+// doubling per attempt, capped at BackoffMax.
+type RetryPolicy struct {
+	MaxAttempts int     // total attempts including the first (default 4)
+	BackoffBase float64 // virtual seconds before the second attempt (default 2)
+	BackoffMax  float64 // backoff ceiling in virtual seconds (default 60)
+}
+
+// DefaultRetryPolicy returns the calibrated retry bounds.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BackoffBase: 2, BackoffMax: 60}
+}
+
+// withDefaults fills zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = d.BackoffBase
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = d.BackoffMax
+	}
+	return p
+}
+
+// backoff returns the wait before attempt+1, after `attempt` failures.
+func (p RetryPolicy) backoff(attempt int) float64 {
+	d := p.BackoffBase
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.BackoffMax {
+			return p.BackoffMax
+		}
+	}
+	if d > p.BackoffMax {
+		d = p.BackoffMax
+	}
+	return d
+}
+
+// FailureAwarePolicy is optionally implemented by a CheckpointPolicy that
+// wants to observe abandoned checkpoint writes (retry exhaustion), e.g.
+// to keep the RDD marked so the next materialization re-offers it.
+type FailureAwarePolicy interface {
+	NotifyCheckpointFailed(r *rdd.RDD, part, attempts int, now float64)
+}
+
+// SetFaultInjector installs (or, with nil, removes) the fault injector.
+// Call before submitting jobs; swapping mid-job is not supported.
+func (e *Engine) SetFaultInjector(f FaultInjector) { e.faults = f }
+
+// injectedFetchFailure records a shuffle source the task exhausted its
+// fetch retries against; at completion the engine drops that node's map
+// outputs for the dep (the data is "lost"), so parent-stage resubmission
+// makes progress instead of refetching the same poisoned outputs.
+type injectedFetchFailure struct {
+	dep  *rdd.ShuffleDep
+	node int
+}

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 
 	"flint/internal/cluster"
 	"flint/internal/dfs"
@@ -140,15 +139,6 @@ func MustTestbed(opts TestbedOpts) *Testbed {
 // acquires replacements with its usual delay.
 func (tb *Testbed) RevokeNodes(at float64, k int, replace bool) {
 	tb.Clock.Schedule(at, func() {
-		live := tb.Cluster.LiveNodes()
-		sort.Slice(live, func(i, j int) bool { return live[i].ID > live[j].ID })
-		if k > len(live) {
-			k = len(live)
-		}
-		for i := 0; i < k; i++ {
-			if err := tb.Cluster.RevokeNow(live[i].ID, replace); err != nil {
-				panic(err)
-			}
-		}
+		tb.Cluster.RevokeNewest(k, replace)
 	})
 }

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"fmt"
+
 	"flint/internal/rdd"
 )
 
@@ -108,6 +110,56 @@ func (t *shuffleTracker) putOutput(dep *rdd.ShuffleDep, mapPart, nodeID int, buc
 	}
 	st.outputs[mapPart] = &mapOutput{nodeID: nodeID, buckets: buckets, sizes: sizes, total: total}
 	t.nodeTotals[nodeID] += total
+}
+
+// dropDepNode discards one dep's map outputs resident on nodeID,
+// simulating shuffle data lost behind an unrecoverable fetch failure
+// (chaos injection). Unlike dropNode, the node itself stays alive and
+// keeps its other shuffle data.
+func (t *shuffleTracker) dropDepNode(dep *rdd.ShuffleDep, nodeID int) {
+	st := t.lookup(dep)
+	if st == nil {
+		return
+	}
+	for i, o := range st.outputs {
+		if o != nil && o.nodeID == nodeID {
+			st.outputs[i] = nil
+			t.nodeTotals[nodeID] -= o.total
+		}
+	}
+}
+
+// audit recomputes the per-node byte totals from the registered outputs
+// and compares them with the incrementally maintained cache, returning
+// the first divergence. Ground truth for the chaos invariant checkers.
+func (t *shuffleTracker) audit() error {
+	want := make(map[int]int64)
+	for _, st := range t.states {
+		for i, o := range st.outputs {
+			if o == nil {
+				continue
+			}
+			var sum int64
+			for _, s := range o.sizes {
+				sum += s
+			}
+			if sum != o.total {
+				return fmt.Errorf("output %s[%d]: total %d != sum(sizes) %d", st.dep.P, i, o.total, sum)
+			}
+			want[o.nodeID] += o.total
+		}
+	}
+	for id, got := range t.nodeTotals {
+		if got != want[id] {
+			return fmt.Errorf("node %d: cached total %d != recomputed %d", id, got, want[id])
+		}
+	}
+	for id, w := range want {
+		if t.nodeTotals[id] != w {
+			return fmt.Errorf("node %d: cached total %d != recomputed %d", id, t.nodeTotals[id], w)
+		}
+	}
+	return nil
 }
 
 // dropNode discards every map output resident on a revoked node.

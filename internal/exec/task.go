@@ -24,6 +24,9 @@ type task struct {
 	node   *nodeState // pinned node for checkpoint tasks; assigned at dispatch otherwise
 	pinned bool
 	killed bool
+	// attempt numbers retries of the same checkpoint write under fault
+	// injection (1 = first try). Zero for other task kinds.
+	attempt int
 
 	// taskCheckpoint payload.
 	ckptRDD   *rdd.RDD
@@ -81,6 +84,13 @@ type effects struct {
 	// Deferred read bookkeeping, applied by Engine.commit in seq order.
 	lruTouches     []cacheTouch
 	storeReadBytes int64
+
+	// Fault-injection bookkeeping (computed on the worker, booked on the
+	// simulation thread at completion).
+	fetchRetries  int                    // injected fetch failures retried through
+	retryBackoff  float64                // virtual seconds of backoff charged
+	injectedFetch []injectedFetchFailure // sources whose retries were exhausted
+	slowed        bool                   // a straggler window stretched the duration
 }
 
 // taskCtx resolves one compute task's target partition, charging virtual
@@ -155,9 +165,8 @@ func (tc *taskCtx) resolve(r *rdd.RDD, p int) []rdd.Row {
 			inputs[i] = rows
 			inBytes += dep.P.SizeOfRows(len(rows))
 		case *rdd.ShuffleDep:
-			res := tc.e.shuffles.fetch(dep, p, tc.node.node.ID)
-			if len(res.missing) > 0 {
-				tc.eff.fetchFailed = append(tc.eff.fetchFailed, dep)
+			res, ok := tc.fetchShuffle(dep, p)
+			if !ok {
 				return nil
 			}
 			// The fetch itself is a copy-free multi-segment view; the one
@@ -174,6 +183,59 @@ func (tc *taskCtx) resolve(r *rdd.RDD, p int) []rdd.Row {
 	tc.memo[k] = rows
 	tc.record(r, p, rows)
 	return rows
+}
+
+// fetchShuffle gathers reduce partition p of dep, retrying through
+// injected fetch failures with bounded virtual-clock backoff. It returns
+// ok=false when the fetch cannot complete — genuinely missing map outputs,
+// or retry exhaustion against an injected failure (recorded in
+// eff.injectedFetch so the engine drops that source's outputs). Decisions
+// are pure functions of (source node, attempt, round instant), so the
+// loop is identical on any worker width.
+func (tc *taskCtx) fetchShuffle(dep *rdd.ShuffleDep, p int) (fetchResult, bool) {
+	res := tc.e.shuffles.fetch(dep, p, tc.node.node.ID)
+	if len(res.missing) > 0 {
+		tc.eff.fetchFailed = append(tc.eff.fetchFailed, dep)
+		return res, false
+	}
+	if tc.e.faults == nil {
+		return res, true
+	}
+	now := tc.e.clock.Now()
+	for attempt := 1; ; attempt++ {
+		src := tc.failedFetchSource(dep, attempt, now)
+		if src < 0 {
+			return res, true
+		}
+		if attempt >= tc.e.retry.MaxAttempts {
+			tc.eff.fetchFailed = append(tc.eff.fetchFailed, dep)
+			tc.eff.injectedFetch = append(tc.eff.injectedFetch, injectedFetchFailure{dep: dep, node: src})
+			return res, false
+		}
+		d := tc.e.retry.backoff(attempt)
+		tc.eff.duration += d
+		tc.eff.retryBackoff += d
+		tc.eff.fetchRetries++
+	}
+}
+
+// failedFetchSource returns the lowest-map-partition remote source node
+// the injector fails for this attempt, or -1. Node-local reads never
+// traverse the network and cannot fail.
+func (tc *taskCtx) failedFetchSource(dep *rdd.ShuffleDep, attempt int, now float64) int {
+	st := tc.e.shuffles.lookup(dep)
+	if st == nil {
+		return -1
+	}
+	for _, o := range st.outputs {
+		if o == nil || o.nodeID == tc.node.node.ID {
+			continue
+		}
+		if tc.e.faults.FetchFails(o.nodeID, attempt, now) {
+			return o.nodeID
+		}
+	}
+	return -1
 }
 
 // readCache looks for block k in the local cache first, then remotely on
@@ -230,8 +292,9 @@ func (e *Engine) runCompute(t *task, nodes []*nodeState) *effects {
 	tc := &taskCtx{e: e, node: t.node, nodes: nodes, memo: make(map[blockKey][]rdd.Row, hint), eff: eff}
 	rows := tc.resolve(t.stage.out, t.part)
 	if len(eff.fetchFailed) > 0 {
-		// The failed fetch consumed only the launch overhead.
-		eff.duration = e.cost.TaskOverhead
+		// The failed fetch consumed only the launch overhead, plus any
+		// backoff waits spent retrying injected failures.
+		eff.duration = e.cost.TaskOverhead + eff.retryBackoff
 		return eff
 	}
 	if t.stage.isResult() {

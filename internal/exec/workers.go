@@ -122,11 +122,22 @@ func (e *Engine) runTaskBatch(batch []*task, nodes []*nodeState) {
 // state; see the package contract above. Safe to call from worker
 // goroutines.
 func (e *Engine) computeEffects(t *task, nodes []*nodeState) *effects {
+	var eff *effects
 	switch t.kind {
 	case taskCheckpoint:
-		return &effects{duration: e.cost.TaskOverhead + e.store.WriteTime(t.ckptBytes)}
+		eff = &effects{duration: e.cost.TaskOverhead + e.store.WriteTime(t.ckptBytes)}
 	case taskSystemCkpt:
-		return &effects{duration: e.cost.TaskOverhead + e.store.WriteTime(t.sysBytes)}
+		eff = &effects{duration: e.cost.TaskOverhead + e.store.WriteTime(t.sysBytes)}
+	default:
+		eff = e.runCompute(t, nodes)
 	}
-	return e.runCompute(t, nodes)
+	// Straggler injection: a pure function of (node, round instant), so
+	// every worker width charges the same stretched duration.
+	if e.faults != nil {
+		if f := e.faults.Slowdown(t.node.node.ID, e.clock.Now()); f > 1 {
+			eff.duration *= f
+			eff.slowed = true
+		}
+	}
+	return eff
 }

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestChaosbenchMatrix is the subsystem's acceptance gate: ≥25 seeds per
+// profile must produce byte-identical outcome hashes to the fault-free
+// baseline and pass every cross-layer invariant. -short trims the seed
+// count for quick local runs; CI runs the full matrix.
+func TestChaosbenchMatrix(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 3
+	}
+	dir := t.TempDir()
+	res, err := Chaosbench(io.Discard, 0.2, ChaosbenchOpts{
+		Seeds:       DefaultChaosSeeds(n),
+		ArtifactDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Runs), 4*n; got != want {
+		t.Fatalf("matrix ran %d cells, want %d", got, want)
+	}
+	for _, run := range res.Runs {
+		if len(run.Violations) > 0 {
+			t.Errorf("%s seed %d: %v (artifact %s)", run.Profile, run.Seed, run.Violations, run.ArtifactPath)
+		}
+	}
+	// A clean matrix leaves no artifacts behind.
+	if entries, err := os.ReadDir(dir); err != nil || len(entries) != 0 {
+		t.Errorf("artifacts dumped without violations: %v (%v)", entries, err)
+	}
+	// The profiles must actually bite: aggregate fault counts per family.
+	agg := map[string]int64{}
+	for _, run := range res.Runs {
+		agg[run.Profile+"/revoked"] += run.Revocations
+		agg[run.Profile+"/ckpt"] += run.CkptFails
+		agg[run.Profile+"/slow"] += run.Slowdowns
+	}
+	if agg["revocation-burst/revoked"] == 0 {
+		t.Error("revocation-burst profile never revoked a server")
+	}
+	if agg["ckpt-failure/ckpt"] == 0 {
+		t.Error("ckpt-failure profile never failed a checkpoint write")
+	}
+	if agg["straggler/slow"] == 0 {
+		t.Error("straggler profile never slowed a task")
+	}
+}
+
+// TestChaosbenchReproducible: re-running a cell yields identical rows,
+// so a CSV diff between chaosbench invocations is a determinism check.
+func TestChaosbenchReproducible(t *testing.T) {
+	opts := ChaosbenchOpts{Seeds: []int64{7}, Profiles: []string{"mixed"}}
+	a, err := Chaosbench(io.Discard, 0.15, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chaosbench(io.Discard, 0.15, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Runs) != 1 || len(b.Runs) != 1 {
+		t.Fatalf("want 1 run each, got %d and %d", len(a.Runs), len(b.Runs))
+	}
+	ra, rb := a.Runs[0], b.Runs[0]
+	if ra.MakespanS != rb.MakespanS || ra.Revocations != rb.Revocations ||
+		ra.CkptFails != rb.CkptFails || ra.FetchFails != rb.FetchFails ||
+		ra.Slowdowns != rb.Slowdowns || ra.Retries != rb.Retries {
+		t.Fatalf("cells diverged:\n%+v\n%+v", ra, rb)
+	}
+}
+
+func TestChaosbenchCSV(t *testing.T) {
+	res, err := Chaosbench(io.Discard, 0.15, ChaosbenchOpts{
+		Seeds: []int64{1}, Profiles: []string{"revocation-burst"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := res.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "chaosbench.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d, want header + 1 row", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "revocation-burst,1,") {
+		t.Errorf("row %q lacks profile/seed prefix", lines[1])
+	}
+}

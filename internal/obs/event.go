@@ -49,6 +49,15 @@ const (
 	// price, or the revocation-time price that crossed the bid. Fields:
 	// Pool, Price.
 	EvPriceChange
+	// EvFaultInjected fires when a chaos fault fires against the system:
+	// a failed checkpoint write, a dropped shuffle fetch source, or an
+	// injected revocation. Fields: Node, RDD, Part (where applicable);
+	// Bits discriminates the fault kind (see internal/chaos).
+	EvFaultInjected
+	// EvRetry fires when a failed operation is rescheduled with backoff.
+	// Fields: Task, RDD, Part, Dur (the backoff wait), Bits (attempt
+	// number).
+	EvRetry
 )
 
 // String returns the event type's wire name (used in exports and docs).
@@ -80,6 +89,10 @@ func (t EventType) String() string {
 		return "node_revoked"
 	case EvPriceChange:
 		return "price_change"
+	case EvFaultInjected:
+		return "fault_injected"
+	case EvRetry:
+		return "retry"
 	}
 	return "unknown"
 }

@@ -72,6 +72,19 @@ type Obs struct {
 	Replacements *Counter
 	Acquisitions *Counter
 
+	// Chaos-injection counters (internal/chaos). Zero unless a fault
+	// injector is installed; the instruments always exist so the hooks
+	// stay nil-safe.
+	ChaosCkptWriteFailures *Counter
+	ChaosFetchFailures     *Counter
+	ChaosSlowdowns         *Counter
+	ChaosDFSReadFaults     *Counter
+	ChaosRevocations       *Counter
+
+	// Retry/backoff counters for the graceful-degradation paths.
+	RetryAttempts  *Counter
+	RetryExhausted *Counter
+
 	// Gauges.
 	LiveNodes   *Gauge
 	ExecWorkers *Gauge
@@ -82,6 +95,7 @@ type Obs struct {
 	JobDur         *Histogram
 	RecoveryTime   *Histogram
 	CkptWriteBytes *Histogram
+	RetryBackoff   *Histogram
 
 	// Wall-clock (real time, not virtual) execution histograms. These
 	// measure how fast the engine itself runs, vary run to run, and are
@@ -124,6 +138,15 @@ func New(o Options) *Obs {
 		Replacements: r.Counter("flint_replacements_total", "Replacement servers ordered after revocations."),
 		Acquisitions: r.Counter("flint_market_acquisitions_total", "Leases acquired from the market exchange."),
 
+		ChaosCkptWriteFailures: r.Counter("flint_chaos_ckpt_write_failures_total", "Checkpoint writes failed by the fault injector."),
+		ChaosFetchFailures:     r.Counter("flint_chaos_fetch_failures_total", "Shuffle fetch attempts failed by the fault injector."),
+		ChaosSlowdowns:         r.Counter("flint_chaos_straggler_slowdowns_total", "Tasks slowed by an injected straggler window."),
+		ChaosDFSReadFaults:     r.Counter("flint_chaos_dfs_read_faults_total", "Checkpoint-store read probes that observed an injected fault."),
+		ChaosRevocations:       r.Counter("flint_chaos_injected_revocations_total", "Revocations injected by a chaos schedule."),
+
+		RetryAttempts:  r.Counter("flint_retry_attempts_total", "Bounded-retry attempts after injected write/fetch failures."),
+		RetryExhausted: r.Counter("flint_retry_exhausted_total", "Retry sequences that hit MaxAttempts and fell back."),
+
 		LiveNodes:   r.Gauge("flint_live_nodes", "Servers currently registered with the engine."),
 		ExecWorkers: r.Gauge("flint_exec_workers", "Resolved worker-pool width of the execution engine."),
 
@@ -132,6 +155,7 @@ func New(o Options) *Obs {
 		JobDur:         r.Histogram("flint_job_duration_seconds", "Job response time, virtual seconds.", DurationBuckets()),
 		RecoveryTime:   r.Histogram("flint_revocation_recovery_seconds", "Time from a revocation to the next replacement joining.", DurationBuckets()),
 		CkptWriteBytes: r.Histogram("flint_checkpoint_write_bytes", "Per-partition checkpoint write sizes.", ByteBuckets()),
+		RetryBackoff:   r.Histogram("flint_retry_backoff_seconds", "Virtual backoff waits charged before retries.", DurationBuckets()),
 
 		ExecRoundWall: r.Histogram("flint_exec_wall_seconds", "Real seconds per dispatch round's task batch (wall clock, nondeterministic).", DurationBuckets()),
 		WorkerBusy:    r.Histogram("flint_exec_worker_busy_seconds", "Real seconds one task's computation occupied a worker (wall clock, nondeterministic).", DurationBuckets()),
