@@ -25,7 +25,6 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"time"
 
 	"flint/internal/exec"
 	"flint/internal/experiments"
@@ -100,20 +99,20 @@ func main() {
 		Rev: *rev, Workers: *workers, GoMaxProc: runtime.GOMAXPROCS(0), Scale: *scale,
 	}
 	for _, name := range args {
-		start := time.Now()
+		sw := obs.Stopwatch()
 		entries, err := run(os.Stdout, name, s, *runs, *markets, *csvDir, chaosOpts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flintbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		wall := time.Since(start)
+		wallS := sw()
 		// Experiments that don't report per-scenario entries get one
 		// entry covering the whole run.
 		if len(entries) == 0 {
-			entries = []benchEntry{{Name: name, WallS: wall.Seconds()}}
+			entries = []benchEntry{{Name: name, WallS: wallS}}
 		}
 		record.Scenarios = append(record.Scenarios, entries...)
-		fmt.Printf("[%s completed in %v]\n\n", name, wall.Round(time.Millisecond))
+		fmt.Printf("[%s completed in %.3fs]\n\n", name, wallS)
 	}
 	if bundle != nil {
 		if err := writeTrace(*traceOut, bundle); err != nil {

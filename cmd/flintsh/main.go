@@ -95,6 +95,7 @@ func run(nodes int, mode string, seed int64, httpAddr string) error {
 	if httpAddr != "" {
 		// Monitoring UI; queried between commands (the simulation only
 		// advances while a shell command runs).
+		//lint:allow goroutine-discipline HTTP serving only reads engine snapshots between commands; it never mutates simulation state
 		go func() {
 			if err := http.ListenAndServe(httpAddr, webui.New(f, exch)); err != nil {
 				fmt.Fprintf(os.Stderr, "flintsh: http: %v\n", err)

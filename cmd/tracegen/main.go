@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 
 	"flint/internal/simclock"
 	"flint/internal/trace"
@@ -50,7 +51,13 @@ func main() {
 		profiles[p.Name] = p
 	}
 	if *list {
-		for name, p := range profiles {
+		names := make([]string, 0, len(profiles))
+		for name := range profiles {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			p := profiles[name]
 			fmt.Printf("%-14s on-demand $%.3f/hr, base %.0f%%, spikes 1/%.0f h\n",
 				name, p.OnDemand, 100*p.BaseFrac, 1/p.SpikesPerHour)
 		}

@@ -439,6 +439,10 @@ func (m *Manager) gc(now float64) {
 	reachable := rdd.ReachableFrom(roots, func(r *rdd.RDD) bool {
 		return m.fullCkpt[r.ID] != nil
 	})
+	// Map-order audit (flintlint maporder): iterating fullCkpt here is
+	// order-independent — DeletePrefix sorts its doomed keys, and the
+	// per-RDD deletes and counters commute. Nothing order-sensitive is
+	// emitted, so no collect-and-sort is needed.
 	for id := range m.fullCkpt {
 		if !reachable[id] {
 			m.store.DeletePrefix(dfs.RDDPrefix(id), now)

@@ -383,6 +383,9 @@ func (m *Manager) Config() Config { return m.cfg }
 func (m *Manager) Stop() {
 	now := m.clock.Now()
 	m.stopped = true
+	// Map-order audit (flintlint maporder): Release only stamps the
+	// lease end time and Gone is a per-node flag, so releasing in map
+	// iteration order is observably order-independent.
 	for _, n := range m.nodes {
 		m.exch.Release(n.Lease, now)
 		n.Gone = true

@@ -209,6 +209,10 @@ func (s *Store) DeletePrefix(prefix string, now float64) int {
 			doomed = append(doomed, k)
 		}
 	}
+	// Deterministic deletion order (flintlint maporder): today's Delete
+	// only moves counters, but any future per-delete event or fault hook
+	// must not observe map iteration order.
+	sort.Strings(doomed)
 	for _, k := range doomed {
 		s.Delete(k, now)
 	}

@@ -3,6 +3,7 @@ package exec
 import (
 	"container/list"
 	"fmt"
+	"sort"
 
 	"flint/internal/rdd"
 )
@@ -188,6 +189,10 @@ func (c *blockCache) dropRDD(rddID int) {
 			doomed = append(doomed, b)
 		}
 	}
+	// Deterministic removal order (flintlint maporder): remove touches
+	// the LRU lists and tier counters, and eviction order must never
+	// depend on map iteration order.
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i].key.part < doomed[j].key.part })
 	for _, b := range doomed {
 		c.remove(b)
 	}

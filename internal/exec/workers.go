@@ -4,7 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
+
+	"flint/internal/obs"
 )
 
 // Parallel task execution.
@@ -76,16 +77,16 @@ func (e *Engine) runTaskBatch(batch []*task, nodes []*nodeState) {
 	if len(batch) == 0 {
 		return
 	}
-	roundStart := time.Now()
+	roundSW := obs.Stopwatch()
 	w := e.workers
 	if w > len(batch) {
 		w = len(batch)
 	}
 	if w <= 1 {
 		for _, t := range batch {
-			start := time.Now()
+			sw := obs.Stopwatch()
 			t.eff = e.computeEffects(t, nodes)
-			t.busyWall = time.Since(start).Seconds()
+			t.busyWall = sw()
 		}
 	} else {
 		var next atomic.Int64
@@ -100,9 +101,9 @@ func (e *Engine) runTaskBatch(batch []*task, nodes []*nodeState) {
 						return
 					}
 					t := batch[i]
-					start := time.Now()
+					sw := obs.Stopwatch()
 					t.eff = e.computeEffects(t, nodes)
-					t.busyWall = time.Since(start).Seconds()
+					t.busyWall = sw()
 				}
 			}()
 		}
@@ -111,7 +112,10 @@ func (e *Engine) runTaskBatch(batch []*task, nodes []*nodeState) {
 	// Wall metrics are real time, not virtual time: they measure how fast
 	// the engine itself runs and are deliberately excluded from the
 	// determinism contract (and from detbench's diffable snapshots).
-	e.obs.ExecRoundWall.Observe(time.Since(roundStart).Seconds())
+	// obs.Stopwatch is the sanctioned wall-clock source (flintlint
+	// wallclock): these readings feed only the flint_exec_ histograms,
+	// never scheduling, hashing, or diffable output.
+	e.obs.ExecRoundWall.Observe(roundSW())
 	for _, t := range batch {
 		e.obs.WorkerBusy.Observe(t.busyWall)
 	}

@@ -9,7 +9,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"time"
 
 	"flint/internal/obs"
 	"flint/internal/simclock"
@@ -150,12 +149,12 @@ func runDetScenario(sc detScenario) (detOutcome, error) {
 	if sc.revokeAt > 0 && sc.revokeK > 0 {
 		b.tb.RevokeNodes(sc.revokeAt, sc.revokeK, true)
 	}
-	start := time.Now()
+	sw := obs.Stopwatch()
 	outcome, virtualS, err := sc.run(b, sc.scale)
 	if err != nil {
 		return detOutcome{}, err
 	}
-	wall := time.Since(start).Seconds()
+	wall := sw()
 	snap := b.tb.Engine.Snapshot()
 	events := bundle.Tracer.Events()
 	out := detOutcome{workers: b.tb.Engine.Workers()}

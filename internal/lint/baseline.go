@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Baseline support.
+//
+// The committed baseline (.flintlint-baseline at the module root) lists
+// accepted pre-existing findings, one Finding.Key per line, so that
+// introducing flintlint did not require rewriting every hot path it
+// flagged, while any NEW finding still fails CI. Entries are keyed by
+// (file, check, message) — no line numbers — so edits elsewhere in a
+// file do not invalidate them. Identical findings are counted: two
+// copies of the same finding need two baseline lines, and fixing one of
+// them makes the second baseline line stale.
+//
+// Workflow: fix the finding, or suppress it with //lint:allow, or — for
+// accepted pre-existing debt only — regenerate the file with
+// `flintlint -write-baseline`. Stale entries are an error in CI (the
+// repo test requires an exact match) so the baseline only ever shrinks
+// by being regenerated deliberately.
+
+// Baseline is a multiset of accepted finding keys.
+type Baseline struct {
+	counts map[string]int
+}
+
+// ParseBaseline reads the baseline format: one Finding.Key per line,
+// blank lines and #-comments ignored.
+func ParseBaseline(data []byte) *Baseline {
+	b := &Baseline{counts: make(map[string]int)}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.counts[line]++
+	}
+	return b
+}
+
+// Len returns the number of accepted entries.
+func (b *Baseline) Len() int {
+	n := 0
+	for _, c := range b.counts {
+		n += c
+	}
+	return n
+}
+
+// Apply splits findings into new (not covered by the baseline) and
+// reports baseline entries that no longer match anything (stale).
+func (b *Baseline) Apply(findings []Finding) (fresh []Finding, stale []string) {
+	remaining := make(map[string]int, len(b.counts))
+	for k, c := range b.counts {
+		remaining[k] = c
+	}
+	for _, f := range findings {
+		k := f.Key()
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for k, c := range remaining {
+		for i := 0; i < c; i++ {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, stale
+}
+
+// Restrict drops entries whose check is not in keep and returns the
+// receiver. Subset runs (flintlint -checks) use it so that a baseline
+// entry for an unselected check — whose finding that run cannot
+// produce — is neither consumable nor reported stale.
+func (b *Baseline) Restrict(keep map[string]bool) *Baseline {
+	for k := range b.counts {
+		if !keep[baselineCheck(k)] {
+			delete(b.counts, k)
+		}
+	}
+	return b
+}
+
+// baselineCheck extracts the check name from a baseline key
+// (`file: [check] message`); empty when the line doesn't match.
+func baselineCheck(key string) string {
+	i := strings.Index(key, ": [")
+	if i < 0 {
+		return ""
+	}
+	rest := key[i+len(": ["):]
+	j := strings.IndexByte(rest, ']')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}
+
+// FormatBaseline renders findings as a baseline file, sorted and
+// prefixed with a header explaining the workflow.
+func FormatBaseline(findings []Finding) []byte {
+	keys := make([]string, 0, len(findings))
+	for _, f := range findings {
+		keys = append(keys, f.Key())
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("# flintlint baseline: accepted pre-existing findings (docs/LINT.md).\n")
+	sb.WriteString("# One Finding.Key per line; regenerate with `go run ./cmd/flintlint -write-baseline ./...`.\n")
+	for _, k := range keys {
+		fmt.Fprintln(&sb, k)
+	}
+	return []byte(sb.String())
+}

@@ -1,0 +1,55 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flint/internal/lint"
+)
+
+// FuzzLintParse feeds arbitrary source through the analyzer: anything
+// go/parser accepts — however malformed, half-typed or unresolvable —
+// must never panic a check. Findings and type errors are irrelevant
+// here; only crash-freedom is asserted. Seeds are the fixture packages
+// (real violations of every check) plus handcrafted near-miss inputs.
+func FuzzLintParse(f *testing.F) {
+	root := filepath.Join("testdata", "src")
+	dirs, err := os.ReadDir(root)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(root, d.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, fi := range files {
+			if fi.IsDir() || !strings.HasSuffix(fi.Name(), ".go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(root, d.Name(), fi.Name()))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(src)
+		}
+	}
+	// Near-misses: unresolved imports, shadowed package names, locks on
+	// untyped receivers, directives in every malformed shape.
+	f.Add([]byte("package p\nimport \"no/such/pkg\"\nfunc f() { nosuch.Now() }\n"))
+	f.Add([]byte("package p\nfunc f() { go f(); mu.Lock(); ch <- 1 }\n"))
+	f.Add([]byte("package p\nimport \"time\"\nvar t = time.Now //lint:allow\n"))
+	f.Add([]byte("package p\nfunc f(m map[int]int) { for k := range m { _ = append(nil, k) } }\n"))
+	f.Add([]byte("package p\nvar append = 3\nfunc f(m map[int]int) []int { var s []int; for k := range m { s = appendx(s, k) }; return s }\nfunc appendx(s []int, k int) []int { return s }\n"))
+
+	f.Fuzz(func(t *testing.T, src []byte) {
+		// Parse errors are fine (the corpus mutates into invalid
+		// syntax constantly); panics are the only failure.
+		_, _ = lint.AnalyzeSource("fuzz.go", src, lint.Options{})
+	})
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// globalrand: the top-level math/rand functions draw from the shared,
+// lazily-seeded global source, so their results depend on every other
+// draw in the process — including goroutine interleaving in the worker
+// pool. All simulation randomness must come from *rand.Rand instances
+// seeded from a config and threaded explicitly, which is what makes a
+// (seed, schedule) pair a complete replay key. Constructors
+// (rand.New, rand.NewSource, rand.NewZipf) and type references are
+// allowed; test files are exempt by construction (they are never
+// loaded).
+var globalrandCheck = Check{
+	Name: "globalrand",
+	Doc:  "top-level math/rand functions (global source) in non-test code",
+	Run:  runGlobalrand,
+}
+
+var globalrandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// Types and interfaces.
+	"Rand":   true,
+	"Source": true,
+	"Zipf":   true,
+	// math/rand/v2 constructors and types.
+	"NewPCG":      true,
+	"NewChaCha8":  true,
+	"PCG":         true,
+	"ChaCha8":     true,
+	"Source64":    true,
+	"NewSource64": true,
+}
+
+func runGlobalrand(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			p := pass.pkgPath(file, id)
+			if p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if globalrandAllowed[sel.Sel.Name] {
+				return true
+			}
+			pass.reportf("globalrand", sel.Pos(),
+				"rand.%s uses the process-global source; thread a seeded *rand.Rand from the config instead",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// goroutine-discipline: the simulation is a single-threaded
+// discrete-event loop; the only sanctioned concurrency is the exec
+// worker pool (whose read-only/effects protocol is documented in
+// internal/exec/workers.go) and the webui's HTTP serving. A `go`
+// statement anywhere else is a determinism hazard by default — it can
+// interleave with clock events — so it must either move behind one of
+// the sanctioned packages or carry an explicit //lint:allow with the
+// reason it cannot affect simulation state.
+var goroutineCheck = Check{
+	Name: "goroutine-discipline",
+	Doc:  "go statements outside internal/exec and internal/webui",
+	Run:  runGoroutine,
+}
+
+// goroutineAllowedPkgs are the packages whose goroutines are part of
+// the audited concurrency design.
+var goroutineAllowedPkgs = map[string]bool{
+	"flint/internal/exec":  true,
+	"flint/internal/webui": true,
+}
+
+func runGoroutine(pass *Pass) {
+	if goroutineAllowedPkgs[pass.Path] {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.reportf("goroutine-discipline", g.Pos(),
+					"go statement outside the exec worker pool and webui; concurrency here can interleave with the event loop")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,278 @@
+package lint_test
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"flint/internal/lint"
+)
+
+// fixtureImportPaths maps fixture directory names to the import path
+// the package is analyzed under. The default is fixture/<name>; the
+// exceptions exist to exercise path-sensitive checks (the
+// goroutine-discipline allowlist keys on the real exec import path).
+var fixtureImportPaths = map[string]string{
+	"exec_ok": "flint/internal/exec",
+}
+
+// want is one expected finding, parsed from a fixture comment of the
+// form `// want <check> "substring"` on the finding's line, or
+// `// want-next-line <check> "substring"` on the line above it (for
+// findings whose line is itself a comment, e.g. malformed directives).
+type want struct {
+	file    string
+	line    int
+	check   string
+	substr  string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`// want(-next-line)? ([a-z-]+) "([^"]+)"`)
+
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				w := &want{file: e.Name(), line: line, check: m[2], substr: m[3]}
+				if m[1] == "-next-line" {
+					w.line++
+				}
+				wants = append(wants, w)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// TestFixtures runs the full registry over each golden fixture package
+// and requires the findings to match the fixture's want comments
+// exactly: every finding claimed by a want, every want claimed by a
+// finding.
+func TestFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no fixture packages under testdata/src")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join(root, name)
+			importPath := fixtureImportPaths[name]
+			if importPath == "" {
+				importPath = "fixture/" + name
+			}
+			findings, err := lint.AnalyzeDir(dir, importPath, lint.Options{})
+			if err != nil {
+				t.Fatalf("AnalyzeDir(%s): %v", dir, err)
+			}
+			wants := parseWants(t, dir)
+			for _, f := range findings {
+				claimed := false
+				for _, w := range wants {
+					if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line &&
+						w.check == f.Check && strings.Contains(f.Message, w.substr) {
+						w.matched = true
+						claimed = true
+						break
+					}
+				}
+				if !claimed {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("missing finding: %s:%d [%s] containing %q", w.file, w.line, w.check, w.substr)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckSelection proves Options.Checks narrows the run: the
+// wallclock fixture is full of violations, but a run limited to
+// globalrand must come back clean.
+func TestCheckSelection(t *testing.T) {
+	var globalrandOnly []lint.Check
+	for _, c := range lint.Checks() {
+		if c.Name == "globalrand" {
+			globalrandOnly = append(globalrandOnly, c)
+		}
+	}
+	if len(globalrandOnly) != 1 {
+		t.Fatalf("registry has %d globalrand checks, want 1", len(globalrandOnly))
+	}
+	findings, err := lint.AnalyzeDir(filepath.Join("testdata", "src", "wallclock"),
+		"fixture/wallclock", lint.Options{Checks: globalrandOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("globalrand-only run over the wallclock fixture found %d findings, want 0: %v", len(findings), findings)
+	}
+}
+
+// TestRegistry pins the registry's contents: the five checks the
+// determinism story depends on, each documented.
+func TestRegistry(t *testing.T) {
+	wantNames := []string{"wallclock", "globalrand", "maporder", "goroutine-discipline", "lockdiscipline"}
+	checks := lint.Checks()
+	got := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		if c.Doc == "" {
+			t.Errorf("check %s has no doc string", c.Name)
+		}
+		if c.Run == nil {
+			t.Errorf("check %s has no run function", c.Name)
+		}
+		if got[c.Name] {
+			t.Errorf("check %s registered twice", c.Name)
+		}
+		got[c.Name] = true
+	}
+	for _, n := range wantNames {
+		if !got[n] {
+			t.Errorf("registry is missing check %s", n)
+		}
+	}
+	if len(checks) != len(wantNames) {
+		t.Errorf("registry has %d checks, want %d", len(checks), len(wantNames))
+	}
+}
+
+// TestBaselineRoundTrip exercises the multiset semantics: formatting
+// findings and reparsing them must absorb exactly those findings,
+// count duplicates separately, and report unconsumed entries as stale.
+func TestBaselineRoundTrip(t *testing.T) {
+	mk := func(file, check, msg string) lint.Finding {
+		f := lint.Finding{Check: check, Message: msg}
+		f.Pos.Filename = file
+		f.Pos.Line = 10
+		return f
+	}
+	// Two identical findings (same Key) plus one distinct: the baseline
+	// must hold a count of 2 for the duplicate.
+	dup1 := mk("a/x.go", "lockdiscipline", "mu.Lock() leaked")
+	dup2 := dup1
+	dup2.Pos.Line = 99 // different position, same Key
+	other := mk("b/y.go", "wallclock", "time.Now somewhere")
+
+	base := lint.ParseBaseline(lint.FormatBaseline([]lint.Finding{dup1, dup2, other}))
+	if base.Len() != 3 {
+		t.Fatalf("baseline Len = %d, want 3", base.Len())
+	}
+
+	// The exact same multiset: nothing fresh, nothing stale.
+	fresh, stale := base.Apply([]lint.Finding{dup1, dup2, other})
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("identical multiset: fresh=%v stale=%v, want none", fresh, stale)
+	}
+
+	// One duplicate fixed: its baseline entry is stale, not reusable.
+	base = lint.ParseBaseline(lint.FormatBaseline([]lint.Finding{dup1, dup2, other}))
+	fresh, stale = base.Apply([]lint.Finding{dup1, other})
+	if len(fresh) != 0 {
+		t.Fatalf("after fixing one duplicate: fresh=%v, want none", fresh)
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0], "lockdiscipline") {
+		t.Fatalf("after fixing one duplicate: stale=%v, want the one leftover lockdiscipline entry", stale)
+	}
+
+	// A third copy of the duplicate exceeds the baselined count of 2:
+	// the excess one is fresh.
+	base = lint.ParseBaseline(lint.FormatBaseline([]lint.Finding{dup1, dup2, other}))
+	dup3 := dup1
+	dup3.Pos.Line = 120
+	fresh, stale = base.Apply([]lint.Finding{dup1, dup2, dup3, other})
+	if len(fresh) != 1 || fresh[0].Key() != dup3.Key() {
+		t.Fatalf("third duplicate: fresh=%v, want exactly the excess copy", fresh)
+	}
+	if len(stale) != 0 {
+		t.Fatalf("third duplicate: stale=%v, want none", stale)
+	}
+}
+
+// TestBaselineRestrict pins the subset-run contract: restricting a
+// baseline to selected checks drops the other entries entirely, so
+// they are neither consumable nor stale.
+func TestBaselineRestrict(t *testing.T) {
+	mk := func(file, check, msg string) lint.Finding {
+		f := lint.Finding{Check: check, Message: msg}
+		f.Pos.Filename = file
+		return f
+	}
+	lock := mk("a/x.go", "lockdiscipline", "mu.Lock() leaked")
+	wall := mk("b/y.go", "wallclock", "time.Now somewhere")
+
+	base := lint.ParseBaseline(lint.FormatBaseline([]lint.Finding{lock, wall}))
+	base.Restrict(map[string]bool{"wallclock": true})
+	if base.Len() != 1 {
+		t.Fatalf("restricted baseline Len = %d, want 1", base.Len())
+	}
+	// A wallclock-only run over a clean tree: the lockdiscipline entry
+	// must not surface as stale, and the wallclock entry must.
+	fresh, stale := base.Apply(nil)
+	if len(fresh) != 0 {
+		t.Fatalf("fresh=%v, want none", fresh)
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0], "wallclock") {
+		t.Fatalf("stale=%v, want only the in-scope wallclock entry", stale)
+	}
+}
+
+// TestRepoMatchesBaseline is the contract the CI lint job enforces:
+// flintlint over the real repository must produce exactly the committed
+// baseline — zero fresh findings and zero stale entries. A fresh
+// finding means new nondeterminism or lock misuse slipped in; a stale
+// entry means a fix landed without `flintlint -write-baseline`.
+func TestRepoMatchesBaseline(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.AnalyzeModule(root, lint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(root, ".flintlint-baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := lint.ParseBaseline(data)
+	fresh, stale := base.Apply(findings)
+	for _, f := range fresh {
+		t.Errorf("fresh finding not in baseline: %s", f)
+	}
+	for _, s := range stale {
+		t.Errorf("stale baseline entry (fixed but not removed): %s", s)
+	}
+}

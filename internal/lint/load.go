@@ -1,0 +1,374 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loading and type-checking.
+//
+// The analyzer builds its own picture of the module instead of shelling
+// out to `go list`: it walks the module tree for package directories,
+// parses the non-test files of each, and type-checks them with go/types
+// using a hybrid importer —
+//
+//   - module-local import paths are loaded recursively from the tree
+//     (with a cycle guard),
+//   - everything else is delegated to the stdlib source importer
+//     (GOROOT source), and
+//   - any import that still fails resolves to an empty stub package so
+//     analysis degrades gracefully instead of aborting.
+//
+// Type errors are collected but tolerated: go/types fills Info for
+// everything it can resolve, and every check has a syntactic fallback
+// or skips constructs it cannot type.
+
+func init() {
+	// The source importer preprocesses cgo files when CGO is enabled,
+	// which is slow and fragile inside the analyzer. Pure-Go variants
+	// of the stdlib exist for every package Flint imports.
+	build.Default.CgoEnabled = false
+}
+
+// localPkg is one analyzed (module-local) package.
+type localPkg struct {
+	path  string // import path
+	dir   string
+	fset  *token.FileSet
+	files []*ast.File // non-test files, file-name order
+	pkg   *types.Package
+	info  *types.Info
+
+	loading bool // cycle guard
+}
+
+// loader resolves imports for one analysis run. It is not safe for
+// concurrent use; the analyzer is single-threaded by design (its own
+// goroutine-discipline check applies to it, too).
+type loader struct {
+	fset    *token.FileSet
+	root    string // absolute module root
+	modPath string
+	std     types.Importer // stdlib source importer; nil disables (fuzzing)
+	local   map[string]*localPkg
+	stubs   map[string]*types.Package
+}
+
+func newLoader(root, modPath string, useStd bool) *loader {
+	l := &loader{
+		fset:    token.NewFileSet(),
+		root:    root,
+		modPath: modPath,
+		local:   make(map[string]*localPkg),
+		stubs:   make(map[string]*types.Package),
+	}
+	if useStd {
+		l.std = importer.ForCompiler(l.fset, "source", nil)
+	}
+	return l
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (pkg *types.Package, err error) {
+	if path == "C" {
+		return nil, fmt.Errorf("cgo is not supported")
+	}
+	if l.isLocal(path) {
+		lp, err := l.loadLocal(path)
+		if err != nil {
+			return nil, err
+		}
+		if lp.pkg == nil {
+			return nil, fmt.Errorf("package %s did not type-check", path)
+		}
+		return lp.pkg, nil
+	}
+	if p, ok := l.stubs[path]; ok {
+		return p, nil
+	}
+	if l.std != nil {
+		p, err := l.importStd(path)
+		if err == nil && p != nil {
+			return p, nil
+		}
+	}
+	// Unresolvable import: hand back an empty, complete package so the
+	// type checker records errors locally instead of giving up.
+	name := path[strings.LastIndex(path, "/")+1:]
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	l.stubs[path] = p
+	return p, nil
+}
+
+// importStd wraps the source importer with a panic guard: it parses
+// arbitrary GOROOT source and must never take the analyzer down.
+func (l *loader) importStd(path string) (pkg *types.Package, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pkg, err = nil, fmt.Errorf("source importer panicked on %s: %v", path, r)
+		}
+	}()
+	return l.std.Import(path)
+}
+
+func (l *loader) isLocal(path string) bool {
+	return path == l.modPath || strings.HasPrefix(path, l.modPath+"/")
+}
+
+// dirFor maps a module-local import path to its directory.
+func (l *loader) dirFor(path string) string {
+	if path == l.modPath {
+		return l.root
+	}
+	return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.modPath+"/")))
+}
+
+// loadLocal parses and type-checks one module-local package (cached).
+func (l *loader) loadLocal(path string) (*localPkg, error) {
+	if lp, ok := l.local[path]; ok {
+		if lp.loading {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return lp, nil
+	}
+	dir := l.dirFor(path)
+	files, err := parseDir(l.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	lp := &localPkg{path: path, dir: dir, fset: l.fset, files: files, loading: true}
+	l.local[path] = lp
+	lp.pkg, lp.info = typeCheck(l, path, files)
+	lp.loading = false
+	return lp, nil
+}
+
+// typeCheck runs go/types in error-tolerant mode and returns whatever
+// package and info could be built.
+func typeCheck(imp types.Importer, path string, files []*ast.File) (*types.Package, *types.Info) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:    imp,
+		Error:       func(error) {}, // collect nothing; tolerance is the point
+		FakeImportC: true,
+	}
+	var fset *token.FileSet
+	switch l := imp.(type) {
+	case *loader:
+		fset = l.fset
+	default:
+		fset = token.NewFileSet()
+	}
+	pkg, _ := conf.Check(path, fset, files, info)
+	return pkg, info
+}
+
+// parseDir parses the non-test .go files of one directory, sorted by
+// file name so every run sees an identical file order.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			// A file that does not parse cannot be analyzed; report the
+			// error rather than silently skipping the file.
+			return nil, fmt.Errorf("parse %s: %w", filepath.Join(dir, name), err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Options configures an analysis run.
+type Options struct {
+	Checks []Check // nil = full registry
+}
+
+func (o Options) checks() []Check {
+	if o.Checks != nil {
+		return o.Checks
+	}
+	return Checks()
+}
+
+// AnalyzeModule loads every package under the module rooted at root and
+// runs the registered checks. Findings come back sorted, with file
+// names relative to root.
+func AnalyzeModule(root string, opts Options) ([]Finding, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	gomod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w (is %s a module root?)", err, root)
+	}
+	modPath := modulePath(gomod)
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module path in %s/go.mod", root)
+	}
+	var pkgDirs []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") &&
+			!strings.HasPrefix(d.Name(), ".") && !strings.HasPrefix(d.Name(), "_") {
+			dir := filepath.Dir(path)
+			if len(pkgDirs) == 0 || pkgDirs[len(pkgDirs)-1] != dir {
+				pkgDirs = append(pkgDirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(pkgDirs)
+
+	l := newLoader(root, modPath, true)
+	var findings []Finding
+	for _, dir := range pkgDirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		lp, err := l.loadLocal(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: load %s: %w", path, err)
+		}
+		findings = append(findings, analyzePackage(lp, opts.checks())...)
+	}
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil {
+			findings[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// AnalyzeDir analyzes the single package in dir as if its import path
+// were importPath. Used by the fixture tests; stdlib imports resolve
+// through the source importer, anything else is stubbed.
+func AnalyzeDir(dir, importPath string, opts Options) ([]Finding, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(dir, importPath, true)
+	lp, err := l.loadLocal(importPath)
+	if err != nil {
+		return nil, err
+	}
+	findings := analyzePackage(lp, opts.checks())
+	for i := range findings {
+		if rel, err := filepath.Rel(dir, findings[i].Pos.Filename); err == nil {
+			findings[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// AnalyzeSource parses src as a single file and runs the checks without
+// any import resolution. It exists for the fuzz target: whatever the
+// parser accepts must never panic the analyzer.
+func AnalyzeSource(filename string, src []byte, opts Options) ([]Finding, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	files := []*ast.File{f}
+	l := &loader{
+		fset:    fset,
+		modPath: "fuzz/input",
+		local:   make(map[string]*localPkg),
+		stubs:   make(map[string]*types.Package),
+	}
+	pkg, info := typeCheck(l, "fuzz/input", files)
+	lp := &localPkg{path: "fuzz/input", fset: fset, files: files, pkg: pkg, info: info}
+	findings := analyzePackage(lp, opts.checks())
+	SortFindings(findings)
+	return findings, nil
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// maporder: Go randomizes map iteration order per map per process, so a
+// `range` over a map that appends to a slice, sends on a channel, or
+// emits/writes anything leaks that randomness into observable state —
+// the classic way byte-identical replay dies. The accepted shape is
+// collect-then-sort: append the keys (or values) and sort the slice
+// after the loop, which the check recognizes and does not flag.
+// Order-insensitive loop bodies (counter increments, map-to-map copies,
+// deletes, sums) are not flagged.
+var maporderCheck = Check{
+	Name: "maporder",
+	Doc:  "map iteration feeding order-sensitive sinks without a following sort",
+	Run:  runMaporder,
+}
+
+// maporderSinkCalls are method/function names whose invocation inside a
+// map-range body is order-sensitive regardless of a later sort: events,
+// formatted output, hashes and raw writes all observe emission order.
+var maporderSinkCalls = map[string]bool{
+	"Emit":        true,
+	"Print":       true,
+	"Printf":      true,
+	"Println":     true,
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Observe":     true,
+}
+
+// sortFuncs recognizes the stdlib sorting entry points.
+func isSortCall(pass *Pass, file *ast.File, call *ast.CallExpr) (arg ast.Expr, ok bool) {
+	sel, selOK := call.Fun.(*ast.SelectorExpr)
+	if !selOK {
+		return nil, false
+	}
+	id, idOK := sel.X.(*ast.Ident)
+	if !idOK {
+		return nil, false
+	}
+	switch pass.pkgPath(file, id) {
+	case "sort":
+		switch sel.Sel.Name {
+		case "Sort", "Stable", "Strings", "Ints", "Float64s", "Slice", "SliceStable":
+		default:
+			return nil, false
+		}
+	case "slices":
+		if !strings.HasPrefix(sel.Sel.Name, "Sort") {
+			return nil, false
+		}
+	default:
+		return nil, false
+	}
+	if len(call.Args) > 0 {
+		return call.Args[0], true
+	}
+	return nil, true
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// mapSink is one order-sensitive effect found in a range body.
+type mapSink struct {
+	pos      token.Pos
+	desc     string
+	saveable bool   // true for appends, which a following sort fixes
+	target   string // exprKey of the append target, "" if unknown
+}
+
+func runMaporder(pass *Pass) {
+	for _, file := range pass.Files {
+		f := file
+		eachFuncBody(f, func(body *ast.BlockStmt) {
+			// Sorting calls in this scope, in source order.
+			type sortCall struct {
+				pos token.Pos
+				arg string // exprKey of the sorted slice, "" if unknown
+			}
+			var sorts []sortCall
+			walkScope(body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if arg, ok := isSortCall(pass, f, call); ok {
+						sorts = append(sorts, sortCall{pos: call.Pos(), arg: exprKey(arg)})
+					}
+				}
+				return true
+			})
+			walkScope(body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if !isMapType(pass.typeOf(rng.X)) {
+					return true
+				}
+				for _, sink := range mapRangeSinks(pass, f, rng.Body) {
+					if sink.saveable {
+						saved := false
+						for _, s := range sorts {
+							if s.pos <= rng.End() {
+								continue
+							}
+							// A sort of the same slice after the loop
+							// restores determinism. If either side is
+							// too complex to name, accept any later
+							// sort rather than second-guess it.
+							if sink.target == "" || s.arg == "" || s.arg == sink.target {
+								saved = true
+								break
+							}
+						}
+						if saved {
+							continue
+						}
+					}
+					pass.reportf("maporder", sink.pos,
+						"%s inside a range over map %s: map iteration order is random; collect and sort, or restructure",
+						sink.desc, renderExpr(pass.Fset, rng.X))
+				}
+				return true
+			})
+			return
+		})
+	}
+}
+
+// mapRangeSinks scans a map-range body (staying inside the enclosing
+// function scope) for order-sensitive effects.
+func mapRangeSinks(pass *Pass, file *ast.File, body *ast.BlockStmt) []mapSink {
+	var sinks []mapSink
+	walkScope(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			sinks = append(sinks, mapSink{pos: x.Pos(), desc: "channel send"})
+		case *ast.CallExpr:
+			switch fun := x.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" && isBuiltinAppend(pass, fun) {
+					target := ""
+					if len(x.Args) > 0 {
+						target = exprKey(x.Args[0])
+					}
+					sinks = append(sinks, mapSink{
+						pos: x.Pos(), desc: "append", saveable: true, target: target,
+					})
+				}
+			case *ast.SelectorExpr:
+				if maporderSinkCalls[fun.Sel.Name] {
+					// A sort call is not a sink even though sort.Slice
+					// et al. are selector calls.
+					if _, ok := isSortCall(pass, file, x); !ok {
+						sinks = append(sinks, mapSink{
+							pos:  x.Pos(),
+							desc: "call to " + renderExpr(pass.Fset, fun),
+						})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// isBuiltinAppend confirms (when type info is available) that an
+// identifier called `append` is the builtin and not a local function.
+func isBuiltinAppend(pass *Pass, id *ast.Ident) bool {
+	if pass.Info == nil {
+		return true
+	}
+	obj, ok := pass.Info.Uses[id]
+	if !ok {
+		return true // unresolved: assume builtin
+	}
+	_, builtin := obj.(*types.Builtin)
+	return builtin
+}

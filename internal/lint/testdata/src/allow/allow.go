@@ -1,0 +1,42 @@
+// Package allow exercises //lint:allow suppression: well-formed
+// directives silence their own line and the next line for the named
+// check only; malformed directives are themselves findings under the
+// unsuppressible "directive" check.
+package allow
+
+import (
+	"math/rand"
+	"time"
+)
+
+// trailing directive suppresses the finding on its own line.
+func suppressedTrailing() time.Time {
+	return time.Now() //lint:allow wallclock fixture demonstrates trailing suppression
+}
+
+// a directive on its own line suppresses the line below it.
+func suppressedPreceding() time.Time {
+	//lint:allow wallclock fixture demonstrates preceding-line suppression
+	return time.Now()
+}
+
+// a directive for one check does not silence a different check.
+func wrongCheck() int {
+	return rand.Intn(3) //lint:allow wallclock names the wrong check // want globalrand "rand.Intn uses the process-global source"
+}
+
+// coverage stops after the next line: line+2 still fires.
+func tooFarAway() time.Time {
+	//lint:allow wallclock only reaches the next line
+	_ = 0
+	return time.Now() // want wallclock "time.Now reads the wall clock"
+}
+
+// want-next-line directive "needs a check name and a reason"
+//lint:allow
+
+// want-next-line directive "names unknown check"
+//lint:allow nosuchcheck has a reason but no such check exists
+
+// want-next-line directive "wallclock needs a reason"
+//lint:allow wallclock

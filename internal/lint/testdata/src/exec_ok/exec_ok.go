@@ -1,0 +1,14 @@
+// Package exec_ok is analyzed under the import path flint/internal/exec
+// (see the harness), where go statements are sanctioned: no findings.
+package exec_ok
+
+func spawn(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+	go worker(ch)
+}
+
+func worker(ch chan int) {
+	ch <- 2
+}

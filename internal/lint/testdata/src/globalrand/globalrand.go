@@ -1,0 +1,21 @@
+// Package globalrand exercises the globalrand check: top-level
+// math/rand functions draw from the process-global source and are
+// forbidden; seeded *rand.Rand instances are the sanctioned form.
+package globalrand
+
+import "math/rand"
+
+func bad() {
+	_ = rand.Intn(10)                  // want globalrand "rand.Intn uses the process-global source"
+	_ = rand.Float64()                 // want globalrand "rand.Float64 uses the process-global source"
+	_ = rand.Int63()                   // want globalrand "rand.Int63 uses the process-global source"
+	_ = rand.Perm(4)                   // want globalrand "rand.Perm uses the process-global source"
+	rand.Seed(42)                      // want globalrand "rand.Seed uses the process-global source"
+	rand.Shuffle(0, func(i, j int) {}) // want globalrand "rand.Shuffle uses the process-global source"
+}
+
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // constructors are allowed
+	var r *rand.Rand = rng                // type references are allowed
+	return r.Float64() + float64(rng.Intn(10))
+}

@@ -1,0 +1,15 @@
+// Package goroutine exercises goroutine-discipline: this package's
+// import path is outside the allowlist, so every go statement is a
+// finding.
+package goroutine
+
+func bad(ch chan int) {
+	go func() { // want goroutine-discipline "go statement outside the exec worker pool and webui"
+		ch <- 1
+	}()
+	go worker(ch) // want goroutine-discipline "go statement outside the exec worker pool and webui"
+}
+
+func worker(ch chan int) {
+	ch <- 2
+}

@@ -1,0 +1,81 @@
+// Package lockdiscipline exercises the lockdiscipline check: Lock
+// without a deferred Unlock, and channel sends while a lock is held.
+package lockdiscipline
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	n    int
+	done chan int
+}
+
+// badManualUnlock pairs Lock with a manual Unlock: the pair survives
+// today's code but not the next early return, so rule 1 fires.
+func (s *store) badManualUnlock() {
+	s.mu.Lock() // want lockdiscipline "s.mu.Lock() without a deferred s.mu.Unlock() in the same function"
+	s.n++
+	s.mu.Unlock()
+}
+
+// badRead is the same leak with the read variant.
+func (s *store) badRead() int {
+	s.rw.RLock() // want lockdiscipline "s.rw.RLock() without a deferred s.rw.RUnlock() in the same function"
+	n := s.n
+	s.rw.RUnlock()
+	return n
+}
+
+// badSendUnderLock holds the lock (via defer) across a channel send.
+func (s *store) badSendUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	s.done <- s.n // want lockdiscipline "channel send while s.mu is held"
+}
+
+// goodDefer is the sanctioned shape.
+func (s *store) goodDefer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// goodDeferRead pairs RLock with a deferred RUnlock.
+func (s *store) goodDeferRead() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+// goodDeferLit releases inside a deferred function literal, which
+// counts as a deferred release.
+func (s *store) goodDeferLit() {
+	s.mu.Lock()
+	defer func() {
+		s.n++
+		s.mu.Unlock()
+	}()
+}
+
+// goodSendAfterManualUnlock sends only after the manual release, so
+// rule 2 stays quiet (rule 1 still fires on the lock itself).
+func (s *store) goodSendAfterManualUnlock() {
+	s.mu.Lock() // want lockdiscipline "s.mu.Lock() without a deferred s.mu.Unlock() in the same function"
+	s.n++
+	s.mu.Unlock()
+	s.done <- s.n
+}
+
+// notAMutex has Lock/Unlock methods but is not a sync mutex: typed
+// receiver matching keeps the check quiet here.
+type notAMutex struct{ held bool }
+
+func (f *notAMutex) Lock()   { f.held = true }
+func (f *notAMutex) Unlock() { f.held = false }
+
+func goodFakeLocker(f *notAMutex) {
+	f.Lock()
+	f.Unlock()
+}

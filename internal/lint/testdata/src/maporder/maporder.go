@@ -1,0 +1,88 @@
+// Package maporder exercises the maporder check: order-sensitive sinks
+// inside a range over a map are flagged unless a sort of the collected
+// slice follows the loop in the same function.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want maporder "append inside a range over map m"
+	}
+	return keys
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want maporder "call to fmt.Println inside a range over map m"
+	}
+}
+
+func badSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want maporder "channel send inside a range over map m"
+	}
+}
+
+// badWrongSort collects from one map range but sorts a different slice,
+// so the append is still nondeterministic.
+func badWrongSort(m map[string]int) []string {
+	var keys, other []string
+	for k := range m {
+		keys = append(keys, k) // want maporder "append inside a range over map m"
+	}
+	sort.Strings(other)
+	return keys
+}
+
+// goodCollectThenSort is the sanctioned idiom: the append's target is
+// sorted after the loop, restoring a deterministic order.
+func goodCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodSortSlice accepts the sort.Slice spelling too.
+func goodSortSlice(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// goodCommutative has no order-sensitive sink: summing commutes.
+func goodCommutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodMapToMap copies into another map; map writes are order-independent.
+func goodMapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// goodSliceRange iterates a slice, not a map: ordered, nothing to flag.
+func goodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

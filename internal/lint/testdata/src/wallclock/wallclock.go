@@ -1,0 +1,34 @@
+// Package wallclock exercises the wallclock check: wall-clock reads
+// and waits are flagged; pure time arithmetic and conversions are not.
+package wallclock
+
+import "time"
+
+func bad() {
+	_ = time.Now()                   // want wallclock "time.Now reads the wall clock"
+	time.Sleep(time.Second)          // want wallclock "time.Sleep reads the wall clock"
+	_ = time.Since(time.Time{})      // want wallclock "time.Since reads the wall clock"
+	_ = time.Until(time.Time{})      // want wallclock "time.Until reads the wall clock"
+	<-time.After(time.Millisecond)   // want wallclock "time.After reads the wall clock"
+	_ = time.NewTimer(time.Second)   // want wallclock "time.NewTimer reads the wall clock"
+	_ = time.Tick(time.Second)       // want wallclock "time.Tick reads the wall clock"
+	_ = time.NewTicker(time.Second)  // want wallclock "time.NewTicker reads the wall clock"
+	time.AfterFunc(time.Second, bad) // want wallclock "time.AfterFunc reads the wall clock"
+}
+
+func good() {
+	d := 3 * time.Second // durations are values, not clock reads
+	_ = d.Seconds()
+	_ = time.Unix(0, 0) // pure conversion
+	_ = time.Date(2016, 4, 18, 0, 0, 0, 0, time.UTC)
+	var t time.Time
+	_ = t.Add(d)
+}
+
+// shadow proves the check resolves the identifier, not the name: a
+// local variable called time is not the time package.
+func shadow() {
+	type fake struct{ now int }
+	time := fake{}
+	_ = time.now
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+)
+
+// walkScope visits n and its children but does not descend into nested
+// function literals: checks that reason about "the same function"
+// (lockdiscipline, maporder's following-sort rule) analyze each
+// function body as its own scope and visit literals separately.
+func walkScope(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			return false
+		}
+		return fn(c)
+	})
+}
+
+// eachFuncBody invokes fn once per function scope in file: every
+// FuncDecl body and every FuncLit body.
+func eachFuncBody(file *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d.Body)
+		}
+		return true
+	})
+}
+
+// exprKey renders a simple identifier / selector chain ("t.mu",
+// "e.shuffles") for identity comparisons, or "" for anything more
+// complex (index expressions, calls) where identity cannot be judged
+// syntactically.
+func exprKey(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprKey(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(x.X)
+	}
+	return ""
+}
+
+// renderExpr pretty-prints an expression for messages (bounded; never
+// fails — falls back to a placeholder).
+func renderExpr(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil || buf.Len() == 0 || buf.Len() > 80 {
+		if k := exprKey(e); k != "" {
+			return k
+		}
+		return "expression"
+	}
+	return buf.String()
+}

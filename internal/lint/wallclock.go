@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallclock: wall-clock time must never reach the simulation. Every
+// run of the engine has to be byte-identical at any worker width and
+// under any chaos schedule (the recomputation-instead-of-replication
+// bet of the Flint paper), so scheduling, hashing and output may only
+// observe virtual time from internal/simclock. Real time is legitimate
+// in exactly one role — metrics about how fast the engine itself runs —
+// and that role is routed through the obs.Stopwatch chokepoint, whose
+// implementation carries the only sanctioned //lint:allow wallclock.
+var wallclockCheck = Check{
+	Name: "wallclock",
+	Doc:  "time.Now/Sleep/Since and friends outside the sanctioned metrics stopwatch",
+	Run:  runWallclock,
+}
+
+// wallclockForbidden lists the package-level time functions that read
+// or wait on the wall clock. Types (time.Duration, time.Time) and pure
+// conversions (time.Unix, time.Duration arithmetic) are fine.
+var wallclockForbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runWallclock(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pass.pkgPath(file, id) != "time" || !wallclockForbidden[sel.Sel.Name] {
+				return true
+			}
+			pass.reportf("wallclock", sel.Pos(),
+				"time.%s reads the wall clock; use internal/simclock for virtual time, or obs.Stopwatch for metrics-only wall timing",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

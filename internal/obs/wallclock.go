@@ -1,0 +1,20 @@
+package obs
+
+import "time"
+
+// Stopwatch is the one sanctioned wall-clock read in Flint. It exists
+// for exactly one purpose: measuring how fast the engine itself runs
+// (the flint_exec_* histograms, detbench's wall_s column). Wall time
+// must never feed scheduling, hashing, or diffable output — virtual
+// time comes from internal/simclock — so every consumer funnels
+// through this chokepoint, where flintlint's wallclock check is
+// suppressed once, visibly, instead of at each call site.
+//
+// The returned function reports the wall-clock seconds elapsed since
+// the Stopwatch call.
+func Stopwatch() func() float64 {
+	start := time.Now() //lint:allow wallclock metrics-only chokepoint; see doc comment
+	return func() float64 {
+		return time.Since(start).Seconds() //lint:allow wallclock metrics-only chokepoint; see doc comment
+	}
+}

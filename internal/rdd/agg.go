@@ -194,6 +194,10 @@ func aggregateTyped[K comparable](rows []Row, create func(v Row) Row, merge func
 		kv := r.(KV)
 		k, ok := kv.K.(K)
 		if !ok {
+			// Map-order audit (flintlint maporder): a map-to-map slot
+			// copy — each key keeps its already-assigned slot, so the
+			// iteration order of the migration cannot change the
+			// first-seen output order.
 			g := make(map[Row]int, len(m)+hint)
 			for key, s := range m {
 				g[key] = s
