@@ -1,0 +1,327 @@
+// Command docscheck keeps the prose honest: it scans README.md,
+// DESIGN.md and docs/*.md for references to repository artifacts —
+// file paths, command-line flags, flint_* metric names, and relative
+// markdown links — and exits non-zero if any of them are dead. CI runs
+// it so a renamed flag, deleted file or retired metric cannot survive
+// in the documentation.
+//
+// What counts as a reference (inline `code spans` and [links](…) only;
+// fenced code blocks are ignored as free-form shell):
+//
+//   - a span that looks like a path (contains “/” or has a known file
+//     extension) must exist in the repository,
+//   - a span of the form -flag must be defined by some command under
+//     cmd/ (or be a well-known go-tool flag),
+//   - a span naming a flint_* metric must be registered somewhere in
+//     the source; a trailing “_” or “*” makes it a prefix match,
+//   - a relative markdown link must resolve from the linking document.
+//
+// The tool is stdlib-only, like everything else in the module.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// goToolFlags are flags that belong to the go toolchain (or other
+// standard tools) rather than to a command under cmd/, so documentation
+// may reference them freely.
+var goToolFlags = map[string]bool{
+	"race": true, "run": true, "bench": true, "benchtime": true,
+	"count": true, "short": true, "v": true, "timeout": true,
+	"cover": true, "coverprofile": true, "cpuprofile": true,
+	"memprofile": true, "l": true, "w": true, "json": true,
+}
+
+var (
+	spanRe    = regexp.MustCompile("`([^`]+)`")
+	linkRe    = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	flagRe    = regexp.MustCompile(`^-[a-z][a-z0-9-]*$`)
+	metricRe  = regexp.MustCompile(`^flint_[a-z0-9_]+[_*]?$`)
+	pathRe    = regexp.MustCompile(`^[A-Za-z0-9._/:-]+$`)
+	lineRefRe = regexp.MustCompile(`^([^:]+):\d+`)
+	extRe     = regexp.MustCompile(`\.(go|md|json|ya?ml|sh|csv|txt)$`)
+	// flagDefRe matches flag definitions in cmd/ sources:
+	// flag.String("name", …), flag.IntVar(&v, "name", …).
+	flagDefRe = regexp.MustCompile(`flag\.[A-Za-z0-9]+\(\s*(?:&[A-Za-z0-9_.]+,\s*)?"([^"]+)"`)
+	// metricDefRe harvests registered metric names from the source.
+	metricDefRe = regexp.MustCompile(`flint_[a-z0-9_]+`)
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+	docs, err := docFiles(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(1)
+	}
+	flags, err := definedFlags(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(1)
+	}
+	metrics, err := definedMetrics(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(1)
+	}
+	var dead []string
+	for _, doc := range docs {
+		d, err := checkDoc(*root, doc, flags, metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(1)
+		}
+		dead = append(dead, d...)
+	}
+	if len(dead) > 0 {
+		for _, d := range dead {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d dead reference(s) across %d documents\n", len(dead), len(docs))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d documents clean (%d flags, %d metrics known)\n", len(docs), len(flags), len(metrics))
+}
+
+// docFiles returns the documents under check: README.md, DESIGN.md and
+// everything in docs/, as root-relative paths.
+func docFiles(root string) ([]string, error) {
+	var out []string
+	for _, name := range []string{"README.md", "DESIGN.md"} {
+		if _, err := os.Stat(filepath.Join(root, name)); err == nil {
+			out = append(out, name)
+		}
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "docs"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return out, nil
+		}
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+			out = append(out, filepath.Join("docs", e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// definedFlags scans every Go file under cmd/ for flag definitions.
+func definedFlags(root string) (map[string]bool, error) {
+	out := map[string]bool{}
+	err := filepath.WalkDir(filepath.Join(root, "cmd"), func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range flagDefRe.FindAllStringSubmatch(string(data), -1) {
+			out[m[1]] = true
+		}
+		return nil
+	})
+	return out, err
+}
+
+// definedMetrics harvests every flint_* name from the non-test source.
+func definedMetrics(root string) (map[string]bool, error) {
+	out := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range metricDefRe.FindAllString(string(data), -1) {
+			out[m] = true
+		}
+		return nil
+	})
+	return out, err
+}
+
+// checkDoc scans one document and returns its dead references as
+// "file:line: message" strings.
+func checkDoc(root, doc string, flags, metrics map[string]bool) ([]string, error) {
+	data, err := os.ReadFile(filepath.Join(root, doc))
+	if err != nil {
+		return nil, err
+	}
+	var dead []string
+	report := func(line int, format string, args ...any) {
+		dead = append(dead, fmt.Sprintf("%s:%d: %s", doc, line, fmt.Sprintf(format, args...)))
+	}
+	fenced := false
+	for i, line := range strings.Split(string(data), "\n") {
+		n := i + 1
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if fenced {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(root, filepath.Dir(doc), target)
+			// Targets escaping the repository (GitHub's ../../actions
+			// badge idiom) cannot be verified locally.
+			if rel, err := filepath.Rel(root, resolved); err != nil || strings.HasPrefix(rel, "..") {
+				continue
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				report(n, "dead link %q", m[1])
+			}
+		}
+		for _, m := range spanRe.FindAllStringSubmatch(line, -1) {
+			checkSpan(root, m[1], n, flags, metrics, report)
+		}
+	}
+	return dead, nil
+}
+
+// checkSpan classifies one inline code span and verifies it if it looks
+// like a flag, a metric name, or a repository path. Anything else
+// (identifiers, shell fragments, math) is ignored.
+func checkSpan(root, span string, line int, flags, metrics map[string]bool,
+	report func(line int, format string, args ...any)) {
+	tok := strings.Fields(span)
+	if len(tok) == 0 {
+		return
+	}
+	head := tok[0]
+	switch {
+	case flagRe.MatchString(strings.SplitN(head, "=", 2)[0]) && !strings.Contains(head, "/"):
+		name := strings.TrimPrefix(strings.SplitN(head, "=", 2)[0], "-")
+		if !flags[name] && !goToolFlags[name] {
+			report(line, "flag %q is not defined by any command under cmd/", head)
+		}
+	case metricRe.MatchString(head):
+		if strings.HasSuffix(head, "*") || strings.HasSuffix(head, "_") {
+			prefix := strings.TrimSuffix(head, "*")
+			for m := range metrics {
+				if strings.HasPrefix(m, prefix) {
+					return
+				}
+			}
+			report(line, "no metric with prefix %q is registered in the source", head)
+		} else if !metrics[head] {
+			report(line, "metric %q is not registered in the source", head)
+		}
+	case len(tok) == 1 && pathRe.MatchString(head) &&
+		(strings.Contains(head, "/") || extRe.MatchString(head)):
+		p := strings.TrimPrefix(head, "./")
+		p = strings.TrimSuffix(p, "/...")
+		p = strings.TrimSuffix(p, "/")
+		// `file.go:123` clickable references keep only the path part;
+		// anything else with a colon (URLs, key: value) is not a path.
+		if m := lineRefRe.FindStringSubmatch(p); m != nil {
+			p = m[1]
+		}
+		if p == "" || strings.Contains(p, "*") || strings.Contains(p, ":") {
+			return
+		}
+		// Import paths carry the module name: flint/internal/obs.
+		p = strings.TrimPrefix(p, "flint/")
+		if !strings.Contains(p, "/") {
+			// A bare filename: source and doc names must exist somewhere
+			// in the tree; other extensions (.json, .txt, .csv) name
+			// run artifacts, not repository files.
+			if !strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, ".md") {
+				return
+			}
+			if !repoBasenames(root)[p] {
+				report(line, "file %q does not exist anywhere in the repository", head)
+			}
+			return
+		}
+		// Only slash-paths rooted at a real top-level directory are repo
+		// references; everything else (`math/rand`, `go/ast`,
+		// `golang.org/x/tools`) is an external package path.
+		if !topLevelDirs(root)[p[:strings.IndexByte(p, '/')]] {
+			return
+		}
+		if _, err := os.Stat(filepath.Join(root, p)); err != nil {
+			report(line, "path %q does not exist in the repository", head)
+		}
+	}
+}
+
+var (
+	basenamesCache map[string]bool
+	topDirsCache   map[string]bool
+)
+
+// repoBasenames returns (and caches) the set of file basenames in the
+// repository, for verifying bare `file.go` references.
+func repoBasenames(root string) map[string]bool {
+	if basenamesCache != nil {
+		return basenamesCache
+	}
+	basenamesCache = map[string]bool{}
+	filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		basenamesCache[d.Name()] = true
+		return nil
+	})
+	return basenamesCache
+}
+
+// topLevelDirs returns (and caches) the repository's top-level directory
+// names, which anchor every checkable slash-path.
+func topLevelDirs(root string) map[string]bool {
+	if topDirsCache != nil {
+		return topDirsCache
+	}
+	topDirsCache = map[string]bool{}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return topDirsCache
+	}
+	for _, e := range entries {
+		if e.IsDir() && e.Name() != ".git" {
+			topDirsCache[e.Name()] = true
+		}
+	}
+	return topDirsCache
+}

@@ -6,8 +6,8 @@
 //	flintbench [flags] <experiment> [<experiment>...]
 //	flintbench all
 //
-// Experiments: fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 ablations
-// detbench chaosbench
+// Experiments: fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 portfolio
+// ablations detbench chaosbench
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-versus-measured record. detbench runs the
@@ -53,6 +53,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor for the systems experiments")
 	runs := flag.Int("runs", 0, "Monte Carlo runs for the long-horizon studies (0 = default)")
 	markets := flag.Int("markets", 16, "market count for the correlation study")
+	portfolioMarkets := flag.Int("portfolio-markets", 120, "generated market-universe size for the portfolio policy sweep")
 	csvDir := flag.String("csv", "", "also write each figure's series as CSV files into this directory")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file covering the selected experiments to this path")
 	workers := flag.Int("workers", 0, "engine worker-pool width for task execution (0 = GOMAXPROCS; 1 = serial); any value produces identical results")
@@ -100,7 +101,7 @@ func main() {
 	}
 	for _, name := range args {
 		sw := obs.Stopwatch()
-		entries, err := run(os.Stdout, name, s, *runs, *markets, *csvDir, chaosOpts)
+		entries, err := run(os.Stdout, name, s, *runs, *markets, *portfolioMarkets, *csvDir, chaosOpts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flintbench: %s: %v\n", name, err)
 			os.Exit(1)
@@ -163,7 +164,7 @@ func writeTrace(path string, o *obs.Obs) error {
 }
 
 func names() []string {
-	return []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations", "detbench", "chaosbench"}
+	return []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "portfolio", "ablations", "detbench", "chaosbench"}
 }
 
 // csvWriter is satisfied by every FigNResult.
@@ -181,7 +182,7 @@ func export(csvDir string, res csvWriter, err error) error {
 // run executes one experiment. A non-nil entries slice carries
 // per-scenario benchmark lines for -bench-out; experiments without
 // internal scenarios return nil and the caller records their wall time.
-func run(w io.Writer, name string, s experiments.Scale, runs, markets int, csvDir string, chaosOpts experiments.ChaosbenchOpts) ([]benchEntry, error) {
+func run(w io.Writer, name string, s experiments.Scale, runs, markets, portfolioMarkets int, csvDir string, chaosOpts experiments.ChaosbenchOpts) ([]benchEntry, error) {
 	switch name {
 	case "fig2":
 		res, err := experiments.Fig2(w)
@@ -209,6 +210,9 @@ func run(w io.Writer, name string, s experiments.Scale, runs, markets int, csvDi
 		return nil, export(csvDir, res, err)
 	case "fig11":
 		res, err := experiments.Fig11(w, runs)
+		return nil, export(csvDir, res, err)
+	case "portfolio":
+		res, err := experiments.PortfolioSweep(w, portfolioMarkets, runs)
 		return nil, export(csvDir, res, err)
 	case "ablations":
 		if _, err := experiments.AblationFrontier(w, s); err != nil {

@@ -12,7 +12,7 @@ import (
 )
 
 func TestNamesCoverAllExperiments(t *testing.T) {
-	want := []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations", "detbench", "chaosbench"}
+	want := []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "portfolio", "ablations", "detbench", "chaosbench"}
 	got := names()
 	if len(got) != len(want) {
 		t.Fatalf("names = %v", got)
@@ -25,7 +25,7 @@ func TestNamesCoverAllExperiments(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	_, err := run(io.Discard, "fig99", 1, 0, 8, "", experiments.ChaosbenchOpts{})
+	_, err := run(io.Discard, "fig99", 1, 0, 8, 16, "", experiments.ChaosbenchOpts{})
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Fatalf("err = %v", err)
 	}
@@ -33,7 +33,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestRunFastExperiments(t *testing.T) {
 	for _, name := range []string{"fig2", "fig4"} {
-		if _, err := run(io.Discard, name, 1, 2, 6, "", experiments.ChaosbenchOpts{}); err != nil {
+		if _, err := run(io.Discard, name, 1, 2, 6, 16, "", experiments.ChaosbenchOpts{}); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}
@@ -41,7 +41,7 @@ func TestRunFastExperiments(t *testing.T) {
 
 func TestRunWithCSVExport(t *testing.T) {
 	dir := t.TempDir()
-	if _, err := run(io.Discard, "fig2", 1, 2, 6, dir, experiments.ChaosbenchOpts{}); err != nil {
+	if _, err := run(io.Discard, "fig2", 1, 2, 6, 16, dir, experiments.ChaosbenchOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -51,7 +51,7 @@ func TestRunWithCSVExport(t *testing.T) {
 // filtered Prometheus dumps.
 func TestRunDetbench(t *testing.T) {
 	dir := t.TempDir()
-	entries, err := run(io.Discard, "detbench", 0.2, 0, 8, dir, experiments.ChaosbenchOpts{})
+	entries, err := run(io.Discard, "detbench", 0.2, 0, 8, 16, dir, experiments.ChaosbenchOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestRunDetbench(t *testing.T) {
 func TestRunChaosbench(t *testing.T) {
 	dir := t.TempDir()
 	opts := experiments.ChaosbenchOpts{Seeds: []int64{1}, Profiles: []string{"straggler"}}
-	if _, err := run(io.Discard, "chaosbench", 0.15, 0, 8, dir, opts); err != nil {
+	if _, err := run(io.Discard, "chaosbench", 0.15, 0, 8, 16, dir, opts); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "chaosbench.csv")); err != nil {

@@ -74,7 +74,12 @@ type Schedule struct {
 	Profile string  `json:"profile"`
 	Horizon float64 `json:"horizon"` // virtual seconds of fault activity
 	Nodes   int     `json:"nodes"`   // cluster size the node picks draw from
-	Events  []Event `json:"events"`
+	// Pools is the explicit market-crash target list the schedule was
+	// generated with (NewScheduleForPools); empty means the historical
+	// defaults. Recorded so regeneration from the scalar fields stays
+	// complete for pool-targeted schedules.
+	Pools  []string `json:"pools,omitempty"`
+	Events []Event  `json:"events"`
 }
 
 // Profile names.
@@ -83,25 +88,40 @@ const (
 	ProfileStraggler       = "straggler"
 	ProfileCkptFailure     = "ckpt-failure"
 	ProfileMixed           = "mixed"
+	// ProfileCorrelatedCrash emits waves of simultaneous market crashes
+	// across a subset of the schedule's pools — the correlated
+	// multi-market failure mode the portfolio selector hedges against.
+	ProfileCorrelatedCrash = "correlated-crash"
 )
 
 // Profiles returns the known profile names in sorted order.
 func Profiles() []string {
-	return []string{ProfileCkptFailure, ProfileMixed, ProfileRevocationBurst, ProfileStraggler}
+	return []string{ProfileCkptFailure, ProfileCorrelatedCrash, ProfileMixed, ProfileRevocationBurst, ProfileStraggler}
 }
 
 // NewSchedule generates the deterministic fault plan for (seed, profile).
 // horizon is the virtual-time span faults are placed in — pick roughly
 // the fault-free makespan of the workload, so faults land while work is
 // in flight. nodes is the cluster size, used to draw target node IDs.
+// Market-crash events target the default pool set; use
+// NewScheduleForPools to aim them at specific markets.
 func NewSchedule(seed int64, profile string, horizon float64, nodes int) (Schedule, error) {
+	return NewScheduleForPools(seed, profile, horizon, nodes, nil)
+}
+
+// NewScheduleForPools is NewSchedule with an explicit pool list for
+// market-crash events. A nil or empty list keeps the historical defaults
+// ("standby" for the burst/mixed crash, "primary"+"standby" for the
+// correlated-crash profile), so existing schedules stay byte-identical.
+func NewScheduleForPools(seed int64, profile string, horizon float64, nodes int, pools []string) (Schedule, error) {
 	if !(horizon > 0) || math.IsInf(horizon, 1) {
 		return Schedule{}, fmt.Errorf("chaos: horizon must be positive and finite, got %g", horizon)
 	}
 	if nodes <= 0 {
 		return Schedule{}, fmt.Errorf("chaos: nodes must be positive, got %d", nodes)
 	}
-	s := Schedule{Seed: seed, Profile: profile, Horizon: horizon, Nodes: nodes}
+	s := Schedule{Seed: seed, Profile: profile, Horizon: horizon, Nodes: nodes,
+		Pools: append([]string(nil), pools...)}
 	r := rand.New(rand.NewSource(seed))
 	// Faults land in the middle (0.05–0.90)·horizon of the run so the job
 	// has started and has time to recover before the audit.
@@ -130,10 +150,40 @@ func NewSchedule(seed int64, profile string, horizon float64, nodes int) (Schedu
 			})
 		}
 		if r.Intn(2) == 0 {
+			crashPool := "standby"
+			if len(pools) > 0 {
+				crashPool = pools[r.Intn(len(pools))]
+			}
 			s.Events = append(s.Events, Event{
 				Kind: KindMarketCrash, At: at(), Node: -1,
-				Pool: "standby", Replace: true,
+				Pool: crashPool, Replace: true,
 			})
+		}
+	}
+	correlatedCrashes := func() {
+		target := pools
+		if len(target) == 0 {
+			target = []string{"primary", "standby"}
+		}
+		for w, waves := 0, 1+r.Intn(2); w < waves; w++ {
+			t := at()
+			// Each wave takes out roughly a quarter of the pools (at
+			// least two when available) at the same instant, modelling a
+			// region-wide demand surge spiking sibling markets together.
+			k := 1 + len(target)/4
+			if k < 2 && len(target) >= 2 {
+				k = 2
+			}
+			if k > len(target) {
+				k = len(target)
+			}
+			perm := r.Perm(len(target))
+			for i := 0; i < k; i++ {
+				s.Events = append(s.Events, Event{
+					Kind: KindMarketCrash, At: t, Node: -1,
+					Pool: target[perm[i]], Replace: true,
+				})
+			}
 		}
 	}
 	stragglers := func() {
@@ -173,6 +223,8 @@ func NewSchedule(seed int64, profile string, horizon float64, nodes int) (Schedu
 	switch profile {
 	case ProfileRevocationBurst:
 		revocations()
+	case ProfileCorrelatedCrash:
+		correlatedCrashes()
 	case ProfileStraggler:
 		stragglers()
 	case ProfileCkptFailure:
@@ -198,6 +250,15 @@ func NewSchedule(seed int64, profile string, horizon float64, nodes int) (Schedu
 // MustSchedule is NewSchedule that panics on error (test convenience).
 func MustSchedule(seed int64, profile string, horizon float64, nodes int) Schedule {
 	s, err := NewSchedule(seed, profile, horizon, nodes)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MustScheduleForPools is NewScheduleForPools that panics on error.
+func MustScheduleForPools(seed int64, profile string, horizon float64, nodes int, pools []string) Schedule {
+	s, err := NewScheduleForPools(seed, profile, horizon, nodes, pools)
 	if err != nil {
 		panic(err)
 	}

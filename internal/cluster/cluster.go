@@ -66,6 +66,16 @@ type Selector interface {
 	Replace(now float64, revokedPool string, exclude []string, n int) []Request
 }
 
+// PriceObserver is an optional Selector extension: selectors that
+// rebalance on market observations (the portfolio policy) implement it,
+// and a manager configured with ObserveEvery > 0 delivers a periodic
+// virtual-time tick so the selector can watch prices between
+// revocations, not just when one forces a Replace call.
+type PriceObserver interface {
+	// ObservePrices is called with the current virtual time.
+	ObservePrices(now float64)
+}
+
 // Events are the notifications the execution engine subscribes to. Any
 // handler may be nil.
 type Events struct {
@@ -105,6 +115,11 @@ type Config struct {
 	// moment the old server disappears.
 	ProactiveReplace bool
 	MaxRetries       int // pools to try per replacement before giving up
+	// ObserveEvery, when positive and the selector implements
+	// PriceObserver, delivers a price-observation tick to the selector
+	// every ObserveEvery virtual seconds until Stop. Zero disables the
+	// ticks (selectors still see prices on every Replace).
+	ObserveEvery float64
 }
 
 // DefaultConfig returns the paper's experimental configuration.
@@ -195,6 +210,17 @@ func (m *Manager) Start() error {
 				return fmt.Errorf("cluster: initial provisioning: %w", err)
 			}
 		}
+	}
+	if po, ok := m.sel.(PriceObserver); ok && m.cfg.ObserveEvery > 0 {
+		var tick func()
+		tick = func() {
+			if m.stopped {
+				return
+			}
+			po.ObservePrices(m.clock.Now())
+			m.clock.Schedule(m.clock.Now()+m.cfg.ObserveEvery, tick)
+		}
+		m.clock.Schedule(now+m.cfg.ObserveEvery, tick)
 	}
 	return nil
 }

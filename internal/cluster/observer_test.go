@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"testing"
+
+	"flint/internal/simclock"
+)
+
+// observingSelector wraps FixedSelector with a PriceObserver that
+// records each tick's virtual time.
+type observingSelector struct {
+	FixedSelector
+	ticks []float64
+}
+
+func (s *observingSelector) ObservePrices(now float64) { s.ticks = append(s.ticks, now) }
+
+func TestObserveEveryTicksSelector(t *testing.T) {
+	clk := simclock.New()
+	e := twoPoolExchange(t, -1)
+	sel := &observingSelector{FixedSelector: FixedSelector{PoolName: "a", Bid: 1}}
+	cfg := smallConfig()
+	cfg.ObserveEvery = simclock.Hour
+	m, err := New(clk, e, cfg, sel, Events{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(3*simclock.Hour + 1)
+	if len(sel.ticks) != 3 {
+		t.Fatalf("got %d observation ticks, want 3 (%v)", len(sel.ticks), sel.ticks)
+	}
+	for i, at := range sel.ticks {
+		if want := float64(i+1) * simclock.Hour; at != want {
+			t.Fatalf("tick %d at %g, want %g", i, at, want)
+		}
+	}
+	// Stop must silence further ticks.
+	m.Stop()
+	clk.Advance(5 * simclock.Hour)
+	if len(sel.ticks) != 3 {
+		t.Fatalf("ticks continued after Stop: %v", sel.ticks)
+	}
+}
+
+func TestObserveEveryIgnoredWithoutObserver(t *testing.T) {
+	clk := simclock.New()
+	e := twoPoolExchange(t, -1)
+	cfg := smallConfig()
+	cfg.ObserveEvery = simclock.Hour
+	m, err := New(clk, e, cfg, &FixedSelector{PoolName: "a", Bid: 1}, Events{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(4 * simclock.Hour) // must not panic or loop
+	m.Stop()
+}

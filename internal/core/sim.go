@@ -42,6 +42,17 @@ type CanonicalJob struct {
 	Nodes      int     // cluster size (default 10)
 }
 
+// MarketCrash is an injected correlated revocation: at absolute
+// simulation time At, every live server held from Pool is revoked
+// (and its lease released, since the price trace itself did not spike).
+// Converted from chaos KindMarketCrash events, it lets the canonical-job
+// simulator replay correlated multi-market failures against any
+// selection policy.
+type MarketCrash struct {
+	At   float64
+	Pool string
+}
+
 // SimOpts tunes the simulator.
 type SimOpts struct {
 	Recovery     RecoveryModel
@@ -50,6 +61,7 @@ type SimOpts struct {
 	Seed         int64                                  // drives the uniform lost-work draws
 	MTTFOverride float64                                // fixed MTTF for τ; otherwise from the selector/market stats
 	Params       interface{ MTTF(now float64) float64 } // optional MTTFer (selector)
+	Crashes      []MarketCrash                          // injected correlated market crashes, absolute times
 }
 
 // SimResult is one simulated job execution.
@@ -129,6 +141,10 @@ func SimulateCanonical(exch *market.Exchange, sel cluster.Selector, job Canonica
 		return SimResult{}, err
 	}
 
+	crashes := append([]MarketCrash(nil), opts.Crashes...)
+	sort.SliceStable(crashes, func(i, j int) bool { return crashes[i].At < crashes[j].At })
+	crashIdx := 0
+
 	res := SimResult{}
 	now := t0
 	remaining := job.T
@@ -170,7 +186,16 @@ func SimulateCanonical(exch *market.Exchange, sel cluster.Selector, job Canonica
 			tDone = math.Inf(1)
 		}
 
-		next := math.Min(tDone, math.Min(nextUp, nextRevoke))
+		// Skip crashes scheduled before the job started.
+		for crashIdx < len(crashes) && crashes[crashIdx].At <= now {
+			crashIdx++
+		}
+		nextCrash := math.Inf(1)
+		if crashIdx < len(crashes) {
+			nextCrash = crashes[crashIdx].At
+		}
+
+		next := math.Min(math.Min(tDone, nextCrash), math.Min(nextUp, nextRevoke))
 		if math.IsInf(next, 1) {
 			return SimResult{}, errors.New("core: simulation stalled with no live servers and no events")
 		}
@@ -179,19 +204,36 @@ func SimulateCanonical(exch *market.Exchange, sel cluster.Selector, job Canonica
 		if remaining <= 1e-9 {
 			break
 		}
-		if next == nextUp {
+		if next == nextUp && next != nextCrash {
 			continue // a replacement came online; recompute rates
 		}
-		// Revocation event: every live server whose lease revokes now.
+		// Injected market crashes landing at this instant.
+		crashPools := map[string]bool{}
+		for crashIdx < len(crashes) && crashes[crashIdx].At <= now {
+			crashPools[crashes[crashIdx].Pool] = true
+			crashIdx++
+		}
+		// Revocation event: every live server whose lease revokes now,
+		// plus every live server in a crashed market. Crashed servers'
+		// leases are released explicitly — their price traces did not
+		// spike, so billing would otherwise run to job end.
 		var revoked []*simServer
 		for _, s := range servers {
 			if s.gone || s.upAt > now {
 				continue
 			}
+			leaseRevoked := false
 			if at, ok := s.lease.RevocationTime(); ok && at <= now {
-				s.gone = true
-				revoked = append(revoked, s)
+				leaseRevoked = true
 			}
+			if !leaseRevoked && !crashPools[s.pool] {
+				continue
+			}
+			s.gone = true
+			if !leaseRevoked {
+				exch.Release(s.lease, now)
+			}
+			revoked = append(revoked, s)
 		}
 		if len(revoked) == 0 {
 			continue

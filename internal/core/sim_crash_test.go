@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"flint/internal/policy"
+)
+
+func crashJob() CanonicalJob {
+	return CanonicalJob{T: 4 * 3600, DeltaBytes: 4 << 30, Nodes: 10}
+}
+
+// TestSimulateCanonicalMarketCrash injects a whole-market crash into the
+// canonical-job simulator and checks the cluster loses the crashed pool,
+// pays the recomputation penalty, and stops paying for crashed leases.
+func TestSimulateCanonicalMarketCrash(t *testing.T) {
+	// Find the pool the batch policy will pick, on a throwaway exchange.
+	probeExch := newExchange(t)
+	probe := policy.NewBatch(probeExch, policy.DefaultParams())
+	reqs := probe.Initial(0, 1)
+	if len(reqs) != 1 {
+		t.Fatalf("probe Initial = %v", reqs)
+	}
+	crashPool := reqs[0].Pool
+
+	baseExch := newExchange(t)
+	base, err := SimulateCanonical(baseExch, policy.NewBatch(baseExch, policy.DefaultParams()), crashJob(), 0,
+		SimOpts{Recovery: RecoverFlint, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same run with the initial market crashing one hour in.
+	exch := newExchange(t)
+	res, err := SimulateCanonical(exch, policy.NewBatch(exch, policy.DefaultParams()), crashJob(), 0,
+		SimOpts{Recovery: RecoverFlint, Seed: 1, Crashes: []MarketCrash{{At: 3600, Pool: crashPool}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Revocations < base.Revocations+1 {
+		t.Fatalf("crash run saw %d revocation events, baseline %d", res.Revocations, base.Revocations)
+	}
+	if res.Runtime <= base.Runtime {
+		t.Fatalf("crash run runtime %.0f not above baseline %.0f", res.Runtime, base.Runtime)
+	}
+	if res.Markets < 2 {
+		t.Fatalf("crash run used %d markets; replacement should add one", res.Markets)
+	}
+	// Crashed leases must stop billing at the crash instant.
+	for _, l := range exch.Leases() {
+		if l.Pool.Name == crashPool && l.Start < 3600 {
+			if end := l.HeldUntil(res.Runtime); end > 3600+1 {
+				t.Fatalf("crashed lease in %s billed until %.0f, want ≤ crash time", crashPool, end)
+			}
+		}
+	}
+}
+
+// TestSimulateCanonicalCrashUnusedPool checks a crash in a pool the
+// cluster never bought from leaves the run byte-identical to baseline.
+func TestSimulateCanonicalCrashUnusedPool(t *testing.T) {
+	e1 := newExchange(t)
+	base, err := SimulateCanonical(e1, policy.NewBatch(e1, policy.DefaultParams()), crashJob(), 0,
+		SimOpts{Recovery: RecoverFlint, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := newExchange(t)
+	res, err := SimulateCanonical(e2, policy.NewBatch(e2, policy.DefaultParams()), crashJob(), 0,
+		SimOpts{Recovery: RecoverFlint, Seed: 1, Crashes: []MarketCrash{{At: 3600, Pool: "no-such-pool"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime != base.Runtime || res.Cost != base.Cost || res.Revocations != base.Revocations {
+		t.Fatalf("crash in unused pool changed the run: %+v vs %+v", res, base)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"flint/internal/chaos"
 )
 
 // TestChaosbenchMatrix is the subsystem's acceptance gate: ≥25 seeds per
@@ -25,7 +27,7 @@ func TestChaosbenchMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := len(res.Runs), 4*n; got != want {
+	if got, want := len(res.Runs), len(chaos.Profiles())*n; got != want {
 		t.Fatalf("matrix ran %d cells, want %d", got, want)
 	}
 	for _, run := range res.Runs {
@@ -46,6 +48,9 @@ func TestChaosbenchMatrix(t *testing.T) {
 	}
 	if agg["revocation-burst/revoked"] == 0 {
 		t.Error("revocation-burst profile never revoked a server")
+	}
+	if agg["correlated-crash/revoked"] == 0 {
+		t.Error("correlated-crash profile never crashed a market")
 	}
 	if agg["ckpt-failure/ckpt"] == 0 {
 		t.Error("ckpt-failure profile never failed a checkpoint write")

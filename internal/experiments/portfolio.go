@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"flint/internal/chaos"
+	"flint/internal/core"
+	"flint/internal/market"
+	"flint/internal/policy"
+	"flint/internal/simclock"
+	"flint/internal/stats"
+	"flint/internal/trace"
+)
+
+// The portfolio sweep compares multi-market allocation policies at fleet
+// scale: a generated universe of hundreds of spot markets with tunable
+// revocation correlation (see trace.UniverseSpec), a correlated-crash
+// chaos profile that spikes sibling markets simultaneously, and the
+// canonical simulation job replayed under each policy. The portfolio
+// selector's λ frontier (risk aversion 0.5 → 32) traces the
+// cost/availability trade-off the single-market and variance-min
+// policies each pin to one end of; see docs/POLICY.md.
+
+// PortfolioRow is one policy's averaged outcome across the sweep runs.
+type PortfolioRow struct {
+	System       string  // policy under test
+	UnitCost     float64 // mean cost normalized to on-demand
+	Overhead     float64 // mean runtime increase over failure-free T
+	Availability float64 // mean T/runtime — effective work fraction
+	Revocations  float64 // mean revocation events per run
+	Markets      float64 // mean distinct markets used per run
+	Runs         int     // completed runs behind the means
+}
+
+// PortfolioSweepResult holds the sweep for printing and CSV export.
+type PortfolioSweepResult struct {
+	MarketCount int
+	Rows        []PortfolioRow
+}
+
+// portfolioSystems are the policies the sweep compares: the paper's
+// single-market batch policy and variance-min interactive policy, the
+// on-demand baseline, and the portfolio selector across its risk
+// frontier plus the interactive-hedged variant.
+var portfolioSystems = []string{
+	"single-market", "variance-min", "on-demand",
+	"portfolio-l0.5", "portfolio-l4", "portfolio-l32", "portfolio-hedged",
+}
+
+// PortfolioSweep runs the fleet-scale policy comparison over a generated
+// universe of `markets` spot markets (≥100 by default; the flintbench
+// -portfolio-markets flag) with correlated multi-market crashes injected
+// by the chaos "correlated-crash" profile. Each policy replays the
+// canonical job at `runs` staggered start offsets.
+func PortfolioSweep(w io.Writer, markets, runs int) (PortfolioSweepResult, error) {
+	if markets <= 0 {
+		markets = 120
+	}
+	if runs <= 0 {
+		runs = 8
+	}
+	res := PortfolioSweepResult{MarketCount: markets}
+	hdr(w, "portfolio", fmt.Sprintf("policy sweep over %d correlated markets, %d runs each", markets, runs))
+
+	u, err := trace.GenerateUniverse(trace.UniverseSpec{
+		Markets: markets, Blocks: markets / 8, BlockRho: 0.5, GlobalRho: 0.1, Seed: 1,
+	})
+	if err != nil {
+		return res, err
+	}
+	job := canonical()
+	job.T = 8 * simclock.Hour // long enough for crashes and revocations to land mid-run
+	odPrice := 0.0
+	for _, p := range u.Profiles {
+		if p.OnDemand > odPrice {
+			odPrice = p.OnDemand
+		}
+	}
+	onDemandCost := float64(job.Nodes) * odPrice * job.T / simclock.Hour
+	horizonH := float64(runs-1)*6 + 48 // staggered starts plus job slack
+
+	fmt.Fprintf(w, "%-18s %9s %9s %13s %12s %8s\n",
+		"system", "unit-cost", "overhead", "availability", "revocations", "markets")
+	for _, system := range portfolioSystems {
+		var cost, ovh, avail, revs, mkts []float64
+		for i := 0; i < runs; i++ {
+			t0 := float64(i) * 6 * simclock.Hour
+			exch, err := market.UniverseExchange(u, 24*7, horizonH, market.BillPerSecond, 500+int64(i))
+			if err != nil {
+				return res, err
+			}
+			// One correlated-crash wave plan per offset, aimed at the
+			// universe's pools; the same crashes hit every policy.
+			sched := chaos.MustScheduleForPools(9000+int64(i), chaos.ProfileCorrelatedCrash, job.T, job.Nodes, u.PoolNames())
+			var crashes []core.MarketCrash
+			for _, e := range sched.Events {
+				if e.Kind == chaos.KindMarketCrash {
+					crashes = append(crashes, core.MarketCrash{At: t0 + e.At, Pool: e.Pool})
+				}
+			}
+			r, err := portfolioRun(system, u, exch, job, t0, int64(i), crashes)
+			if err != nil {
+				continue // start landed inside a spike; skip this offset
+			}
+			cost = append(cost, r.Cost/onDemandCost)
+			ovh = append(ovh, r.Overhead)
+			avail = append(avail, job.T/r.Runtime)
+			revs = append(revs, float64(r.Revocations))
+			mkts = append(mkts, float64(r.Markets))
+		}
+		if len(cost) == 0 {
+			return res, fmt.Errorf("experiments: no %s runs completed", system)
+		}
+		row := PortfolioRow{
+			System:   system,
+			UnitCost: stats.Mean(cost), Overhead: stats.Mean(ovh),
+			Availability: stats.Mean(avail), Revocations: stats.Mean(revs),
+			Markets: stats.Mean(mkts), Runs: len(cost),
+		}
+		res.Rows = append(res.Rows, row)
+		fmt.Fprintf(w, "%-18s %9.3f %9s %12.1f%% %12.1f %8.1f\n",
+			row.System, row.UnitCost, pct(row.Overhead), 100*row.Availability, row.Revocations, row.Markets)
+	}
+	return res, nil
+}
+
+// portfolioRun executes the canonical job under one policy against the
+// shared universe exchange and injected crash plan.
+func portfolioRun(system string, u *trace.Universe, exch *market.Exchange, job core.CanonicalJob, t0 float64, seed int64, crashes []core.MarketCrash) (core.SimResult, error) {
+	params := policy.DefaultParams()
+	opts := core.SimOpts{Seed: seed, Recovery: core.RecoverFlint, Crashes: crashes}
+	portfolio := func(lambda float64, tenant policy.TenantClass) (core.SimResult, error) {
+		cfg := policy.DefaultPortfolioConfig()
+		cfg.RiskAversion = lambda
+		cfg.Risk = policy.UniverseRisk{U: u}
+		s := policy.NewPortfolio(exch, params, cfg, tenant)
+		opts.Params = s
+		return core.SimulateCanonical(exch, s, job, t0, opts)
+	}
+	switch system {
+	case "single-market":
+		s := policy.NewBatch(exch, params)
+		opts.Params = s
+		return core.SimulateCanonical(exch, s, job, t0, opts)
+	case "variance-min":
+		s := policy.NewInteractive(exch, params)
+		opts.Params = s
+		return core.SimulateCanonical(exch, s, job, t0, opts)
+	case "on-demand":
+		opts.MTTFOverride = math.Inf(1)
+		return core.SimulateCanonical(exch, policy.NewOnDemand(), job, t0, opts)
+	case "portfolio-l0.5":
+		return portfolio(0.5, policy.TenantBatch)
+	case "portfolio-l4":
+		return portfolio(4, policy.TenantBatch)
+	case "portfolio-l32":
+		return portfolio(32, policy.TenantBatch)
+	case "portfolio-hedged":
+		return portfolio(4, policy.TenantInteractive)
+	}
+	return core.SimResult{}, fmt.Errorf("experiments: unknown system %q", system)
+}
+
+// WriteCSV exports portfolio.csv: one row per policy.
+func (r PortfolioSweepResult) WriteCSV(dir string) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.System, ftoa(row.UnitCost), ftoa(row.Overhead),
+			ftoa(row.Availability), ftoa(row.Revocations), ftoa(row.Markets),
+			fmt.Sprint(row.Runs),
+		})
+	}
+	return writeCSV(dir, "portfolio.csv",
+		[]string{"system", "unit_cost", "overhead", "availability", "revocations", "markets", "runs"}, rows)
+}

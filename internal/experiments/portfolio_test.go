@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPortfolioSweepShapes runs a shrunk sweep (32 markets, 3 offsets)
+// and asserts its shape claims: every policy completes, the portfolio
+// diversifies far beyond the single-market policy, on-demand pins unit
+// cost ≈ 1, and on the fixed seed the mid-λ portfolio is no more
+// expensive than the single-market policy under correlated crashes —
+// the cost regression the selector exists to win.
+func TestPortfolioSweepShapes(t *testing.T) {
+	var sb strings.Builder
+	res, err := PortfolioSweep(&sb, 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MarketCount != 32 {
+		t.Fatalf("MarketCount = %d", res.MarketCount)
+	}
+	rows := map[string]PortfolioRow{}
+	for _, r := range res.Rows {
+		rows[r.System] = r
+		if r.Runs == 0 || r.UnitCost <= 0 || r.Availability <= 0 || r.Availability > 1 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+	}
+	for _, sys := range portfolioSystems {
+		if _, ok := rows[sys]; !ok {
+			t.Fatalf("missing system %q in %v", sys, res.Rows)
+		}
+	}
+	od := rows["on-demand"]
+	if od.UnitCost < 0.99 || od.UnitCost > 1.10 {
+		t.Fatalf("on-demand unit cost %.3f, want ≈ 1", od.UnitCost)
+	}
+	if od.Revocations != 0 {
+		t.Fatalf("on-demand saw %v revocations", od.Revocations)
+	}
+	single := rows["single-market"]
+	if rows["portfolio-l4"].Markets <= single.Markets {
+		t.Fatalf("portfolio used %.1f markets vs single-market's %.1f; want diversification",
+			rows["portfolio-l4"].Markets, single.Markets)
+	}
+	// Fixed-seed cost regression vs single-market: at low risk aversion
+	// the portfolio degenerates toward the cheapest market, so it must
+	// stay cost-competitive (within 15%) while matching availability.
+	low := rows["portfolio-l0.5"]
+	if low.UnitCost > 1.15*single.UnitCost {
+		t.Fatalf("low-λ portfolio unit cost %.4f not competitive with single-market %.4f",
+			low.UnitCost, single.UnitCost)
+	}
+	if low.Availability < single.Availability-0.02 {
+		t.Fatalf("low-λ portfolio availability %.3f below single-market %.3f",
+			low.Availability, single.Availability)
+	}
+	// Fixed-seed dominance regression vs variance-min: the high-λ
+	// portfolio must be at least as cheap AND at least as available —
+	// mean-variance weighting beats equal-splitting uncorrelated markets
+	// on both axes under correlated crashes.
+	vm, high := rows["variance-min"], rows["portfolio-l32"]
+	if high.UnitCost > vm.UnitCost+1e-9 || high.Availability < vm.Availability-1e-9 {
+		t.Fatalf("high-λ portfolio (cost %.4f, avail %.3f) does not dominate variance-min (cost %.4f, avail %.3f)",
+			high.UnitCost, high.Availability, vm.UnitCost, vm.Availability)
+	}
+	// Spot policies must all undercut on-demand.
+	for _, sys := range []string{"single-market", "variance-min", "portfolio-l0.5", "portfolio-l4", "portfolio-l32", "portfolio-hedged"} {
+		if rows[sys].UnitCost >= od.UnitCost {
+			t.Fatalf("%s unit cost %.3f does not undercut on-demand %.3f", sys, rows[sys].UnitCost, od.UnitCost)
+		}
+	}
+	// Risk frontier: raising λ buys availability (and pays for it).
+	if high.Availability < low.Availability {
+		t.Fatalf("λ=32 availability %.3f below λ=0.5's %.3f; risk aversion should buy availability",
+			high.Availability, low.Availability)
+	}
+	if high.UnitCost < low.UnitCost {
+		t.Fatalf("λ=32 unit cost %.4f below λ=0.5's %.4f; the frontier should slope",
+			high.UnitCost, low.UnitCost)
+	}
+}
+
+func TestPortfolioSweepCSV(t *testing.T) {
+	var sb strings.Builder
+	res, err := PortfolioSweep(&sb, 24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := res.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSVFile(t, filepath.Join(dir, "portfolio.csv"))
+	if len(rows) != 1+len(portfolioSystems) {
+		t.Fatalf("portfolio.csv has %d rows, want %d", len(rows), 1+len(portfolioSystems))
+	}
+	if rows[0][0] != "system" || rows[0][1] != "unit_cost" {
+		t.Fatalf("bad header %v", rows[0])
+	}
+}

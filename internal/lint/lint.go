@@ -8,6 +8,9 @@
 //   - globalrand: the process-global math/rand functions are forbidden
 //     in non-test code; randomness must come from seeded *rand.Rand
 //     instances threaded from a config.
+//   - litseed: rand.NewSource/NewPCG with a bare integer-literal seed
+//     hides a replay key inside the code; seeds must be threaded from a
+//     config field or parameter.
 //   - maporder: ranging over a map while appending to a slice, emitting
 //     events, or writing output leaks Go's randomized map iteration
 //     order into observable state unless a sort follows.
@@ -68,6 +71,7 @@ func Checks() []Check {
 	return []Check{
 		wallclockCheck,
 		globalrandCheck,
+		litseedCheck,
 		maporderCheck,
 		goroutineCheck,
 		lockdisciplineCheck,

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// litseed: a *rand.Rand built from an integer-literal seed hides a
+// replay key inside the code. Every simulation seed must arrive through
+// a config field or function parameter so that a run can be replayed
+// (and varied) from the outside; rand.NewSource(cfg.Seed+offset) is
+// fine, rand.NewSource(5) is not. Literal-derived expressions
+// (seed+7919, 100+int64(i)) are allowed — only a bare literal argument
+// is flagged. Test files are exempt by construction (never loaded).
+var litseedCheck = Check{
+	Name: "litseed",
+	Doc:  "rand.NewSource/NewPCG called with a bare integer-literal seed in non-test code",
+	Run:  runLitseed,
+}
+
+// litseedCtors are the seed-taking constructors the check inspects.
+var litseedCtors = map[string]bool{
+	"NewSource": true, // math/rand
+	"NewPCG":    true, // math/rand/v2
+}
+
+func runLitseed(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !litseedCtors[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if p := pass.pkgPath(file, id); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind == token.INT {
+					pass.reportf("litseed", lit.Pos(),
+						"rand.%s(%s) hardcodes a seed; thread it from a config or parameter so runs can be replayed externally",
+						sel.Sel.Name, lit.Value)
+				}
+			}
+			return true
+		})
+	}
+}

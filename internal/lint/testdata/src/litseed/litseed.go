@@ -1,0 +1,18 @@
+// Package litseed exercises the litseed check: seed-taking rand
+// constructors called with a bare integer literal hardcode a replay
+// key; seeds must be threaded from a config or parameter.
+package litseed
+
+import "math/rand"
+
+func bad() {
+	_ = rand.New(rand.NewSource(5)) // want litseed "rand.NewSource(5) hardcodes a seed"
+	_ = rand.NewSource(42)          // want litseed "rand.NewSource(42) hardcodes a seed"
+}
+
+func good(seed int64, i int) {
+	_ = rand.New(rand.NewSource(seed)) // threaded seed is fine
+	_ = rand.NewSource(seed + 7919)    // derived expressions are fine
+	_ = rand.NewSource(100 + int64(i)) // offsets of a variable are fine
+	_ = rand.New(rand.NewSource(5))    //lint:allow litseed fixture suppression
+}

@@ -244,6 +244,7 @@ type ErrBidTooLow struct {
 	Bid   float64
 }
 
+// Error implements the error interface, naming the pool and both prices.
 func (err *ErrBidTooLow) Error() string {
 	return fmt.Sprintf("market: bid %.4f below current price %.4f in pool %s", err.Bid, err.Price, err.Pool)
 }
@@ -361,6 +362,36 @@ func PreemptibleExchange(models []trace.Preemptible, billing Billing, seed int64
 		})
 		if m.OnDemand > maxOD {
 			maxOD = m.OnDemand
+		}
+	}
+	pools = append(pools, &Pool{Name: "on-demand", Kind: KindOnDemand, OnDemand: maxOD})
+	return NewExchange(pools, billing, seed)
+}
+
+// UniverseExchange builds a marketplace over a generated multi-market
+// universe (trace.Universe): one spot pool per universe market with
+// historyHours of pre-roll before simulation time 0 plus horizonHours of
+// future, and an on-demand pool at the maximum per-market on-demand
+// price. Traces are rendered at one-minute resolution and retain the
+// universe's cross-market revocation correlation, which is what the
+// portfolio selector (internal/policy) prices. The seed drives
+// preemptible lifetimes only (there are none here), mirroring
+// NewExchange; trace content is fully determined by the universe spec.
+func UniverseExchange(u *trace.Universe, historyHours, horizonHours float64, billing Billing, seed int64) (*Exchange, error) {
+	const step = 60 // one-minute resolution, like EC2's published feeds
+	traces := u.Traces(historyHours+horizonHours, step)
+	pools := make([]*Pool, 0, len(u.Profiles)+1)
+	maxOD := 0.0
+	for i, p := range u.Profiles {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		pools = append(pools, &Pool{
+			Name: p.Name, Kind: KindSpot, OnDemand: p.OnDemand,
+			Trace: traces[i], Offset: historyHours * simclock.Hour,
+		})
+		if p.OnDemand > maxOD {
+			maxOD = p.OnDemand
 		}
 	}
 	pools = append(pools, &Pool{Name: "on-demand", Kind: KindOnDemand, OnDemand: maxOD})

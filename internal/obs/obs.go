@@ -85,9 +85,23 @@ type Obs struct {
 	RetryAttempts  *Counter
 	RetryExhausted *Counter
 
+	// Portfolio-selector instruments (internal/policy). The counter
+	// tracks weight recomputations that moved the allocation beyond the
+	// drift threshold; the gauges snapshot the last solve.
+	PortfolioRebalances *Counter
+
 	// Gauges.
 	LiveNodes   *Gauge
 	ExecWorkers *Gauge
+
+	// Portfolio gauges: markets held with non-zero target weight, the
+	// mean-variance objective terms of the last solve (expected savings
+	// fraction vs. on-demand and revocation-risk wᵀΣw in events²/hour),
+	// and the L1 weight drift observed at the last rebalance check.
+	PortfolioMarketsHeld     *Gauge
+	PortfolioExpectedSavings *Gauge
+	PortfolioRisk            *Gauge
+	PortfolioDrift           *Gauge
 
 	// Histograms.
 	TaskDur        *Histogram
@@ -147,8 +161,15 @@ func New(o Options) *Obs {
 		RetryAttempts:  r.Counter("flint_retry_attempts_total", "Bounded-retry attempts after injected write/fetch failures."),
 		RetryExhausted: r.Counter("flint_retry_exhausted_total", "Retry sequences that hit MaxAttempts and fell back."),
 
+		PortfolioRebalances: r.Counter("flint_portfolio_rebalances_total", "Portfolio weight recomputations that moved the allocation beyond the drift threshold."),
+
 		LiveNodes:   r.Gauge("flint_live_nodes", "Servers currently registered with the engine."),
 		ExecWorkers: r.Gauge("flint_exec_workers", "Resolved worker-pool width of the execution engine."),
+
+		PortfolioMarketsHeld:     r.Gauge("flint_portfolio_markets_held", "Markets with non-zero target weight after the last portfolio solve."),
+		PortfolioExpectedSavings: r.Gauge("flint_portfolio_expected_savings", "Expected savings fraction vs. on-demand of the last portfolio solve."),
+		PortfolioRisk:            r.Gauge("flint_portfolio_risk", "Revocation-risk term w'Σw of the last portfolio solve, events²/hour."),
+		PortfolioDrift:           r.Gauge("flint_portfolio_weight_drift", "L1 target-weight drift observed at the last rebalance check."),
 
 		TaskDur:        r.Histogram("flint_task_duration_seconds", "Compute task slot time, virtual seconds.", DurationBuckets()),
 		CkptDur:        r.Histogram("flint_checkpoint_duration_seconds", "Partition checkpoint write time, virtual seconds.", DurationBuckets()),

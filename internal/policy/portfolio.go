@@ -1,0 +1,591 @@
+package policy
+
+import (
+	"math"
+	"sort"
+
+	"flint/internal/cluster"
+	"flint/internal/market"
+	"flint/internal/obs"
+	"flint/internal/simclock"
+	"flint/internal/stats"
+	"flint/internal/trace"
+)
+
+// This file implements the portfolio market selector: a Markowitz-style
+// mean-variance allocation over hundreds of spot markets. Where the
+// paper's batch policy buys one market (min Eq. 2 cost) and its
+// interactive policy equal-splits a handful of uncorrelated markets, the
+// portfolio selector treats market selection as an optimization over the
+// full universe:
+//
+//	maximize  r·w − (λ/2)·wᵀΣw    over the simplex {w ≥ 0, Σw = 1}
+//
+// where r_i is market i's expected savings fraction versus on-demand
+// (1 − CostRate_i/OnDemandRate, CostRate per Eq. 2), Σ is the covariance
+// of per-market revocation counts per hour, and λ is the risk-aversion
+// knob. Correlated markets inflate wᵀΣw together, so the optimum spreads
+// weight across correlation blocks rather than piling onto the cheapest
+// pool — the successor paper's "Portfolio-driven Resource Management"
+// policy, specialized to revocation risk.
+
+// TenantClass selects the risk profile a portfolio hedges for.
+type TenantClass int
+
+const (
+	// TenantBatch optimizes mostly for cost: revocations only delay a
+	// batch job, so the base RiskAversion applies.
+	TenantBatch TenantClass = iota
+	// TenantInteractive hedges latency: revocations stall interactive
+	// queries, so the effective risk aversion is multiplied by
+	// InteractiveRiskFactor, pushing the allocation toward calmer,
+	// better-diversified markets at slightly higher cost.
+	TenantInteractive
+)
+
+// RiskModel supplies the revocation-count covariance the portfolio
+// objective penalizes. Implementations must return a symmetric PSD
+// len(infos)×len(infos) matrix of covariances of revocation counts over
+// the given window (seconds), aligned with infos.
+type RiskModel interface {
+	Covariance(infos []MarketInfo, now, window float64) [][]float64
+}
+
+// EmpiricalRisk estimates covariance from observable market history, the
+// way a deployed node manager must: pairwise Pearson correlation of
+// recent price series scaled by the estimated per-market revocation
+// rates (1/MTTF). The price-correlation matrix is a Gram matrix, so the
+// result is PSD whenever the series cover the same window.
+type EmpiricalRisk struct{}
+
+var _ RiskModel = EmpiricalRisk{}
+
+// Covariance implements RiskModel from windowed price history and MTTFs.
+func (EmpiricalRisk) Covariance(infos []MarketInfo, now, window float64) [][]float64 {
+	n := len(infos)
+	series := make([][]float64, n)
+	rates := make([]float64, n) // revocations per window
+	for i, mi := range infos {
+		series[i] = mi.Pool.HistoryPrices(now, window)
+		if mi.MTTF > 0 && !math.IsInf(mi.MTTF, 1) {
+			rates[i] = window / mi.MTTF
+		}
+	}
+	corr := stats.CorrelationMatrix(series)
+	cov := make([][]float64, n)
+	for i := range cov {
+		cov[i] = make([]float64, n)
+		cov[i][i] = rates[i]
+		for j := 0; j < i; j++ {
+			c := corr[i][j]
+			if c < 0 {
+				c = 0 // negative price correlation does not hedge revocations
+			}
+			cov[i][j] = c * math.Sqrt(rates[i]*rates[j])
+			cov[j][i] = cov[i][j]
+		}
+	}
+	return cov
+}
+
+// UniverseRisk supplies the model-implied covariance of a generated
+// trace.Universe — the ground-truth correlation structure, for
+// experiments that separate estimation error from policy quality.
+type UniverseRisk struct {
+	U *trace.Universe
+}
+
+var _ RiskModel = UniverseRisk{}
+
+// Covariance implements RiskModel by slicing the universe's model
+// covariance down to the markets in infos. Markets not in the universe
+// (e.g. pools added by hand) get their diagonal rate and zero
+// covariance with everything else.
+func (r UniverseRisk) Covariance(infos []MarketInfo, now, window float64) [][]float64 {
+	idx := make(map[string]int, r.U.Markets())
+	for i, name := range r.U.PoolNames() {
+		idx[name] = i
+	}
+	full := r.U.Covariance(window)
+	n := len(infos)
+	cov := make([][]float64, n)
+	for i := range cov {
+		cov[i] = make([]float64, n)
+	}
+	for i, a := range infos {
+		ia, aok := idx[a.Pool.Name]
+		if !aok {
+			if a.MTTF > 0 && !math.IsInf(a.MTTF, 1) {
+				cov[i][i] = window / a.MTTF
+			}
+			continue
+		}
+		for j, b := range infos {
+			if ib, bok := idx[b.Pool.Name]; bok {
+				cov[i][j] = full[ia][ib]
+			}
+		}
+	}
+	return cov
+}
+
+// PortfolioConfig tunes the portfolio selector. Zero values select the
+// documented defaults.
+type PortfolioConfig struct {
+	// RiskAversion is λ in the mean-variance objective (default 4). At 0
+	// the selector degenerates to chasing the single cheapest market; as
+	// λ grows, allocations spread across correlation blocks and tilt
+	// toward calm markets.
+	RiskAversion float64
+	// InteractiveRiskFactor multiplies λ for TenantInteractive portfolios
+	// (default 8): the tenant-hedging knob.
+	InteractiveRiskFactor float64
+	// MaxMarkets caps how many markets receive non-zero weight
+	// (default 32); the largest weights are kept and renormalized.
+	MaxMarkets int
+	// MinWeight drops dust allocations below this weight after the solve
+	// (default 0.01).
+	MinWeight float64
+	// Candidates caps how many cost-sorted markets enter the solve
+	// (default 4×MaxMarkets); the optimizer rarely funds expensive tails.
+	Candidates int
+	// RebalanceEvery throttles weight recomputation on price
+	// observations and replacements (default one hour of virtual time).
+	RebalanceEvery float64
+	// DriftThreshold is the L1 weight distance beyond which a recompute
+	// counts as a rebalance in the flint_portfolio_rebalances_total
+	// metric (default 0.10).
+	DriftThreshold float64
+	// Iterations bounds the projected-gradient solve (default 300).
+	Iterations int
+	// Risk supplies the revocation covariance (default EmpiricalRisk).
+	Risk RiskModel
+}
+
+// DefaultPortfolioConfig returns the documented defaults.
+func DefaultPortfolioConfig() PortfolioConfig {
+	return PortfolioConfig{
+		RiskAversion:          4,
+		InteractiveRiskFactor: 8,
+		MaxMarkets:            32,
+		MinWeight:             0.01,
+		RebalanceEvery:        simclock.Hour,
+		DriftThreshold:        0.10,
+		Iterations:            300,
+		Risk:                  EmpiricalRisk{},
+	}
+}
+
+func (c PortfolioConfig) withDefaults() PortfolioConfig {
+	d := DefaultPortfolioConfig()
+	if c.RiskAversion <= 0 {
+		c.RiskAversion = d.RiskAversion
+	}
+	if c.InteractiveRiskFactor <= 0 {
+		c.InteractiveRiskFactor = d.InteractiveRiskFactor
+	}
+	if c.MaxMarkets <= 0 {
+		c.MaxMarkets = d.MaxMarkets
+	}
+	if c.MinWeight <= 0 {
+		c.MinWeight = d.MinWeight
+	}
+	if c.Candidates <= 0 {
+		c.Candidates = 4 * c.MaxMarkets
+	}
+	if c.RebalanceEvery <= 0 {
+		c.RebalanceEvery = d.RebalanceEvery
+	}
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = d.DriftThreshold
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = d.Iterations
+	}
+	if c.Risk == nil {
+		c.Risk = d.Risk
+	}
+	return c
+}
+
+// Portfolio is the mean-variance multi-market selector. It implements
+// cluster.Selector for acquisition/replacement and cluster.PriceObserver
+// for periodic rebalancing.
+type Portfolio struct {
+	Exch   *market.Exchange
+	Params Params
+	Cfg    PortfolioConfig
+	Tenant TenantClass
+
+	comp      *composition
+	targets   map[string]float64 // pool → target weight from the last solve
+	bids      map[string]float64 // pool → bid from the last solve
+	lastSolve float64
+	solved    bool
+	savings   float64 // r·w of the last solve
+	risk      float64 // wᵀΣw of the last solve, events²/hour
+	o         *obs.Obs
+}
+
+var (
+	_ cluster.Selector      = (*Portfolio)(nil)
+	_ cluster.PriceObserver = (*Portfolio)(nil)
+)
+
+// NewPortfolio builds a portfolio selector over the exchange for the
+// given tenant class.
+func NewPortfolio(exch *market.Exchange, p Params, cfg PortfolioConfig, tenant TenantClass) *Portfolio {
+	return &Portfolio{
+		Exch: exch, Params: p.withDefaults(), Cfg: cfg.withDefaults(),
+		Tenant: tenant, comp: newComposition(),
+		targets: map[string]float64{}, bids: map[string]float64{},
+		o: obs.Active(),
+	}
+}
+
+// SetObs installs the observability bundle solve metrics are reported
+// to. A nil argument installs the shared no-op bundle.
+func (s *Portfolio) SetObs(o *obs.Obs) {
+	if o == nil {
+		o = obs.Nop()
+	}
+	s.o = o
+}
+
+// effLambda is the tenant-hedged risk aversion.
+func (s *Portfolio) effLambda() float64 {
+	if s.Tenant == TenantInteractive {
+		return s.Cfg.RiskAversion * s.Cfg.InteractiveRiskFactor
+	}
+	return s.Cfg.RiskAversion
+}
+
+// SolveNow recomputes the target weights from the current market
+// snapshot, regardless of the rebalance throttle. It returns the L1
+// distance between the old and new weight vectors.
+func (s *Portfolio) SolveNow(now float64) float64 {
+	p := s.Params
+	snap := Snapshot(s.Exch, now, p)
+	onDemandRate := math.Inf(1)
+	var cands []MarketInfo
+	for _, mi := range snap {
+		if mi.Pool.Kind == market.KindOnDemand {
+			if mi.Pool.OnDemand < onDemandRate {
+				onDemandRate = mi.Pool.OnDemand
+			}
+			continue
+		}
+		if !mi.Spiking {
+			cands = append(cands, mi)
+		}
+	}
+	if len(cands) > s.Cfg.Candidates {
+		cands = cands[:s.Cfg.Candidates] // snapshot is cost-sorted
+	}
+	old := s.targets
+	s.targets = map[string]float64{}
+	s.bids = map[string]float64{}
+	s.lastSolve = now
+	s.solved = true
+	if len(cands) == 0 {
+		s.savings, s.risk = 0, 0
+		return l1Drift(old, s.targets)
+	}
+	// Expected savings fraction vs. on-demand; without an on-demand pool
+	// the negated cost rate preserves the ordering.
+	r := make([]float64, len(cands))
+	for i, mi := range cands {
+		if math.IsInf(onDemandRate, 1) {
+			r[i] = -mi.CostRate
+		} else {
+			r[i] = 1 - mi.CostRate/onDemandRate
+		}
+	}
+	// Per-hour revocation covariance.
+	cov := s.Cfg.Risk.Covariance(cands, now, p.Window)
+	hours := p.Window / simclock.Hour
+	for i := range cov {
+		for j := range cov[i] {
+			cov[i][j] /= hours
+		}
+	}
+	w := meanVarianceWeights(r, cov, s.effLambda(), s.Cfg.Iterations)
+	w = sparsify(w, s.Cfg.MinWeight, s.Cfg.MaxMarkets)
+	s.savings, s.risk = 0, 0
+	for i, wi := range w {
+		if wi <= 0 {
+			continue
+		}
+		s.targets[cands[i].Pool.Name] = wi
+		s.bids[cands[i].Pool.Name] = cands[i].Bid
+		s.savings += r[i] * wi
+		for j, wj := range w {
+			s.risk += wi * wj * cov[i][j]
+		}
+	}
+	s.o.PortfolioMarketsHeld.Set(float64(len(s.targets)))
+	s.o.PortfolioExpectedSavings.Set(s.savings)
+	s.o.PortfolioRisk.Set(s.risk)
+	return l1Drift(old, s.targets)
+}
+
+// ObservePrices implements cluster.PriceObserver: re-solve at most every
+// RebalanceEvery virtual seconds and count allocations that moved beyond
+// the drift threshold as rebalances.
+func (s *Portfolio) ObservePrices(now float64) {
+	if s.solved && now-s.lastSolve < s.Cfg.RebalanceEvery {
+		return
+	}
+	drift := s.SolveNow(now)
+	s.o.PortfolioDrift.Set(drift)
+	if drift > s.Cfg.DriftThreshold {
+		s.o.PortfolioRebalances.Inc()
+	}
+}
+
+// Initial apportions the n servers across the solved target weights by
+// largest remainder, so small clusters still track the portfolio.
+func (s *Portfolio) Initial(now float64, n int) []cluster.Request {
+	s.SolveNow(now)
+	alloc := apportion(s.targets, n)
+	var out []cluster.Request
+	for _, a := range alloc {
+		s.comp.add(a.pool, a.count)
+		out = append(out, cluster.Request{Pool: a.pool, Bid: s.bids[a.pool], Count: a.count})
+	}
+	return out
+}
+
+// Replace provisions n servers from the target market with the largest
+// allocation deficit (target weight × cluster size − held), excluding the
+// revoked pool and any pools that already failed this round. Falling
+// back through smaller deficits keeps the cluster tracking the portfolio
+// even when several markets crash at once.
+func (s *Portfolio) Replace(now float64, revokedPool string, exclude []string, n int) []cluster.Request {
+	s.comp.remove(revokedPool, n)
+	if !s.solved || now-s.lastSolve >= s.Cfg.RebalanceEvery {
+		drift := s.SolveNow(now)
+		s.o.PortfolioDrift.Set(drift)
+		if drift > s.Cfg.DriftThreshold {
+			s.o.PortfolioRebalances.Inc()
+		}
+	}
+	total := n
+	for _, c := range s.comp.counts {
+		total += c
+	}
+	type cand struct {
+		pool    string
+		deficit float64
+	}
+	var cands []cand
+	for pool, w := range s.targets {
+		if contains(exclude, pool) {
+			continue
+		}
+		p := s.Exch.Pool(pool)
+		if p == nil || s.bids[pool] < p.PriceAt(now) {
+			continue // currently unacquirable at our bid
+		}
+		cands = append(cands, cand{pool, w*float64(total) - float64(s.comp.counts[pool])})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].deficit != cands[j].deficit {
+			return cands[i].deficit > cands[j].deficit
+		}
+		return cands[i].pool < cands[j].pool
+	})
+	if len(cands) == 0 {
+		return nil // the manager falls back to on-demand
+	}
+	best := cands[0]
+	s.comp.add(best.pool, n)
+	return []cluster.Request{{Pool: best.pool, Bid: s.bids[best.pool], Count: n}}
+}
+
+// MTTF reports the cluster's aggregate MTTF per Eq. 3 for the
+// checkpointing policy.
+func (s *Portfolio) MTTF(now float64) float64 {
+	return clusterMTTF(s.Exch, s.comp, now, s.Params)
+}
+
+// Composition returns the current pool→server-count map (copy).
+func (s *Portfolio) Composition() map[string]int {
+	out := make(map[string]int, len(s.comp.counts))
+	for k, v := range s.comp.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// TargetWeights returns the last solve's pool→weight map (copy).
+func (s *Portfolio) TargetWeights() map[string]float64 {
+	out := make(map[string]float64, len(s.targets))
+	for k, v := range s.targets {
+		out[k] = v
+	}
+	return out
+}
+
+// ExpectedSavings returns r·w of the last solve: the expected savings
+// fraction versus on-demand.
+func (s *Portfolio) ExpectedSavings() float64 { return s.savings }
+
+// Risk returns wᵀΣw of the last solve in squared revocations per hour.
+func (s *Portfolio) Risk() float64 { return s.risk }
+
+// meanVarianceWeights maximizes r·w − (λ/2)wᵀΣw over the probability
+// simplex by projected gradient ascent with a Lipschitz step size. The
+// solve is deterministic: fixed start (uniform), fixed iteration count.
+func meanVarianceWeights(r []float64, cov [][]float64, lambda float64, iters int) []float64 {
+	n := len(r)
+	if n == 0 {
+		return nil
+	}
+	// Lipschitz constant of the gradient: λ·‖Σ‖∞ (plus slack).
+	lip := 1.0
+	for i := range cov {
+		row := 0.0
+		for _, v := range cov[i] {
+			row += math.Abs(v)
+		}
+		if lambda*row > lip {
+			lip = lambda * row
+		}
+	}
+	step := 1 / lip
+	w := make([]float64, n)
+	g := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			sw := 0.0
+			for j := 0; j < n; j++ {
+				sw += cov[i][j] * w[j]
+			}
+			g[i] = w[i] + step*(r[i]-lambda*sw)
+		}
+		projectSimplex(g, w)
+	}
+	return w
+}
+
+// projectSimplex writes the Euclidean projection of v onto the
+// probability simplex into out (len(out) == len(v)), using the standard
+// sort-and-threshold algorithm.
+func projectSimplex(v []float64, out []float64) {
+	n := len(v)
+	sorted := append([]float64(nil), v...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	cum, theta := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		cum += sorted[i]
+		t := (cum - 1) / float64(i+1)
+		if sorted[i]-t > 0 {
+			theta = t
+		}
+	}
+	for i := range out {
+		out[i] = v[i] - theta
+		if out[i] < 0 {
+			out[i] = 0
+		}
+	}
+}
+
+// sparsify zeroes weights below min, keeps at most maxN largest, and
+// renormalizes to sum 1. Ties break toward earlier (cheaper) indices.
+func sparsify(w []float64, min float64, maxN int) []float64 {
+	type iw struct {
+		i int
+		w float64
+	}
+	var kept []iw
+	for i, wi := range w {
+		if wi >= min {
+			kept = append(kept, iw{i, wi})
+		}
+	}
+	if len(kept) == 0 { // keep the single largest weight
+		best := 0
+		for i, wi := range w {
+			if wi > w[best] {
+				best = i
+			}
+		}
+		kept = []iw{{best, 1}}
+	}
+	sort.SliceStable(kept, func(a, b int) bool { return kept[a].w > kept[b].w })
+	if len(kept) > maxN {
+		kept = kept[:maxN]
+	}
+	sum := 0.0
+	for _, k := range kept {
+		sum += k.w
+	}
+	out := make([]float64, len(w))
+	for _, k := range kept {
+		out[k.i] = k.w / sum
+	}
+	return out
+}
+
+// allocation is one market's integer share of the cluster.
+type allocation struct {
+	pool  string
+	count int
+}
+
+// apportion converts target weights into integer server counts summing
+// to n by the largest-remainder method, deterministically (name-sorted).
+func apportion(targets map[string]float64, n int) []allocation {
+	if len(targets) == 0 || n <= 0 {
+		return nil
+	}
+	pools := make([]string, 0, len(targets))
+	for p := range targets {
+		pools = append(pools, p)
+	}
+	sort.Strings(pools)
+	type share struct {
+		pool string
+		base int
+		frac float64
+	}
+	shares := make([]share, 0, len(pools))
+	used := 0
+	for _, p := range pools {
+		q := targets[p] * float64(n)
+		b := int(math.Floor(q))
+		shares = append(shares, share{p, b, q - float64(b)})
+		used += b
+	}
+	sort.SliceStable(shares, func(i, j int) bool { return shares[i].frac > shares[j].frac })
+	for i := 0; used < n && i < len(shares); i, used = i+1, used+1 {
+		shares[i].base++
+	}
+	var out []allocation
+	for _, sh := range shares {
+		if sh.base > 0 {
+			out = append(out, allocation{sh.pool, sh.base})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pool < out[j].pool })
+	return out
+}
+
+// l1Drift returns the L1 distance between two weight maps.
+func l1Drift(a, b map[string]float64) float64 {
+	d := 0.0
+	for k, v := range a {
+		d += math.Abs(v - b[k])
+	}
+	for k, v := range b {
+		if _, ok := a[k]; !ok {
+			d += math.Abs(v)
+		}
+	}
+	return d
+}

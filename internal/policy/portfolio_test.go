@@ -1,0 +1,204 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"flint/internal/market"
+	"flint/internal/simclock"
+	"flint/internal/stats"
+	"flint/internal/trace"
+)
+
+func testUniverse(t *testing.T, markets int, seed int64) (*trace.Universe, *market.Exchange) {
+	t.Helper()
+	u, err := trace.GenerateUniverse(trace.UniverseSpec{
+		Markets: markets, Blocks: markets / 8, BlockRho: 0.5, GlobalRho: 0.1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("GenerateUniverse: %v", err)
+	}
+	exch, err := market.UniverseExchange(u, 24*7, 24*7, market.BillPerSecond, seed)
+	if err != nil {
+		t.Fatalf("UniverseExchange: %v", err)
+	}
+	return u, exch
+}
+
+func TestProjectSimplex(t *testing.T) {
+	cases := [][]float64{
+		{0.5, 0.5}, {3, -1, 0.2}, {-2, -3}, {0.1, 0.1, 0.1},
+	}
+	for _, v := range cases {
+		out := make([]float64, len(v))
+		projectSimplex(v, out)
+		sum := 0.0
+		for _, w := range out {
+			if w < 0 {
+				t.Fatalf("projectSimplex(%v) = %v has negative weight", v, out)
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("projectSimplex(%v) = %v sums to %g", v, out, sum)
+		}
+	}
+}
+
+func TestMeanVarianceWeightsLimits(t *testing.T) {
+	r := []float64{0.9, 0.5, 0.1}
+	eye := [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	// Tiny risk aversion: all weight on the highest return.
+	w := meanVarianceWeights(r, eye, 1e-9, 300)
+	if w[0] < 0.99 {
+		t.Fatalf("λ→0 should concentrate on max return, got %v", w)
+	}
+	// Huge risk aversion with equal returns: near-uniform spread.
+	w = meanVarianceWeights([]float64{0.5, 0.5, 0.5}, eye, 1e6, 300)
+	for i, wi := range w {
+		if math.Abs(wi-1.0/3) > 0.01 {
+			t.Fatalf("λ→∞ equal returns should spread uniformly, got w[%d]=%g (%v)", i, wi, w)
+		}
+	}
+}
+
+func TestApportion(t *testing.T) {
+	alloc := apportion(map[string]float64{"a": 0.5, "b": 0.3, "c": 0.2}, 10)
+	got := map[string]int{}
+	total := 0
+	for _, a := range alloc {
+		got[a.pool] = a.count
+		total += a.count
+	}
+	if total != 10 || got["a"] != 5 || got["b"] != 3 || got["c"] != 2 {
+		t.Fatalf("apportion = %v", got)
+	}
+	// Remainders must distribute to the largest fractional parts.
+	alloc = apportion(map[string]float64{"a": 0.55, "b": 0.45}, 3)
+	total = 0
+	for _, a := range alloc {
+		total += a.count
+	}
+	if total != 3 {
+		t.Fatalf("apportion total = %d, want 3", total)
+	}
+}
+
+func TestEmpiricalRiskPSD(t *testing.T) {
+	_, exch := testUniverse(t, 32, 3)
+	snap := Snapshot(exch, 0, DefaultParams())
+	var cands []MarketInfo
+	for _, mi := range snap {
+		if mi.Pool.Kind == market.KindSpot {
+			cands = append(cands, mi)
+		}
+	}
+	if len(cands) < 8 {
+		t.Fatalf("too few candidates: %d", len(cands))
+	}
+	cov := EmpiricalRisk{}.Covariance(cands, 0, 7*simclock.Day)
+	if !stats.IsPSD(cov, 1e-6) {
+		t.Fatal("empirical covariance is not PSD")
+	}
+}
+
+func TestPortfolioInitialDiversifies(t *testing.T) {
+	u, exch := testUniverse(t, 64, 7)
+	cfg := DefaultPortfolioConfig()
+	cfg.Risk = UniverseRisk{U: u}
+	sel := NewPortfolio(exch, DefaultParams(), cfg, TenantBatch)
+	reqs := sel.Initial(0, 20)
+	total := 0
+	pools := map[string]bool{}
+	for _, r := range reqs {
+		total += r.Count
+		pools[r.Pool] = true
+		if r.Bid <= 0 {
+			t.Fatalf("request %v has no bid", r)
+		}
+	}
+	if total != 20 {
+		t.Fatalf("Initial provisioned %d servers, want 20", total)
+	}
+	if len(pools) < 2 {
+		t.Fatalf("portfolio allocated a single market %v; want diversification", pools)
+	}
+	// Weights must be a distribution.
+	sum := 0.0
+	for _, w := range sel.TargetWeights() {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("target weights sum to %g", sum)
+	}
+	if mttf := sel.MTTF(0); mttf <= 0 || math.IsInf(mttf, 1) {
+		t.Fatalf("aggregate MTTF = %g", mttf)
+	}
+}
+
+func TestPortfolioTenantHedging(t *testing.T) {
+	u, exch := testUniverse(t, 64, 7)
+	cfg := DefaultPortfolioConfig()
+	cfg.Risk = UniverseRisk{U: u}
+	batch := NewPortfolio(exch, DefaultParams(), cfg, TenantBatch)
+	inter := NewPortfolio(exch, DefaultParams(), cfg, TenantInteractive)
+	batch.SolveNow(0)
+	inter.SolveNow(0)
+	if inter.Risk() > batch.Risk()+1e-12 {
+		t.Fatalf("interactive risk %.6f exceeds batch risk %.6f despite hedging",
+			inter.Risk(), batch.Risk())
+	}
+	if batch.ExpectedSavings() < inter.ExpectedSavings()-1e-12 {
+		t.Fatalf("batch savings %.4f below interactive %.4f; hedging should trade savings for risk",
+			batch.ExpectedSavings(), inter.ExpectedSavings())
+	}
+}
+
+func TestPortfolioReplaceExcludesRevokedPool(t *testing.T) {
+	u, exch := testUniverse(t, 64, 7)
+	cfg := DefaultPortfolioConfig()
+	cfg.Risk = UniverseRisk{U: u}
+	sel := NewPortfolio(exch, DefaultParams(), cfg, TenantBatch)
+	reqs := sel.Initial(0, 20)
+	if len(reqs) < 2 {
+		t.Fatalf("need a diversified cluster, got %v", reqs)
+	}
+	revoked := reqs[0].Pool
+	rep := sel.Replace(3600, revoked, []string{revoked}, 2)
+	if len(rep) != 1 {
+		t.Fatalf("Replace returned %v", rep)
+	}
+	if rep[0].Pool == revoked {
+		t.Fatalf("Replace returned the revoked pool %s", revoked)
+	}
+	if rep[0].Count != 2 {
+		t.Fatalf("Replace count = %d, want 2", rep[0].Count)
+	}
+}
+
+func TestPortfolioRebalanceThrottle(t *testing.T) {
+	u, exch := testUniverse(t, 32, 9)
+	cfg := DefaultPortfolioConfig()
+	cfg.Risk = UniverseRisk{U: u}
+	cfg.RebalanceEvery = simclock.Hour
+	sel := NewPortfolio(exch, DefaultParams(), cfg, TenantBatch)
+	sel.Initial(0, 10)
+	first := sel.TargetWeights()
+	// Within the throttle window nothing recomputes.
+	sel.ObservePrices(60)
+	for k, v := range sel.TargetWeights() {
+		if first[k] != v {
+			t.Fatalf("weights changed within the rebalance window")
+		}
+	}
+	// Past the window a recompute happens (weights may or may not move,
+	// but the call must not panic and must keep a valid distribution).
+	sel.ObservePrices(2 * simclock.Hour)
+	sum := 0.0
+	for _, v := range sel.TargetWeights() {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("post-rebalance weights sum to %g", sum)
+	}
+}

@@ -1,0 +1,54 @@
+package stats
+
+import "math"
+
+// IsPSD reports whether the symmetric matrix m is positive semidefinite
+// to within a relative tolerance: it attempts a Cholesky factorization of
+// m + tol·max(diag)·I and reports whether every pivot stays positive.
+// Rank-deficient matrices (e.g. the covariance of perfectly correlated
+// processes) pass; matrices with an eigenvalue below -tol·max(diag) fail.
+// A non-square or ragged input reports false; tol ≤ 0 uses 1e-12.
+func IsPSD(m [][]float64, tol float64) bool {
+	n := len(m)
+	if n == 0 {
+		return true
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	scale := 0.0
+	for i := range m {
+		if len(m[i]) != n {
+			return false
+		}
+		if d := math.Abs(m[i][i]); d > scale {
+			scale = d
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = append([]float64(nil), m[i]...)
+		a[i][i] += tol * scale
+	}
+	for k := 0; k < n; k++ {
+		d := a[k][k]
+		for j := 0; j < k; j++ {
+			d -= a[k][j] * a[k][j]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return false
+		}
+		a[k][k] = math.Sqrt(d)
+		for i := k + 1; i < n; i++ {
+			s := a[i][k]
+			for j := 0; j < k; j++ {
+				s -= a[i][j] * a[k][j]
+			}
+			a[i][k] = s / a[k][k]
+		}
+	}
+	return true
+}

@@ -1,0 +1,23 @@
+package stats
+
+import "testing"
+
+func TestIsPSD(t *testing.T) {
+	cases := []struct {
+		name string
+		m    [][]float64
+		want bool
+	}{
+		{"identity", [][]float64{{1, 0}, {0, 1}}, true},
+		{"rank-deficient", [][]float64{{1, 1}, {1, 1}}, true},
+		{"indefinite", [][]float64{{1, 2}, {2, 1}}, false},
+		{"negative-diag", [][]float64{{-1, 0}, {0, 1}}, false},
+		{"empty", nil, true},
+		{"ragged", [][]float64{{1, 0}, {0}}, false},
+	}
+	for _, c := range cases {
+		if got := IsPSD(c.m, 1e-9); got != c.want {
+			t.Errorf("%s: IsPSD = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,347 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"flint/internal/simclock"
+)
+
+// This file generates market *universes*: hundreds of synthetic spot
+// markets whose revocation events share a tunable correlation structure.
+// The Flint paper models markets as independent failure sources (Eq. 3),
+// but its successor work ("Portfolio-driven Resource Management for
+// Transient Cloud Servers", PAPERS.md) observes that markets fail
+// together — a price spike in one availability zone often coincides with
+// spikes in sibling pools — and that a market-selection policy must
+// therefore reason about the revocation *covariance*, not just per-market
+// MTTFs. The portfolio selector (internal/policy) consumes exactly the
+// covariance this generator induces.
+//
+// The correlation model is a thinned common-shock construction. Price
+// spikes (the events that revoke an on-demand bidder) arrive from three
+// Poisson sources:
+//
+//   - a universe-wide parent process, adopted by market i with
+//     probability chosen so it carries GlobalRho·λ_i of the market's
+//     total spike rate λ_i;
+//   - a per-block parent process shared by the markets of one
+//     correlation block (an "availability zone"), carrying BlockRho·λ_i;
+//   - an idiosyncratic process carrying the rest, (1−BlockRho−GlobalRho)·λ_i.
+//
+// Because a parent spike adopted by two markets revokes both at the same
+// instant, the pairwise revocation-count covariance is the parent rate
+// times the product of adoption probabilities, and the implied covariance
+// matrix Σ = Σ_p Λ_p·a_p·a_pᵀ + diag(idiosyncratic) is positive
+// semidefinite by construction. For a block of equal-MTTF markets the
+// within-block count correlation equals BlockRho exactly; heterogeneous
+// pairs scale as √(λ_i·λ_j)/λ_max.
+
+// UniverseSpec parameterizes GenerateUniverse. The zero value of every
+// optional field selects a documented default.
+type UniverseSpec struct {
+	// Markets is the number of spot markets to generate (required, ≥ 1).
+	Markets int
+	// Blocks is the number of correlation blocks markets are partitioned
+	// into (think sibling pools of one availability zone). Markets are
+	// assigned contiguously. Default: Markets/8, at least 1.
+	Blocks int
+	// BlockRho is the fraction of each market's revocation rate carried
+	// by its block's shared spike process — equal to the within-block
+	// revocation-count correlation for equal-rate markets. In [0, 1].
+	BlockRho float64
+	// GlobalRho is the fraction carried by the universe-wide shared
+	// process. BlockRho + GlobalRho must not exceed 1.
+	GlobalRho float64
+	// MTTFLowH/MTTFHighH bound the log-uniform per-market MTTF draw in
+	// hours (defaults 18 and 700, the paper's Figure 2a range). Setting
+	// both to the same value makes every market equally volatile.
+	MTTFLowH  float64
+	MTTFHighH float64
+	// Seed drives every draw; the same spec yields the same universe.
+	Seed int64
+}
+
+// withDefaults fills unset optional fields.
+func (s UniverseSpec) withDefaults() UniverseSpec {
+	if s.Blocks <= 0 {
+		s.Blocks = s.Markets / 8
+		if s.Blocks < 1 {
+			s.Blocks = 1
+		}
+	}
+	if s.Blocks > s.Markets {
+		s.Blocks = s.Markets
+	}
+	if s.MTTFLowH <= 0 {
+		s.MTTFLowH = 18
+	}
+	if s.MTTFHighH <= 0 {
+		s.MTTFHighH = 700
+	}
+	return s
+}
+
+// Validate reports whether the spec is usable.
+func (s UniverseSpec) Validate() error {
+	switch {
+	case s.Markets < 1:
+		return fmt.Errorf("trace: universe needs at least one market, got %d", s.Markets)
+	case s.BlockRho < 0 || s.GlobalRho < 0:
+		return fmt.Errorf("trace: universe correlation fractions must be non-negative")
+	case s.BlockRho+s.GlobalRho > 1+1e-12:
+		return fmt.Errorf("trace: BlockRho+GlobalRho = %.3f exceeds 1", s.BlockRho+s.GlobalRho)
+	case s.MTTFLowH > s.MTTFHighH && s.MTTFHighH > 0:
+		return fmt.Errorf("trace: MTTFLowH %.1f > MTTFHighH %.1f", s.MTTFLowH, s.MTTFHighH)
+	}
+	return nil
+}
+
+// Universe is a generated set of correlated spot-market profiles plus the
+// correlation structure needed to render their traces and to compute the
+// model-implied revocation covariance.
+type Universe struct {
+	// Spec is the generating spec with defaults filled in.
+	Spec UniverseSpec
+	// Profiles holds one price-process profile per market.
+	Profiles []Profile
+	// Block maps each market index to its correlation block.
+	Block []int
+
+	rates []float64 // per-market total spike rate, events per hour
+}
+
+// GenerateUniverse draws a universe of correlated market profiles from
+// the spec. Per-market parameters (MTTF, on-demand price, steady price
+// fraction, spike shapes) follow the same dispersion as PoolSet; the
+// correlation structure is documented on UniverseSpec.
+func GenerateUniverse(spec UniverseSpec) (*Universe, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	u := &Universe{
+		Spec:     spec,
+		Profiles: make([]Profile, spec.Markets),
+		Block:    make([]int, spec.Markets),
+		rates:    make([]float64, spec.Markets),
+	}
+	logLo, logHi := math.Log(spec.MTTFLowH), math.Log(spec.MTTFHighH)
+	for i := 0; i < spec.Markets; i++ {
+		b := i * spec.Blocks / spec.Markets
+		u.Block[i] = b
+		mttfH := math.Exp(logLo + rng.Float64()*(logHi-logLo))
+		od := 0.12 + rng.Float64()*0.5
+		u.Profiles[i] = Profile{
+			Name:             fmt.Sprintf("b%02d/m%03d", b, i),
+			OnDemand:         od,
+			BaseFrac:         0.10 + rng.Float64()*0.20,
+			NoiseFrac:        0.04 + rng.Float64()*0.08,
+			SpikesPerHour:    1 / mttfH,
+			SpikeDurMeanMin:  10 + rng.Float64()*40,
+			SpikeMagMin:      1.2,
+			SpikeMagMax:      4 + rng.Float64()*6,
+			WobblesPerHour:   4 / mttfH,
+			WobbleDurMeanMin: 15 + rng.Float64()*20,
+			WobbleMagMin:     0.3,
+			WobbleMagMax:     0.85,
+		}
+		u.rates[i] = 1 / mttfH
+	}
+	return u, nil
+}
+
+// Markets returns the number of markets in the universe.
+func (u *Universe) Markets() int { return len(u.Profiles) }
+
+// PoolNames returns the market names in index order.
+func (u *Universe) PoolNames() []string {
+	out := make([]string, len(u.Profiles))
+	for i, p := range u.Profiles {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// SpikeRate returns market i's total revocation (spike) rate in events
+// per hour; its target MTTF at an on-demand bid is 1/SpikeRate hours.
+func (u *Universe) SpikeRate(i int) float64 { return u.rates[i] }
+
+// parentRate returns the arrival rate (events/hour) of the shared parent
+// process carrying fraction rho of each member's rate: the max member
+// share, so every adoption probability stays ≤ 1.
+func parentRate(rho float64, memberRates []float64) float64 {
+	max := 0.0
+	for _, r := range memberRates {
+		if rho*r > max {
+			max = rho * r
+		}
+	}
+	return max
+}
+
+// blockRates returns the rates of block b's members.
+func (u *Universe) blockRates(b int) []float64 {
+	var out []float64
+	for i, bi := range u.Block {
+		if bi == b {
+			out = append(out, u.rates[i])
+		}
+	}
+	return out
+}
+
+// sharedRate returns the rate (events/hour) of spikes markets i and j
+// experience at the same instant under the thinned common-shock model.
+func (u *Universe) sharedRate(i, j int) float64 {
+	s := 0.0
+	if g := parentRate(u.Spec.GlobalRho, u.rates); g > 0 {
+		pi := u.Spec.GlobalRho * u.rates[i] / g
+		pj := u.Spec.GlobalRho * u.rates[j] / g
+		s += g * pi * pj
+	}
+	if u.Block[i] == u.Block[j] {
+		if bRate := parentRate(u.Spec.BlockRho, u.blockRates(u.Block[i])); bRate > 0 {
+			pi := u.Spec.BlockRho * u.rates[i] / bRate
+			pj := u.Spec.BlockRho * u.rates[j] / bRate
+			s += bRate * pi * pj
+		}
+	}
+	return s
+}
+
+// Covariance returns the model-implied covariance matrix of per-market
+// revocation counts over a window of the given length in seconds. It is
+// positive semidefinite by construction (a sum of parent rank-one terms
+// plus a non-negative diagonal).
+func (u *Universe) Covariance(window float64) [][]float64 {
+	n := len(u.rates)
+	hours := window / simclock.Hour
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = u.rates[i] * hours
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := u.sharedRate(i, j) * hours
+			m[i][j] = c
+			m[j][i] = c
+		}
+	}
+	return m
+}
+
+// Correlation returns the model-implied revocation-count correlation
+// matrix (window-independent).
+func (u *Universe) Correlation() [][]float64 {
+	cov := u.Covariance(simclock.Hour)
+	n := len(cov)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		out[i][i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := math.Sqrt(cov[i][i] * cov[j][j])
+			if d > 0 {
+				out[i][j] = cov[i][j] / d
+				out[j][i] = out[i][j]
+			}
+		}
+	}
+	return out
+}
+
+// Traces renders one price trace per market covering hours of simulated
+// time at stepSec resolution. Parent spike schedules are shared exactly
+// as the covariance model assumes: adopted parent spikes reuse the parent
+// arrival time and duration, so correlated markets spike at identical
+// instants. Deterministic in the spec seed.
+func (u *Universe) Traces(hours, stepSec float64) []*Trace {
+	horizon := hours * simclock.Hour
+	spec := u.Spec
+
+	// Parent spike schedules. Durations use the mean spike duration of
+	// the adopting group; magnitudes are drawn per adopting market.
+	sampleParent := func(seed int64, perHour, durMeanMin float64) []spike {
+		prng := rand.New(rand.NewSource(seed))
+		return samplePoissonSpikes(prng, horizon, perHour, durMeanMin, 1, 1)
+	}
+	global := sampleParent(spec.Seed+999331, parentRate(spec.GlobalRho, u.rates), u.meanSpikeDur(nil))
+	blockParents := make([][]spike, spec.Blocks)
+	for b := 0; b < spec.Blocks; b++ {
+		members := u.blockMembers(b)
+		blockParents[b] = sampleParent(spec.Seed+int64(b+1)*104729,
+			parentRate(spec.BlockRho, u.blockRates(b)), u.meanSpikeDur(members))
+	}
+
+	traces := make([]*Trace, len(u.Profiles))
+	for i, p := range u.Profiles {
+		rng := rand.New(rand.NewSource(spec.Seed + int64(i)*7919))
+		var spikes []spike
+		adopt := func(parent []spike, share float64, rate float64) {
+			if rate <= 0 {
+				return
+			}
+			prob := share * u.rates[i] / rate
+			for _, sp := range parent {
+				if rng.Float64() < prob {
+					mag := p.SpikeMagMin + (p.SpikeMagMax-p.SpikeMagMin)*square(rng.Float64())
+					spikes = append(spikes, spike{at: sp.at, dur: sp.dur, mag: mag})
+				}
+			}
+		}
+		adopt(global, spec.GlobalRho, parentRate(spec.GlobalRho, u.rates))
+		adopt(blockParents[u.Block[i]], spec.BlockRho,
+			parentRate(spec.BlockRho, u.blockRates(u.Block[i])))
+		idio := (1 - spec.BlockRho - spec.GlobalRho) * u.rates[i]
+		if idio > 1e-15 {
+			spikes = append(spikes, samplePoissonSpikes(rng, horizon, idio,
+				p.SpikeDurMeanMin, p.SpikeMagMin, p.SpikeMagMax)...)
+		}
+		if p.WobblesPerHour > 0 {
+			spikes = append(spikes, samplePoissonSpikes(rng, horizon, p.WobblesPerHour,
+				p.WobbleDurMeanMin, p.WobbleMagMin, p.WobbleMagMax)...)
+		}
+		sort.Slice(spikes, func(a, b int) bool { return spikes[a].at < spikes[b].at })
+		traces[i] = p.render(rng, spikes, horizon, stepSec)
+	}
+	return traces
+}
+
+// blockMembers returns the market indices of block b.
+func (u *Universe) blockMembers(b int) []int {
+	var out []int
+	for i, bi := range u.Block {
+		if bi == b {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// meanSpikeDur returns the mean SpikeDurMeanMin over the given market
+// indices (all markets when nil), for parent spike durations.
+func (u *Universe) meanSpikeDur(members []int) float64 {
+	if members == nil {
+		members = make([]int, len(u.Profiles))
+		for i := range members {
+			members[i] = i
+		}
+	}
+	if len(members) == 0 {
+		return 25
+	}
+	s := 0.0
+	for _, i := range members {
+		s += u.Profiles[i].SpikeDurMeanMin
+	}
+	return s / float64(len(members))
+}
+
+func square(x float64) float64 { return x * x }

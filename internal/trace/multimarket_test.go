@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"flint/internal/simclock"
+	"flint/internal/stats"
+)
+
+func mustUniverse(t *testing.T, spec UniverseSpec) *Universe {
+	t.Helper()
+	u, err := GenerateUniverse(spec)
+	if err != nil {
+		t.Fatalf("GenerateUniverse: %v", err)
+	}
+	return u
+}
+
+func TestUniverseCovariancePSD(t *testing.T) {
+	for _, spec := range []UniverseSpec{
+		{Markets: 120, Blocks: 15, BlockRho: 0.5, GlobalRho: 0.1, Seed: 1},
+		{Markets: 64, Blocks: 4, BlockRho: 0.9, GlobalRho: 0.05, Seed: 7},
+		{Markets: 30, BlockRho: 0.3, Seed: 3},
+	} {
+		u := mustUniverse(t, spec)
+		cov := u.Covariance(7 * simclock.Day)
+		if !stats.IsPSD(cov, 1e-9) {
+			t.Errorf("covariance for %+v is not PSD", spec)
+		}
+		corr := u.Correlation()
+		for i := range corr {
+			for j := range corr[i] {
+				if corr[i][j] < -1e-12 || corr[i][j] > 1+1e-12 {
+					t.Fatalf("corr[%d][%d] = %g out of [0,1]", i, j, corr[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestUniverseDeterminism(t *testing.T) {
+	spec := UniverseSpec{Markets: 40, Blocks: 5, BlockRho: 0.6, GlobalRho: 0.1, Seed: 42}
+	u1 := mustUniverse(t, spec)
+	u2 := mustUniverse(t, spec)
+	tr1 := u1.Traces(48, 60)
+	tr2 := u2.Traces(48, 60)
+	for i := range tr1 {
+		if len(tr1[i].Prices) != len(tr2[i].Prices) {
+			t.Fatalf("market %d: trace lengths differ", i)
+		}
+		for j := range tr1[i].Prices {
+			if tr1[i].Prices[j] != tr2[i].Prices[j] {
+				t.Fatalf("market %d: prices differ at step %d", i, j)
+			}
+		}
+	}
+	// A different seed must produce different traces.
+	spec.Seed = 43
+	u3 := mustUniverse(t, spec)
+	tr3 := u3.Traces(48, 60)
+	same := true
+	for j := range tr1[0].Prices {
+		if tr1[0].Prices[j] != tr3[0].Prices[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed 42 and 43 produced identical traces")
+	}
+}
+
+func TestUniverseDegenerateSingleMarket(t *testing.T) {
+	u := mustUniverse(t, UniverseSpec{Markets: 1, BlockRho: 0.5, GlobalRho: 0.2, Seed: 9})
+	if u.Markets() != 1 {
+		t.Fatalf("got %d markets", u.Markets())
+	}
+	cov := u.Covariance(simclock.Day)
+	if len(cov) != 1 || cov[0][0] <= 0 {
+		t.Fatalf("bad 1×1 covariance %v", cov)
+	}
+	traces := u.Traces(24, 60)
+	if len(traces) != 1 || traces[0].Len() == 0 {
+		t.Fatal("expected one non-empty trace")
+	}
+}
+
+func TestUniverseZeroCorrelation(t *testing.T) {
+	u := mustUniverse(t, UniverseSpec{Markets: 20, Blocks: 4, Seed: 5})
+	corr := u.Correlation()
+	for i := range corr {
+		for j := range corr[i] {
+			if i != j && corr[i][j] != 0 {
+				t.Fatalf("corr[%d][%d] = %g, want 0 with no shared processes", i, j, corr[i][j])
+			}
+		}
+	}
+}
+
+func TestUniversePerfectlyCorrelatedBlock(t *testing.T) {
+	// Equal MTTFs + BlockRho=1 makes every within-block pair share its
+	// entire spike process: model correlation exactly 1.
+	u := mustUniverse(t, UniverseSpec{
+		Markets: 12, Blocks: 3, BlockRho: 1,
+		MTTFLowH: 50, MTTFHighH: 50, Seed: 11,
+	})
+	corr := u.Correlation()
+	for i := range corr {
+		for j := range corr[i] {
+			want := 0.0
+			if u.Block[i] == u.Block[j] {
+				want = 1
+			}
+			if math.Abs(corr[i][j]-want) > 1e-9 {
+				t.Fatalf("corr[%d][%d] = %g, want %g", i, j, corr[i][j], want)
+			}
+		}
+	}
+	if !stats.IsPSD(u.Covariance(simclock.Day), 1e-9) {
+		t.Fatal("rank-deficient covariance should still count as PSD")
+	}
+}
+
+func TestUniverseTracesRealizeBlockCorrelation(t *testing.T) {
+	// With strong block correlation, rendered within-block price series
+	// should correlate more than cross-block ones on average.
+	u := mustUniverse(t, UniverseSpec{
+		Markets: 16, Blocks: 2, BlockRho: 0.9,
+		MTTFLowH: 30, MTTFHighH: 60, Seed: 21,
+	})
+	traces := u.Traces(24*14, 60)
+	series := make([][]float64, len(traces))
+	for i, tr := range traces {
+		series[i] = tr.Prices
+	}
+	var within, cross []float64
+	for i := 0; i < len(series); i++ {
+		for j := i + 1; j < len(series); j++ {
+			r := stats.Pearson(series[i], series[j])
+			if u.Block[i] == u.Block[j] {
+				within = append(within, r)
+			} else {
+				cross = append(cross, r)
+			}
+		}
+	}
+	if stats.Mean(within) <= stats.Mean(cross)+0.05 {
+		t.Fatalf("within-block mean corr %.3f not above cross-block %.3f",
+			stats.Mean(within), stats.Mean(cross))
+	}
+}
+
+func TestUniverseSpecValidation(t *testing.T) {
+	if _, err := GenerateUniverse(UniverseSpec{Markets: 0}); err == nil {
+		t.Error("expected error for zero markets")
+	}
+	if _, err := GenerateUniverse(UniverseSpec{Markets: 4, BlockRho: 0.8, GlobalRho: 0.5}); err == nil {
+		t.Error("expected error for BlockRho+GlobalRho > 1")
+	}
+	if _, err := GenerateUniverse(UniverseSpec{Markets: 4, BlockRho: -0.1}); err == nil {
+		t.Error("expected error for negative rho")
+	}
+}
