@@ -1,0 +1,153 @@
+// Command benchdiff gates a freshly produced BENCH_<rev>.json against a
+// committed anchor record (BENCH_a7c1211.json). It fails — exit 1 — when
+// any anchored scenario drifted: a missing scenario, a virtual-makespan
+// change, or an outcome/trace FNV change. Wall seconds are reported as a
+// ratio table (markdown, suitable for $GITHUB_STEP_SUMMARY) but never
+// gate: they measure the machine, not the engine.
+//
+// Usage:
+//
+//	benchdiff -anchor BENCH_a7c1211.json -new BENCH_<rev>.json [-summary out.md]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// benchEntry mirrors cmd/flintbench's record line. FNV fields are empty
+// in records written before the determinism fingerprints landed; the
+// diff only gates fields both sides carry.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	VirtualS    float64 `json:"virtual_s"`
+	WallS       float64 `json:"wall_s"`
+	OutcomeFNV  string  `json:"outcome_fnv"`
+	TraceFNV    string  `json:"trace_fnv"`
+	TraceEvents int     `json:"trace_events"`
+}
+
+type benchRecord struct {
+	Rev       string       `json:"rev"`
+	Workers   int          `json:"workers"`
+	Scale     float64      `json:"scale"`
+	Scenarios []benchEntry `json:"scenarios"`
+}
+
+func readRecord(path string) (benchRecord, error) {
+	var rec benchRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// diffRecords compares every anchored scenario against the fresh record,
+// returning the drift findings and a markdown report with the
+// virtual-makespan and wall-seconds ratio table.
+func diffRecords(anchor, fresh benchRecord) (drift []string, report string) {
+	freshBy := make(map[string]benchEntry, len(fresh.Scenarios))
+	for _, sc := range fresh.Scenarios {
+		freshBy[sc.Name] = sc
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "### bench-regression: %s vs anchor %s\n\n", orDash(fresh.Rev), orDash(anchor.Rev))
+	b.WriteString("| scenario | virtual_s | outcome_fnv | trace_fnv | anchor wall_s | wall_s | wall ratio |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, a := range anchor.Scenarios {
+		f, ok := freshBy[a.Name]
+		if !ok {
+			drift = append(drift, fmt.Sprintf("%s: scenario missing from fresh record", a.Name))
+			fmt.Fprintf(&b, "| %s | MISSING | — | — | %.3f | — | — |\n", a.Name, a.WallS)
+			continue
+		}
+		status := func(anchorV, freshV, label string) string {
+			if anchorV == "" || freshV == "" {
+				return "n/a"
+			}
+			if anchorV != freshV {
+				drift = append(drift, fmt.Sprintf("%s: %s drifted: anchor %s, fresh %s", a.Name, label, anchorV, freshV))
+				return fmt.Sprintf("DRIFT (%s → %s)", anchorV, freshV)
+			}
+			return "ok " + freshV
+		}
+		virt := "ok"
+		if f.VirtualS != a.VirtualS {
+			drift = append(drift, fmt.Sprintf("%s: virtual makespan drifted: anchor %v, fresh %v", a.Name, a.VirtualS, f.VirtualS))
+			virt = fmt.Sprintf("DRIFT (%v → %v)", a.VirtualS, f.VirtualS)
+		} else {
+			virt = fmt.Sprintf("ok %v", f.VirtualS)
+		}
+		ratio := "—"
+		if a.WallS > 0 && f.WallS > 0 {
+			ratio = fmt.Sprintf("%.2fx", a.WallS/f.WallS)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %.3f | %.3f | %s |\n",
+			a.Name, virt,
+			status(a.OutcomeFNV, f.OutcomeFNV, "outcome FNV"),
+			status(a.TraceFNV, f.TraceFNV, "trace FNV"),
+			a.WallS, f.WallS, ratio)
+	}
+	if len(drift) == 0 {
+		b.WriteString("\nNo drift: every anchored scenario is byte-identical (wall ratio >1 means faster than the anchor machine run).\n")
+	} else {
+		fmt.Fprintf(&b, "\n**%d drift finding(s)** — the data plane changed observable output.\n", len(drift))
+	}
+	return drift, b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "—"
+	}
+	return s
+}
+
+func main() {
+	anchorPath := flag.String("anchor", "", "committed anchor record (e.g. BENCH_a7c1211.json)")
+	freshPath := flag.String("new", "", "freshly produced record to gate")
+	summary := flag.String("summary", "", "also append the markdown report to this file (e.g. $GITHUB_STEP_SUMMARY)")
+	flag.Parse()
+	if *anchorPath == "" || *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -anchor BENCH_a7c1211.json -new BENCH_<rev>.json [-summary out.md]")
+		os.Exit(2)
+	}
+	anchor, err := readRecord(*anchorPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := readRecord(*freshPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	drift, report := diffRecords(anchor, fresh)
+	fmt.Print(report)
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: summary: %v\n", err)
+			os.Exit(2)
+		}
+		if _, err := f.WriteString(report); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "benchdiff: summary: %v\n", err)
+			os.Exit(2)
+		}
+		f.Close()
+	}
+	if len(drift) > 0 {
+		for _, d := range drift {
+			fmt.Fprintf(os.Stderr, "benchdiff: DRIFT: %s\n", d)
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func anchorRec() benchRecord {
+	return benchRecord{
+		Rev: "a7c1211",
+		Scenarios: []benchEntry{
+			{Name: "detbench/wordcount", VirtualS: 11.760655641555786, WallS: 2.0,
+				OutcomeFNV: "27a3aed45e3b4211", TraceFNV: "492240aae7972f7b"},
+			{Name: "detbench/pagerank-revoke", VirtualS: 275.25269763271007, WallS: 30.0},
+		},
+	}
+}
+
+func TestDiffRecordsNoDrift(t *testing.T) {
+	fresh := anchorRec()
+	fresh.Rev = "deadbee"
+	fresh.Scenarios[0].WallS = 1.0 // wall changes never gate
+	fresh.Scenarios[1].OutcomeFNV = "5c9b147d3c3c0a99"
+	drift, report := diffRecords(anchorRec(), fresh)
+	if len(drift) != 0 {
+		t.Fatalf("unexpected drift: %v", drift)
+	}
+	if !strings.Contains(report, "2.00x") {
+		t.Fatalf("wall ratio missing from report:\n%s", report)
+	}
+	if !strings.Contains(report, "No drift") {
+		t.Fatalf("no-drift summary missing:\n%s", report)
+	}
+	// Anchor without FNVs vs fresh with them: not gated, not drift.
+	if !strings.Contains(report, "n/a") {
+		t.Fatalf("FNV-less anchor comparison should be n/a:\n%s", report)
+	}
+}
+
+func TestDiffRecordsVirtualDrift(t *testing.T) {
+	fresh := anchorRec()
+	fresh.Scenarios[0].VirtualS += 0.000001
+	drift, report := diffRecords(anchorRec(), fresh)
+	if len(drift) != 1 || !strings.Contains(drift[0], "virtual makespan") {
+		t.Fatalf("drift = %v", drift)
+	}
+	if !strings.Contains(report, "DRIFT") {
+		t.Fatalf("report lacks DRIFT marker:\n%s", report)
+	}
+}
+
+func TestDiffRecordsFNVDrift(t *testing.T) {
+	fresh := anchorRec()
+	fresh.Scenarios[0].OutcomeFNV = "0000000000000000"
+	fresh.Scenarios[0].TraceFNV = "1111111111111111"
+	drift, _ := diffRecords(anchorRec(), fresh)
+	if len(drift) != 2 {
+		t.Fatalf("want outcome+trace drift, got %v", drift)
+	}
+}
+
+func TestDiffRecordsMissingScenario(t *testing.T) {
+	fresh := anchorRec()
+	fresh.Scenarios = fresh.Scenarios[:1]
+	drift, _ := diffRecords(anchorRec(), fresh)
+	if len(drift) != 1 || !strings.Contains(drift[0], "missing") {
+		t.Fatalf("drift = %v", drift)
+	}
+}

@@ -29,14 +29,20 @@ import (
 	"flint/internal/exec"
 	"flint/internal/experiments"
 	"flint/internal/obs"
+	"flint/internal/rdd"
 )
 
 // benchEntry is one line of the machine-readable benchmark record
-// (-bench-out): a scenario's virtual makespan and real runtime.
+// (-bench-out): a scenario's virtual makespan, real runtime and — for
+// detbench scenarios — the determinism fingerprints (outcome and trace
+// FNV-64a) that cmd/benchdiff gates against the committed anchor.
 type benchEntry struct {
-	Name     string  `json:"name"`
-	VirtualS float64 `json:"virtual_s,omitempty"`
-	WallS    float64 `json:"wall_s"`
+	Name        string  `json:"name"`
+	VirtualS    float64 `json:"virtual_s,omitempty"`
+	WallS       float64 `json:"wall_s"`
+	OutcomeFNV  string  `json:"outcome_fnv,omitempty"`
+	TraceFNV    string  `json:"trace_fnv,omitempty"`
+	TraceEvents int     `json:"trace_events,omitempty"`
 }
 
 // benchRecord is the BENCH_<rev>.json payload CI uploads as an artifact,
@@ -46,6 +52,7 @@ type benchRecord struct {
 	Workers   int          `json:"workers"`
 	GoMaxProc int          `json:"gomaxprocs"`
 	Scale     float64      `json:"scale"`
+	Columnar  bool         `json:"columnar"`
 	Scenarios []benchEntry `json:"scenarios"`
 }
 
@@ -57,6 +64,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each figure's series as CSV files into this directory")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file covering the selected experiments to this path")
 	workers := flag.Int("workers", 0, "engine worker-pool width for task execution (0 = GOMAXPROCS; 1 = serial); any value produces identical results")
+	columnar := flag.Bool("columnar", true, "use the columnar data-plane kernels (false forces the generic Row path; results are identical either way)")
 	chaosSeeds := flag.Int("chaos-seeds", 25, "chaosbench: seeds per profile (1..n)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "chaosbench: run only this single seed (overrides -chaos-seeds; use to replay an artifact)")
 	chaosProfile := flag.String("chaos-profile", "", "chaosbench: run only this fault profile (default: all)")
@@ -77,6 +85,7 @@ func main() {
 		args = names()
 	}
 	exec.SetDefaultWorkers(*workers)
+	rdd.SetColumnar(*columnar)
 	var bundle *obs.Obs
 	if *traceOut != "" {
 		// Experiments assemble their own deployments internally, so the
@@ -98,6 +107,7 @@ func main() {
 	}
 	record := benchRecord{
 		Rev: *rev, Workers: *workers, GoMaxProc: runtime.GOMAXPROCS(0), Scale: *scale,
+		Columnar: *columnar,
 	}
 	for _, name := range args {
 		sw := obs.Stopwatch()
@@ -233,6 +243,9 @@ func run(w io.Writer, name string, s experiments.Scale, runs, markets, portfolio
 		for _, sc := range res.Scenarios {
 			entries = append(entries, benchEntry{
 				Name: "detbench/" + sc.Name, VirtualS: sc.VirtualS, WallS: sc.WallS,
+				OutcomeFNV:  fmt.Sprintf("%016x", sc.OutcomeFNV),
+				TraceFNV:    fmt.Sprintf("%016x", sc.TraceFNV),
+				TraceEvents: sc.TraceN,
 			})
 		}
 		return entries, export(csvDir, res, nil)

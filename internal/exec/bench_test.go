@@ -67,7 +67,10 @@ func benchBucketRows(n int, str bool) []rdd.Row {
 }
 
 // BenchmarkBucketing measures the map-side split of one partition's rows
-// into NumOut shuffle buckets.
+// into NumOut shuffle buckets. Base cases run the fused columnar index
+// pass; -row variants force the per-row generic Bucket path (the seed
+// implementation); -par4 variants chunk the columnar pass across four
+// goroutines (the idle-worker recruitment of parbucket.go).
 func BenchmarkBucketing(b *testing.B) {
 	c := rdd.NewContext(2)
 	src := c.Parallelize("src", 1, 10, func(part int) []rdd.Row { return nil })
@@ -82,10 +85,25 @@ func BenchmarkBucketing(b *testing.B) {
 	} {
 		dep := &rdd.ShuffleDep{P: src, NumOut: tc.numOut}
 		rows := benchBucketRows(1<<16, tc.str)
-		b.Run(tc.name, func(b *testing.B) {
+		body := func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				buckets := dep.BucketRows(rows)
+				if len(buckets[0]) == 0 {
+					b.Fatal("empty bucket")
+				}
+			}
+		}
+		b.Run(tc.name, body)
+		b.Run(tc.name+"-row", func(b *testing.B) {
+			rdd.SetColumnar(false)
+			defer rdd.SetColumnar(true)
+			body(b)
+		})
+		b.Run(tc.name+"-par4", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buckets := parallelBuckets(dep, rows, 4)
 				if len(buckets[0]) == 0 {
 					b.Fatal("empty bucket")
 				}

@@ -127,6 +127,10 @@ type Engine struct {
 
 	// workers is the resolved parallel execution width (see workers.go).
 	workers int
+	// scatterSem caps the helper goroutines map tasks may recruit for
+	// parallel bucketing at workers-1 pool-wide (see parbucket.go);
+	// capacity zero (Workers=1) keeps bucketing strictly inline.
+	scatterSem chan struct{}
 
 	// faults is the chaos injection hook (nil = no injection, zero
 	// overhead); retry bounds the recovery behaviour it forces.
@@ -157,6 +161,7 @@ func New(clock *simclock.Clock, store *dfs.Store, cfg Config, policy CheckpointP
 		pendingCkpt: make(map[blockKey]bool),
 		computeSeen: make(map[blockKey]int),
 		workers:     resolveWorkers(cfg.Workers),
+		scatterSem:  make(chan struct{}, resolveWorkers(cfg.Workers)-1),
 		retry:       cfg.Retry.withDefaults(),
 		obs:         obs.Active(),
 	}

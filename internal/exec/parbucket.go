@@ -1,0 +1,162 @@
+package exec
+
+// Parallel map-side shuffle bucketing.
+//
+// A map task splits its partition into NumOut buckets (and runs the
+// optional map-side combine per bucket). The two-pass exact-size scheme
+// (rdd.BucketIndexRange + rdd.ScatterRange) is chunkable: per-chunk
+// bucket counts roll up into global prefix offsets, giving every
+// (chunk, bucket) pair its own disjoint destination segment, so the
+// chunked fill produces the same flat layout as the serial fill for ANY
+// chunk count — rows of one bucket appear in original row order because
+// chunks are in row order. That invariance is what keeps the output
+// byte-identical whether zero, one or seven helper goroutines join in
+// (TestParallelBucketsMatchesSerial pins it per chunk count).
+//
+// Helpers are opportunistic: the engine's dispatch rounds already fan
+// tasks across Config.Workers goroutines, so a task only recruits help
+// for its bucketing when pool capacity is otherwise idle — a buffered
+// semaphore sized workers-1 is try-acquired, never waited on. Under a
+// full round the semaphore is contended and bucketing runs inline, same
+// as before; in narrow rounds (few large map tasks, the common detbench
+// shape at 10-100x scale) the idle workers absorb the scatter and the
+// per-bucket combine. Workers=1 never parallelizes: the legacy serial
+// engine stays exactly serial.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"flint/internal/rdd"
+)
+
+const (
+	// parBucketMinRows is the partition size below which recruiting
+	// helpers isn't worth the fan-out overhead.
+	parBucketMinRows = 1 << 13
+	// parBucketChunk is the minimum rows each participant should own.
+	parBucketChunk = 1 << 12
+)
+
+// bucketAndCombine buckets one map task's rows and applies the map-side
+// combine, recruiting idle pool capacity for large partitions. Output is
+// byte-identical to dep.BucketRows + serial per-bucket Combine.
+func (e *Engine) bucketAndCombine(dep *rdd.ShuffleDep, rows []rdd.Row) [][]rdd.Row {
+	helpers := 0
+	if len(rows) >= parBucketMinRows {
+		max := len(rows)/parBucketChunk - 1
+		for helpers < max {
+			select {
+			case e.scatterSem <- struct{}{}:
+				helpers++
+			default:
+				max = helpers // semaphore exhausted
+			}
+		}
+	}
+	var buckets [][]rdd.Row
+	if helpers == 0 {
+		buckets = dep.BucketRows(rows)
+	} else {
+		buckets = parallelBuckets(dep, rows, helpers+1)
+	}
+	if dep.Combine != nil {
+		combineBuckets(dep, buckets, helpers+1)
+	}
+	for i := 0; i < helpers; i++ {
+		<-e.scatterSem
+	}
+	return buckets
+}
+
+// parallelBuckets is dep.BucketRows chunked across parts goroutines
+// (parts >= 1; parts == 1 degenerates to the serial composition). Pure
+// apart from its own allocations: dep and rows are only read, per the
+// package purity contract, so chunk workers share them safely.
+func parallelBuckets(dep *rdd.ShuffleDep, rows []rdd.Row, parts int) [][]rdd.Row {
+	n := len(rows)
+	if parts > n {
+		parts = n
+	}
+	if parts <= 1 {
+		return dep.BucketRows(rows)
+	}
+	// Chunk bounds: even split, remainder spread over the first chunks.
+	lo := make([]int, parts+1)
+	for c := 0; c <= parts; c++ {
+		lo[c] = c * n / parts
+	}
+	// Pass 1 (parallel): per-chunk bucket index + private counts.
+	idx := make([]int32, n)
+	counts := make([][]int, parts)
+	runChunks(parts, func(c int) {
+		counts[c] = make([]int, dep.NumOut)
+		dep.BucketIndexRange(rows, lo[c], lo[c+1], idx, counts[c])
+	})
+	// Roll-up (serial, cheap): global per-bucket counts, then per-chunk
+	// write cursors — chunk c writes bucket b starting where chunks
+	// 0..c-1 left off within b's segment.
+	total := make([]int, dep.NumOut)
+	for c := 0; c < parts; c++ {
+		for b, k := range counts[c] {
+			total[b] += k
+		}
+	}
+	buckets, start, flat := rdd.CarveBuckets(total, n)
+	next := make([][]int, parts)
+	for c := 0; c < parts; c++ {
+		next[c] = make([]int, dep.NumOut)
+		copy(next[c], start)
+		for b, k := range counts[c] {
+			start[b] += k
+		}
+	}
+	// Pass 2 (parallel): scatter into disjoint (chunk, bucket) segments.
+	runChunks(parts, func(c int) {
+		rdd.ScatterRange(rows, lo[c], lo[c+1], idx, next[c], flat)
+	})
+	return buckets
+}
+
+// combineBuckets applies the map-side combine to every non-empty bucket,
+// fanning buckets across parts goroutines. Combine is pure per bucket
+// and buckets are disjoint, so any schedule produces the serial result.
+func combineBuckets(dep *rdd.ShuffleDep, buckets [][]rdd.Row, parts int) {
+	if parts > len(buckets) {
+		parts = len(buckets)
+	}
+	if parts <= 1 {
+		for b := range buckets {
+			if len(buckets[b]) > 0 {
+				buckets[b] = dep.Combine(buckets[b])
+			}
+		}
+		return
+	}
+	var cursor atomic.Int64
+	runChunks(parts, func(int) {
+		for {
+			b := int(cursor.Add(1)) - 1
+			if b >= len(buckets) {
+				return
+			}
+			if len(buckets[b]) > 0 {
+				buckets[b] = dep.Combine(buckets[b])
+			}
+		}
+	})
+}
+
+// runChunks runs fn(0..parts-1) across parts goroutines and waits.
+func runChunks(parts int, fn func(c int)) {
+	var wg sync.WaitGroup
+	wg.Add(parts - 1)
+	for c := 1; c < parts; c++ {
+		go func(c int) {
+			defer wg.Done()
+			fn(c)
+		}(c)
+	}
+	fn(0)
+	wg.Wait()
+}

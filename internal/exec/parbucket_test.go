@@ -1,0 +1,130 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"flint/internal/rdd"
+)
+
+// parallelBuckets must reproduce the serial BucketRows layout exactly
+// for every chunk count: same buckets, same row order within each
+// bucket. This is the invariance that lets the engine recruit any number
+// of idle workers without touching the determinism contract.
+func TestParallelBucketsMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eedbcc7))
+	mixed := func(i int) rdd.Row {
+		switch i % 3 {
+		case 0:
+			return rdd.KV{K: rng.Intn(500), V: i}
+		case 1:
+			return rdd.KV{K: fmt.Sprintf("w%03d", rng.Intn(500)), V: i}
+		default:
+			return rdd.KV{K: int64(rng.Intn(500)), V: i}
+		}
+	}
+	cases := []struct {
+		name string
+		gen  func(i int) rdd.Row
+		n    int
+	}{
+		{"int", func(i int) rdd.Row { return rdd.KV{K: rng.Intn(1000), V: i} }, 10000},
+		{"string", func(i int) rdd.Row { return rdd.KV{K: fmt.Sprintf("key-%04d", rng.Intn(1000)), V: i} }, 10000},
+		{"mixed-types", mixed, 9999},
+		{"tiny", func(i int) rdd.Row { return rdd.KV{K: i, V: i} }, 7},
+		{"empty", nil, 0},
+	}
+	for _, tc := range cases {
+		for _, numOut := range []int{1, 7, 20, 64} {
+			rows := make([]rdd.Row, tc.n)
+			for i := range rows {
+				rows[i] = tc.gen(i)
+			}
+			dep := &rdd.ShuffleDep{NumOut: numOut}
+			want := dep.BucketRows(rows)
+			for parts := 1; parts <= 9; parts++ {
+				got := parallelBuckets(dep, rows, parts)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s numOut=%d parts=%d: chunked layout differs from serial", tc.name, numOut, parts)
+				}
+			}
+		}
+	}
+}
+
+// A custom Partitioner must keep working through the chunked path.
+func TestParallelBucketsCustomPartitioner(t *testing.T) {
+	rows := make([]rdd.Row, 5000)
+	for i := range rows {
+		rows[i] = rdd.KV{K: i, V: i * 3}
+	}
+	dep := &rdd.ShuffleDep{
+		NumOut:      8,
+		Partitioner: func(r rdd.Row, numOut int) int { return r.(rdd.KV).V.(int) % numOut },
+	}
+	want := dep.BucketRows(rows)
+	for parts := 1; parts <= 5; parts++ {
+		if got := parallelBuckets(dep, rows, parts); !reflect.DeepEqual(got, want) {
+			t.Fatalf("parts=%d: custom-partitioner layout differs from serial", parts)
+		}
+	}
+}
+
+// combineBuckets at any width must equal the serial per-bucket combine.
+func TestCombineBucketsMatchesSerial(t *testing.T) {
+	sum := func(rows []rdd.Row) []rdd.Row {
+		total := 0
+		for _, r := range rows {
+			total += r.(rdd.KV).V.(int)
+		}
+		return []rdd.Row{rdd.KV{K: rows[0].(rdd.KV).K, V: total}}
+	}
+	build := func() [][]rdd.Row {
+		rng := rand.New(rand.NewSource(0x5eedcb01))
+		rows := make([]rdd.Row, 4000)
+		for i := range rows {
+			rows[i] = rdd.KV{K: rng.Intn(32), V: i}
+		}
+		dep := &rdd.ShuffleDep{NumOut: 32}
+		return dep.BucketRows(rows)
+	}
+	dep := &rdd.ShuffleDep{NumOut: 32, Combine: sum}
+	want := build()
+	combineBuckets(dep, want, 1)
+	for parts := 2; parts <= 8; parts++ {
+		got := build()
+		combineBuckets(dep, got, parts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parts=%d: combined buckets differ from serial", parts)
+		}
+	}
+}
+
+// bucketAndCombine through an engine wide enough to hand out helpers
+// must still equal the serial reference (exercises the semaphore path,
+// and under -race the goroutine discipline of both passes).
+func TestBucketAndCombineWithHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eedbc02))
+	rows := make([]rdd.Row, parBucketMinRows*3)
+	for i := range rows {
+		rows[i] = rdd.KV{K: rng.Intn(4096), V: i}
+	}
+	dep := &rdd.ShuffleDep{NumOut: 20, Combine: func(rs []rdd.Row) []rdd.Row {
+		out := make([]rdd.Row, len(rs))
+		copy(out, rs)
+		return out
+	}}
+	want := dep.BucketRows(rows)
+	e := &Engine{workers: 8, scatterSem: make(chan struct{}, 7)}
+	for round := 0; round < 4; round++ {
+		got := e.bucketAndCombine(dep, rows)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: helper-assisted buckets differ from serial", round)
+		}
+		if len(e.scatterSem) != 0 {
+			t.Fatalf("round %d: %d helper tokens leaked", round, len(e.scatterSem))
+		}
+	}
+}

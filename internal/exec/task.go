@@ -304,15 +304,11 @@ func (e *Engine) runCompute(t *task, nodes []*nodeState) *effects {
 	// Map side of a shuffle: bucket (and combine) the rows. The two-pass
 	// counting bucketer allocates each bucket at exact size. The pass is
 	// charged at half the weight of a regular transformation.
+	// Large partitions recruit idle pool capacity for the bucketing and
+	// the combine (parbucket.go); the output is byte-identical to the
+	// serial composition either way.
 	dep := t.stage.dep
-	buckets := dep.BucketRows(rows)
-	if dep.Combine != nil {
-		for b := range buckets {
-			if len(buckets[b]) > 0 {
-				buckets[b] = dep.Combine(buckets[b])
-			}
-		}
-	}
+	buckets := e.bucketAndCombine(dep, rows)
 	eff.duration += e.cost.computeTime(dep.P.SizeOfRows(len(rows)), 0.5)
 	eff.mapBuckets = buckets
 	return eff

@@ -45,11 +45,24 @@ func benchStrKV(n, keys int) []Row {
 	return rows
 }
 
+func benchFloatKV(n, keys int) []Row {
+	rows := make([]Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = KV{K: (i * 2654435761) % keys, V: 0.85 / float64(1+i%32)}
+	}
+	return rows
+}
+
 func sumReduce(a, b Row) Row { return a.(int) + b.(int) }
 
-// BenchmarkReduceByKey exercises the reduce-side aggregation body
-// (reduceRows) that every ReduceByKey/CombineByKey task runs, and that
-// lineage recomputation replays after each revocation.
+func sumReduceF(a, b Row) Row { return a.(float64) + b.(float64) }
+
+// BenchmarkReduceByKey exercises the aggregation body that every
+// int-sum ReduceByKey task runs (wordcount's counts stage, lineage
+// recomputation after revocations). The base cases measure the columnar
+// typed-value kernel the workloads now use (ReduceByKeyInt); the -row
+// variants measure the generic Row path those same cases ran before the
+// columnar plane landed — the before→after ratio within one run.
 func BenchmarkReduceByKey(b *testing.B) {
 	const n = 1 << 16
 	cases := []struct {
@@ -64,6 +77,15 @@ func BenchmarkReduceByKey(b *testing.B) {
 		b.Run(c.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
+				out := reduceRowsInt(c.rows, func(a, b int) int { return a + b })
+				if len(out) == 0 {
+					b.Fatal("empty reduction")
+				}
+			}
+		})
+		b.Run(c.name+"-row", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
 				out := reduceRows(c.rows, sumReduce)
 				if len(out) == 0 {
 					b.Fatal("empty reduction")
@@ -71,10 +93,34 @@ func BenchmarkReduceByKey(b *testing.B) {
 			}
 		})
 	}
+	// float64-sum is the reducer PageRank's rank contributions and
+	// KMeans' cost stage run every iteration. On the generic path every
+	// merged pair boxes a fresh float64; the typed column folds unboxed
+	// and boxes once per key at emission.
+	frows := benchFloatKV(n, 4096)
+	b.Run("float64-uniform", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out := reduceRowsFloat64(frows, func(a, b float64) float64 { return a + b })
+			if len(out) == 0 {
+				b.Fatal("empty reduction")
+			}
+		}
+	})
+	b.Run("float64-uniform-row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out := reduceRows(frows, sumReduceF)
+			if len(out) == 0 {
+				b.Fatal("empty reduction")
+			}
+		}
+	})
 }
 
 // BenchmarkJoin exercises the reduce-side join body: aggregate both
-// inputs by key, emit the cross product per key.
+// inputs by key, emit the cross product per key. Base cases run the
+// columnar grouping kernels; -row variants force the generic path.
 func BenchmarkJoin(b *testing.B) {
 	const n = 1 << 14
 	build := func(left, right []Row) func(int, [][]Row) []Row {
@@ -94,7 +140,7 @@ func BenchmarkJoin(b *testing.B) {
 	for _, c := range cases {
 		fn := build(c.left, c.right)
 		inputs := [][]Row{c.left, c.right}
-		b.Run(c.name, func(b *testing.B) {
+		body := func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				out := fn(0, inputs)
@@ -102,6 +148,12 @@ func BenchmarkJoin(b *testing.B) {
 					b.Fatal("empty join")
 				}
 			}
+		}
+		b.Run(c.name, body)
+		b.Run(c.name+"-row", func(b *testing.B) {
+			SetColumnar(false)
+			defer SetColumnar(true)
+			body(b)
 		})
 	}
 }

@@ -1,0 +1,294 @@
+package rdd
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// rowsFNV canonicalizes rows through %#v into an FNV-64a, mirroring how
+// detbench fingerprints outcomes: two row slices hash equal iff they are
+// value-identical in the same order.
+func rowsFNV(rows []Row) uint64 {
+	h := fnv.New64a()
+	for _, r := range rows {
+		fmt.Fprintf(h, "%#v\n", r)
+	}
+	return h.Sum64()
+}
+
+// intSum / f64Sum are the canonical typed reducers; their boxed forms
+// below are the generic references.
+func intSum(a, b int) int         { return a + b }
+func f64Sum(a, b float64) float64 { return a + b }
+func boxedIntSum(a, b Row) Row    { return a.(int) + b.(int) }
+func boxedF64Sum(a, b Row) Row    { return a.(float64) + b.(float64) }
+func firstWins(a, b Row) Row      { return a }
+func keepLeft(a, b int) int       { return a }
+
+// decodeFuzzRows turns fuzz bytes into a KV partition. Each row's key
+// and value types are driven by the input, so the corpus explores pure
+// int / string / float batches as well as mixed batches that force the
+// mid-batch degrade on every kernel.
+func decodeFuzzRows(data []byte) []Row {
+	rows := make([]Row, 0, len(data)/2)
+	for i := 0; i+1 < len(data); i += 2 {
+		kb, vb := data[i], data[i+1]
+		var k Row
+		switch kb >> 5 {
+		case 0, 1, 2:
+			k = int(kb & 31)
+		case 3, 4:
+			k = fmt.Sprintf("w%02d", kb&31)
+		case 5:
+			k = int64(kb & 31)
+		case 6:
+			k = float64(kb & 31)
+		default:
+			k = [2]int{int(kb & 3), int(kb & 28)}
+		}
+		var v Row
+		switch vb >> 6 {
+		case 0, 1:
+			v = int(vb)
+		case 2:
+			v = float64(vb) / 4
+		default:
+			v = fmt.Sprintf("v%d", vb)
+		}
+		rows = append(rows, KV{K: k, V: v})
+	}
+	return rows
+}
+
+// FuzzColumnarRowEquivalence drives random typed and mixed partitions
+// through every columnar kernel and asserts byte-identical results —
+// rows, order, and canonical FNVs — against the generic Row path. The
+// merge function is first-wins so mixed value types never panic while
+// association order still shows through.
+func FuzzColumnarRowEquivalence(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x21, 0x03, 0x01, 0x04})          // pure int keys
+	f.Add([]byte{0x61, 0x05, 0x62, 0x06, 0x61, 0x07})          // pure string keys
+	f.Add([]byte{0x01, 0x02, 0x61, 0x03, 0xc1, 0x04, 0xe1, 5}) // mixed: degrade
+	f.Add([]byte{0xa1, 0x42, 0xa2, 0x43, 0xa1, 0x44})          // int64 keys
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows := decodeFuzzRows(data)
+		if !ColumnarEnabled() {
+			t.Fatal("fuzz harness expects the columnar default on")
+		}
+
+		// Reduce: columnar kernels vs the generic fold.
+		colReduced := reduceTyped(rows, keepLeft, firstWins)
+		genReduced := reduceRows(rows, firstWins)
+		if !reflect.DeepEqual(colReduced, genReduced) || rowsFNV(colReduced) != rowsFNV(genReduced) {
+			t.Fatalf("reduce mismatch:\ncol %v\ngen %v", colReduced, genReduced)
+		}
+
+		// Group: columnar tables vs the generic keyAgg, including lookups.
+		colG := groupRows(rows)
+		genA := groupKV(rows)
+		if !reflect.DeepEqual(colG.order, genA.order) || !reflect.DeepEqual(colG.vals, genA.vals) {
+			t.Fatalf("group mismatch:\ncol %v %v\ngen %v %v", colG.order, colG.vals, genA.order, genA.vals)
+		}
+		probes := append(append([]Row{}, colG.order...), int(99), "absent", int64(99), 3.5)
+		for _, k := range probes {
+			ci, cok := colG.look(k)
+			gi, gok := genA.ix.lookup(k)
+			if ci != gi || cok != gok {
+				t.Fatalf("lookup(%v) = %d,%v col vs %d,%v gen", k, ci, cok, gi, gok)
+			}
+		}
+
+		// Bucketing: fused columnar pass vs per-row generic Bucket.
+		for _, numOut := range []int{1, 3, 20} {
+			dep := &ShuffleDep{NumOut: numOut}
+			got := dep.BucketRows(rows)
+			want := make([][]Row, numOut)
+			for _, r := range rows {
+				b := dep.Bucket(r)
+				want[b] = append(want[b], r)
+			}
+			for b := range want {
+				if len(got[b]) != len(want[b]) {
+					t.Fatalf("numOut=%d bucket %d: %d rows vs %d", numOut, b, len(got[b]), len(want[b]))
+				}
+				if rowsFNV(got[b]) != rowsFNV(want[b]) {
+					t.Fatalf("numOut=%d bucket %d differs", numOut, b)
+				}
+			}
+		}
+	})
+}
+
+// typedEquivCheck reduces rows with the typed int kernel and the generic
+// path and requires identical output.
+func typedEquivCheck(t *testing.T, rows []Row) {
+	t.Helper()
+	col := reduceRowsInt(rows, intSum)
+	gen := reduceRows(rows, boxedIntSum)
+	if !reflect.DeepEqual(col, gen) || rowsFNV(col) != rowsFNV(gen) {
+		t.Fatalf("typed reduce differs from generic:\ncol %v\ngen %v", col, gen)
+	}
+}
+
+// Mid-partition key-type changes must degrade with every already-assigned
+// slot (and therefore the emitted order) preserved.
+func TestColumnarDegradeMidPartitionKeys(t *testing.T) {
+	rows := []Row{
+		KV{K: 1, V: 10}, KV{K: 2, V: 20}, KV{K: 1, V: 1},
+		KV{K: "x", V: 5}, // foreign key: degrade here
+		KV{K: 2, V: 2}, KV{K: "x", V: 50}, KV{K: 3, V: 30},
+	}
+	typedEquivCheck(t, rows)
+	out := reduceRowsInt(rows, intSum)
+	wantKeys := []Row{1, 2, "x", 3}
+	for i, kv := range out {
+		if kv.(KV).K != wantKeys[i] {
+			t.Fatalf("slot order not preserved across degrade: got %v", out)
+		}
+	}
+	if out[0].(KV).V != 11 || out[1].(KV).V != 22 || out[2].(KV).V != 55 {
+		t.Fatalf("merged values wrong after degrade: %v", out)
+	}
+}
+
+// A foreign VALUE type must degrade too; if that value stays a singleton
+// it passes through unmerged on both paths (the generic reducer never
+// sees it, so nothing panics).
+func TestColumnarDegradeMidPartitionValues(t *testing.T) {
+	rows := []Row{
+		KV{K: 7, V: 1}, KV{K: 8, V: 2},
+		KV{K: 9, V: "not-an-int"}, // foreign singleton value
+		KV{K: 7, V: 3}, KV{K: 8, V: 4},
+	}
+	typedEquivCheck(t, rows)
+	out := reduceRowsInt(rows, intSum)
+	if out[2].(KV).V != "not-an-int" {
+		t.Fatalf("singleton foreign value not passed through: %v", out)
+	}
+}
+
+// String-keyed degrade: the arena-backed table must hand its slots over
+// to the generic map exactly like the int table does.
+func TestColumnarDegradeStringKeys(t *testing.T) {
+	rows := []Row{
+		KV{K: "a", V: 1}, KV{K: "b", V: 2}, KV{K: "a", V: 3},
+		KV{K: 42, V: 4}, // foreign key
+		KV{K: "b", V: 5}, KV{K: 42, V: 6},
+	}
+	typedEquivCheck(t, rows)
+}
+
+// Grouping must degrade mid-partition the same way, with cross-side
+// lookups (the join probe) still resolving every key.
+func TestColumnarGroupDegradeMidPartition(t *testing.T) {
+	rows := []Row{
+		KV{K: 1, V: "a"}, KV{K: 2, V: "b"},
+		KV{K: "s", V: "c"}, // foreign key
+		KV{K: 1, V: "d"}, KV{K: "s", V: "e"},
+	}
+	colG := groupRows(rows)
+	genA := groupKV(rows)
+	if !reflect.DeepEqual(colG.order, genA.order) || !reflect.DeepEqual(colG.vals, genA.vals) {
+		t.Fatalf("grouping degrade mismatch: %v %v vs %v %v", colG.order, colG.vals, genA.order, genA.vals)
+	}
+	for _, k := range colG.order {
+		ci, cok := colG.look(k)
+		gi, gok := genA.ix.lookup(k)
+		if !cok || ci != gi || cok != gok {
+			t.Fatalf("post-degrade lookup(%v) = %d,%v want %d,%v", k, ci, cok, gi, gok)
+		}
+	}
+}
+
+// SetColumnar(false) must force the generic path with identical results
+// (this is the CI columnar-off determinism leg in miniature).
+func TestSetColumnarOffIdenticalResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eedc01a))
+	rows := make([]Row, 5000)
+	for i := range rows {
+		rows[i] = KV{K: rng.Intn(512), V: rng.Intn(100)}
+	}
+	srows := make([]Row, 3000)
+	for i := range srows {
+		srows[i] = KV{K: fmt.Sprintf("k%03d", rng.Intn(256)), V: float64(i) / 3}
+	}
+	dep := &ShuffleDep{NumOut: 20}
+
+	onReduced := reduceRowsInt(rows, intSum)
+	onF64 := reduceRowsFloat64(srows, f64Sum)
+	onBuckets := dep.BucketRows(rows)
+	onGroup := groupRows(rows)
+
+	SetColumnar(false)
+	defer SetColumnar(true)
+	if ColumnarEnabled() {
+		t.Fatal("SetColumnar(false) did not disable the columnar plane")
+	}
+	offReduced := reduceRowsInt(rows, intSum)
+	offF64 := reduceRowsFloat64(srows, f64Sum)
+	offBuckets := dep.BucketRows(rows)
+	offGroup := groupRows(rows)
+
+	if !reflect.DeepEqual(onReduced, offReduced) {
+		t.Fatal("int reduce differs columnar on vs off")
+	}
+	if !reflect.DeepEqual(onF64, offF64) {
+		t.Fatal("float64 reduce differs columnar on vs off")
+	}
+	if !reflect.DeepEqual(onBuckets, offBuckets) {
+		t.Fatal("buckets differ columnar on vs off")
+	}
+	if !reflect.DeepEqual(onGroup.order, offGroup.order) || !reflect.DeepEqual(onGroup.vals, offGroup.vals) {
+		t.Fatal("grouping differs columnar on vs off")
+	}
+}
+
+// The typed operators must produce the same lineage results as plain
+// ReduceByKey with the boxed reducer, end to end through EvalLocal.
+func TestReduceByKeyTypedOperatorsMatchGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eedc01b))
+	gen := func(part int) []Row {
+		r := rand.New(rand.NewSource(int64(part) + 99))
+		rows := make([]Row, 2000)
+		for i := range rows {
+			rows[i] = KV{K: r.Intn(128), V: r.Intn(50)}
+		}
+		return rows
+	}
+	build := func(typed bool) [][]Row {
+		c := NewContext(4)
+		src := c.Parallelize("src", 4, 8, gen)
+		var red *RDD
+		if typed {
+			red = src.ReduceByKeyInt("sum", 4, intSum)
+		} else {
+			red = src.ReduceByKey("sum", 4, boxedIntSum)
+		}
+		return EvalLocal(red)
+	}
+	typed, generic := build(true), build(false)
+	if !reflect.DeepEqual(typed, generic) {
+		t.Fatal("ReduceByKeyInt lineage output differs from ReduceByKey")
+	}
+	_ = rng
+}
+
+// Float64 kernel: association order (and so float bit patterns) must
+// match the generic fold exactly, including on skewed batches.
+func TestReduceFloat64BitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eedc01c))
+	rows := make([]Row, 20000)
+	for i := range rows {
+		// Skew plus magnitudes chosen so float addition is order-sensitive.
+		k := int(rng.ExpFloat64() * 20)
+		rows[i] = KV{K: k, V: rng.Float64() * float64(uint64(1)<<uint(rng.Intn(40)))}
+	}
+	col := reduceRowsFloat64(rows, f64Sum)
+	gen := reduceRows(rows, boxedF64Sum)
+	if !reflect.DeepEqual(col, gen) {
+		t.Fatal("float64 fold not bit-identical to generic path")
+	}
+}

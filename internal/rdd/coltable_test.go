@@ -1,0 +1,161 @@
+package rdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fastDiv must agree with hardware / and % for every divisor the shuffle
+// can see (any positive partition count) across the full uint64 range:
+// bucket routing goes through it, so a single mismatch would silently
+// re-route rows and break the determinism anchors.
+func TestFastDivMatchesHardware(t *testing.T) {
+	edge := []uint64{
+		0, 1, 2, 3, 62, 63, 64, 65, 127, 128, 129, 255, 256, 257,
+		1<<31 - 1, 1 << 31, 1<<31 + 1, 1<<32 - 1, 1 << 32, 1<<32 + 1,
+		1<<63 - 1, 1 << 63, 1<<63 + 1, math.MaxUint64 - 1, math.MaxUint64,
+	}
+	rng := rand.New(rand.NewSource(0x5eed0c01))
+	xs := make([]uint64, 0, len(edge)+4096)
+	xs = append(xs, edge...)
+	for i := 0; i < 4096; i++ {
+		xs = append(xs, rng.Uint64())
+	}
+	check := func(d uint64) {
+		f := newFastDiv(d)
+		for _, x := range xs {
+			if got, want := f.div(x), x/d; got != want {
+				t.Fatalf("fastDiv(%d).div(%d) = %d, want %d", d, x, got, want)
+			}
+			if got, want := f.mod(x), x%d; got != want {
+				t.Fatalf("fastDiv(%d).mod(%d) = %d, want %d", d, x, got, want)
+			}
+		}
+	}
+	// Every realistic partition count, exhaustively.
+	for d := uint64(1); d <= 1<<13; d++ {
+		check(d)
+	}
+	// Large and adversarial divisors.
+	for _, d := range []uint64{
+		1<<31 - 1, 1 << 31, 1<<31 + 1, 1<<32 - 1, 1 << 32, 1<<32 + 1,
+		1<<62 - 1, 1 << 62, 1<<63 - 1, 1 << 63, 1<<63 + 1,
+		math.MaxUint64 - 1, math.MaxUint64,
+		3037000499, 6074000984, 0xdeadbeefcafef00d,
+	} {
+		check(d)
+	}
+	for i := 0; i < 2000; i++ {
+		check(rng.Uint64()%math.MaxUint64 + 1)
+	}
+}
+
+// FuzzFastDiv cross-checks arbitrary (x, d) pairs against / and %.
+func FuzzFastDiv(f *testing.F) {
+	f.Add(uint64(12345678901234567), uint64(20))
+	f.Add(uint64(math.MaxUint64), uint64(3))
+	f.Add(uint64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, x, d uint64) {
+		if d == 0 {
+			return
+		}
+		fd := newFastDiv(d)
+		if got, want := fd.div(x), x/d; got != want {
+			t.Fatalf("div(%d/%d) = %d, want %d", x, d, got, want)
+		}
+		if got, want := fd.mod(x), x%d; got != want {
+			t.Fatalf("mod(%d%%%d) = %d, want %d", x, d, got, want)
+		}
+	})
+}
+
+// fnvStr must equal HashKey's string hash byte for byte: the columnar
+// bucketer routes on it.
+func TestFnvStrMatchesHashKey(t *testing.T) {
+	cases := []string{"", "a", "ab", "abcdefg", "abcdefgh", "abcdefghi",
+		"the quick brown fox jumps over the lazy dog", "käsesoßenrührgerät"}
+	rng := rand.New(rand.NewSource(0x5eed0c02))
+	for i := 0; i < 200; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		cases = append(cases, string(b))
+	}
+	for _, s := range cases {
+		if got, want := fnvStr(s), HashKey(s); got != want {
+			t.Fatalf("fnvStr(%q) = %#x, want %#x", s, got, want)
+		}
+	}
+}
+
+// The slot tables must hand out slots in exact first-seen order and
+// survive growth without renumbering.
+func TestI64TableFirstSeenOrder(t *testing.T) {
+	tb := newI64Table(2) // tiny hint: forces several grows
+	rng := rand.New(rand.NewSource(0x5eed0c03))
+	ref := map[int64]int32{}
+	orderRef := []int64{}
+	for i := 0; i < 20000; i++ {
+		k := int64(rng.Intn(3000))
+		s, added := tb.slotOf(k, mix(uint64(k)))
+		if ws, seen := ref[k]; seen {
+			if added || s != ws {
+				t.Fatalf("key %d: slot %d added=%v, want slot %d added=false", k, s, added, ws)
+			}
+		} else {
+			if !added || int(s) != len(orderRef) {
+				t.Fatalf("key %d: slot %d added=%v, want slot %d added=true", k, s, added, len(orderRef))
+			}
+			ref[k] = s
+			orderRef = append(orderRef, k)
+		}
+	}
+	for i, k := range orderRef {
+		s, ok := tb.lookup(k, mix(uint64(k)))
+		if !ok || int(s) != i {
+			t.Fatalf("lookup(%d) = %d,%v want %d,true", k, s, ok, i)
+		}
+	}
+	if _, ok := tb.lookup(1<<40, mix(uint64(1<<40))); ok {
+		t.Fatal("lookup of absent key reported present")
+	}
+}
+
+func TestStrTableFirstSeenOrder(t *testing.T) {
+	tb := newStrTable(2)
+	rng := rand.New(rand.NewSource(0x5eed0c04))
+	words := make([]string, 500)
+	for i := range words {
+		b := make([]byte, 1+rng.Intn(24))
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		words[i] = string(b)
+	}
+	ref := map[string]int32{}
+	orderRef := []string{}
+	for i := 0; i < 20000; i++ {
+		k := words[rng.Intn(len(words))]
+		s, added := tb.slotOf(k, strHash(k))
+		if ws, seen := ref[k]; seen {
+			if added || s != ws {
+				t.Fatalf("key %q: slot %d added=%v, want slot %d", k, s, added, ws)
+			}
+		} else {
+			if !added || int(s) != len(orderRef) {
+				t.Fatalf("key %q: slot %d added=%v, want slot %d added=true", k, s, added, len(orderRef))
+			}
+			ref[k] = s
+			orderRef = append(orderRef, k)
+		}
+	}
+	for i, k := range orderRef {
+		s, ok := tb.lookupStr(k, strHash(k))
+		if !ok || int(s) != i {
+			t.Fatalf("lookupStr(%q) = %d,%v want %d,true", k, s, ok, i)
+		}
+	}
+	if _, ok := tb.lookupStr("ZZZZ-not-there", strHash("ZZZZ-not-there")); ok {
+		t.Fatal("lookupStr of absent key reported present")
+	}
+}

@@ -72,8 +72,8 @@ func (r *RDD) CountPerKey(name string, parts int) *RDD {
 	ones := r.Map(name+":ones", func(row Row) Row {
 		return KV{K: row.(KV).K, V: 1}
 	})
-	return ones.ReduceByKey(name, parts, func(a, b Row) Row {
-		return a.(int) + b.(int)
+	return ones.ReduceByKeyInt(name, parts, func(a, b int) int {
+		return a + b
 	})
 }
 

@@ -187,8 +187,8 @@ func RunKMeans(run Runner, c *rdd.Context, cfg KMeansConfig) (*Report, error) {
 			}
 		}
 		return rdd.KV{K: 0, V: bestD}
-	}).WithWeight(cfg.Weight).ReduceByKey("cost:sum", 1, func(a, b rdd.Row) rdd.Row {
-		return a.(float64) + b.(float64)
+	}).WithWeight(cfg.Weight).ReduceByKeyFloat64("cost:sum", 1, func(a, b float64) float64 {
+		return a + b
 	})
 	costRes, err := run.RunJob(costRDD, exec.ActionCollect)
 	if err != nil {

@@ -139,8 +139,8 @@ func BuildPageRank(c *rdd.Context, cfg PageRankConfig) *rdd.RDD {
 		// failure only cascades back to the youngest surviving (or
 		// checkpointed) ranks rather than to the source.
 		ranks = contribs.
-			ReduceByKey(fmt.Sprintf("iter%d:sum", i), cfg.Parts, func(a, b rdd.Row) rdd.Row {
-				return a.(float64) + b.(float64)
+			ReduceByKeyFloat64(fmt.Sprintf("iter%d:sum", i), cfg.Parts, func(a, b float64) float64 {
+				return a + b
 			}).
 			MapValues(fmt.Sprintf("iter%d:damp", i), func(v rdd.Row) rdd.Row {
 				return 0.15 + 0.85*v.(float64)

@@ -335,8 +335,8 @@ func (t *TPCH) Q6(run Runner, qid int, dateLo, dateHi int, discLo, discHi, maxQt
 			li := r.(LineItem)
 			return rdd.KV{K: 0, V: li.ExtendedPrice * li.Discount}
 		}).
-		ReduceByKey(fmt.Sprintf("q6-%d:sum", qid), 1, func(a, b rdd.Row) rdd.Row {
-			return a.(float64) + b.(float64)
+		ReduceByKeyFloat64(fmt.Sprintf("q6-%d:sum", qid), 1, func(a, b float64) float64 {
+			return a + b
 		})
 	res, err := run.RunJob(rev, exec.ActionCollect)
 	if err != nil {

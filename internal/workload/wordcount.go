@@ -66,8 +66,8 @@ func BuildWordCount(c *rdd.Context, cfg WordCountConfig) *rdd.RDD {
 			}
 			return out
 		}).
-		ReduceByKey("counts", cfg.Parts, func(a, b rdd.Row) rdd.Row {
-			return a.(int) + b.(int)
+		ReduceByKeyInt("counts", cfg.Parts, func(a, b int) int {
+			return a + b
 		})
 }
 
