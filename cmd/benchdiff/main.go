@@ -28,6 +28,7 @@ type benchEntry struct {
 	OutcomeFNV  string  `json:"outcome_fnv"`
 	TraceFNV    string  `json:"trace_fnv"`
 	TraceEvents int     `json:"trace_events"`
+	Allocs      uint64  `json:"allocs"` // zero in records written before alloc accounting landed
 }
 
 type benchRecord struct {
@@ -59,13 +60,13 @@ func diffRecords(anchor, fresh benchRecord) (drift []string, report string) {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "### bench-regression: %s vs anchor %s\n\n", orDash(fresh.Rev), orDash(anchor.Rev))
-	b.WriteString("| scenario | virtual_s | outcome_fnv | trace_fnv | anchor wall_s | wall_s | wall ratio |\n")
-	b.WriteString("|---|---|---|---|---|---|---|\n")
+	b.WriteString("| scenario | virtual_s | outcome_fnv | trace_fnv | anchor wall_s | wall_s | wall ratio | allocs ratio |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
 	for _, a := range anchor.Scenarios {
 		f, ok := freshBy[a.Name]
 		if !ok {
 			drift = append(drift, fmt.Sprintf("%s: scenario missing from fresh record", a.Name))
-			fmt.Fprintf(&b, "| %s | MISSING | — | — | %.3f | — | — |\n", a.Name, a.WallS)
+			fmt.Fprintf(&b, "| %s | MISSING | — | — | %.3f | — | — | — |\n", a.Name, a.WallS)
 			continue
 		}
 		status := func(anchorV, freshV, label string) string {
@@ -89,14 +90,21 @@ func diffRecords(anchor, fresh benchRecord) (drift []string, report string) {
 		if a.WallS > 0 && f.WallS > 0 {
 			ratio = fmt.Sprintf("%.2fx", a.WallS/f.WallS)
 		}
-		fmt.Fprintf(&b, "| %s | %s | %s | %s | %.3f | %.3f | %s |\n",
+		// Allocs are informational like wall seconds: machine- and
+		// runtime-version-dependent, so the ratio never gates. "n/a"
+		// covers anchors recorded before alloc accounting landed.
+		allocs := "n/a"
+		if a.Allocs > 0 && f.Allocs > 0 {
+			allocs = fmt.Sprintf("%.2fx", float64(a.Allocs)/float64(f.Allocs))
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %.3f | %.3f | %s | %s |\n",
 			a.Name, virt,
 			status(a.OutcomeFNV, f.OutcomeFNV, "outcome FNV"),
 			status(a.TraceFNV, f.TraceFNV, "trace FNV"),
-			a.WallS, f.WallS, ratio)
+			a.WallS, f.WallS, ratio, allocs)
 	}
 	if len(drift) == 0 {
-		b.WriteString("\nNo drift: every anchored scenario is byte-identical (wall ratio >1 means faster than the anchor machine run).\n")
+		b.WriteString("\nNo drift: every anchored scenario is byte-identical (wall ratio >1 means faster than the anchor machine run; allocs ratio >1 means fewer heap allocations).\n")
 	} else {
 		fmt.Fprintf(&b, "\n**%d drift finding(s)** — the data plane changed observable output.\n", len(drift))
 	}

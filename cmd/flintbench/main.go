@@ -43,6 +43,7 @@ type benchEntry struct {
 	OutcomeFNV  string  `json:"outcome_fnv,omitempty"`
 	TraceFNV    string  `json:"trace_fnv,omitempty"`
 	TraceEvents int     `json:"trace_events,omitempty"`
+	Allocs      uint64  `json:"allocs,omitempty"` // heap allocations during the run (machine-dependent, never gated)
 }
 
 // benchRecord is the BENCH_<rev>.json payload CI uploads as an artifact,
@@ -53,6 +54,7 @@ type benchRecord struct {
 	GoMaxProc int          `json:"gomaxprocs"`
 	Scale     float64      `json:"scale"`
 	Columnar  bool         `json:"columnar"`
+	ColCarry  bool         `json:"colcarry"`
 	Scenarios []benchEntry `json:"scenarios"`
 }
 
@@ -65,6 +67,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file covering the selected experiments to this path")
 	workers := flag.Int("workers", 0, "engine worker-pool width for task execution (0 = GOMAXPROCS; 1 = serial); any value produces identical results")
 	columnar := flag.Bool("columnar", true, "use the columnar data-plane kernels (false forces the generic Row path; results are identical either way)")
+	colcarry := flag.Bool("colcarry", true, "carry column batches end-to-end through shuffle/cache/checkpoint (false boxes at every operator boundary; results are identical either way)")
 	chaosSeeds := flag.Int("chaos-seeds", 25, "chaosbench: seeds per profile (1..n)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "chaosbench: run only this single seed (overrides -chaos-seeds; use to replay an artifact)")
 	chaosProfile := flag.String("chaos-profile", "", "chaosbench: run only this fault profile (default: all)")
@@ -86,6 +89,7 @@ func main() {
 	}
 	exec.SetDefaultWorkers(*workers)
 	rdd.SetColumnar(*columnar)
+	rdd.SetColumnCarry(*colcarry)
 	var bundle *obs.Obs
 	if *traceOut != "" {
 		// Experiments assemble their own deployments internally, so the
@@ -107,7 +111,7 @@ func main() {
 	}
 	record := benchRecord{
 		Rev: *rev, Workers: *workers, GoMaxProc: runtime.GOMAXPROCS(0), Scale: *scale,
-		Columnar: *columnar,
+		Columnar: *columnar, ColCarry: *colcarry,
 	}
 	for _, name := range args {
 		sw := obs.Stopwatch()
@@ -246,6 +250,7 @@ func run(w io.Writer, name string, s experiments.Scale, runs, markets, portfolio
 				OutcomeFNV:  fmt.Sprintf("%016x", sc.OutcomeFNV),
 				TraceFNV:    fmt.Sprintf("%016x", sc.TraceFNV),
 				TraceEvents: sc.TraceN,
+				Allocs:      sc.Allocs,
 			})
 		}
 		return entries, export(csvDir, res, nil)

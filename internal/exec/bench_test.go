@@ -25,7 +25,7 @@ func benchTracker(mapParts, numOut, rowsPerBucket int) (*shuffleTracker, *rdd.Sh
 			}
 			buckets[b] = rows
 		}
-		tr.putOutput(dep, mp, mp%4, buckets)
+		tr.putOutput(dep, mp, mp%4, wrapBuckets(buckets))
 	}
 	return tr, dep
 }
@@ -45,9 +45,9 @@ func BenchmarkShuffleFetch(b *testing.B) {
 		b.Run(c.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				rows := tr.fetch(dep, i%c.numOut, 0).materialize()
-				if len(rows) != c.mapParts*c.rowsPerBkt {
-					b.Fatalf("fetched %d rows", len(rows))
+				got := tr.fetch(dep, i%c.numOut, 0).materialize()
+				if got.Len() != c.mapParts*c.rowsPerBkt {
+					b.Fatalf("fetched %d rows", got.Len())
 				}
 			}
 		})
@@ -105,6 +105,28 @@ func BenchmarkBucketing(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				buckets := parallelBuckets(dep, rows, 4)
 				if len(buckets[0]) == 0 {
+					b.Fatal("empty bucket")
+				}
+			}
+		})
+		// -col scatters the typed key column directly (the carry plane's
+		// map-side path); -col-par4 is the same scatter chunked across 4
+		// goroutines via the roll-up scheme.
+		batch := rdd.ExtractBatch(rows, true)
+		b.Run(tc.name+"-col", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buckets := dep.BucketBatch(batch)
+				if buckets[0].Len() == 0 {
+					b.Fatal("empty bucket")
+				}
+			}
+		})
+		b.Run(tc.name+"-col-par4", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buckets := parallelBucketBatch(dep, batch, 4)
+				if buckets[0].Len() == 0 {
 					b.Fatal("empty bucket")
 				}
 			}

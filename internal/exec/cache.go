@@ -22,9 +22,15 @@ const (
 	tierDisk
 )
 
+// block is one cached partition. data is the column-carrying batch form
+// (tail-only for row-plane partitions); bytes stays the engine's
+// RowBytes-based estimate of the boxed rows — the accounting unit every
+// eviction threshold, checkpoint policy and virtual-time charge is
+// calibrated in — so cache behaviour is identical whichever layout the
+// batch holds.
 type block struct {
 	key   blockKey
-	rows  []rdd.Row
+	data  *rdd.ColBatch
 	bytes int64
 	where tier
 	elem  *list.Element // position in the tier's LRU list
@@ -101,11 +107,11 @@ func (c *blockCache) has(k blockKey) bool {
 // blocks to disk — and from disk entirely — as needed. A block larger
 // than the memory tier goes straight to disk; larger than both is not
 // stored at all.
-func (c *blockCache) put(k blockKey, rows []rdd.Row, bytes int64) {
+func (c *blockCache) put(k blockKey, data *rdd.ColBatch, bytes int64) {
 	if old, ok := c.blocks[k]; ok {
 		c.remove(old)
 	}
-	b := &block{key: k, rows: rows, bytes: bytes}
+	b := &block{key: k, data: data, bytes: bytes}
 	if bytes <= c.memCap {
 		c.evictMem(bytes)
 		b.where = tierMem

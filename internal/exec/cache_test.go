@@ -18,9 +18,9 @@ func rowsOf(n int) []rdd.Row {
 
 func TestBlockCachePutGet(t *testing.T) {
 	c := newBlockCache(1000, 1000)
-	c.put(blockKey{1, 0}, rowsOf(3), 100)
+	c.put(blockKey{1, 0}, rdd.WrapRows(rowsOf(3)), 100)
 	b, ok := c.get(blockKey{1, 0})
-	if !ok || b.bytes != 100 || len(b.rows) != 3 {
+	if !ok || b.bytes != 100 || b.data.Len() != 3 {
 		t.Fatalf("get = %+v, %v", b, ok)
 	}
 	if b.where != tierMem {
@@ -37,14 +37,14 @@ func TestBlockCachePutGet(t *testing.T) {
 
 func TestBlockCacheReplaceSameKey(t *testing.T) {
 	c := newBlockCache(1000, 1000)
-	c.put(blockKey{1, 0}, rowsOf(1), 400)
-	c.put(blockKey{1, 0}, rowsOf(2), 300)
+	c.put(blockKey{1, 0}, rdd.WrapRows(rowsOf(1)), 400)
+	c.put(blockKey{1, 0}, rdd.WrapRows(rowsOf(2)), 300)
 	mem, _ := c.usage()
 	if mem != 300 {
 		t.Fatalf("replace leaked: mem = %d", mem)
 	}
 	b, _ := c.get(blockKey{1, 0})
-	if len(b.rows) != 2 {
+	if b.data.Len() != 2 {
 		t.Error("stale rows after replace")
 	}
 }

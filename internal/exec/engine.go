@@ -407,7 +407,7 @@ func (e *Engine) enqueueCheckpoint(ns *nodeState, cp computedPart) {
 	e.nextTaskSeq++
 	t := &task{
 		seq: e.nextTaskSeq, kind: taskCheckpoint, node: ns, pinned: true,
-		ckptRDD: cp.r, part: cp.part, ckptRows: cp.rows, ckptBytes: cp.bytes,
+		ckptRDD: cp.r, part: cp.part, ckptData: cp.data, ckptBytes: cp.bytes,
 		attempt: 1,
 	}
 	e.pendingCkpt[blockKey{rddID: cp.r.ID, part: cp.part}] = true
@@ -564,7 +564,7 @@ func (e *Engine) onTaskDone(t *task) {
 			return
 		}
 		delete(e.pendingCkpt, k)
-		e.store.Put(checkpointKey(t.ckptRDD, t.part), t.ckptRows, t.ckptBytes, now)
+		e.store.Put(checkpointKey(t.ckptRDD, t.part), t.ckptData, t.ckptBytes, now)
 		e.metrics.CheckpointTasks++
 		e.metrics.CheckpointBytes += t.ckptBytes
 		e.obs.CheckpointTasks.Inc()
@@ -650,7 +650,7 @@ func (e *Engine) onTaskDone(t *task) {
 	}
 	// Cache insertions.
 	for _, cp := range t.eff.toCache {
-		ns.cache.put(blockKey{rddID: cp.r.ID, part: cp.part}, cp.rows, cp.bytes)
+		ns.cache.put(blockKey{rddID: cp.r.ID, part: cp.part}, cp.data, cp.bytes)
 	}
 	// Checkpoint consultation for everything materialized or touched
 	// here: explicit RDD.Checkpoint() requests always write; otherwise
@@ -745,7 +745,7 @@ func (e *Engine) requeueCheckpoint(t *task) {
 	e.nextTaskSeq++
 	e.queue = append(e.queue, &task{
 		seq: e.nextTaskSeq, kind: taskCheckpoint, node: t.node, pinned: true,
-		ckptRDD: t.ckptRDD, part: t.part, ckptRows: t.ckptRows, ckptBytes: t.ckptBytes,
+		ckptRDD: t.ckptRDD, part: t.part, ckptData: t.ckptData, ckptBytes: t.ckptBytes,
 		attempt: t.attempt + 1,
 	})
 	e.pump()

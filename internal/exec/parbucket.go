@@ -38,13 +38,13 @@ const (
 	parBucketChunk = 1 << 12
 )
 
-// bucketAndCombine buckets one map task's rows and applies the map-side
-// combine, recruiting idle pool capacity for large partitions. Output is
-// byte-identical to dep.BucketRows + serial per-bucket Combine.
-func (e *Engine) bucketAndCombine(dep *rdd.ShuffleDep, rows []rdd.Row) [][]rdd.Row {
+// recruitHelpers try-acquires idle worker-pool slots for an n-row
+// bucketing, returning how many joined (0 under a full round or for
+// small partitions). Every recruit must be paired with releaseHelpers.
+func (e *Engine) recruitHelpers(n int) int {
 	helpers := 0
-	if len(rows) >= parBucketMinRows {
-		max := len(rows)/parBucketChunk - 1
+	if n >= parBucketMinRows {
+		max := n/parBucketChunk - 1
 		for helpers < max {
 			select {
 			case e.scatterSem <- struct{}{}:
@@ -54,6 +54,21 @@ func (e *Engine) bucketAndCombine(dep *rdd.ShuffleDep, rows []rdd.Row) [][]rdd.R
 			}
 		}
 	}
+	return helpers
+}
+
+// releaseHelpers returns recruited slots to the pool.
+func (e *Engine) releaseHelpers(helpers int) {
+	for i := 0; i < helpers; i++ {
+		<-e.scatterSem
+	}
+}
+
+// bucketAndCombine buckets one map task's rows and applies the map-side
+// combine, recruiting idle pool capacity for large partitions. Output is
+// byte-identical to dep.BucketRows + serial per-bucket Combine.
+func (e *Engine) bucketAndCombine(dep *rdd.ShuffleDep, rows []rdd.Row) [][]rdd.Row {
+	helpers := e.recruitHelpers(len(rows))
 	var buckets [][]rdd.Row
 	if helpers == 0 {
 		buckets = dep.BucketRows(rows)
@@ -63,9 +78,7 @@ func (e *Engine) bucketAndCombine(dep *rdd.ShuffleDep, rows []rdd.Row) [][]rdd.R
 	if dep.Combine != nil {
 		combineBuckets(dep, buckets, helpers+1)
 	}
-	for i := 0; i < helpers; i++ {
-		<-e.scatterSem
-	}
+	e.releaseHelpers(helpers)
 	return buckets
 }
 

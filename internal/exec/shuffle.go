@@ -10,10 +10,13 @@ import (
 type shuffleID int
 
 // mapOutput is the result of one shuffle map task: the bucketed rows of
-// one parent partition, resident on the node that ran the task.
+// one parent partition, resident on the node that ran the task. Buckets
+// are ColBatches — typed columns when the dep is Columnar and carry is
+// enabled, tail-only wraps of the classic []Row buckets otherwise — so
+// the tracker stores and serves columns without ever boxing.
 type mapOutput struct {
 	nodeID  int
-	buckets [][]rdd.Row
+	buckets []*rdd.ColBatch
 	sizes   []int64
 	total   int64 // sum of sizes, precomputed for node accounting
 }
@@ -97,7 +100,7 @@ func (t *shuffleTracker) lookup(dep *rdd.ShuffleDep) *shuffleState {
 // putOutput registers a completed map task's buckets, replacing any
 // previous output for the same map partition (recomputation after a
 // revocation) and keeping the per-node byte totals current.
-func (t *shuffleTracker) putOutput(dep *rdd.ShuffleDep, mapPart, nodeID int, buckets [][]rdd.Row) {
+func (t *shuffleTracker) putOutput(dep *rdd.ShuffleDep, mapPart, nodeID int, buckets []*rdd.ColBatch) {
 	st := t.state(dep)
 	if old := st.outputs[mapPart]; old != nil {
 		t.nodeTotals[old.nodeID] -= old.total
@@ -105,7 +108,7 @@ func (t *shuffleTracker) putOutput(dep *rdd.ShuffleDep, mapPart, nodeID int, buc
 	sizes := make([]int64, len(buckets))
 	var total int64
 	for i, b := range buckets {
-		sizes[i] = dep.P.SizeOfRows(len(b))
+		sizes[i] = dep.P.SizeOfRows(b.Len())
 		total += sizes[i]
 	}
 	st.outputs[mapPart] = &mapOutput{nodeID: nodeID, buckets: buckets, sizes: sizes, total: total}
@@ -175,36 +178,32 @@ func (t *shuffleTracker) dropNode(nodeID int) {
 }
 
 // fetchResult is the outcome of a reduce-side fetch: a view of the
-// reduce partition's bucket slices in map-partition order, with the
+// reduce partition's bucket batches in map-partition order, with the
 // total row count precomputed. The segments alias the tracker's stored
 // buckets — shuffle data is immutable once registered — so a fetch
-// itself copies nothing; callers that need one contiguous slice call
+// itself copies nothing; callers that need one contiguous batch call
 // materialize exactly once.
 type fetchResult struct {
-	segs        [][]rdd.Row // non-empty bucket slices, map-partition order
-	total       int         // rows across segs
+	segs        []*rdd.ColBatch // non-empty buckets, map-partition order
+	total       int             // rows across segs
 	localBytes  int64
 	remoteBytes int64
 	missing     []int // map partitions that were unavailable
 }
 
-// materialize concatenates the segments into one row slice, allocated at
-// exact size. A single-segment fetch returns the stored bucket directly
-// (copy-free; its capacity is pinned so appends cannot clobber tracker
-// state). Returns nil if the fetch had missing outputs.
-func (r fetchResult) materialize() []rdd.Row {
+// materialize concatenates the segments into one batch. A single-segment
+// fetch — common for narrow reduce fan-ins, and previously the one case
+// the []Row plane still special-cased — returns the stored bucket
+// directly, whatever its layout (copy-free; column and tail capacities
+// are pinned so appends cannot clobber tracker state). Multi-segment
+// fetches of a shared layout concatenate column-to-column without
+// boxing (rdd.ConcatBatches). Returns an empty batch if the fetch had
+// missing outputs, so egress boxing still yields a nil row slice.
+func (r fetchResult) materialize() *rdd.ColBatch {
 	if len(r.missing) > 0 || r.total == 0 {
-		return nil
+		return rdd.WrapRows(nil)
 	}
-	if len(r.segs) == 1 {
-		return r.segs[0]
-	}
-	out := make([]rdd.Row, r.total)
-	off := 0
-	for _, s := range r.segs {
-		off += copy(out[off:], s)
-	}
-	return out
+	return rdd.ConcatBatches(r.segs, r.total)
 }
 
 // fetch gathers bucket `reducePart` from every map output of dep, for a
@@ -227,9 +226,9 @@ func (t *shuffleTracker) fetch(dep *rdd.ShuffleDep, reducePart, readerNode int) 
 			res.missing = append(res.missing, i)
 			continue
 		}
-		if b := o.buckets[reducePart]; len(b) > 0 {
+		if b := o.buckets[reducePart]; b.Len() > 0 {
 			res.segs = append(res.segs, b)
-			res.total += len(b)
+			res.total += b.Len()
 		}
 		if o.nodeID == readerNode {
 			res.localBytes += o.sizes[reducePart]

@@ -6,6 +6,16 @@ import (
 	"flint/internal/rdd"
 )
 
+// wrapBuckets lifts classic []Row buckets into tail-only batches for
+// the batch-typed tracker API.
+func wrapBuckets(bs [][]rdd.Row) []*rdd.ColBatch {
+	out := make([]*rdd.ColBatch, len(bs))
+	for i, b := range bs {
+		out[i] = rdd.WrapRows(b)
+	}
+	return out
+}
+
 func shuffleFixture() (*shuffleTracker, *rdd.ShuffleDep) {
 	c := rdd.NewContext(2)
 	src := c.Parallelize("src", 3, 10, func(part int) []rdd.Row { return nil })
@@ -34,15 +44,15 @@ func TestShuffleTrackerAvailability(t *testing.T) {
 	if got := st.missingParts(); len(got) != 3 {
 		t.Fatalf("missing = %v", got)
 	}
-	tr.putOutput(dep, 0, 1, [][]rdd.Row{{1}, {2}})
-	tr.putOutput(dep, 2, 2, [][]rdd.Row{{3}, nil})
+	tr.putOutput(dep, 0, 1, wrapBuckets([][]rdd.Row{{1}, {2}}))
+	tr.putOutput(dep, 2, 2, wrapBuckets([][]rdd.Row{{3}, nil}))
 	if st.available() {
 		t.Fatal("partially registered shuffle should not be available")
 	}
 	if got := st.missingParts(); len(got) != 1 || got[0] != 1 {
 		t.Fatalf("missing = %v", got)
 	}
-	tr.putOutput(dep, 1, 1, [][]rdd.Row{nil, {4}})
+	tr.putOutput(dep, 1, 1, wrapBuckets([][]rdd.Row{nil, {4}}))
 	if !st.available() {
 		t.Fatal("fully registered shuffle should be available")
 	}
@@ -50,15 +60,15 @@ func TestShuffleTrackerAvailability(t *testing.T) {
 
 func TestShuffleFetchOrderAndLocality(t *testing.T) {
 	tr, dep := shuffleFixture()
-	tr.putOutput(dep, 0, 1, [][]rdd.Row{{"a0"}, {"b0"}})
-	tr.putOutput(dep, 1, 2, [][]rdd.Row{{"a1"}, {"b1"}})
-	tr.putOutput(dep, 2, 1, [][]rdd.Row{{"a2"}, {"b2"}})
+	tr.putOutput(dep, 0, 1, wrapBuckets([][]rdd.Row{{"a0"}, {"b0"}}))
+	tr.putOutput(dep, 1, 2, wrapBuckets([][]rdd.Row{{"a1"}, {"b1"}}))
+	tr.putOutput(dep, 2, 1, wrapBuckets([][]rdd.Row{{"a2"}, {"b2"}}))
 	// Reader on node 1: map parts 0 and 2 are local.
 	res := tr.fetch(dep, 0, 1)
 	if len(res.missing) != 0 {
 		t.Fatalf("unexpected missing: %v", res.missing)
 	}
-	rows := res.materialize()
+	rows := res.materialize().Rows()
 	if len(rows) != res.total {
 		t.Fatalf("materialized %d rows, total says %d", len(rows), res.total)
 	}
@@ -76,12 +86,12 @@ func TestShuffleFetchOrderAndLocality(t *testing.T) {
 
 func TestShuffleFetchMissingFails(t *testing.T) {
 	tr, dep := shuffleFixture()
-	tr.putOutput(dep, 0, 1, [][]rdd.Row{{"a0"}, {"b0"}})
+	tr.putOutput(dep, 0, 1, wrapBuckets([][]rdd.Row{{"a0"}, {"b0"}}))
 	res := tr.fetch(dep, 1, 1)
 	if len(res.missing) != 2 {
 		t.Fatalf("missing = %v, want [1 2]", res.missing)
 	}
-	if res.segs != nil || res.total != 0 || res.materialize() != nil {
+	if res.segs != nil || res.total != 0 || res.materialize().Len() != 0 {
 		t.Error("failed fetch must not return partial rows")
 	}
 }
@@ -95,9 +105,9 @@ func TestShuffleFetchSingleSegmentCopyFree(t *testing.T) {
 	dep := &rdd.ShuffleDep{P: src, NumOut: 2}
 	tr := newShuffleTracker()
 	bucket0 := dep.BucketRows([]rdd.Row{rdd.KV{K: 0, V: "a"}, rdd.KV{K: 0, V: "b"}})
-	tr.putOutput(dep, 0, 1, bucket0)
+	tr.putOutput(dep, 0, 1, wrapBuckets(bucket0))
 	res := tr.fetch(dep, rdd.PartitionOf(0, 2), 1)
-	rows := res.materialize()
+	rows := res.materialize().Rows()
 	if len(rows) != 2 {
 		t.Fatalf("rows = %v", rows)
 	}
@@ -106,7 +116,7 @@ func TestShuffleFetchSingleSegmentCopyFree(t *testing.T) {
 	}
 	grown := append(rows, rdd.KV{K: 0, V: "c"})
 	_ = grown
-	again := tr.fetch(dep, rdd.PartitionOf(0, 2), 1).materialize()
+	again := tr.fetch(dep, rdd.PartitionOf(0, 2), 1).materialize().Rows()
 	if len(again) != 2 {
 		t.Fatalf("append through fetched view corrupted the tracker: %v", again)
 	}
@@ -144,14 +154,14 @@ func TestShuffleNodeBytesMatchesRecount(t *testing.T) {
 		}
 	}
 
-	tr.putOutput(depA, 0, 1, [][]rdd.Row{{1, 2}, {3}})
-	tr.putOutput(depA, 1, 2, [][]rdd.Row{{4}, nil})
-	tr.putOutput(depB, 0, 1, [][]rdd.Row{{5}, {6}, {7}})
-	tr.putOutput(depB, 2, 3, [][]rdd.Row{nil, {8, 9}, nil})
+	tr.putOutput(depA, 0, 1, wrapBuckets([][]rdd.Row{{1, 2}, {3}}))
+	tr.putOutput(depA, 1, 2, wrapBuckets([][]rdd.Row{{4}, nil}))
+	tr.putOutput(depB, 0, 1, wrapBuckets([][]rdd.Row{{5}, {6}, {7}}))
+	tr.putOutput(depB, 2, 3, wrapBuckets([][]rdd.Row{nil, {8, 9}, nil}))
 	check("after puts")
 
 	// Recomputation overwrites map part 0 of depA on a different node.
-	tr.putOutput(depA, 0, 3, [][]rdd.Row{{1}, {2, 3, 4}})
+	tr.putOutput(depA, 0, 3, wrapBuckets([][]rdd.Row{{1}, {2, 3, 4}}))
 	check("after overwrite")
 
 	// Revocation drops node 1; its outputs vanish from both shuffles.
@@ -159,16 +169,16 @@ func TestShuffleNodeBytesMatchesRecount(t *testing.T) {
 	check("after dropNode")
 
 	// Recovery re-registers the lost outputs elsewhere.
-	tr.putOutput(depB, 0, 2, [][]rdd.Row{{5}, {6}, {7}})
-	tr.putOutput(depA, 2, 2, [][]rdd.Row{{10, 11, 12}, {13}})
+	tr.putOutput(depB, 0, 2, wrapBuckets([][]rdd.Row{{5}, {6}, {7}}))
+	tr.putOutput(depA, 2, 2, wrapBuckets([][]rdd.Row{{10, 11, 12}, {13}}))
 	check("after recovery")
 }
 
 func TestShuffleDropNode(t *testing.T) {
 	tr, dep := shuffleFixture()
-	tr.putOutput(dep, 0, 1, [][]rdd.Row{{"a0"}, nil})
-	tr.putOutput(dep, 1, 2, [][]rdd.Row{{"a1"}, nil})
-	tr.putOutput(dep, 2, 1, [][]rdd.Row{{"a2"}, nil})
+	tr.putOutput(dep, 0, 1, wrapBuckets([][]rdd.Row{{"a0"}, nil}))
+	tr.putOutput(dep, 1, 2, wrapBuckets([][]rdd.Row{{"a1"}, nil}))
+	tr.putOutput(dep, 2, 1, wrapBuckets([][]rdd.Row{{"a2"}, nil}))
 	tr.dropNode(1)
 	st := tr.state(dep)
 	if got := st.missingParts(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
@@ -184,7 +194,7 @@ func TestShuffleDropNode(t *testing.T) {
 
 func TestShuffleNodeBytes(t *testing.T) {
 	tr, dep := shuffleFixture()
-	tr.putOutput(dep, 0, 1, [][]rdd.Row{{"x", "y"}, {"z"}})
+	tr.putOutput(dep, 0, 1, wrapBuckets([][]rdd.Row{{"x", "y"}, {"z"}}))
 	// 3 rows × 10 bytes (src RowBytes).
 	if got := tr.nodeBytes(1); got != 30 {
 		t.Fatalf("nodeBytes = %d, want 30", got)

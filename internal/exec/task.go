@@ -30,7 +30,7 @@ type task struct {
 
 	// taskCheckpoint payload.
 	ckptRDD   *rdd.RDD
-	ckptRows  []rdd.Row
+	ckptData  *rdd.ColBatch
 	ckptBytes int64
 
 	// taskSystemCkpt payload.
@@ -46,11 +46,13 @@ type task struct {
 }
 
 // computedPart is one partition materialized during a task, reported to
-// the checkpoint policy at completion.
+// the checkpoint policy at completion. data carries the partition in its
+// batch form — columns travel on into the cache and checkpoint store
+// without boxing; bytes stays the RowBytes estimate of the boxed rows.
 type computedPart struct {
 	r     *rdd.RDD
 	part  int
-	rows  []rdd.Row
+	data  *rdd.ColBatch
 	bytes int64
 }
 
@@ -69,11 +71,11 @@ type cacheTouch struct {
 // before virtual time has passed.
 type effects struct {
 	duration    float64
-	computed    []computedPart // partitions produced by the pipeline
-	touched     []computedPart // cached partitions read (checkpoint candidates)
-	toCache     []computedPart // subset destined for the node cache
-	mapBuckets  [][]rdd.Row    // map-stage output buckets
-	resultRows  []rdd.Row      // result-stage partition rows
+	computed    []computedPart  // partitions produced by the pipeline
+	touched     []computedPart  // cached partitions read (checkpoint candidates)
+	toCache     []computedPart  // subset destined for the node cache
+	mapBuckets  []*rdd.ColBatch // map-stage output buckets (column batches)
+	resultRows  []rdd.Row       // result-stage partition rows (boxed at egress)
 	fetchFailed []*rdd.ShuffleDep
 	remoteBytes int64
 	localBytes  int64
@@ -107,49 +109,59 @@ type taskCtx struct {
 	e     *Engine
 	node  *nodeState
 	nodes []*nodeState // round-start snapshot, node-ID order
-	memo  map[blockKey][]rdd.Row
+	memo  map[blockKey]*rdd.ColBatch
 	eff   *effects
 }
 
-// resolve returns the rows of partition (r, p), or nil if a shuffle fetch
-// failed (eff.fetchFailed is then non-empty).
-func (tc *taskCtx) resolve(r *rdd.RDD, p int) []rdd.Row {
+// resolve returns partition (r, p) as a column batch, or nil if a
+// shuffle fetch failed (eff.fetchFailed is then non-empty). Partitions
+// travel as ColBatches through the whole pipeline — memo, cache,
+// checkpoint store, shuffle — and box to []Row only at egress into an
+// Fn closure (operators without a ColFn) or result delivery. All
+// virtual-time charges derive from row counts via SizeOfRows, exactly
+// as on the []Row plane, so durations and byte totals are identical
+// whatever layout a batch carries.
+func (tc *taskCtx) resolve(r *rdd.RDD, p int) *rdd.ColBatch {
 	k := blockKey{rddID: r.ID, part: p}
-	if rows, ok := tc.memo[k]; ok {
-		return rows
+	if b, ok := tc.memo[k]; ok {
+		return b
 	}
 	// 1. RDD cache, preferring the local node. Cached partitions are
 	// offered to the checkpoint policy at completion: Flint checkpoints
 	// long-lived cached state (e.g. a database's tables) even when no
 	// task recomputes it.
-	if rows, ok := tc.readCache(k, r); ok {
-		tc.memo[k] = rows
-		tc.eff.touched = append(tc.eff.touched, computedPart{r: r, part: p, rows: rows, bytes: r.SizeOfRows(len(rows))})
-		return rows
+	if b, ok := tc.readCache(k, r); ok {
+		tc.memo[k] = b
+		tc.eff.touched = append(tc.eff.touched, computedPart{r: r, part: p, data: b, bytes: r.SizeOfRows(b.Len())})
+		return b
 	}
 	// 2. Checkpoint store. Peek avoids mutating read counters on the
 	// worker; commit books the reads via NoteReads.
 	key := checkpointKey(r, p)
 	if v, bytes, ok := tc.e.store.Peek(key); ok {
-		rows := v.([]rdd.Row)
+		b := v.(*rdd.ColBatch)
 		tc.eff.duration += tc.e.store.ReadTime(bytes)
 		tc.eff.ckptReads++
 		tc.eff.storeReadBytes += bytes
-		tc.memo[k] = rows
-		tc.record(r, p, rows)
-		return rows
+		tc.memo[k] = b
+		tc.record(r, p, b)
+		return b
 	}
 	tc.eff.cacheMisses++
-	// 3. Source generation.
+	// 3. Source generation. Sources hand back boxed rows; they enter the
+	// batch plane as a zero-cost tail-only wrap (ingress extraction
+	// happens at the map-side bucket scatter, where the columns are
+	// built anyway).
 	if r.IsSource() {
 		rows := r.Gen(p)
+		b := rdd.WrapRows(rows)
 		tc.eff.duration += tc.e.cost.computeTime(r.SizeOfRows(len(rows)), r.Weight)
-		tc.memo[k] = rows
-		tc.record(r, p, rows)
-		return rows
+		tc.memo[k] = b
+		tc.record(r, p, b)
+		return b
 	}
 	// 4. Compute from parents.
-	inputs := make([][]rdd.Row, len(r.Deps))
+	inputs := make([]*rdd.ColBatch, len(r.Deps))
 	var inBytes int64
 	for i, d := range r.Deps {
 		switch dep := d.(type) {
@@ -158,19 +170,21 @@ func (tc *taskCtx) resolve(r *rdd.RDD, p int) []rdd.Row {
 			if pp < 0 {
 				continue
 			}
-			rows := tc.resolve(dep.P, pp)
+			b := tc.resolve(dep.P, pp)
 			if len(tc.eff.fetchFailed) > 0 {
 				return nil
 			}
-			inputs[i] = rows
-			inBytes += dep.P.SizeOfRows(len(rows))
+			inputs[i] = b
+			inBytes += dep.P.SizeOfRows(b.Len())
 		case *rdd.ShuffleDep:
 			res, ok := tc.fetchShuffle(dep, p)
 			if !ok {
 				return nil
 			}
 			// The fetch itself is a copy-free multi-segment view; the one
-			// materialization per task happens here, at exact size.
+			// materialization per task happens here — column segments
+			// concatenate column-to-column, single segments pass through
+			// as-is (rdd.ConcatBatches).
 			inputs[i] = res.materialize()
 			tc.eff.duration += tc.e.cost.netTime(res.remoteBytes)
 			tc.eff.remoteBytes += res.remoteBytes
@@ -178,11 +192,25 @@ func (tc *taskCtx) resolve(r *rdd.RDD, p int) []rdd.Row {
 			inBytes += res.remoteBytes + res.localBytes
 		}
 	}
-	rows := r.Fn(p, inputs)
+	var b *rdd.ColBatch
+	if r.ColFn != nil && rdd.ColumnCarryEnabled() {
+		b = r.ColFn(p, inputs)
+	} else {
+		// Egress: box each input batch for the row-plane closure. A
+		// tail-only batch hands its rows through untouched, so operators
+		// that never saw columns pay nothing here.
+		rowIns := make([][]rdd.Row, len(inputs))
+		for i, in := range inputs {
+			if in != nil {
+				rowIns[i] = in.Rows()
+			}
+		}
+		b = rdd.WrapRows(r.Fn(p, rowIns))
+	}
 	tc.eff.duration += tc.e.cost.computeTime(inBytes, r.Weight)
-	tc.memo[k] = rows
-	tc.record(r, p, rows)
-	return rows
+	tc.memo[k] = b
+	tc.record(r, p, b)
+	return b
 }
 
 // fetchShuffle gathers reduce partition p of dep, retrying through
@@ -242,14 +270,14 @@ func (tc *taskCtx) failedFetchSource(dep *rdd.ShuffleDep, attempt int, now float
 // other live nodes (charging a network transfer). Lookups use peek — no
 // LRU movement on the worker — and record the touch for commit to
 // replay, so the final LRU order matches the serial engine's.
-func (tc *taskCtx) readCache(k blockKey, r *rdd.RDD) ([]rdd.Row, bool) {
+func (tc *taskCtx) readCache(k blockKey, r *rdd.RDD) (*rdd.ColBatch, bool) {
 	if b, ok := tc.node.cache.peek(k); ok {
 		tc.eff.lruTouches = append(tc.eff.lruTouches, cacheTouch{cache: tc.node.cache, key: k})
 		if b.where == tierDisk {
 			tc.eff.duration += tc.e.cost.diskTime(b.bytes)
 		}
 		tc.eff.cacheHits++
-		return b.rows, true
+		return b.data, true
 	}
 	for _, ns := range tc.nodes {
 		if ns == tc.node {
@@ -262,7 +290,7 @@ func (tc *taskCtx) readCache(k blockKey, r *rdd.RDD) ([]rdd.Row, bool) {
 				tc.eff.duration += tc.e.cost.diskTime(b.bytes)
 			}
 			tc.eff.cacheHits++
-			return b.rows, true
+			return b.data, true
 		}
 	}
 	return nil, false
@@ -270,8 +298,8 @@ func (tc *taskCtx) readCache(k blockKey, r *rdd.RDD) ([]rdd.Row, bool) {
 
 // record notes a freshly materialized partition for cache insertion and
 // checkpoint-policy consultation at completion time.
-func (tc *taskCtx) record(r *rdd.RDD, p int, rows []rdd.Row) {
-	cp := computedPart{r: r, part: p, rows: rows, bytes: r.SizeOfRows(len(rows))}
+func (tc *taskCtx) record(r *rdd.RDD, p int, b *rdd.ColBatch) {
+	cp := computedPart{r: r, part: p, data: b, bytes: r.SizeOfRows(b.Len())}
 	tc.eff.computed = append(tc.eff.computed, cp)
 	if r.Cached {
 		tc.eff.toCache = append(tc.eff.toCache, cp)
@@ -289,8 +317,8 @@ func (e *Engine) runCompute(t *task, nodes []*nodeState) *effects {
 		duration: e.cost.TaskOverhead,
 		computed: make([]computedPart, 0, hint),
 	}
-	tc := &taskCtx{e: e, node: t.node, nodes: nodes, memo: make(map[blockKey][]rdd.Row, hint), eff: eff}
-	rows := tc.resolve(t.stage.out, t.part)
+	tc := &taskCtx{e: e, node: t.node, nodes: nodes, memo: make(map[blockKey]*rdd.ColBatch, hint), eff: eff}
+	b := tc.resolve(t.stage.out, t.part)
 	if len(eff.fetchFailed) > 0 {
 		// The failed fetch consumed only the launch overhead, plus any
 		// backoff waits spent retrying injected failures.
@@ -298,18 +326,20 @@ func (e *Engine) runCompute(t *task, nodes []*nodeState) *effects {
 		return eff
 	}
 	if t.stage.isResult() {
-		eff.resultRows = rows
+		// Result egress: the one boxing point on the collect path.
+		eff.resultRows = b.Rows()
 		return eff
 	}
-	// Map side of a shuffle: bucket (and combine) the rows. The two-pass
-	// counting bucketer allocates each bucket at exact size. The pass is
-	// charged at half the weight of a regular transformation.
-	// Large partitions recruit idle pool capacity for the bucketing and
-	// the combine (parbucket.go); the output is byte-identical to the
-	// serial composition either way.
+	// Map side of a shuffle: bucket (and combine) the batch. Columnar
+	// deps scatter the typed columns directly; row-plane deps run the
+	// classic two-pass exact-size bucketer. The pass is charged at half
+	// the weight of a regular transformation. Large partitions recruit
+	// idle pool capacity for the scatter and the combine (parbucket.go,
+	// parbucketcol.go); the output is byte-identical to the serial
+	// composition either way.
 	dep := t.stage.dep
-	buckets := e.bucketAndCombine(dep, rows)
-	eff.duration += e.cost.computeTime(dep.P.SizeOfRows(len(rows)), 0.5)
+	buckets := e.bucketAndCombineBatch(dep, b)
+	eff.duration += e.cost.computeTime(dep.P.SizeOfRows(b.Len()), 0.5)
 	eff.mapBuckets = buckets
 	return eff
 }

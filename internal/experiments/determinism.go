@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -40,6 +41,7 @@ type DetbenchScenario struct {
 	TraceN     int     // events in the trace ring
 	TraceFNV   uint64  // FNV-64a over every event field, in ring order
 	WallS      float64 // real seconds (excluded from CSV)
+	Allocs     uint64  // heap allocations during the run (excluded from CSV, like wall time)
 
 	// MetricsText is the scenario's Prometheus dump with flint_exec_
 	// lines removed — the diffable metric snapshot.
@@ -149,12 +151,15 @@ func runDetScenario(sc detScenario) (detOutcome, error) {
 	if sc.revokeAt > 0 && sc.revokeK > 0 {
 		b.tb.RevokeNodes(sc.revokeAt, sc.revokeK, true)
 	}
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	sw := obs.Stopwatch()
 	outcome, virtualS, err := sc.run(b, sc.scale)
 	if err != nil {
 		return detOutcome{}, err
 	}
 	wall := sw()
+	runtime.ReadMemStats(&msAfter)
 	snap := b.tb.Engine.Snapshot()
 	events := bundle.Tracer.Events()
 	out := detOutcome{workers: b.tb.Engine.Workers()}
@@ -167,6 +172,7 @@ func runDetScenario(sc detScenario) (detOutcome, error) {
 	out.TraceN = len(events)
 	out.TraceFNV = fnvEvents(events)
 	out.WallS = wall
+	out.Allocs = msAfter.Mallocs - msBefore.Mallocs
 	text, err := filteredPrometheus(bundle)
 	if err != nil {
 		return detOutcome{}, err

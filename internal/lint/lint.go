@@ -5,6 +5,11 @@
 //   - wallclock: wall-clock reads (time.Now, time.Sleep, ...) are
 //     forbidden outside the sanctioned metrics-only stopwatch in
 //     internal/obs. Virtual time must flow through internal/simclock.
+//   - simtime: packages that import internal/simclock (float64 virtual
+//     seconds) must not also use stdlib time values (int64 nanosecond
+//     Durations, time.Time) — mixing the two representations feeds
+//     nanoseconds into seconds-typed APIs. Sanctioned boundaries (trace
+//     ingestion of external wall timestamps) carry //lint:allow.
 //   - globalrand: the process-global math/rand functions are forbidden
 //     in non-test code; randomness must come from seeded *rand.Rand
 //     instances threaded from a config.
@@ -70,6 +75,7 @@ type Check struct {
 func Checks() []Check {
 	return []Check{
 		wallclockCheck,
+		simtimeCheck,
 		globalrandCheck,
 		litseedCheck,
 		maporderCheck,

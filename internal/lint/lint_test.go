@@ -144,7 +144,7 @@ func TestCheckSelection(t *testing.T) {
 // TestRegistry pins the registry's contents: the five checks the
 // determinism story depends on, each documented.
 func TestRegistry(t *testing.T) {
-	wantNames := []string{"wallclock", "globalrand", "litseed", "maporder", "goroutine-discipline", "lockdiscipline"}
+	wantNames := []string{"wallclock", "simtime", "globalrand", "litseed", "maporder", "goroutine-discipline", "lockdiscipline"}
 	checks := lint.Checks()
 	got := make(map[string]bool, len(checks))
 	for _, c := range checks {

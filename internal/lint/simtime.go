@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// simtime: stdlib time and simclock virtual time must not mix. The
+// simulation measures time in float64 seconds (simclock.Second == 1.0);
+// stdlib time measures Durations in int64 nanoseconds. A package that
+// already runs on the virtual clock and still touches time.Second,
+// time.Duration or time.Time is almost certainly feeding nanoseconds
+// into a seconds-typed API (float64(time.Second) is 1e9, not 1.0) or
+// smuggling a wall-clock representation into deterministic state. So in
+// any non-test package that imports flint/internal/simclock, every
+// time.<X> selector is flagged — except the wall-clock reads, which the
+// wallclock check already owns. Sanctioned boundary crossings (e.g.
+// trace ingestion parsing external wall timestamps into virtual
+// offsets) carry //lint:allow simtime directives.
+var simtimeCheck = Check{
+	Name: "simtime",
+	Doc:  "stdlib time used in a package that runs on simclock virtual seconds",
+	Run:  runSimtime,
+}
+
+// simclockPath is the virtual-time package whose import marks a package
+// as simulation code.
+const simclockPath = "flint/internal/simclock"
+
+func runSimtime(pass *Pass) {
+	if !importsSimclock(pass.Files) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			// Wall-clock reads are the wallclock check's findings; one
+			// misuse must not surface under two names.
+			if pass.pkgPath(file, id) != "time" || wallclockForbidden[sel.Sel.Name] {
+				return true
+			}
+			pass.reportf("simtime", sel.Pos(),
+				"time.%s mixes stdlib time (int64 nanoseconds) into a simclock package (float64 virtual seconds); use simclock.Second/Minutes/Hours, or //lint:allow a sanctioned wall-time boundary",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// importsSimclock reports whether any file of the package imports the
+// virtual clock. Package-level on purpose: importing simclock in one
+// file and time.Second in another is the same unit mixing.
+func importsSimclock(files []*ast.File) bool {
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == simclockPath {
+				return true
+			}
+		}
+	}
+	return false
+}

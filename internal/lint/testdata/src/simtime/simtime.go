@@ -1,0 +1,46 @@
+// Package simtime exercises the simtime check: a package importing
+// internal/simclock runs on float64 virtual seconds, so stdlib time
+// values (nanosecond Durations, time.Time) are unit-mixing bugs.
+// Wall-clock reads stay the wallclock check's findings — never both.
+package simtime
+
+import (
+	"time"
+
+	"flint/internal/simclock"
+)
+
+func bad() {
+	// A classic: float64(time.Second) is 1e9, not the 1.0 a simclock
+	// API expects.
+	_ = float64(time.Second) // want simtime "time.Second mixes stdlib time"
+	var d time.Duration      // want simtime "time.Duration mixes stdlib time"
+	_ = d
+	var at time.Time // want simtime "time.Time mixes stdlib time"
+	_ = at
+	_, _ = time.Parse(time.RFC3339, "x") // want simtime "time.Parse mixes stdlib time" // want simtime "time.RFC3339 mixes stdlib time"
+}
+
+func wallReads() {
+	// Wall-clock reads are wallclock findings, not simtime: one misuse,
+	// one name.
+	_ = time.Now()          // want wallclock "time.Now reads the wall clock"
+	time.Sleep(time.Second) // want wallclock "time.Sleep reads the wall clock" // want simtime "time.Second mixes stdlib time"
+}
+
+func good() float64 {
+	// Virtual durations in simclock's own units are the point.
+	return 3*simclock.Second + simclock.Hours(2)
+}
+
+func sanctioned() {
+	//lint:allow simtime trace ingestion parses external wall timestamps
+	_, _ = time.Parse(time.RFC3339, "2016-04-18T00:00:00Z")
+}
+
+// shadow proves the check resolves the identifier, not the name.
+func shadow() {
+	type fake struct{ Second int }
+	time := fake{}
+	_ = time.Second
+}

@@ -95,8 +95,9 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil || math.IsNaN(v) {
 		return
 	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; search outside the lock
 	h.mu.Lock()
-	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	defer h.mu.Unlock()
 	h.counts[i]++
 	h.sum += v
 	if h.count == 0 || v < h.min {
@@ -106,7 +107,6 @@ func (h *Histogram) Observe(v float64) {
 		h.max = v
 	}
 	h.count++
-	h.mu.Unlock()
 }
 
 // Count returns the number of observations.

@@ -18,9 +18,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	ms := append([]*metric(nil), r.ordered...)
-	r.mu.Unlock()
+	ms := r.snapshotOrdered()
 	sort.SliceStable(ms, func(i, j int) bool {
 		if ms[i].name != ms[j].name {
 			return ms[i].name < ms[j].name
@@ -45,6 +43,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// snapshotOrdered copies the registration-ordered metric list under the
+// lock, so rendering (which calls arbitrary gauge funcs) runs unlocked.
+func (r *Registry) snapshotOrdered() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*metric(nil), r.ordered...)
 }
 
 func promType(k metricKind) string {

@@ -33,14 +33,13 @@ func (t *Tracer) Emit(ev Event) {
 		return
 	}
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	if !t.enabled {
-		t.mu.Unlock()
 		return
 	}
 	t.buf[t.next] = ev
 	t.next = (t.next + 1) % len(t.buf)
 	t.total++
-	t.mu.Unlock()
 }
 
 // Enabled reports whether Emit records anything.
@@ -59,8 +58,8 @@ func (t *Tracer) SetEnabled(on bool) {
 		return
 	}
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.enabled = on
-	t.mu.Unlock()
 }
 
 // Len returns how many events are currently retained.
@@ -135,7 +134,7 @@ func (t *Tracer) Reset() {
 		return
 	}
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.next = 0
 	t.total = 0
-	t.mu.Unlock()
 }

@@ -92,6 +92,19 @@ func BenchmarkReduceByKey(b *testing.B) {
 				}
 			}
 		})
+		// -col measures the carry plane: the input arrives as a typed
+		// batch (as it does from a column-carrying shuffle fetch) and the
+		// output stays a batch — no boxing at either end.
+		batch := ExtractBatch(c.rows, true)
+		b.Run(c.name+"-col", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := reduceColInt(batch, func(a, b int) int { return a + b })
+				if out.Len() == 0 {
+					b.Fatal("empty reduction")
+				}
+			}
+		})
 	}
 	// float64-sum is the reducer PageRank's rank contributions and
 	// KMeans' cost stage run every iteration. On the generic path every
@@ -116,6 +129,16 @@ func BenchmarkReduceByKey(b *testing.B) {
 			}
 		}
 	})
+	fbatch := ExtractBatch(frows, true)
+	b.Run("float64-uniform-col", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out := reduceColFloat64(fbatch, func(a, b float64) float64 { return a + b })
+			if out.Len() == 0 {
+				b.Fatal("empty reduction")
+			}
+		}
+	})
 }
 
 // BenchmarkJoin exercises the reduce-side join body: aggregate both
@@ -123,11 +146,11 @@ func BenchmarkReduceByKey(b *testing.B) {
 // columnar grouping kernels; -row variants force the generic path.
 func BenchmarkJoin(b *testing.B) {
 	const n = 1 << 14
-	build := func(left, right []Row) func(int, [][]Row) []Row {
+	build := func(left, right []Row) *RDD {
 		ctx := NewContext(4)
 		l := ctx.Parallelize("l", 1, 8, func(int) []Row { return left })
 		r := ctx.Parallelize("r", 1, 8, func(int) []Row { return right })
-		return l.Join("j", r, 1).Fn
+		return l.Join("j", r, 1)
 	}
 	cases := []struct {
 		name        string
@@ -138,12 +161,12 @@ func BenchmarkJoin(b *testing.B) {
 		{"string-uniform", benchStrKV(n, 2048), benchStrKV(n/2, 2048)},
 	}
 	for _, c := range cases {
-		fn := build(c.left, c.right)
+		j := build(c.left, c.right)
 		inputs := [][]Row{c.left, c.right}
 		body := func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				out := fn(0, inputs)
+				out := j.Fn(0, inputs)
 				if len(out) == 0 {
 					b.Fatal("empty join")
 				}
@@ -154,6 +177,19 @@ func BenchmarkJoin(b *testing.B) {
 			SetColumnar(false)
 			defer SetColumnar(true)
 			body(b)
+		})
+		// -col measures the carry plane: both inputs arrive as typed
+		// key-column batches (the shuffle-ingress form ExtractBatch
+		// produces for join deps) and the output stays a batch.
+		batchIns := []*ColBatch{ExtractBatch(c.left, false), ExtractBatch(c.right, false)}
+		b.Run(c.name+"-col", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := j.ColFn(0, batchIns)
+				if out.Len() == 0 {
+					b.Fatal("empty join")
+				}
+			}
 		})
 	}
 }

@@ -339,11 +339,49 @@ func degradeReduce[V any](rest []Row, order []Row, vals []V, box func(a, b Row) 
 // grouping is the operator-facing view of a grouped batch: keys in
 // first-seen order, each key's values in arrival order, and a lookup
 // from key to slot for cross-side probes (joins). Built columnar by
-// groupRows when the batch allows it, else on the generic keyAgg.
+// groupRows when the batch allows it, else on the generic keyAgg. The
+// batch kernels (groupBatch, colkernel.go) build groupings whose key
+// order is a typed column instead of boxed rows: kkind discriminates,
+// orderI/orderS hold the keys, and lookI/lookS are the unboxed probe
+// forms of look. Row-plane constructors leave kkind == kNone and fill
+// order; consumers that work on either shape go through key/size/look.
 type grouping struct {
 	order []Row
 	vals  [][]Row
 	look  func(Row) (int, bool)
+
+	kkind  colKind
+	orderI []int64
+	orderS []string
+	lookI  func(int64) (int, bool)
+	lookS  func(string) (int, bool)
+}
+
+// size returns the number of distinct keys.
+func (g *grouping) size() int {
+	switch g.kkind {
+	case kStr:
+		return len(g.orderS)
+	case kNone:
+		return len(g.order)
+	default:
+		return len(g.orderI)
+	}
+}
+
+// key boxes key i with its original dynamic type (generic groupings hand
+// the producer's box through).
+func (g *grouping) key(i int) Row {
+	switch g.kkind {
+	case kInt:
+		return int(g.orderI[i])
+	case kI64:
+		return g.orderI[i]
+	case kStr:
+		return g.orderS[i]
+	default:
+		return g.order[i]
+	}
 }
 
 // groupRows groups KV rows by key. The two-pass exact-size scheme of

@@ -119,6 +119,54 @@ func FuzzColumnarRowEquivalence(f *testing.F) {
 				}
 			}
 		}
+
+		// Cross-operator carry: extract → batch scatter → concat →
+		// group → join, each stage checked against its row-plane twin.
+		// This is the end-to-end column path of a shuffle boundary in
+		// miniature (map scatter, reduce-side segment concat, grouping
+		// operator), fed arbitrary mixed-type partitions.
+		batch := ExtractBatch(rows, false)
+		if got := batch.Rows(); rowsFNV(got) != rowsFNV(rows) || !reflect.DeepEqual(got, rows) {
+			t.Fatalf("extract/box round trip differs:\ngot  %v\nwant %v", got, rows)
+		}
+		dep := &ShuffleDep{NumOut: 3}
+		rowBuckets := dep.BucketRows(rows)
+		var batchBuckets []*ColBatch
+		if batch.HasCols() {
+			batchBuckets = dep.BucketBatch(batch)
+		} else {
+			batchBuckets = make([]*ColBatch, len(rowBuckets))
+			for i, rb := range rowBuckets {
+				batchBuckets[i] = WrapRows(rb)
+			}
+		}
+		total := 0
+		for i := range batchBuckets {
+			if rowsFNV(batchBuckets[i].Rows()) != rowsFNV(rowBuckets[i]) {
+				t.Fatalf("batch bucket %d differs from row bucket", i)
+			}
+			total += batchBuckets[i].Len()
+		}
+		fetched := ConcatBatches(batchBuckets, total)
+		var wantFetched []Row
+		for _, rb := range rowBuckets {
+			wantFetched = append(wantFetched, rb...)
+		}
+		if rowsFNV(fetched.Rows()) != rowsFNV(wantFetched) {
+			t.Fatal("concat of batch buckets differs from row-bucket concat")
+		}
+		gb := groupEmitBatch(groupBatch(fetched)).Rows()
+		gr := groupEmitBatch(groupBatch(WrapRows(wantFetched))).Rows()
+		if rowsFNV(gb) != rowsFNV(gr) || !reflect.DeepEqual(gb, gr) {
+			t.Fatal("group across the batch boundary differs from row plane")
+		}
+		jb := joinBatch(fetched, fetched).Rows()
+		jr := joinRows(groupRows(wantFetched), groupRows(wantFetched))
+		if len(jb) != 0 || len(jr) != 0 {
+			if rowsFNV(jb) != rowsFNV(jr) || !reflect.DeepEqual(jb, jr) {
+				t.Fatal("join across the batch boundary differs from row plane")
+			}
+		}
 	})
 }
 

@@ -1,0 +1,153 @@
+package rdd
+
+// Batch shuffle scatter: BucketRows for ColBatches. The same two-pass
+// exact-size scheme — index every row, carve per-bucket segments from
+// flat arenas, scatter — but the index pass hashes the typed key column
+// directly (no per-row type assertion) and the scatter moves column
+// cells instead of interface words. Bucket numbers equal
+// PartitionOf(key, NumOut) exactly (same mix/fnvStr + fastDiv pipeline
+// as bucketIndexTyped), so batch buckets hold the same rows as the row
+// plane's, in the same order. Tail rows are routed through the generic
+// d.Bucket and appended to each bucket's tail; since a batch's tail
+// follows its whole typed prefix in row order, per-bucket order is
+// preserved.
+//
+// The passes are exposed as range primitives mirroring BucketIndexRange
+// and ScatterRange so the engine can chunk them across its worker pool
+// (see internal/exec/parbucketcol.go); any chunking reproduces the
+// serial layout exactly.
+
+// BucketBatch splits a typed batch into the dependency's NumOut column
+// buckets. Callers must ensure d.Partitioner == nil and b.HasCols().
+func (d *ShuffleDep) BucketBatch(b *ColBatch) []*ColBatch {
+	tl := b.TypedLen()
+	idx := make([]int32, tl)
+	counts := make([]int, d.NumOut)
+	d.BucketBatchIndexRange(b, 0, tl, idx, counts)
+	carve, next := CarveBatchBuckets(b, counts)
+	carve.ScatterRange(b, 0, tl, idx, next)
+	buckets := carve.Buckets()
+	d.ScatterBatchTail(b, buckets)
+	return buckets
+}
+
+// BucketBatchIndexRange computes the bucket of typed rows [lo, hi),
+// writing idx[i] and incrementing counts[bucket]. Pure function of the
+// range: disjoint ranges may run concurrently over the same idx slice
+// with private counts.
+func (d *ShuffleDep) BucketBatchIndexRange(b *ColBatch, lo, hi int, idx []int32, counts []int) {
+	fd := newFastDiv(uint64(d.NumOut))
+	if b.kkind == kStr {
+		for i := lo; i < hi; i++ {
+			bk := int32(fd.mod(fnvStr(b.ks[i])))
+			idx[i] = bk
+			counts[bk]++
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		bk := int32(fd.mod(mix(uint64(b.ki[i]))))
+		idx[i] = bk
+		counts[bk]++
+	}
+}
+
+// BatchCarve is the carved bucket layout of one batch scatter: flat
+// per-column arenas split into exact-size bucket segments with pinned
+// capacities (appending to one bucket's column can never clobber its
+// neighbour — the same no-clobber contract CarveBuckets documents).
+type BatchCarve struct {
+	buckets []*ColBatch
+	ki      []int64
+	ks      []string
+	vi      []int64
+	vf      []float64
+	vg      []Row
+}
+
+// CarveBatchBuckets allocates flat arenas for the batch's columns and
+// carves them into full-length bucket segments by the per-bucket counts.
+// next[b] is bucket b's first write offset, for ScatterRange.
+func CarveBatchBuckets(b *ColBatch, counts []int) (*BatchCarve, []int) {
+	n := 0
+	for _, cnt := range counts {
+		n += cnt
+	}
+	c := &BatchCarve{buckets: make([]*ColBatch, len(counts))}
+	if b.kkind == kStr {
+		c.ks = make([]string, n)
+	} else {
+		c.ki = make([]int64, n)
+	}
+	switch b.vkind {
+	case vInt, vI64:
+		c.vi = make([]int64, n)
+	case vF64:
+		c.vf = make([]float64, n)
+	default:
+		c.vg = make([]Row, n)
+	}
+	next := make([]int, len(counts))
+	off := 0
+	for bk, cnt := range counts {
+		nb := &ColBatch{kkind: b.kkind, vkind: b.vkind}
+		end := off + cnt
+		if b.kkind == kStr {
+			nb.ks = c.ks[off:end:end]
+		} else {
+			nb.ki = c.ki[off:end:end]
+		}
+		switch b.vkind {
+		case vInt, vI64:
+			nb.vi = c.vi[off:end:end]
+		case vF64:
+			nb.vf = c.vf[off:end:end]
+		default:
+			nb.vg = c.vg[off:end:end]
+		}
+		c.buckets[bk] = nb
+		next[bk] = off
+		off = end
+	}
+	return c, next
+}
+
+// Buckets returns the carved bucket batches.
+func (c *BatchCarve) Buckets() []*ColBatch { return c.buckets }
+
+// ScatterRange writes typed rows [lo, hi) of b into the carve at each
+// row's bucket cursor, advancing next[bucket]. With next seeded to each
+// bucket's first free offset for this range, disjoint ranges write
+// disjoint arena segments and may run concurrently (each with its own
+// next), exactly like the row plane's ScatterRange.
+func (c *BatchCarve) ScatterRange(b *ColBatch, lo, hi int, idx []int32, next []int) {
+	str := b.kkind == kStr
+	for i := lo; i < hi; i++ {
+		bk := idx[i]
+		j := next[bk]
+		next[bk] = j + 1
+		if str {
+			c.ks[j] = b.ks[i]
+		} else {
+			c.ki[j] = b.ki[i]
+		}
+		switch b.vkind {
+		case vInt, vI64:
+			c.vi[j] = b.vi[i]
+		case vF64:
+			c.vf[j] = b.vf[i]
+		default:
+			c.vg[j] = b.vg[i]
+		}
+	}
+}
+
+// ScatterBatchTail routes the batch's tail rows through the generic
+// d.Bucket onto each bucket's tail, preserving their original boxes and
+// relative order.
+func (d *ShuffleDep) ScatterBatchTail(b *ColBatch, buckets []*ColBatch) {
+	for _, r := range b.tail {
+		bk := d.Bucket(r)
+		buckets[bk].tail = append(buckets[bk].tail, r)
+	}
+}

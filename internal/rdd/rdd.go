@@ -83,6 +83,21 @@ type ShuffleDep struct {
 	// (Spark's map-side combine for reduceByKey). Same purity contract
 	// as Partitioner; it must not mutate the input slice.
 	Combine func(rows []Row) []Row
+
+	// Columnar marks the dependency as batch-aware: when column carry is
+	// enabled (ColumnCarryEnabled) the engine buckets its map outputs as
+	// ColBatches — typed scatter via BucketBatch, each bucket extracted
+	// (or combined via CombineCol) into columns — instead of []Row. The
+	// canned keyed operators set it; custom shuffles default to the row
+	// plane. Requires Partitioner == nil: a custom partitioner sees boxed
+	// rows, so its batches stay on the row plane.
+	Columnar bool
+
+	// CombineCol is the batch form of Combine, applied to each column
+	// bucket when Columnar carry is active. It must be value-equivalent
+	// to Combine over the boxed rows (same rows, same order). Both are
+	// set: the row plane (EvalLocal, carry disabled) uses Combine.
+	CombineCol func(b *ColBatch) *ColBatch
 }
 
 // Parent returns the dependency's parent RDD.
@@ -121,6 +136,14 @@ type RDD struct {
 	// for different partitions. It must not retain or mutate the input
 	// slices, which may be shared with other concurrently running tasks.
 	Fn func(part int, inputs [][]Row) []Row
+
+	// ColFn is the batch form of Fn, set by operators whose body can
+	// consume and produce ColBatches without boxing (the keyed shuffle
+	// operators). When set and column carry is enabled, the engine calls
+	// it instead of Fn; it must be value-equivalent — ColFn(p, ins).Rows()
+	// equals Fn(p, rows(ins)) row for row. Fn is always set too: the
+	// local evaluator and the carry-off plane use it.
+	ColFn func(part int, inputs []*ColBatch) *ColBatch
 
 	// Weight scales the virtual compute cost of producing this RDD
 	// (seconds per MB of input processed, relative to the engine's

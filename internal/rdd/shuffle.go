@@ -172,14 +172,21 @@ func (r *RDD) ReduceByKeyInt(name string, parts int, reduce func(a, b int) int) 
 	if parts <= 0 {
 		parts = r.ctx.defaultParts
 	}
-	dep := &ShuffleDep{P: r, NumOut: parts, Combine: func(rows []Row) []Row {
-		return reduceRowsInt(rows, reduce)
-	}}
+	dep := &ShuffleDep{P: r, NumOut: parts, Columnar: true,
+		Combine: func(rows []Row) []Row {
+			return reduceRowsInt(rows, reduce)
+		},
+		CombineCol: func(b *ColBatch) *ColBatch {
+			return reduceColInt(b, reduce)
+		}}
 	return r.ctx.register(&RDD{
 		Name: name, NumParts: parts, RowBytes: r.RowBytes,
 		Deps: []Dependency{dep},
 		Fn: func(part int, inputs [][]Row) []Row {
 			return reduceRowsInt(inputs[0], reduce)
+		},
+		ColFn: func(part int, inputs []*ColBatch) *ColBatch {
+			return reduceColInt(inputs[0], reduce)
 		},
 	})
 }
@@ -194,14 +201,21 @@ func (r *RDD) ReduceByKeyFloat64(name string, parts int, reduce func(a, b float6
 	if parts <= 0 {
 		parts = r.ctx.defaultParts
 	}
-	dep := &ShuffleDep{P: r, NumOut: parts, Combine: func(rows []Row) []Row {
-		return reduceRowsFloat64(rows, reduce)
-	}}
+	dep := &ShuffleDep{P: r, NumOut: parts, Columnar: true,
+		Combine: func(rows []Row) []Row {
+			return reduceRowsFloat64(rows, reduce)
+		},
+		CombineCol: func(b *ColBatch) *ColBatch {
+			return reduceColFloat64(b, reduce)
+		}}
 	return r.ctx.register(&RDD{
 		Name: name, NumParts: parts, RowBytes: r.RowBytes,
 		Deps: []Dependency{dep},
 		Fn: func(part int, inputs [][]Row) []Row {
 			return reduceRowsFloat64(inputs[0], reduce)
+		},
+		ColFn: func(part int, inputs []*ColBatch) *ColBatch {
+			return reduceColFloat64(inputs[0], reduce)
 		},
 	})
 }
@@ -212,7 +226,7 @@ func (r *RDD) GroupByKey(name string, parts int) *RDD {
 	if parts <= 0 {
 		parts = r.ctx.defaultParts
 	}
-	dep := &ShuffleDep{P: r, NumOut: parts}
+	dep := &ShuffleDep{P: r, NumOut: parts, Columnar: true}
 	return r.ctx.register(&RDD{
 		Name: name, NumParts: parts, RowBytes: r.RowBytes,
 		Deps: []Dependency{dep},
@@ -224,6 +238,9 @@ func (r *RDD) GroupByKey(name string, parts int) *RDD {
 			}
 			return out
 		},
+		ColFn: func(part int, inputs []*ColBatch) *ColBatch {
+			return groupEmitBatch(groupBatch(inputs[0]))
+		},
 	})
 }
 
@@ -232,11 +249,14 @@ func (r *RDD) PartitionBy(name string, parts int) *RDD {
 	if parts <= 0 {
 		parts = r.ctx.defaultParts
 	}
-	dep := &ShuffleDep{P: r, NumOut: parts}
+	dep := &ShuffleDep{P: r, NumOut: parts, Columnar: true}
 	return r.ctx.register(&RDD{
 		Name: name, NumParts: parts, RowBytes: r.RowBytes,
 		Deps: []Dependency{dep},
 		Fn: func(part int, inputs [][]Row) []Row {
+			return inputs[0]
+		},
+		ColFn: func(part int, inputs []*ColBatch) *ColBatch {
 			return inputs[0]
 		},
 	})
@@ -248,42 +268,17 @@ func (r *RDD) Join(name string, other *RDD, parts int) *RDD {
 	if parts <= 0 {
 		parts = r.ctx.defaultParts
 	}
-	left := &ShuffleDep{P: r, NumOut: parts}
-	right := &ShuffleDep{P: other, NumOut: parts}
+	left := &ShuffleDep{P: r, NumOut: parts, Columnar: true}
+	right := &ShuffleDep{P: other, NumOut: parts, Columnar: true}
 	return r.ctx.register(&RDD{
 		Name: name, NumParts: parts,
 		RowBytes: r.RowBytes + other.RowBytes,
 		Deps:     []Dependency{left, right},
 		Fn: func(part int, inputs [][]Row) []Row {
-			la := groupRows(inputs[0])
-			ra := groupRows(inputs[1])
-			// Size the output exactly before emitting the cross products.
-			match := make([]int, len(la.order))
-			total := 0
-			for i, k := range la.order {
-				if j, ok := ra.look(k); ok {
-					match[i] = j
-					total += len(la.vals[i]) * len(ra.vals[j])
-				} else {
-					match[i] = -1
-				}
-			}
-			if total == 0 {
-				return nil
-			}
-			out := make([]Row, 0, total)
-			for i, k := range la.order {
-				j := match[i]
-				if j < 0 {
-					continue
-				}
-				for _, lv := range la.vals[i] {
-					for _, rv := range ra.vals[j] {
-						out = append(out, KV{K: k, V: JoinPair{L: lv, R: rv}})
-					}
-				}
-			}
-			return out
+			return joinRows(groupRows(inputs[0]), groupRows(inputs[1]))
+		},
+		ColFn: func(part int, inputs []*ColBatch) *ColBatch {
+			return joinBatch(inputs[0], inputs[1])
 		},
 	})
 }

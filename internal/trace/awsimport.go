@@ -46,8 +46,9 @@ type spotPriceHistory struct {
 type ImportedMarket struct {
 	InstanceType     string
 	AvailabilityZone string
-	Start            time.Time // wall-clock time of the trace's t=0
-	Trace            *Trace
+	//lint:allow simtime imported feed timestamps are genuine wall time, converted to virtual offsets below
+	Start time.Time // wall-clock time of the trace's t=0
+	Trace *Trace
 }
 
 // Name returns the pool-style name "zone/type".
@@ -74,12 +75,14 @@ func ImportSpotPriceHistory(r io.Reader, stepSec float64) ([]ImportedMarket, err
 	}
 
 	type event struct {
+		//lint:allow simtime AWS record timestamps are wall time until rendered to step offsets
 		at    time.Time
 		price float64
 	}
 	markets := map[string][]event{}
 	meta := map[string][2]string{}
 	for i, rec := range doc.SpotPriceHistory {
+		//lint:allow simtime parsing the feed's RFC3339 wall timestamps is the import boundary
 		at, err := time.Parse(time.RFC3339, rec.Timestamp)
 		if err != nil {
 			return nil, fmt.Errorf("trace: record %d timestamp %q: %w", i, rec.Timestamp, err)
@@ -113,6 +116,7 @@ func ImportSpotPriceHistory(r io.Reader, stepSec float64) ([]ImportedMarket, err
 		ei := 0
 		cur := evs[0].price
 		for i := 0; i < n; i++ {
+			//lint:allow simtime stepping wall timestamps before they become virtual step offsets
 			t := start.Add(time.Duration(float64(i) * stepSec * float64(time.Second)))
 			for ei < len(evs) && !evs[ei].at.After(t) {
 				cur = evs[ei].price
