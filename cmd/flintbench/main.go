@@ -7,7 +7,7 @@
 //	flintbench all
 //
 // Experiments: fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 portfolio
-// ablations detbench chaosbench
+// ablations detbench chaosbench serverless
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-versus-measured record. detbench runs the
@@ -15,7 +15,10 @@
 // for any -workers value (CI diffs them). chaosbench replays seeded
 // fault schedules (see docs/CHAOS.md) and exits non-zero if any
 // cross-layer invariant is violated, dumping replayable schedules via
-// -chaos-out.
+// -chaos-out. serverless sweeps the execution backends over the
+// workload × revocation-intensity grid and exports the cost/latency
+// frontier (see docs/SERVERLESS.md). -backend=fn reruns any experiment
+// on the function-slot backend; workload outcomes must not change.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"flint/internal/experiments"
 	"flint/internal/obs"
 	"flint/internal/rdd"
+	"flint/internal/serverless"
 )
 
 // benchEntry is one line of the machine-readable benchmark record
@@ -55,6 +59,7 @@ type benchRecord struct {
 	Scale     float64      `json:"scale"`
 	Columnar  bool         `json:"columnar"`
 	ColCarry  bool         `json:"colcarry"`
+	Backend   string       `json:"backend,omitempty"`
 	Scenarios []benchEntry `json:"scenarios"`
 }
 
@@ -74,6 +79,7 @@ func main() {
 	chaosOut := flag.String("chaos-out", "", "chaosbench: dump violating schedules as replayable JSON artifacts into this directory")
 	benchOut := flag.String("bench-out", "", "write a machine-readable benchmark record (scenario -> virtual makespan + wall seconds) to this JSON file")
 	rev := flag.String("rev", "", "revision identifier recorded in the -bench-out file")
+	backend := flag.String("backend", "vm", "execution backend: vm (spot servers, local state) or fn (function slots, externalized state); workload outcomes are identical either way")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: flintbench [flags] <experiment>...\nexperiments: %v\n", names())
 		flag.PrintDefaults()
@@ -90,6 +96,17 @@ func main() {
 	exec.SetDefaultWorkers(*workers)
 	rdd.SetColumnar(*columnar)
 	rdd.SetColumnCarry(*colcarry)
+	switch *backend {
+	case "vm":
+		// Default: the engine's built-in VM backend.
+	case "fn":
+		experiments.SetBackendFactory(func() exec.Backend {
+			return serverless.New(serverless.Config{})
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "flintbench: unknown -backend %q (want vm or fn)\n", *backend)
+		os.Exit(2)
+	}
 	var bundle *obs.Obs
 	if *traceOut != "" {
 		// Experiments assemble their own deployments internally, so the
@@ -111,7 +128,7 @@ func main() {
 	}
 	record := benchRecord{
 		Rev: *rev, Workers: *workers, GoMaxProc: runtime.GOMAXPROCS(0), Scale: *scale,
-		Columnar: *columnar, ColCarry: *colcarry,
+		Columnar: *columnar, ColCarry: *colcarry, Backend: *backend,
 	}
 	for _, name := range args {
 		sw := obs.Stopwatch()
@@ -178,7 +195,7 @@ func writeTrace(path string, o *obs.Obs) error {
 }
 
 func names() []string {
-	return []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "portfolio", "ablations", "detbench", "chaosbench"}
+	return []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "portfolio", "ablations", "detbench", "chaosbench", "serverless"}
 }
 
 // csvWriter is satisfied by every FigNResult.
@@ -269,6 +286,9 @@ func run(w io.Writer, name string, s experiments.Scale, runs, markets, portfolio
 				n, len(res.Runs), chaosOpts.ArtifactDir)
 		}
 		return nil, nil
+	case "serverless":
+		res, err := experiments.Serverless(w, s)
+		return nil, export(csvDir, res, err)
 	}
 	return nil, fmt.Errorf("unknown experiment %q (want one of %v)", name, names())
 }

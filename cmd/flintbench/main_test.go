@@ -12,7 +12,7 @@ import (
 )
 
 func TestNamesCoverAllExperiments(t *testing.T) {
-	want := []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "portfolio", "ablations", "detbench", "chaosbench"}
+	want := []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "portfolio", "ablations", "detbench", "chaosbench", "serverless"}
 	got := names()
 	if len(got) != len(want) {
 		t.Fatalf("names = %v", got)

@@ -90,6 +90,38 @@ func (in *Injector) Slowdown(node int, now float64) float64 {
 	return f
 }
 
+// InvokeFails implements exec.InvokeFaultInjector: whether the
+// attempt-th invocation admission on node fails at now.
+func (in *Injector) InvokeFails(node, attempt int, now float64) bool {
+	if in.disabled.Load() {
+		return false
+	}
+	for i := range in.sched.Events {
+		e := &in.sched.Events[i]
+		if e.Kind == KindInvokeFail && e.open(now) &&
+			(e.Node < 0 || e.Node == node) && attempt <= e.Fails {
+			return true
+		}
+	}
+	return false
+}
+
+// ColdStartSlowdown implements exec.InvokeFaultInjector: the product of
+// every cold-start straggler window covering (node, now), or 1.
+func (in *Injector) ColdStartSlowdown(node int, now float64) float64 {
+	if in.disabled.Load() {
+		return 1
+	}
+	f := 1.0
+	for i := range in.sched.Events {
+		e := &in.sched.Events[i]
+		if e.Kind == KindColdStraggler && e.open(now) && (e.Node < 0 || e.Node == node) {
+			f *= e.Factor
+		}
+	}
+	return f
+}
+
 // readCorrupt reports whether a checkpoint-store read at now is inside a
 // corruption window.
 func (in *Injector) readCorrupt(now float64) bool {
@@ -173,4 +205,5 @@ const (
 	FaultBitFetch       = 2 // shuffle source dropped after retry exhaustion
 	FaultBitRevoke      = 3 // injected revocation burst
 	FaultBitMarketCrash = 4 // injected whole-pool crash
+	FaultBitInvoke      = 5 // function invocation admission failed (fn backend)
 )

@@ -45,6 +45,15 @@ const (
 	// KindFetchFail fails the first Fails attempts of shuffle fetches
 	// from Node (-1 = any source) inside [At, Until).
 	KindFetchFail Kind = "shuffle-fetch-fail"
+	// KindInvokeFail fails the first Fails admission attempts of every
+	// function-backend invocation launched on Node (-1 = any) inside
+	// [At, Until). Only the serverless backend consults it; the engine
+	// retries with backoff and the final attempt always lands.
+	KindInvokeFail Kind = "invoke-fail"
+	// KindColdStraggler multiplies the cold-start delay of function
+	// invocations on Node (-1 = every node) by Factor while [At, Until)
+	// is open — the serverless analogue of a straggler window.
+	KindColdStraggler Kind = "cold-start-straggler"
 )
 
 // Event is one fault in a schedule. Point faults (revoke, market-crash)
@@ -92,11 +101,15 @@ const (
 	// across a subset of the schedule's pools — the correlated
 	// multi-market failure mode the portfolio selector hedges against.
 	ProfileCorrelatedCrash = "correlated-crash"
+	// ProfileServerless targets the function backend: invocation
+	// admission failures plus cold-start straggler windows. Run it on an
+	// fn-backend testbed — on a VM backend the events are inert.
+	ProfileServerless = "serverless"
 )
 
 // Profiles returns the known profile names in sorted order.
 func Profiles() []string {
-	return []string{ProfileCkptFailure, ProfileCorrelatedCrash, ProfileMixed, ProfileRevocationBurst, ProfileStraggler}
+	return []string{ProfileCkptFailure, ProfileCorrelatedCrash, ProfileMixed, ProfileRevocationBurst, ProfileServerless, ProfileStraggler}
 }
 
 // NewSchedule generates the deterministic fault plan for (seed, profile).
@@ -219,6 +232,24 @@ func NewScheduleForPools(seed int64, profile string, horizon float64, nodes int,
 			})
 		}
 	}
+	invokeFailures := func() {
+		for i, n := 0, 2+r.Intn(3); i < n; i++ {
+			start, end := window(at())
+			s.Events = append(s.Events, Event{
+				Kind: KindInvokeFail, At: start, Until: end,
+				Node: anyNode(), Fails: 1 + r.Intn(3),
+			})
+		}
+	}
+	coldStragglers := func() {
+		for i, n := 0, 1+r.Intn(3); i < n; i++ {
+			start, end := window(at())
+			s.Events = append(s.Events, Event{
+				Kind: KindColdStraggler, At: start, Until: end,
+				Node: anyNode(), Factor: 2 + 6*r.Float64(),
+			})
+		}
+	}
 
 	switch profile {
 	case ProfileRevocationBurst:
@@ -234,6 +265,9 @@ func NewScheduleForPools(seed int64, profile string, horizon float64, nodes int,
 		stragglers()
 		ckptFailures()
 		fetchFailures()
+	case ProfileServerless:
+		invokeFailures()
+		coldStragglers()
 	default:
 		return Schedule{}, fmt.Errorf("chaos: unknown profile %q (want one of %v)", profile, Profiles())
 	}

@@ -45,9 +45,13 @@ func checkScheduleShape(t *testing.T, s Schedule) {
 			if e.Until <= e.At || e.Factor <= 1 {
 				t.Fatalf("bad straggler event: %+v", e)
 			}
-		case KindCkptWriteFail, KindFetchFail:
+		case KindCkptWriteFail, KindFetchFail, KindInvokeFail:
 			if e.Until <= e.At || e.Fails < 1 {
 				t.Fatalf("bad %s event: %+v", e.Kind, e)
+			}
+		case KindColdStraggler:
+			if e.Until <= e.At || e.Factor <= 1 {
+				t.Fatalf("bad cold-start-straggler event: %+v", e)
 			}
 		case KindDFSReadCorrupt:
 			if e.Until <= e.At {

@@ -1,0 +1,95 @@
+package dfs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The serverless backend externalizes every shuffle segment through the
+// store, and its audit sweep reads concurrently, so Store must survive
+// genuinely parallel writers: many goroutines putting segments under
+// one prefix while the byte accounting stays exact.
+func TestConcurrentSegmentPuts(t *testing.T) {
+	s := New(Config{ReplicationFactor: 2})
+	const writers = 16
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("fnshuffle/1/map/%d", w*perWriter+i)
+				s.Put(key, nil, int64(64+i), float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Audit(); err != nil {
+		t.Fatalf("audit after parallel puts: %v", err)
+	}
+	keys := s.Keys("fnshuffle/")
+	if len(keys) != writers*perWriter {
+		t.Fatalf("keys = %d, want %d", len(keys), writers*perWriter)
+	}
+	// Every object must be readable with its exact size.
+	var want, got int64
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			want += int64(64+i) * 2 // replication factor
+		}
+	}
+	for _, k := range keys {
+		_, n, ok := s.Peek(k)
+		if !ok {
+			t.Fatalf("missing %q after parallel puts", k)
+		}
+		got += n * 2
+	}
+	if u := s.UsageAt(1000); u.CurrentBytes != want || got != want {
+		t.Fatalf("current bytes = %d (peeked %d), want %d", u.CurrentBytes, got, want)
+	}
+}
+
+// Writers replacing the same keys race against readers and a deleter;
+// the incremental accounting must still match ground truth afterwards.
+func TestConcurrentReplaceReadDelete(t *testing.T) {
+	s := New(Config{ReplicationFactor: 3})
+	const keys = 32
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := Key(7, (w*31+i)%keys)
+				switch i % 4 {
+				case 0, 1:
+					s.Put(k, nil, int64(100+i%17), float64(i))
+				case 2:
+					s.Peek(k)
+					s.Has(k)
+				case 3:
+					s.Delete(k, float64(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Audit(); err != nil {
+		t.Fatalf("audit after mixed concurrent ops: %v", err)
+	}
+	u := s.UsageAt(2000)
+	var live int64
+	for _, k := range s.Keys(RDDPrefix(7)) {
+		_, n, ok := s.Peek(k)
+		if !ok {
+			t.Fatalf("listed key %q unreadable", k)
+		}
+		live += n * 3
+	}
+	if u.CurrentBytes != live {
+		t.Fatalf("accounting: current %d, objects hold %d", u.CurrentBytes, live)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"flint/internal/simclock"
 )
@@ -67,9 +68,14 @@ type object struct {
 	putAt float64
 }
 
-// Store is the checkpoint store. It is not safe for concurrent use; the
-// simulator is single-threaded by design.
+// Store is the checkpoint store. All methods are safe for concurrent
+// use: engine workers Peek/Has during dispatch rounds while the
+// simulation thread owns mutations, and the serverless backend's
+// external-state auditor (and its stress tests) drive genuinely
+// concurrent writers. The mutex serializes access; determinism is the
+// callers' concern (the engine replays mutations in task order).
 type Store struct {
+	mu   sync.Mutex
 	cfg  Config
 	objs map[string]*object
 
@@ -126,6 +132,8 @@ func (s *Store) Put(key string, value any, bytes int64, now float64) {
 	if bytes < 0 {
 		bytes = 0
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.advance(now)
 	if old, ok := s.objs[key]; ok {
 		s.curBytes -= old.bytes * int64(s.cfg.ReplicationFactor)
@@ -143,7 +151,11 @@ func (s *Store) Put(key string, value any, bytes int64, now float64) {
 // hook. While f(key) returns true the object behaves as unreadable for
 // Get, Peek and Has — the data still exists and its occupancy still
 // bills, exactly like a temporarily corrupt or unreachable replica.
-func (s *Store) SetReadFault(f func(key string) bool) { s.readFault = f }
+func (s *Store) SetReadFault(f func(key string) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readFault = f
+}
 
 // faulted reports whether key is inside an injected read-fault window.
 func (s *Store) faulted(key string) bool {
@@ -152,6 +164,8 @@ func (s *Store) faulted(key string) bool {
 
 // Get returns the stored value and its logical size.
 func (s *Store) Get(key string, now float64) (value any, bytes int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	o, ok := s.objs[key]
 	if !ok || s.faulted(key) {
 		return nil, 0, false
@@ -162,9 +176,10 @@ func (s *Store) Get(key string, now float64) (value any, bytes int64, ok bool) {
 }
 
 // Peek returns the stored value and its logical size without touching
-// read accounting. Concurrent readers may call it while no writer is
-// active; pair with NoteReads to book the reads afterwards.
+// read accounting; pair with NoteReads to book the reads afterwards.
 func (s *Store) Peek(key string) (value any, bytes int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	o, ok := s.objs[key]
 	if !ok || s.faulted(key) {
 		return nil, 0, false
@@ -175,6 +190,8 @@ func (s *Store) Peek(key string) (value any, bytes int64, ok bool) {
 // NoteReads books n reads totalling bytes, as if Get had been called —
 // the replay half of Peek, applied on the simulation thread.
 func (s *Store) NoteReads(n int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.gets += n
 	s.bytesRead += bytes
 }
@@ -184,12 +201,20 @@ func (s *Store) NoteReads(n int, bytes int64) {
 // view (missingShuffles) agrees with what the task resolver will see at
 // the same virtual instant.
 func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	_, ok := s.objs[key]
 	return ok && !s.faulted(key)
 }
 
 // Delete removes key at time now. Deleting a missing key is a no-op.
 func (s *Store) Delete(key string, now float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deleteLocked(key, now)
+}
+
+func (s *Store) deleteLocked(key string, now float64) {
 	o, ok := s.objs[key]
 	if !ok {
 		return
@@ -203,6 +228,8 @@ func (s *Store) Delete(key string, now float64) {
 // DeletePrefix removes every key with the given prefix (a "directory").
 // It returns the number of objects removed.
 func (s *Store) DeletePrefix(prefix string, now float64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var doomed []string
 	for k := range s.objs {
 		if strings.HasPrefix(k, prefix) {
@@ -214,13 +241,15 @@ func (s *Store) DeletePrefix(prefix string, now float64) int {
 	// must not observe map iteration order.
 	sort.Strings(doomed)
 	for _, k := range doomed {
-		s.Delete(k, now)
+		s.deleteLocked(k, now)
 	}
 	return len(doomed)
 }
 
 // Keys returns all keys with the given prefix in sorted order.
 func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var out []string
 	for k := range s.objs {
 		if strings.HasPrefix(k, prefix) {
@@ -256,6 +285,8 @@ type Usage struct {
 
 // UsageAt returns accounting as of time now.
 func (s *Store) UsageAt(now float64) Usage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.advance(now)
 	const gb = float64(1 << 30)
 	const month = 30 * simclock.Day
@@ -281,6 +312,8 @@ func (s *Store) Config() Config { return s.cfg }
 // inconsistency. Ground truth for the chaos invariant checkers: drift
 // means a Put/Delete path lost or double-counted bytes.
 func (s *Store) Audit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var sum int64
 	for _, o := range s.objs {
 		if o.bytes < 0 {

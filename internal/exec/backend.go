@@ -1,0 +1,129 @@
+// Backend abstracts what kind of executor occupies a task slot. The
+// engine's scheduling loop (assign → run → commit → onTaskDone) is
+// backend-agnostic; a Backend decides what launching a task costs in
+// virtual time (VM slots are free to enter, function slots pay a cold
+// start unless a warm slot is available) and how slot time turns into
+// dollars (VM leases bill through internal/market's Exchange; function
+// slots bill per invocation plus GB-seconds).
+//
+// The contract that keeps determinism intact: InvokeDelay and
+// NoteRelease are called only on the simulation thread, in task
+// assignment order, so any internal slot-pool state evolves identically
+// at every Config.Workers width. Backends must not read wall-clock time
+// or global randomness (flintlint enforces both).
+package exec
+
+import "flint/internal/obs"
+
+// Backend is the executor model behind task slots.
+//
+// A backend with KeepsLocalState() == true (the VM model) leaves the
+// engine's behaviour untouched: node block caches hold RDD partitions,
+// shuffle outputs live on the node that produced them, and revocation
+// destroys both. A backend with KeepsLocalState() == false (the
+// function model) runs every task as an ephemeral invocation: the
+// engine bypasses node caches, externalizes cached partitions and
+// shuffle segments through the dfs store, charges InvokeDelay at
+// launch, and accrues invocation billing at completion.
+type Backend interface {
+	// Name identifies the backend in CSV exports and CLI flags.
+	Name() string
+	// KeepsLocalState reports whether executors retain block caches and
+	// shuffle outputs across tasks (VMs do; function slots do not).
+	KeepsLocalState() bool
+	// InvokeDelay returns the virtual seconds of launch latency for one
+	// task on the given engine node at virtual instant now, and whether
+	// the launch was a cold start. Simulation thread only, assignment
+	// order.
+	InvokeDelay(node int, now float64) (delay float64, cold bool)
+	// NoteRelease informs the backend that a task on node finished at
+	// now, returning its slot to the warm pool. Simulation thread only.
+	NoteRelease(node int, now float64)
+	// AccrueInvocation bills one completed invocation that occupied its
+	// slot for dur virtual seconds and returns the incremental cost.
+	AccrueInvocation(dur float64) float64
+	// AccruedCost returns the total dollars billed so far.
+	AccruedCost() float64
+	// AccruedGBSeconds returns the total GB-seconds metered so far.
+	AccruedGBSeconds() float64
+}
+
+// vmBackend is the default: slots are cores on leased VMs, launch is
+// free (the lease already paid for the machine), and billing happens in
+// internal/market per lease, not per task. It holds no state, so the
+// engine's fast path is byte-identical to the pre-Backend engine.
+type vmBackend struct{}
+
+func (vmBackend) Name() string                             { return "vm" }
+func (vmBackend) KeepsLocalState() bool                    { return true }
+func (vmBackend) InvokeDelay(int, float64) (float64, bool) { return 0, false }
+func (vmBackend) NoteRelease(int, float64)                 {}
+func (vmBackend) AccrueInvocation(float64) float64         { return 0 }
+func (vmBackend) AccruedCost() float64                     { return 0 }
+func (vmBackend) AccruedGBSeconds() float64                { return 0 }
+
+// VMBackend returns the default VM executor backend. A nil
+// Config.Backend behaves identically.
+func VMBackend() Backend { return vmBackend{} }
+
+// externalNode is the pseudo node ID under which a function backend
+// registers shuffle map outputs: the segments live in the external
+// store, so no node revocation can drop them and every read is remote.
+const externalNode = -1
+
+// applyInvoke charges the backend's launch latency to a task at
+// assignment time (simulation thread, queue order): cold-start delay,
+// chaos-injected invocation admission failures (bounded virtual-clock
+// retries — the final attempt always lands, so outcomes never change),
+// and cold-start straggler stretch. The delay is added to the task's
+// slot time by commit.
+func (e *Engine) applyInvoke(t *task, ns *nodeState, now float64) {
+	delay, cold := e.backend.InvokeDelay(ns.node.ID, now)
+	if e.faults != nil {
+		if inj, ok := e.faults.(InvokeFaultInjector); ok {
+			if cold {
+				if f := inj.ColdStartSlowdown(ns.node.ID, now); f > 1 {
+					delay *= f
+					t.effColdSlow = true
+				}
+			}
+			for attempt := 1; attempt < e.retry.MaxAttempts; attempt++ {
+				if !inj.InvokeFails(ns.node.ID, attempt, now) {
+					break
+				}
+				t.invokeFails++
+				delay += e.retry.backoff(attempt)
+			}
+		}
+	}
+	t.invokeDelay = delay
+	t.cold = cold
+	e.obs.FnInvocations.Inc()
+	if t.invokeFails > 0 {
+		e.obs.FnInvokeFailures.Add(int64(t.invokeFails))
+		e.obs.RetryAttempts.Add(int64(t.invokeFails))
+		e.obs.Emit(obs.Event{
+			Type: obs.EvFaultInjected, Time: now, Task: t.seq,
+			Node: ns.node.ID, Part: t.part, Bits: faultBitInvoke,
+		})
+	}
+	if cold {
+		e.obs.FnColdStarts.Inc()
+		e.obs.FnColdStartDur.Observe(delay)
+		if t.effColdSlow {
+			e.obs.ChaosColdStragglers.Inc()
+		}
+		e.obs.Emit(obs.Event{
+			Type: obs.EvColdStart, Time: now, Dur: delay, Task: t.seq,
+			Node: ns.node.ID, Bits: t.invokeFails,
+		})
+	}
+	bits := 0
+	if cold {
+		bits = 1
+	}
+	e.obs.Emit(obs.Event{
+		Type: obs.EvInvoke, Time: now, Dur: delay, Task: t.seq,
+		Node: ns.node.ID, Bits: bits,
+	})
+}

@@ -73,6 +73,12 @@ type Config struct {
 	// bit-identical results, stats, metrics and trace order in virtual
 	// time; only wall-clock speed changes.
 	Workers int
+	// Backend selects the executor model (see backend.go and
+	// docs/SERVERLESS.md). nil and VMBackend() are byte-identical: slots
+	// are VM cores with local caches and lease billing. A backend whose
+	// KeepsLocalState() is false (serverless.New) runs tasks as
+	// ephemeral function invocations with externalized state.
+	Backend Backend
 }
 
 // DefaultConfig returns the calibrated engine configuration.
@@ -137,6 +143,12 @@ type Engine struct {
 	faults FaultInjector
 	retry  RetryPolicy
 
+	// backend is the executor model; fnMode caches whether it
+	// externalizes state (KeepsLocalState() == false), which gates every
+	// serverless branch so the nil/VM path stays byte-identical.
+	backend Backend
+	fnMode  bool
+
 	obs *obs.Obs
 	// revokedAt holds the revocation instants still awaiting a
 	// replacement node, oldest first, for the recovery-time histogram.
@@ -164,7 +176,12 @@ func New(clock *simclock.Clock, store *dfs.Store, cfg Config, policy CheckpointP
 		scatterSem:  make(chan struct{}, resolveWorkers(cfg.Workers)-1),
 		retry:       cfg.Retry.withDefaults(),
 		obs:         obs.Active(),
+		backend:     cfg.Backend,
 	}
+	if e.backend == nil {
+		e.backend = vmBackend{}
+	}
+	e.fnMode = !e.backend.KeepsLocalState()
 	e.obs.ExecWorkers.Set(float64(e.workers))
 	return e
 }
@@ -194,6 +211,10 @@ func (e *Engine) SetPolicy(p CheckpointPolicy) { e.policy = p }
 
 // Store returns the checkpoint store.
 func (e *Engine) Store() *dfs.Store { return e.store }
+
+// Backend returns the executor backend (vmBackend when Config.Backend
+// was nil), for cost readout by experiments and CLIs.
+func (e *Engine) Backend() Backend { return e.backend }
 
 // Events returns the cluster-event handlers that wire a cluster.Manager
 // to this engine.
@@ -284,6 +305,13 @@ func (e *Engine) cachedAnywhere(k blockKey) bool {
 
 // checkpointKey is the store key for partition (r, p).
 func checkpointKey(r *rdd.RDD, p int) string { return dfs.Key(r.ID, p) }
+
+// fnCacheKey is the store key a function backend externalizes cached
+// partition (r, p) under. It is a namespace of its own, distinct from
+// the checkpoint manager's rdd/ keys, so the checkpoint-store
+// consistency audit never mistakes externalized cache for orphaned
+// checkpoints.
+func fnCacheKey(r *rdd.RDD, p int) string { return fmt.Sprintf("fncache/%d/part/%d", r.ID, p) }
 
 // Submit enqueues a job; cb runs at the virtual instant the job
 // completes.
@@ -519,6 +547,9 @@ func (e *Engine) assign(t *task, ns *nodeState) {
 			Node: ns.node.ID, Bytes: t.sysBytes,
 		})
 	}
+	if e.fnMode {
+		e.applyInvoke(t, ns, now)
+	}
 }
 
 // commit applies a task's dispatch-time effects on the simulation thread
@@ -528,6 +559,11 @@ func (e *Engine) assign(t *task, ns *nodeState) {
 // state transitions exactly.
 func (e *Engine) commit(t *task) {
 	t.dur = t.eff.duration
+	if t.invokeDelay > 0 {
+		// Function launch latency (cold start, admission retries) charged
+		// at assignment occupies the slot before the work begins.
+		t.dur += t.invokeDelay
+	}
 	if t.eff.slowed {
 		e.obs.ChaosSlowdowns.Inc()
 	}
@@ -555,6 +591,14 @@ func (e *Engine) onTaskDone(t *task) {
 	ns.freeSlots++
 	delete(ns.running, t)
 	now := e.clock.Now()
+	if e.fnMode {
+		// Every completed task is one billed invocation; its slot returns
+		// to the node's warm pool.
+		e.backend.NoteRelease(ns.node.ID, now)
+		e.backend.AccrueInvocation(t.dur)
+		e.obs.FnBilledDollars.Set(e.backend.AccruedCost())
+		e.obs.FnBilledGBSeconds.Set(e.backend.AccruedGBSeconds())
+	}
 
 	switch t.kind {
 	case taskCheckpoint:
@@ -648,9 +692,20 @@ func (e *Engine) onTaskDone(t *task) {
 			e.obs.Recomputed.Inc()
 		}
 	}
-	// Cache insertions.
+	// Cache insertions — or, on a function backend, externalization: the
+	// invocation's sandbox dies with the task, so cached partitions land
+	// in the dfs store under fncache/ keys (the write time was already
+	// charged into the task's duration by record).
 	for _, cp := range t.eff.toCache {
+		if e.fnMode {
+			e.store.Put(fnCacheKey(cp.r, cp.part), cp.data, cp.bytes, now)
+			continue
+		}
 		ns.cache.put(blockKey{rddID: cp.r.ID, part: cp.part}, cp.data, cp.bytes)
+	}
+	if e.fnMode && (t.eff.extReadBytes > 0 || t.eff.extWriteBytes > 0) {
+		e.obs.FnExtReadBytes.Add(t.eff.extReadBytes)
+		e.obs.FnExtWriteBytes.Add(t.eff.extWriteBytes)
 	}
 	// Checkpoint consultation for everything materialized or touched
 	// here: explicit RDD.Checkpoint() requests always write; otherwise
@@ -659,6 +714,11 @@ func (e *Engine) onTaskDone(t *task) {
 	for _, cp := range offer {
 		k := blockKey{rddID: cp.r.ID, part: cp.part}
 		if e.pendingCkpt[k] || e.store.Has(checkpointKey(cp.r, cp.part)) {
+			continue
+		}
+		if e.fnMode && e.store.Has(fnCacheKey(cp.r, cp.part)) {
+			// Already durable via externalization; a checkpoint copy
+			// would only duplicate it.
 			continue
 		}
 		if cp.r.CheckpointRequested || (e.policy != nil && e.policy.ShouldCheckpoint(cp.r, now)) {
@@ -678,7 +738,21 @@ func (e *Engine) onTaskDone(t *task) {
 			e.finishJob(j, now)
 		}
 	} else {
-		e.shuffles.putOutput(s.dep, t.part, ns.node.ID, t.eff.mapBuckets)
+		pub := ns.node.ID
+		if e.fnMode {
+			// Map outputs are uploaded to the external store (charged in
+			// runCompute), so they survive any revocation: register them
+			// under the external pseudo node and mirror the bytes into the
+			// store's accounting for storage billing and audits.
+			pub = externalNode
+		}
+		e.shuffles.putOutput(s.dep, t.part, pub, t.eff.mapBuckets)
+		if e.fnMode {
+			sid := e.shuffles.register(s.dep)
+			if o := e.shuffles.state(s.dep).outputs[t.part]; o != nil {
+				e.store.Put(fmt.Sprintf("fnshuffle/%d/map/%d", sid, t.part), nil, o.total, now)
+			}
+		}
 		if e.shuffles.state(s.dep).available() && len(s.inFlight) == 0 && s.active {
 			s.active = false
 			e.emitStageDone(s, now)
@@ -696,6 +770,7 @@ func (e *Engine) onTaskDone(t *task) {
 const (
 	faultBitCkptWrite = 1
 	faultBitFetch     = 2
+	faultBitInvoke    = 5
 )
 
 // onCheckpointWriteFailed handles an injected transient checkpoint-write

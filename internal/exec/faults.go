@@ -20,6 +20,21 @@ type FaultInjector interface {
 	Slowdown(node int, now float64) float64
 }
 
+// InvokeFaultInjector is optionally implemented by a FaultInjector that
+// wants to perturb function-backend launches (fn mode only; see
+// backend.go). Both methods are consulted on the simulation thread at
+// task assignment and must be pure functions of their arguments.
+type InvokeFaultInjector interface {
+	// InvokeFails reports whether the attempt-th invocation admission on
+	// node fails at virtual time now. The engine retries with bounded
+	// virtual-clock backoff and the final attempt always lands, so
+	// injected failures stretch latency without changing outcomes.
+	InvokeFails(node, attempt int, now float64) bool
+	// ColdStartSlowdown returns the cold-start stretch factor (>1 slows,
+	// 1 = none) for a cold launch on node at virtual time now.
+	ColdStartSlowdown(node int, now float64) float64
+}
+
 // RetryPolicy bounds the engine's retry-with-backoff behaviour for
 // transient checkpoint-write and shuffle-fetch failures. Backoff waits
 // are charged on the virtual clock: exponential from BackoffBase,

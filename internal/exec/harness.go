@@ -39,6 +39,15 @@ type TestbedOpts struct {
 	DFS        dfs.Config
 	HorizonHrs float64  // flat-trace length (default 10,000 h)
 	Obs        *obs.Obs // observability bundle (default obs.Active())
+	// Pool selects the market pool the cluster leases from: "primary"
+	// (default; cheap flat-price spot with standby fallback) or
+	// "on-demand" (never revoked, full price). The frontier sweep uses
+	// it to price the on-demand baseline.
+	Pool string
+	// Backend selects the executor model (Engine.Backend); nil keeps the
+	// default VM backend. Pass a fresh serverless.New per testbed —
+	// warm-pool and billing state must not leak across runs.
+	Backend Backend
 }
 
 // NewTestbed builds the fixture. The primary and standby pools have flat
@@ -71,6 +80,12 @@ func NewTestbed(opts TestbedOpts) (*Testbed, error) {
 	}
 	if opts.Workers != 0 {
 		engCfg.Workers = opts.Workers
+	}
+	if opts.Backend != nil {
+		engCfg.Backend = opts.Backend
+	}
+	if opts.Pool == "" {
+		opts.Pool = "primary"
 	}
 
 	clk := simclock.New()
@@ -108,8 +123,13 @@ func NewTestbed(opts TestbedOpts) (*Testbed, error) {
 	ccfg.NodeDiskBytes = opts.DiskBytes
 	ccfg.AcquisitionDelay = opts.AcqDelay
 	sel := &cluster.FixedSelector{
-		PoolName: "primary", Bid: 0.175,
+		PoolName: opts.Pool, Bid: 0.175,
 		Fallbacks: []cluster.Request{{Pool: "standby", Bid: 0.175}, {Pool: "primary", Bid: 0.175}},
+	}
+	if opts.Pool == "on-demand" {
+		// On-demand servers are never revoked; fallbacks would reintroduce
+		// spot capacity behind the baseline's back.
+		sel.Fallbacks = []cluster.Request{{Pool: "on-demand", Bid: 0.175}}
 	}
 	mgr, err := cluster.New(clk, exch, ccfg, sel, eng.Events())
 	if err != nil {

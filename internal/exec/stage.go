@@ -140,6 +140,9 @@ func (e *Engine) missingShuffles(r *rdd.RDD, p int, acc map[*rdd.ShuffleDep]bool
 	if e.store.Has(checkpointKey(r, p)) {
 		return
 	}
+	if e.fnMode && e.store.Has(fnCacheKey(r, p)) {
+		return
+	}
 	if r.IsSource() {
 		return
 	}

@@ -36,6 +36,16 @@ type task struct {
 	// taskSystemCkpt payload.
 	sysBytes int64
 
+	// Function-backend launch state (fn mode only; see backend.go).
+	// invokeDelay is virtual seconds of launch latency charged before
+	// the work; cold marks a cold start; invokeFails counts injected
+	// admission failures retried through; effColdSlow marks a
+	// chaos-stretched cold start.
+	invokeDelay float64
+	cold        bool
+	invokeFails int
+	effColdSlow bool
+
 	// Filled at dispatch for completion handling.
 	eff *effects
 	dur float64 // charged slot time, recorded at launch
@@ -87,6 +97,12 @@ type effects struct {
 	lruTouches     []cacheTouch
 	storeReadBytes int64
 
+	// Externalized-state traffic (function backend only): shuffle
+	// segments and cached partitions read from / written to the dfs
+	// store instead of node-local memory.
+	extReadBytes  int64
+	extWriteBytes int64
+
 	// Fault-injection bookkeeping (computed on the worker, booked on the
 	// simulation thread at completion).
 	fetchRetries  int                    // injected fetch failures retried through
@@ -129,13 +145,30 @@ func (tc *taskCtx) resolve(r *rdd.RDD, p int) *rdd.ColBatch {
 	// 1. RDD cache, preferring the local node. Cached partitions are
 	// offered to the checkpoint policy at completion: Flint checkpoints
 	// long-lived cached state (e.g. a database's tables) even when no
-	// task recomputes it.
-	if b, ok := tc.readCache(k, r); ok {
-		tc.memo[k] = b
-		tc.eff.touched = append(tc.eff.touched, computedPart{r: r, part: p, data: b, bytes: r.SizeOfRows(b.Len())})
-		return b
+	// task recomputes it. A function backend has no node caches — every
+	// cached partition lives externally and is found at step 2.
+	if !tc.e.fnMode {
+		if b, ok := tc.readCache(k, r); ok {
+			tc.memo[k] = b
+			tc.eff.touched = append(tc.eff.touched, computedPart{r: r, part: p, data: b, bytes: r.SizeOfRows(b.Len())})
+			return b
+		}
 	}
-	// 2. Checkpoint store. Peek avoids mutating read counters on the
+	// 2. Externalized cache (function backend): the fn analogue of step
+	// 1, except the partition lives in the store under an fncache/ key.
+	if tc.e.fnMode {
+		if v, bytes, ok := tc.e.store.Peek(fnCacheKey(r, p)); ok {
+			b := v.(*rdd.ColBatch)
+			tc.eff.duration += tc.e.store.ReadTime(bytes)
+			tc.eff.ckptReads++
+			tc.eff.storeReadBytes += bytes
+			tc.eff.extReadBytes += bytes
+			tc.memo[k] = b
+			tc.record(r, p, b, true)
+			return b
+		}
+	}
+	// 3. Checkpoint store. Peek avoids mutating read counters on the
 	// worker; commit books the reads via NoteReads.
 	key := checkpointKey(r, p)
 	if v, bytes, ok := tc.e.store.Peek(key); ok {
@@ -144,11 +177,11 @@ func (tc *taskCtx) resolve(r *rdd.RDD, p int) *rdd.ColBatch {
 		tc.eff.ckptReads++
 		tc.eff.storeReadBytes += bytes
 		tc.memo[k] = b
-		tc.record(r, p, b)
+		tc.record(r, p, b, true)
 		return b
 	}
 	tc.eff.cacheMisses++
-	// 3. Source generation. Sources hand back boxed rows; they enter the
+	// 4. Source generation. Sources hand back boxed rows; they enter the
 	// batch plane as a zero-cost tail-only wrap (ingress extraction
 	// happens at the map-side bucket scatter, where the columns are
 	// built anyway).
@@ -157,10 +190,10 @@ func (tc *taskCtx) resolve(r *rdd.RDD, p int) *rdd.ColBatch {
 		b := rdd.WrapRows(rows)
 		tc.eff.duration += tc.e.cost.computeTime(r.SizeOfRows(len(rows)), r.Weight)
 		tc.memo[k] = b
-		tc.record(r, p, b)
+		tc.record(r, p, b, false)
 		return b
 	}
-	// 4. Compute from parents.
+	// 5. Compute from parents.
 	inputs := make([]*rdd.ColBatch, len(r.Deps))
 	var inBytes int64
 	for i, d := range r.Deps {
@@ -186,9 +219,18 @@ func (tc *taskCtx) resolve(r *rdd.RDD, p int) *rdd.ColBatch {
 			// concatenate column-to-column, single segments pass through
 			// as-is (rdd.ConcatBatches).
 			inputs[i] = res.materialize()
-			tc.eff.duration += tc.e.cost.netTime(res.remoteBytes)
-			tc.eff.remoteBytes += res.remoteBytes
-			tc.eff.localBytes += res.localBytes
+			if tc.e.fnMode {
+				// All segments live in the external store (registered under
+				// the external pseudo node), so the fetch is store reads,
+				// not node-to-node network transfers.
+				ext := res.remoteBytes + res.localBytes
+				tc.eff.duration += tc.e.store.ReadTime(ext)
+				tc.eff.extReadBytes += ext
+			} else {
+				tc.eff.duration += tc.e.cost.netTime(res.remoteBytes)
+				tc.eff.remoteBytes += res.remoteBytes
+				tc.eff.localBytes += res.localBytes
+			}
 			inBytes += res.remoteBytes + res.localBytes
 		}
 	}
@@ -209,7 +251,7 @@ func (tc *taskCtx) resolve(r *rdd.RDD, p int) *rdd.ColBatch {
 	}
 	tc.eff.duration += tc.e.cost.computeTime(inBytes, r.Weight)
 	tc.memo[k] = b
-	tc.record(r, p, b)
+	tc.record(r, p, b, false)
 	return b
 }
 
@@ -297,13 +339,27 @@ func (tc *taskCtx) readCache(k blockKey, r *rdd.RDD) (*rdd.ColBatch, bool) {
 }
 
 // record notes a freshly materialized partition for cache insertion and
-// checkpoint-policy consultation at completion time.
-func (tc *taskCtx) record(r *rdd.RDD, p int, b *rdd.ColBatch) {
+// checkpoint-policy consultation at completion time. fromStore marks
+// partitions that were read back from the dfs store rather than
+// computed: on a function backend those are already external and must
+// not be re-uploaded.
+func (tc *taskCtx) record(r *rdd.RDD, p int, b *rdd.ColBatch, fromStore bool) {
 	cp := computedPart{r: r, part: p, data: b, bytes: r.SizeOfRows(b.Len())}
 	tc.eff.computed = append(tc.eff.computed, cp)
-	if r.Cached {
-		tc.eff.toCache = append(tc.eff.toCache, cp)
+	if !r.Cached {
+		return
 	}
+	if tc.e.fnMode {
+		if fromStore {
+			return
+		}
+		// The invocation uploads the partition before its sandbox exits;
+		// the write is part of the billed duration. The Put itself happens
+		// at completion on the simulation thread (Engine.onTaskDone).
+		tc.eff.duration += tc.e.store.WriteTime(cp.bytes)
+		tc.eff.extWriteBytes += cp.bytes
+	}
+	tc.eff.toCache = append(tc.eff.toCache, cp)
 }
 
 // runCompute executes a compute task's work at dispatch time and returns
@@ -341,6 +397,18 @@ func (e *Engine) runCompute(t *task, nodes []*nodeState) *effects {
 	buckets := e.bucketAndCombineBatch(dep, b)
 	eff.duration += e.cost.computeTime(dep.P.SizeOfRows(b.Len()), 0.5)
 	eff.mapBuckets = buckets
+	if e.fnMode {
+		// The invocation uploads its bucket file to the external store
+		// before exiting; reducers will read it back from there.
+		var total int64
+		for _, bk := range buckets {
+			if bk != nil {
+				total += dep.P.SizeOfRows(bk.Len())
+			}
+		}
+		eff.duration += e.store.WriteTime(total)
+		eff.extWriteBytes += total
+	}
 	return eff
 }
 

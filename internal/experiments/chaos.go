@@ -7,6 +7,7 @@ import (
 
 	"flint/internal/chaos"
 	"flint/internal/obs"
+	"flint/internal/serverless"
 	"flint/internal/workload"
 )
 
@@ -148,10 +149,19 @@ func Chaosbench(w io.Writer, s Scale, o ChaosbenchOpts) (ChaosbenchResult, error
 	return res, nil
 }
 
-// runChaosScenario runs one chaotic cell against the baseline.
+// runChaosScenario runs one chaotic cell against the baseline. The
+// serverless profile runs on a function-backend bed — its invoke and
+// cold-start faults are inert on the VM backend — and its outcomes must
+// still hash identical to the VM baseline.
 func runChaosScenario(profile string, seed int64, s Scale, base ChaosbenchResult, artifactDir string) (ChaosRun, error) {
 	bundle := obs.New(obs.Options{Disabled: true, RingCapacity: 1})
-	b := newBed(chaosBedOpts(bundle))
+	opts := chaosBedOpts(bundle)
+	var fnb *serverless.Backend
+	if profile == chaos.ProfileServerless {
+		fnb = serverless.New(serverless.Config{})
+		opts.backend = fnb
+	}
+	b := newBed(opts)
 
 	sched, err := chaos.NewSchedule(seed, profile, base.HorizonS, b.tb.Cluster.Config().Size)
 	if err != nil {
@@ -191,6 +201,27 @@ func runChaosScenario(profile string, seed int64, s Scale, base ChaosbenchResult
 		Engine:      b.tb.Engine,
 		CostSamples: samples,
 	})
+	if fnb != nil {
+		// Externalized-state consistency: the concurrent audit of the fn
+		// backend's shuffle segments and externalized cache must agree
+		// with the sequential one — same objects, same bytes, same digest.
+		for _, prefix := range []string{"fnshuffle/", "fncache/"} {
+			seq, err := serverless.AuditExternal(b.tb.Store, prefix, 1)
+			if err != nil {
+				return ChaosRun{}, fmt.Errorf("external audit %s: %w", prefix, err)
+			}
+			par, err := serverless.AuditExternal(b.tb.Store, prefix, 8)
+			if err != nil {
+				return ChaosRun{}, fmt.Errorf("external audit %s: %w", prefix, err)
+			}
+			if seq != par {
+				viols = append(viols, chaos.Violation{
+					Invariant: "external-state-audit",
+					Detail:    fmt.Sprintf("%s: sequential %+v != concurrent %+v", prefix, seq, par),
+				})
+			}
+		}
+	}
 	run := ChaosRun{
 		Profile:     profile,
 		Seed:        seed,

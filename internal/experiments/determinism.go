@@ -135,6 +135,25 @@ func detScenarios(s Scale) []detScenario {
 				return fmt.Sprintf("cost=%s moved=%s", ftoa17(out.Cost), ftoa17(out.Moved)), rep.RunningTime, nil
 			},
 		},
+		{
+			// Analytics scan: table load (wide fan-out source) followed by
+			// a selective aggregation down to a single float — the backend
+			// row-equivalence tests lean on this scalar outcome.
+			name:  "tpch-q6",
+			scale: s,
+			run: func(b *bed, s Scale) (string, float64, error) {
+				tp := workload.BuildTPCH(b.ctx, tpchCfg(s))
+				loadS, err := tp.Load(b.tb.Engine)
+				if err != nil {
+					return "", 0, err
+				}
+				rev, res, err := tp.Q6(b.tb.Engine, 600, 365, 730, 0.02, 0.06, 25)
+				if err != nil {
+					return "", 0, err
+				}
+				return "revenue=" + ftoa17(rev), loadS + res.Latency(), nil
+			},
+		},
 	}
 }
 

@@ -37,9 +37,22 @@ type bedOpts struct {
 	fixedInt float64 // >0 with mttf>0: fixed-interval manager
 	sysCkpt  float64 // >0: system-level checkpointing baseline
 	acqDelay float64
-	noBoost  bool     // disable the shuffle τ/P rule (ablation)
-	obs      *obs.Obs // per-bed observability bundle (detbench)
+	noBoost  bool         // disable the shuffle τ/P rule (ablation)
+	obs      *obs.Obs     // per-bed observability bundle (detbench)
+	backend  exec.Backend // nil: backendFactory, else the default VM backend
+	pool     string       // market pool the cluster leases from ("" = primary spot)
 }
+
+// backendFactory, when set, supplies a fresh execution backend for every
+// bed (installed by flintbench -backend=fn). It must return a new
+// instance per call: warm-pool and billing state must not leak across
+// scenarios or the fixed-seed runs stop being independent.
+var backendFactory func() exec.Backend
+
+// SetBackendFactory installs f as the bed-level backend source; nil
+// restores the default VM backend. Beds that set bedOpts.backend
+// explicitly (the serverless frontier sweep) are unaffected.
+func SetBackendFactory(f func() exec.Backend) { backendFactory = f }
 
 // bed is one assembled testbed plus its (optional) FT manager.
 type bed struct {
@@ -59,9 +72,13 @@ func newBed(o bedOpts) *bed {
 	if o.diskBW > 0 {
 		engCfg.Cost.DiskBW = o.diskBW
 	}
+	if o.backend == nil && backendFactory != nil {
+		o.backend = backendFactory()
+	}
 	tb := exec.MustTestbed(exec.TestbedOpts{
 		Nodes: o.nodes, Slots: o.slots, MemBytes: o.mem, DiskBytes: o.disk,
 		AcqDelay: o.acqDelay, Engine: engCfg, Obs: o.obs,
+		Pool: o.pool, Backend: o.backend,
 	})
 	ctx := rdd.NewContext(2 * o.nodes)
 	b := &bed{tb: tb, ctx: ctx}

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"flint/internal/serverless"
+	"flint/internal/workload"
+)
+
+// Serverless: the cost/latency frontier sweep for the execution
+// backends. Every workload runs under every backend at three revocation
+// intensities δ, and each (workload, δ) cell is scored on two axes:
+// virtual latency and dollars (server lease or function billing, plus
+// checkpoint-store storage). The sweep's claim mirrors the transient-
+// server economics of the paper: no backend wins everywhere —
+//
+//   - vm (spot servers + lineage recovery) is cheapest while revocations
+//     are rare, and degrades as δ rises;
+//   - on-demand buys immunity to revocations at ~3.5× the spot price;
+//   - fn (function slots + externalized state) pays cold starts and
+//     store-mediated shuffles on every run, but its latency is flat in δ
+//     because no local state is ever lost.
+//
+// Revocations are injected only into the vm bed: on-demand servers are
+// never revoked by definition, and the function service abstracts
+// server loss away from the job entirely (externalized state survives;
+// the test suite covers that directly).
+
+// ServerlessPoint is one (workload, δ, backend) cell of the sweep.
+type ServerlessPoint struct {
+	Workload    string
+	Delta       string  // revocation intensity: calm, mid, high
+	Backend     string  // vm, od, fn
+	LatencyS    float64 // virtual seconds of workload latency
+	CostUSD     float64 // lease/billing + storage dollars
+	Invocations int     // fn only
+	ColdStarts  int     // fn only
+	Dominant    bool    // Pareto-nondominated within its (workload, δ) group
+}
+
+// ServerlessResult aggregates the sweep for printing and CSV export.
+type ServerlessResult struct {
+	Points []ServerlessPoint
+}
+
+// swWorkloads are the sweep's workloads: the detbench four, minus their
+// embedded failure injections (δ owns the fault schedule here). Three
+// are dense batch jobs, where leased servers stay busy; tpch-q6 is a
+// batch-interactive session with idle think time, where function
+// billing shines.
+func swWorkloads() []struct {
+	name string
+	run  func(b *bed, s Scale) (float64, error)
+} {
+	return []struct {
+		name string
+		run  func(b *bed, s Scale) (float64, error)
+	}{
+		{"wordcount", func(b *bed, s Scale) (float64, error) {
+			_, res, err := workload.RunWordCount(b.tb.Engine, b.ctx, workload.WordCountConfig{
+				Docs: int(400 * float64(s)), Parts: 20, Seed: 17,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.Latency(), nil
+		}},
+		{"pagerank", func(b *bed, s Scale) (float64, error) {
+			rep, err := workload.RunPageRank(b.tb.Engine, b.ctx, prCfg(s, 2<<30))
+			if err != nil {
+				return 0, err
+			}
+			return rep.RunningTime, nil
+		}},
+		{"kmeans", func(b *bed, s Scale) (float64, error) {
+			rep, err := workload.RunKMeans(b.tb.Engine, b.ctx, kmCfg(s))
+			if err != nil {
+				return 0, err
+			}
+			return rep.RunningTime, nil
+		}},
+		{"tpch-q6", func(b *bed, s Scale) (float64, error) {
+			// The batch-interactive cell: load the tables, then a short
+			// query session with operator think time between queries.
+			// Servers bill for the idle gaps; function slots bill nothing
+			// while nobody is querying — the economics the fn backend
+			// exists for. Latency is what the user experiences: load plus
+			// the sum of query latencies, think time excluded.
+			tp := workload.BuildTPCH(b.ctx, tpchCfg(s))
+			lat, err := tp.Load(b.tb.Engine)
+			if err != nil {
+				return 0, err
+			}
+			for q := 0; q < 4; q++ {
+				b.tb.Clock.Advance(400)
+				_, res, err := tp.Q6(b.tb.Engine, 600+q, 365, 730, 0.02, 0.06, 25)
+				if err != nil {
+					return 0, err
+				}
+				lat += res.Latency()
+			}
+			return lat, nil
+		}},
+	}
+}
+
+// swKill is one scheduled revocation: kill k servers at frac·T, where T
+// is the workload's calm vm makespan.
+type swKill struct {
+	frac float64
+	k    int
+}
+
+// swDeltas are the revocation intensities.
+var swDeltas = []struct {
+	name  string
+	kills []swKill
+}{
+	{"calm", nil},
+	{"mid", []swKill{{0.35, 2}}},
+	{"high", []swKill{{0.25, 3}, {0.5, 3}, {0.75, 2}}},
+}
+
+// Serverless runs the sweep and prints one row per point.
+func Serverless(w io.Writer, s Scale) (ServerlessResult, error) {
+	hdr(w, "serverless", "cost/latency frontier: vm vs on-demand vs function backend")
+	fmt.Fprintf(w, "%-10s %-5s %-3s %11s %11s %8s %7s %s\n",
+		"workload", "delta", "be", "latency_s", "cost_usd", "invokes", "cold", "dominant")
+	var res ServerlessResult
+	for _, wl := range swWorkloads() {
+		// The calm vm makespan anchors the δ schedules for this workload.
+		calmT, err := swRun(wl.name, wl.run, s, "vm", nil, 0)
+		if err != nil {
+			return res, fmt.Errorf("serverless %s vm calm: %w", wl.name, err)
+		}
+		for _, d := range swDeltas {
+			var group []ServerlessPoint
+			for _, be := range []string{"vm", "od", "fn"} {
+				var p ServerlessPoint
+				if be == "vm" && d.name == "calm" {
+					p = calmT // already measured
+				} else {
+					kills := d.kills
+					if be != "vm" {
+						kills = nil // revocations target only the spot bed
+					}
+					p, err = swRun(wl.name, wl.run, s, be, kills, calmT.LatencyS)
+					if err != nil {
+						return res, fmt.Errorf("serverless %s %s %s: %w", wl.name, be, d.name, err)
+					}
+				}
+				p.Delta = d.name
+				group = append(group, p)
+			}
+			markDominant(group)
+			for _, p := range group {
+				fmt.Fprintf(w, "%-10s %-5s %-3s %11.3f %11.6f %8d %7d %v\n",
+					p.Workload, p.Delta, p.Backend, p.LatencyS, p.CostUSD,
+					p.Invocations, p.ColdStarts, p.Dominant)
+			}
+			res.Points = append(res.Points, group...)
+		}
+	}
+	return res, nil
+}
+
+// swRun measures one (workload, backend, δ) cell. kills are injected at
+// frac·calmT with replacement; calmT is 0 for the anchoring calm run.
+func swRun(name string, run func(*bed, Scale) (float64, error), s Scale,
+	be string, kills []swKill, calmT float64) (ServerlessPoint, error) {
+	var opts bedOpts
+	var fnb *serverless.Backend
+	switch be {
+	case "od":
+		opts.pool = "on-demand"
+	case "fn":
+		fnb = serverless.New(serverless.Config{})
+		opts.backend = fnb
+	}
+	b := newBed(opts)
+	for _, kill := range kills {
+		b.tb.RevokeNodes(kill.frac*calmT, kill.k, true)
+	}
+	lat, err := run(b, s)
+	if err != nil {
+		return ServerlessPoint{}, err
+	}
+	now := b.tb.Clock.Now()
+	storage := b.tb.Store.UsageAt(now).StorageCost
+	p := ServerlessPoint{Workload: name, Backend: be, LatencyS: lat}
+	if fnb != nil {
+		st := fnb.Stats()
+		p.CostUSD = fnb.AccruedCost() + storage
+		p.Invocations = st.Invocations
+		p.ColdStarts = st.ColdStarts
+	} else {
+		p.CostUSD = b.tb.Cluster.Cost() + storage
+	}
+	return p, nil
+}
+
+// markDominant flags the Pareto-nondominated points of one (workload, δ)
+// group: a point is dominated when another is no worse on both axes and
+// strictly better on one.
+func markDominant(group []ServerlessPoint) {
+	for i := range group {
+		dominated := false
+		for j := range group {
+			if i == j {
+				continue
+			}
+			a, b := &group[j], &group[i]
+			if a.CostUSD <= b.CostUSD && a.LatencyS <= b.LatencyS &&
+				(a.CostUSD < b.CostUSD || a.LatencyS < b.LatencyS) {
+				dominated = true
+				break
+			}
+		}
+		group[i].Dominant = !dominated
+	}
+}
+
+// WriteCSV exports serverless_frontier.csv.
+func (r ServerlessResult) WriteCSV(dir string) error {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Workload, p.Delta, p.Backend, ftoa(p.LatencyS), ftoa(p.CostUSD),
+			strconv.Itoa(p.Invocations), strconv.Itoa(p.ColdStarts),
+			strconv.FormatBool(p.Dominant),
+		})
+	}
+	return writeCSV(dir, "serverless_frontier.csv",
+		[]string{"workload", "delta", "backend", "latency_s", "cost_usd",
+			"invocations", "cold_starts", "dominant"},
+		rows)
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"flint/internal/exec"
+	"flint/internal/serverless"
+)
+
+// TestBackendRowEquivalence is the acceptance gate for the function
+// backend: every detbench scenario must hash to the same outcome under
+// -backend=fn as under the VM backend. Timing, task counts and traces
+// legitimately differ — results never do.
+func TestBackendRowEquivalence(t *testing.T) {
+	const s = Scale(0.3)
+	vm, err := Detbench(io.Discard, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetBackendFactory(func() exec.Backend { return serverless.New(serverless.Config{}) })
+	defer SetBackendFactory(nil)
+	fn, err := Detbench(io.Discard, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vm.Scenarios) != len(fn.Scenarios) {
+		t.Fatalf("scenario counts differ: vm %d, fn %d", len(vm.Scenarios), len(fn.Scenarios))
+	}
+	for i, v := range vm.Scenarios {
+		f := fn.Scenarios[i]
+		if v.Name != f.Name {
+			t.Fatalf("scenario order diverged: %s vs %s", v.Name, f.Name)
+		}
+		if v.OutcomeFNV != f.OutcomeFNV {
+			t.Errorf("%s: outcome fnv vm=%016x fn=%016x — backends must agree on results", v.Name, v.OutcomeFNV, f.OutcomeFNV)
+		}
+	}
+	// The fn run itself is deterministic: a second sweep reproduces every
+	// diffable field, including the serverless metric snapshot.
+	fn2, err := Detbench(io.Discard, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range fn.Scenarios {
+		b := fn2.Scenarios[i]
+		if a.VirtualS != b.VirtualS || a.Tasks != b.Tasks || a.Killed != b.Killed ||
+			a.Recomputed != b.Recomputed || a.OutcomeFNV != b.OutcomeFNV ||
+			a.TraceN != b.TraceN || a.TraceFNV != b.TraceFNV || a.MetricsText != b.MetricsText {
+			t.Errorf("%s: fn rerun diverged:\n%+v\n%+v", a.Name, a, b)
+		}
+	}
+}
+
+// TestServerlessFrontier checks the sweep's economic shape: every
+// (workload, δ) cell has a Pareto frontier, and each backend earns a
+// place on it somewhere — no backend dominates everywhere, which is the
+// point of having three.
+func TestServerlessFrontier(t *testing.T) {
+	res, err := Serverless(io.Discard, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(res.Points), 4*3*3; got != want {
+		t.Fatalf("sweep produced %d points, want %d", got, want)
+	}
+	wins := map[string]int{}
+	groups := map[[2]string]int{}
+	for _, p := range res.Points {
+		if p.Dominant {
+			wins[p.Backend]++
+			groups[[2]string{p.Workload, p.Delta}]++
+		}
+		if p.Backend == "fn" {
+			if p.Invocations == 0 || p.ColdStarts == 0 {
+				t.Errorf("%s/%s fn: invocations=%d cold=%d, want both > 0", p.Workload, p.Delta, p.Invocations, p.ColdStarts)
+			}
+		}
+		if p.CostUSD <= 0 || p.LatencyS <= 0 {
+			t.Errorf("%s/%s/%s: nonpositive cost %v or latency %v", p.Workload, p.Delta, p.Backend, p.CostUSD, p.LatencyS)
+		}
+	}
+	for _, be := range []string{"vm", "od", "fn"} {
+		if wins[be] == 0 {
+			t.Errorf("backend %s dominates no (workload, δ) point — frontier degenerate", be)
+		}
+	}
+	for g, n := range groups {
+		if n == 0 {
+			t.Errorf("group %v has no dominant point", g)
+		}
+	}
+}
+
+func TestServerlessCSV(t *testing.T) {
+	res, err := Serverless(io.Discard, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := res.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSVFile(t, filepath.Join(dir, "serverless_frontier.csv"))
+	if rows[0][0] != "workload" || len(rows) != len(res.Points)+1 {
+		t.Fatalf("frontier csv malformed: header %v, rows %d", rows[0], len(rows)-1)
+	}
+}

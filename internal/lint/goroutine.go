@@ -21,8 +21,11 @@ var goroutineCheck = Check{
 // goroutineAllowedPkgs are the packages whose goroutines are part of
 // the audited concurrency design.
 var goroutineAllowedPkgs = map[string]bool{
-	"flint/internal/exec":  true,
-	"flint/internal/webui": true,
+	"flint/internal/exec": true,
+	// serverless.AuditExternal fans reads across a bounded worker pool
+	// and folds deterministically in key order.
+	"flint/internal/serverless": true,
+	"flint/internal/webui":      true,
 }
 
 func runGoroutine(pass *Pass) {

@@ -1,0 +1,94 @@
+// Billing accrual helpers shared by every backend that turns simulated
+// seconds into dollars. The VM path bills leases (per-second integration
+// or EC2's started-hour snapshots, Exchange.LeaseCost); the serverless
+// path bills function invocations (per-invocation fee plus GB-seconds,
+// the Lambda rule). Both express their rounding through the same two
+// primitives here — BilledSeconds for the granule rule and PerSecondCost
+// for rate integration — so a granularity change lands in one place
+// instead of being re-derived per backend.
+package market
+
+import (
+	"math"
+
+	"flint/internal/simclock"
+)
+
+// BilledSeconds applies a billing granule to a raw duration: the
+// duration is rounded up to the next multiple of granule seconds, with
+// a floor of min seconds. granule <= 0 means continuous (no rounding);
+// min <= 0 means no floor. Negative durations bill as zero. This is the
+// single rounding rule: EC2's hour-granular lease billing is
+// BilledSeconds(dur, Hour, 0) and Lambda-style 1 ms invocation metering
+// is BilledSeconds(dur, 0.001, 0.001).
+func BilledSeconds(dur, granule, min float64) float64 {
+	if dur < 0 {
+		dur = 0
+	}
+	if min > 0 && dur < min {
+		dur = min
+	}
+	if granule > 0 {
+		dur = math.Ceil(dur/granule) * granule
+	}
+	return dur
+}
+
+// PerSecondCost integrates a fixed hourly rate over a billed duration:
+// rate is $/hr, dur is (already granule-rounded) seconds.
+func PerSecondCost(rate, dur float64) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return rate * dur / simclock.Hour
+}
+
+// PerGBSecondCost bills memory-seconds at a $/GB-s rate, the serverless
+// resource dimension ("duration × memory" in Lambda's price sheet).
+func PerGBSecondCost(rate, memGB, dur float64) float64 {
+	if dur <= 0 || memGB <= 0 {
+		return 0
+	}
+	return rate * memGB * dur
+}
+
+// FnPricing is a serverless price sheet: what one function invocation
+// costs as a function of its billed duration. Defaults follow the shape
+// (not the exact numbers) of AWS Lambda pricing: a flat per-invocation
+// fee plus GB-seconds at millisecond granularity with a minimum billed
+// slice.
+type FnPricing struct {
+	PerInvocation float64 // $ per invocation, charged even on failure
+	PerGBSecond   float64 // $ per GB-second of billed duration
+	MemGB         float64 // memory reserved per slot, GB
+	Granule       float64 // billing granule in seconds; <= 0 = continuous
+	MinBilled     float64 // minimum billed seconds per invocation; <= 0 = none
+}
+
+// DefaultFnPricing mirrors Lambda's x86 list price: $0.20 per million
+// requests, $1.6667e-5 per GB-s, 1 ms granularity and minimum. MemGB is
+// sized so one slot matches one simulated executor core with headroom
+// for the engine's 64 MiB/s compute-rate assumption.
+func DefaultFnPricing() FnPricing {
+	return FnPricing{
+		PerInvocation: 2.0e-7,
+		PerGBSecond:   1.6667e-5,
+		MemGB:         2.0,
+		Granule:       0.001,
+		MinBilled:     0.001,
+	}
+}
+
+// InvocationCost prices one invocation that ran for dur virtual
+// seconds, applying the granule rule before the GB-second rate.
+func (p FnPricing) InvocationCost(dur float64) float64 {
+	billed := BilledSeconds(dur, p.Granule, p.MinBilled)
+	return p.PerInvocation + PerGBSecondCost(p.PerGBSecond, p.MemGB, billed)
+}
+
+// BilledGBSeconds returns the GB-seconds metered for one invocation of
+// dur virtual seconds (the quantity flint_serverless_billed_gb_seconds
+// reports).
+func (p FnPricing) BilledGBSeconds(dur float64) float64 {
+	return p.MemGB * BilledSeconds(dur, p.Granule, p.MinBilled)
+}

@@ -102,3 +102,64 @@ func TestPreemptibleExchangeConstruction(t *testing.T) {
 		}
 	}
 }
+
+// The shared accrual helpers (billing.go) are the single rounding rule
+// for every backend: the granule rounds up, the floor applies before
+// the granule, and the hourly lease rule is just BilledSeconds with an
+// Hour granule.
+func TestBilledSecondsGranuleRule(t *testing.T) {
+	cases := []struct {
+		dur, granule, min, want float64
+	}{
+		{0, 0, 0, 0},
+		{-5, 0.001, 0, 0},             // negative clamps to zero, bills zero
+		{0.0004, 0.001, 0.001, 0.001}, // sub-granule rounds to one granule
+		{1.0001, 0.001, 0.001, 1.001}, // partial granule rounds up
+		{2.5, 0, 0, 2.5},              // continuous: untouched
+		{2.5, 0, 3, 3},                // floor without granule
+		{30 * simclock.Minute, simclock.Hour, 0, simclock.Hour},    // started hour
+		{2.5 * simclock.Hour, simclock.Hour, 0, 3 * simclock.Hour}, // EC2 rule
+		{2.0 * simclock.Hour, simclock.Hour, 0, 2 * simclock.Hour}, // exact boundary
+	}
+	for _, c := range cases {
+		if got := BilledSeconds(c.dur, c.granule, c.min); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("BilledSeconds(%v,%v,%v) = %v, want %v", c.dur, c.granule, c.min, got, c.want)
+		}
+	}
+}
+
+// billFixed must keep producing the historical numbers now that it
+// routes through the helpers: 2.5 h at $0.20/hr is $0.50 per-second and
+// $0.60 hourly (3 started hours).
+func TestBillFixedMatchesHelpers(t *testing.T) {
+	ps, _ := NewExchange([]*Pool{{Name: "od", Kind: KindOnDemand, OnDemand: 0.20}}, BillPerSecond, 1)
+	hr, _ := NewExchange([]*Pool{{Name: "od", Kind: KindOnDemand, OnDemand: 0.20}}, BillHourly, 1)
+	l1, _ := ps.Acquire("od", 1, 0)
+	l2, _ := hr.Acquire("od", 1, 0)
+	end := 2.5 * simclock.Hour
+	if got := ps.LeaseCost(l1, end); math.Abs(got-0.50) > 1e-9 {
+		t.Errorf("per-second fixed cost = %v, want 0.50", got)
+	}
+	if got := hr.LeaseCost(l2, end); math.Abs(got-0.60) > 1e-9 {
+		t.Errorf("hourly fixed cost = %v, want 0.60", got)
+	}
+}
+
+// FnPricing applies the per-invocation fee plus GB-seconds at the
+// granule: a 250 ms invocation on the default sheet bills exactly
+// 0.25 s × 2 GB, and a zero-duration invocation still pays the fee plus
+// one minimum granule.
+func TestFnPricingInvocationCost(t *testing.T) {
+	p := DefaultFnPricing()
+	want := p.PerInvocation + p.PerGBSecond*p.MemGB*0.25
+	if got := p.InvocationCost(0.25); math.Abs(got-want) > 1e-15 {
+		t.Errorf("InvocationCost(0.25) = %v, want %v", got, want)
+	}
+	min := p.PerInvocation + p.PerGBSecond*p.MemGB*p.MinBilled
+	if got := p.InvocationCost(0); math.Abs(got-min) > 1e-15 {
+		t.Errorf("InvocationCost(0) = %v, want %v (fee + minimum granule)", got, min)
+	}
+	if got := p.BilledGBSeconds(0.2504); math.Abs(got-2*0.251) > 1e-12 {
+		t.Errorf("BilledGBSeconds(0.2504) = %v, want %v (rounded to 251 ms)", got, 2*0.251)
+	}
+}

@@ -318,12 +318,16 @@ func (e *Exchange) LeaseCost(l *Lease, t float64) float64 {
 	return cost
 }
 
+// billFixed prices a fixed-rate holding period through the shared
+// accrual helpers (billing.go): per-second billing is continuous
+// integration; hourly billing rounds the duration up to started hours
+// before applying the same rate.
 func (e *Exchange) billFixed(rate, start, end float64) float64 {
-	if e.billing == BillPerSecond {
-		return rate * (end - start) / simclock.Hour
+	dur := end - start
+	if e.billing == BillHourly {
+		dur = BilledSeconds(dur, simclock.Hour, 0)
 	}
-	hours := math.Ceil((end - start) / simclock.Hour)
-	return rate * hours
+	return PerSecondCost(rate, dur)
 }
 
 // TotalCost sums LeaseCost over every lease ever acquired, as of time t.

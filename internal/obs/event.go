@@ -58,6 +58,15 @@ const (
 	// Fields: Task, RDD, Part, Dur (the backoff wait), Bits (attempt
 	// number).
 	EvRetry
+	// EvInvoke fires when a function backend launches a task as an
+	// ephemeral invocation. Fields: Task, Node, Dur (launch latency
+	// charged before the work), Bits (1 for a cold start, 0 warm).
+	EvInvoke
+	// EvColdStart fires when an invocation found no warm slot and paid
+	// the cold-start delay. Fields: Task, Node, Dur (the delay, after
+	// any chaos stretch), Bits (injected admission failures retried
+	// through).
+	EvColdStart
 )
 
 // String returns the event type's wire name (used in exports and docs).
@@ -93,6 +102,10 @@ func (t EventType) String() string {
 		return "fault_injected"
 	case EvRetry:
 		return "retry"
+	case EvInvoke:
+		return "invoke"
+	case EvColdStart:
+		return "cold_start"
 	}
 	return "unknown"
 }

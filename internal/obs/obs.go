@@ -80,6 +80,15 @@ type Obs struct {
 	ChaosSlowdowns         *Counter
 	ChaosDFSReadFaults     *Counter
 	ChaosRevocations       *Counter
+	ChaosColdStragglers    *Counter
+
+	// Serverless (function-backend) instruments. Zero on the VM backend;
+	// see docs/SERVERLESS.md for the slot and billing model.
+	FnInvocations    *Counter
+	FnColdStarts     *Counter
+	FnInvokeFailures *Counter
+	FnExtReadBytes   *Counter
+	FnExtWriteBytes  *Counter
 
 	// Retry/backoff counters for the graceful-degradation paths.
 	RetryAttempts  *Counter
@@ -93,6 +102,11 @@ type Obs struct {
 	// Gauges.
 	LiveNodes   *Gauge
 	ExecWorkers *Gauge
+
+	// Serverless billing gauges: running totals of the function
+	// backend's accrued spend and metered GB-seconds.
+	FnBilledDollars   *Gauge
+	FnBilledGBSeconds *Gauge
 
 	// Portfolio gauges: markets held with non-zero target weight, the
 	// mean-variance objective terms of the last solve (expected savings
@@ -110,6 +124,7 @@ type Obs struct {
 	RecoveryTime   *Histogram
 	CkptWriteBytes *Histogram
 	RetryBackoff   *Histogram
+	FnColdStartDur *Histogram
 
 	// Wall-clock (real time, not virtual) execution histograms. These
 	// measure how fast the engine itself runs, vary run to run, and are
@@ -157,6 +172,13 @@ func New(o Options) *Obs {
 		ChaosSlowdowns:         r.Counter("flint_chaos_straggler_slowdowns_total", "Tasks slowed by an injected straggler window."),
 		ChaosDFSReadFaults:     r.Counter("flint_chaos_dfs_read_faults_total", "Checkpoint-store read probes that observed an injected fault."),
 		ChaosRevocations:       r.Counter("flint_chaos_injected_revocations_total", "Revocations injected by a chaos schedule."),
+		ChaosColdStragglers:    r.Counter("flint_chaos_cold_start_stragglers_total", "Cold starts stretched by an injected cold-start straggler window."),
+
+		FnInvocations:    r.Counter("flint_serverless_invocations_total", "Function invocations launched (one per task in fn mode)."),
+		FnColdStarts:     r.Counter("flint_serverless_cold_starts_total", "Invocations that found no warm slot and paid the cold-start delay."),
+		FnInvokeFailures: r.Counter("flint_serverless_invoke_failures_total", "Injected invocation admission failures retried through."),
+		FnExtReadBytes:   r.Counter("flint_serverless_external_read_bytes_total", "Externalized-state bytes read from the dfs store (shuffle segments + cached partitions)."),
+		FnExtWriteBytes:  r.Counter("flint_serverless_external_write_bytes_total", "Externalized-state bytes written to the dfs store."),
 
 		RetryAttempts:  r.Counter("flint_retry_attempts_total", "Bounded-retry attempts after injected write/fetch failures."),
 		RetryExhausted: r.Counter("flint_retry_exhausted_total", "Retry sequences that hit MaxAttempts and fell back."),
@@ -165,6 +187,9 @@ func New(o Options) *Obs {
 
 		LiveNodes:   r.Gauge("flint_live_nodes", "Servers currently registered with the engine."),
 		ExecWorkers: r.Gauge("flint_exec_workers", "Resolved worker-pool width of the execution engine."),
+
+		FnBilledDollars:   r.Gauge("flint_serverless_billed_dollars", "Dollars accrued by the function backend (per-invocation fees + GB-seconds)."),
+		FnBilledGBSeconds: r.Gauge("flint_serverless_billed_gb_seconds", "GB-seconds metered by the function backend."),
 
 		PortfolioMarketsHeld:     r.Gauge("flint_portfolio_markets_held", "Markets with non-zero target weight after the last portfolio solve."),
 		PortfolioExpectedSavings: r.Gauge("flint_portfolio_expected_savings", "Expected savings fraction vs. on-demand of the last portfolio solve."),
@@ -177,6 +202,7 @@ func New(o Options) *Obs {
 		RecoveryTime:   r.Histogram("flint_revocation_recovery_seconds", "Time from a revocation to the next replacement joining.", DurationBuckets()),
 		CkptWriteBytes: r.Histogram("flint_checkpoint_write_bytes", "Per-partition checkpoint write sizes.", ByteBuckets()),
 		RetryBackoff:   r.Histogram("flint_retry_backoff_seconds", "Virtual backoff waits charged before retries.", DurationBuckets()),
+		FnColdStartDur: r.Histogram("flint_serverless_cold_start_seconds", "Cold-start delays charged to invocations, virtual seconds.", DurationBuckets()),
 
 		ExecRoundWall: r.Histogram("flint_exec_wall_seconds", "Real seconds per dispatch round's task batch (wall clock, nondeterministic).", DurationBuckets()),
 		WorkerBusy:    r.Histogram("flint_exec_worker_busy_seconds", "Real seconds one task's computation occupied a worker (wall clock, nondeterministic).", DurationBuckets()),

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+
+	"flint/internal/dfs"
 )
 
 // rowsFNV canonicalizes rows through %#v into an FNV-64a, mirroring how
@@ -73,6 +75,12 @@ func FuzzColumnarRowEquivalence(f *testing.F) {
 	f.Add([]byte{0x61, 0x05, 0x62, 0x06, 0x61, 0x07})          // pure string keys
 	f.Add([]byte{0x01, 0x02, 0x61, 0x03, 0xc1, 0x04, 0xe1, 5}) // mixed: degrade
 	f.Add([]byte{0xa1, 0x42, 0xa2, 0x43, 0xa1, 0x44})          // int64 keys
+	// Externalized-state seeds (function backend): float keys, float
+	// values, and a wide mixed partition — shapes that stress the
+	// store round trip below with every column representation.
+	f.Add([]byte{0xc1, 0x81, 0xc2, 0x82, 0xc1, 0x83})          // float64 keys, float values
+	f.Add([]byte{0x01, 0x81, 0x61, 0xc1, 0xa1, 0x02, 0xc1, 3}) // one key of each type
+	f.Add([]byte{0xe1, 0x01, 0xe2, 0x02, 0xe1, 0x03, 0xe3, 4}) // composite keys
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rows := decodeFuzzRows(data)
 		if !ColumnarEnabled() {
@@ -154,6 +162,26 @@ func FuzzColumnarRowEquivalence(f *testing.F) {
 		}
 		if rowsFNV(fetched.Rows()) != rowsFNV(wantFetched) {
 			t.Fatal("concat of batch buckets differs from row-bucket concat")
+		}
+		// Externalized-state boundary (function backend): every map-side
+		// bucket crosses a dfs store — written under its segment key,
+		// read back by the reducer — and the reassembled rows must stay
+		// byte-identical to the in-memory shuffle path.
+		st := dfs.New(dfs.Config{})
+		for i, bk := range batchBuckets {
+			st.Put(fmt.Sprintf("fnshuffle/1/map/%d", i), bk, int64(bk.Len())+1, float64(i))
+		}
+		ext := make([]*ColBatch, len(batchBuckets))
+		for i := range batchBuckets {
+			v, _, ok := st.Peek(fmt.Sprintf("fnshuffle/1/map/%d", i))
+			if !ok {
+				t.Fatalf("externalized bucket %d missing from store", i)
+			}
+			ext[i] = v.(*ColBatch)
+		}
+		extFetched := ConcatBatches(ext, total)
+		if rowsFNV(extFetched.Rows()) != rowsFNV(wantFetched) {
+			t.Fatal("externalized shuffle round trip differs from the in-memory path")
 		}
 		gb := groupEmitBatch(groupBatch(fetched)).Rows()
 		gr := groupEmitBatch(groupBatch(WrapRows(wantFetched))).Rows()

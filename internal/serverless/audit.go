@@ -1,0 +1,76 @@
+package serverless
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"flint/internal/dfs"
+)
+
+// Summary is the deterministic digest of one external-state audit
+// sweep: how many objects live under the prefix, their byte total, and
+// an FNV-1a fingerprint over the sorted (key, size) pairs. Two sweeps
+// of the same store state produce identical summaries at any worker
+// count.
+type Summary struct {
+	Objects int
+	Bytes   int64
+	FNV     uint64
+}
+
+// AuditExternal sweeps every object under prefix in the external
+// store with a bounded pool of reader goroutines and folds the
+// per-object observations into a Summary in key order. The function
+// backend keeps no local replicas, so this sweep is the only way to
+// cross-check that the shuffle segments and externalized partitions a
+// run left behind are consistent with the store's own accounting —
+// the chaos invariant checkers call it after serverless fault runs.
+//
+// workers <= 1 sweeps inline. The store's own locking makes the
+// concurrent Peeks safe; determinism holds because results land in a
+// slice indexed by the sorted key order, not completion order.
+func AuditExternal(st *dfs.Store, prefix string, workers int) (Summary, error) {
+	keys := st.Keys(prefix)
+	sizes := make([]int64, len(keys))
+	missing := make([]bool, len(keys))
+	if workers <= 1 || len(keys) < 2 {
+		for i, k := range keys {
+			_, n, ok := st.Peek(k)
+			sizes[i], missing[i] = n, !ok
+		}
+	} else {
+		if workers > len(keys) {
+			workers = len(keys)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					_, n, ok := st.Peek(keys[i])
+					sizes[i], missing[i] = n, !ok
+				}
+			}()
+		}
+		for i := range keys {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	var s Summary
+	h := fnv.New64a()
+	for i, k := range keys {
+		if missing[i] {
+			return s, fmt.Errorf("serverless: audit: %q listed but unreadable", k)
+		}
+		s.Objects++
+		s.Bytes += sizes[i]
+		fmt.Fprintf(h, "%s=%d\n", k, sizes[i])
+	}
+	s.FNV = h.Sum64()
+	return s, nil
+}

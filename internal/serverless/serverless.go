@@ -1,0 +1,146 @@
+// Package serverless implements the function-slot execution backend:
+// executors are ephemeral function invocations ("Serverless Data
+// Analytics with Flint", PAPERS.md) instead of leased VMs. Every task
+// is one invocation; a launch either reuses a warm slot kept alive
+// from an earlier invocation on the same engine node or pays a
+// deterministic cold-start delay on the virtual clock; billing is a
+// per-invocation fee plus GB-seconds through the shared rounding rule
+// in internal/market (FnPricing). The backend holds no data: the
+// engine externalizes cached partitions and shuffle segments through
+// internal/dfs when Config.Backend reports KeepsLocalState() == false
+// (see internal/exec/backend.go and docs/SERVERLESS.md).
+//
+// Determinism: the engine calls InvokeDelay and NoteRelease only on
+// the simulation thread in task assignment order, so the warm-pool
+// state is a pure function of the schedule. Nothing here reads wall
+// clocks or global randomness.
+package serverless
+
+import "flint/internal/market"
+
+// Config tunes the function backend.
+type Config struct {
+	// ColdStart is the virtual seconds a cold launch pays before the
+	// task's work begins (sandbox provisioning + code fetch).
+	// 0 takes the 1.5 s default.
+	ColdStart float64
+	// KeepAlive is how long a released slot stays warm before the
+	// platform reclaims it. 0 takes the 600 s default.
+	KeepAlive float64
+	// MaxWarm bounds the warm slots remembered per engine node (the
+	// platform's container pool depth). 0 takes the default of 8.
+	MaxWarm int
+	// Pricing is the invocation price sheet; the zero value takes
+	// market.DefaultFnPricing.
+	Pricing market.FnPricing
+}
+
+func (c Config) withDefaults() Config {
+	if c.ColdStart <= 0 {
+		c.ColdStart = 1.5
+	}
+	if c.KeepAlive <= 0 {
+		c.KeepAlive = 600
+	}
+	if c.MaxWarm <= 0 {
+		c.MaxWarm = 8
+	}
+	if c.Pricing == (market.FnPricing{}) {
+		c.Pricing = market.DefaultFnPricing()
+	}
+	return c
+}
+
+// Stats is a snapshot of the backend's counters.
+type Stats struct {
+	Invocations int     // completed invocations billed
+	ColdStarts  int     // launches that found no warm slot
+	WarmStarts  int     // launches served from the warm pool
+	Cost        float64 // dollars accrued
+	GBSeconds   float64 // GB-seconds metered
+}
+
+// Backend is the function-slot executor model; it implements
+// exec.Backend. The engine's nodes act as slot groups: concurrency
+// stays bounded by node slot counts, while this backend decides the
+// warm/cold launch state and the billing of each invocation.
+type Backend struct {
+	cfg Config
+	// warm holds, per engine node, the keep-alive expiry instants of
+	// released slots, in release order (oldest first).
+	warm map[int][]float64
+
+	stats Stats
+}
+
+// New builds a function backend. Each engine (each testbed) needs its
+// own instance — warm-pool and billing state must not leak across
+// runs.
+func New(cfg Config) *Backend {
+	return &Backend{cfg: cfg.withDefaults(), warm: make(map[int][]float64)}
+}
+
+// Name implements exec.Backend.
+func (b *Backend) Name() string { return "fn" }
+
+// KeepsLocalState implements exec.Backend: function sandboxes die with
+// their task, so the engine externalizes all cache and shuffle state.
+func (b *Backend) KeepsLocalState() bool { return false }
+
+// Config returns the effective (default-filled) configuration.
+func (b *Backend) Config() Config { return b.cfg }
+
+// InvokeDelay implements exec.Backend: reuse the freshest warm slot on
+// the node that is still within keep-alive, else pay a cold start.
+// Expired entries are pruned as they are passed over, bounding the
+// pool scan. Simulation thread only.
+func (b *Backend) InvokeDelay(node int, now float64) (float64, bool) {
+	slots := b.warm[node]
+	// Drop expired entries (they are oldest-first, so they prefix the
+	// slice) and take the most recently released live slot — LIFO reuse
+	// matches how platforms keep hot containers hot.
+	live := slots
+	for len(live) > 0 && live[0] < now {
+		live = live[1:]
+	}
+	if len(live) > 0 {
+		b.warm[node] = live[:len(live)-1]
+		b.stats.WarmStarts++
+		return 0, false
+	}
+	if len(slots) > 0 {
+		b.warm[node] = live
+	}
+	b.stats.ColdStarts++
+	return b.cfg.ColdStart, true
+}
+
+// NoteRelease implements exec.Backend: the finished invocation's slot
+// stays warm until now+KeepAlive, bounded by MaxWarm per node.
+// Simulation thread only.
+func (b *Backend) NoteRelease(node int, now float64) {
+	slots := append(b.warm[node], now+b.cfg.KeepAlive)
+	if len(slots) > b.cfg.MaxWarm {
+		slots = slots[len(slots)-b.cfg.MaxWarm:]
+	}
+	b.warm[node] = slots
+}
+
+// AccrueInvocation implements exec.Backend: bill one completed
+// invocation that held its slot for dur virtual seconds.
+func (b *Backend) AccrueInvocation(dur float64) float64 {
+	c := b.cfg.Pricing.InvocationCost(dur)
+	b.stats.Cost += c
+	b.stats.GBSeconds += b.cfg.Pricing.BilledGBSeconds(dur)
+	b.stats.Invocations++
+	return c
+}
+
+// AccruedCost implements exec.Backend.
+func (b *Backend) AccruedCost() float64 { return b.stats.Cost }
+
+// AccruedGBSeconds implements exec.Backend.
+func (b *Backend) AccruedGBSeconds() float64 { return b.stats.GBSeconds }
+
+// Stats returns a snapshot of the backend's counters.
+func (b *Backend) Stats() Stats { return b.stats }

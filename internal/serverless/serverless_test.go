@@ -1,0 +1,108 @@
+package serverless
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"flint/internal/dfs"
+	"flint/internal/market"
+)
+
+func TestWarmPoolReuse(t *testing.T) {
+	b := New(Config{ColdStart: 2, KeepAlive: 10, MaxWarm: 2})
+	// First launch on a fresh node is cold.
+	d, cold := b.InvokeDelay(1, 0)
+	if !cold || d != 2 {
+		t.Fatalf("first launch: delay=%v cold=%v, want 2, true", d, cold)
+	}
+	// Released at t=1 → warm until t=11.
+	b.NoteRelease(1, 1)
+	if d, cold = b.InvokeDelay(1, 5); cold || d != 0 {
+		t.Fatalf("warm reuse: delay=%v cold=%v, want 0, false", d, cold)
+	}
+	// The slot was consumed; the next launch is cold again.
+	if _, cold = b.InvokeDelay(1, 5); !cold {
+		t.Fatal("second concurrent launch should be cold")
+	}
+	// Expired warm slots don't help.
+	b.NoteRelease(1, 5)
+	if _, cold = b.InvokeDelay(1, 30); !cold {
+		t.Fatal("launch after keep-alive expiry should be cold")
+	}
+	// Warm pools are per node.
+	b.NoteRelease(1, 40)
+	if _, cold = b.InvokeDelay(2, 41); !cold {
+		t.Fatal("node 2 must not see node 1's warm slots")
+	}
+	s := b.Stats()
+	if s.WarmStarts != 1 || s.ColdStarts != 4 {
+		t.Fatalf("stats = %+v, want 1 warm / 4 cold", s)
+	}
+}
+
+func TestWarmPoolBounded(t *testing.T) {
+	b := New(Config{ColdStart: 1, KeepAlive: 100, MaxWarm: 2})
+	for i := 0; i < 10; i++ {
+		b.NoteRelease(7, float64(i))
+	}
+	warm := 0
+	for {
+		if _, cold := b.InvokeDelay(7, 10); cold {
+			break
+		}
+		warm++
+	}
+	if warm != 2 {
+		t.Fatalf("warm slots available = %d, want MaxWarm = 2", warm)
+	}
+}
+
+func TestBillingAccrual(t *testing.T) {
+	b := New(Config{})
+	p := market.DefaultFnPricing()
+	c := b.AccrueInvocation(0.25)
+	if math.Abs(c-p.InvocationCost(0.25)) > 1e-18 {
+		t.Fatalf("incremental cost = %v, want %v", c, p.InvocationCost(0.25))
+	}
+	b.AccrueInvocation(1.0)
+	wantCost := p.InvocationCost(0.25) + p.InvocationCost(1.0)
+	wantGBs := p.BilledGBSeconds(0.25) + p.BilledGBSeconds(1.0)
+	if math.Abs(b.AccruedCost()-wantCost) > 1e-15 {
+		t.Fatalf("accrued cost = %v, want %v", b.AccruedCost(), wantCost)
+	}
+	if math.Abs(b.AccruedGBSeconds()-wantGBs) > 1e-12 {
+		t.Fatalf("accrued GB-s = %v, want %v", b.AccruedGBSeconds(), wantGBs)
+	}
+	if b.Stats().Invocations != 2 {
+		t.Fatalf("invocations = %d, want 2", b.Stats().Invocations)
+	}
+}
+
+// The audit sweep must produce the same summary at every worker count,
+// and agree with the store's own accounting.
+func TestAuditExternalDeterministic(t *testing.T) {
+	st := dfs.New(dfs.Config{ReplicationFactor: 1})
+	var want int64
+	for i := 0; i < 57; i++ {
+		n := int64(100 + i*13)
+		st.Put(fmt.Sprintf("fnshuffle/3/map/%d", i), nil, n, 0)
+		want += n
+	}
+	st.Put("rdd/9/part/0", nil, 4096, 0) // outside the prefix
+	var first Summary
+	for _, workers := range []int{1, 2, 8, 64} {
+		s, err := AuditExternal(st, "fnshuffle/", workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if s.Objects != 57 || s.Bytes != want {
+			t.Fatalf("workers=%d: summary %+v, want 57 objects / %d bytes", workers, s, want)
+		}
+		if workers == 1 {
+			first = s
+		} else if s != first {
+			t.Fatalf("workers=%d: summary %+v differs from serial %+v", workers, s, first)
+		}
+	}
+}
