@@ -5,6 +5,16 @@
 // ratio table (markdown, suitable for $GITHUB_STEP_SUMMARY) but never
 // gate: they measure the machine, not the engine.
 //
+// Heap allocations sit between those poles. They are deterministic for a
+// fixed toolchain (the workloads are seeded and replayed), so when both
+// records were produced with the columnar data plane enabled, the allocs
+// column is enforced: a scenario whose allocation count grows past
+// -allocs-tolerance (default 10%, absorbing Go-version churn) is drift.
+// This is the bench-side twin of flintlint's hotalloc check — the static
+// check catches boxing at the source, the gate catches whatever slips
+// through at run time. Generic-path (columnar-off) records, and records
+// from before alloc accounting landed, stay informational.
+//
 // Usage:
 //
 //	benchdiff -anchor BENCH_a7c1211.json -new BENCH_<rev>.json [-summary out.md]
@@ -35,6 +45,7 @@ type benchRecord struct {
 	Rev       string       `json:"rev"`
 	Workers   int          `json:"workers"`
 	Scale     float64      `json:"scale"`
+	Columnar  bool         `json:"columnar"`
 	Scenarios []benchEntry `json:"scenarios"`
 }
 
@@ -52,8 +63,11 @@ func readRecord(path string) (benchRecord, error) {
 
 // diffRecords compares every anchored scenario against the fresh record,
 // returning the drift findings and a markdown report with the
-// virtual-makespan and wall-seconds ratio table.
-func diffRecords(anchor, fresh benchRecord) (drift []string, report string) {
+// virtual-makespan and wall-seconds ratio table. allocsTolerance is the
+// fractional allocation growth permitted before a columnar scenario's
+// allocs count gates (0.10 = +10%); it only applies when both records
+// carry alloc counts and both ran with the columnar data plane.
+func diffRecords(anchor, fresh benchRecord, allocsTolerance float64) (drift []string, report string) {
 	freshBy := make(map[string]benchEntry, len(fresh.Scenarios))
 	for _, sc := range fresh.Scenarios {
 		freshBy[sc.Name] = sc
@@ -90,12 +104,20 @@ func diffRecords(anchor, fresh benchRecord) (drift []string, report string) {
 		if a.WallS > 0 && f.WallS > 0 {
 			ratio = fmt.Sprintf("%.2fx", a.WallS/f.WallS)
 		}
-		// Allocs are informational like wall seconds: machine- and
-		// runtime-version-dependent, so the ratio never gates. "n/a"
-		// covers anchors recorded before alloc accounting landed.
+		// Allocs gate for columnar runs (within tolerance); otherwise the
+		// ratio is informational. "n/a" covers anchors recorded before
+		// alloc accounting landed.
 		allocs := "n/a"
 		if a.Allocs > 0 && f.Allocs > 0 {
 			allocs = fmt.Sprintf("%.2fx", float64(a.Allocs)/float64(f.Allocs))
+			if anchor.Columnar && fresh.Columnar {
+				limit := uint64(float64(a.Allocs) * (1 + allocsTolerance))
+				if f.Allocs > limit {
+					drift = append(drift, fmt.Sprintf("%s: allocations regressed: anchor %d, fresh %d (limit %d at %+.0f%% tolerance)",
+						a.Name, a.Allocs, f.Allocs, limit, allocsTolerance*100))
+					allocs = fmt.Sprintf("DRIFT (%d → %d)", a.Allocs, f.Allocs)
+				}
+			}
 		}
 		fmt.Fprintf(&b, "| %s | %s | %s | %s | %.3f | %.3f | %s | %s |\n",
 			a.Name, virt,
@@ -104,7 +126,7 @@ func diffRecords(anchor, fresh benchRecord) (drift []string, report string) {
 			a.WallS, f.WallS, ratio, allocs)
 	}
 	if len(drift) == 0 {
-		b.WriteString("\nNo drift: every anchored scenario is byte-identical (wall ratio >1 means faster than the anchor machine run; allocs ratio >1 means fewer heap allocations).\n")
+		b.WriteString("\nNo drift: every anchored scenario is byte-identical (wall ratio >1 means faster than the anchor machine run; allocs ratio >1 means fewer heap allocations; allocation growth gates for columnar records).\n")
 	} else {
 		fmt.Fprintf(&b, "\n**%d drift finding(s)** — the data plane changed observable output.\n", len(drift))
 	}
@@ -122,6 +144,7 @@ func main() {
 	anchorPath := flag.String("anchor", "", "committed anchor record (e.g. BENCH_a7c1211.json)")
 	freshPath := flag.String("new", "", "freshly produced record to gate")
 	summary := flag.String("summary", "", "also append the markdown report to this file (e.g. $GITHUB_STEP_SUMMARY)")
+	allocsTolerance := flag.Float64("allocs-tolerance", 0.10, "fractional allocation growth allowed before a columnar scenario's allocs count gates (0.10 = +10%)")
 	flag.Parse()
 	if *anchorPath == "" || *freshPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff -anchor BENCH_a7c1211.json -new BENCH_<rev>.json [-summary out.md]")
@@ -137,7 +160,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	drift, report := diffRecords(anchor, fresh)
+	if *allocsTolerance < 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -allocs-tolerance must be >= 0")
+		os.Exit(2)
+	}
+	drift, report := diffRecords(anchor, fresh, *allocsTolerance)
 	fmt.Print(report)
 	if *summary != "" {
 		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)

@@ -21,7 +21,7 @@ func TestDiffRecordsNoDrift(t *testing.T) {
 	fresh.Rev = "deadbee"
 	fresh.Scenarios[0].WallS = 1.0 // wall changes never gate
 	fresh.Scenarios[1].OutcomeFNV = "5c9b147d3c3c0a99"
-	drift, report := diffRecords(anchorRec(), fresh)
+	drift, report := diffRecords(anchorRec(), fresh, 0.10)
 	if len(drift) != 0 {
 		t.Fatalf("unexpected drift: %v", drift)
 	}
@@ -40,7 +40,7 @@ func TestDiffRecordsNoDrift(t *testing.T) {
 func TestDiffRecordsVirtualDrift(t *testing.T) {
 	fresh := anchorRec()
 	fresh.Scenarios[0].VirtualS += 0.000001
-	drift, report := diffRecords(anchorRec(), fresh)
+	drift, report := diffRecords(anchorRec(), fresh, 0.10)
 	if len(drift) != 1 || !strings.Contains(drift[0], "virtual makespan") {
 		t.Fatalf("drift = %v", drift)
 	}
@@ -53,7 +53,7 @@ func TestDiffRecordsFNVDrift(t *testing.T) {
 	fresh := anchorRec()
 	fresh.Scenarios[0].OutcomeFNV = "0000000000000000"
 	fresh.Scenarios[0].TraceFNV = "1111111111111111"
-	drift, _ := diffRecords(anchorRec(), fresh)
+	drift, _ := diffRecords(anchorRec(), fresh, 0.10)
 	if len(drift) != 2 {
 		t.Fatalf("want outcome+trace drift, got %v", drift)
 	}
@@ -62,8 +62,87 @@ func TestDiffRecordsFNVDrift(t *testing.T) {
 func TestDiffRecordsMissingScenario(t *testing.T) {
 	fresh := anchorRec()
 	fresh.Scenarios = fresh.Scenarios[:1]
-	drift, _ := diffRecords(anchorRec(), fresh)
+	drift, _ := diffRecords(anchorRec(), fresh, 0.10)
 	if len(drift) != 1 || !strings.Contains(drift[0], "missing") {
 		t.Fatalf("drift = %v", drift)
+	}
+}
+
+// columnarRecs returns an anchor/fresh pair that both carry alloc counts
+// and both ran with the columnar data plane, so the allocs gate applies.
+func columnarRecs(anchorAllocs, freshAllocs uint64) (benchRecord, benchRecord) {
+	anchor := anchorRec()
+	anchor.Columnar = true
+	anchor.Scenarios[0].Allocs = anchorAllocs
+	fresh := anchorRec()
+	fresh.Columnar = true
+	fresh.Scenarios[0].Allocs = freshAllocs
+	return anchor, fresh
+}
+
+func TestDiffRecordsAllocsWithinTolerance(t *testing.T) {
+	anchor, fresh := columnarRecs(1000, 1100) // exactly at the +10% limit
+	drift, report := diffRecords(anchor, fresh, 0.10)
+	if len(drift) != 0 {
+		t.Fatalf("allocs at the tolerance limit must not gate: %v", drift)
+	}
+	if !strings.Contains(report, "0.91x") {
+		t.Fatalf("allocs ratio missing from report:\n%s", report)
+	}
+}
+
+func TestDiffRecordsAllocsRegression(t *testing.T) {
+	anchor, fresh := columnarRecs(1000, 1101) // one past the +10% limit
+	drift, report := diffRecords(anchor, fresh, 0.10)
+	if len(drift) != 1 || !strings.Contains(drift[0], "allocations regressed") {
+		t.Fatalf("drift = %v", drift)
+	}
+	if !strings.Contains(report, "DRIFT (1000 → 1101)") {
+		t.Fatalf("report lacks allocs DRIFT marker:\n%s", report)
+	}
+}
+
+func TestDiffRecordsAllocsZeroTolerance(t *testing.T) {
+	anchor, fresh := columnarRecs(1000, 1001)
+	drift, _ := diffRecords(anchor, fresh, 0)
+	if len(drift) != 1 || !strings.Contains(drift[0], "allocations regressed") {
+		t.Fatalf("zero tolerance must gate any growth, drift = %v", drift)
+	}
+}
+
+func TestDiffRecordsAllocsImprovementNeverGates(t *testing.T) {
+	anchor, fresh := columnarRecs(1000, 400)
+	drift, report := diffRecords(anchor, fresh, 0.10)
+	if len(drift) != 0 {
+		t.Fatalf("fewer allocations must not gate: %v", drift)
+	}
+	if !strings.Contains(report, "2.50x") {
+		t.Fatalf("allocs ratio missing from report:\n%s", report)
+	}
+}
+
+func TestDiffRecordsAllocsNotGatedOffColumnar(t *testing.T) {
+	// Generic-path records are a different data plane: informational only.
+	anchor, fresh := columnarRecs(1000, 5000)
+	anchor.Columnar = false
+	if drift, _ := diffRecords(anchor, fresh, 0.10); len(drift) != 0 {
+		t.Fatalf("non-columnar anchor must not gate allocs: %v", drift)
+	}
+	anchor.Columnar = true
+	fresh.Columnar = false
+	if drift, _ := diffRecords(anchor, fresh, 0.10); len(drift) != 0 {
+		t.Fatalf("non-columnar fresh record must not gate allocs: %v", drift)
+	}
+}
+
+func TestDiffRecordsAllocsMissingCounts(t *testing.T) {
+	// Records from before alloc accounting landed carry zero: n/a, no gate.
+	anchor, fresh := columnarRecs(0, 5000)
+	drift, report := diffRecords(anchor, fresh, 0.10)
+	if len(drift) != 0 {
+		t.Fatalf("anchor without allocs must not gate: %v", drift)
+	}
+	if !strings.Contains(report, "n/a") {
+		t.Fatalf("missing allocs should render n/a:\n%s", report)
 	}
 }

@@ -47,7 +47,7 @@ type benchEntry struct {
 	OutcomeFNV  string  `json:"outcome_fnv,omitempty"`
 	TraceFNV    string  `json:"trace_fnv,omitempty"`
 	TraceEvents int     `json:"trace_events,omitempty"`
-	Allocs      uint64  `json:"allocs,omitempty"` // heap allocations during the run (machine-dependent, never gated)
+	Allocs      uint64  `json:"allocs,omitempty"` // heap allocations during the run (benchdiff gates growth for columnar records)
 }
 
 // benchRecord is the BENCH_<rev>.json payload CI uploads as an artifact,

@@ -78,7 +78,10 @@ func run() int {
 		}
 		sort.Strings(unknown)
 		if len(unknown) > 0 {
-			fmt.Fprintf(os.Stderr, "flintlint: unknown check(s) %s (see -catalog)\n", strings.Join(unknown, ", "))
+			fmt.Fprintf(os.Stderr, "flintlint: unknown check(s) %s; registered checks are:\n", strings.Join(unknown, ", "))
+			for _, c := range lint.Checks() {
+				fmt.Fprintf(os.Stderr, "  %-20s %s\n", c.Name, c.Doc)
+			}
 			return 2
 		}
 	}

@@ -128,6 +128,8 @@ func (s *Store) advance(now float64) {
 
 // Put stores value under key at time now, replacing any prior object.
 // bytes is the logical (pre-replication) size.
+//
+//lint:effects mutates dfs objects and occupancy accounting; apply at commit, never from worker compute
 func (s *Store) Put(key string, value any, bytes int64, now float64) {
 	if bytes < 0 {
 		bytes = 0
@@ -151,6 +153,8 @@ func (s *Store) Put(key string, value any, bytes int64, now float64) {
 // hook. While f(key) returns true the object behaves as unreadable for
 // Get, Peek and Has — the data still exists and its occupancy still
 // bills, exactly like a temporarily corrupt or unreachable replica.
+//
+//lint:effects installs the chaos read-fault hook on shared store state
 func (s *Store) SetReadFault(f func(key string) bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -163,6 +167,8 @@ func (s *Store) faulted(key string) bool {
 }
 
 // Get returns the stored value and its logical size.
+//
+//lint:effects books read accounting; workers use Peek and replay with NoteReads at commit
 func (s *Store) Get(key string, now float64) (value any, bytes int64, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -189,6 +195,8 @@ func (s *Store) Peek(key string) (value any, bytes int64, ok bool) {
 
 // NoteReads books n reads totalling bytes, as if Get had been called —
 // the replay half of Peek, applied on the simulation thread.
+//
+//lint:effects books read accounting; the commit-side replay half of Peek
 func (s *Store) NoteReads(n int, bytes int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -208,6 +216,8 @@ func (s *Store) Has(key string) bool {
 }
 
 // Delete removes key at time now. Deleting a missing key is a no-op.
+//
+//lint:effects mutates dfs objects and occupancy accounting
 func (s *Store) Delete(key string, now float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -227,6 +237,8 @@ func (s *Store) deleteLocked(key string, now float64) {
 
 // DeletePrefix removes every key with the given prefix (a "directory").
 // It returns the number of objects removed.
+//
+//lint:effects mutates dfs objects and occupancy accounting
 func (s *Store) DeletePrefix(prefix string, now float64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -62,6 +62,8 @@ func newBlockCache(memCap, diskCap int64) *blockCache {
 }
 
 // get returns the block and its tier, touching LRU position.
+//
+//lint:effects touches LRU position; workers use peek and replay with touch at commit
 func (c *blockCache) get(k blockKey) (*block, bool) {
 	b, ok := c.blocks[k]
 	if !ok {
@@ -85,6 +87,8 @@ func (c *blockCache) peek(k blockKey) (*block, bool) {
 
 // touch moves block k to the front of its tier's LRU list, replaying a
 // read that happened on a worker. A missing key is a no-op.
+//
+//lint:effects moves LRU position; the commit-side replay half of peek
 func (c *blockCache) touch(k blockKey) {
 	b, ok := c.blocks[k]
 	if !ok {
@@ -107,6 +111,8 @@ func (c *blockCache) has(k blockKey) bool {
 // blocks to disk — and from disk entirely — as needed. A block larger
 // than the memory tier goes straight to disk; larger than both is not
 // stored at all.
+//
+//lint:effects inserts and evicts cache blocks
 func (c *blockCache) put(k blockKey, data *rdd.ColBatch, bytes int64) {
 	if old, ok := c.blocks[k]; ok {
 		c.remove(old)
@@ -131,6 +137,8 @@ func (c *blockCache) put(k blockKey, data *rdd.ColBatch, bytes int64) {
 }
 
 // evictMem frees space in the memory tier by demoting LRU blocks to disk.
+//
+//lint:effects demotes and drops cache blocks
 func (c *blockCache) evictMem(need int64) {
 	for c.memUsed+need > c.memCap {
 		e := c.memLRU.Back()
@@ -159,6 +167,8 @@ func (c *blockCache) evictMem(need int64) {
 }
 
 // evictDisk frees space in the disk tier by dropping LRU blocks.
+//
+//lint:effects drops cache blocks
 func (c *blockCache) evictDisk(need int64) {
 	for c.diskUsed+need > c.diskCap {
 		e := c.diskLRU.Back()
@@ -176,6 +186,8 @@ func (c *blockCache) evictDisk(need int64) {
 }
 
 // remove deletes a block outright.
+//
+//lint:effects removes a cache block and updates tier counters
 func (c *blockCache) remove(b *block) {
 	if b.where == tierMem {
 		c.memLRU.Remove(b.elem)
@@ -188,6 +200,8 @@ func (c *blockCache) remove(b *block) {
 }
 
 // dropRDD removes every cached partition of an RDD (uncache).
+//
+//lint:effects removes every cached partition of an RDD
 func (c *blockCache) dropRDD(rddID int) {
 	var doomed []*block
 	for _, b := range c.blocks {

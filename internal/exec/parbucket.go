@@ -1,3 +1,4 @@
+//lint:hot parallel map-side bucketing runs per row per task
 package exec
 
 // Parallel map-side shuffle bucketing.

@@ -1,3 +1,4 @@
+//lint:hot column-batch bucketing runs per cell per task
 package exec
 
 // Column-batch map-side bucketing: the batch plane of parbucket.go.

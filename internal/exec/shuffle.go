@@ -68,6 +68,8 @@ func newShuffleTracker() *shuffleTracker {
 }
 
 // register returns the shuffleID for dep, creating state on first use.
+//
+//lint:effects allocates tracker state for a dep
 func (t *shuffleTracker) register(dep *rdd.ShuffleDep) shuffleID {
 	if id, ok := t.ids[dep]; ok {
 		return id
@@ -82,6 +84,8 @@ func (t *shuffleTracker) register(dep *rdd.ShuffleDep) shuffleID {
 }
 
 // state returns the tracker state for dep, registering it if needed.
+//
+//lint:effects registers the dep when missing; workers use lookup
 func (t *shuffleTracker) state(dep *rdd.ShuffleDep) *shuffleState {
 	return t.states[t.register(dep)]
 }
@@ -100,6 +104,8 @@ func (t *shuffleTracker) lookup(dep *rdd.ShuffleDep) *shuffleState {
 // putOutput registers a completed map task's buckets, replacing any
 // previous output for the same map partition (recomputation after a
 // revocation) and keeping the per-node byte totals current.
+//
+//lint:effects records map outputs and node byte totals
 func (t *shuffleTracker) putOutput(dep *rdd.ShuffleDep, mapPart, nodeID int, buckets []*rdd.ColBatch) {
 	st := t.state(dep)
 	if old := st.outputs[mapPart]; old != nil {
@@ -119,6 +125,8 @@ func (t *shuffleTracker) putOutput(dep *rdd.ShuffleDep, mapPart, nodeID int, buc
 // simulating shuffle data lost behind an unrecoverable fetch failure
 // (chaos injection). Unlike dropNode, the node itself stays alive and
 // keeps its other shuffle data.
+//
+//lint:effects discards a node's map outputs for one dep
 func (t *shuffleTracker) dropDepNode(dep *rdd.ShuffleDep, nodeID int) {
 	st := t.lookup(dep)
 	if st == nil {
@@ -166,6 +174,8 @@ func (t *shuffleTracker) audit() error {
 }
 
 // dropNode discards every map output resident on a revoked node.
+//
+//lint:effects discards every map output on a node
 func (t *shuffleTracker) dropNode(nodeID int) {
 	for _, st := range t.states {
 		for i, o := range st.outputs {

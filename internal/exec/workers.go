@@ -125,6 +125,8 @@ func (e *Engine) runTaskBatch(batch []*task, nodes []*nodeState) {
 // round) engine state and returns its effects. It must only read shared
 // state; see the package contract above. Safe to call from worker
 // goroutines.
+//
+//lint:compute worker fan-out root; everything reachable from here runs concurrently and must not mutate shared engine state
 func (e *Engine) computeEffects(t *task, nodes []*nodeState) *effects {
 	var eff *effects
 	switch t.kind {

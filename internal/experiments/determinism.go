@@ -218,6 +218,7 @@ func filteredPrometheus(bundle *obs.Obs) (string, error) {
 	return strings.TrimRight(out.String(), "\n") + "\n", nil
 }
 
+//lint:sink replay fingerprint; a tainted input makes the determinism gate flap
 func fnvString(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
@@ -226,6 +227,8 @@ func fnvString(s string) uint64 {
 
 // fnvEvents hashes every field of every event in ring order, so any
 // reordering or value drift between worker widths changes the sum.
+//
+//lint:sink replay fingerprint; a tainted input makes the determinism gate flap
 func fnvEvents(events []obs.Event) uint64 {
 	h := fnv.New64a()
 	for _, ev := range events {

@@ -1,0 +1,400 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The interprocedural engine: a cross-package call graph over every
+// module-local package, built from the same hybrid source/srcimporter
+// load the per-package checks use. Function nodes are FuncDecls; calls
+// inside nested function literals are attributed to the enclosing
+// declaration (the literal runs "on behalf of" its encloser — the exec
+// worker-pool closures are the motivating case). Dynamic calls through
+// function values, interface methods with no resolved concrete callee,
+// and reflection are invisible to the graph: the checks built on top
+// (detflow, hotalloc, effectdiscipline) are linters, not verifiers, and
+// their contracts say so in docs/LINT.md.
+//
+// Everything here is deterministic by construction: node IDs sort, edge
+// lists sort, and reachability walks process work in sorted order, so
+// two runs over the same tree emit findings in the same order.
+
+// FuncNode is one declared function or method in the module.
+type FuncNode struct {
+	ID   string // pkgpath.Func or pkgpath.(Recv).Method
+	Pkg  string // import path of the declaring package
+	Decl *ast.FuncDecl
+	File *ast.File
+
+	lp      *localPkg
+	obj     *types.Func // nil when type resolution failed
+	callees []*callEdge // sorted by (callee ID, site offset)
+	callers []*callEdge
+}
+
+// callEdge is one static call site from -> to.
+type callEdge struct {
+	from, to *FuncNode
+	site     token.Pos
+}
+
+// CallGraph is the module-wide static call graph.
+type CallGraph struct {
+	nodes map[string]*FuncNode
+	ids   []string // sorted node IDs
+	byObj map[*types.Func]*FuncNode
+}
+
+// Funcs returns every node ID in sorted order.
+func (g *CallGraph) Funcs() []string { return g.ids }
+
+// Node returns the node with the given ID, or nil.
+func (g *CallGraph) Node(id string) *FuncNode { return g.nodes[id] }
+
+// Callees returns the sorted, deduplicated IDs of functions id calls.
+func (g *CallGraph) Callees(id string) []string {
+	n := g.nodes[id]
+	if n == nil {
+		return nil
+	}
+	return edgeIDs(n.callees, func(e *callEdge) string { return e.to.ID })
+}
+
+// Callers returns the sorted, deduplicated IDs of functions calling id.
+func (g *CallGraph) Callers(id string) []string {
+	n := g.nodes[id]
+	if n == nil {
+		return nil
+	}
+	return edgeIDs(n.callers, func(e *callEdge) string { return e.from.ID })
+}
+
+func edgeIDs(edges []*callEdge, key func(*callEdge) string) []string {
+	seen := make(map[string]bool, len(edges))
+	var out []string
+	for _, e := range edges {
+		id := key(e)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReachableFrom walks the graph from the given root IDs and returns, for
+// every reachable node, the call path by which it was first reached
+// (breadth-first, ties broken by sorted ID, so the attribution is
+// deterministic). Roots map to themselves with a nil parent.
+func (g *CallGraph) ReachableFrom(roots ...string) map[string]*ReachInfo {
+	out := make(map[string]*ReachInfo)
+	var frontier []string
+	sorted := append([]string(nil), roots...)
+	sort.Strings(sorted)
+	for _, r := range sorted {
+		if g.nodes[r] == nil || out[r] != nil {
+			continue
+		}
+		out[r] = &ReachInfo{Root: r}
+		frontier = append(frontier, r)
+	}
+	for len(frontier) > 0 {
+		var next []string
+		for _, id := range frontier {
+			info := out[id]
+			for _, callee := range g.Callees(id) {
+				if out[callee] != nil {
+					continue
+				}
+				out[callee] = &ReachInfo{Root: info.Root, From: id}
+				next = append(next, callee)
+			}
+		}
+		sort.Strings(next)
+		frontier = next
+	}
+	return out
+}
+
+// ReachInfo records how a node was first reached in a ReachableFrom walk.
+type ReachInfo struct {
+	Root string // the root that reached it
+	From string // immediate caller on the first-reach path ("" for roots)
+}
+
+// Path renders the first-reach call chain root → … → id for messages,
+// capped so pathological chains stay readable.
+func (g *CallGraph) Path(reach map[string]*ReachInfo, id string) string {
+	var hops []string
+	for cur := id; cur != ""; {
+		hops = append(hops, cur)
+		info := reach[cur]
+		if info == nil || info.From == "" {
+			break
+		}
+		cur = info.From
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	const maxHops = 6
+	if len(hops) > maxHops {
+		hops = append(append([]string{}, hops[:2]...), append([]string{"…"}, hops[len(hops)-3:]...)...)
+	}
+	return strings.Join(hops, " → ")
+}
+
+// funcID builds the node ID for a declaration in pkg.
+func funcID(pkg string, decl *ast.FuncDecl) string {
+	if decl.Recv != nil && len(decl.Recv.List) > 0 {
+		if name := recvTypeName(decl.Recv.List[0].Type); name != "" {
+			return pkg + ".(" + name + ")." + decl.Name.Name
+		}
+	}
+	return pkg + "." + decl.Name.Name
+}
+
+// recvTypeName unwraps a receiver type expression to its base type name:
+// *T, T, T[P] and parenthesized forms all yield "T".
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.ParenExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+// buildCallGraph constructs the graph over the given packages (sorted by
+// import path by the caller).
+func buildCallGraph(pkgs []*localPkg) *CallGraph {
+	g := &CallGraph{nodes: make(map[string]*FuncNode)}
+	byObj := make(map[*types.Func]*FuncNode)
+	// Pass 1: nodes.
+	for _, lp := range pkgs {
+		for _, file := range lp.files {
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				n := &FuncNode{
+					ID:   funcID(lp.path, decl),
+					Pkg:  lp.path,
+					Decl: decl,
+					File: file,
+					lp:   lp,
+				}
+				if lp.info != nil {
+					if obj, ok := lp.info.Defs[decl.Name].(*types.Func); ok {
+						n.obj = obj
+						byObj[obj] = n
+					}
+				}
+				// Redeclarations (build-tag duplicates, broken code under
+				// fuzzing): first declaration wins, deterministically, since
+				// files and decls visit in source order.
+				if g.nodes[n.ID] == nil {
+					g.nodes[n.ID] = n
+				}
+			}
+		}
+	}
+	g.byObj = byObj
+	// Pass 2: edges.
+	for _, lp := range pkgs {
+		for _, file := range lp.files {
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				from := g.nodes[funcID(lp.path, decl)]
+				if from == nil || from.Decl != decl {
+					continue
+				}
+				ast.Inspect(decl.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if to := g.resolveCallee(lp, file, call); to != nil {
+						e := &callEdge{from: from, to: to, site: call.Pos()}
+						from.callees = append(from.callees, e)
+						to.callers = append(to.callers, e)
+					}
+					return true
+				})
+			}
+		}
+	}
+	for id, n := range g.nodes {
+		g.ids = append(g.ids, id)
+		sort.Slice(n.callees, func(i, j int) bool {
+			a, b := n.callees[i], n.callees[j]
+			if a.to.ID != b.to.ID {
+				return a.to.ID < b.to.ID
+			}
+			return a.site < b.site
+		})
+		sort.Slice(n.callers, func(i, j int) bool {
+			a, b := n.callers[i], n.callers[j]
+			if a.from.ID != b.from.ID {
+				return a.from.ID < b.from.ID
+			}
+			return a.site < b.site
+		})
+	}
+	sort.Strings(g.ids)
+	return g
+}
+
+// resolveCallee maps a call expression to a module-local function node,
+// or nil for stdlib, dynamic and unresolvable calls. Typed resolution
+// (which understands methods, shadowing and cross-package references)
+// is tried first; the syntactic fallback only resolves plain
+// same-package calls so a half-typed file still contributes edges.
+func (g *CallGraph) resolveCallee(lp *localPkg, file *ast.File, call *ast.CallExpr) *FuncNode {
+	fun := call.Fun
+	for {
+		if p, ok := fun.(*ast.ParenExpr); ok {
+			fun = p.X
+			continue
+		}
+		break
+	}
+	if lp.info != nil {
+		var obj types.Object
+		switch f := fun.(type) {
+		case *ast.Ident:
+			obj = lp.info.Uses[f]
+		case *ast.SelectorExpr:
+			obj = lp.info.Uses[f.Sel]
+		case *ast.IndexExpr: // generic instantiation f[T](...)
+			if id, ok := f.X.(*ast.Ident); ok {
+				obj = lp.info.Uses[id]
+			}
+		}
+		if fn, ok := obj.(*types.Func); ok {
+			if n := g.byObj[fn]; n != nil {
+				return n
+			}
+			// Generic origin: instantiations use a distinct *types.Func.
+			if o := fn.Origin(); o != nil {
+				return g.byObj[o]
+			}
+			return nil
+		}
+		if obj != nil {
+			return nil // resolved to a variable / builtin: dynamic or intrinsic
+		}
+	}
+	// Syntactic fallback: a bare identifier naming a same-package function.
+	if id, ok := fun.(*ast.Ident); ok {
+		return g.nodes[lp.path+"."+id.Name]
+	}
+	return nil
+}
+
+// nodeForObj resolves a types.Func to its module-local node, or nil.
+func (g *CallGraph) nodeForObj(fn *types.Func) *FuncNode {
+	if fn == nil {
+		return nil
+	}
+	if n := g.byObj[fn]; n != nil {
+		return n
+	}
+	if o := fn.Origin(); o != nil {
+		return g.byObj[o]
+	}
+	return nil
+}
+
+// Module is the whole-module view handed to interprocedural checks.
+type Module struct {
+	Fset  *token.FileSet
+	Graph *CallGraph
+
+	pkgs  []*localPkg
+	facts *facts
+
+	// taint summaries, computed lazily once per module (detflow needs
+	// them; the fuzz target exercises them directly).
+	summaries map[string]*taintSummary
+}
+
+// Packages returns the module-local import paths in analysis order.
+func (m *Module) Packages() []string {
+	out := make([]string, len(m.pkgs))
+	for i, lp := range m.pkgs {
+		out[i] = lp.path
+	}
+	return out
+}
+
+// passFor builds the per-package helper view (import tables, typed
+// lookups) the intraprocedural pieces of module checks reuse.
+func (m *Module) passFor(lp *localPkg) *Pass {
+	return &Pass{
+		Fset:        lp.fset,
+		Path:        lp.path,
+		Files:       lp.files,
+		Info:        lp.info,
+		importNames: buildImportNames(lp.files),
+	}
+}
+
+// buildModule assembles the interprocedural view over loaded packages.
+// report receives malformed-annotation findings (the directive check).
+func buildModule(pkgs []*localPkg, report func(check string, pos token.Pos, msg string)) *Module {
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].fset
+	} else {
+		fset = token.NewFileSet()
+	}
+	m := &Module{
+		Fset:  fset,
+		Graph: buildCallGraph(pkgs),
+		pkgs:  pkgs,
+	}
+	m.facts = parseFacts(m, report)
+	return m
+}
+
+// ModulePass hands the module view to one interprocedural check.
+type ModulePass struct {
+	Mod    *Module
+	report func(check string, pos token.Pos, msg string)
+}
+
+// Reportf records a finding for the running module check at pos.
+func (p *ModulePass) reportf(check string, pos token.Pos, format string, args ...any) {
+	p.report(check, pos, fmt.Sprintf(format, args...))
+}
+
+// LoadModule loads every package under the module rooted at root and
+// returns the interprocedural view without running any checks. It backs
+// the call-graph unit tests and external tooling experiments; the
+// checks themselves receive the same view through AnalyzeModule.
+func LoadModule(root string) (*Module, error) {
+	pkgs, err := loadModulePackages(root)
+	if err != nil {
+		return nil, err
+	}
+	return buildModule(pkgs, func(string, token.Pos, string) {}), nil
+}

@@ -1,0 +1,141 @@
+package lint_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"flint/internal/lint"
+)
+
+// TestModuleFixtures runs the full registry over each module fixture
+// under testdata/mod (a go.mod plus multiple packages) and requires the
+// findings to match the want comments exactly, like TestFixtures but
+// cross-package: the annotation sits in one package, the flagged call
+// or body in another.
+func TestModuleFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "mod")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join(root, name)
+			findings, err := lint.AnalyzeModule(dir, lint.Options{})
+			if err != nil {
+				t.Fatalf("AnalyzeModule(%s): %v", dir, err)
+			}
+			wants := parseWantsTree(t, dir)
+			for _, f := range findings {
+				claimed := false
+				for _, w := range wants {
+					if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line &&
+						w.check == f.Check && strings.Contains(f.Message, w.substr) {
+						w.matched = true
+						claimed = true
+						break
+					}
+				}
+				if !claimed {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("missing finding: %s:%d [%s] containing %q", w.file, w.line, w.check, w.substr)
+				}
+			}
+		})
+	}
+}
+
+// parseWantsTree is parseWants over a whole module tree: want files are
+// keyed by slash-separated path relative to the module root, matching
+// AnalyzeModule's finding filenames.
+func parseWantsTree(t *testing.T, root string) []*want {
+	t.Helper()
+	var wants []*want
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for _, w := range parseWantsFile(t, path) {
+			w.file = filepath.ToSlash(rel)
+			wants = append(wants, w)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// TestCallGraph pins the interprocedural engine's shape over the xmod
+// fixture: node IDs (including method receivers), cross-package edge
+// resolution, deterministic reachability and path attribution.
+func TestCallGraph(t *testing.T) {
+	m, err := lint.LoadModule(filepath.Join("testdata", "mod", "xmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Graph
+
+	if got, want := m.Packages(), []string{"xmod/a", "xmod/b"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Packages() = %v, want %v", got, want)
+	}
+
+	wantFuncs := []string{
+		"xmod/a.Compute", "xmod/a.Hash", "xmod/a.Kernel",
+		"xmod/b.(Store).Put", "xmod/b.Box", "xmod/b.Fingerprint", "xmod/b.Mutate", "xmod/b.Stamp",
+	}
+	if got := g.Funcs(); !reflect.DeepEqual(got, wantFuncs) {
+		t.Errorf("Funcs() = %v, want %v", got, wantFuncs)
+	}
+
+	if got, want := g.Callees("xmod/a.Compute"), []string{"xmod/b.(Store).Put", "xmod/b.Mutate"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Callees(Compute) = %v, want %v", got, want)
+	}
+	if got, want := g.Callers("xmod/b.Box"), []string{"xmod/a.Kernel"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Callers(Box) = %v, want %v", got, want)
+	}
+	if got, want := g.Callees("xmod/a.Hash"), []string{"xmod/b.Fingerprint", "xmod/b.Stamp"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Callees(Hash) = %v, want %v", got, want)
+	}
+
+	reach := g.ReachableFrom("xmod/a.Kernel")
+	if info := reach["xmod/b.Box"]; info == nil || info.Root != "xmod/a.Kernel" || info.From != "xmod/a.Kernel" {
+		t.Errorf("reach[xmod/b.Box] = %+v, want root and from xmod/a.Kernel", reach["xmod/b.Box"])
+	}
+	if reach["xmod/b.Mutate"] != nil {
+		t.Errorf("xmod/b.Mutate should not be reachable from Kernel")
+	}
+	if got, want := g.Path(reach, "xmod/b.Box"), "xmod/a.Kernel → xmod/b.Box"; got != want {
+		t.Errorf("Path(Box) = %q, want %q", got, want)
+	}
+	if got, want := g.Path(reach, "xmod/a.Kernel"), "xmod/a.Kernel"; got != want {
+		t.Errorf("Path(Kernel) = %q, want %q", got, want)
+	}
+
+	if n := g.Node("xmod/b.(Store).Put"); n == nil || n.Pkg != "xmod/b" {
+		t.Errorf("Node((Store).Put) = %+v, want a node in xmod/b", n)
+	}
+	if g.Node("xmod/b.NoSuchFunc") != nil {
+		t.Errorf("Node(NoSuchFunc) should be nil")
+	}
+}

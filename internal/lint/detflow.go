@@ -1,0 +1,43 @@
+package lint
+
+import "go/token"
+
+// detflow: interprocedural determinism taint. The wallclock, globalrand
+// and maporder checks flag nondeterministic *reads* at their call
+// sites; detflow tracks the *values* those reads produce as they flow
+// through assignments, helper returns and cross-package calls, and
+// reports when one reaches an outcome-affecting sink — a hash
+// accumulator (the replay fingerprint), or a function annotated
+// //lint:sink (rdd.HashKey / rdd.PartitionOf, schedule deciders,
+// export emitters). This closes the laundering gap: a helper that
+// wraps time.Now behind a //lint:allow wallclock (legitimate for a
+// metrics chokepoint) no longer lets its result leak into rows, FNV
+// input or scheduling unnoticed, because the taint survives the
+// function boundary even though the read itself is suppressed.
+//
+// Sanctioned boundaries are modeled, not special-cased: obs.Stopwatch
+// carries //lint:sanitizer, and a sort call clears a slice's map-order
+// taint (collect-then-sort is order-independent). See taint.go for the
+// propagation rules and docs/LINT.md for the catalog entry.
+var detflowCheck = Check{
+	Name:      "detflow",
+	Doc:       "determinism-tainted values (wall clock, global rand, map order) reaching outcome sinks across function boundaries",
+	RunModule: runDetflow,
+}
+
+func runDetflow(mp *ModulePass) {
+	m := mp.Mod
+	sums := m.ensureSummaries()
+	passes := make(map[*localPkg]*Pass, len(m.pkgs))
+	for _, lp := range m.pkgs {
+		passes[lp] = m.passFor(lp)
+	}
+	for _, id := range m.Graph.Funcs() {
+		node := m.Graph.Node(id)
+		analyzeFuncTaint(m, passes[node.lp], node, sums, func(pos token.Pos, mask uint64, sink string) {
+			mp.reportf("detflow", pos,
+				"%s-tainted value reaches %s; outcome-affecting state must derive only from the (seed, schedule) replay key",
+				kindString(mask), sink)
+		})
+	}
+}

@@ -1,0 +1,54 @@
+package lint
+
+// effectdiscipline: backend effect discipline. The engine's replay
+// story (DESIGN.md §Deterministic parallelism) splits task execution
+// into a compute phase that workers run concurrently and a commit
+// phase the scheduler replays in sequence order: compute may read
+// shared state (dfs blocks, cache entries, shuffle outputs) but must
+// record every intended mutation in its private effects set; commit
+// applies the recorded effects deterministically. A direct mutation
+// from compute-reachable code bypasses the replay and makes the
+// outcome depend on worker interleaving.
+//
+// The check is the contract, interprocedurally: functions annotated
+// //lint:compute are worker fan-out roots; functions annotated
+// //lint:effects mutate shared engine state. Any call edge from
+// compute-reachable code into an effects-marked function is a finding,
+// with the first-reach call path in the message so the violation is
+// traceable without re-deriving the closure by hand. Dynamic calls
+// through function values are invisible to the call graph (see
+// callgraph.go); the check narrows the escape hatches, it does not
+// seal them.
+var effectdisciplineCheck = Check{
+	Name:      "effectdiscipline",
+	Doc:       "compute-reachable code calling //lint:effects shared-state mutators instead of recording effects for seq-order replay",
+	RunModule: runEffectdiscipline,
+}
+
+func runEffectdiscipline(mp *ModulePass) {
+	m := mp.Mod
+	roots := m.facts.ids("compute")
+	if len(roots) == 0 {
+		return
+	}
+	reach := m.Graph.ReachableFrom(roots...)
+	for _, id := range m.Graph.Funcs() {
+		if reach[id] == nil {
+			continue
+		}
+		if m.facts.has("effects", id) {
+			// Already flagged at the edge that reached it; its internal
+			// calls are the mutator's own business.
+			continue
+		}
+		node := m.Graph.Node(id)
+		for _, e := range node.callees {
+			if !m.facts.has("effects", e.to.ID) {
+				continue
+			}
+			mp.reportf("effectdiscipline", e.site,
+				"call to %s (marked //lint:effects: %s) from compute-reachable code (%s); workers must record mutations through the task effects set and let commit replay them in seq order",
+				e.to.ID, m.facts.reasons["effects"][e.to.ID], m.Graph.Path(reach, id))
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Fact annotations.
+//
+// The interprocedural checks are configured by comment directives at
+// the declarations they reason about, so the contract is visible (and
+// reviewable) where the code lives instead of in a table inside the
+// analyzer:
+//
+//	//lint:hot <reason>        file (on the package clause) or function:
+//	                           a hot-path root for the hotalloc check;
+//	                           everything reachable from it is hot.
+//	//lint:egress <reason>     function: a sanctioned boxing egress —
+//	                           hotalloc does not report inside it (it IS
+//	                           the boxing layer), reachability continues
+//	                           through it.
+//	//lint:compute <reason>    function: a worker fan-out compute root
+//	                           for the effectdiscipline check.
+//	//lint:effects <reason>    function/method: mutates shared engine
+//	                           state; calling it from compute-reachable
+//	                           code is an effectdiscipline finding.
+//	//lint:sanitizer <reason>  function: detflow treats its results as
+//	                           clean regardless of its body (the
+//	                           audited boundary, e.g. obs.Stopwatch).
+//	//lint:sink <reason>       function: detflow outcome sink — a
+//	                           determinism-tainted argument is a
+//	                           finding (e.g. rdd.HashKey, FNV helpers).
+//
+// Every fact needs a reason, same as //lint:allow; a fact with no
+// reason is a `directive` finding (unsuppressible). Facts attach to the
+// function whose doc comment carries them; `hot` may also sit in a
+// file's package clause doc, marking every function declared in that
+// file.
+
+// factKinds maps directive suffix to validity. (//lint:allow is parsed
+// separately; anything else after //lint: is left alone for forward
+// compatibility.)
+var factKinds = map[string]bool{
+	"hot":       true,
+	"egress":    true,
+	"compute":   true,
+	"effects":   true,
+	"sanitizer": true,
+	"sink":      true,
+}
+
+// facts is the parsed annotation set for a module.
+type facts struct {
+	// funcFacts[kind] holds the set of node IDs carrying the fact.
+	funcFacts map[string]map[string]bool
+	// reasons[kind][id] keeps the stated reason (for messages).
+	reasons map[string]map[string]string
+}
+
+func (f *facts) has(kind, id string) bool {
+	return f.funcFacts[kind][id]
+}
+
+// ids returns the sorted node IDs carrying a fact.
+func (f *facts) ids(kind string) []string {
+	m := f.funcFacts[kind]
+	out := make([]string, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (f *facts) add(kind, id, reason string) {
+	if f.funcFacts[kind] == nil {
+		f.funcFacts[kind] = make(map[string]bool)
+		f.reasons[kind] = make(map[string]string)
+	}
+	f.funcFacts[kind][id] = true
+	if _, ok := f.reasons[kind][id]; !ok {
+		f.reasons[kind][id] = reason
+	}
+}
+
+// parseFactComment recognizes one //lint:<kind> comment. ok is false
+// for comments that are not fact directives at all; kind=="" with
+// ok==true signals a malformed fact (reported by the caller).
+func parseFactComment(text string) (kind, reason string, ok bool) {
+	rest, found := strings.CutPrefix(text, "//lint:")
+	if !found {
+		return "", "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || !factKinds[fields[0]] {
+		return "", "", false // //lint:allow or unknown: not ours
+	}
+	if len(fields) < 2 {
+		return "", "", true // malformed: fact with no reason
+	}
+	return fields[0], strings.Join(fields[1:], " "), true
+}
+
+// parseFacts walks every package's declarations for fact annotations.
+func parseFacts(m *Module, report func(check string, pos token.Pos, msg string)) *facts {
+	f := &facts{
+		funcFacts: make(map[string]map[string]bool),
+		reasons:   make(map[string]map[string]string),
+	}
+	var scanned map[*ast.CommentGroup]bool
+	scan := func(doc *ast.CommentGroup, apply func(kind, reason string, pos token.Pos)) {
+		if doc == nil {
+			return
+		}
+		scanned[doc] = true
+		for _, c := range doc.List {
+			kind, reason, ok := parseFactComment(c.Text)
+			if !ok {
+				continue
+			}
+			if kind == "" {
+				report(directiveCheck, c.Pos(), "//lint fact directive needs a reason (//lint:<fact> <reason>)")
+				continue
+			}
+			apply(kind, reason, c.Pos())
+		}
+	}
+	for _, lp := range m.pkgs {
+		for _, file := range lp.files {
+			scanned = make(map[*ast.CommentGroup]bool)
+			// File-level facts on the package clause doc: `hot` marks every
+			// function declared in this file; other kinds are rejected at
+			// file scope to keep their meaning unambiguous.
+			scan(file.Doc, func(kind, reason string, pos token.Pos) {
+				if kind != "hot" {
+					report(directiveCheck, pos,
+						fmt.Sprintf("//lint:%s applies to a function declaration, not a file", kind))
+					return
+				}
+				for _, d := range file.Decls {
+					if decl, ok := d.(*ast.FuncDecl); ok {
+						f.add(kind, funcID(lp.path, decl), reason)
+					}
+				}
+			})
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				id := funcID(lp.path, decl)
+				scan(decl.Doc, func(kind, reason string, pos token.Pos) {
+					f.add(kind, id, reason)
+				})
+			}
+			// A fact directive in a free-floating comment group attaches to
+			// nothing and would silently do nothing — exactly the failure
+			// mode a malformed //lint:allow has, so it gets the same
+			// unsuppressible treatment.
+			for _, cg := range file.Comments {
+				if scanned[cg] {
+					continue
+				}
+				for _, c := range cg.List {
+					kind, _, ok := parseFactComment(c.Text)
+					if !ok {
+						continue
+					}
+					if kind == "" {
+						report(directiveCheck, c.Pos(), "//lint fact directive needs a reason (//lint:<fact> <reason>)")
+						continue
+					}
+					report(directiveCheck, c.Pos(),
+						fmt.Sprintf("//lint:%s is not attached to a declaration (it must sit in a function's doc comment%s)",
+							kind, map[bool]string{true: " or the package clause doc", false: ""}[kind == "hot"]))
+				}
+			}
+		}
+	}
+	return f
+}

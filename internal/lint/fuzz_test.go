@@ -46,10 +46,35 @@ func FuzzLintParse(f *testing.F) {
 	f.Add([]byte("package p\nimport \"time\"\nvar t = time.Now //lint:allow\n"))
 	f.Add([]byte("package p\nfunc f(m map[int]int) { for k := range m { _ = append(nil, k) } }\n"))
 	f.Add([]byte("package p\nvar append = 3\nfunc f(m map[int]int) []int { var s []int; for k := range m { s = appendx(s, k) }; return s }\nfunc appendx(s []int, k int) []int { return s }\n"))
+	// Interprocedural near-misses: malformed facts, self- and mutual
+	// recursion (the summary worklist must converge, not spin), a
+	// sanitizer cycle, and sink laundering through a helper chain.
+	f.Add([]byte("//lint:hot\npackage p\nfunc f() {}\n"))
+	f.Add([]byte("package p\n//lint:sink\nfunc f(x int) {}\n"))
+	f.Add([]byte("package p\nimport \"time\"\nfunc a() int64 { return b() }\nfunc b() int64 { return a() + time.Now().UnixNano() }\n"))
+	f.Add([]byte("package p\nfunc f(x int) int { return f(x) }\n"))
+	f.Add([]byte("package p\nimport \"hash/fnv\"\nfunc w(s string) { h := fnv.New32a(); h.Write([]byte(s)) }\nfunc g(m map[string]int) { for k := range m { w(k) } }\n"))
+	f.Add([]byte("//lint:hot r\npackage p\nfunc f(v int64) any { s := []any{}; for i := 0; i < 3; i++ { s = append(s, v) }; return s[0] }\n"))
+	f.Add([]byte("package p\n//lint:compute r\nfunc c() { e() }\n//lint:effects r\nfunc e() { c() }\n"))
 
 	f.Fuzz(func(t *testing.T, src []byte) {
 		// Parse errors are fine (the corpus mutates into invalid
-		// syntax constantly); panics are the only failure.
-		_, _ = lint.AnalyzeSource("fuzz.go", src, lint.Options{})
+		// syntax constantly); panics are the only failure — plus
+		// nondeterminism: two runs over the same bytes must produce the
+		// identical finding list, or the taint worklist and call-graph
+		// ordering have a map-order leak of their own.
+		first, err1 := lint.AnalyzeSource("fuzz.go", src, lint.Options{})
+		second, err2 := lint.AnalyzeSource("fuzz.go", src, lint.Options{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error nondeterminism: %v vs %v", err1, err2)
+		}
+		if len(first) != len(second) {
+			t.Fatalf("finding count nondeterminism: %d vs %d", len(first), len(second))
+		}
+		for i := range first {
+			if first[i].String() != second[i].String() {
+				t.Fatalf("finding %d nondeterminism: %q vs %q", i, first[i], second[i])
+			}
+		}
 	})
 }

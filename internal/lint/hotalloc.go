@@ -1,0 +1,408 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// hotalloc: allocation discipline on hot paths. The columnar data
+// plane's performance rests on one invariant (DESIGN.md §End-to-end
+// columns): typed values stay in typed lanes through the whole
+// pipeline and box to interface (`Row = any`) only at egress into user
+// closures or result delivery. hotalloc enforces the invariant's two
+// halves on every function reachable from a //lint:hot root (a file's
+// package clause doc marks all its functions hot; a function doc marks
+// one):
+//
+//   - interface boxing — a concrete value converted, assigned, passed
+//     or returned as an interface type allocates and defeats the typed
+//     lane. Sanctioned egress functions carry //lint:egress and are
+//     not reported inside (they ARE the boxing layer); `error` results
+//     are exempt (cold error paths share hot functions).
+//   - unhinted append growth — appending in a loop to a slice created
+//     without a capacity re-grows it O(log n) times; hot-path collects
+//     must pre-size (the stage-shape hints exist for exactly this).
+//
+// The reachability closure comes from the interprocedural call graph,
+// so a hot kernel cannot launder an allocation through a helper in
+// another package.
+var hotallocCheck = Check{
+	Name:      "hotalloc",
+	Doc:       "interface boxing and unhinted append growth in functions reachable from //lint:hot roots",
+	RunModule: runHotalloc,
+}
+
+func runHotalloc(mp *ModulePass) {
+	m := mp.Mod
+	roots := m.facts.ids("hot")
+	if len(roots) == 0 {
+		return
+	}
+	reach := m.Graph.ReachableFrom(roots...)
+	ids := make([]string, 0, len(reach))
+	for id := range reach {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	passes := make(map[*localPkg]*Pass, len(m.pkgs))
+	for _, lp := range m.pkgs {
+		passes[lp] = m.passFor(lp)
+	}
+	for _, id := range ids {
+		if m.facts.has("egress", id) {
+			continue // the sanctioned boxing layer
+		}
+		node := m.Graph.Node(id)
+		if node.Decl.Body == nil {
+			continue
+		}
+		h := &hotScan{mp: mp, pass: passes[node.lp], node: node, via: m.Graph.Path(reach, id)}
+		h.scanBoxing()
+		h.scanAppendGrowth()
+	}
+}
+
+type hotScan struct {
+	mp   *ModulePass
+	pass *Pass
+	node *FuncNode
+	via  string
+}
+
+func (h *hotScan) boxf(pos token.Pos, format string, args ...any) {
+	h.mp.reportf("hotalloc", pos, format+" in hot path (%s); keep the typed lane or move boxing behind a //lint:egress boundary", append(args, h.via)...)
+}
+
+// isBoxTarget reports whether t is an interface type whose assignment
+// from a concrete value allocates. error is exempt: error returns ride
+// along cold paths of hot functions.
+func isBoxTarget(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// boxes reports whether assigning expression e into an interface slot
+// allocates: its static type is concrete (and not untyped nil).
+func (h *hotScan) boxes(e ast.Expr) (types.Type, bool) {
+	t := h.pass.typeOf(e)
+	if t == nil {
+		return nil, false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return nil, false
+	}
+	if _, ok := t.Underlying().(*types.Interface); ok {
+		return nil, false
+	}
+	if _, ok := t.(*types.Tuple); ok {
+		return nil, false
+	}
+	return t, true
+}
+
+func (h *hotScan) reportBox(e ast.Expr, context string) {
+	if t, ok := h.boxes(e); ok {
+		h.boxf(e.Pos(), "%s boxes %s to interface", context, types.TypeString(t, types.RelativeTo(nil)))
+	}
+}
+
+func (h *hotScan) scanBoxing() {
+	if h.pass.Info == nil {
+		return
+	}
+	decl := h.node.Decl
+	var results *types.Tuple
+	if obj, ok := h.pass.Info.Defs[decl.Name].(*types.Func); ok {
+		if sig, ok := obj.Type().(*types.Signature); ok {
+			results = sig.Results()
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // literals get their own hotness only via the graph
+		case *ast.CallExpr:
+			h.scanCallBoxing(x)
+		case *ast.AssignStmt:
+			if x.Tok != token.ASSIGN {
+				return true
+			}
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, l := range x.Lhs {
+					if isBoxTarget(h.pass.typeOf(l)) {
+						h.reportBox(x.Rhs[i], "assignment")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if results == nil || len(x.Results) != results.Len() {
+				return true
+			}
+			for i, r := range x.Results {
+				if isBoxTarget(results.At(i).Type()) {
+					h.reportBox(r, "return")
+				}
+			}
+		case *ast.CompositeLit:
+			h.scanLitBoxing(x)
+		}
+		return true
+	})
+}
+
+// scanCallBoxing flags concrete arguments landing in interface
+// parameters, and conversions to interface types.
+func (h *hotScan) scanCallBoxing(call *ast.CallExpr) {
+	// A panicking branch is cold by definition: the boxed message never
+	// allocates on the path the hot annotation protects.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" && isBuiltinName(h.pass, id) {
+		return
+	}
+	if tv, ok := h.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if isBoxTarget(tv.Type) && len(call.Args) == 1 {
+			h.reportBox(call.Args[0], "conversion")
+		}
+		return
+	}
+	sigT := h.pass.typeOf(call.Fun)
+	sig, ok := sigT.(*types.Signature)
+	if !ok {
+		return // builtin or unresolved
+	}
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, a := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // xs... passes the slice through, no per-element boxing
+			}
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if isBoxTarget(pt) {
+			h.reportBox(a, "argument")
+		}
+	}
+}
+
+// scanLitBoxing flags concrete elements of interface-typed slots in
+// composite literals ([]Row{...}, map[K]any{...}, struct fields).
+func (h *hotScan) scanLitBoxing(lit *ast.CompositeLit) {
+	t := h.pass.typeOf(lit)
+	if t == nil {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		if isBoxTarget(u.Elem()) {
+			for _, elt := range lit.Elts {
+				h.reportBox(eltValue(elt), "composite literal element")
+			}
+		}
+	case *types.Array:
+		if isBoxTarget(u.Elem()) {
+			for _, elt := range lit.Elts {
+				h.reportBox(eltValue(elt), "composite literal element")
+			}
+		}
+	case *types.Map:
+		if isBoxTarget(u.Elem()) {
+			for _, elt := range lit.Elts {
+				h.reportBox(eltValue(elt), "composite literal element")
+			}
+		}
+	case *types.Struct:
+		for i, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					for j := 0; j < u.NumFields(); j++ {
+						if u.Field(j).Name() == id.Name && isBoxTarget(u.Field(j).Type()) {
+							h.reportBox(kv.Value, "struct field")
+						}
+					}
+				}
+				continue
+			}
+			if i < u.NumFields() && isBoxTarget(u.Field(i).Type()) {
+				h.reportBox(elt, "struct field")
+			}
+		}
+	}
+}
+
+func eltValue(elt ast.Expr) ast.Expr {
+	if kv, ok := elt.(*ast.KeyValueExpr); ok {
+		return kv.Value
+	}
+	return elt
+}
+
+// scanAppendGrowth flags appends inside loops to slices the function
+// created without a capacity.
+func (h *hotScan) scanAppendGrowth() {
+	decl := h.node.Decl
+	// Pass 1: slices created caplessly in this function.
+	capless := make(map[any]bool)
+	keyOf := func(e ast.Expr) any {
+		if id, ok := e.(*ast.Ident); ok {
+			if h.pass.Info != nil {
+				if obj := h.pass.Info.ObjectOf(id); obj != nil {
+					return obj
+				}
+			}
+			return "syn:" + id.Name
+		}
+		return nil
+	}
+	markCapless := func(lhs ast.Expr, rhs ast.Expr) {
+		k := keyOf(lhs)
+		if k == nil {
+			return
+		}
+		switch v := rhs.(type) {
+		case *ast.CompositeLit:
+			if len(v.Elts) == 0 && isSliceExprType(h.pass, v) {
+				capless[k] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && isBuiltinName(h.pass, id) &&
+				len(v.Args) <= 2 && len(v.Args) >= 1 {
+				if _, isSlice := sliceTypeArg(h.pass, v.Args[0]); isSlice {
+					// make([]T) or make([]T, n) with no cap: appends grow it.
+					// make([]T, 0, c) is hinted and fine.
+					if len(v.Args) == 1 || isZeroLit(v.Args[1]) {
+						capless[k] = true
+					}
+				}
+			}
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, l := range st.Lhs {
+				if i < len(st.Rhs) {
+					markCapless(l, st.Rhs[i])
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range st.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					if len(vs.Values) == 0 && vs.Type != nil {
+						if _, ok := vs.Type.(*ast.ArrayType); ok {
+							for _, name := range vs.Names {
+								if k := keyOf(name); k != nil {
+									capless[k] = true
+								}
+							}
+						}
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							markCapless(name, vs.Values[i])
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(capless) == 0 {
+		return
+	}
+	// Pass 2: appends to those slices inside loops.
+	var inLoop func(n ast.Node, depth int)
+	report := make(map[token.Pos]string)
+	inLoop = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch x := c.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt:
+				if c != n {
+					inLoop(x.Body, depth+1)
+					return false
+				}
+			case *ast.RangeStmt:
+				if c != n {
+					inLoop(x.Body, depth+1)
+					return false
+				}
+			case *ast.CallExpr:
+				if depth == 0 {
+					return true
+				}
+				id, ok := x.Fun.(*ast.Ident)
+				if !ok || id.Name != "append" || !isBuiltinName(h.pass, id) || len(x.Args) == 0 {
+					return true
+				}
+				if k := keyOf(x.Args[0]); k != nil && capless[k] {
+					report[x.Pos()] = renderExpr(h.pass.Fset, x.Args[0])
+				}
+			}
+			return true
+		})
+	}
+	switch body := any(decl.Body).(type) {
+	case *ast.BlockStmt:
+		inLoop(body, 0)
+	}
+	poss := make([]token.Pos, 0, len(report))
+	for p := range report {
+		poss = append(poss, p)
+	}
+	sort.Slice(poss, func(i, j int) bool { return poss[i] < poss[j] })
+	for _, p := range poss {
+		h.mp.reportf("hotalloc", p,
+			"append grows %s, created without a capacity, inside a loop in hot path (%s); pre-size it (make(..., 0, n) — stage-shape hints exist for this)",
+			report[p], h.via)
+	}
+}
+
+// isSliceExprType reports whether a composite literal's type is a slice.
+func isSliceExprType(pass *Pass, lit *ast.CompositeLit) bool {
+	if t := pass.typeOf(lit); t != nil {
+		_, ok := t.Underlying().(*types.Slice)
+		return ok
+	}
+	if at, ok := lit.Type.(*ast.ArrayType); ok {
+		return at.Len == nil
+	}
+	return false
+}
+
+// sliceTypeArg reports whether the first make() argument denotes a
+// slice type.
+func sliceTypeArg(pass *Pass, e ast.Expr) (types.Type, bool) {
+	if t := pass.typeOf(e); t != nil {
+		if sl, ok := t.Underlying().(*types.Slice); ok {
+			return sl, true
+		}
+		return nil, false
+	}
+	if at, ok := e.(*ast.ArrayType); ok && at.Len == nil {
+		return nil, true
+	}
+	return nil, false
+}
+
+func isZeroLit(e ast.Expr) bool {
+	bl, ok := e.(*ast.BasicLit)
+	return ok && bl.Value == "0"
+}

@@ -64,11 +64,15 @@ func (f Finding) Key() string {
 	return fmt.Sprintf("%s: [%s] %s", filepath.ToSlash(f.Pos.Filename), f.Check, f.Message)
 }
 
-// Check is one registered analysis.
+// Check is one registered analysis. Per-package checks set Run and see
+// one package at a time; interprocedural checks set RunModule and see
+// the whole module (call graph, fact annotations, taint summaries).
+// Exactly one of the two must be set.
 type Check struct {
-	Name string
-	Doc  string // one-line catalog entry (docs/LINT.md holds the long form)
-	Run  func(*Pass)
+	Name      string
+	Doc       string // one-line catalog entry (docs/LINT.md holds the long form)
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Checks returns the full registry in catalog order.
@@ -81,6 +85,9 @@ func Checks() []Check {
 		maporderCheck,
 		goroutineCheck,
 		lockdisciplineCheck,
+		detflowCheck,
+		hotallocCheck,
+		effectdisciplineCheck,
 	}
 }
 
@@ -224,23 +231,46 @@ func parseDirectives(fset *token.FileSet, f *ast.File, valid map[string]bool,
 	return out
 }
 
-// analyzePackage runs every check over one loaded package and returns
-// the surviving (non-suppressed) findings with absolute file names.
-func analyzePackage(lp *localPkg, checks []Check) []Finding {
+// analyzePackages runs every selected check — per-package checks over
+// each package, then interprocedural checks over the module view — and
+// returns the surviving (non-suppressed) findings with absolute file
+// names. Suppression is applied once, globally, after both phases, so a
+// //lint:allow covers module-check findings at its line the same way it
+// covers per-package ones.
+func analyzePackages(pkgs []*localPkg, checks []Check) []Finding {
+	fset := token.NewFileSet()
+	if len(pkgs) > 0 {
+		fset = pkgs[0].fset
+	}
 	var raw []Finding
 	report := func(check string, pos token.Pos, msg string) {
-		raw = append(raw, Finding{Pos: lp.fset.Position(pos), Check: check, Message: msg})
+		raw = append(raw, Finding{Pos: fset.Position(pos), Check: check, Message: msg})
 	}
-	pass := &Pass{
-		Fset:        lp.fset,
-		Path:        lp.path,
-		Files:       lp.files,
-		Info:        lp.info,
-		importNames: buildImportNames(lp.files),
+	moduleChecks := false
+	for _, lp := range pkgs {
+		pass := &Pass{
+			Fset:        lp.fset,
+			Path:        lp.path,
+			Files:       lp.files,
+			Info:        lp.info,
+			importNames: buildImportNames(lp.files),
+		}
+		pass.report = report
+		for _, c := range checks {
+			if c.Run != nil {
+				c.Run(pass)
+			}
+			moduleChecks = moduleChecks || c.RunModule != nil
+		}
 	}
-	pass.report = report
-	for _, c := range checks {
-		c.Run(pass)
+	if moduleChecks && len(pkgs) > 0 {
+		mod := buildModule(pkgs, report)
+		mp := &ModulePass{Mod: mod, report: report}
+		for _, c := range checks {
+			if c.RunModule != nil {
+				c.RunModule(mp)
+			}
+		}
 	}
 
 	// Suppression: an allow directive covers findings of its check on
@@ -251,11 +281,13 @@ func analyzePackage(lp *localPkg, checks []Check) []Finding {
 	key := func(file, check string, line int) string {
 		return fmt.Sprintf("%s\x00%s:%d", file, check, line)
 	}
-	for _, f := range lp.files {
-		name := lp.fset.Position(f.Pos()).Filename
-		for _, d := range parseDirectives(lp.fset, f, valid, report) {
-			allowed[key(name, d.check, d.line)] = true
-			allowed[key(name, d.check, d.line+1)] = true
+	for _, lp := range pkgs {
+		for _, f := range lp.files {
+			name := fset.Position(f.Pos()).Filename
+			for _, d := range parseDirectives(fset, f, valid, report) {
+				allowed[key(name, d.check, d.line)] = true
+				allowed[key(name, d.check, d.line+1)] = true
+			}
 		}
 	}
 	var out []Finding

@@ -44,24 +44,33 @@ func parseWants(t *testing.T, dir string) []*want {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
-		if err != nil {
-			t.Fatal(err)
-		}
-		sc := bufio.NewScanner(f)
-		for line := 1; sc.Scan(); line++ {
-			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
-				w := &want{file: e.Name(), line: line, check: m[2], substr: m[3]}
-				if m[1] == "-next-line" {
-					w.line++
-				}
-				wants = append(wants, w)
+		wants = append(wants, parseWantsFile(t, filepath.Join(dir, e.Name()))...)
+	}
+	return wants
+}
+
+// parseWantsFile extracts the want comments of a single file; file is
+// set to the base name (callers re-key it for tree fixtures).
+func parseWantsFile(t *testing.T, path string) []*want {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var wants []*want
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+			w := &want{file: filepath.Base(path), line: line, check: m[2], substr: m[3]}
+			if m[1] == "-next-line" {
+				w.line++
 			}
+			wants = append(wants, w)
 		}
-		if err := sc.Err(); err != nil {
-			t.Fatal(err)
-		}
-		f.Close()
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
 	}
 	return wants
 }
@@ -141,18 +150,20 @@ func TestCheckSelection(t *testing.T) {
 	}
 }
 
-// TestRegistry pins the registry's contents: the five checks the
-// determinism story depends on, each documented.
+// TestRegistry pins the registry's contents: the checks the determinism
+// and hot-path stories depend on, each documented, each with exactly
+// one run function (per-package or module-wide).
 func TestRegistry(t *testing.T) {
-	wantNames := []string{"wallclock", "simtime", "globalrand", "litseed", "maporder", "goroutine-discipline", "lockdiscipline"}
+	wantNames := []string{"wallclock", "simtime", "globalrand", "litseed", "maporder", "goroutine-discipline", "lockdiscipline",
+		"detflow", "hotalloc", "effectdiscipline"}
 	checks := lint.Checks()
 	got := make(map[string]bool, len(checks))
 	for _, c := range checks {
 		if c.Doc == "" {
 			t.Errorf("check %s has no doc string", c.Name)
 		}
-		if c.Run == nil {
-			t.Errorf("check %s has no run function", c.Name)
+		if (c.Run == nil) == (c.RunModule == nil) {
+			t.Errorf("check %s must have exactly one of Run and RunModule", c.Name)
 		}
 		if got[c.Name] {
 			t.Errorf("check %s registered twice", c.Name)

@@ -258,10 +258,10 @@ func (o Options) checks() []Check {
 	return Checks()
 }
 
-// AnalyzeModule loads every package under the module rooted at root and
-// runs the registered checks. Findings come back sorted, with file
-// names relative to root.
-func AnalyzeModule(root string, opts Options) ([]Finding, error) {
+// loadModulePackages loads every package under the module rooted at
+// root (absolute), sorted by package directory. It is the shared front
+// half of AnalyzeModule and LoadModule.
+func loadModulePackages(root string) ([]*localPkg, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -301,8 +301,11 @@ func AnalyzeModule(root string, opts Options) ([]Finding, error) {
 	}
 	sort.Strings(pkgDirs)
 
+	// One loader for the whole module: local packages type-check once and
+	// are shared between per-package and interprocedural phases (imports
+	// between module packages hit the cache instead of re-loading).
 	l := newLoader(root, modPath, true)
-	var findings []Finding
+	var pkgs []*localPkg
 	for _, dir := range pkgDirs {
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
@@ -316,8 +319,24 @@ func AnalyzeModule(root string, opts Options) ([]Finding, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lint: load %s: %w", path, err)
 		}
-		findings = append(findings, analyzePackage(lp, opts.checks())...)
+		pkgs = append(pkgs, lp)
 	}
+	return pkgs, nil
+}
+
+// AnalyzeModule loads every package under the module rooted at root and
+// runs the registered checks. Findings come back sorted, with file
+// names relative to root.
+func AnalyzeModule(root string, opts Options) ([]Finding, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loadModulePackages(root)
+	if err != nil {
+		return nil, err
+	}
+	findings := analyzePackages(pkgs, opts.checks())
 	for i := range findings {
 		if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil {
 			findings[i].Pos.Filename = filepath.ToSlash(rel)
@@ -329,7 +348,9 @@ func AnalyzeModule(root string, opts Options) ([]Finding, error) {
 
 // AnalyzeDir analyzes the single package in dir as if its import path
 // were importPath. Used by the fixture tests; stdlib imports resolve
-// through the source importer, anything else is stubbed.
+// through the source importer, anything else is stubbed. Module checks
+// run over the one-package module, so single-package interprocedural
+// fixtures work here too.
 func AnalyzeDir(dir, importPath string, opts Options) ([]Finding, error) {
 	dir, err := filepath.Abs(dir)
 	if err != nil {
@@ -340,7 +361,7 @@ func AnalyzeDir(dir, importPath string, opts Options) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
-	findings := analyzePackage(lp, opts.checks())
+	findings := analyzePackages([]*localPkg{lp}, opts.checks())
 	for i := range findings {
 		if rel, err := filepath.Rel(dir, findings[i].Pos.Filename); err == nil {
 			findings[i].Pos.Filename = filepath.ToSlash(rel)
@@ -368,7 +389,7 @@ func AnalyzeSource(filename string, src []byte, opts Options) ([]Finding, error)
 	}
 	pkg, info := typeCheck(l, "fuzz/input", files)
 	lp := &localPkg{path: "fuzz/input", fset: fset, files: files, pkg: pkg, info: info}
-	findings := analyzePackage(lp, opts.checks())
+	findings := analyzePackages([]*localPkg{lp}, opts.checks())
 	SortFindings(findings)
 	return findings, nil
 }

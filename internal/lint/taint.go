@@ -1,0 +1,702 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Determinism taint analysis.
+//
+// A value is tainted when it derives from a source that differs between
+// byte-identical replays: a wall-clock read (time.Now and friends), a
+// process-global math/rand draw, or Go's randomized map iteration
+// order. The per-package wallclock/globalrand/maporder checks flag the
+// reads themselves; this engine tracks the *values* as they launder
+// through helper functions and across package boundaries, and reports
+// only when a tainted value reaches an outcome-affecting sink: a hash
+// accumulator (FNV — the replay fingerprint), or a function annotated
+// //lint:sink (rdd.HashKey, schedule/retry deciders, export emitters).
+//
+// The analysis is a two-level fixpoint:
+//
+//   - Per function, a flow-insensitive intraprocedural pass propagates
+//     a bitmask over assignments until stable. Bits 0..2 are the source
+//     kinds; bits 3.. stand for "derives from parameter i" (receiver is
+//     parameter 0 of a method), which is what lets taint cross function
+//     boundaries precisely instead of assuming every call launders.
+//   - A module-wide worklist recomputes function summaries — which
+//     parameter bits and source kinds reach the return values, and
+//     which parameters flow into sinks — until the summaries stabilize.
+//     Masks only ever grow, so the fixpoint terminates; work is
+//     processed in sorted node order, so findings are deterministic.
+//
+// Sanitizers: a sort (sort.* / slices.Sort*) of a slice clears its
+// map-order bit for uses after the call, because a sorted collect is
+// order-independent — the repo's pervasive collect-then-sort idiom. A
+// function annotated //lint:sanitizer returns clean values regardless
+// of its body (the audited chokepoint, e.g. obs.Stopwatch). Integer
+// +=/*=/|=/&=/^= accumulation drops the map-order bit (exact integer
+// arithmetic commutes), while float and string accumulation keeps it
+// (float addition does not associate; string concat does not commute).
+
+const (
+	taintWallclock  uint64 = 1 << 0
+	taintGlobalrand uint64 = 1 << 1
+	taintMaporder   uint64 = 1 << 2
+
+	taintSrcMask = taintWallclock | taintGlobalrand | taintMaporder
+
+	// paramBit0 is the bit of parameter 0; parameters beyond maxParams
+	// are not tracked (their taint neither propagates nor false-fires).
+	paramBit0 = 3
+	maxParams = 60
+)
+
+func paramBit(i int) uint64 {
+	if i < 0 || i >= maxParams {
+		return 0
+	}
+	return 1 << (paramBit0 + i)
+}
+
+// kindString renders the source bits of a mask for messages.
+func kindString(mask uint64) string {
+	var kinds []string
+	if mask&taintWallclock != 0 {
+		kinds = append(kinds, "wall-clock")
+	}
+	if mask&taintGlobalrand != 0 {
+		kinds = append(kinds, "global-rand")
+	}
+	if mask&taintMaporder != 0 {
+		kinds = append(kinds, "map-order")
+	}
+	return strings.Join(kinds, "+")
+}
+
+// taintSummary is one function's interprocedural contract.
+type taintSummary struct {
+	// retMask: source bits that reach a return value, plus param bits
+	// for parameters that flow to a return (the laundering path).
+	retMask uint64
+	// sinkParams maps a parameter index to a description of the sink it
+	// reaches inside the function (directly or through further calls).
+	sinkParams map[int]string
+}
+
+func (s *taintSummary) equal(o *taintSummary) bool {
+	if s.retMask != o.retMask || len(s.sinkParams) != len(o.sinkParams) {
+		return false
+	}
+	for k, v := range s.sinkParams {
+		if o.sinkParams[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureSummaries computes the module's taint summaries once.
+func (m *Module) ensureSummaries() map[string]*taintSummary {
+	if m.summaries != nil {
+		return m.summaries
+	}
+	sums := make(map[string]*taintSummary, len(m.Graph.ids))
+	for _, id := range m.Graph.ids {
+		sums[id] = &taintSummary{}
+	}
+	passes := make(map[*localPkg]*Pass, len(m.pkgs))
+	for _, lp := range m.pkgs {
+		passes[lp] = m.passFor(lp)
+	}
+	// Worklist: recompute until stable. Nodes are (re)processed in
+	// sorted order; a changed summary re-queues its callers. The
+	// round bound is a belt-and-braces guard for the fuzz target —
+	// masks grow monotonically, so real inputs converge long before it.
+	pending := append([]string(nil), m.Graph.ids...)
+	for round := 0; len(pending) > 0 && round < 1+len(m.Graph.ids)*8; round++ {
+		sort.Strings(pending)
+		var next []string
+		seen := make(map[string]bool)
+		for _, id := range pending {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			node := m.Graph.nodes[id]
+			got := analyzeFuncTaint(m, passes[node.lp], node, sums, nil)
+			if !got.equal(sums[id]) {
+				sums[id] = got
+				next = append(next, m.Graph.Callers(id)...)
+			}
+		}
+		pending = next
+	}
+	m.summaries = sums
+	return sums
+}
+
+// taintEmit receives one source-tainted value reaching a sink.
+type taintEmit func(pos token.Pos, mask uint64, sink string)
+
+// analyzeFuncTaint runs the intraprocedural pass over one function:
+// parameters are seeded with their param bits, assignments iterate to a
+// fixpoint, and a final walk computes the summary (and, when emit is
+// non-nil, reports source-tainted values reaching sinks).
+func analyzeFuncTaint(m *Module, pass *Pass, node *FuncNode, sums map[string]*taintSummary, emit taintEmit) *taintSummary {
+	out := &taintSummary{sinkParams: map[int]string{}}
+	decl := node.Decl
+	if decl.Body == nil {
+		out.sinkParams = nil
+		return out
+	}
+	tr := &taintTracker{
+		m: m, pass: pass, node: node, sums: sums,
+		masks:     make(map[any]uint64),
+		paramOf:   make(map[any]int),
+		sortsDone: make(map[any][]token.Pos),
+	}
+	// Seed parameters (receiver is parameter 0 of a method).
+	idx := 0
+	seed := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					if k := tr.keyFor(name); k != nil {
+						tr.masks[k] = paramBit(idx)
+						tr.paramOf[k] = idx
+					}
+				}
+				idx++
+			}
+		}
+	}
+	seed(decl.Recv)
+	seed(decl.Type.Params)
+
+	// Record sort-call positions first (they sanitize uses after them).
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if arg, ok := isSortCall(pass, node.File, call); ok && arg != nil {
+				if k := tr.keyFor(arg); k != nil {
+					tr.sortsDone[k] = append(tr.sortsDone[k], call.End())
+				}
+			}
+		}
+		return true
+	})
+
+	// Fixpoint over assignments. The iteration cap bounds adversarial
+	// (fuzzed) inputs; masks are monotone so real code stabilizes fast.
+	for i := 0; i < 32; i++ {
+		tr.changed = false
+		tr.walkAssignments(decl.Body)
+		if !tr.changed {
+			break
+		}
+	}
+
+	// Final walk: returns (excluding nested function literals — their
+	// returns do not return from this function) and sinks.
+	tr.emit = emit
+	tr.out = out
+	walkScope(decl.Body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			if len(ret.Results) == 0 {
+				// Naked return: named results carry the mask.
+				if decl.Type.Results != nil {
+					for _, f := range decl.Type.Results.List {
+						for _, name := range f.Names {
+							out.retMask |= tr.lookup(tr.keyFor(name), ret.Pos())
+						}
+					}
+				}
+				return true
+			}
+			for _, r := range ret.Results {
+				out.retMask |= tr.exprMask(r)
+			}
+		}
+		return true
+	})
+	// Sinks can sit inside literals too (the closure acts for its
+	// encloser), so the sink walk descends everywhere.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			tr.checkSinks(call)
+		}
+		return true
+	})
+	if len(out.sinkParams) == 0 {
+		out.sinkParams = nil
+	}
+	return out
+}
+
+// taintTracker holds one function's in-flight analysis state.
+type taintTracker struct {
+	m    *Module
+	pass *Pass
+	node *FuncNode
+	sums map[string]*taintSummary
+
+	masks     map[any]uint64      // value key -> taint mask
+	paramOf   map[any]int         // value key -> seeded parameter index
+	sortsDone map[any][]token.Pos // value key -> positions after which maporder is cleared
+	changed   bool
+
+	emit taintEmit
+	out  *taintSummary
+}
+
+// keyFor identifies the storage an expression names: the types.Object
+// when resolution succeeded, a syntactic selector-chain string as the
+// degraded fallback, nil when the expression is not nameable storage.
+func (tr *taintTracker) keyFor(e ast.Expr) any {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return nil
+		}
+		if tr.pass.Info != nil {
+			if obj := tr.pass.Info.ObjectOf(x); obj != nil {
+				return obj
+			}
+		}
+		return "syn:" + x.Name
+	case *ast.ParenExpr:
+		return tr.keyFor(x.X)
+	case *ast.SelectorExpr:
+		if k := exprKey(x); k != "" {
+			return "syn:" + k
+		}
+	}
+	return nil
+}
+
+// lookup returns the mask of a storage key at a use position, applying
+// the sort sanitizer: a sort of the value before the use clears its
+// map-order bit.
+func (tr *taintTracker) lookup(k any, use token.Pos) uint64 {
+	if k == nil {
+		return 0
+	}
+	mask := tr.masks[k]
+	if mask&taintMaporder != 0 {
+		for _, p := range tr.sortsDone[k] {
+			if p <= use || use == token.NoPos {
+				mask &^= taintMaporder
+				break
+			}
+		}
+	}
+	return mask
+}
+
+// merge raises the mask of key k.
+func (tr *taintTracker) merge(k any, mask uint64) {
+	if k == nil || mask == 0 {
+		return
+	}
+	if tr.masks[k]&mask != mask {
+		tr.masks[k] |= mask
+		tr.changed = true
+	}
+}
+
+// walkAssignments runs one propagation sweep over the whole body,
+// including nested function literals (closures share their enclosing
+// function's locals).
+func (tr *taintTracker) walkAssignments(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			tr.assign(st)
+		case *ast.RangeStmt:
+			m := tr.exprMask(st.X)
+			if isMapType(tr.pass.typeOf(st.X)) {
+				m |= taintMaporder
+			}
+			tr.merge(tr.keyFor(st.Key), m)
+			tr.merge(tr.keyFor(st.Value), m)
+		case *ast.GenDecl:
+			for _, spec := range st.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				var m uint64
+				for _, v := range vs.Values {
+					m |= tr.exprMask(v)
+				}
+				for _, name := range vs.Names {
+					tr.merge(tr.keyFor(name), m)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (tr *taintTracker) assign(st *ast.AssignStmt) {
+	if st.Tok == token.ASSIGN || st.Tok == token.DEFINE {
+		if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+			// Tuple assignment: every LHS inherits the call's mask.
+			m := tr.exprMask(st.Rhs[0])
+			for _, l := range st.Lhs {
+				tr.merge(tr.keyFor(l), m)
+			}
+			return
+		}
+		for i, l := range st.Lhs {
+			if i < len(st.Rhs) {
+				tr.merge(tr.keyFor(l), tr.exprMask(st.Rhs[i]))
+			}
+		}
+		return
+	}
+	// Compound assignment x op= e.
+	for i, l := range st.Lhs {
+		if i >= len(st.Rhs) {
+			break
+		}
+		m := tr.exprMask(st.Rhs[i])
+		if commutativeIntOp(st.Tok) && isIntegerType(tr.pass.typeOf(l)) {
+			// Exact integer accumulation commutes: summing map values in
+			// any order yields the same bytes. Float and string
+			// accumulation stays order-sensitive.
+			m &^= taintMaporder
+		}
+		tr.merge(tr.keyFor(l), m)
+	}
+}
+
+func commutativeIntOp(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		return true
+	}
+	return false
+}
+
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// exprMask computes the taint mask of an expression.
+func (tr *taintTracker) exprMask(e ast.Expr) uint64 {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return tr.lookup(tr.keyFor(x), x.Pos())
+	case *ast.SelectorExpr:
+		// Package qualifier selects nothing tainted by itself; a field
+		// or method value inherits its operand's taint.
+		if id, ok := x.X.(*ast.Ident); ok && tr.pass.pkgPath(tr.node.File, id) != "" {
+			return 0
+		}
+		if k := tr.keyFor(x); k != nil {
+			if m := tr.lookup(k, x.Pos()); m != 0 {
+				return m
+			}
+		}
+		return tr.exprMask(x.X)
+	case *ast.CallExpr:
+		return tr.callMask(x)
+	case *ast.BinaryExpr:
+		return tr.exprMask(x.X) | tr.exprMask(x.Y)
+	case *ast.UnaryExpr:
+		return tr.exprMask(x.X)
+	case *ast.StarExpr:
+		return tr.exprMask(x.X)
+	case *ast.ParenExpr:
+		return tr.exprMask(x.X)
+	case *ast.IndexExpr:
+		return tr.exprMask(x.X) | tr.exprMask(x.Index)
+	case *ast.IndexListExpr:
+		return tr.exprMask(x.X)
+	case *ast.SliceExpr:
+		return tr.exprMask(x.X)
+	case *ast.TypeAssertExpr:
+		return tr.exprMask(x.X)
+	case *ast.CompositeLit:
+		var m uint64
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				m |= tr.exprMask(kv.Value)
+				continue
+			}
+			m |= tr.exprMask(elt)
+		}
+		return m
+	}
+	return 0
+}
+
+// callMask computes the taint of a call's result and is the one place
+// interprocedural knowledge enters: sources, sanitizers, and callee
+// summaries.
+func (tr *taintTracker) callMask(call *ast.CallExpr) uint64 {
+	fun := call.Fun
+	for {
+		if p, ok := fun.(*ast.ParenExpr); ok {
+			fun = p.X
+			continue
+		}
+		break
+	}
+	// Sources: wall-clock reads and global rand draws.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			switch p := tr.pass.pkgPath(tr.node.File, id); p {
+			case "time":
+				if wallclockForbidden[sel.Sel.Name] {
+					return taintWallclock
+				}
+			case "math/rand", "math/rand/v2":
+				if !globalrandAllowed[sel.Sel.Name] {
+					return taintGlobalrand
+				}
+			}
+		}
+	}
+	// Builtins: len/cap of anything are order- and clock-independent;
+	// append unions its operands (the grown slice carries its inputs).
+	if id, ok := fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "len", "cap":
+			if isBuiltinName(tr.pass, id) {
+				return 0
+			}
+		}
+	}
+	// Type conversion T(x): the mask is the operand's.
+	if tr.pass.Info != nil && len(call.Args) == 1 {
+		if tv, ok := tr.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			return tr.exprMask(call.Args[0])
+		}
+	}
+	callee := tr.m.Graph.resolveCallee(tr.node.lp, tr.node.File, call)
+	if callee != nil {
+		if tr.m.facts.has("sanitizer", callee.ID) {
+			return 0
+		}
+		sum := tr.sums[callee.ID]
+		if sum == nil {
+			sum = &taintSummary{}
+		}
+		argMasks := tr.callArgMasks(call, callee)
+		m := sum.retMask & taintSrcMask
+		for i, am := range argMasks {
+			if sum.retMask&paramBit(i) != 0 {
+				m |= am & taintSrcMask
+				// A caller parameter flowing through the callee's return
+				// keeps laundering upward.
+				m |= am &^ taintSrcMask
+			}
+		}
+		return m
+	}
+	// Unknown callee (stdlib helper, dynamic call): conservatively pass
+	// argument and receiver taint through to the result.
+	var m uint64
+	for _, a := range call.Args {
+		m |= tr.exprMask(a)
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		m |= tr.exprMask(sel.X)
+	}
+	// Sort calls return nothing; their sanitizing effect is positional
+	// (handled in lookup), so nothing extra here.
+	return m
+}
+
+// callArgMasks maps a call's arguments onto the callee's parameter
+// indices: a method's receiver is parameter 0, variadic extras fold
+// onto the last parameter.
+func (tr *taintTracker) callArgMasks(call *ast.CallExpr, callee *FuncNode) []uint64 {
+	nParams := 0
+	isMethod := callee.Decl.Recv != nil && len(callee.Decl.Recv.List) > 0
+	if isMethod {
+		nParams++
+	}
+	if callee.Decl.Type.Params != nil {
+		for _, f := range callee.Decl.Type.Params.List {
+			if len(f.Names) == 0 {
+				nParams++
+			} else {
+				nParams += len(f.Names)
+			}
+		}
+	}
+	masks := make([]uint64, nParams)
+	base := 0
+	if isMethod {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			masks[0] = tr.exprMask(sel.X)
+		}
+		base = 1
+	}
+	for i, a := range call.Args {
+		idx := base + i
+		if idx >= nParams {
+			idx = nParams - 1 // variadic tail
+		}
+		if idx >= 0 && idx < nParams {
+			masks[idx] |= tr.exprMask(a)
+		}
+	}
+	return masks
+}
+
+// checkSinks inspects one call for tainted values reaching a sink.
+func (tr *taintTracker) checkSinks(call *ast.CallExpr) {
+	// Hash accumulators: Write/WriteString/Sum* on a hash-package type,
+	// and fmt.Fprint* with a hash as the destination writer.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Write", "WriteString", "Sum", "Sum32", "Sum64":
+			if tr.isHashValue(sel.X) {
+				desc := "hash input " + renderExpr(tr.pass.Fset, sel.X) + "." + sel.Sel.Name
+				for _, a := range call.Args {
+					tr.sinkHit(a, desc)
+				}
+			}
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && tr.pass.pkgPath(tr.node.File, id) == "fmt" &&
+			strings.HasPrefix(sel.Sel.Name, "Fprint") && len(call.Args) > 0 && tr.isHashValue(call.Args[0]) {
+			desc := "hash input via fmt." + sel.Sel.Name
+			for _, a := range call.Args[1:] {
+				tr.sinkHit(a, desc)
+			}
+		}
+	}
+	// Annotated sinks and transitive sink parameters of module callees.
+	callee := tr.m.Graph.resolveCallee(tr.node.lp, tr.node.File, call)
+	if callee == nil {
+		return
+	}
+	argMasks := tr.callArgMasksExprs(call, callee)
+	if tr.m.facts.has("sink", callee.ID) {
+		desc := "outcome sink " + callee.ID
+		if r := tr.m.facts.reasons["sink"][callee.ID]; r != "" {
+			desc += " (" + r + ")"
+		}
+		for _, am := range argMasks {
+			tr.sinkArg(am.expr, am.mask, desc)
+		}
+		return
+	}
+	sum := tr.sums[callee.ID]
+	if sum == nil || len(sum.sinkParams) == 0 {
+		return
+	}
+	for _, am := range argMasks {
+		if desc, ok := sum.sinkParams[am.param]; ok {
+			tr.sinkArg(am.expr, am.mask, desc+" (via "+callee.ID+")")
+		}
+	}
+}
+
+type argMask struct {
+	param int
+	expr  ast.Expr
+	mask  uint64
+}
+
+// callArgMasksExprs is callArgMasks keeping the argument expressions,
+// for sink attribution.
+func (tr *taintTracker) callArgMasksExprs(call *ast.CallExpr, callee *FuncNode) []argMask {
+	var out []argMask
+	isMethod := callee.Decl.Recv != nil && len(callee.Decl.Recv.List) > 0
+	base := 0
+	if isMethod {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			out = append(out, argMask{param: 0, expr: sel.X, mask: tr.exprMask(sel.X)})
+		}
+		base = 1
+	}
+	for i, a := range call.Args {
+		out = append(out, argMask{param: base + i, expr: a, mask: tr.exprMask(a)})
+	}
+	return out
+}
+
+// sinkHit handles a direct (hash) sink argument.
+func (tr *taintTracker) sinkHit(a ast.Expr, desc string) {
+	tr.sinkArg(a, tr.exprMask(a), desc)
+}
+
+// sinkArg records a sink encounter: source taint is a finding, param
+// taint becomes part of this function's summary (the caller's problem).
+func (tr *taintTracker) sinkArg(a ast.Expr, mask uint64, desc string) {
+	if mask == 0 {
+		return
+	}
+	if src := mask & taintSrcMask; src != 0 && tr.emit != nil {
+		tr.emit(a.Pos(), src, desc)
+	}
+	if tr.out == nil {
+		return
+	}
+	for i := 0; i < maxParams; i++ {
+		if mask&paramBit(i) != 0 {
+			if tr.out.sinkParams == nil {
+				tr.out.sinkParams = map[int]string{}
+			}
+			if _, ok := tr.out.sinkParams[i]; !ok {
+				tr.out.sinkParams[i] = desc
+			}
+		}
+	}
+}
+
+// isHashValue reports whether an expression's static type is declared
+// in package hash or a hash/* package (fnv, crc32, ...): writes into it
+// accumulate into a replay fingerprint.
+func (tr *taintTracker) isHashValue(e ast.Expr) bool {
+	t := tr.pass.typeOf(e)
+	if t == nil {
+		return false
+	}
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	p := named.Obj().Pkg().Path()
+	return p == "hash" || strings.HasPrefix(p, "hash/")
+}
+
+// isBuiltinName confirms an identifier resolves to a builtin (or is
+// unresolved, the benefit-of-the-doubt default).
+func isBuiltinName(pass *Pass, id *ast.Ident) bool {
+	if pass.Info == nil {
+		return true
+	}
+	obj, ok := pass.Info.Uses[id]
+	if !ok {
+		return true
+	}
+	_, builtin := obj.(*types.Builtin)
+	return builtin
+}

@@ -1,0 +1,30 @@
+// Package a holds the caller side of the cross-package fixtures: the
+// hot/compute roots live here, the flagged bodies live in package b.
+package a
+
+import (
+	"fmt"
+
+	"xmod/b"
+)
+
+//lint:compute fixture worker compute root
+func Compute() {
+	b.Mutate() // want effectdiscipline "call to xmod/b.Mutate"
+	var st b.Store
+	st.Put() // want effectdiscipline "call to xmod/b.(Store).Put"
+}
+
+// Kernel itself boxes nothing (b.Box already returns any); the finding
+// sits inside b.Box, reached from here.
+//
+//lint:hot fixture hot kernel root
+func Kernel(v int64) any {
+	return b.Box(v)
+}
+
+// Hash feeds a laundered wall-clock value into a cross-package hashing
+// helper: the finding surfaces here, attributed through b.Fingerprint.
+func Hash() uint32 {
+	return b.Fingerprint(fmt.Sprint(b.Stamp())) // want detflow "via xmod/b.Fingerprint"
+}

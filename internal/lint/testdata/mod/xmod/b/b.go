@@ -1,0 +1,39 @@
+// Package b holds the callee side of the cross-package fixtures: a
+// laundering helper, shared-state mutators, a boxing helper and a
+// hashing helper, all of which only become findings through callers in
+// package a.
+package b
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Stamp launders a wall-clock read across the package boundary.
+func Stamp() int64 {
+	return time.Now().UnixNano() //lint:allow wallclock fixture cross-package laundering
+}
+
+// Mutate is a shared-state mutator.
+//
+//lint:effects fixture mutates shared store
+func Mutate() {}
+
+// Store carries a mutator method, exercising receiver node IDs.
+type Store struct{}
+
+//lint:effects fixture store mutator method
+func (s *Store) Put() {}
+
+// Box boxes its argument; it is hot only via callers in package a.
+func Box(v int64) any {
+	return v // want hotalloc "return boxes int64"
+}
+
+// Fingerprint hashes its parameter: its taint summary marks the
+// parameter as sink-reaching.
+func Fingerprint(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}

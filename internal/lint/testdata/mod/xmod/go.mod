@@ -1,0 +1,3 @@
+module xmod
+
+go 1.22

@@ -1,0 +1,156 @@
+// Package detflow exercises the interprocedural determinism-taint
+// check: values produced by wall-clock reads, global rand draws and map
+// iteration laundered through locals and helper functions, reported
+// only when they reach an outcome sink (a hash accumulator or a
+// //lint:sink function). The sources themselves carry //lint:allow for
+// their per-package checks — that is the point: a suppressed read stays
+// suppressed, but the value it produced is still tracked.
+package detflow
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// stamp is a laundering helper: the read is allowed (a metrics
+// chokepoint would be), but its result is wall-clock tainted.
+func stamp() int64 {
+	return time.Now().UnixNano() //lint:allow wallclock fixture laundering chokepoint
+}
+
+// The tainted value crosses the stamp() boundary into the fingerprint.
+func fingerprint() uint32 {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%d", stamp()) // want detflow "wall-clock-tainted value reaches hash input"
+	return h.Sum32()
+}
+
+// A sanitizer's results are clean regardless of its body: the audited
+// boundary (obs.Stopwatch in the real tree).
+//
+//lint:sanitizer fixture audited stopwatch boundary
+func sanitized() int64 {
+	return time.Now().UnixNano() //lint:allow wallclock fixture sanitizer body
+}
+
+func cleanUse() uint32 {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%d", sanitized())
+	return h.Sum32()
+}
+
+// Global rand draws taint their results the same way.
+func draw() int {
+	return rand.Int() //lint:allow globalrand fixture laundering draw
+}
+
+func randomFingerprint() uint32 {
+	h := fnv.New32a()
+	v := draw()
+	fmt.Fprintf(h, "%d", v) // want detflow "global-rand-tainted value reaches hash input"
+	return h.Sum32()
+}
+
+// Map iteration order taints the loop variables. No sink sits inside
+// the range body, so the per-package maporder check cannot see this;
+// the taint survives into the write after the loop.
+func mapKeyLaundered(m map[string]int) uint32 {
+	h := fnv.New32a()
+	last := ""
+	for k := range m {
+		last = k
+	}
+	h.Write([]byte(last)) // want detflow "map-order-tainted value reaches hash input"
+	return h.Sum32()
+}
+
+// Collect-then-sort is the sanctioned shape: the sort clears the
+// map-order bit for uses after it.
+func sortedKeys(m map[string]int) uint32 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New32a()
+	for _, k := range keys {
+		h.Write([]byte(k))
+	}
+	return h.Sum32()
+}
+
+// Exact integer accumulation commutes, so summing map values in any
+// order is deterministic: the compound assignment drops the bit.
+func sumValues(m map[string]int) uint32 {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%d", total)
+	return h.Sum32()
+}
+
+// Float accumulation does not associate: the order leaks into the sum.
+func sumFloats(m map[string]float64) uint32 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%f", total) // want detflow "map-order-tainted value reaches hash input"
+	return h.Sum32()
+}
+
+// partition is an annotated outcome sink: tainted arguments are
+// findings even though the function itself hashes nothing.
+//
+//lint:sink fixture partition decider
+func partition(key string) int {
+	return len(key) % 4
+}
+
+func route(m map[string]int) int {
+	var k string
+	for k2 := range m {
+		k = k2
+	}
+	return partition(k) // want detflow "map-order-tainted value reaches outcome sink fixture/detflow.partition"
+}
+
+// writeKey hashes its parameter: its summary marks the parameter as
+// sink-reaching, so the finding surfaces at the caller passing the
+// tainted value, attributed through the helper.
+func writeKey(h hash.Hash32, s string) {
+	h.Write([]byte(s))
+}
+
+func transit(m map[string]int) uint32 {
+	h := fnv.New32a()
+	var last string
+	for k := range m {
+		last = k
+	}
+	writeKey(h, last) // want detflow "via fixture/detflow.writeKey"
+	return h.Sum32()
+}
+
+// Two-level laundering: the tainted value passes through a pure
+// formatting helper (param flows to return) before reaching the hash.
+func hashOf(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+func decorate(s string) string {
+	return "k=" + s
+}
+
+func hashClock() uint32 {
+	return hashOf(decorate(fmt.Sprint(stamp()))) // want detflow "via fixture/detflow.hashOf"
+}

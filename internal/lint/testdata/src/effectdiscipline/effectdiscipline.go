@@ -1,0 +1,52 @@
+// Package effectdiscipline exercises the backend effect-discipline
+// check: code reachable from a //lint:compute root must not call
+// //lint:effects shared-state mutators directly — mutations belong in
+// the recorded effects set, replayed at commit in seq order.
+package effectdiscipline
+
+//lint:compute fixture worker compute root
+func compute() {
+	helper()
+	record()
+	mutate() // want effectdiscipline "call to fixture/effectdiscipline.mutate"
+}
+
+// helper is compute-reachable: its calls are constrained too.
+func helper() {
+	mutate() // want effectdiscipline "call to fixture/effectdiscipline.mutate"
+}
+
+//lint:effects fixture mutates the shared cache
+func mutate() {
+	other()
+}
+
+// A mutator calling another mutator is the effects layer's own
+// business: no finding for mutate -> other.
+//
+//lint:effects fixture second mutator
+func other() {}
+
+// record is the sanctioned path: a plain function that only records.
+func record() {}
+
+// cold is not compute-reachable: it may mutate directly.
+func cold() {
+	mutate()
+}
+
+// An audited exception is suppressible like any other finding.
+//
+//lint:compute fixture bootstrap root
+func computeBootstrap() {
+	mutate() //lint:allow effectdiscipline fixture bootstrap path runs before workers fan out
+}
+
+// A fact needs a reason, and must sit in a declaration's doc comment.
+// want-next-line directive "needs a reason"
+//lint:compute
+
+// want-next-line directive "not attached to a declaration"
+//lint:effects has a reason but floats free of any declaration
+
+func unannotated() {}

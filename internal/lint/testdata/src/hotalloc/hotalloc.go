@@ -1,0 +1,69 @@
+// Package hotalloc exercises the hot-path allocation check: interface
+// boxing and unhinted append growth in functions reachable from a
+// //lint:hot root, with //lint:egress marking the sanctioned boxing
+// layer and error results exempt.
+package hotalloc
+
+import "errors"
+
+//lint:hot fixture boxing root
+func boxes(v int64) any {
+	var x any
+	x = v // want hotalloc "assignment boxes int64"
+	_ = x
+	consume(v)     // want hotalloc "argument boxes int64"
+	y := any(v)    // want hotalloc "conversion boxes int64"
+	vs := []any{v} // want hotalloc "composite literal element boxes int64"
+	_, _ = y, vs
+	helperBox(int32(v))
+	_ = egress(v)
+	return v // want hotalloc "return boxes int64"
+}
+
+func consume(x any) {}
+
+// helperBox is not annotated, but it is reachable from the hot root, so
+// its boxing is reported with the reach path.
+func helperBox(v int32) any {
+	return v // want hotalloc "return boxes int32"
+}
+
+// egress is the sanctioned boxing layer: no findings inside it.
+//
+//lint:egress fixture sanctioned boxing layer
+func egress(v int64) any {
+	return v
+}
+
+//lint:hot fixture append root
+func kernel(vals []int64) []int64 {
+	out := []int64{}
+	for _, v := range vals {
+		out = append(out, v) // want hotalloc "append grows out"
+	}
+	return out
+}
+
+//lint:hot fixture presized root
+func presized(vals []int64) []int64 {
+	out := make([]int64, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	return out
+}
+
+// error results ride along cold paths of hot functions and are exempt.
+//
+//lint:hot fixture error-path root
+func mayFail(v int) (int, error) {
+	if v < 0 {
+		return 0, errors.New("negative")
+	}
+	return v, nil
+}
+
+// cold is not reachable from any hot root: boxing here is fine.
+func cold(v int64) any {
+	return v
+}

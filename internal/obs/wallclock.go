@@ -12,6 +12,8 @@ import "time"
 //
 // The returned function reports the wall-clock seconds elapsed since
 // the Stopwatch call.
+//
+//lint:sanitizer metrics-only boundary; results feed histograms and wall_s, never outcomes
 func Stopwatch() func() float64 {
 	start := time.Now() //lint:allow wallclock metrics-only chokepoint; see doc comment
 	return func() float64 {

@@ -160,6 +160,8 @@ func (ix *keyIndex) degrade() {
 // the first row and the whole fold runs through a monomorphic map for
 // int, int64 and string keys; any other type — or a mixed batch — runs
 // on (or migrates to) the generic keyIndex.
+//
+//lint:egress row-plane fallback; the generic path boxes by design
 func aggregateRows(rows []Row, create func(v Row) Row, merge func(acc, v Row) Row) []Row {
 	hint := aggHint(len(rows))
 	order := make([]Row, 0, hint)

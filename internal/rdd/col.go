@@ -1,3 +1,4 @@
+//lint:hot columnar reduce/group/join kernels run per row
 package rdd
 
 // Columnar batch kernels. The hot keyed operators — reduce/combine,
@@ -300,6 +301,8 @@ func reduceKeyStr[V any](rows []Row, f func(a, b V) V, box func(a, b Row) Row) [
 
 // emitTyped assembles KV output rows from the key order column and the
 // typed accumulator column — the one boxing per key of the whole fold.
+//
+//lint:egress reduce emission boxes one accumulator per key by design
 func emitTyped[V any](order []Row, vals []V) []Row {
 	out := make([]Row, len(order))
 	for i, k := range order {
@@ -315,6 +318,8 @@ func emitTyped[V any](order []Row, vals []V) []Row {
 // the remaining rows run through aggregateSlots with the boxed merge.
 // A value that never meets another of its key passes through unfolded on
 // both paths, so outputs stay value-identical.
+//
+//lint:egress degrade path re-boxes the typed accumulators it is abandoning
 func degradeReduce[V any](rest []Row, order []Row, vals []V, box func(a, b Row) Row) []Row {
 	hint := aggHint(len(rest))
 	g := make(map[Row]int, len(order)+hint)
@@ -371,6 +376,8 @@ func (g *grouping) size() int {
 
 // key boxes key i with its original dynamic type (generic groupings hand
 // the producer's box through).
+//
+//lint:egress group emission boxes one key per group by design
 func (g *grouping) key(i int) Row {
 	switch g.kkind {
 	case kInt:

@@ -1,3 +1,4 @@
+//lint:hot column batch representation; accessors run per row
 package rdd
 
 // ColBatch is the column-carrying partition representation: the unit the
@@ -107,6 +108,8 @@ func (b *ColBatch) Len() int { return b.TypedLen() + len(b.tail) }
 func (b *ColBatch) HasCols() bool { return b.kkind != kNone }
 
 // boxKey boxes the key of typed row i with its original dynamic type.
+//
+//lint:egress the batch-to-row boundary; boxes exactly one key per requested row
 func (b *ColBatch) boxKey(i int) Row {
 	switch b.kkind {
 	case kInt:
@@ -120,6 +123,8 @@ func (b *ColBatch) boxKey(i int) Row {
 
 // boxVal boxes the value of typed row i with its original dynamic type.
 // vRow values return the producer's original box.
+//
+//lint:egress the batch-to-row boundary; boxes exactly one value per requested row
 func (b *ColBatch) boxVal(i int) Row {
 	switch b.vkind {
 	case vInt:
@@ -158,6 +163,8 @@ func (b *ColBatch) Rows() []Row {
 }
 
 // appendRows boxes every row of the batch onto dst and returns it.
+//
+//lint:egress the batch-to-row boundary; materializes boxed rows on request
 func (b *ColBatch) appendRows(dst []Row) []Row {
 	tl := b.TypedLen()
 	switch {

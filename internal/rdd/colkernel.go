@@ -1,3 +1,4 @@
+//lint:hot batch-native operator kernels run per batch on every task
 package rdd
 
 // Batch-native operator kernels: the ColFn / CombineCol bodies that let
@@ -241,6 +242,8 @@ func fillGroupsCol(b *ColBatch, slots []int32, counts []int32) [][]Row {
 // typed key column carried through, each value group boxed once (the row
 // kernel boxes the group and the KV around it). Generic groupings emit
 // boxed rows, identical to the row kernel.
+//
+//lint:egress group emission boxes one slice per group by design
 func groupEmitBatch(g *grouping) *ColBatch {
 	if g.kkind == kNone {
 		out := make([]Row, len(g.order))
@@ -266,6 +269,8 @@ func groupEmitBatch(g *grouping) *ColBatch {
 // joinRows is the row-plane inner-join body shared by Join's Fn and the
 // joinBatch fallback: size the output exactly, then emit the per-key
 // cross products in left first-seen order.
+//
+//lint:egress join emission boxes one pair per match by design
 func joinRows(la, ra *grouping) []Row {
 	n := la.size()
 	match := make([]int, n)
@@ -305,6 +310,8 @@ func joinRows(la, ra *grouping) []Row {
 // generic groupings fall back to joinRows (different integer kinds can
 // never match under interface equality, which the generic probe
 // reproduces).
+//
+//lint:egress join emission boxes one pair per match by design
 func joinBatch(l, r *ColBatch) *ColBatch {
 	la := groupBatch(l)
 	ra := groupBatch(r)

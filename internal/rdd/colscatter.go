@@ -1,3 +1,4 @@
+//lint:hot batch shuffle scatter moves every cell
 package rdd
 
 // Batch shuffle scatter: BucketRows for ColBatches. The same two-pass

@@ -1,3 +1,4 @@
+//lint:hot open-addressed slot tables probe per row
 package rdd
 
 // Columnar slot tables: open-addressed hash indexes over typed key
